@@ -1,0 +1,17 @@
+"""Bench (beyond the paper): top-level (Topedge) features on vs off."""
+
+from conftest import run_once
+
+from repro.experiments.ablation import feature_ablation
+
+
+def test_ablation_top_level_features(benchmark, scale, n_samples):
+    rows = run_once(
+        benchmark, feature_ablation, "AES", n_samples=n_samples, scale=scale
+    )
+    print("\nAblation: Tier-predictor accuracy by feature set (Syn-2 test)")
+    for label, acc in rows:
+        print(f"  {label:20s} accuracy={acc:.1%}")
+    by = dict(rows)
+    # Removing the Topedge features must not *improve* transfer accuracy.
+    assert by["all 13 features"] >= by["circuit-level only"] - 0.08

@@ -1,0 +1,17 @@
+"""Bench (beyond the paper): dummy-buffer oversampling on vs off."""
+
+from conftest import run_once
+
+from repro.experiments.ablation import oversample_ablation
+
+
+def test_ablation_oversampling(benchmark, scale, n_samples):
+    rows = run_once(
+        benchmark, oversample_ablation, "AES", n_samples=n_samples, scale=scale
+    )
+    print("\nAblation: Classifier dummy-buffer oversampling")
+    for label, fp_recall, tp_recall in rows:
+        print(f"  {label:22s} FP recall={fp_recall:.1%} TP recall={tp_recall:.1%}")
+    by = {label: (fp, tp) for label, fp, tp in rows}
+    # Balancing the minority class must not hurt its recall.
+    assert by["with oversampling"][0] >= by["without oversampling"][0] - 1e-9

@@ -1,0 +1,18 @@
+"""Bench (beyond the paper): PR-derived Tp vs fixed pruning thresholds."""
+
+from conftest import run_once
+
+from repro.experiments import format_threshold_sweep, threshold_sweep
+
+
+def test_ablation_threshold_sweep(benchmark, scale, n_samples):
+    rows = run_once(
+        benchmark, threshold_sweep, "AES", n_samples=n_samples, scale=scale
+    )
+    print("\n" + format_threshold_sweep(rows))
+    qualities = dict(rows)
+    # Monotonicity in the threshold: a lower Tp prunes at least as much
+    # (resolution no larger) and is at most as accurate as a higher Tp.
+    loose, strict = qualities["Tp=0.55"], qualities["Tp=0.95"]
+    assert loose.mean_resolution <= strict.mean_resolution + 1e-9
+    assert strict.accuracy >= loose.accuracy - 1e-9

@@ -1,0 +1,18 @@
+"""Bench (paper extension): three-tier localization end to end."""
+
+from conftest import run_once
+
+from repro.experiments.three_tier import format_three_tier, three_tier_study
+
+
+def test_ext_three_tier(benchmark, scale, n_samples):
+    result = run_once(
+        benchmark, three_tier_study, "AES", n_test=n_samples,
+        n_train=max(240, n_samples * 3), scale=scale,
+    )
+    print("\n" + format_three_tier(result))
+    assert result.n_tiers == 3
+    assert result.mivs > 0
+    # A 3-class predictor must clearly beat chance (1/3).
+    assert result.tier_accuracy > 0.5
+    assert result.framework.mean_resolution <= result.atpg.mean_resolution + 1e-9

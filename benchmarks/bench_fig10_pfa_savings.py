@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 10 (PFA time saved vs per-candidate cost x)."""
+
+from conftest import run_once
+
+from repro.experiments import format_pfa_savings, pfa_savings, runtime_table
+
+
+def test_fig10_pfa_savings(benchmark, scale, n_samples):
+    rows = run_once(benchmark, runtime_table, n_samples=n_samples, scale=scale)
+    curves = pfa_savings(rows, x_values=(1.0, 10.0, 100.0, 1000.0))
+    print("\n" + format_pfa_savings(curves))
+    assert set(curves) == {"AES", "Tate", "netcard", "leon3mp"}
+    for design, pts in curves.items():
+        # T_diff is linear in x: its slope is the per-chip FHI improvement.
+        deltas = [d for _x, d in pts]
+        assert deltas == sorted(deltas) or deltas == sorted(deltas, reverse=True)
+        # Whenever FHI improved, savings must turn positive at large x;
+        # with no FHI change the curve stays flat at the small (seconds)
+        # framework overhead — both are valid shapes at this report
+        # sharpness (the paper's 10^3-10^6 s savings need its FHI≈4-20
+        # regime, which requires full-size designs; see EXPERIMENTS.md).
+        implied_dfhi = (deltas[-1] - deltas[0]) / (999.0 * max(n_samples, 1))
+        assert implied_dfhi >= -0.5  # reordering must not wreck the ranking
+        if implied_dfhi > 0.05:
+            assert deltas[-1] > 0

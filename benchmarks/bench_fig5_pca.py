@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 5 (PCA feature-space overlap across configurations)."""
+
+from conftest import run_once
+
+from repro.experiments import format_pca_study, pca_study
+
+
+def test_fig5_pca_overlap(benchmark, scale, n_samples):
+    study = run_once(benchmark, pca_study, "Tate", n_samples=n_samples, scale=scale)
+    print("\n" + format_pca_study(study))
+    assert set(study.points) == {"Syn-1", "TPI", "Syn-2", "Par"}
+    # The paper's conclusion: configuration clouds overlap — centroid
+    # separation stays within the within-cloud spread.
+    assert study.overlap_ratio < 2.0

@@ -1,0 +1,20 @@
+"""Bench: regenerate Table X (tier-systematic multiple-fault diagnosis)."""
+
+from conftest import run_once
+
+from repro.experiments import format_multifault, multifault_study
+
+
+def test_table10_multifault(benchmark, scale, n_samples):
+    rows = run_once(benchmark, multifault_study, n_test=n_samples, scale=scale)
+    print("\n" + format_multifault(rows))
+    assert len(rows) == 4
+    for r in rows:
+        # Multi-fault chips are much harder: strict all-faults-found report
+        # accuracy collapses at this scale (stronger than the paper's netcard
+        # collapse; see EXPERIMENTS.md) while the framework still shrinks
+        # reports and keeps FHI.  Tier localization is asserted in aggregate.
+        assert r.framework.mean_resolution <= r.atpg.mean_resolution + 1e-9
+        assert r.framework.accuracy >= r.atpg.accuracy - 0.08
+    mean_local = sum(r.tier_localization for r in rows) / len(rows)
+    assert mean_local >= 1 / 3

@@ -1,0 +1,22 @@
+"""Bench: regenerate Table XI (standalone Tier-predictor / MIV-pinpointer)."""
+
+from conftest import run_once
+
+from repro.experiments import format_standalone, standalone_models
+
+
+def test_table11_standalone_models(benchmark, scale, n_samples):
+    rows = run_once(benchmark, standalone_models, "AES", n_samples=n_samples, scale=scale)
+    print("\n" + format_standalone(rows))
+    by_name = {r.method: r.quality for r in rows}
+    atpg = by_name["ATPG only"]
+    tier = by_name["Tier-predictor"]
+    miv = by_name["MIV-pinpointer"]
+    both = by_name["Tier-predictor + MIV-pinpointer"]
+    # MIV-pinpointer alone never prunes: resolution/accuracy unchanged.
+    assert miv.mean_resolution == atpg.mean_resolution
+    assert miv.accuracy == atpg.accuracy
+    # Tier-predictor drives the resolution gain; adding the MIV-pinpointer
+    # must not lose accuracy relative to tier-only (it protects MIV faults).
+    assert tier.mean_resolution <= atpg.mean_resolution
+    assert both.accuracy >= tier.accuracy - 1e-9

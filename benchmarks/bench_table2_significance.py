@@ -1,0 +1,18 @@
+"""Bench: regenerate Table II's feature-significance column."""
+
+from conftest import run_once
+
+from repro.experiments import feature_significance, format_significance
+
+
+def test_table2_feature_significance(benchmark, scale, n_samples):
+    rows = run_once(
+        benchmark, feature_significance, "Tate", n_samples=n_samples, scale=scale
+    )
+    print("\n" + format_significance(rows))
+    assert len(rows) == 13
+    top = [r.significance for r in rows if r.is_top_level]
+    ckt = [r.significance for r in rows if not r.is_top_level]
+    # The paper's point: top-level features matter about as much as
+    # circuit-level ones (scores of the same order).
+    assert sum(top) / len(top) > 0.5 * (sum(ckt) / len(ckt))

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table III (design matrix of M3D benchmarks)."""
+
+from conftest import run_once
+
+from repro.experiments import design_matrix, format_design_matrix
+
+
+def test_table3_design_matrix(benchmark, scale):
+    rows = run_once(benchmark, design_matrix, scale=scale)
+    print("\n" + format_design_matrix(rows))
+    assert len(rows) == 4
+    gates = [r.gates for r in rows]
+    assert gates == sorted(gates), "size ordering AES < Tate < netcard < leon3mp"
+    for r in rows:
+        assert r.fault_coverage >= 0.80
+        assert r.mivs > 0

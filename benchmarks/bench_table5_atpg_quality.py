@@ -1,0 +1,25 @@
+"""Bench: regenerate Table V (ATPG diagnosis-report quality, no compaction)."""
+
+from conftest import run_once
+
+from repro.experiments import atpg_quality, format_quality
+
+
+def test_table5_atpg_quality_bypass(benchmark, scale, n_samples):
+    rows = run_once(benchmark, atpg_quality, "bypass", n_samples=n_samples, scale=scale)
+    print("\n" + format_quality(rows, "Table V: ATPG report quality (bypass)"))
+    assert len(rows) == 16  # 4 designs x 4 configs
+    for r in rows:
+        assert r.quality.accuracy >= 0.8
+        assert r.quality.mean_resolution >= 1.0
+    # Note: the paper's resolution-grows-with-design-size ordering does not
+    # survive the ~100x scaling — equivalence classes shrink with size, so
+    # the four designs' resolutions compress into one band (EXPERIMENTS.md).
+    # Assert that band: no design's reports are degenerate (resolution ~1)
+    # or wildly larger than the others'.
+    mean_res = lambda name: sum(
+        r.quality.mean_resolution for r in rows if r.design == name
+    ) / 4
+    means = [mean_res(n) for n in ("AES", "Tate", "netcard", "leon3mp")]
+    assert min(means) >= 1.5
+    assert max(means) / min(means) <= 3.0

@@ -1,0 +1,28 @@
+"""Bench: regenerate Table VI (fault-localization effectiveness, no compaction)."""
+
+from conftest import run_once
+
+from repro.experiments import effectiveness, format_effectiveness
+
+
+def test_table6_effectiveness_bypass(benchmark, scale, n_samples):
+    rows = run_once(benchmark, effectiveness, "bypass", n_samples=n_samples, scale=scale)
+    print("\n" + format_effectiveness(rows, "Table VI: effectiveness (bypass)"))
+    assert len(rows) == 16
+    for r in rows:
+        # Post-processing can only shrink reports.
+        assert r.gnn.quality.mean_resolution <= r.atpg.quality.mean_resolution + 1e-9
+        assert r.combined.quality.mean_resolution <= r.gnn.quality.mean_resolution + 1e-9
+    # Accuracy-loss and tier-localization shapes are asserted in aggregate:
+    # with 30-chip test sets and ~500-chip training sets the per-row accuracy
+    # loss is noisier than the paper's <1% (see EXPERIMENTS.md), but the
+    # averages must stay in the useful regime and the GNN must localize
+    # better than the 2D baseline overall.
+    mean_loss = sum(r.atpg.quality.accuracy - r.gnn.quality.accuracy for r in rows) / len(rows)
+    assert mean_loss <= 0.15
+    locs = [(r.gnn.tier_localization, r.baseline.tier_localization)
+            for r in rows if r.gnn.tier_localization is not None]
+    if locs:
+        mean_gnn = sum(g for g, _b in locs) / len(locs)
+        mean_base = sum(b for _g, b in locs) / len(locs)
+        assert mean_gnn >= mean_base

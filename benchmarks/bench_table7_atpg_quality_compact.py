@@ -1,0 +1,15 @@
+"""Bench: regenerate Table VII (ATPG report quality with response compaction)."""
+
+from conftest import run_once
+
+from repro.experiments import atpg_quality, format_quality
+
+
+def test_table7_atpg_quality_compacted(benchmark, scale, n_samples):
+    rows = run_once(
+        benchmark, atpg_quality, "compacted", n_samples=n_samples, scale=scale
+    )
+    print("\n" + format_quality(rows, "Table VII: ATPG report quality (compacted)"))
+    assert len(rows) == 16
+    for r in rows:
+        assert r.quality.accuracy >= 0.75

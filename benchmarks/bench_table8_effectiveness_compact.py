@@ -1,0 +1,19 @@
+"""Bench: regenerate Table VIII (effectiveness with response compaction)."""
+
+from conftest import run_once
+
+from repro.experiments import effectiveness, format_effectiveness
+
+
+def test_table8_effectiveness_compacted(benchmark, scale, n_samples):
+    rows = run_once(
+        benchmark, effectiveness, "compacted", n_samples=n_samples, scale=scale
+    )
+    print("\n" + format_effectiveness(rows, "Table VIII: effectiveness (compacted)"))
+    assert len(rows) == 16
+    for r in rows:
+        assert r.gnn.quality.mean_resolution <= r.atpg.quality.mean_resolution + 1e-9
+    mean_loss = sum(
+        r.atpg.quality.accuracy - r.gnn.quality.accuracy for r in rows
+    ) / len(rows)
+    assert mean_loss <= 0.18  # compaction makes transfer harder (EXPERIMENTS.md)

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table IX (runtime of the framework on Syn-2 test sets)."""
+
+from conftest import run_once
+
+from repro.experiments import format_runtime, runtime_table
+
+
+def test_table9_runtime(benchmark, scale, n_samples):
+    rows = run_once(benchmark, runtime_table, n_samples=n_samples, scale=scale)
+    print("\n" + format_runtime(rows))
+    assert len(rows) == 4
+    for r in rows:
+        # The paper's deployment shape: GNN inference is much faster than
+        # ATPG diagnosis, and the report update is cheap next to T_ATPG.
+        assert r.t_gnn_s < r.t_atpg_s
+        assert r.t_update_s < r.t_atpg_s

@@ -1,0 +1,39 @@
+"""Benchmark-harness configuration.
+
+Every bench regenerates one table/figure of the paper and prints it, while
+pytest-benchmark records the wall-clock of the (cached-pipeline) run.
+
+Environment knobs:
+
+* ``REPRO_SCALE``   — benchmark suite scale, ``default`` (paper-shaped) or
+  ``tiny`` (smoke).  Default: ``default``.
+* ``REPRO_SAMPLES`` — test-set size per (design, config) point.  Default: 50.
+
+The heavy pipeline state (prepared designs, trained frameworks, diagnosis
+reports) is memoized in :mod:`repro.experiments.common`, so one pytest
+session pays each cost once no matter how many benches touch it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_SCALE", "default")
+N_SAMPLES = int(os.environ.get("REPRO_SAMPLES", "30"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def n_samples() -> int:
+    return N_SAMPLES
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

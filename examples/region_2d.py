@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Region-level fault localization on a conventional 2D IC.
+
+The paper notes the models "are not restricted to M3D designs: if 2D
+circuits are partitioned into distinct regions, Tier-predictor can be
+utilized to perform region-level fault localization".  This example does
+exactly that — a 2D design is split into four placement regions with the
+k-way partitioner, regions play the role of tiers, and the 4-class
+Tier-predictor narrows every failing chip to one region of the die.
+
+Run:  python examples/region_2d.py
+"""
+
+import numpy as np
+
+from repro import GeneratorSpec, M3DDiagnosisFramework, build_dataset, prepare_design
+from repro.data import DesignConfig
+
+N_REGIONS = 4
+
+
+def main() -> None:
+    spec = GeneratorSpec("soc2d", "netcard_like", 500, 64, 16, 16, seed=6)
+    # Regions are just tiers to the framework; the k-way partitioner plays
+    # the role of a placement-based region assignment.
+    design = prepare_design(
+        spec,
+        DesignConfig("regions", n_tiers=N_REGIONS, partition_seed=3),
+        n_chains=8,
+        chains_per_channel=4,
+        max_patterns=128,
+    )
+    region_sizes = np.bincount([g.tier for g in design.nl.gates], minlength=N_REGIONS)
+    print(f"design: {design.nl}")
+    print(f"regions: {N_REGIONS}, gates per region: {region_sizes.tolist()}")
+    print(f"inter-region nets: {len(design.mivs)}")
+
+    train = build_dataset(design, "bypass", 320, seed=0, miv_fraction=0.0)
+    test = build_dataset(design, "bypass", 80, seed=99, miv_fraction=0.0)
+
+    fw = M3DDiagnosisFramework(
+        epochs=30, seed=0, n_tiers=N_REGIONS, use_miv_pinpointer=False
+    )
+    fw.fit([train])
+
+    graphs = [g for g in test.graphs if g.y >= 0]
+    preds = fw.tier_predictor.predict(graphs)
+    truth = np.asarray([g.y for g in graphs])
+    acc = float(np.mean(preds == truth))
+    print(f"\nregion-level localization accuracy: {acc:.1%} "
+          f"(chance = {1 / N_REGIONS:.1%})")
+    for r in range(N_REGIONS):
+        sel = truth == r
+        if sel.any():
+            print(f"  region {r}: {np.mean(preds[sel] == r):.1%} over {sel.sum()} chips")
+    print("\nPFA can now start probing in one quadrant of the die instead of four.")
+
+
+if __name__ == "__main__":
+    main()

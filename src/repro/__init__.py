@@ -1,0 +1,106 @@
+"""repro — GNN-based delay-fault localization for monolithic 3D ICs.
+
+A full offline reproduction of Hung et al., "Transferable Graph Neural
+Network-based Delay-Fault Localization for Monolithic 3D ICs" (DATE 2022 /
+journal extension), including every substrate the paper depends on: netlist
+infrastructure, bit-parallel logic/fault simulation, TDF ATPG, scan and
+response compaction, M3D tier partitioning with MIV extraction, an
+effect-cause diagnosis tool stand-in, a pure-numpy GCN stack, and the
+paper's tier-level fault-localization framework with its candidate pruning
+and reordering policy.
+
+Quickstart::
+
+    from repro import (GeneratorSpec, DesignConfig, prepare_design,
+                       build_dataset, M3DDiagnosisFramework)
+
+    spec = GeneratorSpec("aes", "aes_like", 900, 96, 32, 32, seed=1)
+    design = prepare_design(spec, DesignConfig.standard("Syn-1"))
+    train = build_dataset(design, "bypass", 150, seed=0)
+    framework = M3DDiagnosisFramework()
+    framework.fit([train])
+"""
+
+from .netlist import GeneratorSpec, Netlist, NetlistBuilder, generate, toy_netlist
+from .atpg import Fault, FaultSite, Polarity, generate_tdf_patterns
+from .sim import CompiledSimulator, FaultMachine
+from .m3d import (
+    DefectSampler,
+    MIV,
+    apply_partition,
+    extract_mivs,
+    mincut_bipartition,
+    random_bipartition,
+    spectral_bipartition,
+)
+from .dft import ObservationMap, ScanConfig, build_scan_chains
+from .tester import FailureLog, InjectionCampaign, Sample
+from .diagnosis import (
+    DiagnosisReport,
+    EffectCauseDiagnoser,
+    PadreLikeFilter,
+    first_hit_index,
+    report_is_accurate,
+    summarize_reports,
+)
+from .core import (
+    BackupDictionary,
+    FeatureExtractor,
+    HetGraph,
+    M3DDiagnosisFramework,
+    MivPinpointer,
+    PruneReorderClassifier,
+    PruneReorderPolicy,
+    TierPredictor,
+    backtrace,
+)
+from .data import DesignConfig, PreparedDesign, build_dataset, prepare_design
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GeneratorSpec",
+    "Netlist",
+    "NetlistBuilder",
+    "generate",
+    "toy_netlist",
+    "Fault",
+    "FaultSite",
+    "Polarity",
+    "generate_tdf_patterns",
+    "CompiledSimulator",
+    "FaultMachine",
+    "DefectSampler",
+    "MIV",
+    "apply_partition",
+    "extract_mivs",
+    "mincut_bipartition",
+    "random_bipartition",
+    "spectral_bipartition",
+    "ObservationMap",
+    "ScanConfig",
+    "build_scan_chains",
+    "FailureLog",
+    "InjectionCampaign",
+    "Sample",
+    "DiagnosisReport",
+    "EffectCauseDiagnoser",
+    "PadreLikeFilter",
+    "first_hit_index",
+    "report_is_accurate",
+    "summarize_reports",
+    "BackupDictionary",
+    "FeatureExtractor",
+    "HetGraph",
+    "M3DDiagnosisFramework",
+    "MivPinpointer",
+    "PruneReorderClassifier",
+    "PruneReorderPolicy",
+    "TierPredictor",
+    "backtrace",
+    "DesignConfig",
+    "PreparedDesign",
+    "build_dataset",
+    "prepare_design",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""TDF fault universe, pattern containers, and ATPG."""
+
+from .faults import (
+    Fault,
+    FaultSite,
+    Polarity,
+    branch_site,
+    enumerate_faults,
+    enumerate_sites,
+    site_tier,
+    stem_site,
+)
+from .patterns import PatternSet, random_patterns
+from .podem import Podem, PodemResult
+from .tdf import AtpgResult, generate_tdf_patterns
+
+__all__ = [
+    "Fault",
+    "FaultSite",
+    "Polarity",
+    "branch_site",
+    "enumerate_faults",
+    "enumerate_sites",
+    "site_tier",
+    "stem_site",
+    "Podem",
+    "PodemResult",
+    "PatternSet",
+    "random_patterns",
+    "AtpgResult",
+    "generate_tdf_patterns",
+]

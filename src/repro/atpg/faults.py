@@ -1,0 +1,157 @@
+"""Transition-delay-fault (TDF) universe: fault sites and polarities.
+
+Fault sites follow the paper's granularity — "every pin of a gate" plus MIV
+nodes:
+
+* ``stem``   — the driver output pin of a net; a fault here disturbs every
+  sink and any direct observation of the net.
+* ``branch`` — one gate input pin; the fault disturbs only that pin.
+* ``miv``    — the inter-tier segment of a net that crosses tiers; the fault
+  disturbs only the sinks (and observations) located on the far tier.
+
+A :class:`Fault` pairs a site with a polarity (slow-to-rise / slow-to-fall).
+Detection uses the standard TDF approximation: a slow-to-rise fault at site
+*s* is detected by pattern pair (V1, V2) iff V1(s)=0, V2(s)=1 and the
+resulting stuck-low effect under V2 propagates to an observation point.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..netlist.netlist import EXTERNAL_DRIVER, Netlist
+
+__all__ = [
+    "Polarity",
+    "FaultSite",
+    "Fault",
+    "stem_site",
+    "branch_site",
+    "enumerate_sites",
+    "enumerate_faults",
+    "site_tier",
+]
+
+PinRef = Tuple[int, int]
+
+
+class Polarity(enum.Enum):
+    """TDF polarity."""
+
+    SLOW_TO_RISE = "STR"
+    SLOW_TO_FALL = "STF"
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """A location where a delay defect can sit.
+
+    Attributes:
+        kind: ``"stem"``, ``"branch"``, or ``"miv"``.
+        net: The net the defect lives on.
+        sinks: Gate input pins that see the faulty value.
+        observed_faulty: Whether a direct observation of ``net`` (PO or flop
+            D pin) also sees the faulty value.
+        miv_id: MIV index for ``kind == "miv"`` sites, else -1.
+        label: Stable human-readable id used in diagnosis reports.
+    """
+
+    kind: str
+    net: int
+    sinks: Tuple[PinRef, ...]
+    observed_faulty: bool
+    miv_id: int = -1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("stem", "branch", "miv"):
+            raise ValueError(f"bad fault-site kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A transition delay fault: a site plus a polarity."""
+
+    site: FaultSite
+    polarity: Polarity
+
+    @property
+    def label(self) -> str:
+        return f"{self.site.label}/{self.polarity.value}"
+
+
+def stem_site(nl: Netlist, net_id: int) -> FaultSite:
+    """The stem fault site of a net (affects all sinks and observations)."""
+    net = nl.nets[net_id]
+    return FaultSite(
+        kind="stem",
+        net=net_id,
+        sinks=tuple(net.sinks),
+        observed_faulty=True,
+        label=f"stem:{net.name}",
+    )
+
+
+def branch_site(nl: Netlist, gate_id: int, pin: int) -> FaultSite:
+    """The branch fault site at one gate input pin."""
+    g = nl.gates[gate_id]
+    net_id = g.fanin[pin]
+    return FaultSite(
+        kind="branch",
+        net=net_id,
+        sinks=((gate_id, pin),),
+        observed_faulty=False,
+        label=f"branch:{g.name}.{pin}",
+    )
+
+
+def enumerate_sites(
+    nl: Netlist, mivs: Sequence[FaultSite] = (), include_branches: bool = True
+) -> List[FaultSite]:
+    """All fault sites of a design.
+
+    Branch sites are only emitted for nets with more than one total
+    destination (sinks + observations); on single-destination nets the branch
+    is equivalent to the stem (structural fault collapsing).  MIV sites, when
+    provided by :func:`repro.m3d.miv.miv_fault_sites`, are appended verbatim.
+    """
+    sites: List[FaultSite] = []
+    observed = set(nl.observed_nets)
+    for net in nl.nets:
+        drivable = net.driver != EXTERNAL_DRIVER or net.sinks
+        if not drivable:
+            continue
+        sites.append(stem_site(nl, net.id))
+        n_dest = len(net.sinks) + (1 if net.id in observed else 0)
+        if include_branches and n_dest > 1:
+            for gate_id, pin in net.sinks:
+                sites.append(branch_site(nl, gate_id, pin))
+    sites.extend(mivs)
+    return sites
+
+
+def enumerate_faults(
+    nl: Netlist, mivs: Sequence[FaultSite] = (), include_branches: bool = True
+) -> List[Fault]:
+    """Both polarities of every fault site."""
+    faults: List[Fault] = []
+    for site in enumerate_sites(nl, mivs, include_branches):
+        faults.append(Fault(site, Polarity.SLOW_TO_RISE))
+        faults.append(Fault(site, Polarity.SLOW_TO_FALL))
+    return faults
+
+
+def site_tier(nl: Netlist, site: FaultSite) -> Optional[int]:
+    """Tier a fault site belongs to, or None for MIVs (which span tiers).
+
+    Stem faults sit at the driver; branch faults sit at the sink gate's end
+    of the wire.
+    """
+    if site.kind == "miv":
+        return None
+    if site.kind == "branch":
+        gate_id, _pin = site.sinks[0]
+        return nl.gates[gate_id].tier
+    return nl.net_tier(site.net)

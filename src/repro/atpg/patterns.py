@@ -1,0 +1,63 @@
+"""Two-pattern (V1, V2) test-set containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..netlist.netlist import Netlist
+
+__all__ = ["PatternSet", "random_patterns"]
+
+
+@dataclass
+class PatternSet:
+    """A set of two-pattern TDF tests.
+
+    Rows of ``v1``/``v2`` follow ``Netlist.comb_inputs`` order (PIs first,
+    then flop Q nets); columns are patterns.  Patterns are fully specified
+    (no X values), matching enhanced-scan two-pattern application.
+    """
+
+    v1: np.ndarray
+    v2: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.v1 = np.asarray(self.v1, dtype=np.uint8)
+        self.v2 = np.asarray(self.v2, dtype=np.uint8)
+        if self.v1.shape != self.v2.shape:
+            raise ValueError(f"v1 {self.v1.shape} and v2 {self.v2.shape} differ")
+        if self.v1.ndim != 2:
+            raise ValueError("pattern arrays must be 2-D (inputs x patterns)")
+
+    @property
+    def n_inputs(self) -> int:
+        return self.v1.shape[0]
+
+    @property
+    def n_patterns(self) -> int:
+        return self.v1.shape[1]
+
+    def select(self, columns: Iterable[int]) -> "PatternSet":
+        """A new PatternSet with only the given pattern columns."""
+        cols = list(columns)
+        return PatternSet(self.v1[:, cols], self.v2[:, cols])
+
+    def concat(self, other: "PatternSet") -> "PatternSet":
+        """Append another pattern set's columns after this one's."""
+        if other.n_inputs != self.n_inputs:
+            raise ValueError("pattern sets have different input counts")
+        return PatternSet(
+            np.concatenate([self.v1, other.v1], axis=1),
+            np.concatenate([self.v2, other.v2], axis=1),
+        )
+
+
+def random_patterns(nl: Netlist, n_patterns: int, rng: np.random.Generator) -> PatternSet:
+    """Uniform random two-pattern tests for a netlist's combinational core."""
+    n_inputs = len(nl.comb_inputs)
+    v1 = rng.integers(0, 2, size=(n_inputs, n_patterns), dtype=np.uint8)
+    v2 = rng.integers(0, 2, size=(n_inputs, n_patterns), dtype=np.uint8)
+    return PatternSet(v1, v2)

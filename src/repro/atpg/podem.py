@@ -1,0 +1,369 @@
+"""PODEM — deterministic path-oriented test generation (Goel, 1981).
+
+Random-pattern ATPG (:mod:`repro.atpg.tdf`) leaves a tail of
+random-pattern-resistant faults; this module generates targeted tests for
+them the way commercial tools do.  The engine works on the five-valued
+D-algebra, represented as a (good, faulty) pair of three-valued planes:
+
+========  ======  =======
+symbol    good    faulty
+========  ======  =======
+``0``     0       0
+``1``     1       1
+``X``     X       X
+``D``     1       0
+``D'``    0       1
+========  ======  =======
+
+The classic loop: pick an objective (activate the fault, then advance the
+D-frontier), backtrace it to an unassigned primary input using SCOAP
+controllability guidance, imply forward, and backtrack on conflicts.
+
+For transition-delay faults the standard two-pattern construction applies:
+PODEM finds V2 detecting the fault's stuck-at equivalent, and V1 is found by
+justifying the opposite value at the fault site (a pure justification run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..netlist.netlist import EXTERNAL_DRIVER, Netlist
+from ..netlist.testability import Testability, compute_testability
+from .faults import Fault, FaultSite, Polarity
+
+__all__ = ["Podem", "PodemResult"]
+
+#: Three-valued constants for the good/faulty planes.
+V0, V1, VX = 0, 1, 2
+
+
+def _eval3(cell, ins: List[int]) -> int:
+    """Three-valued evaluation.
+
+    Monotone-decomposable cells use controlling-value shortcuts; the rest
+    fall back to completion enumeration over the X inputs (≤ 4 inputs ⇒
+    ≤ 16 cases), which is exact.
+    """
+    name = cell.name
+    if name == "BUF":
+        return ins[0]
+    if name == "INV":
+        return VX if ins[0] == VX else 1 - ins[0]
+    if name.startswith(("AND", "NAND")):
+        if V0 in ins:
+            out = V0
+        elif VX in ins:
+            out = VX
+        else:
+            out = V1
+        if name.startswith("NAND") and out != VX:
+            out = 1 - out
+        return out
+    if name.startswith(("OR", "NOR")):
+        if V1 in ins:
+            out = V1
+        elif VX in ins:
+            out = VX
+        else:
+            out = V0
+        if name.startswith("NOR") and out != VX:
+            out = 1 - out
+        return out
+    if name in ("XOR2", "XOR3", "XNOR2"):
+        if VX in ins:
+            return VX
+        out = 0
+        for v in ins:
+            out ^= v
+        return (1 - out) if name == "XNOR2" else out
+    xs = [i for i, v in enumerate(ins) if v == VX]
+    if not xs:
+        arrs = [np.array([v], dtype=np.uint8) for v in ins]
+        return int(cell.func(arrs)[0])
+    result: Optional[int] = None
+    for combo in range(1 << len(xs)):
+        trial = list(ins)
+        for k, idx in enumerate(xs):
+            trial[idx] = (combo >> k) & 1
+        arrs = [np.array([v], dtype=np.uint8) for v in trial]
+        out = int(cell.func(arrs)[0])
+        if result is None:
+            result = out
+        elif result != out:
+            return VX
+    return result if result is not None else VX
+
+
+@dataclass
+class PodemResult:
+    """Outcome of one PODEM run.
+
+    Attributes:
+        success: Whether a test was found within the backtrack budget.
+        assignment: Net id → 0/1 over assigned combinational inputs (others
+            are don't-care).
+        backtracks: Decisions undone during the search.
+    """
+
+    success: bool
+    assignment: Dict[int, int]
+    backtracks: int
+
+
+class Podem:
+    """Deterministic test generator for one compiled design.
+
+    Args:
+        nl: The design.
+        max_backtracks: Abort budget per fault (random-resistant redundant
+            faults terminate quickly through this bound).
+    """
+
+    def __init__(self, nl: Netlist, max_backtracks: int = 250) -> None:
+        self.nl = nl
+        self.max_backtracks = max_backtracks
+        self.order = nl.topo_order()
+        self.inputs = set(nl.comb_inputs)
+        self.observed = list(nl.observed_nets)
+        self.testability: Testability = compute_testability(nl)
+        # Gate consumers per net for forward implication.
+        self._sinks: List[List[int]] = [[] for _ in range(nl.n_nets)]
+        for g in nl.gates:
+            for net in g.fanin:
+                if g.id not in self._sinks[net]:
+                    self._sinks[net].append(g.id)
+
+    # ----------------------------------------------------------- simulation
+    def _imply(
+        self,
+        assignment: Dict[int, int],
+        fault_net: int,
+        fault_value: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Forward 3-valued simulation of the good and faulty planes."""
+        n = self.nl.n_nets
+        good = np.full(n, VX, dtype=np.int8)
+        faulty = np.full(n, VX, dtype=np.int8)
+        for net, v in assignment.items():
+            good[net] = v
+            faulty[net] = v
+        if fault_net in self.inputs:
+            faulty[fault_net] = fault_value
+        for gid in self.order:
+            g = self.nl.gates[gid]
+            good[g.out] = _eval3(g.cell, [int(good[x]) for x in g.fanin])
+            faulty[g.out] = _eval3(g.cell, [int(faulty[x]) for x in g.fanin])
+            if g.out == fault_net:
+                faulty[g.out] = fault_value
+        return good, faulty
+
+    # ------------------------------------------------------------ backtrace
+    def _backtrace(self, net: int, value: int, good: np.ndarray) -> Tuple[int, int]:
+        """Map an objective (net, value) to an unassigned input assignment."""
+        t = self.testability
+        while net not in self.inputs:
+            g = self.nl.gates[self.nl.nets[net].driver]
+            name = g.cell.name
+            inverting = name.startswith(("NAND", "NOR", "INV", "XNOR"))
+            next_value = 1 - value if inverting else value
+            # Choose among X inputs: easiest for a controlling objective,
+            # hardest for a non-controlling one (classic PODEM heuristic,
+            # reduced here to easiest-cost which works well at this scale).
+            candidates = [x for x in g.fanin if good[x] == VX]
+            if not candidates:
+                candidates = list(g.fanin)
+            cost = lambda x: t.cc1[x] if next_value == 1 else t.cc0[x]
+            net = min(candidates, key=cost)
+            value = next_value
+            if name == "INV" or name == "BUF":
+                pass  # value already adjusted via `inverting`
+        return net, value
+
+    # -------------------------------------------------------------- search
+    def _objective(
+        self,
+        fault_net: int,
+        activate_value: int,
+        good: np.ndarray,
+        faulty: np.ndarray,
+    ) -> Optional[Tuple[int, int]]:
+        """Next objective: activate the fault, then extend the D-frontier."""
+        if good[fault_net] == VX:
+            return fault_net, activate_value
+        if good[fault_net] != activate_value:
+            return None  # activation conflict
+        # D-frontier: gates with a D/D' input and an X output.
+        for gid in self.order:
+            g = self.nl.gates[gid]
+            if good[g.out] != VX and faulty[g.out] != VX:
+                continue
+            d_pins = [
+                p
+                for p, x in enumerate(g.fanin)
+                if good[x] != VX and faulty[x] != VX and good[x] != faulty[x]
+            ]
+            if not d_pins:
+                continue
+            required = self._side_requirements(g, d_pins[0])
+            for p, x in enumerate(g.fanin):
+                if good[x] == VX:
+                    return x, required.get(p, 0)
+        return None
+
+    @staticmethod
+    def _side_requirements(gate, d_pin: int) -> Dict[int, int]:
+        """Side-input values that sensitize ``d_pin`` through ``gate``."""
+        name = gate.cell.name
+        n = len(gate.fanin)
+        others = [p for p in range(n) if p != d_pin]
+        if name.startswith(("AND", "NAND")):
+            return {p: 1 for p in others}
+        if name.startswith(("OR", "NOR")):
+            return {p: 0 for p in others}
+        if name in ("XOR2", "XOR3", "XNOR2"):
+            return {p: 0 for p in others}  # any binary side value sensitizes
+        if name == "MUX2":  # pins (a, b, sel)
+            if d_pin == 0:
+                return {2: 0}
+            if d_pin == 1:
+                return {2: 1}
+            return {0: 0, 1: 1}  # sensitizing sel needs a != b
+        if name == "AOI21":  # NOT((a AND b) OR c), pins (a, b, c)
+            if d_pin == 0:
+                return {1: 1, 2: 0}
+            if d_pin == 1:
+                return {0: 1, 2: 0}
+            return {0: 0}  # kill the AND term; b is then free
+        if name == "OAI21":  # NOT((a OR b) AND c), pins (a, b, c)
+            if d_pin == 0:
+                return {1: 0, 2: 1}
+            if d_pin == 1:
+                return {0: 0, 2: 1}
+            return {0: 1}  # force the OR term to 1
+        return {p: 0 for p in others}
+
+    def _detected(self, good: np.ndarray, faulty: np.ndarray) -> bool:
+        for net in self.observed:
+            if good[net] != VX and faulty[net] != VX and good[net] != faulty[net]:
+                return True
+        return False
+
+    def _frontier_alive(self, fault_net: int, good, faulty) -> bool:
+        """Is a D value still observable, propagating, or producible?"""
+        if good[fault_net] == VX:
+            return True  # fault not activated yet — still open
+        diff = (good != VX) & (faulty != VX) & (good != faulty)
+        if not diff.any():
+            return False
+        observed = set(self.observed)
+        for net in np.nonzero(diff)[0]:
+            if int(net) in observed:
+                return True
+            for gid in self._sinks[int(net)]:
+                out = self.nl.gates[gid].out
+                if good[out] == VX or faulty[out] == VX:
+                    return True
+        return False
+
+    def generate_stuck_at(self, net: int, stuck_value: int) -> PodemResult:
+        """Find an input assignment detecting ``net`` stuck-at ``stuck_value``."""
+        activate = 1 - stuck_value
+        assignment: Dict[int, int] = {}
+        decisions: List[Tuple[int, int, bool]] = []  # (input net, value, tried_both)
+        backtracks = 0
+        while True:
+            good, faulty = self._imply(assignment, net, stuck_value)
+            if self._detected(good, faulty):
+                return PodemResult(True, dict(assignment), backtracks)
+            feasible = self._frontier_alive(net, good, faulty) and not (
+                good[net] != VX and good[net] == stuck_value
+            )
+            obj = self._objective(net, activate, good, faulty) if feasible else None
+            if obj is not None:
+                in_net, in_val = self._backtrace(obj[0], obj[1], good)
+                if in_net in assignment:
+                    obj = None  # backtrace looped onto an assigned input
+                else:
+                    assignment[in_net] = in_val
+                    decisions.append((in_net, in_val, False))
+                    continue
+            # Dead end: flip the most recent unflipped decision.
+            while decisions:
+                in_net, in_val, tried = decisions.pop()
+                del assignment[in_net]
+                if not tried:
+                    backtracks += 1
+                    if backtracks > self.max_backtracks:
+                        return PodemResult(False, {}, backtracks)
+                    assignment[in_net] = 1 - in_val
+                    decisions.append((in_net, 1 - in_val, True))
+                    break
+            else:
+                return PodemResult(False, {}, backtracks)
+
+    def justify(self, net: int, value: int) -> PodemResult:
+        """Find an input assignment that sets ``net`` to ``value`` (no fault)."""
+        assignment: Dict[int, int] = {}
+        decisions: List[Tuple[int, int, bool]] = []
+        backtracks = 0
+        while True:
+            good, _f = self._imply(assignment, net, value)  # fault plane unused
+            if good[net] == value:
+                return PodemResult(True, dict(assignment), backtracks)
+            if good[net] != VX:
+                obj = None
+            else:
+                obj = (net, value)
+            if obj is not None:
+                in_net, in_val = self._backtrace(obj[0], obj[1], good)
+                if in_net not in assignment:
+                    assignment[in_net] = in_val
+                    decisions.append((in_net, in_val, False))
+                    continue
+            while decisions:
+                in_net, in_val, tried = decisions.pop()
+                del assignment[in_net]
+                if not tried:
+                    backtracks += 1
+                    if backtracks > self.max_backtracks:
+                        return PodemResult(False, {}, backtracks)
+                    assignment[in_net] = 1 - in_val
+                    decisions.append((in_net, 1 - in_val, True))
+                    break
+            else:
+                return PodemResult(False, {}, backtracks)
+
+    def generate_tdf_pair(
+        self, fault: Fault, seed: int = 0
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """A (V1, V2) pair detecting a TDF at the fault's stem.
+
+        V2 comes from a stuck-at PODEM run (slow-to-rise ≈ stuck-at-0 on the
+        second vector); V1 justifies the opposite initial value.  Don't-care
+        inputs are filled pseudo-randomly from ``seed``.
+
+        Returns None when either run exhausts its backtrack budget (the
+        fault is then likely redundant/untestable).
+        """
+        stuck = 0 if fault.polarity is Polarity.SLOW_TO_RISE else 1
+        initial = stuck  # V1 must put the site at the pre-transition value
+        v2_res = self.generate_stuck_at(fault.site.net, stuck)
+        if not v2_res.success:
+            return None
+        v1_res = self.justify(fault.site.net, initial)
+        if not v1_res.success:
+            return None
+        rng = np.random.default_rng(seed)
+        inputs = self.nl.comb_inputs
+        v1 = rng.integers(0, 2, size=len(inputs), dtype=np.uint8)
+        v2 = rng.integers(0, 2, size=len(inputs), dtype=np.uint8)
+        for i, net in enumerate(inputs):
+            if net in v1_res.assignment:
+                v1[i] = v1_res.assignment[net]
+            if net in v2_res.assignment:
+                v2[i] = v2_res.assignment[net]
+        return v1, v2

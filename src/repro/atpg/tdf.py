@@ -1,0 +1,141 @@
+"""TDF automatic test pattern generation.
+
+Random two-pattern generation with greedy pattern selection and fault
+dropping — the classic simulation-based ATPG loop.  Batches of random pairs
+are fault-simulated against the undetected fault list; a pattern is kept only
+when it is the first detector of some still-undetected fault, so the emitted
+set is compact.  Coverage is reported over the (structurally collapsed)
+stem-fault universe plus any MIV sites, which is also the universe the
+paper's Table III fault-coverage column describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..netlist.netlist import Netlist
+from ..sim.faultsim import FaultMachine
+from ..sim.logicsim import CompiledSimulator
+from .faults import Fault, FaultSite, enumerate_faults
+from .patterns import PatternSet, random_patterns
+
+__all__ = ["AtpgResult", "generate_tdf_patterns"]
+
+
+@dataclass
+class AtpgResult:
+    """Outcome of a pattern-generation run.
+
+    Attributes:
+        patterns: The selected two-pattern tests.
+        fault_coverage: Detected / total over the target fault universe.
+        n_target_faults: Size of the target universe.
+        detected: Per-fault detection flags, aligned with ``faults``.
+        faults: The target fault universe.
+    """
+
+    patterns: PatternSet
+    fault_coverage: float
+    n_target_faults: int
+    detected: List[bool]
+    faults: List[Fault]
+
+
+def generate_tdf_patterns(
+    nl: Netlist,
+    seed: int = 0,
+    mivs: Sequence[FaultSite] = (),
+    batch_size: int = 32,
+    max_patterns: int = 512,
+    target_coverage: float = 0.95,
+    sim: Optional[CompiledSimulator] = None,
+    deterministic_topoff: bool = False,
+) -> AtpgResult:
+    """Generate a compact TDF pattern set for ``nl``.
+
+    Args:
+        nl: Design under test.
+        seed: RNG seed (deterministic output).
+        mivs: MIV fault sites to include in the target universe.
+        batch_size: Random patterns fault-simulated per iteration.
+        max_patterns: Budget on selected patterns.
+        target_coverage: Stop once this fraction of faults is detected.
+        sim: Optional pre-compiled simulator to reuse.
+        deterministic_topoff: After the random loop, run PODEM on the
+            remaining undetected stem faults and append its targeted pattern
+            pairs (the commercial random-then-deterministic flow).
+
+    Returns:
+        An :class:`AtpgResult` with the selected patterns and coverage.
+    """
+    rng = np.random.default_rng(seed)
+    sim = sim or CompiledSimulator(nl)
+    machine = FaultMachine(sim)
+    faults = enumerate_faults(nl, mivs=mivs, include_branches=False)
+    n_faults = len(faults)
+    detected = [False] * n_faults
+
+    selected: Optional[PatternSet] = None
+    stall_rounds = 0
+    while (selected is None or selected.n_patterns < max_patterns) and stall_rounds < 6:
+        batch = random_patterns(nl, batch_size, rng)
+        good = sim.simulate_pair(batch.v1, batch.v2)
+        keep = np.zeros(batch_size, dtype=bool)
+        newly = 0
+        for idx, fault in enumerate(faults):
+            if detected[idx]:
+                continue
+            det = machine.detects(fault, good)
+            if det.any():
+                detected[idx] = True
+                newly += 1
+                keep[int(np.argmax(det))] = True
+        if newly == 0:
+            stall_rounds += 1
+        else:
+            stall_rounds = 0
+            chosen = batch.select(np.nonzero(keep)[0])
+            selected = chosen if selected is None else selected.concat(chosen)
+        if sum(detected) / n_faults >= target_coverage:
+            break
+
+    if selected is None:
+        selected = random_patterns(nl, 1, rng)
+
+    if deterministic_topoff and selected.n_patterns < max_patterns:
+        from .podem import Podem
+
+        podem = Podem(nl)
+        extra_v1: List[np.ndarray] = []
+        extra_v2: List[np.ndarray] = []
+        for idx, fault in enumerate(faults):
+            if detected[idx] or fault.site.kind != "stem":
+                continue
+            if selected.n_patterns + len(extra_v1) >= max_patterns:
+                break
+            pair = podem.generate_tdf_pair(fault, seed=seed + idx)
+            if pair is None:
+                continue
+            extra_v1.append(pair[0])
+            extra_v2.append(pair[1])
+        if extra_v1:
+            extra = PatternSet(np.stack(extra_v1, axis=1), np.stack(extra_v2, axis=1))
+            good = sim.simulate_pair(extra.v1, extra.v2)
+            for idx, fault in enumerate(faults):
+                if not detected[idx] and machine.detects(fault, good).any():
+                    detected[idx] = True
+            selected = selected.concat(extra)
+
+    if selected.n_patterns > max_patterns:
+        selected = selected.select(range(max_patterns))
+    coverage = sum(detected) / n_faults if n_faults else 1.0
+    return AtpgResult(
+        patterns=selected,
+        fault_coverage=coverage,
+        n_target_faults=n_faults,
+        detected=detected,
+        faults=faults,
+    )

@@ -1,0 +1,203 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script::
+
+    repro info                      # library and benchmark-suite overview
+    repro demo                      # end-to-end single-chip diagnosis demo
+    repro tables --scale tiny ...   # regenerate paper tables/figures
+    repro export --benchmark AES    # dump a generated benchmark netlist
+
+The table runner mirrors the pytest benchmark harness but prints straight to
+stdout, which is convenient for quick looks without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+#: Table/figure ids accepted by ``repro tables --only``.
+TABLE_CHOICES = (
+    "table2", "table3", "table5", "table6", "table7", "table8",
+    "table9", "table10", "table11", "fig5", "fig6", "fig10", "three-tier",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GNN-based delay-fault localization for monolithic 3D ICs "
+        "(DATE 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library and benchmark-suite overview")
+
+    demo = sub.add_parser("demo", help="end-to-end single-chip diagnosis demo")
+    demo.add_argument("--gates", type=int, default=400, help="design size")
+    demo.add_argument("--seed", type=int, default=7)
+
+    tables = sub.add_parser("tables", help="regenerate paper tables/figures")
+    tables.add_argument("--scale", choices=("default", "tiny"), default="tiny")
+    tables.add_argument("--samples", type=int, default=20, help="test chips per point")
+    tables.add_argument(
+        "--only",
+        default=None,
+        help=f"comma-separated subset of: {', '.join(TABLE_CHOICES)}",
+    )
+
+    export = sub.add_parser("export", help="dump a generated benchmark netlist")
+    export.add_argument("--benchmark", choices=("AES", "Tate", "netcard", "leon3mp"),
+                        default="AES")
+    export.add_argument("--scale", choices=("default", "tiny"), default="default")
+    export.add_argument("--format", choices=("verilog", "bench"), default="verilog")
+    export.add_argument("--output", default="-", help="file path or - for stdout")
+    return parser
+
+
+def _cmd_info() -> int:
+    import repro
+    from repro.experiments.benchmarks import BENCHMARKS
+
+    print(f"repro {repro.__version__} — reproduction of Hung et al., DATE 2022")
+    print("\nscaled benchmark suite (Syn-1 generation parameters):")
+    print(f"{'design':10s} {'scale':8s} {'gates':>6s} {'flops':>6s} {'chains':>7s} {'maxpat':>7s}")
+    for scale, suite in BENCHMARKS.items():
+        for name, spec in suite.items():
+            g = spec.generator
+            print(
+                f"{name:10s} {scale:8s} {g.n_gates:6d} {g.n_flops:6d} "
+                f"{spec.n_chains:7d} {spec.max_patterns:7d}"
+            )
+    print("\nrun `repro tables --scale tiny` for a quick table sweep,")
+    print("or `pytest benchmarks/ --benchmark-only` for the full harness.")
+    return 0
+
+
+def _cmd_demo(gates: int, seed: int) -> int:
+    from repro import (
+        DesignConfig,
+        EffectCauseDiagnoser,
+        GeneratorSpec,
+        M3DDiagnosisFramework,
+        build_dataset,
+        first_hit_index,
+        prepare_design,
+        report_is_accurate,
+    )
+
+    t0 = time.perf_counter()
+    spec = GeneratorSpec("demo", "aes_like", gates, max(16, gates // 8), 16, 16, seed=seed)
+    design = prepare_design(spec, DesignConfig.standard("Syn-1"), n_chains=4,
+                            chains_per_channel=2, max_patterns=128)
+    print(f"prepared {design.nl} with {len(design.mivs)} MIVs "
+          f"({time.perf_counter() - t0:.1f}s)")
+    train = build_dataset(design, "bypass", 120, seed=0)
+    chip = build_dataset(design, "bypass", 1, seed=999).items[0]
+    print(f"injected {chip.faults[0].label}; "
+          f"{len(chip.sample.log)} failing responses")
+
+    diag = EffectCauseDiagnoser(design.nl, design.obsmap("bypass"), design.patterns,
+                                mivs=design.mivs, sim=design.sim)
+    report = diag.diagnose(chip.sample.log)
+    fw = M3DDiagnosisFramework(epochs=20, seed=0)
+    fw.fit([train])
+    result = fw.diagnose(design, "bypass", chip.sample.log, report, graph=chip.graph)
+    print(f"ATPG report: {report.resolution} candidates; after policy "
+          f"({result.action}): {result.report.resolution}")
+    print(f"accurate={report_is_accurate(result.report, chip.faults)} "
+          f"first-hit={first_hit_index(result.report, chip.faults)} "
+          f"predicted tier={result.predicted_tier} (p={result.confidence:.2f})")
+    return 0
+
+
+def _cmd_tables(scale: str, samples: int, only: Optional[str]) -> int:
+    from repro import experiments as ex
+    from repro.experiments.three_tier import format_three_tier, three_tier_study
+
+    wanted = set(only.split(",")) if only else set(TABLE_CHOICES)
+    unknown = wanted - set(TABLE_CHOICES)
+    if unknown:
+        print(f"unknown table ids: {sorted(unknown)}", file=sys.stderr)
+        return 2
+
+    def run(tid: str, fn) -> None:
+        if tid not in wanted:
+            return
+        t0 = time.perf_counter()
+        print(f"\n================ {tid} ================")
+        print(fn())
+        print(f"[{tid}: {time.perf_counter() - t0:.1f}s]")
+
+    run("table3", lambda: ex.format_design_matrix(ex.design_matrix(scale=scale)))
+    run("table5", lambda: ex.format_quality(
+        ex.atpg_quality("bypass", n_samples=samples, scale=scale),
+        "Table V: ATPG report quality (bypass)"))
+    run("table6", lambda: ex.format_effectiveness(
+        ex.effectiveness("bypass", n_samples=samples, scale=scale),
+        "Table VI: effectiveness (bypass)"))
+    run("table7", lambda: ex.format_quality(
+        ex.atpg_quality("compacted", n_samples=samples, scale=scale),
+        "Table VII: ATPG report quality (compacted)"))
+    run("table8", lambda: ex.format_effectiveness(
+        ex.effectiveness("compacted", n_samples=samples, scale=scale),
+        "Table VIII: effectiveness (compacted)"))
+    run("table9", lambda: ex.format_runtime(
+        ex.runtime_table(n_samples=samples, scale=scale)))
+    run("fig10", lambda: ex.format_pfa_savings(
+        ex.pfa_savings(ex.runtime_table(n_samples=samples, scale=scale))))
+    run("table10", lambda: ex.format_multifault(
+        ex.multifault_study(n_test=samples, scale=scale)))
+    run("table11", lambda: ex.format_standalone(
+        ex.standalone_models(n_samples=samples, scale=scale)))
+    run("table2", lambda: ex.format_significance(
+        ex.feature_significance(n_samples=samples, scale=scale)))
+    run("fig5", lambda: ex.format_pca_study(
+        ex.pca_study(n_samples=samples, scale=scale)))
+    run("fig6", lambda: ex.format_transferability(
+        ex.transferability_study(n_samples=samples, scale=scale), "Tate"))
+    run("three-tier", lambda: format_three_tier(
+        three_tier_study(n_test=samples, n_train=max(120, samples * 3), scale=scale)))
+    return 0
+
+
+def _cmd_export(benchmark_name: str, scale: str, fmt: str, output: str) -> int:
+    from repro.experiments.benchmarks import benchmark
+    from repro.netlist import dumps, dumps_bench, generate
+    from repro.synth import resynthesize
+
+    nl = generate(benchmark(benchmark_name, scale).generator)
+    if fmt == "verilog":
+        text = dumps(nl)
+    else:
+        # .bench cannot express MUX/AOI/OAI: flatten first.
+        text = dumps_bench(resynthesize(nl, seed=0, rewrite_probability=1.0))
+    if output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "demo":
+        return _cmd_demo(args.gates, args.seed)
+    if args.command == "tables":
+        return _cmd_tables(args.scale, args.samples, args.only)
+    if args.command == "export":
+        return _cmd_export(args.benchmark, args.scale, args.format, args.output)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""The paper's contribution: heterogeneous graphs, back-tracing, GNN models,
+PR-threshold selection, pruning/reordering policy, end-to-end framework."""
+
+from .hetgraph import HetGraph, NodeKind
+from .backtrace import backtrace
+from .features import FEATURE_NAMES, N_FEATURES, FeatureExtractor, StandardScaler, graph_feature_vector
+from .tier_predictor import TierPredictor
+from .miv_pinpointer import MivPinpointer
+from .classifier import PruneReorderClassifier
+from .pr_curve import PRPoint, precision_recall_curve, select_threshold
+from .oversample import insert_dummy_buffer, oversample_minority
+from .augment import augmentation_configs, build_training_sets, collect_graphs
+from .policy import PolicyResult, PruneReorderPolicy
+from .pipeline import BackupDictionary, M3DDiagnosisFramework
+from .io import load_framework, save_framework
+from .training import train_graph_classifier, train_node_classifier
+
+__all__ = [
+    "HetGraph",
+    "NodeKind",
+    "backtrace",
+    "FEATURE_NAMES",
+    "N_FEATURES",
+    "FeatureExtractor",
+    "StandardScaler",
+    "graph_feature_vector",
+    "TierPredictor",
+    "MivPinpointer",
+    "PruneReorderClassifier",
+    "PRPoint",
+    "precision_recall_curve",
+    "select_threshold",
+    "insert_dummy_buffer",
+    "oversample_minority",
+    "augmentation_configs",
+    "build_training_sets",
+    "collect_graphs",
+    "PolicyResult",
+    "PruneReorderPolicy",
+    "BackupDictionary",
+    "load_framework",
+    "save_framework",
+    "M3DDiagnosisFramework",
+    "train_graph_classifier",
+    "train_node_classifier",
+]

@@ -1,0 +1,80 @@
+"""Back-tracing (paper Section III-B, Fig. 3).
+
+For every erroneous tester response, collect the nodes that (a) lie in the
+fan-in cone of a Topnode connected to the failing test output and (b) switch
+under the failing pattern; the intersection of these suspect sets across all
+erroneous responses is the candidate list, extracted as a circuit-level
+sub-graph for the GNN models.
+
+The top level of the heterogeneous graph (precomputed cone masks) makes each
+response an O(n) boolean operation, realizing the paper's O(n_e * n_G)
+complexity.
+
+One robustness extension over the paper's pseudo-code: when the strict
+intersection is empty (multi-fault chips, compactor aliasing), the trace
+falls back to the nodes explaining the largest number of responses, so the
+GNN models still receive a meaningful sub-graph.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..dft.observation import ObservationMap
+from ..tester.failure_log import FailureLog
+from .hetgraph import HetGraph
+
+__all__ = ["backtrace"]
+
+
+def backtrace(
+    het: HetGraph,
+    obsmap: ObservationMap,
+    log: FailureLog,
+    fallback_fraction: float = 0.999,
+) -> np.ndarray:
+    """Candidate node mask for one failure log (Fig. 3).
+
+    Args:
+        het: The design's heterogeneous graph.
+        obsmap: Observation map the log was recorded under; a failing
+            compacted observation maps to all Topnodes XOR-ed into it.
+        log: The failure log under diagnosis.
+        fallback_fraction: When the strict intersection is empty, keep nodes
+            whose support reaches this fraction of the maximum support.
+
+    Returns:
+        Boolean mask over circuit-level nodes (the sub-graph membership V').
+    """
+    n_nodes = het.n_nodes
+    if not log.entries:
+        return np.zeros(n_nodes, dtype=bool)
+
+    candidate = np.ones(n_nodes, dtype=bool)
+    support = np.zeros(n_nodes, dtype=np.int32)
+    n_responses = 0
+    for entry in log.entries:
+        tops = [
+            het.topnode_of_net[net]
+            for net in obsmap.observations[entry.observation].nets
+            if net in het.topnode_of_net
+        ]
+        if not tops:
+            continue
+        n_responses += 1
+        suspect = het.cone_mask[tops[0]].copy()
+        for t in tops[1:]:
+            suspect |= het.cone_mask[t]
+        suspect &= het.node_transitions(entry.pattern)
+        candidate &= suspect
+        support += suspect
+
+    if candidate.any() or n_responses == 0:
+        return candidate
+    best = int(support.max())
+    if best == 0:
+        return candidate
+    threshold = max(1, int(np.ceil(fallback_fraction * best)))
+    return support >= threshold

@@ -1,0 +1,127 @@
+"""Prune/reorder Classifier (paper Section V-C).
+
+A GCN graph classifier that decides, for samples where the Tier-predictor is
+confident (*Predicted Positive*), whether the tier prediction can be trusted
+enough to *prune* the fault-free tier from the report (True Positive) or
+whether the report should only be *reordered* (False Positive).
+
+Network-based deep transfer learning: the model reuses the Tier-predictor's
+pre-trained GCN layers frozen, with fresh trainable classification layers
+and pooling on top.  The heavily imbalanced TP:FP training set (≈ 90:1 in
+the paper) is balanced with dummy-buffer oversampling.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.data import GraphData, build_batch
+from ..nn.model import GraphClassifier
+from .features import StandardScaler
+from .oversample import oversample_minority
+from .tier_predictor import TierPredictor
+from .training import train_graph_classifier
+
+__all__ = ["PruneReorderClassifier"]
+
+#: Class ids of the prune/reorder decision.
+REORDER, PRUNE = 0, 1
+
+
+class PruneReorderClassifier:
+    """Transfer-learned prune-vs-reorder decision model.
+
+    Args:
+        tier_predictor: Trained Tier-predictor to transfer the encoder from.
+        head_hidden: Widths of the trainable classification layers.
+        epochs / batch_size / lr: Training hyperparameters.
+        oversample_seed: Dummy-buffer oversampling seed.
+        seed: Head weight-init seed.
+    """
+
+    def __init__(
+        self,
+        tier_predictor: TierPredictor,
+        head_hidden: Sequence[int] = (16,),
+        epochs: int = 30,
+        batch_size: int = 32,
+        lr: float = 5e-3,
+        oversample_seed: int = 0,
+        seed: int = 0,
+    ) -> None:
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.oversample_seed = oversample_seed
+        self.seed = seed
+        # Share the Tier-predictor's input normalization and freeze a deep
+        # copy of its encoder (training the Classifier must not disturb the
+        # Tier-predictor).
+        self.scaler: StandardScaler = tier_predictor.scaler
+        encoder = copy.deepcopy(tier_predictor.model.encoder)
+        self.model = GraphClassifier(
+            n_features=0,  # unused when an encoder is supplied
+            n_classes=2,
+            encoder=encoder,
+            freeze_encoder=True,
+            head_hidden=tuple(head_hidden),
+            seed=seed,
+        )
+        self._fitted = False
+
+    def fit(
+        self,
+        true_positive: Sequence[GraphData],
+        false_positive: Sequence[GraphData],
+    ) -> List[float]:
+        """Train on Predicted Positive sub-graphs split by tier correctness.
+
+        Args:
+            true_positive: Sub-graphs where the confident tier prediction was
+                correct (label: PRUNE).
+            false_positive: Sub-graphs where it was wrong (label: REORDER);
+                oversampled with dummy buffers to balance.
+        """
+        if not true_positive:
+            raise ValueError("no True Positive graphs to train on")
+        minority = oversample_minority(
+            list(true_positive), list(false_positive), seed=self.oversample_seed
+        )
+        graphs: List[GraphData] = []
+        for g in true_positive:
+            graphs.append(self._relabel(g, PRUNE))
+        for g in minority:
+            graphs.append(self._relabel(g, REORDER))
+        normed = self.scaler.transform(graphs)
+        history = train_graph_classifier(
+            self.model,
+            normed,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            lr=self.lr,
+            seed=self.seed,
+        )
+        self._fitted = True
+        return history
+
+    @staticmethod
+    def _relabel(g: GraphData, label: int) -> GraphData:
+        return GraphData(
+            x=g.x, edges=g.edges, y=label, node_y=g.node_y, node_mask=g.node_mask, meta=g.meta
+        )
+
+    def prune_probability(self, graphs: Sequence[GraphData]) -> np.ndarray:
+        """Probability that pruning is safe, per sub-graph."""
+        if not self._fitted:
+            raise RuntimeError("Classifier is not fitted")
+        if not graphs:
+            return np.zeros(0)
+        batch = build_batch(self.scaler.transform(list(graphs)))
+        return self.model.predict_proba(batch)[:, PRUNE]
+
+    def should_prune(self, graph: GraphData, threshold: float = 0.5) -> bool:
+        """The policy's prune-vs-reorder decision for one sample."""
+        return bool(self.prune_probability([graph])[0] > threshold)

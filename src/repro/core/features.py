@@ -1,0 +1,190 @@
+"""Sub-graph node features (paper Table II) and extraction to GNN inputs.
+
+Thirteen features per node — seven global circuit-level descriptors, two
+sub-graph-local degrees, and four statistics over the node's Topedges that
+fold the top level of the heterogeneous graph into numerical features:
+
+====  =================================================  =========
+idx   description                                        type
+====  =================================================  =========
+0     number of fan-in edges in the circuit              numerical
+1     number of fan-out edges in the circuit             numerical
+2     number of Topedges connected                       numerical
+3     tier-level location                                binary
+4     level in topological order                         numerical
+5     whether it is a gate output                        binary
+6     whether it connects to an MIV                      binary
+7     number of fan-in edges in the sub-graph            numerical
+8     number of fan-out edges in the sub-graph           numerical
+9     mean length of Topedges connected                  numerical
+10    std of length of Topedges connected                numerical
+11    mean number of MIVs passed through by Topedges     numerical
+12    std of number of MIVs passed through by Topedges   numerical
+====  =================================================  =========
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..nn.data import GraphData
+from .hetgraph import HetGraph
+
+__all__ = ["FEATURE_NAMES", "FeatureExtractor", "StandardScaler", "graph_feature_vector"]
+
+FEATURE_NAMES = (
+    "n_fanin_circuit",
+    "n_fanout_circuit",
+    "n_topedges",
+    "tier_location",
+    "topo_level",
+    "is_gate_output",
+    "connects_miv",
+    "n_fanin_subgraph",
+    "n_fanout_subgraph",
+    "mean_topedge_length",
+    "std_topedge_length",
+    "mean_topedge_mivs",
+    "std_topedge_mivs",
+)
+
+N_FEATURES = len(FEATURE_NAMES)
+
+
+def _masked_stats(values: np.ndarray, mask: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Column-wise mean/std of ``values`` over rows where ``mask`` is True."""
+    counts = mask.sum(axis=0).astype(float)
+    safe = np.maximum(counts, 1.0)
+    v = np.where(mask, values, 0.0)
+    mean = v.sum(axis=0) / safe
+    var = (np.where(mask, (values - mean[None, :]) ** 2, 0.0)).sum(axis=0) / safe
+    mean[counts == 0] = 0.0
+    var[counts == 0] = 0.0
+    return mean, np.sqrt(var)
+
+
+class FeatureExtractor:
+    """Builds Table II feature matrices and GNN sub-graphs for one design."""
+
+    def __init__(self, het: HetGraph) -> None:
+        self.het = het
+        n = het.n_nodes
+        src, dst = het.edges
+        fanin = np.bincount(dst, minlength=n).astype(float)
+        fanout = np.bincount(src, minlength=n).astype(float)
+        ntop = het.cone_mask.sum(axis=0).astype(float)
+        d_mean, d_std = _masked_stats(het.topedge_dist.astype(float), het.cone_mask)
+        m_mean, m_std = _masked_stats(het.topedge_miv.astype(float), het.cone_mask)
+        max_level = float(het.level.max()) or 1.0
+        self.global_features = np.stack(
+            [
+                fanin,
+                fanout,
+                ntop,
+                het.tier.astype(float),
+                het.level / max_level,
+                het.is_output.astype(float),
+                het.connects_miv.astype(float),
+            ],
+            axis=1,
+        )
+        self.topedge_stats = np.stack([d_mean, d_std, m_mean, m_std], axis=1)
+
+    def subgraph(
+        self,
+        mask: np.ndarray,
+        y: int = -1,
+        node_y: Optional[np.ndarray] = None,
+        meta: Optional[dict] = None,
+    ) -> GraphData:
+        """Extract the induced sub-graph for a back-trace candidate mask.
+
+        Args:
+            mask: Boolean node-membership mask from
+                :func:`repro.core.backtrace.backtrace`.
+            y: Graph-level label (faulty tier) or -1.
+            node_y: Optional labels over the *original* node index space
+                (e.g. 1 for the faulty MIV node); sliced down to the
+                sub-graph here.
+            meta: Extra payload stored on the GraphData (merged with the
+                node index map).
+
+        Returns:
+            GraphData with the 13-column feature matrix, induced edges, and
+            ``meta['nodes']`` mapping sub-graph rows back to HetGraph nodes.
+        """
+        nodes = np.nonzero(mask)[0]
+        if len(nodes) == 0:
+            raise ValueError("empty sub-graph: back-trace produced no candidates")
+        pos = np.full(self.het.n_nodes, -1, dtype=np.int64)
+        pos[nodes] = np.arange(len(nodes))
+        src, dst = self.het.edges
+        keep = mask[src] & mask[dst]
+        sub_src = pos[src[keep]]
+        sub_dst = pos[dst[keep]]
+
+        sub_fanin = np.bincount(sub_dst, minlength=len(nodes)).astype(float)
+        sub_fanout = np.bincount(sub_src, minlength=len(nodes)).astype(float)
+        x = np.concatenate(
+            [
+                self.global_features[nodes],
+                np.stack([sub_fanin, sub_fanout], axis=1),
+                self.topedge_stats[nodes],
+            ],
+            axis=1,
+        )
+        full_meta = {"nodes": nodes}
+        if meta:
+            full_meta.update(meta)
+        return GraphData(
+            x=x,
+            edges=(sub_src, sub_dst),
+            y=y,
+            node_y=None if node_y is None else np.asarray(node_y, dtype=float)[nodes],
+            node_mask=(self.het.kind[nodes] == 2),  # MIV nodes
+            meta=full_meta,
+        )
+
+
+class StandardScaler:
+    """Per-feature z-normalization fitted on training sub-graphs."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, graphs) -> "StandardScaler":
+        stacked = np.concatenate([g.x for g in graphs], axis=0)
+        self.mean_ = stacked.mean(axis=0)
+        std = stacked.std(axis=0)
+        std[std == 0] = 1.0
+        self.std_ = std
+        return self
+
+    def transform(self, graphs) -> list:
+        """Return new GraphData objects with normalized features."""
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        out = []
+        for g in graphs:
+            out.append(
+                GraphData(
+                    x=(g.x - self.mean_) / self.std_,
+                    edges=g.edges,
+                    y=g.y,
+                    node_y=g.node_y,
+                    node_mask=g.node_mask,
+                    meta=g.meta,
+                )
+            )
+        return out
+
+    def fit_transform(self, graphs) -> list:
+        return self.fit(graphs).transform(graphs)
+
+
+def graph_feature_vector(graph: GraphData) -> np.ndarray:
+    """Mean node-feature vector of a sub-graph (the Fig. 5 PCA input)."""
+    return graph.x.mean(axis=0)

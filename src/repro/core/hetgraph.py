@@ -1,0 +1,299 @@
+"""Heterogeneous graph construction (paper Section III-A, Table I).
+
+Circuit level: one node per fault site — every gate pin (stem nodes for
+driver/output pins, branch nodes for input pins) plus one node per MIV.
+Edges are input-pin→output-pin (inside gates) and stem→branch (along nets),
+routed stem→MIV→branch when the sink sits on the other tier.
+
+Top level: one *Topnode* per observation point (scan-flop D input or primary
+output), with a *Topedge* to every circuit node in its fan-in cone carrying
+two features — the shortest distance between the ends (``D_top``) and the
+number of MIVs along that shortest path (``N_MIV``).  As in the paper, the
+top level exists to accelerate back-tracing and is folded into numerical
+node features (see :mod:`repro.core.features`); the sub-graphs handed to the
+GNNs are circuit-level only.
+
+Construction cost is O(|V| + |E|) per Topnode BFS and is paid once per
+design; every failure log reuses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..atpg.faults import FaultSite
+from ..m3d.miv import MIV, miv_net_set
+from ..netlist.netlist import EXTERNAL_DRIVER, Netlist
+from ..netlist.topology import bfs_distance_from_observation
+
+__all__ = ["NodeKind", "HetGraph"]
+
+
+class NodeKind:
+    """Circuit-level node type codes."""
+
+    STEM = 0
+    BRANCH = 1
+    MIV = 2
+
+
+@dataclass
+class HetGraph:
+    """The built heterogeneous graph of one prepared design.
+
+    Node arrays are aligned: index ``v`` describes one circuit-level node.
+
+    Attributes:
+        nl: The underlying design.
+        kind / net / gate / pin / miv_id: Node identity columns.
+        tier: Node tier (0/1; 0.5 for MIV nodes which span tiers).
+        level: Topological level of the node's net.
+        is_output: Whether the node is a gate output pin.
+        connects_miv: Whether the node touches an MIV.
+        edges: Circuit-level directed edge arrays (src, dst).
+        topnode_nets: Observation net per Topnode.
+        cone_mask: (n_topnodes, n_nodes) fan-in cone membership.
+        topedge_dist / topedge_miv: Topedge features (-1 outside the cone).
+        transitions: (n_nets, n_patterns) per-net transition mask used to
+            memorize which nodes switch under each TDF pattern.
+    """
+
+    nl: Netlist
+    kind: np.ndarray
+    net: np.ndarray
+    gate: np.ndarray
+    pin: np.ndarray
+    miv_id: np.ndarray
+    tier: np.ndarray
+    level: np.ndarray
+    is_output: np.ndarray
+    connects_miv: np.ndarray
+    edges: Tuple[np.ndarray, np.ndarray]
+    topnode_nets: List[int]
+    cone_mask: np.ndarray
+    topedge_dist: np.ndarray
+    topedge_miv: np.ndarray
+    transitions: np.ndarray
+    stem_of_net: np.ndarray
+    branch_index: Dict[Tuple[int, int], int]
+    miv_index: Dict[int, int]
+    topnode_of_net: Dict[int, int]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.kind)
+
+    @property
+    def n_topnodes(self) -> int:
+        return len(self.topnode_nets)
+
+    def node_transitions(self, pattern: int) -> np.ndarray:
+        """Per-node transition mask under one pattern."""
+        return self.transitions[self.net, pattern]
+
+    def node_of_site(self, site: FaultSite) -> Optional[int]:
+        """Circuit-level node corresponding to a fault site."""
+        if site.kind == "stem":
+            v = int(self.stem_of_net[site.net])
+            return v if v >= 0 else None
+        if site.kind == "branch":
+            return self.branch_index.get(site.sinks[0])
+        return self.miv_index.get(site.miv_id)
+
+    def site_of_node(self, v: int) -> Tuple[str, int, Tuple[Tuple[int, int], ...]]:
+        """(kind name, net, sinks) identity triple of a node."""
+        k = int(self.kind[v])
+        if k == NodeKind.STEM:
+            return ("stem", int(self.net[v]), tuple(self.nl.nets[int(self.net[v])].sinks))
+        if k == NodeKind.BRANCH:
+            return ("branch", int(self.net[v]), ((int(self.gate[v]), int(self.pin[v])),))
+        return ("miv", int(self.net[v]), ())
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def build(
+        cls,
+        nl: Netlist,
+        mivs: Sequence[MIV],
+        transitions: np.ndarray,
+    ) -> "HetGraph":
+        """Construct the heterogeneous graph for a tier-assigned design.
+
+        Args:
+            nl: The design.
+            mivs: Its MIVs (from :func:`repro.m3d.extract_mivs`).
+            transitions: (n_nets, n_patterns) transition matrix from the
+                good-machine simulation of the TDF pattern set.
+        """
+        n_nets = nl.n_nets
+        levels = np.asarray(nl.net_levels(), dtype=np.int32)
+        miv_nets = miv_net_set(mivs)
+        miv_by_net: Dict[int, MIV] = {m.net: m for m in mivs}
+        far_pins = {
+            (g, p): m.id for m in mivs for (g, p) in m.far_sinks
+        }
+
+        kind: List[int] = []
+        net: List[int] = []
+        gate: List[int] = []
+        pin: List[int] = []
+        miv_id: List[int] = []
+        tier: List[float] = []
+        is_output: List[bool] = []
+        connects: List[bool] = []
+
+        stem_of_net = np.full(n_nets, -1, dtype=np.int64)
+        branch_index: Dict[Tuple[int, int], int] = {}
+        miv_index: Dict[int, int] = {}
+
+        def add_node(k: int, n: int, g: int, p: int, m: int, t: float, out: bool, cm: bool) -> int:
+            v = len(kind)
+            kind.append(k)
+            net.append(n)
+            gate.append(g)
+            pin.append(p)
+            miv_id.append(m)
+            tier.append(t)
+            is_output.append(out)
+            connects.append(cm)
+            return v
+
+        for n in nl.nets:
+            driven = n.driver != EXTERNAL_DRIVER
+            t = nl.net_tier(n.id)
+            stem_of_net[n.id] = add_node(
+                NodeKind.STEM, n.id, n.driver, -1, -1, float(t), driven, n.id in miv_nets
+            )
+        for g in nl.gates:
+            for p, nid in enumerate(g.fanin):
+                via_miv = (g.id, p) in far_pins
+                branch_index[(g.id, p)] = add_node(
+                    NodeKind.BRANCH, nid, g.id, p, -1, float(g.tier), False, via_miv
+                )
+        for m in mivs:
+            miv_index[m.id] = add_node(
+                NodeKind.MIV, m.net, -1, -1, m.id, 0.5, False, True
+            )
+
+        src: List[int] = []
+        dst: List[int] = []
+        for g in nl.gates:
+            out_stem = int(stem_of_net[g.out])
+            for p, nid in enumerate(g.fanin):
+                b = branch_index[(g.id, p)]
+                mid = far_pins.get((g.id, p))
+                if mid is None:
+                    src.append(int(stem_of_net[nid]))
+                    dst.append(b)
+                else:
+                    mv = miv_index[mid]
+                    src.append(int(stem_of_net[nid]))
+                    dst.append(mv)
+                    src.append(mv)
+                    dst.append(b)
+                src.append(b)
+                dst.append(out_stem)
+        # MIVs that only feed a far-tier observation still hang off the stem.
+        for m in mivs:
+            if not m.far_sinks:
+                src.append(int(stem_of_net[m.net]))
+                dst.append(miv_index[m.id])
+
+        edges = (np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64))
+        # Deduplicate stem→MIV multi-edges.
+        pairs = np.stack(edges, axis=1)
+        pairs = np.unique(pairs, axis=0)
+        edges = (pairs[:, 0], pairs[:, 1])
+
+        node_net = np.asarray(net, dtype=np.int64)
+        node_level = levels[node_net]
+
+        # ------------------------------------------------- top-level graph
+        topnode_nets = list(nl.observed_nets)
+        topnode_of_net = {n: i for i, n in enumerate(topnode_nets)}
+        n_nodes = len(kind)
+        n_top = len(topnode_nets)
+        cone_mask = np.zeros((n_top, n_nodes), dtype=bool)
+        topedge_dist = np.full((n_top, n_nodes), -1, dtype=np.int32)
+        topedge_miv = np.full((n_top, n_nodes), -1, dtype=np.int32)
+
+        kind_arr = np.asarray(kind, dtype=np.int8)
+        gate_arr = np.asarray(gate, dtype=np.int64)
+
+        gate_out = np.asarray(
+            [g.out for g in nl.gates] + [0], dtype=np.int64
+        )  # sentinel for -1
+
+        for t_idx, obs_net in enumerate(topnode_nets):
+            dist_net, miv_cnt = bfs_distance_from_observation(nl, obs_net, miv_nets)
+            dist_arr = np.full(n_nets, -1, dtype=np.int32)
+            miv_arr = np.full(n_nets, -1, dtype=np.int32)
+            for k, v in dist_net.items():
+                dist_arr[k] = v
+            for k, v in miv_cnt.items():
+                miv_arr[k] = v
+
+            # Stems: direct net-level values.
+            stems = kind_arr == NodeKind.STEM
+            nd = dist_arr[node_net]
+            nm = miv_arr[node_net]
+            sel = stems & (nd >= 0)
+            cone_mask[t_idx, sel] = True
+            topedge_dist[t_idx, sel] = nd[sel]
+            topedge_miv[t_idx, sel] = nm[sel]
+
+            # Branches: reach the observation through their gate's output.
+            branches = kind_arr == NodeKind.BRANCH
+            b_out = gate_out[np.where(branches, gate_arr, -1)]
+            bd = dist_arr[b_out]
+            bm = miv_arr[b_out]
+            sel = branches & (bd >= 0)
+            cone_mask[t_idx, sel] = True
+            topedge_dist[t_idx, sel] = bd[sel] + 1
+            # A branch fed through an MIV adds one more crossing on its path.
+            topedge_miv[t_idx, sel] = bm[sel] + np.asarray(connects)[sel]
+
+            # MIV nodes: through any far sink's gate, or the observation itself.
+            for m in mivs:
+                v = miv_index[m.id]
+                best_d = None
+                best_m = None
+                for (gid, _p) in m.far_sinks:
+                    out = nl.gates[gid].out
+                    if dist_arr[out] >= 0:
+                        d = int(dist_arr[out]) + 1
+                        mc = int(miv_arr[out]) + 1
+                        if best_d is None or d < best_d:
+                            best_d, best_m = d, mc
+                if m.observed_faulty and obs_net == m.net:
+                    best_d, best_m = 0, 1
+                if best_d is not None:
+                    cone_mask[t_idx, v] = True
+                    topedge_dist[t_idx, v] = best_d
+                    topedge_miv[t_idx, v] = best_m
+
+        return cls(
+            nl=nl,
+            kind=kind_arr,
+            net=node_net,
+            gate=gate_arr,
+            pin=np.asarray(pin, dtype=np.int32),
+            miv_id=np.asarray(miv_id, dtype=np.int64),
+            tier=np.asarray(tier, dtype=np.float64),
+            level=node_level.astype(np.float64),
+            is_output=np.asarray(is_output, dtype=bool),
+            connects_miv=np.asarray(connects, dtype=bool),
+            edges=edges,
+            topnode_nets=topnode_nets,
+            cone_mask=cone_mask,
+            topedge_dist=topedge_dist,
+            topedge_miv=topedge_miv,
+            transitions=np.asarray(transitions, dtype=bool),
+            stem_of_net=stem_of_net,
+            branch_index=branch_index,
+            miv_index=miv_index,
+            topnode_of_net=topnode_of_net,
+        )

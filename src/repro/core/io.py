@@ -1,0 +1,120 @@
+"""Serialization of trained frameworks.
+
+Saves/loads the three GNN models, their input scalers, and the PR threshold
+``Tp`` in a single ``.npz`` archive, so a framework trained once can be
+deployed on new failure logs (or new design configurations — the whole point
+of transferability) without retraining.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from .classifier import PruneReorderClassifier
+from .miv_pinpointer import MivPinpointer
+from .pipeline import M3DDiagnosisFramework
+from .tier_predictor import TierPredictor
+
+__all__ = ["save_framework", "load_framework"]
+
+_FORMAT_VERSION = 1
+
+
+def _pack(prefix: str, arrays: Dict[str, np.ndarray], state: List[np.ndarray]) -> None:
+    for i, a in enumerate(state):
+        arrays[f"{prefix}_p{i}"] = a
+
+
+def _unpack(prefix: str, data) -> List[np.ndarray]:
+    out: List[np.ndarray] = []
+    i = 0
+    while f"{prefix}_p{i}" in data:
+        out.append(data[f"{prefix}_p{i}"])
+        i += 1
+    return out
+
+
+def save_framework(fw: M3DDiagnosisFramework, path: Union[str, Path]) -> None:
+    """Serialize a fitted framework to ``path`` (``.npz``).
+
+    Raises:
+        RuntimeError: if the framework has not been fitted.
+    """
+    if not fw._fitted:
+        raise RuntimeError("cannot save an unfitted framework")
+    arrays: Dict[str, np.ndarray] = {}
+    meta = {
+        "version": _FORMAT_VERSION,
+        "tp_threshold": fw.tp_threshold,
+        "min_precision": fw.min_precision,
+        "hidden": list(fw.hidden),
+        "epochs": fw.epochs,
+        "seed": fw.seed,
+        "n_tiers": fw.tier_predictor.n_tiers,
+        "has_miv": fw.miv_pinpointer is not None,
+        "has_classifier": fw.classifier is not None,
+        "miv_threshold": fw.miv_pinpointer.threshold if fw.miv_pinpointer else 0.5,
+    }
+    _pack("tier", arrays, fw.tier_predictor.model.state_dict())
+    arrays["tier_scaler_mean"] = fw.tier_predictor.scaler.mean_
+    arrays["tier_scaler_std"] = fw.tier_predictor.scaler.std_
+    if fw.miv_pinpointer is not None:
+        _pack("miv", arrays, fw.miv_pinpointer.model.state_dict())
+        arrays["miv_scaler_mean"] = fw.miv_pinpointer.scaler.mean_
+        arrays["miv_scaler_std"] = fw.miv_pinpointer.scaler.std_
+    if fw.classifier is not None:
+        _pack("clf", arrays, fw.classifier.model.state_dict())
+    arrays["meta_json"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_framework(path: Union[str, Path]) -> M3DDiagnosisFramework:
+    """Load a framework saved by :func:`save_framework`.
+
+    The returned framework is ready for :meth:`policy_for`/:meth:`diagnose`.
+    """
+    data = np.load(Path(path))
+    meta = json.loads(bytes(data["meta_json"]).decode())
+    if meta["version"] != _FORMAT_VERSION:
+        raise ValueError(f"unsupported framework format version {meta['version']}")
+
+    fw = M3DDiagnosisFramework(
+        min_precision=meta["min_precision"],
+        hidden=tuple(meta["hidden"]),
+        epochs=meta["epochs"],
+        seed=meta["seed"],
+        use_miv_pinpointer=meta["has_miv"],
+        use_classifier=meta["has_classifier"],
+        n_tiers=meta["n_tiers"],
+    )
+    fw.tp_threshold = float(meta["tp_threshold"])
+
+    fw.tier_predictor = TierPredictor(
+        n_tiers=meta["n_tiers"], hidden=tuple(meta["hidden"]), seed=meta["seed"]
+    )
+    fw.tier_predictor.model.load_state_dict(_unpack("tier", data))
+    fw.tier_predictor.scaler.mean_ = data["tier_scaler_mean"]
+    fw.tier_predictor.scaler.std_ = data["tier_scaler_std"]
+    fw.tier_predictor._fitted = True
+
+    if meta["has_miv"]:
+        fw.miv_pinpointer = MivPinpointer(hidden=tuple(meta["hidden"]), seed=meta["seed"] + 1)
+        fw.miv_pinpointer.model.load_state_dict(_unpack("miv", data))
+        fw.miv_pinpointer.scaler.mean_ = data["miv_scaler_mean"]
+        fw.miv_pinpointer.scaler.std_ = data["miv_scaler_std"]
+        fw.miv_pinpointer.threshold = float(meta["miv_threshold"])
+        fw.miv_pinpointer._fitted = True
+    else:
+        fw.miv_pinpointer = None
+
+    if meta["has_classifier"]:
+        clf = PruneReorderClassifier(fw.tier_predictor, seed=meta["seed"] + 2)
+        clf.model.load_state_dict(_unpack("clf", data))
+        clf._fitted = True
+        fw.classifier = clf
+    fw._fitted = True
+    return fw

@@ -1,0 +1,148 @@
+"""MIV-pinpointer: GCN node classifier flagging defective MIVs.
+
+Node classification rather than graph pooling — the paper notes that local
+information near candidate MIVs matters more than global features for this
+task.  Only MIV nodes carry labels/loss (``node_mask``); a node whose
+defect probability exceeds the decision threshold is reported faulty.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.data import GraphData, build_batch
+from ..nn.model import NodeClassifier
+from .features import N_FEATURES, StandardScaler
+from .training import train_node_classifier
+
+__all__ = ["MivPinpointer"]
+
+
+class MivPinpointer:
+    """Trainable defective-MIV detector.
+
+    Args:
+        hidden: GCN layer widths.
+        threshold: Defect-probability cutoff for reporting an MIV faulty.
+        epochs / batch_size / lr: Training hyperparameters.
+        seed: Weight-init and shuffling seed.
+    """
+
+    def __init__(
+        self,
+        hidden: Sequence[int] = (32, 32),
+        threshold: float = 0.5,
+        epochs: int = 40,
+        batch_size: int = 32,
+        lr: float = 1e-2,
+        weight_decay: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        self.hidden = tuple(hidden)
+        self.threshold = threshold
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.seed = seed
+        self.scaler = StandardScaler()
+        self.model = NodeClassifier(N_FEATURES, hidden=self.hidden, seed=seed)
+        self._fitted = False
+
+    def fit(self, graphs: Sequence[GraphData]) -> List[float]:
+        """Train on sub-graphs whose ``node_y`` marks the faulty MIV node(s)."""
+        usable = [g for g in graphs if g.node_y is not None and g.node_mask is not None]
+        usable = [g for g in usable if g.node_mask.any()]
+        if not usable:
+            raise ValueError("no graphs with MIV nodes to train on")
+        normed = self.scaler.fit_transform(usable)
+        n_pos = sum(float(g.node_y[g.node_mask].sum()) for g in normed)
+        n_all = sum(int(g.node_mask.sum()) for g in normed)
+        pos_weight = max(1.0, (n_all - n_pos) / max(n_pos, 1.0))
+        history = train_node_classifier(
+            self.model,
+            normed,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            lr=self.lr,
+            weight_decay=self.weight_decay,
+            pos_weight=pos_weight,
+            seed=self.seed,
+        )
+        self._fitted = True
+        self._calibrate_threshold(graphs)
+        return history
+
+    def _calibrate_threshold(self, graphs: Sequence[GraphData]) -> None:
+        """Raise the decision threshold until healthy MIVs rarely trip it.
+
+        The class-weighted loss makes raw probabilities trigger-happy; the
+        policy needs high precision (a falsely flagged MIV is protected from
+        pruning and promoted in the report), so the threshold is placed at
+        the 99th percentile of healthy-MIV-node probabilities seen in
+        training, floored at the nominal 0.5.
+        """
+        healthy: List[float] = []
+        for g in graphs:
+            if g.node_mask is None or not g.node_mask.any():
+                continue
+            probs = self.predict_node_proba(g)
+            labels = g.node_y if g.node_y is not None else np.zeros(g.n_nodes)
+            sel = g.node_mask & (labels < 0.5)
+            healthy.extend(probs[sel].tolist())
+        if healthy:
+            self.threshold = float(max(0.5, np.quantile(np.asarray(healthy), 0.99)))
+
+    def predict_node_proba(self, graph: GraphData) -> np.ndarray:
+        """Defect probability per sub-graph node (meaningful on MIV nodes)."""
+        if not self._fitted:
+            raise RuntimeError("MivPinpointer is not fitted")
+        batch = build_batch(self.scaler.transform([graph]))
+        return self.model.predict_proba(batch)
+
+    def predict_faulty_mivs(self, graph: GraphData) -> List[int]:
+        """HetGraph node ids of MIVs predicted faulty in this sub-graph."""
+        probs = self.predict_node_proba(graph)
+        nodes = graph.meta["nodes"] if graph.meta else np.arange(graph.n_nodes)
+        mask = graph.node_mask if graph.node_mask is not None else np.zeros(graph.n_nodes, bool)
+        picks = np.nonzero(mask & (probs > self.threshold))[0]
+        return [int(nodes[i]) for i in picks]
+
+    def sample_accuracy(self, graphs: Sequence[GraphData]) -> float:
+        """Localization accuracy over samples that contain an MIV fault.
+
+        A sample counts as correct when the highest-probability MIV node in
+        its sub-graph is the faulty one (the Fig. 6 metric).  Samples
+        without MIV faults are skipped — see :meth:`specificity` for them.
+        """
+        hits = 0
+        total = 0
+        for g in graphs:
+            if g.node_y is None or g.node_y.sum() == 0:
+                continue
+            mask = g.node_mask if g.node_mask is not None else np.zeros(g.n_nodes, bool)
+            if not mask.any():
+                continue
+            total += 1
+            probs = self.predict_node_proba(g)
+            miv_idx = np.nonzero(mask)[0]
+            top = miv_idx[int(np.argmax(probs[miv_idx]))]
+            hits += int(g.node_y[top] > 0.5)
+        return hits / total if total else 0.0
+
+    def specificity(self, graphs: Sequence[GraphData]) -> float:
+        """Fraction of MIV-fault-free samples with no MIV flagged."""
+        clean = 0
+        total = 0
+        for g in graphs:
+            if g.node_y is not None and g.node_y.sum() > 0:
+                continue
+            mask = g.node_mask if g.node_mask is not None else np.zeros(g.n_nodes, bool)
+            if not mask.any():
+                continue
+            total += 1
+            probs = self.predict_node_proba(g)
+            clean += int((probs[np.nonzero(mask)[0]] <= self.threshold).all())
+        return clean / total if total else 1.0

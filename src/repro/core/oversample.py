@@ -1,0 +1,90 @@
+"""Dummy-buffer graph oversampling (paper Section V-C).
+
+Euclidean oversamplers (SMOTE etc.) cannot be applied to graphs without a
+lossy conversion, so the paper balances the Classifier's training set by
+inserting *dummy buffers*: for a minority-class sample, a buffer node is
+appended at the output of one node at a time, yielding synthetic graphs that
+are functionally identical to the original circuit but structurally distinct.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..nn.data import GraphData
+
+__all__ = ["insert_dummy_buffer", "oversample_minority"]
+
+
+def insert_dummy_buffer(graph: GraphData, node: int) -> GraphData:
+    """A copy of ``graph`` with a buffer appended at ``node``'s output.
+
+    The buffer takes over the node's outgoing edges (``node → buffer → old
+    successors``).  Its feature row is copied from the host node with the
+    degree columns adjusted to a buffer's (one fan-in, inherited fan-out),
+    so the synthetic sample stays on the data manifold.
+    """
+    n = graph.n_nodes
+    if not 0 <= node < n:
+        raise ValueError(f"node {node} out of range for graph with {n} nodes")
+    src, dst = graph.edges
+    src = np.asarray(src).copy()
+    dst = np.asarray(dst).copy()
+    buf = n
+    moved = src == node
+    src[moved] = buf
+    src = np.append(src, node)
+    dst = np.append(dst, buf)
+
+    row = graph.x[node].copy()
+    # Feature columns 0/1 are circuit fan-in/fan-out, 7/8 sub-graph degrees
+    # (see repro.core.features.FEATURE_NAMES); a buffer has exactly one input.
+    if len(row) >= 9:
+        row[0] = 1.0
+        row[7] = 1.0
+    x = np.vstack([graph.x, row[None, :]])
+
+    node_y = None
+    if graph.node_y is not None:
+        node_y = np.append(np.asarray(graph.node_y, dtype=float), 0.0)
+    node_mask = None
+    if graph.node_mask is not None:
+        node_mask = np.append(np.asarray(graph.node_mask, dtype=bool), False)
+    meta = dict(graph.meta) if isinstance(graph.meta, dict) else {"orig_meta": graph.meta}
+    meta["synthetic"] = True
+    return GraphData(x=x, edges=(src, dst), y=graph.y, node_y=node_y, node_mask=node_mask, meta=meta)
+
+
+def oversample_minority(
+    majority: Sequence[GraphData],
+    minority: Sequence[GraphData],
+    seed: int = 0,
+    max_ratio: float = 1.0,
+) -> List[GraphData]:
+    """Balance the minority class with dummy-buffer synthetics.
+
+    For each minority sample, buffers are appended at the output of each
+    node, one at a time (then with consecutive buffers on already-augmented
+    samples) until the minority population reaches ``max_ratio`` times the
+    majority size.
+
+    Returns:
+        The augmented minority list (originals first, synthetics after).
+    """
+    if not minority:
+        return []
+    rng = np.random.default_rng(seed)
+    target = max(len(minority), int(max_ratio * len(majority)))
+    out: List[GraphData] = list(minority)
+    frontier = list(minority)
+    cursor = 0
+    while len(out) < target and frontier:
+        base = frontier[cursor % len(frontier)]
+        node = int(rng.integers(0, base.n_nodes))
+        synth = insert_dummy_buffer(base, node)
+        out.append(synth)
+        frontier.append(synth)  # consecutive buffers on later rounds
+        cursor += 1
+    return out

@@ -1,0 +1,229 @@
+"""End-to-end M3D fault-localization framework (paper Fig. 1).
+
+``M3DDiagnosisFramework.fit`` trains the three GNN models and derives the
+PR-curve threshold ``Tp`` from the training data; ``policy_for`` binds the
+trained models to a target design (the same models transfer across design
+configurations without retraining); ``diagnose`` post-processes one ATPG
+report.  A :class:`BackupDictionary` records pruned candidates so the flow
+is guaranteed to reach ATPG-level accuracy when the PFA falls back to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..diagnosis.report import Candidate, DiagnosisReport
+from ..nn.data import GraphData
+from ..tester.failure_log import FailureLog
+from ..data.datagen import PreparedDesign
+from ..data.datasets import SampleSet
+from .backtrace import backtrace
+from .classifier import PruneReorderClassifier
+from .miv_pinpointer import MivPinpointer
+from .policy import PolicyResult, PruneReorderPolicy
+from .pr_curve import precision_recall_curve, select_threshold
+from .tier_predictor import TierPredictor
+
+__all__ = ["BackupDictionary", "M3DDiagnosisFramework"]
+
+
+class BackupDictionary:
+    """Pruned-candidate store keyed by chip id (paper Section VI-A).
+
+    Whenever the pruning step removes candidates from a report they are
+    recorded here; if PFA cannot find the defect in the pruned report the
+    engineer falls back to this dictionary, recovering full ATPG accuracy.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[object, List[Candidate]] = {}
+
+    def record(self, chip_id: object, pruned: Sequence[Candidate]) -> None:
+        if pruned:
+            self._entries[chip_id] = list(pruned)
+
+    def restore(self, chip_id: object, report: DiagnosisReport) -> DiagnosisReport:
+        """The report with this chip's pruned candidates appended at the end."""
+        extra = self._entries.get(chip_id, [])
+        return DiagnosisReport(candidates=list(report.candidates) + list(extra))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def size_bytes(self) -> int:
+        """Approximate memory footprint (the paper reports ~246 kB worst case)."""
+        per_candidate = 48  # site ref + polarity + score + tier
+        return sum(len(v) * per_candidate for v in self._entries.values())
+
+
+class M3DDiagnosisFramework:
+    """Trains and deploys Tier-predictor, MIV-pinpointer, and Classifier.
+
+    Args:
+        min_precision: PR-curve precision target that sets ``Tp`` (paper: 99%).
+        hidden: GCN widths shared by the models.
+        epochs: Training epochs per model.
+        seed: Global seed for weight init and shuffling.
+        use_miv_pinpointer / use_classifier: Ablation switches (Table XI).
+    """
+
+    def __init__(
+        self,
+        min_precision: float = 0.99,
+        hidden: Sequence[int] = (32, 32),
+        epochs: int = 40,
+        seed: int = 0,
+        use_miv_pinpointer: bool = True,
+        use_classifier: bool = True,
+        n_tiers: int = 2,
+    ) -> None:
+        self.min_precision = min_precision
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.seed = seed
+        self.use_miv_pinpointer = use_miv_pinpointer
+        self.use_classifier = use_classifier
+        self.n_tiers = n_tiers
+        self.tier_predictor = TierPredictor(n_tiers=n_tiers, hidden=self.hidden, epochs=epochs, seed=seed)
+        self.miv_pinpointer: Optional[MivPinpointer] = (
+            MivPinpointer(hidden=self.hidden, epochs=epochs, seed=seed + 1)
+            if use_miv_pinpointer
+            else None
+        )
+        self.classifier: Optional[PruneReorderClassifier] = None
+        self.tp_threshold: float = 1.0
+        self._fitted = False
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, training_sets: Sequence[SampleSet]) -> Dict[str, float]:
+        """Train all models from (augmented) training sample sets.
+
+        Returns summary statistics: training accuracy of the Tier-predictor,
+        the selected ``Tp``, and the TP:FP imbalance seen by the Classifier.
+        """
+        graphs: List[GraphData] = []
+        for s in training_sets:
+            graphs.extend(s.graphs)
+        if not graphs:
+            raise ValueError("no training graphs")
+
+        tier_graphs = [g for g in graphs if g.y >= 0]
+        self.tier_predictor.fit(tier_graphs)
+
+        if self.miv_pinpointer is not None:
+            miv_graphs = [g for g in graphs if g.node_mask is not None and g.node_mask.any()]
+            if miv_graphs:
+                self.miv_pinpointer.fit(miv_graphs)
+            else:
+                self.miv_pinpointer = None
+
+        # PR curve on the training set → Tp.
+        proba = self.tier_predictor.predict_proba(tier_graphs)
+        preds = np.argmax(proba, axis=1)
+        conf = proba.max(axis=1)
+        truth = np.asarray([g.y for g in tier_graphs])
+        correct = preds == truth
+        curve = precision_recall_curve(conf, correct)
+        self.tp_threshold = select_threshold(curve, self.min_precision)
+
+        # Classifier on Predicted Positive samples.
+        stats = {
+            "tier_train_accuracy": float(np.mean(correct)),
+            "tp_threshold": self.tp_threshold,
+            "n_true_positive": 0.0,
+            "n_false_positive": 0.0,
+        }
+        if self.use_classifier:
+            positive = conf > self.tp_threshold
+            tp_graphs = [g for g, p, c in zip(tier_graphs, positive, correct) if p and c]
+            fp_graphs = [g for g, p, c in zip(tier_graphs, positive, correct) if p and not c]
+            stats["n_true_positive"] = float(len(tp_graphs))
+            stats["n_false_positive"] = float(len(fp_graphs))
+            if tp_graphs:
+                self.classifier = PruneReorderClassifier(
+                    self.tier_predictor, epochs=max(10, self.epochs // 2), seed=self.seed + 2
+                )
+                self.classifier.fit(tp_graphs, fp_graphs)
+        self._fitted = True
+        return stats
+
+    # ------------------------------------------------------------ deployment
+    def policy_for(self, design: PreparedDesign, use_tier: bool = True) -> PruneReorderPolicy:
+        """Bind the trained models to a (possibly different) target design."""
+        if not self._fitted:
+            raise RuntimeError("framework is not fitted")
+        return PruneReorderPolicy(
+            tier_predictor=self.tier_predictor,
+            miv_pinpointer=self.miv_pinpointer,
+            classifier=self.classifier,
+            het=design.het,
+            tp_threshold=self.tp_threshold,
+            use_tier=use_tier,
+        )
+
+    def subgraph_for_log(
+        self, design: PreparedDesign, mode: str, log: FailureLog
+    ) -> Optional[GraphData]:
+        """Back-trace one failure log into an unlabeled sub-graph."""
+        mask = backtrace(design.het, design.obsmap(mode), log)
+        if not mask.any():
+            return None
+        return design.extractor.subgraph(mask)
+
+    def localize(
+        self, design: PreparedDesign, mode: str, log: FailureLog
+    ) -> Tuple[int, float, List[int]]:
+        """Tier-level localization only (no ATPG report needed).
+
+        Returns (predicted tier, confidence, flagged MIV ids); tier -1 when
+        the back-trace is empty.
+        """
+        graph = self.subgraph_for_log(design, mode, log)
+        if graph is None:
+            return -1, 0.0, []
+        proba = self.tier_predictor.predict_proba([graph])[0]
+        tier = int(np.argmax(proba))
+        mivs: List[int] = []
+        if self.miv_pinpointer is not None:
+            nodes = self.miv_pinpointer.predict_faulty_mivs(graph)
+            mivs = [int(design.het.miv_id[v]) for v in nodes]
+        return tier, float(proba[tier]), mivs
+
+    def diagnose(
+        self,
+        design: PreparedDesign,
+        mode: str,
+        log: FailureLog,
+        atpg_report: DiagnosisReport,
+        backup: Optional[BackupDictionary] = None,
+        chip_id: object = None,
+        graph: Optional[GraphData] = None,
+    ) -> PolicyResult:
+        """Post-process one ATPG report with the GNN predictions.
+
+        Args:
+            design: Target design bundle.
+            mode: Observation mode of the log.
+            log: The failure log.
+            atpg_report: Report from the ATPG diagnosis tool.
+            backup: Optional backup dictionary to record pruned candidates.
+            chip_id: Key for the backup dictionary.
+            graph: Pre-computed sub-graph (skips re-running back-trace).
+        """
+        if graph is None:
+            graph = self.subgraph_for_log(design, mode, log)
+        if graph is None:
+            return PolicyResult(
+                report=atpg_report,
+                action="passthrough",
+                pruned=[],
+                predicted_tier=-1,
+                confidence=0.0,
+            )
+        result = self.policy_for(design).apply(atpg_report, graph)
+        if backup is not None:
+            backup.record(chip_id, result.pruned)
+        return result

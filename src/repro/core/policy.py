@@ -1,0 +1,158 @@
+"""Candidate pruning and reordering policy (paper Section V, Figs. 7 and 8).
+
+Given an ATPG diagnosis report and the GNN predictions for the same failure
+log:
+
+1. Candidates equivalent to MIVs the MIV-pinpointer flags as faulty move to
+   the top of the report (and become unprunable — this is what recovers the
+   accuracy the Tier-predictor alone would lose, Section VII-B).
+2. The Tier-predictor's confidence ``p = max(p_top, p_bottom)`` is compared
+   against the PR-curve threshold ``Tp``:
+
+   * low confidence → *reorder*: candidates in the predicted faulty tier
+     move to the top;
+   * high confidence → the transfer-learned Classifier picks *prune*
+     (drop all candidates in the tier predicted fault-free) or *reorder*.
+
+3. Pruned candidates are recorded in a backup dictionary so a failed PFA can
+   fall back to them, guaranteeing ATPG-level accuracy at a small memory
+   cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..diagnosis.report import Candidate, DiagnosisReport
+from ..m3d.miv import MIV
+from ..nn.data import GraphData
+from .classifier import PruneReorderClassifier
+from .hetgraph import HetGraph
+from .miv_pinpointer import MivPinpointer
+from .tier_predictor import TierPredictor
+
+__all__ = ["PolicyResult", "PruneReorderPolicy"]
+
+
+@dataclass
+class PolicyResult:
+    """Outcome of applying the policy to one report.
+
+    Attributes:
+        report: The final (pruned/reordered) report.
+        action: "prune", "reorder", or "reorder_lowconf".
+        pruned: Candidates removed (the backup-dictionary entry).
+        predicted_tier: Tier-predictor's faulty-tier prediction.
+        confidence: Tier-predictor confidence ``p``.
+        faulty_mivs: MIV ids the MIV-pinpointer flagged.
+    """
+
+    report: DiagnosisReport
+    action: str
+    pruned: List[Candidate]
+    predicted_tier: int
+    confidence: float
+    faulty_mivs: List[int] = field(default_factory=list)
+
+
+class PruneReorderPolicy:
+    """Applies the GNN predictions to ATPG reports.
+
+    Args:
+        tier_predictor: Trained Tier-predictor.
+        miv_pinpointer: Trained MIV-pinpointer (optional; None disables MIV
+            prioritization — the Table XI ablation).
+        classifier: Trained prune/reorder Classifier (optional; when None a
+            confident tier prediction always prunes).
+        het: The design's heterogeneous graph (maps MIV nodes to nets).
+        tp_threshold: The PR-curve threshold ``Tp``.
+        use_tier: Disable to ablate the Tier-predictor (Table XI).
+    """
+
+    def __init__(
+        self,
+        tier_predictor: Optional[TierPredictor],
+        miv_pinpointer: Optional[MivPinpointer],
+        classifier: Optional[PruneReorderClassifier],
+        het: HetGraph,
+        tp_threshold: float = 0.9,
+        use_tier: bool = True,
+    ) -> None:
+        self.tier_predictor = tier_predictor
+        self.miv_pinpointer = miv_pinpointer
+        self.classifier = classifier
+        self.het = het
+        self.tp_threshold = tp_threshold
+        self.use_tier = use_tier and tier_predictor is not None
+
+    # ------------------------------------------------------------ MIV logic
+    def _predicted_faulty_mivs(self, graph: GraphData) -> List[int]:
+        if self.miv_pinpointer is None:
+            return []
+        nodes = self.miv_pinpointer.predict_faulty_mivs(graph)
+        return [int(self.het.miv_id[v]) for v in nodes]
+
+    def _equivalent_to_mivs(self, cand: Candidate, miv_ids: Sequence[int]) -> bool:
+        """A candidate is equivalent to a flagged MIV when it names the MIV
+        itself or any site on the MIV's net."""
+        if not miv_ids:
+            return False
+        if cand.site.kind == "miv":
+            return cand.site.miv_id in set(miv_ids)
+        flagged_nets = {int(self.het.net[self.het.miv_index[m]]) for m in miv_ids
+                        if m in self.het.miv_index}
+        return cand.site.net in flagged_nets
+
+    # --------------------------------------------------------------- policy
+    def apply(self, report: DiagnosisReport, graph: GraphData) -> PolicyResult:
+        """Prune/reorder one ATPG report using the GNN predictions."""
+        miv_ids = self._predicted_faulty_mivs(graph)
+        protected = [c for c in report.candidates if self._equivalent_to_mivs(c, miv_ids)]
+        rest = [c for c in report.candidates if not self._equivalent_to_mivs(c, miv_ids)]
+
+        if not self.use_tier:
+            return PolicyResult(
+                report=DiagnosisReport(candidates=protected + rest),
+                action="reorder",
+                pruned=[],
+                predicted_tier=-1,
+                confidence=0.0,
+                faulty_mivs=miv_ids,
+            )
+
+        proba = self.tier_predictor.predict_proba([graph])[0]
+        tier = int(np.argmax(proba))
+        p = float(proba[tier])
+
+        prune = False
+        if p > self.tp_threshold:
+            action = "prune"
+            if self.classifier is not None:
+                prune = self.classifier.should_prune(graph)
+                action = "prune" if prune else "reorder"
+            else:
+                prune = True
+        else:
+            action = "reorder_lowconf"
+
+        if prune:
+            kept = [c for c in rest if c.tier is None or c.tier == tier]
+            pruned = [c for c in rest if not (c.tier is None or c.tier == tier)]
+            final = protected + kept
+        else:
+            pruned = []
+            in_tier = [c for c in rest if c.tier == tier]
+            out_tier = [c for c in rest if c.tier != tier]
+            final = protected + in_tier + out_tier
+
+        return PolicyResult(
+            report=DiagnosisReport(candidates=final),
+            action=action,
+            pruned=pruned,
+            predicted_tier=tier,
+            confidence=p,
+            faulty_mivs=miv_ids,
+        )

@@ -1,0 +1,74 @@
+"""Precision-recall analysis for the Tier-predictor (paper Section V-B).
+
+Samples are *Actual Positive* when the predicted tier equals the ground
+truth and *Predicted Positive* when the prediction confidence exceeds the
+classification threshold.  The pruning threshold ``Tp`` is the minimum
+threshold on the training PR curve with precision ≥ the target (99%), which
+bounds the accuracy the pruning step can lose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["PRPoint", "precision_recall_curve", "select_threshold"]
+
+
+@dataclass(frozen=True)
+class PRPoint:
+    """One PR-curve point: threshold, precision, recall."""
+
+    threshold: float
+    precision: float
+    recall: float
+
+
+def precision_recall_curve(
+    confidences: Sequence[float], correct: Sequence[bool]
+) -> List[PRPoint]:
+    """PR points over every distinct confidence threshold.
+
+    Args:
+        confidences: Tier-predictor confidence ``max(p_top, p_bottom)`` per
+            sample.
+        correct: Whether the predicted tier matched the ground truth
+            (Actual Positive).
+
+    Returns:
+        Points sorted by increasing threshold.  Precision at a threshold
+        counts samples with confidence strictly above it; at the highest
+        point (no predicted positives) precision is defined as 1.0.
+    """
+    conf = np.asarray(confidences, dtype=float)
+    corr = np.asarray(correct, dtype=bool)
+    if conf.shape != corr.shape:
+        raise ValueError("confidences and correctness must align")
+    thresholds = np.unique(np.concatenate([[0.0], conf]))
+    points: List[PRPoint] = []
+    n_pos = int(corr.sum())
+    for t in thresholds:
+        predicted = conf > t
+        tp = int((predicted & corr).sum())
+        fp = int((predicted & ~corr).sum())
+        fn = int((~predicted & corr).sum())
+        precision = tp / (tp + fp) if (tp + fp) else 1.0
+        recall = tp / (tp + fn) if (tp + fn) else (1.0 if n_pos == 0 else 0.0)
+        points.append(PRPoint(threshold=float(t), precision=precision, recall=recall))
+    return points
+
+
+def select_threshold(
+    points: Sequence[PRPoint], min_precision: float = 0.99
+) -> float:
+    """The paper's ``Tp``: minimum threshold with precision ≥ ``min_precision``.
+
+    Falls back to the highest-precision point when no threshold reaches the
+    target (then pruning is effectively disabled for low-confidence samples).
+    """
+    qualifying = [p for p in points if p.precision >= min_precision]
+    if qualifying:
+        return min(p.threshold for p in qualifying)
+    return max(points, key=lambda p: p.precision).threshold

@@ -1,0 +1,102 @@
+"""Tier-predictor: GCN graph classifier over back-trace sub-graphs.
+
+Predicts which device tier contains the delay defect from the sub-graph a
+failure log back-traces to.  The graph representation after mean pooling is
+the paper's ``[p_top, p_bottom]`` probability vector; the class count
+generalizes to designs with more than two tiers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.data import GraphData, build_batch
+from ..nn.model import GraphClassifier
+from .features import N_FEATURES, StandardScaler
+from .training import train_graph_classifier
+
+__all__ = ["TierPredictor"]
+
+
+class TierPredictor:
+    """Trainable faulty-tier predictor.
+
+    Args:
+        n_tiers: Number of device tiers (output classes).
+        hidden: GCN layer widths.
+        epochs / batch_size / lr: Training hyperparameters.
+        seed: Weight-init and shuffling seed.
+    """
+
+    def __init__(
+        self,
+        n_tiers: int = 2,
+        hidden: Sequence[int] = (32, 32),
+        epochs: int = 40,
+        batch_size: int = 32,
+        lr: float = 1e-2,
+        weight_decay: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        self.n_tiers = n_tiers
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.seed = seed
+        self.scaler = StandardScaler()
+        self.model = GraphClassifier(N_FEATURES, n_tiers, hidden=self.hidden, seed=seed)
+        self._fitted = False
+
+    def fit(self, graphs: Sequence[GraphData]) -> List[float]:
+        """Train on labeled sub-graphs (``g.y`` = faulty tier).
+
+        Returns the per-epoch loss history.
+        """
+        labeled = [g for g in graphs if g.y >= 0]
+        if not labeled:
+            raise ValueError("no labeled graphs to train on")
+        normed = self.scaler.fit_transform(labeled)
+        counts = np.bincount([g.y for g in normed], minlength=self.n_tiers).astype(float)
+        counts[counts == 0] = 1.0
+        class_weights = counts.sum() / (self.n_tiers * counts)
+        history = train_graph_classifier(
+            self.model,
+            normed,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            lr=self.lr,
+            weight_decay=self.weight_decay,
+            class_weights=class_weights,
+            seed=self.seed,
+        )
+        self._fitted = True
+        return history
+
+    def predict_proba(self, graphs: Sequence[GraphData]) -> np.ndarray:
+        """Per-graph tier probabilities ``[p_tier0, p_tier1, ...]``."""
+        if not self._fitted:
+            raise RuntimeError("TierPredictor is not fitted")
+        if not graphs:
+            return np.zeros((0, self.n_tiers))
+        batch = build_batch(self.scaler.transform(list(graphs)))
+        return self.model.predict_proba(batch)
+
+    def predict(self, graphs: Sequence[GraphData]) -> np.ndarray:
+        """Predicted faulty tier per graph."""
+        return np.argmax(self.predict_proba(graphs), axis=1)
+
+    def confidence(self, graphs: Sequence[GraphData]) -> np.ndarray:
+        """``max(p_top, p_bottom)`` — the policy's confidence score ``p``."""
+        return self.predict_proba(graphs).max(axis=1)
+
+    def accuracy(self, graphs: Sequence[GraphData]) -> float:
+        """Fraction of graphs whose predicted tier matches ``g.y``."""
+        labeled = [g for g in graphs if g.y >= 0]
+        if not labeled:
+            return 0.0
+        preds = self.predict(labeled)
+        return float(np.mean(preds == np.asarray([g.y for g in labeled])))

@@ -1,0 +1,14 @@
+"""Dataset generation: the Fig. 4 flow and labeled sample sets."""
+
+from .datagen import CONFIG_NAMES, DesignConfig, PreparedDesign, prepare_design
+from .datasets import LabeledSample, SampleSet, build_dataset
+
+__all__ = [
+    "CONFIG_NAMES",
+    "DesignConfig",
+    "PreparedDesign",
+    "prepare_design",
+    "LabeledSample",
+    "SampleSet",
+    "build_dataset",
+]

@@ -1,0 +1,167 @@
+"""The Fig. 4 data-generation flow: netlist → M3D → DfT → ATPG → graphs.
+
+``prepare_design`` runs the whole per-design pipeline once and returns a
+:class:`PreparedDesign` bundle that every downstream step (injection,
+diagnosis, GNN dataset construction) shares.  Design *configurations* mirror
+the paper's transferability matrix:
+
+=========  ==========================================================
+config     meaning
+=========  ==========================================================
+Syn-1      baseline synthesis + min-cut partitioning (training config)
+TPI        Syn-1 netlist with observation test points inserted
+Syn-2      re-synthesized netlist (different structure), min-cut
+Par        Syn-1 netlist, spectral ("TP-GNN"-style) partitioning
+Rand-k     Syn-1 netlist, random partition seed k (data augmentation)
+=========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..atpg.tdf import AtpgResult, generate_tdf_patterns
+from ..dft.observation import ObservationMap
+from ..dft.scan import ScanConfig, build_scan_chains
+from ..m3d.miv import MIV, extract_mivs, miv_fault_sites
+from ..m3d.partition import PartitionResult, apply_partition, kway_partition, mincut_bipartition
+from ..m3d.random_part import random_bipartition
+from ..m3d.spectral import spectral_bipartition
+from ..netlist.generators import GeneratorSpec, generate
+from ..netlist.netlist import Netlist
+from ..sim.faultsim import FaultMachine
+from ..sim.logicsim import CompiledSimulator, TwoPatternResult
+from ..synth.resynth import resynthesize
+from ..synth.testpoints import insert_test_points
+from ..core.hetgraph import HetGraph
+from ..core.features import FeatureExtractor
+
+__all__ = ["DesignConfig", "PreparedDesign", "prepare_design", "CONFIG_NAMES"]
+
+CONFIG_NAMES = ("Syn-1", "TPI", "Syn-2", "Par")
+
+
+@dataclass(frozen=True)
+class DesignConfig:
+    """One point of the transferability design matrix."""
+
+    name: str
+    resynth_seed: Optional[int] = None
+    test_points: bool = False
+    partitioner: str = "mincut"  # "mincut" | "spectral" | "random"
+    partition_seed: int = 2
+    n_tiers: int = 2
+
+    @classmethod
+    def standard(cls, name: str) -> "DesignConfig":
+        """The four named configurations of the paper."""
+        if name == "Syn-1":
+            return cls(name)
+        if name == "TPI":
+            return cls(name, test_points=True)
+        if name == "Syn-2":
+            return cls(name, resynth_seed=11)
+        if name == "Par":
+            return cls(name, partitioner="spectral")
+        if name.startswith("Rand-"):
+            k = int(name.split("-", 1)[1])
+            return cls(name, partitioner="random", partition_seed=100 + k)
+        raise ValueError(f"unknown configuration {name!r}")
+
+
+@dataclass
+class PreparedDesign:
+    """Everything the framework needs about one (benchmark, config) point."""
+
+    benchmark: str
+    config: DesignConfig
+    nl: Netlist
+    partition: PartitionResult
+    mivs: Sequence[MIV]
+    scan: ScanConfig
+    atpg: AtpgResult
+    sim: CompiledSimulator
+    machine: FaultMachine
+    good: TwoPatternResult
+    obsmaps: Dict[str, ObservationMap]
+    het: HetGraph
+    extractor: FeatureExtractor
+
+    @property
+    def patterns(self):
+        return self.atpg.patterns
+
+    def obsmap(self, mode: str) -> ObservationMap:
+        """Observation map for ``"bypass"`` or ``"compacted"`` mode."""
+        return self.obsmaps[mode]
+
+
+def prepare_design(
+    spec: GeneratorSpec,
+    config: DesignConfig,
+    n_chains: int = 8,
+    chains_per_channel: int = 4,
+    atpg_seed: int = 3,
+    max_patterns: int = 256,
+    target_coverage: float = 0.95,
+) -> PreparedDesign:
+    """Run the Fig. 4 flow for one benchmark/configuration point.
+
+    The pipeline: generate (synthesize) → optional re-synthesis / TPI →
+    3D partitioning → MIV extraction → scan stitching → TDF ATPG →
+    good-machine simulation → heterogeneous graph + feature tables.
+    """
+    nl = generate(spec)
+    if config.resynth_seed is not None:
+        nl = resynthesize(nl, seed=config.resynth_seed)
+    if config.test_points:
+        nl = insert_test_points(nl)
+
+    if config.n_tiers > 2:
+        part = kway_partition(nl, config.n_tiers, seed=config.partition_seed)
+    elif config.partitioner == "mincut":
+        part = mincut_bipartition(nl, seed=config.partition_seed)
+    elif config.partitioner == "spectral":
+        part = spectral_bipartition(nl, seed=config.partition_seed)
+    elif config.partitioner == "random":
+        part = random_bipartition(nl, seed=config.partition_seed)
+    else:
+        raise ValueError(f"unknown partitioner {config.partitioner!r}")
+    apply_partition(nl, part)
+    mivs = extract_mivs(nl)
+
+    scan = build_scan_chains(nl, n_chains, chains_per_channel, seed=0)
+    sim = CompiledSimulator(nl)
+    atpg = generate_tdf_patterns(
+        nl,
+        seed=atpg_seed,
+        mivs=miv_fault_sites(nl, mivs),
+        max_patterns=max_patterns,
+        target_coverage=target_coverage,
+        sim=sim,
+    )
+    good = sim.simulate_pair(atpg.patterns.v1, atpg.patterns.v2)
+    obsmaps = {
+        "bypass": ObservationMap.bypass(nl, scan),
+        "compacted": ObservationMap.compacted(nl, scan),
+        "misr": ObservationMap.misr(nl, scan),
+    }
+    het = HetGraph.build(nl, mivs, good.transitions())
+    return PreparedDesign(
+        benchmark=spec.name,
+        config=config,
+        nl=nl,
+        partition=part,
+        mivs=mivs,
+        scan=scan,
+        atpg=atpg,
+        sim=sim,
+        machine=FaultMachine(sim),
+        good=good,
+        obsmaps=obsmaps,
+        het=het,
+        extractor=FeatureExtractor(het),
+    )

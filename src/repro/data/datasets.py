@@ -1,0 +1,115 @@
+"""Diagnosis datasets: injected samples paired with back-trace sub-graphs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..atpg.faults import Fault, site_tier
+from ..m3d.defects import DefectSampler
+from ..nn.data import GraphData
+from ..tester.injection import InjectionCampaign, Sample
+from ..core.backtrace import backtrace
+from .datagen import PreparedDesign
+
+__all__ = ["LabeledSample", "SampleSet", "build_dataset"]
+
+
+@dataclass
+class LabeledSample:
+    """One failing chip together with its GNN-ready sub-graph."""
+
+    sample: Sample
+    graph: GraphData
+
+    @property
+    def faults(self) -> Tuple[Fault, ...]:
+        return self.sample.faults
+
+
+@dataclass
+class SampleSet:
+    """A dataset of labeled samples for one (design, observation-mode) pair."""
+
+    design: PreparedDesign
+    mode: str
+    items: List[LabeledSample]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def graphs(self) -> List[GraphData]:
+        return [it.graph for it in self.items]
+
+    @property
+    def samples(self) -> List[Sample]:
+        return [it.sample for it in self.items]
+
+
+def _graph_labels(design: PreparedDesign, faults: Sequence[Fault]) -> Tuple[int, np.ndarray]:
+    """Graph-level tier label and per-node MIV labels for injected faults.
+
+    The tier label is the tier containing the gate-level fault(s); MIV-only
+    samples carry -1 (MIVs span tiers).  Node labels flag the faulty MIV
+    nodes in HetGraph index space.
+    """
+    het = design.het
+    tiers = {site_tier(design.nl, f.site) for f in faults}
+    tiers.discard(None)
+    y = int(next(iter(tiers))) if len(tiers) == 1 else -1
+    node_y = np.zeros(het.n_nodes)
+    for f in faults:
+        if f.site.kind == "miv":
+            v = het.miv_index.get(f.site.miv_id)
+            if v is not None:
+                node_y[v] = 1.0
+    return y, node_y
+
+
+def build_dataset(
+    design: PreparedDesign,
+    mode: str,
+    n_samples: int,
+    seed: int,
+    kind: str = "single",
+    miv_fraction: float = 0.15,
+) -> SampleSet:
+    """Inject faults, record failure logs, back-trace, and featurize.
+
+    Args:
+        design: Prepared (benchmark, config) bundle.
+        mode: Observation mode, ``"bypass"`` or ``"compacted"``.
+        n_samples: Target number of failing chips.
+        seed: Defect-sampler seed.
+        kind: ``"single"`` (one TDF; ``miv_fraction`` of them in MIVs),
+            ``"multi"`` (2–5 tier-systematic TDFs), or ``"miv"`` (MIV-only).
+        miv_fraction: MIV share for ``kind="single"``.
+
+    Returns:
+        A :class:`SampleSet`; samples whose back-trace yields an empty
+        sub-graph are skipped.
+    """
+    obsmap = design.obsmap(mode)
+    sampler = DefectSampler(design.nl, design.mivs, seed=seed)
+    campaign = InjectionCampaign(design.machine, design.good, obsmap, sampler)
+    if kind == "single":
+        raw = campaign.single_fault_samples(n_samples, miv_fraction=miv_fraction)
+    elif kind == "multi":
+        raw = campaign.multi_fault_samples(n_samples)
+    elif kind == "miv":
+        raw = campaign.miv_fault_samples(n_samples)
+    else:
+        raise ValueError(f"unknown dataset kind {kind!r}")
+
+    items: List[LabeledSample] = []
+    for s in raw:
+        mask = backtrace(design.het, obsmap, s.log)
+        if not mask.any():
+            continue
+        y, node_y = _graph_labels(design, s.faults)
+        graph = design.extractor.subgraph(mask, y=y, node_y=node_y, meta={"sample": s})
+        items.append(LabeledSample(sample=s, graph=graph))
+    return SampleSet(design=design, mode=mode, items=items)

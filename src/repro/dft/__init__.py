@@ -1,0 +1,12 @@
+"""Design-for-test substrate: scan chains and response compaction."""
+
+from .scan import ScanChain, ScanConfig, build_scan_chains
+from .observation import Observation, ObservationMap
+
+__all__ = [
+    "ScanChain",
+    "ScanConfig",
+    "build_scan_chains",
+    "Observation",
+    "ObservationMap",
+]

@@ -1,0 +1,168 @@
+"""Observation-point mapping, with and without response compaction.
+
+An :class:`Observation` is one value the tester compares per pattern.  In
+*bypass* mode every primary output and every scan flop is its own
+observation.  In *compacted* mode an XOR spatial compactor merges the flops
+at the same shift position across all chains of a channel into a single
+observation, so a failing observation only implicates a *set* of flops —
+exactly the resolution loss the paper studies (Tables VII/VIII).
+
+Because the XOR compactor is linear, a faulty response differs from the good
+response at a compacted observation iff an *odd* number of member flops
+differ (fault aliasing under even parity is modeled for free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..netlist.netlist import Netlist
+from .scan import ScanConfig
+
+__all__ = ["Observation", "ObservationMap"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One tester-visible compare point.
+
+    Attributes:
+        id: Dense observation index.
+        kind: ``"po"``, ``"flop"``, ``"channel"``, or ``"misr"``.
+        nets: Observed net ids merged into this observation (one for
+            ``po``/``flop``; the member flops' D nets for ``channel``; every
+            flop D net for ``misr``).
+        label: Human-readable id for failure logs.
+        combine: How member differences merge into a fail — ``"xor"`` for a
+            spatial parity compactor (even differences alias), ``"or"`` for
+            a signature register (any difference flips the signature;
+            signature aliasing at 2^-width is neglected).
+    """
+
+    id: int
+    kind: str
+    nets: Tuple[int, ...]
+    label: str
+    combine: str = "xor"
+
+
+class ObservationMap:
+    """The set of observations of a design under a given scan/compaction mode."""
+
+    def __init__(self, nl: Netlist, observations: List[Observation], compacted: bool) -> None:
+        self.nl = nl
+        self.observations = observations
+        self.compacted = compacted
+        self._by_net: Dict[int, List[int]] = {}
+        for obs in observations:
+            for net in obs.nets:
+                self._by_net.setdefault(net, []).append(obs.id)
+
+    # ------------------------------------------------------------ construct
+    @classmethod
+    def bypass(cls, nl: Netlist, scan: ScanConfig) -> "ObservationMap":
+        """Uncompressed observation per PO and per scan flop."""
+        obs: List[Observation] = []
+        for i, net in enumerate(nl.primary_outputs):
+            obs.append(Observation(len(obs), "po", (net,), f"po{i}"))
+        for chain in scan.chains:
+            for pos, fid in enumerate(chain.flops):
+                f = nl.flops[fid]
+                obs.append(
+                    Observation(len(obs), "flop", (f.d_net,), f"c{chain.id}.p{pos}")
+                )
+        return cls(nl, obs, compacted=False)
+
+    @classmethod
+    def compacted(cls, nl: Netlist, scan: ScanConfig) -> "ObservationMap":
+        """XOR-compacted observation per (channel, shift position), POs direct."""
+        obs: List[Observation] = []
+        for i, net in enumerate(nl.primary_outputs):
+            obs.append(Observation(len(obs), "po", (net,), f"po{i}"))
+        for ch_id, chain_ids in enumerate(scan.channels):
+            depth = max(len(scan.chains[c].flops) for c in chain_ids)
+            for pos in range(depth):
+                nets = tuple(
+                    nl.flops[scan.chains[c].flops[pos]].d_net
+                    for c in chain_ids
+                    if pos < len(scan.chains[c].flops)
+                )
+                if nets:
+                    obs.append(
+                        Observation(len(obs), "channel", nets, f"ch{ch_id}.p{pos}")
+                    )
+        return cls(nl, obs, compacted=True)
+
+    @classmethod
+    def misr(cls, nl: Netlist, scan: ScanConfig) -> "ObservationMap":
+        """Signature-register compaction: one observation over all flops.
+
+        A MISR accumulates every scan cell into one signature per pattern;
+        the tester only learns *which patterns* failed, not where.  This is
+        the harshest diagnosis environment (maximum search-space inflation)
+        and complements the paper's bypass/XOR modes.
+        """
+        obs: List[Observation] = []
+        for i, net in enumerate(nl.primary_outputs):
+            obs.append(Observation(len(obs), "po", (net,), f"po{i}"))
+        all_flops = tuple(
+            nl.flops[fid].d_net for chain in scan.chains for fid in chain.flops
+        )
+        if all_flops:
+            obs.append(Observation(len(obs), "misr", all_flops, "misr", combine="or"))
+        return cls(nl, obs, compacted=True)
+
+    # --------------------------------------------------------------- queries
+    @property
+    def n_observations(self) -> int:
+        return len(self.observations)
+
+    def observations_of_net(self, net_id: int) -> List[int]:
+        """Observation ids that include a given observed net."""
+        return list(self._by_net.get(net_id, ()))
+
+    def fail_masks(self, detections: Dict[int, np.ndarray]) -> Dict[int, np.ndarray]:
+        """Tester-visible failures from per-net detection masks.
+
+        Args:
+            detections: Net id → boolean per-pattern difference mask (from
+                :meth:`repro.sim.FaultMachine.propagate`).
+
+        Returns:
+            Observation id → boolean per-pattern fail mask (odd parity of
+            member-net differences), only for observations that fail.
+        """
+        out: Dict[int, np.ndarray] = {}
+        for obs in self.observations:
+            acc = None
+            for net in obs.nets:
+                diff = detections.get(net)
+                if diff is None:
+                    continue
+                if acc is None:
+                    acc = diff.copy()
+                elif obs.combine == "or":
+                    acc |= diff
+                else:
+                    acc ^= diff
+            if acc is not None and acc.any():
+                out[obs.id] = acc
+        return out
+
+    def good_responses(self, net_values: np.ndarray) -> np.ndarray:
+        """Expected tester responses (n_observations x n_patterns).
+
+        For compacted observations this is the XOR of member-flop values —
+        what the tester's expect-data would hold.
+        """
+        n_pat = net_values.shape[1]
+        resp = np.zeros((self.n_observations, n_pat), dtype=np.uint8)
+        for obs in self.observations:
+            acc = np.zeros(n_pat, dtype=np.uint8)
+            for net in obs.nets:
+                acc ^= net_values[net]
+            resp[obs.id] = acc
+        return resp

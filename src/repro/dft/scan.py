@@ -1,0 +1,86 @@
+"""Scan-chain construction.
+
+Flops are stitched into ``n_chains`` balanced chains; chains are grouped into
+output channels for EDT-style response compaction (``chains_per_channel`` is
+the paper's compaction ratio, 20x there, smaller in the scaled benchmarks).
+A bypass mode that scans uncompressed responses out directly — the paper's
+"bypass signals" — is modeled by building the observation map in bypass mode
+(see :mod:`repro.dft.observation`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..netlist.netlist import Netlist
+
+__all__ = ["ScanChain", "ScanConfig", "build_scan_chains"]
+
+
+@dataclass(frozen=True)
+class ScanChain:
+    """One scan chain: flop ids ordered scan-in → scan-out."""
+
+    id: int
+    flops: tuple
+
+
+@dataclass(frozen=True)
+class ScanConfig:
+    """Scan architecture of a design.
+
+    Attributes:
+        chains: The scan chains.
+        channels: Chain-id groups per output channel (compaction groups).
+        chain_length: Maximum chain length (shift depth).
+    """
+
+    chains: tuple
+    channels: tuple
+
+    @property
+    def n_chains(self) -> int:
+        return len(self.chains)
+
+    @property
+    def n_channels(self) -> int:
+        return len(self.channels)
+
+    @property
+    def chain_length(self) -> int:
+        return max((len(c.flops) for c in self.chains), default=0)
+
+
+def build_scan_chains(
+    nl: Netlist,
+    n_chains: int,
+    chains_per_channel: int = 4,
+    seed: int = 0,
+    shuffle: bool = True,
+) -> ScanConfig:
+    """Stitch flops into balanced chains and group chains into channels.
+
+    Args:
+        nl: The design (its flops are stitched).
+        n_chains: Number of scan chains.
+        chains_per_channel: Compaction ratio (chains XOR-ed per channel).
+        seed: Order shuffle seed; real tools stitch by placement proximity,
+            which on a synthetic design is equivalent to a seeded shuffle.
+        shuffle: Disable to stitch flops in id order (deterministic layouts).
+    """
+    if n_chains < 1:
+        raise ValueError("need at least one chain")
+    flop_ids = [f.id for f in nl.flops]
+    if shuffle:
+        random.Random(seed).shuffle(flop_ids)
+    chains: List[ScanChain] = []
+    for cid in range(n_chains):
+        members = tuple(flop_ids[cid::n_chains])
+        chains.append(ScanChain(id=cid, flops=members))
+    channels = tuple(
+        tuple(range(start, min(start + chains_per_channel, n_chains)))
+        for start in range(0, n_chains, chains_per_channel)
+    )
+    return ScanConfig(chains=tuple(chains), channels=channels)

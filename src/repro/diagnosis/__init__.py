@@ -1,0 +1,39 @@
+"""Diagnosis substrate: effect-cause tool stand-in, reports, 2D baseline."""
+
+from .report import (
+    Candidate,
+    DiagnosisReport,
+    ReportQuality,
+    first_hit_index,
+    report_is_accurate,
+    site_key,
+    sites_match,
+    summarize_reports,
+)
+from .effect_cause import EffectCauseDiagnoser
+from .baseline import PadreLikeFilter
+from .dictionary import FaultDictionary
+from .equivalence import (
+    EquivalenceClass,
+    class_first_hit,
+    class_resolution,
+    group_candidates,
+)
+
+__all__ = [
+    "Candidate",
+    "DiagnosisReport",
+    "ReportQuality",
+    "first_hit_index",
+    "report_is_accurate",
+    "site_key",
+    "sites_match",
+    "summarize_reports",
+    "EffectCauseDiagnoser",
+    "PadreLikeFilter",
+    "FaultDictionary",
+    "EquivalenceClass",
+    "class_first_hit",
+    "class_resolution",
+    "group_candidates",
+]

@@ -1,0 +1,108 @@
+"""PADRE-style first-level candidate filtering (the paper's 2D baseline [11]).
+
+PADRE (Xue et al., ITC 2013) enhances diagnostic resolution by learning,
+without supervision, which candidates of a report look like real defects and
+which are artifacts.  The paper compares against PADRE's *first-level
+classifier* only, the conservative stage chosen "to prevent a large loss of
+accuracy".
+
+This implementation builds a per-candidate feature vector from the match
+statistics and netlist context, clusters the report's candidates with 2-means,
+and keeps the cluster that explains the failure log better.  A separation
+guard keeps the whole report when the two clusters are not clearly distinct,
+which is what makes the filter accuracy-preserving.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..netlist.netlist import Netlist
+from .report import Candidate, DiagnosisReport
+
+__all__ = ["PadreLikeFilter"]
+
+
+class PadreLikeFilter:
+    """Unsupervised candidate filter over diagnosis reports.
+
+    Args:
+        nl: The design (provides structural candidate features).
+        min_candidates: Reports at or below this size pass through untouched.
+        separation: Minimum normalized centroid distance required before the
+            weak cluster is dropped.
+        iterations: 2-means refinement iterations (deterministic init).
+    """
+
+    def __init__(
+        self,
+        nl: Netlist,
+        min_candidates: int = 3,
+        separation: float = 0.45,
+        iterations: int = 25,
+    ) -> None:
+        self.nl = nl
+        self.min_candidates = min_candidates
+        self.separation = separation
+        self.iterations = iterations
+        self._levels = nl.net_levels()
+        self._max_level = max(self._levels) or 1
+
+    def _features(self, cands: List[Candidate]) -> np.ndarray:
+        rows = []
+        for c in cands:
+            explained = c.tfsf / (c.tfsf + c.tfsp) if (c.tfsf + c.tfsp) else 0.0
+            mispredict = c.tpsf / (c.tfsf + 1.0)
+            fanout = len(self.nl.nets[c.site.net].sinks)
+            level = self._levels[c.site.net] / self._max_level
+            rows.append([c.score, explained, mispredict, fanout, level])
+        x = np.asarray(rows, dtype=float)
+        mu = x.mean(axis=0)
+        sd = x.std(axis=0)
+        sd[sd == 0] = 1.0
+        return (x - mu) / sd
+
+    def _two_means(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Deterministic 2-means: seeds at the best- and worst-score points."""
+        c0 = x[0].copy()
+        c1 = x[-1].copy()
+        assign = np.zeros(len(x), dtype=int)
+        for _ in range(self.iterations):
+            d0 = np.linalg.norm(x - c0, axis=1)
+            d1 = np.linalg.norm(x - c1, axis=1)
+            new_assign = (d1 < d0).astype(int)
+            if np.array_equal(new_assign, assign) and _ > 0:
+                break
+            assign = new_assign
+            if (assign == 0).any():
+                c0 = x[assign == 0].mean(axis=0)
+            if (assign == 1).any():
+                c1 = x[assign == 1].mean(axis=0)
+        return assign, np.stack([c0, c1])
+
+    def filter(self, report: DiagnosisReport) -> DiagnosisReport:
+        """Return the report with the weak candidate cluster removed.
+
+        The incoming ranking is preserved among the kept candidates.
+        """
+        cands = report.candidates
+        if len(cands) <= self.min_candidates:
+            return DiagnosisReport(candidates=list(cands))
+        x = self._features(cands)
+        assign, centroids = self._two_means(x)
+        if (assign == 0).all() or (assign == 1).all():
+            return DiagnosisReport(candidates=list(cands))
+        # Which cluster explains the log better? Judge on raw score means.
+        scores = np.asarray([c.score for c in cands])
+        mean0 = scores[assign == 0].mean()
+        mean1 = scores[assign == 1].mean()
+        strong = 0 if mean0 >= mean1 else 1
+        dist = float(np.linalg.norm(centroids[0] - centroids[1])) / np.sqrt(x.shape[1])
+        if dist < self.separation:
+            return DiagnosisReport(candidates=list(cands))
+        kept = [c for c, a in zip(cands, assign) if a == strong]
+        if not kept:
+            return DiagnosisReport(candidates=list(cands))
+        return DiagnosisReport(candidates=kept)

@@ -1,0 +1,127 @@
+"""Fault-dictionary (cause-effect) diagnosis.
+
+The classic alternative to effect-cause analysis: simulate every fault once
+against the production pattern set, store each fault's failure signature,
+and diagnose a chip by ranking dictionary entries against its observed
+failure log.  Dictionaries trade a large one-time simulation and memory cost
+for very fast per-chip lookups; the paper's runtime discussion (Section
+VI-B) is exactly about avoiding this per-chip simulate-and-match cost, so
+this module doubles as the comparison point for that claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..atpg.faults import Fault, enumerate_faults, site_tier
+from ..atpg.patterns import PatternSet
+from ..dft.observation import ObservationMap
+from ..m3d.miv import MIV, miv_fault_sites
+from ..netlist.netlist import Netlist
+from ..sim.faultsim import FaultMachine
+from ..sim.logicsim import CompiledSimulator
+from ..tester.failure_log import FailureLog
+from .report import Candidate, DiagnosisReport
+
+__all__ = ["FaultDictionary"]
+
+Signature = FrozenSet[Tuple[int, int]]
+
+
+@dataclass
+class _Entry:
+    fault: Fault
+    signature: Signature
+
+
+class FaultDictionary:
+    """Precomputed fault → failure-signature dictionary.
+
+    Args:
+        nl: Tier-assigned design.
+        obsmap: Observation map the tester uses.
+        patterns: Production TDF pattern set.
+        mivs: MIVs (adds MIV entries).
+        include_branches: Include branch faults (larger dictionary).
+        sim: Optional shared compiled simulator.
+    """
+
+    def __init__(
+        self,
+        nl: Netlist,
+        obsmap: ObservationMap,
+        patterns: PatternSet,
+        mivs: Sequence[MIV] = (),
+        include_branches: bool = True,
+        sim: Optional[CompiledSimulator] = None,
+    ) -> None:
+        self.nl = nl
+        self.obsmap = obsmap
+        self.sim = sim or CompiledSimulator(nl)
+        machine = FaultMachine(self.sim)
+        good = self.sim.simulate_pair(patterns.v1, patterns.v2)
+        self.entries: List[_Entry] = []
+        faults = enumerate_faults(
+            nl, mivs=miv_fault_sites(nl, mivs), include_branches=include_branches
+        )
+        for fault in faults:
+            detections = machine.propagate(fault, good)
+            if not detections:
+                continue
+            signature: set = set()
+            for obs_id, mask in obsmap.fail_masks(detections).items():
+                for p in np.nonzero(mask)[0]:
+                    signature.add((int(p), obs_id))
+            if signature:
+                self.entries.append(_Entry(fault=fault, signature=frozenset(signature)))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def size_bytes(self) -> int:
+        """Approximate dictionary memory footprint."""
+        return sum(16 * len(e.signature) + 64 for e in self.entries)
+
+    def diagnose(
+        self, log: FailureLog, max_candidates: int = 20, min_score: float = 0.1
+    ) -> DiagnosisReport:
+        """Rank dictionary entries by Jaccard match with the failure log."""
+        actual = frozenset((e.pattern, e.observation) for e in log.entries)
+        if not actual:
+            return DiagnosisReport(candidates=[])
+        scored: List[Candidate] = []
+        for entry in self.entries:
+            inter = len(entry.signature & actual)
+            if inter == 0:
+                continue
+            union = len(entry.signature | actual)
+            score = inter / union
+            if score < min_score:
+                continue
+            scored.append(
+                Candidate(
+                    site=entry.fault.site,
+                    polarity=entry.fault.polarity,
+                    score=score,
+                    tier=site_tier(self.nl, entry.fault.site),
+                    tfsf=inter,
+                    tfsp=len(actual - entry.signature),
+                    tpsf=len(entry.signature - actual),
+                )
+            )
+        scored.sort(key=lambda c: (-c.score, c.site.label))
+        # Collapse both polarities of one site into its best entry.
+        seen: set = set()
+        kept: List[Candidate] = []
+        for c in scored:
+            key = (c.site.kind, c.site.net, c.site.sinks, c.site.miv_id)
+            if key in seen:
+                continue
+            seen.add(key)
+            kept.append(c)
+            if len(kept) >= max_candidates:
+                break
+        return DiagnosisReport(candidates=kept)

@@ -1,0 +1,242 @@
+"""Effect-cause TDF diagnosis — the commercial ATPG-diagnosis stand-in.
+
+The classic multi-phase algorithm behind production diagnosis tools
+(Huang, *VLSI Test Principles and Architectures*, ch. 7):
+
+1. **Candidate extraction.**  For every erroneous response the defect must
+   lie in the fan-in cone of the failing observation *and* switch under the
+   failing pattern (TDF launch condition).  Nets are scored by how many
+   erroneous responses they can explain; nets explaining (nearly) all of
+   them become suspects.  Using a coverage count instead of a strict
+   intersection keeps the tool usable for multi-fault chips and for
+   compaction aliasing, mirroring commercial behaviour.
+
+2. **Net screening.**  Every suspect net is fault-simulated once (stem
+   fault) against a reduced pattern sample (the failing patterns plus a
+   seeded sample of passing patterns) and ranked by match score.
+
+3. **Candidate simulation.**  All fault sites (stem, branches, MIVs) on the
+   top-ranked nets are fault-simulated for both polarities; predicted and
+   observed failure logs are compared into TFSF / TFSP / TPSF counts and a
+   match score.  Candidates are ranked and pruned to the near-best band,
+   producing the ranked report the GNN framework post-processes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..atpg.faults import Fault, FaultSite, Polarity, branch_site, site_tier, stem_site
+from ..atpg.patterns import PatternSet
+from ..dft.observation import ObservationMap
+from ..m3d.miv import MIV, miv_fault_sites
+from ..netlist.netlist import Netlist
+from ..netlist.topology import fanin_cone_nets
+from ..sim.faultsim import FaultMachine
+from ..sim.logicsim import CompiledSimulator, TwoPatternResult
+from ..tester.failure_log import FailureLog
+from .report import Candidate, DiagnosisReport
+
+__all__ = ["EffectCauseDiagnoser"]
+
+
+class EffectCauseDiagnoser:
+    """Ranked-candidate TDF diagnosis for one prepared design.
+
+    Args:
+        nl: Tier-assigned design.
+        obsmap: Observation map the failure logs were recorded under.
+        patterns: The TDF pattern set applied on the tester.
+        mivs: The design's MIVs (adds MIV candidate sites).
+        sim: Optional pre-compiled simulator to share.
+        keep_ratio: Candidates scoring below ``keep_ratio * best`` are
+            dropped from the report.
+        max_detail_nets: Suspect nets surviving screening into per-site
+            simulation.
+        max_candidates: Cap on report length.
+        explain_fraction: Relaxed suspect threshold (fraction of the best
+            explained-response count) used when no net explains everything.
+        n_passing_sample: Passing patterns sampled into the scoring subset.
+        seed: Seed for the passing-pattern sample.
+    """
+
+    def __init__(
+        self,
+        nl: Netlist,
+        obsmap: ObservationMap,
+        patterns: PatternSet,
+        mivs: Sequence[MIV] = (),
+        sim: Optional[CompiledSimulator] = None,
+        keep_ratio: float = 0.45,
+        max_detail_nets: int = 64,
+        max_candidates: int = 80,
+        explain_fraction: float = 0.85,
+        n_passing_sample: int = 16,
+        seed: int = 0,
+    ) -> None:
+        self.nl = nl
+        self.obsmap = obsmap
+        self.sim = sim or CompiledSimulator(nl)
+        self.machine = FaultMachine(self.sim)
+        self.good = self.sim.simulate_pair(patterns.v1, patterns.v2)
+        self.transitions = self.good.transitions()
+        self.keep_ratio = keep_ratio
+        self.max_detail_nets = max_detail_nets
+        self.max_candidates = max_candidates
+        self.explain_fraction = explain_fraction
+        self.n_passing_sample = n_passing_sample
+        self.seed = seed
+        self._cone_cache: Dict[int, Set[int]] = {}
+        self._miv_sites_by_net: Dict[int, List[FaultSite]] = {}
+        for s in miv_fault_sites(nl, mivs):
+            self._miv_sites_by_net.setdefault(s.net, []).append(s)
+        self._observed = set(nl.observed_nets)
+
+    # ------------------------------------------------------------ phase one
+    def _cone(self, obs_net: int) -> Set[int]:
+        cone = self._cone_cache.get(obs_net)
+        if cone is None:
+            cone = fanin_cone_nets(self.nl, obs_net)
+            self._cone_cache[obs_net] = cone
+        return cone
+
+    def suspect_nets(self, log: FailureLog) -> List[int]:
+        """Nets that can explain (nearly) every erroneous response."""
+        explain_count: Dict[int, int] = {}
+        n_entries = len(log.entries)
+        for entry in log.entries:
+            pattern = entry.pattern
+            union: Set[int] = set()
+            for obs_net in self.obsmap.observations[entry.observation].nets:
+                union.update(self._cone(obs_net))
+            for net in union:
+                if self.transitions[net, pattern]:
+                    explain_count[net] = explain_count.get(net, 0) + 1
+        if not explain_count:
+            return []
+        best = max(explain_count.values())
+        threshold = n_entries if best == n_entries else max(
+            1, int(np.ceil(self.explain_fraction * best))
+        )
+        return sorted(net for net, c in explain_count.items() if c >= threshold)
+
+    # ------------------------------------------------------------ sub-sample
+    def _pattern_subset(self, log: FailureLog) -> Tuple[np.ndarray, TwoPatternResult]:
+        """Failing patterns plus a seeded sample of passing ones."""
+        n_pat = self.good.n_patterns
+        failing = np.asarray(log.failing_patterns, dtype=int)
+        passing = np.setdiff1d(np.arange(n_pat), failing)
+        rng = np.random.default_rng(self.seed + len(log.entries))
+        if len(passing) > self.n_passing_sample:
+            passing = np.sort(rng.choice(passing, self.n_passing_sample, replace=False))
+        cols = np.concatenate([failing, passing])
+        sub = TwoPatternResult(self.good.v1[:, cols], self.good.v2[:, cols])
+        return cols, sub
+
+    def _predicted_fails(
+        self, fault: Fault, sub: TwoPatternResult, cols: np.ndarray
+    ) -> Set[Tuple[int, int]]:
+        detections = self.machine.propagate(fault, sub)
+        predicted: Set[Tuple[int, int]] = set()
+        for obs_id, mask in self.obsmap.fail_masks(detections).items():
+            for p in np.nonzero(mask)[0]:
+                predicted.add((int(cols[p]), obs_id))
+        return predicted
+
+    @staticmethod
+    def _match(
+        predicted: Set[Tuple[int, int]], actual: Set[Tuple[int, int]]
+    ) -> Tuple[float, int, int, int]:
+        tfsf = len(predicted & actual)
+        tfsp = len(actual - predicted)
+        tpsf = len(predicted - actual)
+        denom = tfsf + tfsp + tpsf
+        return (tfsf / denom if denom else 0.0), tfsf, tfsp, tpsf
+
+    # ------------------------------------------------------------ phase 2+3
+    def _sites_of_net(self, net_id: int) -> List[FaultSite]:
+        net = self.nl.nets[net_id]
+        sites = [stem_site(self.nl, net_id)]
+        n_dest = len(net.sinks) + (1 if net_id in self._observed else 0)
+        if n_dest > 1:
+            for gate_id, pin in net.sinks:
+                sites.append(branch_site(self.nl, gate_id, pin))
+        sites.extend(self._miv_sites_by_net.get(net_id, ()))
+        return sites
+
+    def _score_site(
+        self,
+        site: FaultSite,
+        sub: TwoPatternResult,
+        cols: np.ndarray,
+        actual: Set[Tuple[int, int]],
+    ) -> Optional[Candidate]:
+        best: Optional[Candidate] = None
+        for polarity in (Polarity.SLOW_TO_RISE, Polarity.SLOW_TO_FALL):
+            predicted = self._predicted_fails(Fault(site, polarity), sub, cols)
+            score, tfsf, tfsp, tpsf = self._match(predicted, actual)
+            if tfsf == 0:
+                continue
+            cand = Candidate(
+                site=site,
+                polarity=polarity,
+                score=score,
+                tier=site_tier(self.nl, site),
+                tfsf=tfsf,
+                tfsp=tfsp,
+                tpsf=tpsf,
+            )
+            if best is None or (cand.score, -cand.tpsf) > (best.score, -best.tpsf):
+                best = cand
+        return best
+
+    def diagnose(self, log: FailureLog) -> DiagnosisReport:
+        """Produce the ranked candidate report for one failure log."""
+        if not log.entries:
+            return DiagnosisReport(candidates=[])
+        cols, sub = self._pattern_subset(log)
+        col_set = set(int(c) for c in cols)
+        actual = {
+            (e.pattern, e.observation) for e in log.entries if e.pattern in col_set
+        }
+        suspects = self.suspect_nets(log)
+
+        # Phase 2: one stem simulation per suspect net, rank nets by how many
+        # observed fails they explain (recall first — a stem over-predicts for
+        # branch defects, so precision would unfairly drop the true net).
+        stem_cand: Dict[int, Candidate] = {}
+        net_rank: List[Tuple[Tuple[int, int, float], int]] = []
+        for net_id in suspects:
+            cand = self._score_site(stem_site(self.nl, net_id), sub, cols, actual)
+            if cand is not None:
+                stem_cand[net_id] = cand
+                net_rank.append(((-cand.tfsf, cand.tpsf, -cand.score), net_id))
+        net_rank.sort()
+        detail_nets = [net_id for _key, net_id in net_rank[: self.max_detail_nets]]
+
+        # Phase 3: per-site scoring on the surviving nets (stems reuse phase 2).
+        candidates: List[Candidate] = []
+        for net_id in detail_nets:
+            for site in self._sites_of_net(net_id):
+                if site.kind == "stem":
+                    candidates.append(stem_cand[net_id])
+                    continue
+                cand = self._score_site(site, sub, cols, actual)
+                if cand is not None:
+                    candidates.append(cand)
+        if not candidates:
+            return DiagnosisReport(candidates=[])
+        # Rank in coarse confidence bands (commercial tools report equal-
+        # confidence groups; ordering within a band is arbitrary), then trim
+        # to the near-best band by raw score.
+        candidates.sort(key=lambda c: (-self._band(c.score), c.site.label))
+        best = max(c.score for c in candidates)
+        kept = [c for c in candidates if c.score >= self.keep_ratio * best]
+        return DiagnosisReport(candidates=kept[: self.max_candidates])
+
+    @staticmethod
+    def _band(score: float) -> int:
+        """Quantize a match score into a ranking confidence band."""
+        return int(score / 0.25)

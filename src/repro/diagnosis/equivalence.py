@@ -1,0 +1,82 @@
+"""Diagnostic equivalence classes over report candidates.
+
+Two candidates are *diagnostically equivalent* for a given failure log when
+the tester could never tell them apart — they predict the same failing
+(pattern, observation) set.  PFA engineers reason in equivalence classes:
+a report with 8 candidates in 2 classes needs at most 2 probe targets, so
+class-level resolution is the fairer quality measure for physically-aware
+flows (and is how PADRE-style tools report).
+
+This module groups candidates by their match statistics (an inexpensive
+proxy for the full signature: candidates with identical TFSF/TFSP/TPSF
+against the same log are behaviourally indistinguishable at the tester) and
+offers class-level metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .report import Candidate, DiagnosisReport
+
+__all__ = ["EquivalenceClass", "group_candidates", "class_resolution", "class_first_hit"]
+
+
+@dataclass
+class EquivalenceClass:
+    """One group of tester-indistinguishable candidates.
+
+    Attributes:
+        members: Candidates in report order (first = representative).
+        signature: The shared (tfsf, tfsp, tpsf) match statistics.
+    """
+
+    members: List[Candidate]
+    signature: Tuple[int, int, int]
+
+    @property
+    def representative(self) -> Candidate:
+        return self.members[0]
+
+    @property
+    def tiers(self) -> set:
+        return {c.tier for c in self.members}
+
+
+def group_candidates(report: DiagnosisReport) -> List[EquivalenceClass]:
+    """Group a report's candidates into equivalence classes, rank-ordered.
+
+    Classes inherit the position of their first member, so the class list
+    preserves the report's ranking.
+    """
+    by_sig: Dict[Tuple[int, int, int], EquivalenceClass] = {}
+    ordered: List[EquivalenceClass] = []
+    for cand in report.candidates:
+        sig = (cand.tfsf, cand.tfsp, cand.tpsf)
+        cls = by_sig.get(sig)
+        if cls is None:
+            cls = EquivalenceClass(members=[], signature=sig)
+            by_sig[sig] = cls
+            ordered.append(cls)
+        cls.members.append(cand)
+    return ordered
+
+
+def class_resolution(report: DiagnosisReport) -> int:
+    """Number of equivalence classes (the PFA-relevant resolution)."""
+    return len(group_candidates(report))
+
+
+def class_first_hit(report: DiagnosisReport, truths) -> int:
+    """1-based rank of the first equivalence class containing a truth site.
+
+    Returns 0 when no class contains the ground truth.
+    """
+    from .report import site_key
+
+    truth_keys = {site_key(t.site) for t in truths}
+    for rank, cls in enumerate(group_candidates(report), start=1):
+        if any(site_key(c.site) in truth_keys for c in cls.members):
+            return rank
+    return 0

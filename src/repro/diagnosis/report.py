@@ -1,0 +1,162 @@
+"""Diagnosis reports and their quality metrics.
+
+The three measures of Section II-B:
+
+* **Diagnostic resolution** — the number of candidates in the report
+  (smaller is better, ideally 1).
+* **Accuracy** — whether some candidate pinpoints the ground-truth defect.
+* **First-hit index (FHI)** — 1-based rank of the first ground-truth
+  candidate in the report (smaller is better).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..atpg.faults import Fault, FaultSite, Polarity
+
+__all__ = [
+    "Candidate",
+    "DiagnosisReport",
+    "site_key",
+    "sites_match",
+    "report_is_accurate",
+    "first_hit_index",
+    "ReportQuality",
+    "summarize_reports",
+]
+
+
+def site_key(site: FaultSite) -> Tuple:
+    """Hashable identity of a fault site (kind, net, sink set, MIV id)."""
+    return (site.kind, site.net, tuple(sorted(site.sinks)), site.miv_id)
+
+
+def sites_match(candidate: FaultSite, truth: FaultSite) -> bool:
+    """Whether a candidate pinpoints the ground-truth defect location.
+
+    Exact site identity — the candidate universe contains every injectable
+    site, so diagnosis can in principle name the exact pin or MIV.
+    """
+    return site_key(candidate) == site_key(truth)
+
+
+@dataclass
+class Candidate:
+    """One ranked entry of a diagnosis report.
+
+    Attributes:
+        site: The suspected fault site.
+        polarity: Suspected TDF polarity (best-matching one).
+        score: Match quality in [0, 1] (1 = explains the whole failure log
+            without mispredictions).
+        tier: Tier of the site, or None for MIVs.
+        tfsf / tfsp / tpsf: Tester-fail-sim-fail / tester-fail-sim-pass /
+            tester-pass-sim-fail counts behind the score.
+    """
+
+    site: FaultSite
+    polarity: Polarity
+    score: float
+    tier: Optional[int]
+    tfsf: int = 0
+    tfsp: int = 0
+    tpsf: int = 0
+
+    @property
+    def is_miv(self) -> bool:
+        return self.site.kind == "miv"
+
+
+@dataclass
+class DiagnosisReport:
+    """A ranked candidate list for one failing chip."""
+
+    candidates: List[Candidate]
+
+    @property
+    def resolution(self) -> int:
+        """Diagnostic resolution = number of candidates."""
+        return len(self.candidates)
+
+    def truncated(self, n: int) -> "DiagnosisReport":
+        return DiagnosisReport(self.candidates[:n])
+
+    def __iter__(self):
+        return iter(self.candidates)
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+
+def report_is_accurate(report: DiagnosisReport, truths: Sequence[Fault]) -> bool:
+    """True when *every* injected fault site appears among the candidates.
+
+    With a single injected fault this is the paper's accuracy; for the
+    multiple-fault study (Table X) "a diagnosis report is counted as accurate
+    if all injected faults ... are included in the candidate list".
+    """
+    keys = {site_key(c.site) for c in report.candidates}
+    return all(site_key(t.site) in keys for t in truths)
+
+
+def first_hit_index(report: DiagnosisReport, truths: Sequence[Fault]) -> Optional[int]:
+    """1-based rank of the first candidate matching any injected fault."""
+    truth_keys = {site_key(t.site) for t in truths}
+    for rank, cand in enumerate(report.candidates, start=1):
+        if site_key(cand.site) in truth_keys:
+            return rank
+    return None
+
+
+@dataclass
+class ReportQuality:
+    """Aggregate quality over a set of diagnosed samples (one table row)."""
+
+    accuracy: float
+    mean_resolution: float
+    std_resolution: float
+    mean_fhi: float
+    std_fhi: float
+    n_samples: int
+
+    def as_row(self) -> Tuple[float, float, float, float, float]:
+        return (
+            self.accuracy,
+            self.mean_resolution,
+            self.std_resolution,
+            self.mean_fhi,
+            self.std_fhi,
+        )
+
+
+def summarize_reports(
+    pairs: Iterable[Tuple[DiagnosisReport, Sequence[Fault]]]
+) -> ReportQuality:
+    """Accuracy / resolution / FHI statistics over (report, truth) pairs.
+
+    FHI statistics are computed over accurate reports only (a miss has no
+    first hit).
+    """
+    import numpy as np
+
+    accs: List[bool] = []
+    resolutions: List[int] = []
+    fhis: List[int] = []
+    for report, truths in pairs:
+        acc = report_is_accurate(report, truths)
+        accs.append(acc)
+        resolutions.append(report.resolution)
+        fhi = first_hit_index(report, truths)
+        if fhi is not None:
+            fhis.append(fhi)
+    n = len(accs)
+    return ReportQuality(
+        accuracy=float(np.mean(accs)) if n else 0.0,
+        mean_resolution=float(np.mean(resolutions)) if n else 0.0,
+        std_resolution=float(np.std(resolutions)) if n else 0.0,
+        mean_fhi=float(np.mean(fhis)) if fhis else 0.0,
+        std_fhi=float(np.std(fhis)) if fhis else 0.0,
+        n_samples=n,
+    )

@@ -1,0 +1,81 @@
+"""Experiment runners regenerating every table and figure of the paper."""
+
+from .benchmarks import BENCHMARK_NAMES, BENCHMARKS, BenchmarkSpec, benchmark
+from .common import (
+    TEST_SAMPLES,
+    TRAIN_SAMPLES_PER_DESIGN,
+    get_atpg_reports,
+    get_dataset,
+    get_dedicated_framework,
+    get_diagnoser,
+    get_framework,
+    get_prepared,
+)
+from .table3 import DesignMatrixRow, design_matrix, format_design_matrix
+from .quality import QualityRow, atpg_quality, format_quality
+from .effectiveness import EffectivenessRow, MethodResult, effectiveness, format_effectiveness
+from .fig5 import PcaStudy, format_pca_study, pca_study
+from .fig6 import TransferabilityRow, format_transferability, transferability_study
+from .runtime import (
+    RuntimeRow,
+    format_pfa_savings,
+    format_runtime,
+    pfa_savings,
+    runtime_table,
+)
+from .multifault import MultiFaultRow, format_multifault, multifault_study
+from .ablation import (
+    AblationRow,
+    format_standalone,
+    format_threshold_sweep,
+    standalone_models,
+    threshold_sweep,
+)
+from .significance import SignificanceRow, feature_significance, format_significance
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "benchmark",
+    "TEST_SAMPLES",
+    "TRAIN_SAMPLES_PER_DESIGN",
+    "get_atpg_reports",
+    "get_dataset",
+    "get_dedicated_framework",
+    "get_diagnoser",
+    "get_framework",
+    "get_prepared",
+    "DesignMatrixRow",
+    "design_matrix",
+    "format_design_matrix",
+    "QualityRow",
+    "atpg_quality",
+    "format_quality",
+    "EffectivenessRow",
+    "MethodResult",
+    "effectiveness",
+    "format_effectiveness",
+    "PcaStudy",
+    "format_pca_study",
+    "pca_study",
+    "TransferabilityRow",
+    "format_transferability",
+    "transferability_study",
+    "RuntimeRow",
+    "format_pfa_savings",
+    "format_runtime",
+    "pfa_savings",
+    "runtime_table",
+    "MultiFaultRow",
+    "format_multifault",
+    "multifault_study",
+    "AblationRow",
+    "format_standalone",
+    "format_threshold_sweep",
+    "standalone_models",
+    "threshold_sweep",
+    "SignificanceRow",
+    "feature_significance",
+    "format_significance",
+]

@@ -1,0 +1,119 @@
+"""Scaled benchmark suite mirroring the paper's design matrix (Table III).
+
+The paper's benchmarks are 98K–338K-gate commercial syntheses; the offline
+reproduction scales each design down ~100× while preserving the *relative*
+ordering (AES < Tate < netcard < leon3mp), the flop-to-gate ratios, and each
+design's structural flavor.  The compaction ratio is scaled from the paper's
+20× to 4× so compacted channels still contain several chains at this size.
+
+Two scales are provided:
+
+* ``default`` — used by the benchmark harness to regenerate the paper's
+  tables;
+* ``tiny``    — fast variants for unit/integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..netlist.generators import GeneratorSpec
+
+__all__ = ["BenchmarkSpec", "BENCHMARKS", "benchmark", "BENCHMARK_NAMES"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark's generation and DfT parameters.
+
+    Attributes:
+        name: Benchmark name (paper naming).
+        generator: Synthetic netlist generation parameters.
+        n_chains: Scan chains.
+        chains_per_channel: Compaction ratio (paper: 20, scaled: 4).
+        max_patterns: ATPG pattern budget.
+        paper_gates / paper_mivs / paper_patterns / paper_fc: The paper's
+            Table III values, kept for the paper-vs-measured report.
+    """
+
+    name: str
+    generator: GeneratorSpec
+    n_chains: int
+    chains_per_channel: int
+    max_patterns: int
+    paper_gates: int
+    paper_mivs: int
+    paper_patterns: int
+    paper_fc: float
+
+
+def _suite(scale: str) -> Dict[str, BenchmarkSpec]:
+    if scale == "default":
+        sizes = {
+            "AES": (700, 80, 32, 32, 8, 192),
+            "Tate": (950, 104, 32, 32, 8, 192),
+            "netcard": (1200, 128, 48, 48, 16, 192),
+            "leon3mp": (1500, 160, 48, 48, 16, 192),
+        }
+    elif scale == "tiny":
+        sizes = {
+            "AES": (220, 32, 16, 16, 4, 96),
+            "Tate": (300, 40, 16, 16, 4, 96),
+            "netcard": (380, 48, 16, 16, 8, 96),
+            "leon3mp": (460, 56, 16, 16, 8, 96),
+        }
+    else:
+        raise ValueError(f"unknown scale {scale!r}")
+
+    flavors = {
+        "AES": "aes_like",
+        "Tate": "tate_like",
+        "netcard": "netcard_like",
+        "leon3mp": "leon3mp_like",
+    }
+    paper = {
+        "AES": (98_000, 71_000, 767, 0.983),
+        "Tate": (187_000, 143_000, 432, 0.986),
+        "netcard": (220_000, 173_000, 40_438, 0.973),
+        "leon3mp": (338_000, 250_000, 18_737, 0.991),
+    }
+    seeds = {"AES": 1, "Tate": 2, "netcard": 4, "leon3mp": 5}
+
+    suite: Dict[str, BenchmarkSpec] = {}
+    for name, (gates, flops, pis, pos, chains, patterns) in sizes.items():
+        pg, pm, pp, pfc = paper[name]
+        suite[name] = BenchmarkSpec(
+            name=name,
+            generator=GeneratorSpec(
+                name=name.lower(),
+                flavor=flavors[name],
+                n_gates=gates,
+                n_flops=flops,
+                n_pis=pis,
+                n_pos=pos,
+                seed=seeds[name],
+            ),
+            n_chains=chains,
+            chains_per_channel=4,
+            max_patterns=patterns,
+            paper_gates=pg,
+            paper_mivs=pm,
+            paper_patterns=pp,
+            paper_fc=pfc,
+        )
+    return suite
+
+
+#: Benchmark suites keyed by scale.
+BENCHMARKS: Dict[str, Dict[str, BenchmarkSpec]] = {
+    "default": _suite("default"),
+    "tiny": _suite("tiny"),
+}
+
+BENCHMARK_NAMES: Tuple[str, ...] = ("AES", "Tate", "netcard", "leon3mp")
+
+
+def benchmark(name: str, scale: str = "default") -> BenchmarkSpec:
+    """Look up one benchmark spec."""
+    return BENCHMARKS[scale][name]

@@ -1,0 +1,151 @@
+"""Tables VI and VIII — effectiveness of delay-fault localization.
+
+Per (benchmark, configuration): the 2D baseline [11] (PADRE-like filter),
+the proposed framework standalone (GNN candidate pruning/reordering), and
+the combined GNN + [11] flow, each summarized as accuracy / resolution / FHI
+plus the tier-localization percentage, without (Table VI) or with
+(Table VIII) response compaction.
+
+Tier-localization accounting follows the paper: reports already localized by
+ATPG (all candidates in one tier) are excluded; the baseline localizes a
+report when every remaining candidate sits in the ground-truth faulty tier;
+the proposed framework localizes it when the Tier-predictor names that tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..diagnosis.baseline import PadreLikeFilter
+from ..diagnosis.report import DiagnosisReport, ReportQuality, summarize_reports
+from .benchmarks import BENCHMARK_NAMES
+from .common import TEST_SAMPLES, get_atpg_reports, get_dataset, get_framework, get_prepared
+
+__all__ = ["MethodResult", "EffectivenessRow", "effectiveness", "format_effectiveness"]
+
+CONFIGS = ("Syn-1", "TPI", "Syn-2", "Par")
+
+
+@dataclass
+class MethodResult:
+    """Quality + tier localization for one method on one design point."""
+
+    quality: ReportQuality
+    tier_localization: Optional[float]
+
+
+@dataclass
+class EffectivenessRow:
+    """One (benchmark, configuration) row of Table VI / VIII."""
+
+    design: str
+    config: str
+    atpg: MethodResult
+    baseline: MethodResult
+    gnn: MethodResult
+    combined: MethodResult
+
+
+def _tier_of_candidates(report: DiagnosisReport) -> set:
+    return {c.tier for c in report.candidates if c.tier is not None}
+
+
+def effectiveness(
+    mode: str,
+    designs: Sequence[str] = BENCHMARK_NAMES,
+    configs: Sequence[str] = CONFIGS,
+    n_samples: int = TEST_SAMPLES,
+    scale: str = "default",
+) -> List[EffectivenessRow]:
+    """Regenerate Table VI (``mode="bypass"``) or VIII (``mode="compacted"``)."""
+    rows: List[EffectivenessRow] = []
+    for name in designs:
+        framework, _stats = get_framework(name, mode, scale=scale)
+        for config in configs:
+            design = get_prepared(name, config, scale)
+            dataset = get_dataset(name, config, mode, "single", n_samples, scale=scale)
+            reports, _t = get_atpg_reports(name, config, mode, "single", n_samples, scale=scale)
+            filt = PadreLikeFilter(design.nl)
+            policy = framework.policy_for(design)
+
+            base_reports = [filt.filter(r) for r in reports]
+            policy_results = [
+                policy.apply(r, item.graph) for r, item in zip(reports, dataset.items)
+            ]
+            gnn_reports = [pr.report for pr in policy_results]
+            combined_reports = [filt.filter(r) for r in gnn_reports]
+
+            truths = [item.faults for item in dataset.items]
+
+            # Tier localization over reports ATPG did not already localize,
+            # restricted to samples with a single-tier ground truth.
+            eligible = [
+                i
+                for i, (rep, item) in enumerate(zip(reports, dataset.items))
+                if item.graph.y >= 0 and len(_tier_of_candidates(rep)) > 1
+            ]
+
+            def local_frac(per_index) -> Optional[float]:
+                if not eligible:
+                    return None
+                return sum(per_index(i) for i in eligible) / len(eligible)
+
+            base_local = local_frac(
+                lambda i: int(
+                    _tier_of_candidates(base_reports[i]) == {dataset.items[i].graph.y}
+                )
+            )
+            gnn_local = local_frac(
+                lambda i: int(policy_results[i].predicted_tier == dataset.items[i].graph.y)
+            )
+
+            rows.append(
+                EffectivenessRow(
+                    design=name,
+                    config=config,
+                    atpg=MethodResult(
+                        summarize_reports(zip(reports, truths)), None
+                    ),
+                    baseline=MethodResult(
+                        summarize_reports(zip(base_reports, truths)), base_local
+                    ),
+                    gnn=MethodResult(
+                        summarize_reports(zip(gnn_reports, truths)), gnn_local
+                    ),
+                    combined=MethodResult(
+                        summarize_reports(zip(combined_reports, truths)), gnn_local
+                    ),
+                )
+            )
+    return rows
+
+
+def _fmt_method(m: MethodResult, ref: ReportQuality) -> str:
+    q = m.quality
+    dacc = q.accuracy - ref.accuracy
+    dres = (
+        (ref.mean_resolution - q.mean_resolution) / ref.mean_resolution
+        if ref.mean_resolution
+        else 0.0
+    )
+    dfhi = (ref.mean_fhi - q.mean_fhi) / ref.mean_fhi if ref.mean_fhi else 0.0
+    local = f"{m.tier_localization:6.1%}" if m.tier_localization is not None else "   n/a"
+    return (
+        f"acc={q.accuracy:6.1%}({dacc:+5.1%}) "
+        f"res={q.mean_resolution:5.1f}({dres:+6.1%}) "
+        f"fhi={q.mean_fhi:4.1f}({dfhi:+6.1%}) loc={local}"
+    )
+
+
+def format_effectiveness(rows: List[EffectivenessRow], title: str) -> str:
+    """Printable Table VI/VIII (deltas are vs. the ATPG report)."""
+    lines = [title]
+    for r in rows:
+        ref = r.atpg.quality
+        lines.append(f"{r.design} / {r.config}  (ATPG: acc={ref.accuracy:.1%} "
+                     f"res={ref.mean_resolution:.1f} fhi={ref.mean_fhi:.1f})")
+        lines.append(f"  baseline[11] : {_fmt_method(r.baseline, ref)}")
+        lines.append(f"  GNN          : {_fmt_method(r.gnn, ref)}")
+        lines.append(f"  GNN+[11]     : {_fmt_method(r.combined, ref)}")
+    return "\n".join(lines)

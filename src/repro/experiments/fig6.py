@@ -1,0 +1,81 @@
+"""Fig. 6 — dedicated vs. transferred model accuracy across configurations.
+
+*Dedicated* models are trained on each configuration's own samples;
+the *Transferred* model is trained once on Syn-1 plus randomly-partitioned
+netlists (the paper's data augmentation) and evaluated on every
+configuration without retraining.  The paper's finding: the transferred
+model matches (and on unseen configurations sometimes beats) the dedicated
+ones, for both Tier-predictor and MIV-pinpointer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .common import TEST_SAMPLES, get_dataset, get_dedicated_framework, get_framework
+
+__all__ = ["TransferabilityRow", "transferability_study", "format_transferability"]
+
+CONFIGS = ("Syn-1", "TPI", "Syn-2", "Par")
+
+
+@dataclass
+class TransferabilityRow:
+    """Accuracy of both models on one configuration."""
+
+    config: str
+    dedicated_tier: float
+    transferred_tier: float
+    dedicated_miv: float
+    transferred_miv: float
+
+
+def transferability_study(
+    benchmark_name: str = "Tate",
+    mode: str = "bypass",
+    configs: Sequence[str] = CONFIGS,
+    n_samples: int = TEST_SAMPLES,
+    scale: str = "default",
+) -> List[TransferabilityRow]:
+    """Regenerate the Fig. 6 comparison for one benchmark."""
+    transferred, _stats = get_framework(benchmark_name, mode, scale=scale)
+    rows: List[TransferabilityRow] = []
+    for config in configs:
+        dedicated, _dstats = get_dedicated_framework(benchmark_name, config, mode, scale=scale)
+        test = get_dataset(
+            benchmark_name, config, mode, "single", n_samples, seed=8888, scale=scale
+        )
+        tier_graphs = [g for g in test.graphs if g.y >= 0]
+        row = TransferabilityRow(
+            config=config,
+            dedicated_tier=dedicated.tier_predictor.accuracy(tier_graphs),
+            transferred_tier=transferred.tier_predictor.accuracy(tier_graphs),
+            dedicated_miv=(
+                dedicated.miv_pinpointer.sample_accuracy(test.graphs)
+                if dedicated.miv_pinpointer
+                else 0.0
+            ),
+            transferred_miv=(
+                transferred.miv_pinpointer.sample_accuracy(test.graphs)
+                if transferred.miv_pinpointer
+                else 0.0
+            ),
+        )
+        rows.append(row)
+    return rows
+
+
+def format_transferability(rows: List[TransferabilityRow], benchmark_name: str) -> str:
+    """Printable Fig. 6 table."""
+    lines = [
+        f"Fig. 6: dedicated vs transferred model accuracy ({benchmark_name})",
+        f"{'Config':8s} {'Tier ded.':>10s} {'Tier transf.':>13s} "
+        f"{'MIV ded.':>10s} {'MIV transf.':>12s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.config:8s} {r.dedicated_tier:10.1%} {r.transferred_tier:13.1%} "
+            f"{r.dedicated_miv:10.1%} {r.transferred_miv:12.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Tables V and VII — quality of ATPG diagnosis reports.
+
+Accuracy, mean/std diagnostic resolution, and mean/std FHI of the raw
+effect-cause (commercial stand-in) reports per benchmark and configuration,
+without (Table V) and with (Table VII) response compaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..diagnosis.report import ReportQuality, summarize_reports
+from .benchmarks import BENCHMARK_NAMES
+from .common import TEST_SAMPLES, get_atpg_reports, get_dataset
+
+__all__ = ["QualityRow", "atpg_quality", "format_quality"]
+
+CONFIGS = ("Syn-1", "TPI", "Syn-2", "Par")
+
+
+@dataclass
+class QualityRow:
+    """One (benchmark, configuration) row of Table V / VII."""
+
+    design: str
+    config: str
+    quality: ReportQuality
+
+
+def atpg_quality(
+    mode: str,
+    designs: Sequence[str] = BENCHMARK_NAMES,
+    configs: Sequence[str] = CONFIGS,
+    n_samples: int = TEST_SAMPLES,
+    scale: str = "default",
+) -> List[QualityRow]:
+    """Regenerate Table V (``mode="bypass"``) or VII (``mode="compacted"``)."""
+    rows: List[QualityRow] = []
+    for name in designs:
+        for config in configs:
+            dataset = get_dataset(name, config, mode, "single", n_samples, scale=scale)
+            reports, _t = get_atpg_reports(name, config, mode, "single", n_samples, scale=scale)
+            quality = summarize_reports(
+                (rep, item.faults) for rep, item in zip(reports, dataset.items)
+            )
+            rows.append(QualityRow(design=name, config=config, quality=quality))
+    return rows
+
+
+def format_quality(rows: List[QualityRow], title: str) -> str:
+    """Printable Table V/VII."""
+    lines = [
+        title,
+        f"{'Design':10s} {'Config':7s} {'Acc':>7s} {'mean res':>9s} {'std res':>8s} "
+        f"{'mean FHI':>9s} {'std FHI':>8s} {'n':>4s}",
+    ]
+    for r in rows:
+        q = r.quality
+        lines.append(
+            f"{r.design:10s} {r.config:7s} {q.accuracy:7.1%} {q.mean_resolution:9.1f} "
+            f"{q.std_resolution:8.1f} {q.mean_fhi:9.1f} {q.std_fhi:8.1f} {q.n_samples:4d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Table IX and Figs. 9/10 — runtime analysis and PFA time savings.
+
+Table IX measures per benchmark: feature construction (heterogeneous graph
+build), GNN training, ``T_ATPG`` (diagnosing the Syn-2 test set with the
+effect-cause tool), ``T_GNN`` (back-trace + model inference over the same
+set), and ``T_update`` (candidate pruning and reordering).
+
+Fig. 10 derives the PFA time saved per chip when each candidate costs ``x``
+seconds of physical failure analysis::
+
+    T_total(ATPG)     = T_ATPG + FHI_ATPG * x
+    T_total(proposed) = max(T_ATPG, T_GNN) + T_update + FHI_upd * x
+    T_diff(x)         = T_total(ATPG) - T_total(proposed)
+
+summed over the test set.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.hetgraph import HetGraph
+from ..diagnosis.report import first_hit_index
+from .benchmarks import BENCHMARK_NAMES
+from .common import (
+    TEST_SAMPLES,
+    get_atpg_reports,
+    get_dataset,
+    get_framework,
+    get_prepared,
+)
+
+__all__ = ["RuntimeRow", "runtime_table", "format_runtime", "pfa_savings", "format_pfa_savings"]
+
+
+@dataclass
+class RuntimeRow:
+    """One benchmark's Table IX row (seconds)."""
+
+    design: str
+    feature_construction_s: float
+    gnn_training_s: float
+    t_atpg_s: float
+    t_gnn_s: float
+    t_update_s: float
+    fhi_atpg: float
+    fhi_updated: float
+    n_samples: int
+
+
+def runtime_table(
+    designs: Sequence[str] = BENCHMARK_NAMES,
+    mode: str = "bypass",
+    config: str = "Syn-2",
+    n_samples: int = TEST_SAMPLES,
+    scale: str = "default",
+) -> List[RuntimeRow]:
+    """Regenerate Table IX (deployment on the Syn-2 test sets)."""
+    rows: List[RuntimeRow] = []
+    for name in designs:
+        design = get_prepared(name, config, scale)
+        framework, stats = get_framework(name, mode, scale=scale)
+        dataset = get_dataset(name, config, mode, "single", n_samples, scale=scale)
+        reports, t_atpg = get_atpg_reports(name, config, mode, "single", n_samples, scale=scale)
+
+        t0 = time.perf_counter()
+        HetGraph.build(design.nl, design.mivs, design.good.transitions())
+        t_feature = time.perf_counter() - t0
+
+        # T_GNN: back-trace + model inference per failure log.
+        t0 = time.perf_counter()
+        graphs = []
+        for item in dataset.items:
+            graphs.append(framework.subgraph_for_log(design, mode, item.sample.log))
+        usable = [g for g in graphs if g is not None]
+        framework.tier_predictor.predict_proba(usable)
+        if framework.miv_pinpointer is not None:
+            for g in usable:
+                framework.miv_pinpointer.predict_node_proba(g)
+        t_gnn = time.perf_counter() - t0
+
+        # T_update: the candidate pruning and reordering pass.
+        policy = framework.policy_for(design)
+        t0 = time.perf_counter()
+        results = [
+            policy.apply(rep, g) if g is not None else None
+            for rep, g in zip(reports, graphs)
+        ]
+        t_update = time.perf_counter() - t0
+
+        fhi_a: List[int] = []
+        fhi_u: List[int] = []
+        for item, rep, res in zip(dataset.items, reports, results):
+            fa = first_hit_index(rep, item.faults)
+            if fa is not None:
+                fhi_a.append(fa)
+            if res is not None:
+                fu = first_hit_index(res.report, item.faults)
+                if fu is not None:
+                    fhi_u.append(fu)
+        rows.append(
+            RuntimeRow(
+                design=name,
+                feature_construction_s=t_feature,
+                gnn_training_s=stats["train_time_s"],
+                t_atpg_s=t_atpg,
+                t_gnn_s=t_gnn,
+                t_update_s=t_update,
+                fhi_atpg=float(np.mean(fhi_a)) if fhi_a else 0.0,
+                fhi_updated=float(np.mean(fhi_u)) if fhi_u else 0.0,
+                n_samples=len(dataset.items),
+            )
+        )
+    return rows
+
+
+def format_runtime(rows: List[RuntimeRow]) -> str:
+    """Printable Table IX."""
+    lines = [
+        "Table IX: runtime of the proposed framework (seconds, Syn-2 test sets)",
+        f"{'Design':10s} {'FeatCon':>8s} {'GNNtrain':>9s} {'T_ATPG':>8s} "
+        f"{'T_GNN':>8s} {'T_update':>9s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.design:10s} {r.feature_construction_s:8.2f} {r.gnn_training_s:9.2f} "
+            f"{r.t_atpg_s:8.2f} {r.t_gnn_s:8.2f} {r.t_update_s:9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def pfa_savings(
+    rows: Sequence[RuntimeRow],
+    x_values: Sequence[float] = (1.0, 10.0, 100.0, 1000.0),
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Fig. 10: per-benchmark ``T_diff(x)`` over the PFA cost per candidate."""
+    curves: Dict[str, List[Tuple[float, float]]] = {}
+    for r in rows:
+        pts: List[Tuple[float, float]] = []
+        for x in x_values:
+            total_atpg = r.t_atpg_s + r.fhi_atpg * x * r.n_samples
+            total_prop = (
+                max(r.t_atpg_s, r.t_gnn_s)
+                + r.t_update_s
+                + r.fhi_updated * x * r.n_samples
+            )
+            pts.append((x, total_atpg - total_prop))
+        curves[r.design] = pts
+    return curves
+
+
+def format_pfa_savings(curves: Dict[str, List[Tuple[float, float]]]) -> str:
+    """Printable Fig. 10 series."""
+    lines = ["Fig. 10: PFA time saved T_diff(x) in seconds (positive = framework wins)"]
+    for design, pts in curves.items():
+        series = "  ".join(f"x={x:g}: {d:+.1f}" for x, d in pts)
+        lines.append(f"{design:10s} {series}")
+    return "\n".join(lines)

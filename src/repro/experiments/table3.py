@@ -1,0 +1,71 @@
+"""Table III — design matrix of the M3D benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .benchmarks import BENCHMARK_NAMES, benchmark
+from .common import get_prepared
+
+__all__ = ["DesignMatrixRow", "design_matrix", "format_design_matrix"]
+
+
+@dataclass
+class DesignMatrixRow:
+    """One benchmark's row: measured values plus the paper's for reference."""
+
+    design: str
+    gates: int
+    mivs: int
+    n_chains: int
+    n_channels: int
+    chain_length: int
+    n_patterns: int
+    fault_coverage: float
+    paper_gates: int
+    paper_mivs: int
+    paper_patterns: int
+    paper_fc: float
+
+
+def design_matrix(scale: str = "default") -> List[DesignMatrixRow]:
+    """Regenerate Table III for the scaled benchmark suite (Syn-1 config)."""
+    rows: List[DesignMatrixRow] = []
+    for name in BENCHMARK_NAMES:
+        spec = benchmark(name, scale)
+        design = get_prepared(name, "Syn-1", scale)
+        rows.append(
+            DesignMatrixRow(
+                design=name,
+                gates=design.nl.n_gates,
+                mivs=len(design.mivs),
+                n_chains=design.scan.n_chains,
+                n_channels=design.scan.n_channels,
+                chain_length=design.scan.chain_length,
+                n_patterns=design.patterns.n_patterns,
+                fault_coverage=design.atpg.fault_coverage,
+                paper_gates=spec.paper_gates,
+                paper_mivs=spec.paper_mivs,
+                paper_patterns=spec.paper_patterns,
+                paper_fc=spec.paper_fc,
+            )
+        )
+    return rows
+
+
+def format_design_matrix(rows: List[DesignMatrixRow]) -> str:
+    """Printable Table III."""
+    lines = [
+        "Table III: design matrix of M3D benchmarks (measured | paper)",
+        f"{'Design':10s} {'Ng':>6s} {'#MIVs':>6s} {'Nsc(Nch)':>9s} "
+        f"{'ChainLen':>8s} {'#Pat':>6s} {'FC':>6s}   {'paper Ng':>9s} {'paper FC':>8s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.design:10s} {r.gates:6d} {r.mivs:6d} "
+            f"{r.n_chains:4d}({r.n_channels})  {r.chain_length:8d} "
+            f"{r.n_patterns:6d} {r.fault_coverage:6.1%}   "
+            f"{r.paper_gates:9,d} {r.paper_fc:8.1%}"
+        )
+    return "\n".join(lines)

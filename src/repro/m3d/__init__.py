@@ -1,0 +1,22 @@
+"""Monolithic-3D substrate: tier partitioning, MIVs, defect models."""
+
+from .partition import PartitionResult, apply_partition, cut_nets, kway_partition, mincut_bipartition
+from .spectral import spectral_bipartition
+from .random_part import random_bipartition
+from .miv import MIV, extract_mivs, miv_fault_sites, miv_net_set
+from .defects import DefectSampler
+
+__all__ = [
+    "PartitionResult",
+    "apply_partition",
+    "cut_nets",
+    "mincut_bipartition",
+    "kway_partition",
+    "spectral_bipartition",
+    "random_bipartition",
+    "MIV",
+    "extract_mivs",
+    "miv_fault_sites",
+    "miv_net_set",
+    "DefectSampler",
+]

@@ -1,0 +1,77 @@
+"""M3D-specific defect models.
+
+The paper's motivation: immature M3D fabrication produces *tier-systematic*
+delay defects — low-temperature top-tier devices degrade, tungsten inter-tier
+wiring slows the bottom tier, and MIVs develop voids.  These samplers produce
+the fault populations the evaluation injects:
+
+* single gate-level TDFs drawn uniformly (or biased toward one tier),
+* MIV TDFs,
+* tier-systematic *multi-fault* clusters (2–5 TDFs confined to one tier),
+  used by the Table X experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..atpg.faults import Fault, FaultSite, Polarity, enumerate_sites, site_tier
+from ..netlist.netlist import Netlist
+from .miv import MIV, miv_fault_sites
+
+__all__ = ["DefectSampler"]
+
+
+class DefectSampler:
+    """Seeded sampler over a design's fault population.
+
+    Args:
+        nl: Tier-assigned design.
+        mivs: The design's MIVs.
+        seed: RNG seed; every sample sequence is deterministic.
+    """
+
+    def __init__(self, nl: Netlist, mivs: Sequence[MIV], seed: int = 0) -> None:
+        self.nl = nl
+        self.rng = random.Random(seed)
+        self.gate_sites: List[FaultSite] = enumerate_sites(nl, mivs=(), include_branches=True)
+        self.miv_sites: List[FaultSite] = miv_fault_sites(nl, mivs)
+        tiers = sorted({t for t in (site_tier(nl, s) for s in self.gate_sites) if t is not None})
+        self._sites_by_tier = {
+            t: [s for s in self.gate_sites if site_tier(nl, s) == t] for t in tiers
+        }
+        self.tiers = tiers
+
+    def _polarity(self) -> Polarity:
+        return self.rng.choice((Polarity.SLOW_TO_RISE, Polarity.SLOW_TO_FALL))
+
+    def sample_gate_fault(self, tier: Optional[int] = None) -> Fault:
+        """One TDF at a gate-pin site, optionally restricted to a tier."""
+        pool = self.gate_sites if tier is None else self._sites_by_tier[tier]
+        return Fault(self.rng.choice(pool), self._polarity())
+
+    def sample_miv_fault(self) -> Fault:
+        """One TDF in a randomly chosen MIV."""
+        if not self.miv_sites:
+            raise ValueError("design has no MIVs")
+        return Fault(self.rng.choice(self.miv_sites), self._polarity())
+
+    def sample_single(self, miv_fraction: float = 0.0) -> Fault:
+        """One TDF; with probability ``miv_fraction`` it sits in an MIV."""
+        if self.miv_sites and self.rng.random() < miv_fraction:
+            return self.sample_miv_fault()
+        return self.sample_gate_fault()
+
+    def sample_tier_systematic(self, n_min: int = 2, n_max: int = 5) -> List[Fault]:
+        """A cluster of 2–5 TDFs confined to one (randomly chosen) tier.
+
+        Models the tier-systematic defects of Section VII-A.  Sites within the
+        cluster are distinct.
+        """
+        tier = self.rng.choice(self.tiers)
+        pool = self._sites_by_tier[tier]
+        n = self.rng.randint(n_min, min(n_max, len(pool)))
+        sites = self.rng.sample(pool, n)
+        return [Fault(s, self._polarity()) for s in sites]

@@ -1,0 +1,105 @@
+"""Monolithic inter-tier via (MIV) extraction and fault sites.
+
+After tier assignment, every net whose driver and some destination sit on
+different tiers routes through one MIV.  A delay defect in an MIV disturbs
+exactly the destinations on the far side of the via, which is how the fault
+simulator models it (a sink-subset fault).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..atpg.faults import FaultSite
+from ..netlist.netlist import Netlist
+
+__all__ = ["MIV", "extract_mivs", "miv_fault_sites", "miv_net_set"]
+
+PinRef = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class MIV:
+    """One monolithic inter-tier via.
+
+    Attributes:
+        id: Dense MIV index within the design.
+        net: The tier-crossing net routed through this via.
+        source_tier: Tier of the net's driver.
+        target_tier: Tier the via lands on (multi-tier designs route one MIV
+            per destination tier of a net).
+        far_sinks: Gate input pins on the target tier (disturbed by an MIV
+            fault).
+        observed_faulty: True when a target-tier flop D pin or a primary
+            output observes the net through this via.
+    """
+
+    id: int
+    net: int
+    source_tier: int
+    far_sinks: Tuple[PinRef, ...]
+    observed_faulty: bool
+    target_tier: int = -1
+
+
+def extract_mivs(nl: Netlist) -> List[MIV]:
+    """All MIVs of a tier-assigned netlist, ordered by (net, target tier).
+
+    Two-tier designs get at most one MIV per cut net; designs with more
+    tiers get one MIV per (net, destination tier) crossing.
+
+    Raises:
+        ValueError: if any gate or flop has no tier assignment.
+    """
+    if any(g.tier < 0 for g in nl.gates) or any(f.tier < 0 for f in nl.flops):
+        raise ValueError("netlist is not fully tier-assigned; run a partitioner first")
+
+    d_tier: Dict[int, List[int]] = {}
+    for f in nl.flops:
+        d_tier.setdefault(f.d_net, []).append(f.tier)
+    pos = set(nl.primary_outputs)
+
+    mivs: List[MIV] = []
+    for net in nl.nets:
+        src = nl.net_tier(net.id)
+        far_by_tier: Dict[int, List[PinRef]] = {}
+        for gate_id, pin in net.sinks:
+            t = nl.gates[gate_id].tier
+            if t != src:
+                far_by_tier.setdefault(t, []).append((gate_id, pin))
+        observed_tiers = {t for t in d_tier.get(net.id, ()) if t != src}
+        if net.id in pos and src != 0:
+            observed_tiers.add(0)  # primary outputs pad out on the bottom tier
+        for t in sorted(set(far_by_tier) | observed_tiers):
+            mivs.append(
+                MIV(
+                    id=len(mivs),
+                    net=net.id,
+                    source_tier=src,
+                    far_sinks=tuple(far_by_tier.get(t, ())),
+                    observed_faulty=t in observed_tiers,
+                    target_tier=t,
+                )
+            )
+    return mivs
+
+
+def miv_fault_sites(nl: Netlist, mivs: Sequence[MIV]) -> List[FaultSite]:
+    """Fault sites for every MIV (kind ``"miv"``)."""
+    return [
+        FaultSite(
+            kind="miv",
+            net=m.net,
+            sinks=m.far_sinks,
+            observed_faulty=m.observed_faulty,
+            miv_id=m.id,
+            label=f"miv:{m.id}@{nl.nets[m.net].name}",
+        )
+        for m in mivs
+    ]
+
+
+def miv_net_set(mivs: Sequence[MIV]) -> Set[int]:
+    """Net ids that carry an MIV (used for Topedge N_MIV features)."""
+    return {m.net for m in mivs}

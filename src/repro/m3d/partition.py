@@ -1,0 +1,285 @@
+"""Area-balanced min-cut tier partitioning (Syn-1 default flow).
+
+Stand-in for the placement-driven partitioner of Panth et al. [34]: a
+Fiduccia–Mattheyses-style iterative refinement over the netlist hypergraph.
+Vertices are gates and flops; every net is a hyperedge over its driver and
+sinks; nets touching primary I/O also contain a terminal pinned to the bottom
+tier (pads sit on tier 0).  The cut size equals the number of inter-tier nets
+and therefore the MIV count.
+
+The refinement moves one vertex at a time when the move reduces the cut and
+keeps the per-tier area within the balance tolerance, sweeping vertices in a
+seeded random order until a fixed point (or the pass budget) is reached.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..netlist.netlist import EXTERNAL_DRIVER, Netlist
+
+__all__ = ["PartitionResult", "mincut_bipartition", "kway_partition", "apply_partition", "cut_nets"]
+
+#: Vertex id of the pinned bottom-tier terminal representing primary I/O.
+_IO_TERMINAL = -1
+
+#: Flops are larger than the average combinational cell.
+FLOP_AREA = 2.0
+
+
+@dataclass
+class PartitionResult:
+    """Tier assignment for every gate and flop.
+
+    Attributes:
+        gate_tiers: Tier (0 bottom / 1 top) per gate id.
+        flop_tiers: Tier per flop id.
+        cut: Number of tier-crossing nets (= MIV count).
+        balance: Top-tier area fraction.
+        method: Name of the partitioning algorithm used.
+    """
+
+    gate_tiers: List[int]
+    flop_tiers: List[int]
+    cut: int
+    balance: float
+    method: str
+
+
+def _hyperedges(nl: Netlist) -> List[List[int]]:
+    """Hyperedges over vertex ids: gates 0..G-1, flops G..G+F-1, I/O terminal -1."""
+    n_gates = nl.n_gates
+    flop_vertex = {f.id: n_gates + f.id for f in nl.flops}
+    q_of_net = {f.q_net: f.id for f in nl.flops}
+    d_sinks: Dict[int, List[int]] = {}
+    for f in nl.flops:
+        d_sinks.setdefault(f.d_net, []).append(flop_vertex[f.id])
+    pis = set(nl.primary_inputs)
+    pos = set(nl.primary_outputs)
+
+    edges: List[List[int]] = []
+    for net in nl.nets:
+        members: Set[int] = set()
+        if net.driver != EXTERNAL_DRIVER:
+            members.add(net.driver)
+        elif net.id in q_of_net:
+            members.add(flop_vertex[q_of_net[net.id]])
+        elif net.id in pis:
+            members.add(_IO_TERMINAL)
+        for gate_id, _pin in net.sinks:
+            members.add(gate_id)
+        members.update(d_sinks.get(net.id, ()))
+        if net.id in pos:
+            members.add(_IO_TERMINAL)
+        if len(members) >= 2:
+            edges.append(sorted(members))
+    return edges
+
+
+def _areas(nl: Netlist) -> List[float]:
+    return [g.cell.area for g in nl.gates] + [FLOP_AREA] * nl.n_flops
+
+
+def _cut_count(edges: Sequence[Sequence[int]], tier_of) -> int:
+    cut = 0
+    for members in edges:
+        tiers = {0 if v == _IO_TERMINAL else tier_of[v] for v in members}
+        if len(tiers) > 1:
+            cut += 1
+    return cut
+
+
+def mincut_bipartition(
+    nl: Netlist,
+    seed: int = 0,
+    balance_tolerance: float = 0.08,
+    max_passes: int = 6,
+) -> PartitionResult:
+    """Partition gates and flops into two tiers minimizing the net cut.
+
+    Args:
+        nl: Design to partition.
+        seed: Seed for the initial random balanced assignment and sweep order.
+        balance_tolerance: Allowed deviation of the top-tier area fraction
+            from 0.5.
+        max_passes: Refinement sweep budget.
+    """
+    rng = random.Random(seed)
+    n_gates = nl.n_gates
+    n_vertices = n_gates + nl.n_flops
+    areas = _areas(nl)
+    total_area = sum(areas) or 1.0
+    edges = _hyperedges(nl)
+
+    incident: List[List[int]] = [[] for _ in range(n_vertices)]
+    for eid, members in enumerate(edges):
+        for v in members:
+            if v != _IO_TERMINAL:
+                incident[v].append(eid)
+
+    # Random balanced initial assignment.
+    order = list(range(n_vertices))
+    rng.shuffle(order)
+    tier = [0] * n_vertices
+    top_area = 0.0
+    for v in order:
+        if top_area < total_area / 2:
+            tier[v] = 1
+            top_area += areas[v]
+
+    def move_delta(v: int) -> int:
+        """Cut change if vertex v flips tier (negative = improvement)."""
+        delta = 0
+        for eid in incident[v]:
+            others = {
+                0 if u == _IO_TERMINAL else tier[u]
+                for u in edges[eid]
+                if u != v
+            }
+            if not others:
+                continue
+            was_cut = len(others | {tier[v]}) > 1
+            now_cut = len(others | {1 - tier[v]}) > 1
+            delta += int(now_cut) - int(was_cut)
+        return delta
+
+    lo = total_area * (0.5 - balance_tolerance)
+    hi = total_area * (0.5 + balance_tolerance)
+    for _ in range(max_passes):
+        rng.shuffle(order)
+        moved = 0
+        for v in order:
+            new_top = top_area + (areas[v] if tier[v] == 0 else -areas[v])
+            if not lo <= new_top <= hi:
+                continue
+            if move_delta(v) < 0:
+                tier[v] = 1 - tier[v]
+                top_area = new_top
+                moved += 1
+        if moved == 0:
+            break
+
+    return PartitionResult(
+        gate_tiers=tier[:n_gates],
+        flop_tiers=tier[n_gates:],
+        cut=_cut_count(edges, tier),
+        balance=top_area / total_area,
+        method="mincut",
+    )
+
+
+def kway_partition(
+    nl: Netlist,
+    k: int,
+    seed: int = 0,
+    balance_tolerance: float = 0.10,
+    max_passes: int = 6,
+) -> PartitionResult:
+    """Partition into ``k`` tiers by move-based cut refinement.
+
+    Generalizes :func:`mincut_bipartition` for the paper's >2-tier
+    extension: a random balanced k-way assignment refined by moving vertices
+    to the tier that minimizes the number of multi-tier nets, subject to
+    per-tier area balance.
+    """
+    if k < 2:
+        raise ValueError("k-way partitioning needs k >= 2")
+    rng = random.Random(seed)
+    n_gates = nl.n_gates
+    n_vertices = n_gates + nl.n_flops
+    areas = _areas(nl)
+    total_area = sum(areas) or 1.0
+    edges = _hyperedges(nl)
+    incident: List[List[int]] = [[] for _ in range(n_vertices)]
+    for eid, members in enumerate(edges):
+        for v in members:
+            if v != _IO_TERMINAL:
+                incident[v].append(eid)
+
+    order = list(range(n_vertices))
+    rng.shuffle(order)
+    tier = [0] * n_vertices
+    tier_area = [0.0] * k
+    target = total_area / k
+    t = 0
+    for v in order:
+        while tier_area[t] >= target and t < k - 1:
+            t += 1
+        tier[v] = t
+        tier_area[t] += areas[v]
+
+    lo = target * (1 - k * balance_tolerance)
+    hi = target * (1 + k * balance_tolerance)
+
+    def edge_cut_with(v: int, vt: int, eid: int) -> bool:
+        tiers = set()
+        for u in edges[eid]:
+            if u == _IO_TERMINAL:
+                tiers.add(0)
+            elif u == v:
+                tiers.add(vt)
+            else:
+                tiers.add(tier[u])
+        return len(tiers) > 1
+
+    for _ in range(max_passes):
+        rng.shuffle(order)
+        moved = 0
+        for v in order:
+            cur = tier[v]
+            best_t, best_cut = cur, sum(edge_cut_with(v, cur, e) for e in incident[v])
+            for cand in range(k):
+                if cand == cur:
+                    continue
+                new_area = tier_area[cand] + areas[v]
+                if not lo <= new_area <= hi or tier_area[cur] - areas[v] < lo:
+                    continue
+                cut = sum(edge_cut_with(v, cand, e) for e in incident[v])
+                if cut < best_cut:
+                    best_t, best_cut = cand, cut
+            if best_t != cur:
+                tier_area[cur] -= areas[v]
+                tier_area[best_t] += areas[v]
+                tier[v] = best_t
+                moved += 1
+        if moved == 0:
+            break
+
+    return PartitionResult(
+        gate_tiers=tier[:n_gates],
+        flop_tiers=tier[n_gates:],
+        cut=_cut_count(edges, tier),
+        balance=max(tier_area) / total_area,
+        method=f"kway{k}",
+    )
+
+
+def apply_partition(nl: Netlist, part: PartitionResult) -> None:
+    """Write the tier assignment onto the netlist's gates and flops (in place)."""
+    if len(part.gate_tiers) != nl.n_gates or len(part.flop_tiers) != nl.n_flops:
+        raise ValueError("partition size does not match netlist")
+    for g, t in zip(nl.gates, part.gate_tiers):
+        g.tier = t
+    for f, t in zip(nl.flops, part.flop_tiers):
+        f.tier = t
+
+
+def cut_nets(nl: Netlist) -> List[int]:
+    """Net ids that cross tiers on a tier-assigned netlist."""
+    d_tiers: Dict[int, List[int]] = {}
+    for f in nl.flops:
+        d_tiers.setdefault(f.d_net, []).append(f.tier)
+    pos = set(nl.primary_outputs)
+    out: List[int] = []
+    for net in nl.nets:
+        tiers = {nl.net_tier(net.id)}
+        for gate_id, _pin in net.sinks:
+            tiers.add(nl.gates[gate_id].tier)
+        tiers.update(d_tiers.get(net.id, ()))
+        if net.id in pos:
+            tiers.add(0)
+        if len(tiers) > 1:
+            out.append(net.id)
+    return out

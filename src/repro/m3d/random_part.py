@@ -1,0 +1,43 @@
+"""Random balanced tier partitioning.
+
+Used for the paper's data-augmentation method: training samples are drawn
+from randomly-partitioned M3D netlists so the GNN models see a wide variety
+of spatial gate distributions and do not overfit any one partitioner.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..netlist.netlist import Netlist
+from .partition import FLOP_AREA, PartitionResult, _areas, _cut_count, _hyperedges
+
+__all__ = ["random_bipartition"]
+
+
+def random_bipartition(nl: Netlist, seed: int = 0) -> PartitionResult:
+    """Assign tiers uniformly at random subject to area balance."""
+    rng = random.Random(seed)
+    n_gates = nl.n_gates
+    n_vertices = n_gates + nl.n_flops
+    areas = _areas(nl)
+    total_area = sum(areas) or 1.0
+
+    order = list(range(n_vertices))
+    rng.shuffle(order)
+    tier = [0] * n_vertices
+    top_area = 0.0
+    for v in order:
+        if top_area < total_area / 2:
+            tier[v] = 1
+            top_area += areas[v]
+
+    edges = _hyperedges(nl)
+    return PartitionResult(
+        gate_tiers=tier[:n_gates],
+        flop_tiers=tier[n_gates:],
+        cut=_cut_count(edges, tier),
+        balance=top_area / total_area,
+        method="random",
+    )

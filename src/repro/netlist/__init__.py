@@ -1,0 +1,58 @@
+"""Gate-level netlist substrate: cells, data structures, generators, I/O."""
+
+from .cells import CELL_LIBRARY, CellType, cell, cell_names
+from .builder import NetlistBuilder
+from .netlist import EXTERNAL_DRIVER, Flop, Gate, Net, Netlist
+from .generators import FLAVORS, GeneratorSpec, generate, toy_netlist
+from .topology import (
+    bfs_distance_from_observation,
+    fanin_cone_nets,
+    fanin_nets,
+    fanout_cone_gates,
+    reachable_observations,
+    sort_gates_topologically,
+)
+from .testability import Testability, compute_testability
+from .bench_io import dumps_bench, loads_bench, read_bench, write_bench
+from .stats import NetlistProfile, format_profile, profile_netlist
+from .validate import NetlistError, check, validate
+from .verilog import dumps, loads, read_verilog, write_verilog
+
+__all__ = [
+    "CELL_LIBRARY",
+    "CellType",
+    "cell",
+    "cell_names",
+    "NetlistBuilder",
+    "EXTERNAL_DRIVER",
+    "Flop",
+    "Gate",
+    "Net",
+    "Netlist",
+    "FLAVORS",
+    "GeneratorSpec",
+    "generate",
+    "toy_netlist",
+    "bfs_distance_from_observation",
+    "fanin_cone_nets",
+    "fanin_nets",
+    "fanout_cone_gates",
+    "reachable_observations",
+    "sort_gates_topologically",
+    "Testability",
+    "compute_testability",
+    "dumps_bench",
+    "loads_bench",
+    "read_bench",
+    "write_bench",
+    "NetlistProfile",
+    "format_profile",
+    "profile_netlist",
+    "NetlistError",
+    "check",
+    "validate",
+    "dumps",
+    "loads",
+    "read_verilog",
+    "write_verilog",
+]

@@ -1,0 +1,197 @@
+"""ISCAS-89 ``.bench`` format reader and writer.
+
+The ``.bench`` dialect used by the ISCAS-85/89 distributions and most
+academic ATPG tools::
+
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = DFF(G14)
+    G11 = NAND(G0, G10)
+    G17 = NOT(G11)
+
+DFF lines become scan flops of the full-scan model (Q = the assigned name,
+D = the argument).  N-ary NAND/NOR/AND/OR map to the library's 2/3/4-input
+cells, wider gates are decomposed into trees on import.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, TextIO, Tuple
+
+from .builder import NetlistBuilder
+from .netlist import EXTERNAL_DRIVER, Netlist
+
+__all__ = ["dumps_bench", "loads_bench", "read_bench", "write_bench"]
+
+_BENCH_OF_CELL = {
+    "INV": "NOT",
+    "BUF": "BUFF",
+    "AND2": "AND", "AND3": "AND", "AND4": "AND",
+    "OR2": "OR", "OR3": "OR", "OR4": "OR",
+    "NAND2": "NAND", "NAND3": "NAND", "NAND4": "NAND",
+    "NOR2": "NOR", "NOR3": "NOR", "NOR4": "NOR",
+    "XOR2": "XOR", "XOR3": "XOR",
+    "XNOR2": "XNOR",
+}
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<out>[A-Za-z0-9_.\[\]]+)\s*=\s*(?P<op>[A-Za-z]+)\s*\((?P<args>[^)]*)\)\s*$"
+)
+_IO_RE = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*([A-Za-z0-9_.\[\]]+)\s*\)\s*$")
+
+
+def dumps_bench(nl: Netlist) -> str:
+    """Serialize a netlist to ``.bench`` text.
+
+    Raises:
+        ValueError: when the netlist uses cells with no bench equivalent
+            (MUX2/AOI21/OAI21) — decompose them first via
+            :func:`repro.synth.resynthesize` with full rewrite probability.
+    """
+    lines: List[str] = [f"# {nl.name} — exported by repro"]
+    for net in nl.primary_inputs:
+        lines.append(f"INPUT({nl.nets[net].name})")
+    for net in nl.primary_outputs:
+        lines.append(f"OUTPUT({nl.nets[net].name})")
+    for f in nl.flops:
+        lines.append(f"{nl.nets[f.q_net].name} = DFF({nl.nets[f.d_net].name})")
+    for gid in nl.topo_order():
+        g = nl.gates[gid]
+        op = _BENCH_OF_CELL.get(g.cell.name)
+        if op is None:
+            raise ValueError(
+                f"cell {g.cell.name} ({g.name}) has no .bench equivalent; "
+                "resynthesize(nl, rewrite_probability=1.0) first"
+            )
+        args = ", ".join(nl.nets[n].name for n in g.fanin)
+        lines.append(f"{nl.nets[g.out].name} = {op}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def _cell_for(op: str, n_args: int) -> Tuple[str, bool]:
+    """(library cell, needs_tree) for a bench op of the given arity."""
+    op = op.upper()
+    if op == "NOT":
+        return "INV", False
+    if op in ("BUFF", "BUF"):
+        return "BUF", False
+    base = {"AND": "AND", "OR": "OR", "NAND": "NAND", "NOR": "NOR",
+            "XOR": "XOR", "XNOR": "XNOR"}.get(op)
+    if base is None:
+        raise ValueError(f"unknown .bench operator {op!r}")
+    if base in ("XNOR",):
+        if n_args != 2:
+            return "XNOR2", True
+        return "XNOR2", False
+    if base == "XOR":
+        if n_args == 2:
+            return "XOR2", False
+        if n_args == 3:
+            return "XOR3", False
+        return "XOR2", True
+    if 2 <= n_args <= 4:
+        return f"{base}{n_args}", False
+    return f"{base}2", True
+
+
+def loads_bench(text: str, name: str = "bench") -> Netlist:
+    """Parse ``.bench`` text into a netlist.
+
+    Gates wider than the library's 4-input cells are decomposed into
+    balanced 2-input trees (inverting gates keep the inversion at the root).
+    """
+    inputs: List[str] = []
+    outputs: List[str] = []
+    flops: List[Tuple[str, str]] = []  # (q, d)
+    gates: List[Tuple[str, str, List[str]]] = []  # (out, op, args)
+
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = _IO_RE.match(line)
+        if m:
+            (inputs if m.group(1) == "INPUT" else outputs).append(m.group(2))
+            continue
+        m = _LINE_RE.match(line)
+        if not m:
+            raise ValueError(f"unparseable .bench line: {raw!r}")
+        out, op = m.group("out"), m.group("op").upper()
+        args = [a.strip() for a in m.group("args").split(",") if a.strip()]
+        if op == "DFF":
+            if len(args) != 1:
+                raise ValueError(f"DFF takes one input: {raw!r}")
+            flops.append((out, args[0]))
+        else:
+            gates.append((out, op, args))
+
+    b = NetlistBuilder(name)
+    net_ids: Dict[str, int] = {}
+    for n in inputs:
+        net_ids[n] = b.add_primary_input(n)
+    for q, _d in flops:
+        net_ids[q] = b.add_net(q)
+
+    counter = [0]
+
+    def emit(op: str, args: List[int], out_name: str = None) -> int:
+        counter[0] += 1
+        cell, tree = _cell_for(op, len(args))
+        if not tree:
+            return b.add_gate(cell, args, out_name=out_name, gate_name=f"bg{counter[0]}")
+        # Decompose: non-inverting tree of the base op, inversion at the root.
+        base = {"NAND": "AND", "NOR": "OR"}.get(op.upper(), op.upper())
+        invert = op.upper() in ("NAND", "NOR", "XNOR")
+        base2 = {"AND": "AND2", "OR": "OR2", "XOR": "XOR2", "XNOR": "XOR2"}[base if base != "XNOR" else "XOR"]
+        acc = args[0]
+        for i, x in enumerate(args[1:]):
+            counter[0] += 1
+            last = i == len(args) - 2
+            acc = b.add_gate(
+                base2,
+                [acc, x],
+                out_name=out_name if (last and not invert) else None,
+                gate_name=f"bg{counter[0]}",
+            )
+        if invert:
+            counter[0] += 1
+            return b.add_gate("INV", [acc], out_name=out_name, gate_name=f"bg{counter[0]}")
+        return acc
+
+    pending = list(gates)
+    while pending:
+        progressed = False
+        rest: List[Tuple[str, str, List[str]]] = []
+        for out, op, args in pending:
+            if any(a not in net_ids for a in args):
+                rest.append((out, op, args))
+                continue
+            if len(args) == 1 and op not in ("NOT", "BUFF", "BUF"):
+                op = "BUFF"  # single-input AND/OR collapse to a buffer
+            net_ids[out] = emit(op, [net_ids[a] for a in args], out_name=out)
+            progressed = True
+        if not progressed and rest:
+            missing = sorted({a for _o, _p, args in rest for a in args if a not in net_ids})
+            raise ValueError(f"undriven .bench signals: {missing[:5]}")
+        pending = rest
+
+    for q, d in flops:
+        if d not in net_ids:
+            raise ValueError(f"flop {q} has undriven D input {d}")
+        b.add_flop_with_q(d_net=net_ids[d], q_net=net_ids[q], name=f"dff_{q}")
+    for n in outputs:
+        if n not in net_ids:
+            raise ValueError(f"OUTPUT({n}) is undriven")
+        b.mark_primary_output(net_ids[n])
+    return b.finish()
+
+
+def write_bench(nl: Netlist, fh: TextIO) -> None:
+    """Write ``.bench`` text to an open file."""
+    fh.write(dumps_bench(nl))
+
+
+def read_bench(fh: TextIO, name: str = "bench") -> Netlist:
+    """Read ``.bench`` text from an open file."""
+    return loads_bench(fh.read(), name=name)

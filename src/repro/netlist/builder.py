@@ -1,0 +1,179 @@
+"""Incremental netlist construction.
+
+:class:`NetlistBuilder` is the only supported way to create or structurally
+edit a :class:`~repro.netlist.netlist.Netlist`.  It keeps name/id maps
+consistent, assigns dense ids, and re-derives sink lists when finishing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .cells import CellType, cell
+from .netlist import EXTERNAL_DRIVER, Flop, Gate, Net, Netlist
+
+__all__ = ["NetlistBuilder"]
+
+
+class NetlistBuilder:
+    """Builds a :class:`Netlist` net by net and gate by gate.
+
+    Example:
+        >>> b = NetlistBuilder("demo")
+        >>> a = b.add_primary_input("a")
+        >>> bb = b.add_primary_input("b")
+        >>> y = b.add_gate("NAND2", [a, bb], out_name="y")
+        >>> b.mark_primary_output(y)
+        >>> nl = b.finish()
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._gates: List[Gate] = []
+        self._nets: List[Net] = []
+        self._net_by_name: Dict[str, int] = {}
+        self._gate_by_name: Dict[str, int] = {}
+        self._pis: List[int] = []
+        self._pos: List[int] = []
+        self._flops: List[Flop] = []
+
+    # ------------------------------------------------------------------ nets
+    def add_net(self, name: str) -> int:
+        """Create a new undriven net and return its id."""
+        if name in self._net_by_name:
+            raise ValueError(f"duplicate net name {name!r}")
+        net = Net(id=len(self._nets), name=name)
+        self._nets.append(net)
+        self._net_by_name[name] = net.id
+        return net.id
+
+    def net_id(self, name: str) -> int:
+        """Id of an existing net by name."""
+        return self._net_by_name[name]
+
+    def add_primary_input(self, name: str) -> int:
+        nid = self.add_net(name)
+        self._pis.append(nid)
+        return nid
+
+    def mark_primary_output(self, net_id: int) -> None:
+        if net_id in self._pos:
+            raise ValueError(f"net {net_id} already marked as primary output")
+        self._pos.append(net_id)
+
+    # ----------------------------------------------------------------- gates
+    def add_gate(
+        self,
+        cell_name: str,
+        fanin: Sequence[int],
+        out_name: Optional[str] = None,
+        gate_name: Optional[str] = None,
+    ) -> int:
+        """Add a gate; returns the id of its (freshly created) output net."""
+        ct: CellType = cell(cell_name)
+        if len(fanin) != ct.n_inputs:
+            raise ValueError(
+                f"{cell_name} needs {ct.n_inputs} inputs, got {len(fanin)}"
+            )
+        for nid in fanin:
+            if not 0 <= nid < len(self._nets):
+                raise ValueError(f"fanin net id {nid} does not exist")
+        gid = len(self._gates)
+        gname = gate_name or f"g{gid}"
+        if gname in self._gate_by_name:
+            raise ValueError(f"duplicate gate name {gname!r}")
+        out = self.add_net(out_name or f"n_{gname}")
+        g = Gate(id=gid, name=gname, cell=ct, fanin=list(fanin), out=out)
+        self._nets[out].driver = gid
+        self._gates.append(g)
+        self._gate_by_name[gname] = gid
+        return out
+
+    def add_flop(self, d_net: int, name: Optional[str] = None, q_name: Optional[str] = None) -> int:
+        """Add a scan flop observing ``d_net``; returns its Q net id."""
+        fid = len(self._flops)
+        fname = name or f"ff{fid}"
+        q_net = self.add_net(q_name or f"q_{fname}")
+        self._flops.append(Flop(id=fid, name=fname, d_net=d_net, q_net=q_net))
+        return q_net
+
+    def add_flop_with_q(self, d_net: int, q_net: int, name: Optional[str] = None) -> None:
+        """Bind an existing (pre-created, undriven) net as a flop's Q output.
+
+        Generators create Q nets up front so the combinational core can
+        consume flop state before the D nets exist.
+        """
+        fid = len(self._flops)
+        self._flops.append(Flop(id=fid, name=name or f"ff{fid}", d_net=d_net, q_net=q_net))
+
+    # ---------------------------------------------------------------- finish
+    def finish(self) -> Netlist:
+        """Derive sink lists, check single-driver discipline, and return the netlist."""
+        for net in self._nets:
+            net.sinks = []
+        for g in self._gates:
+            for pin, nid in enumerate(g.fanin):
+                self._nets[nid].sinks.append((g.id, pin))
+        external = set(self._pis) | {f.q_net for f in self._flops}
+        for net in self._nets:
+            if net.driver == EXTERNAL_DRIVER and net.id not in external:
+                raise ValueError(f"net {net.name!r} has no driver")
+        nl = Netlist(
+            self.name,
+            self._gates,
+            self._nets,
+            list(self._pis),
+            list(self._pos),
+            self._flops,
+        )
+        nl.topo_order()  # fail fast on combinational loops
+        return nl
+
+    # -------------------------------------------------------------- editing
+    @classmethod
+    def from_netlist(cls, nl: Netlist) -> "NetlistBuilder":
+        """Seed a builder with an existing netlist for structural edits.
+
+        The returned builder aliases nothing from ``nl`` (a deep copy is
+        taken), so the original stays valid.
+        """
+        src = nl.copy()
+        b = cls(src.name)
+        b._gates = src.gates
+        b._nets = src.nets
+        b._pis = src.primary_inputs
+        b._pos = src.primary_outputs
+        b._flops = src.flops
+        b._net_by_name = {n.name: n.id for n in src.nets}
+        b._gate_by_name = {g.name: g.id for g in src.gates}
+        return b
+
+    def insert_buffer_after(self, net_id: int, sink: Optional[tuple] = None) -> int:
+        """Insert a BUF on ``net_id``.
+
+        When ``sink`` is given as (gate_id, pin), only that branch is
+        re-routed through the buffer (used by the dummy-buffer oversampling
+        algorithm); otherwise all sinks move to the buffer output.
+
+        Returns the buffer's output net id.  ``finish()`` must be called
+        afterwards to re-derive sink lists.
+        """
+        buf_out = self.add_gate("BUF", [net_id], gate_name=f"obuf{len(self._gates)}")
+        new_gate = self._gates[-1]
+        # Inherit the tier of the buffered net's driver so tier statistics stay consistent.
+        drv = self._nets[net_id].driver
+        if drv != EXTERNAL_DRIVER:
+            new_gate.tier = self._gates[drv].tier
+        for g in self._gates[:-1]:
+            for pin, nid in enumerate(g.fanin):
+                if nid != net_id:
+                    continue
+                if sink is None or (g.id, pin) == tuple(sink):
+                    g.fanin[pin] = buf_out
+        if sink is None and net_id in self._pos:
+            self._pos[self._pos.index(net_id)] = buf_out
+        if sink is None:
+            for f in self._flops:
+                if f.d_net == net_id:
+                    f.d_net = buf_out
+        return buf_out

@@ -1,0 +1,143 @@
+"""Standard-cell library for the reproduction.
+
+The library is a small combinational subset of a typical 45 nm standard-cell
+library (Nangate-style names).  Each :class:`CellType` carries a vectorized
+evaluation function that operates on uint8 numpy arrays holding one logic
+value (0/1) per test pattern, so the whole simulator is bit-parallel across
+patterns.
+
+Sequential elements (scan flops) are *not* cells: the full-scan abstraction
+in :mod:`repro.netlist.netlist` models flops as pseudo-input/pseudo-output
+boundary objects of the combinational core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CellType", "CELL_LIBRARY", "cell", "cell_names", "INVERTING_CELLS"]
+
+EvalFn = Callable[[Sequence[np.ndarray]], np.ndarray]
+
+
+@dataclass(frozen=True)
+class CellType:
+    """A combinational standard cell.
+
+    Attributes:
+        name: Library name, e.g. ``"NAND2"``.
+        n_inputs: Number of input pins.
+        func: Vectorized boolean function over uint8 arrays (one entry per
+            pattern).  Inputs are guaranteed to contain only 0/1.
+        area: Relative cell area (arbitrary units) used by the partitioners
+            for area balancing.
+        symmetric: True when all input pins are interchangeable; used by the
+            re-synthesis transform to permute pins without changing function.
+    """
+
+    name: str
+    n_inputs: int
+    func: EvalFn = field(repr=False)
+    area: float = 1.0
+    symmetric: bool = True
+
+    def evaluate(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        """Evaluate the cell on pattern-parallel input arrays."""
+        if len(inputs) != self.n_inputs:
+            raise ValueError(
+                f"{self.name} expects {self.n_inputs} inputs, got {len(inputs)}"
+            )
+        return self.func(inputs).astype(np.uint8)
+
+
+def _and(ins: Sequence[np.ndarray]) -> np.ndarray:
+    out = ins[0].copy()
+    for x in ins[1:]:
+        out &= x
+    return out
+
+
+def _or(ins: Sequence[np.ndarray]) -> np.ndarray:
+    out = ins[0].copy()
+    for x in ins[1:]:
+        out |= x
+    return out
+
+
+def _xor(ins: Sequence[np.ndarray]) -> np.ndarray:
+    out = ins[0].copy()
+    for x in ins[1:]:
+        out ^= x
+    return out
+
+
+def _not(x: np.ndarray) -> np.ndarray:
+    return x ^ 1
+
+
+def _mux2(ins: Sequence[np.ndarray]) -> np.ndarray:
+    # ins = (a, b, sel): out = a when sel=0 else b
+    a, b, sel = ins
+    return (a & _not(sel)) | (b & sel)
+
+
+def _aoi21(ins: Sequence[np.ndarray]) -> np.ndarray:
+    # out = NOT((a AND b) OR c)
+    a, b, c = ins
+    return _not((a & b) | c)
+
+
+def _oai21(ins: Sequence[np.ndarray]) -> np.ndarray:
+    # out = NOT((a OR b) AND c)
+    a, b, c = ins
+    return _not((a | b) & c)
+
+
+def _make_library() -> Dict[str, CellType]:
+    lib: Dict[str, CellType] = {}
+
+    def add(name: str, n: int, fn: EvalFn, area: float, symmetric: bool = True) -> None:
+        lib[name] = CellType(name=name, n_inputs=n, func=fn, area=area, symmetric=symmetric)
+
+    add("BUF", 1, lambda ins: ins[0].copy(), 0.8)
+    add("INV", 1, lambda ins: _not(ins[0]), 0.5)
+    for n in (2, 3, 4):
+        add(f"AND{n}", n, _and, 0.9 + 0.3 * n)
+        add(f"OR{n}", n, _or, 0.9 + 0.3 * n)
+        add(f"NAND{n}", n, lambda ins: _not(_and(ins)), 0.7 + 0.3 * n)
+        add(f"NOR{n}", n, lambda ins: _not(_or(ins)), 0.7 + 0.3 * n)
+    add("XOR2", 2, _xor, 2.0)
+    add("XNOR2", 2, lambda ins: _not(_xor(ins)), 2.1)
+    add("XOR3", 3, _xor, 3.0)
+    add("MUX2", 3, _mux2, 2.2, symmetric=False)
+    add("AOI21", 3, _aoi21, 1.6, symmetric=False)
+    add("OAI21", 3, _oai21, 1.6, symmetric=False)
+    return lib
+
+
+#: The global cell library keyed by cell name.
+CELL_LIBRARY: Dict[str, CellType] = _make_library()
+
+#: Cells whose output inverts a single-input change on every path; used by the
+#: re-synthesis transform when pairing inverters.
+INVERTING_CELLS: Tuple[str, ...] = ("INV", "NAND2", "NAND3", "NAND4", "NOR2", "NOR3", "NOR4", "XNOR2")
+
+
+def cell(name: str) -> CellType:
+    """Look up a cell type by name.
+
+    Raises:
+        KeyError: if the cell is not in the library.
+    """
+    try:
+        return CELL_LIBRARY[name]
+    except KeyError:
+        raise KeyError(f"unknown cell type {name!r}; known: {sorted(CELL_LIBRARY)}") from None
+
+
+def cell_names() -> Tuple[str, ...]:
+    """All cell names in the library, sorted."""
+    return tuple(sorted(CELL_LIBRARY))

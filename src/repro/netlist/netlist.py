@@ -1,0 +1,240 @@
+"""Core gate-level netlist data structures.
+
+A :class:`Netlist` models a full-scan sequential design as its combinational
+core plus a set of scan flops at the boundary:
+
+* *Primary inputs* (PIs) and flop outputs (Q pins, pseudo-primary inputs)
+  drive the combinational core.
+* *Primary outputs* (POs) and flop data inputs (D pins, pseudo-primary
+  outputs) observe it.
+
+Every net has exactly one driver (a gate output, a PI, or a flop Q pin) and
+zero or more sinks (gate input pins, a PO, or a flop D pin).  Gates and nets
+are referenced by dense integer ids so the simulator can compile the netlist
+into flat numpy-friendly tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .cells import CellType
+
+__all__ = ["Gate", "Net", "Flop", "Netlist", "PinRef"]
+
+#: A (gate_id, pin_index) reference to a gate input pin.
+PinRef = Tuple[int, int]
+
+#: Driver id used by nets driven from outside the combinational core.
+EXTERNAL_DRIVER = -1
+
+
+@dataclass
+class Gate:
+    """A combinational gate instance.
+
+    Attributes:
+        id: Dense index into ``Netlist.gates``.
+        name: Instance name, unique within the netlist.
+        cell: The cell type from :data:`repro.netlist.cells.CELL_LIBRARY`.
+        fanin: Net ids feeding each input pin, ordered by pin index.
+        out: Net id driven by the gate output.
+        tier: M3D tier assignment (0 = bottom, 1 = top, ... ; -1 = unassigned).
+    """
+
+    id: int
+    name: str
+    cell: CellType
+    fanin: List[int]
+    out: int
+    tier: int = -1
+
+
+@dataclass
+class Net:
+    """A single-driver net.
+
+    Attributes:
+        id: Dense index into ``Netlist.nets``.
+        name: Net name, unique within the netlist.
+        driver: Gate id of the driver, or ``EXTERNAL_DRIVER`` when the net is
+            a PI or a flop Q output.
+        sinks: Gate input pins fed by this net, as (gate_id, pin_index).
+    """
+
+    id: int
+    name: str
+    driver: int = EXTERNAL_DRIVER
+    sinks: List[PinRef] = field(default_factory=list)
+
+
+@dataclass
+class Flop:
+    """A scan flip-flop at the combinational-core boundary.
+
+    Attributes:
+        id: Dense index into ``Netlist.flops``.
+        name: Instance name.
+        d_net: Net observed by the flop (pseudo-primary output).
+        q_net: Net driven by the flop (pseudo-primary input).
+        tier: M3D tier assignment (-1 = unassigned).
+    """
+
+    id: int
+    name: str
+    d_net: int
+    q_net: int
+    tier: int = -1
+
+
+class Netlist:
+    """A full-scan gate-level design.
+
+    Instances are normally produced by :class:`repro.netlist.builder.NetlistBuilder`
+    or by the generators in :mod:`repro.netlist.generators`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        gates: List[Gate],
+        nets: List[Net],
+        primary_inputs: List[int],
+        primary_outputs: List[int],
+        flops: List[Flop],
+    ) -> None:
+        self.name = name
+        self.gates = gates
+        self.nets = nets
+        self.primary_inputs = primary_inputs
+        self.primary_outputs = primary_outputs
+        self.flops = flops
+        self._topo_cache: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------ size
+    @property
+    def n_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def n_nets(self) -> int:
+        return len(self.nets)
+
+    @property
+    def n_flops(self) -> int:
+        return len(self.flops)
+
+    # --------------------------------------------------------------- boundary
+    @property
+    def comb_inputs(self) -> List[int]:
+        """Net ids driven from outside the core: PIs followed by flop Q nets."""
+        return list(self.primary_inputs) + [f.q_net for f in self.flops]
+
+    @property
+    def observed_nets(self) -> List[int]:
+        """Net ids observed by the tester: POs followed by flop D nets."""
+        return list(self.primary_outputs) + [f.d_net for f in self.flops]
+
+    def flop_of_d_net(self, net_id: int) -> Optional[Flop]:
+        """The flop observing ``net_id`` through its D pin, if any."""
+        for f in self.flops:
+            if f.d_net == net_id:
+                return f
+        return None
+
+    # ------------------------------------------------------------- structure
+    def invalidate(self) -> None:
+        """Drop cached derived data after a structural mutation."""
+        self._topo_cache = None
+
+    def topo_order(self) -> List[int]:
+        """Gate ids in topological (fanin-before-fanout) order.
+
+        Raises:
+            ValueError: if the combinational core contains a cycle.
+        """
+        if self._topo_cache is not None:
+            return self._topo_cache
+        indeg = [0] * self.n_gates
+        for g in self.gates:
+            for net_id in g.fanin:
+                drv = self.nets[net_id].driver
+                if drv != EXTERNAL_DRIVER:
+                    indeg[g.id] += 1
+        ready = [g.id for g in self.gates if indeg[g.id] == 0]
+        order: List[int] = []
+        head = 0
+        while head < len(ready):
+            gid = ready[head]
+            head += 1
+            order.append(gid)
+            for sink_gate, _pin in self.nets[self.gates[gid].out].sinks:
+                indeg[sink_gate] -= 1
+                if indeg[sink_gate] == 0:
+                    ready.append(sink_gate)
+        if len(order) != self.n_gates:
+            raise ValueError(
+                f"combinational loop detected: ordered {len(order)} of {self.n_gates} gates"
+            )
+        self._topo_cache = order
+        return order
+
+    def net_levels(self) -> List[int]:
+        """Topological level of every net (inputs at level 0)."""
+        levels = [0] * self.n_nets
+        for gid in self.topo_order():
+            g = self.gates[gid]
+            lvl = 0
+            for net_id in g.fanin:
+                lvl = max(lvl, levels[net_id] + 1)
+            levels[g.out] = lvl
+        return levels
+
+    def gate_tiers(self) -> List[int]:
+        return [g.tier for g in self.gates]
+
+    def net_tier(self, net_id: int) -> int:
+        """Tier of a net's driver (-1 for unpartitioned or PI-driven nets)."""
+        drv = self.nets[net_id].driver
+        if drv == EXTERNAL_DRIVER:
+            for f in self.flops:
+                if f.q_net == net_id:
+                    return f.tier
+            return 0  # PIs live on the bottom tier by convention
+        return self.gates[drv].tier
+
+    # ------------------------------------------------------------------ misc
+    def stats(self) -> Dict[str, float]:
+        """Summary statistics used by the design-matrix experiment."""
+        levels = self.net_levels() if self.gates else [0]
+        return {
+            "gates": self.n_gates,
+            "nets": self.n_nets,
+            "flops": self.n_flops,
+            "primary_inputs": len(self.primary_inputs),
+            "primary_outputs": len(self.primary_outputs),
+            "depth": max(levels) if levels else 0,
+            "area": sum(g.cell.area for g in self.gates),
+        }
+
+    def copy(self) -> "Netlist":
+        """Deep copy (cell types are shared; they are immutable)."""
+        gates = [Gate(g.id, g.name, g.cell, list(g.fanin), g.out, g.tier) for g in self.gates]
+        nets = [Net(n.id, n.name, n.driver, list(n.sinks)) for n in self.nets]
+        flops = [Flop(f.id, f.name, f.d_net, f.q_net, f.tier) for f in self.flops]
+        return Netlist(
+            self.name,
+            gates,
+            nets,
+            list(self.primary_inputs),
+            list(self.primary_outputs),
+            flops,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, gates={self.n_gates}, nets={self.n_nets}, "
+            f"flops={self.n_flops}, pis={len(self.primary_inputs)}, "
+            f"pos={len(self.primary_outputs)})"
+        )

@@ -1,0 +1,158 @@
+"""SCOAP testability analysis (Goldstein, 1979).
+
+Combinational controllability (``CC0``/``CC1`` — the effort to set a net to
+0/1) and observability (``CO`` — the effort to propagate a net's value to an
+observation point).  Used by the test-point inserter to rank hard-to-observe
+nets and generally useful for triaging low-coverage regions of a design.
+
+All measures follow the classic SCOAP recurrences; primary inputs and flop
+outputs cost 1 to control, observed nets cost 0 to observe, and every gate
+traversal adds 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .netlist import EXTERNAL_DRIVER, Gate, Netlist
+
+__all__ = ["Testability", "compute_testability"]
+
+#: Effectively-infinite SCOAP cost (unreachable/uncontrollable).
+INF = 10 ** 9
+
+
+@dataclass
+class Testability:
+    """SCOAP measures per net.
+
+    Attributes:
+        cc0: Controllability-to-0 per net id.
+        cc1: Controllability-to-1 per net id.
+        co: Observability per net id (INF when unobservable).
+    """
+
+    cc0: np.ndarray
+    cc1: np.ndarray
+    co: np.ndarray
+
+    def hardest_to_observe(self, n: int) -> List[int]:
+        """Net ids with the highest observability cost (ties by id)."""
+        order = sorted(range(len(self.co)), key=lambda i: (-self.co[i], i))
+        return order[:n]
+
+    def hardest_to_control(self, n: int) -> List[int]:
+        """Net ids with the highest min(CC0, CC1)."""
+        cost = np.minimum(self.cc0, self.cc1)
+        order = sorted(range(len(cost)), key=lambda i: (-cost[i], i))
+        return order[:n]
+
+
+def _gate_controllability(gate: Gate, cc0, cc1) -> Tuple[int, int]:
+    """SCOAP CC0/CC1 of a gate output from its input controllabilities."""
+    name = gate.cell.name
+    ins = gate.fanin
+    c0 = [cc0[n] for n in ins]
+    c1 = [cc1[n] for n in ins]
+
+    def add1(x: int) -> int:
+        return min(x + 1, INF)
+
+    if name == "BUF":
+        return add1(c0[0]), add1(c1[0])
+    if name == "INV":
+        return add1(c1[0]), add1(c0[0])
+    if name.startswith("AND"):
+        return add1(min(c0)), add1(sum(c1))
+    if name.startswith("NAND"):
+        return add1(sum(c1)), add1(min(c0))
+    if name.startswith("OR"):
+        return add1(sum(c0)), add1(min(c1))
+    if name.startswith("NOR"):
+        return add1(min(c1)), add1(sum(c0))
+    if name in ("XOR2", "XNOR2", "XOR3"):
+        # Parity: cheapest way to an even/odd number of ones.
+        best_even = 0
+        best_odd = INF
+        for a0, a1 in zip(c0, c1):
+            even = min(best_even + a0, best_odd + a1)
+            odd = min(best_even + a1, best_odd + a0)
+            best_even, best_odd = even, odd
+        if name == "XNOR2":
+            return add1(best_odd), add1(best_even)
+        return add1(best_even), add1(best_odd)
+    if name == "MUX2":
+        a0, b0, s0 = c0
+        a1, b1, s1 = c1
+        out0 = min(s0 + a0, s1 + b0)
+        out1 = min(s0 + a1, s1 + b1)
+        return add1(out0), add1(out1)
+    if name == "AOI21":
+        # out = NOT((a AND b) OR c)
+        and0 = min(c0[0], c0[1])
+        and1 = c1[0] + c1[1]
+        out1 = and0 + c0[2]          # both OR terms 0
+        out0 = min(and1, c1[2])      # any OR term 1
+        return add1(out0), add1(out1)
+    if name == "OAI21":
+        # out = NOT((a OR b) AND c)
+        or0 = c0[0] + c0[1]
+        or1 = min(c1[0], c1[1])
+        out1 = min(or0, c0[2])       # any AND term 0
+        out0 = or1 + c1[2]           # both AND terms 1
+        return add1(out0), add1(out1)
+    raise KeyError(f"no SCOAP rule for cell {name!r}")
+
+
+def _side_input_cost(gate: Gate, pin: int, cc0, cc1) -> int:
+    """Cost of setting a gate's *other* inputs to non-controlling values."""
+    name = gate.cell.name
+    total = 0
+    for p, net in enumerate(gate.fanin):
+        if p == pin:
+            continue
+        if name.startswith(("AND", "NAND")):
+            total += cc1[net]
+        elif name.startswith(("OR", "NOR")):
+            total += cc0[net]
+        elif name in ("XOR2", "XNOR2", "XOR3"):
+            total += min(cc0[net], cc1[net])
+        elif name == "MUX2":
+            # Propagating a data pin needs the select; the select needs a
+            # difference between the data pins — approximate with min cost.
+            total += min(cc0[net], cc1[net])
+        else:  # AOI/OAI and the rest: conservative min-cost side values
+            total += min(cc0[net], cc1[net])
+    return total
+
+
+def compute_testability(nl: Netlist) -> Testability:
+    """SCOAP controllability/observability for every net of ``nl``."""
+    n = nl.n_nets
+    cc0 = np.full(n, INF, dtype=np.int64)
+    cc1 = np.full(n, INF, dtype=np.int64)
+    for net in nl.comb_inputs:
+        cc0[net] = 1
+        cc1[net] = 1
+    for gid in nl.topo_order():
+        g = nl.gates[gid]
+        c0, c1 = _gate_controllability(g, cc0, cc1)
+        cc0[g.out] = c0
+        cc1[g.out] = c1
+
+    co = np.full(n, INF, dtype=np.int64)
+    for net in nl.observed_nets:
+        co[net] = 0
+    for gid in reversed(nl.topo_order()):
+        g = nl.gates[gid]
+        out_co = co[g.out]
+        if out_co >= INF:
+            continue
+        for pin, net in enumerate(g.fanin):
+            cost = out_co + _side_input_cost(g, pin, cc0, cc1) + 1
+            if cost < co[net]:
+                co[net] = min(cost, INF)
+    return Testability(cc0=cc0, cc1=cc1, co=co)

@@ -1,0 +1,116 @@
+"""Topological analysis helpers: cones, levels, BFS distances.
+
+These run on the net/gate graph of a :class:`~repro.netlist.netlist.Netlist`.
+The circuit graph is viewed with *nets as vertices*: net ``u`` precedes net
+``v`` when ``u`` feeds an input pin of the gate driving ``v``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .netlist import EXTERNAL_DRIVER, Netlist
+
+__all__ = [
+    "fanin_nets",
+    "fanin_cone_nets",
+    "fanout_cone_gates",
+    "sort_gates_topologically",
+    "bfs_distance_from_observation",
+    "reachable_observations",
+]
+
+
+def fanin_nets(nl: Netlist, net_id: int) -> List[int]:
+    """Immediate predecessor nets of ``net_id`` (its driver gate's fanin)."""
+    drv = nl.nets[net_id].driver
+    if drv == EXTERNAL_DRIVER:
+        return []
+    return list(nl.gates[drv].fanin)
+
+
+def fanin_cone_nets(nl: Netlist, net_id: int) -> Set[int]:
+    """All nets in the transitive fan-in cone of ``net_id`` (inclusive)."""
+    seen: Set[int] = {net_id}
+    stack = [net_id]
+    while stack:
+        cur = stack.pop()
+        for pred in fanin_nets(nl, cur):
+            if pred not in seen:
+                seen.add(pred)
+                stack.append(pred)
+    return seen
+
+
+def fanout_cone_gates(nl: Netlist, start_gates: Iterable[int]) -> List[int]:
+    """Gates in the transitive fan-out of ``start_gates``, topologically sorted.
+
+    Used by the fault simulator to re-evaluate only the region a fault can
+    influence.  The start gates themselves are included.
+    """
+    seen: Set[int] = set()
+    stack = list(start_gates)
+    while stack:
+        gid = stack.pop()
+        if gid in seen:
+            continue
+        seen.add(gid)
+        for sink_gate, _pin in nl.nets[nl.gates[gid].out].sinks:
+            if sink_gate not in seen:
+                stack.append(sink_gate)
+    return sort_gates_topologically(nl, seen)
+
+
+def sort_gates_topologically(nl: Netlist, gate_ids: Iterable[int]) -> List[int]:
+    """Order a gate subset by the netlist's global topological order."""
+    wanted = set(gate_ids)
+    return [gid for gid in nl.topo_order() if gid in wanted]
+
+
+def bfs_distance_from_observation(
+    nl: Netlist, obs_net: int, miv_nets: Set[int] = frozenset()
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Backward BFS from an observation net over the net graph.
+
+    Returns ``(dist, mivs)`` where ``dist[n]`` is the number of net hops on a
+    shortest path from net ``n`` forward to ``obs_net`` and ``mivs[n]`` is the
+    minimum number of MIV-bearing nets traversed along any such shortest path
+    (``miv_nets`` is the set of nets that cross tiers).  These two maps are
+    exactly the Topedge features of Table I (``D_top`` and ``N_MIV``).
+    """
+    dist: Dict[int, int] = {obs_net: 0}
+    mivs: Dict[int, int] = {obs_net: 1 if obs_net in miv_nets else 0}
+    queue = deque([obs_net])
+    while queue:
+        cur = queue.popleft()
+        for pred in fanin_nets(nl, cur):
+            nd = dist[cur] + 1
+            nm = mivs[cur] + (1 if pred in miv_nets else 0)
+            if pred not in dist:
+                dist[pred] = nd
+                mivs[pred] = nm
+                queue.append(pred)
+            elif dist[pred] == nd and nm < mivs[pred]:
+                # Same shortest length, fewer MIVs: keep the minimum and let
+                # it flow to predecessors still in the queue frontier.
+                mivs[pred] = nm
+    return dist, mivs
+
+
+def reachable_observations(nl: Netlist, net_id: int) -> List[int]:
+    """Observed nets (POs / flop D nets) reachable from ``net_id``."""
+    observed = set(nl.observed_nets)
+    found: Set[int] = set()
+    seen: Set[int] = {net_id}
+    stack = [net_id]
+    while stack:
+        cur = stack.pop()
+        if cur in observed:
+            found.add(cur)
+        for sink_gate, _pin in nl.nets[cur].sinks:
+            out = nl.gates[sink_gate].out
+            if out not in seen:
+                seen.add(out)
+                stack.append(out)
+    return sorted(found)

@@ -1,0 +1,72 @@
+"""Structural design-rule checks for netlists.
+
+``validate`` raises :class:`NetlistError` on the first violation;
+``check`` returns the full list of violation messages for reporting.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .netlist import EXTERNAL_DRIVER, Netlist
+
+__all__ = ["NetlistError", "validate", "check"]
+
+
+class NetlistError(ValueError):
+    """A structural violation found by :func:`validate`."""
+
+
+def check(nl: Netlist) -> List[str]:
+    """Return human-readable messages for every structural violation."""
+    problems: List[str] = []
+    external = set(nl.primary_inputs) | {f.q_net for f in nl.flops}
+
+    for net in nl.nets:
+        if net.id != nl.nets.index(net):
+            pass  # ids are positional by construction; nothing to check cheaply
+        if net.driver == EXTERNAL_DRIVER and net.id not in external:
+            problems.append(f"net {net.name!r} ({net.id}) has no driver")
+        if net.driver != EXTERNAL_DRIVER:
+            g = nl.gates[net.driver]
+            if g.out != net.id:
+                problems.append(
+                    f"net {net.name!r} claims driver gate {g.name!r} "
+                    f"but that gate drives net {g.out}"
+                )
+
+    for g in nl.gates:
+        if len(g.fanin) != g.cell.n_inputs:
+            problems.append(
+                f"gate {g.name!r} has {len(g.fanin)} fanins for cell {g.cell.name}"
+            )
+        for pin, nid in enumerate(g.fanin):
+            if not 0 <= nid < nl.n_nets:
+                problems.append(f"gate {g.name!r} pin {pin} references bad net {nid}")
+            elif (g.id, pin) not in nl.nets[nid].sinks:
+                problems.append(
+                    f"sink list of net {nid} is missing gate {g.name!r} pin {pin}"
+                )
+
+    observed = set(nl.observed_nets)
+    for g in nl.gates:
+        net = nl.nets[g.out]
+        if not net.sinks and net.id not in observed:
+            problems.append(f"gate {g.name!r} output net {net.name!r} dangles")
+
+    for f in nl.flops:
+        if not 0 <= f.d_net < nl.n_nets or not 0 <= f.q_net < nl.n_nets:
+            problems.append(f"flop {f.name!r} references bad nets")
+
+    try:
+        nl.topo_order()
+    except ValueError as exc:
+        problems.append(str(exc))
+    return problems
+
+
+def validate(nl: Netlist) -> None:
+    """Raise :class:`NetlistError` when the netlist violates any structural rule."""
+    problems = check(nl)
+    if problems:
+        raise NetlistError("; ".join(problems[:10]))

@@ -1,0 +1,172 @@
+"""Structural-Verilog-subset reader and writer.
+
+The dialect is the flat gate-level subset commercial flows exchange:
+one module, ``input``/``output``/``wire`` declarations, and cell instances
+with named port connections.  Flops are emitted as ``SDFF`` instances with
+``.D(...)`` / ``.Q(...)`` ports.  Cell input pins are named ``A, B, C ...``
+and the output pin ``Y``.
+
+This is enough to round-trip every netlist this package produces and to
+import externally supplied flat netlists of the same shape.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, TextIO, Tuple
+
+from .builder import NetlistBuilder
+from .cells import CELL_LIBRARY
+from .netlist import EXTERNAL_DRIVER, Netlist
+
+__all__ = ["write_verilog", "read_verilog", "dumps", "loads"]
+
+_PIN_NAMES = "ABCDEFGH"
+
+
+def _escape(name: str) -> str:
+    """Make a net/instance name a legal simple Verilog identifier."""
+    return re.sub(r"[^A-Za-z0-9_]", "_", name)
+
+
+def dumps(nl: Netlist) -> str:
+    """Serialize ``nl`` to a structural Verilog string."""
+    lines: List[str] = []
+    pis = [_escape(nl.nets[n].name) for n in nl.primary_inputs]
+    pos = [_escape(nl.nets[n].name) for n in nl.primary_outputs]
+    ports = ", ".join(pis + pos)
+    lines.append(f"module {_escape(nl.name)} ({ports});")
+    for p in pis:
+        lines.append(f"  input {p};")
+    for p in pos:
+        lines.append(f"  output {p};")
+    boundary = set(nl.primary_inputs) | set(nl.primary_outputs)
+    for net in nl.nets:
+        if net.id not in boundary:
+            lines.append(f"  wire {_escape(net.name)};")
+    for g in nl.gates:
+        conns = [f".Y({_escape(nl.nets[g.out].name)})"]
+        for pin, nid in enumerate(g.fanin):
+            conns.append(f".{_PIN_NAMES[pin]}({_escape(nl.nets[nid].name)})")
+        tier_attr = f" /* tier={g.tier} */" if g.tier >= 0 else ""
+        lines.append(f"  {g.cell.name} {_escape(g.name)} ({', '.join(conns)});{tier_attr}")
+    for f in nl.flops:
+        d = _escape(nl.nets[f.d_net].name)
+        q = _escape(nl.nets[f.q_net].name)
+        tier_attr = f" /* tier={f.tier} */" if f.tier >= 0 else ""
+        lines.append(f"  SDFF {_escape(f.name)} (.D({d}), .Q({q}));{tier_attr}")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def write_verilog(nl: Netlist, fh: TextIO) -> None:
+    """Write ``nl`` as structural Verilog to an open text file."""
+    fh.write(dumps(nl))
+
+
+_INSTANCE_RE = re.compile(
+    r"^\s*(?P<cell>[A-Za-z0-9_]+)\s+(?P<inst>[A-Za-z0-9_]+)\s*\((?P<conns>[^;]*)\)\s*;"
+    r"(?:\s*/\*\s*tier=(?P<tier>-?\d+)\s*\*/)?"
+)
+_CONN_RE = re.compile(r"\.\s*(?P<pin>[A-Za-z0-9_]+)\s*\(\s*(?P<net>[A-Za-z0-9_]+)\s*\)")
+_DECL_RE = re.compile(r"^\s*(input|output|wire)\s+(.*?);\s*$")
+_MODULE_RE = re.compile(r"^\s*module\s+([A-Za-z0-9_]+)")
+
+
+def loads(text: str) -> Netlist:
+    """Parse a structural Verilog string produced by :func:`dumps`.
+
+    Raises:
+        ValueError: on unknown cells, missing pins, or undeclared nets.
+    """
+    name = "top"
+    inputs: List[str] = []
+    outputs: List[str] = []
+    wires: List[str] = []
+    instances: List[Tuple[str, str, Dict[str, str], int]] = []
+
+    for raw in text.splitlines():
+        line = raw.split("//")[0].strip()
+        if not line or line.startswith("endmodule"):
+            continue
+        m = _MODULE_RE.match(line)
+        if m:
+            name = m.group(1)
+            continue
+        m = _DECL_RE.match(line)
+        if m:
+            kind, rest = m.group(1), m.group(2)
+            names = [n.strip() for n in rest.split(",") if n.strip()]
+            {"input": inputs, "output": outputs, "wire": wires}[kind].extend(names)
+            continue
+        m = _INSTANCE_RE.match(line)
+        if m:
+            conns = {p: n for p, n in _CONN_RE.findall(m.group("conns"))}
+            tier = int(m.group("tier")) if m.group("tier") is not None else -1
+            instances.append((m.group("cell"), m.group("inst"), conns, tier))
+            continue
+        raise ValueError(f"unparseable line: {raw!r}")
+
+    b = NetlistBuilder(name)
+    net_ids: Dict[str, int] = {}
+    for n in inputs:
+        net_ids[n] = b.add_primary_input(n)
+
+    flop_insts = [(c, i, conns, t) for c, i, conns, t in instances if c == "SDFF"]
+    gate_insts = [(c, i, conns, t) for c, i, conns, t in instances if c != "SDFF"]
+
+    # Q nets come from outside the combinational core: create them up front.
+    for _cell, inst, conns, _tier in flop_insts:
+        q = conns.get("Q")
+        if q is None:
+            raise ValueError(f"flop {inst} missing .Q")
+        if q not in net_ids:
+            net_ids[q] = b.add_net(q)
+
+    # Gates can appear in any order; iterate until every fanin is resolvable.
+    pending = list(gate_insts)
+    while pending:
+        progressed = False
+        still: List[Tuple[str, str, Dict[str, str], int]] = []
+        for cname, inst, conns, tier in pending:
+            if cname not in CELL_LIBRARY:
+                raise ValueError(f"unknown cell {cname!r} in instance {inst}")
+            n_in = CELL_LIBRARY[cname].n_inputs
+            pins = [_PIN_NAMES[i] for i in range(n_in)]
+            try:
+                fanin_names = [conns[p] for p in pins]
+            except KeyError as exc:
+                raise ValueError(f"instance {inst} missing pin {exc}") from None
+            if any(fn not in net_ids for fn in fanin_names):
+                still.append((cname, inst, conns, tier))
+                continue
+            out_name = conns.get("Y")
+            if out_name is None:
+                raise ValueError(f"instance {inst} missing .Y")
+            out = b.add_gate(cname, [net_ids[fn] for fn in fanin_names],
+                             out_name=out_name, gate_name=inst)
+            b._gates[-1].tier = tier
+            net_ids[out_name] = out
+            progressed = True
+        if not progressed and still:
+            missing = sorted({fn for _c, _i, conns, _t in still for fn in conns.values()
+                              if fn not in net_ids})
+            raise ValueError(f"undriven nets: {missing[:5]}")
+        pending = still
+
+    for _cell, inst, conns, tier in flop_insts:
+        d = conns.get("D")
+        if d is None or d not in net_ids:
+            raise ValueError(f"flop {inst} has missing or undriven .D")
+        b.add_flop_with_q(d_net=net_ids[d], q_net=net_ids[conns["Q"]], name=inst)
+        b._flops[-1].tier = tier
+    for n in outputs:
+        if n not in net_ids:
+            raise ValueError(f"output {n!r} is undriven")
+        b.mark_primary_output(net_ids[n])
+    return b.finish()
+
+
+def read_verilog(fh: TextIO) -> Netlist:
+    """Parse structural Verilog from an open text file."""
+    return loads(fh.read())

@@ -1,0 +1,36 @@
+"""Pure-numpy GNN substrate (PyTorch/DGL replacement)."""
+
+from .layers import Dense, GCNLayer, Module, Parameter, relu
+from .data import GraphBatch, GraphData, build_batch, normalized_adjacency
+from .loss import bce_with_logits, sigmoid, softmax, softmax_cross_entropy
+from .model import GCNEncoder, GraphClassifier, NodeClassifier
+from .optim import Adam, SGD
+from .pca import PCA
+from .explain import feature_mask_significance, permutation_importance
+from .sage import SAGELayer, make_sage_encoder
+
+__all__ = [
+    "Dense",
+    "GCNLayer",
+    "Module",
+    "Parameter",
+    "relu",
+    "GraphBatch",
+    "GraphData",
+    "build_batch",
+    "normalized_adjacency",
+    "bce_with_logits",
+    "sigmoid",
+    "softmax",
+    "softmax_cross_entropy",
+    "GCNEncoder",
+    "GraphClassifier",
+    "NodeClassifier",
+    "Adam",
+    "SGD",
+    "PCA",
+    "SAGELayer",
+    "make_sage_encoder",
+    "feature_mask_significance",
+    "permutation_importance",
+]

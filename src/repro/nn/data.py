@@ -1,0 +1,137 @@
+"""Graph containers and block-diagonal batching for the GCN models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["GraphData", "GraphBatch", "build_batch", "normalized_adjacency"]
+
+
+@dataclass
+class GraphData:
+    """One sub-graph sample.
+
+    Attributes:
+        x: Node features, shape (n_nodes, n_features).
+        edges: Directed edge list as (src, dst) index arrays.
+        y: Graph-level label (e.g. faulty tier), or -1 when absent.
+        node_y: Per-node labels, shape (n_nodes,), or None.
+        node_mask: Per-node loss mask (e.g. MIV nodes), or None.
+        meta: Free-form payload (sample back-references).
+    """
+
+    x: np.ndarray
+    edges: Tuple[np.ndarray, np.ndarray]
+    y: int = -1
+    node_y: Optional[np.ndarray] = None
+    node_mask: Optional[np.ndarray] = None
+    meta: object = None
+
+    @property
+    def n_nodes(self) -> int:
+        return self.x.shape[0]
+
+
+def normalized_adjacency(
+    n_nodes: int, edges: Tuple[np.ndarray, np.ndarray]
+) -> sp.csr_matrix:
+    """Row-normalized symmetric adjacency with self-loops (eq. (1) mean).
+
+    Edges are symmetrized because fault effects relate nodes in both
+    directions (drive and observe); the self-loop keeps a node's own features
+    in its update.
+    """
+    src, dst = edges
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    loops = np.arange(n_nodes, dtype=np.int64)
+    rows = np.concatenate([src, dst, loops])
+    cols = np.concatenate([dst, src, loops])
+    data = np.ones(len(rows))
+    adj = sp.csr_matrix((data, (rows, cols)), shape=(n_nodes, n_nodes))
+    adj.sum_duplicates()
+    adj.data[:] = 1.0  # collapse multi-edges
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    deg[deg == 0] = 1.0
+    inv = sp.diags(1.0 / deg)
+    return (inv @ adj).tocsr()
+
+
+@dataclass
+class GraphBatch:
+    """Several graphs packed into one block-diagonal problem.
+
+    Attributes:
+        x: Stacked node features, (n_total, n_features).
+        a_hat: Block-diagonal normalized adjacency.
+        graph_ids: Graph index per node, (n_total,).
+        n_graphs: Number of graphs in the batch.
+        y: Graph labels, (n_graphs,).
+        node_y: Stacked node labels (zeros where absent).
+        node_mask: Stacked node masks (False where absent).
+    """
+
+    x: np.ndarray
+    a_hat: sp.csr_matrix
+    graph_ids: np.ndarray
+    n_graphs: int
+    y: np.ndarray
+    node_y: np.ndarray
+    node_mask: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        return self.x.shape[0]
+
+    def pool_mean(self, h: np.ndarray) -> np.ndarray:
+        """Per-graph mean pooling of node embeddings."""
+        n_feat = h.shape[1]
+        sums = np.zeros((self.n_graphs, n_feat))
+        np.add.at(sums, self.graph_ids, h)
+        counts = np.bincount(self.graph_ids, minlength=self.n_graphs).astype(float)
+        counts[counts == 0] = 1.0
+        return sums / counts[:, None]
+
+    def pool_mean_backward(self, dpool: np.ndarray) -> np.ndarray:
+        """Gradient of mean pooling back to node embeddings."""
+        counts = np.bincount(self.graph_ids, minlength=self.n_graphs).astype(float)
+        counts[counts == 0] = 1.0
+        return dpool[self.graph_ids] / counts[self.graph_ids][:, None]
+
+
+def build_batch(graphs: Sequence[GraphData]) -> GraphBatch:
+    """Pack graphs into one block-diagonal batch."""
+    if not graphs:
+        raise ValueError("cannot batch zero graphs")
+    xs: List[np.ndarray] = []
+    blocks: List[sp.csr_matrix] = []
+    gids: List[np.ndarray] = []
+    ys: List[int] = []
+    node_ys: List[np.ndarray] = []
+    node_masks: List[np.ndarray] = []
+    for i, g in enumerate(graphs):
+        xs.append(np.asarray(g.x, dtype=np.float64))
+        blocks.append(normalized_adjacency(g.n_nodes, g.edges))
+        gids.append(np.full(g.n_nodes, i, dtype=np.int64))
+        ys.append(g.y)
+        node_ys.append(
+            np.zeros(g.n_nodes) if g.node_y is None else np.asarray(g.node_y, dtype=float)
+        )
+        node_masks.append(
+            np.zeros(g.n_nodes, dtype=bool)
+            if g.node_mask is None
+            else np.asarray(g.node_mask, dtype=bool)
+        )
+    return GraphBatch(
+        x=np.concatenate(xs, axis=0),
+        a_hat=sp.block_diag(blocks, format="csr"),
+        graph_ids=np.concatenate(gids),
+        n_graphs=len(graphs),
+        y=np.asarray(ys, dtype=np.int64),
+        node_y=np.concatenate(node_ys),
+        node_mask=np.concatenate(node_masks),
+    )

@@ -1,0 +1,94 @@
+"""Feature-significance explanation for trained GNN models.
+
+Stand-in for GNNExplainer's feature-mask mode (Table II's significance
+scores): a per-feature sigmoid mask is trained to preserve the model's
+predictions while an L1 penalty pushes unneeded features toward zero.  The
+significance score of feature *f* is the learned mask value ``sigmoid(m_f)``
+in [0, 1] — features the model relies on resist the penalty and keep scores
+near or above 0.5, unused ones sink.
+
+A model-agnostic permutation importance is provided as a cross-check.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .data import GraphBatch, GraphData, build_batch
+from .loss import sigmoid, softmax_cross_entropy
+from .model import GraphClassifier
+
+__all__ = ["feature_mask_significance", "permutation_importance"]
+
+
+def feature_mask_significance(
+    model: GraphClassifier,
+    graphs: Sequence[GraphData],
+    n_steps: int = 120,
+    lr: float = 0.05,
+    l1: float = 0.005,
+    seed: int = 0,
+) -> np.ndarray:
+    """Learned per-feature significance scores in [0, 1].
+
+    Args:
+        model: Trained graph classifier (its parameters are not modified —
+            gradients accumulated during mask training are discarded).
+        graphs: Explanation dataset; the model's own predictions on the
+            unmasked inputs serve as targets (faithfulness, not accuracy).
+        n_steps: Mask optimization steps.
+        lr: Mask learning rate.
+        l1: Sparsity penalty on mask values.
+        seed: Mask initialization seed.
+    """
+    batch = build_batch(list(graphs))
+    base_logits = model.forward(batch)
+    targets = np.argmax(base_logits, axis=1)
+
+    rng = np.random.default_rng(seed)
+    n_feat = batch.x.shape[1]
+    mask_logits = rng.normal(0.0, 0.01, size=n_feat)
+    x0 = batch.x.copy()
+
+    for _ in range(n_steps):
+        m = sigmoid(mask_logits)
+        batch.x = x0 * m[None, :]
+        logits = model.forward(batch)
+        _loss, dlogits = softmax_cross_entropy(logits, targets)
+        model.zero_grad()
+        dx = model.backward(dlogits)
+        dm = (dx * x0).sum(axis=0) * m * (1.0 - m)
+        dm += l1 * m * (1.0 - m)  # d/dlogit of l1 * sigmoid
+        mask_logits -= lr * dm
+
+    batch.x = x0
+    model.zero_grad()
+    return sigmoid(mask_logits)
+
+
+def permutation_importance(
+    model: GraphClassifier,
+    graphs: Sequence[GraphData],
+    n_repeats: int = 3,
+    seed: int = 0,
+) -> np.ndarray:
+    """Accuracy drop when one feature column is shuffled across nodes."""
+    batch = build_batch(list(graphs))
+    labels = batch.y
+    base_acc = float(np.mean(np.argmax(model.forward(batch), axis=1) == labels))
+    rng = np.random.default_rng(seed)
+    x0 = batch.x.copy()
+    n_feat = x0.shape[1]
+    drops = np.zeros(n_feat)
+    for f in range(n_feat):
+        accs: List[float] = []
+        for _ in range(n_repeats):
+            batch.x = x0.copy()
+            batch.x[:, f] = rng.permutation(batch.x[:, f])
+            acc = float(np.mean(np.argmax(model.forward(batch), axis=1) == labels))
+            accs.append(acc)
+        drops[f] = base_acc - float(np.mean(accs))
+    batch.x = x0
+    return drops

@@ -1,0 +1,80 @@
+"""Loss functions returning (loss, gradient-w.r.t.-logits) pairs."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["softmax", "softmax_cross_entropy", "sigmoid", "bce_with_logits"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilized."""
+    z = logits - logits.max(axis=-1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray, class_weights: Optional[np.ndarray] = None
+) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy over rows.
+
+    Args:
+        logits: (n, n_classes).
+        labels: (n,) integer class ids.
+        class_weights: Optional per-class loss weights (imbalance handling).
+
+    Returns:
+        (scalar loss, gradient w.r.t. logits of the same shape).
+    """
+    n = logits.shape[0]
+    probs = softmax(logits)
+    eps = 1e-12
+    w = np.ones(n) if class_weights is None else class_weights[labels]
+    losses = -np.log(probs[np.arange(n), labels] + eps) * w
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    grad *= w[:, None]
+    denom = max(w.sum(), eps)
+    return float(losses.sum() / denom), grad / denom
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def bce_with_logits(
+    logits: np.ndarray,
+    targets: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    pos_weight: float = 1.0,
+) -> Tuple[float, np.ndarray]:
+    """Masked binary cross-entropy on logits.
+
+    Args:
+        logits: Arbitrary shape.
+        targets: Same shape, in {0, 1}.
+        mask: Boolean mask of entries contributing to the loss.
+        pos_weight: Extra weight on positive targets (class imbalance).
+
+    Returns:
+        (scalar loss, gradient w.r.t. logits).
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    p = sigmoid(logits)
+    eps = 1e-12
+    w = np.where(targets > 0.5, pos_weight, 1.0)
+    if mask is not None:
+        w = w * mask
+    denom = max(float(np.sum(w > 0)), 1.0)
+    losses = -(targets * np.log(p + eps) + (1 - targets) * np.log(1 - p + eps)) * w
+    grad = (p - targets) * w / denom
+    return float(losses.sum() / denom), grad

@@ -1,0 +1,140 @@
+"""GCN model assemblies: encoder, graph classifier, node classifier.
+
+The three paper models share these shapes:
+
+* **Tier-predictor** — ``GraphClassifier``: GCN layers, mean graph pooling,
+  softmax over tiers.
+* **MIV-pinpointer** — ``NodeClassifier``: GCN layers, per-node sigmoid
+  restricted to MIV nodes.
+* **Classifier** — ``GraphClassifier`` built on the Tier-predictor's
+  *pre-trained, frozen* encoder (network-based deep transfer learning) with a
+  fresh trainable head.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from .data import GraphBatch
+from .layers import Dense, GCNLayer, Module, Parameter
+
+__all__ = ["GCNEncoder", "GraphClassifier", "NodeClassifier"]
+
+
+class GCNEncoder(Module):
+    """A stack of GCN layers producing node embeddings."""
+
+    def __init__(self, n_in: int, hidden: Sequence[int], rng: np.random.Generator) -> None:
+        self.layers: List[GCNLayer] = []
+        prev = n_in
+        for width in hidden:
+            self.layers.append(GCNLayer(prev, width, rng, activation=True))
+            prev = width
+        self.n_out = prev
+
+    def parameters(self) -> List[Parameter]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def forward(self, a_hat: sp.spmatrix, x: np.ndarray) -> np.ndarray:
+        h = x
+        for layer in self.layers:
+            h = layer.forward(a_hat, h)
+        return h
+
+    def backward(self, dh: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            dh = layer.backward(dh)
+        return dh
+
+
+class GraphClassifier(Module):
+    """Encoder + mean pooling + linear head → per-graph logits."""
+
+    def __init__(
+        self,
+        n_features: int,
+        n_classes: int,
+        hidden: Sequence[int] = (32, 32),
+        seed: int = 0,
+        encoder: Optional[GCNEncoder] = None,
+        freeze_encoder: bool = False,
+        head_hidden: Sequence[int] = (),
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.encoder = encoder if encoder is not None else GCNEncoder(n_features, hidden, rng)
+        self.head_layers: List[Dense] = []
+        prev = self.encoder.n_out
+        for width in head_hidden:
+            self.head_layers.append(Dense(prev, width, rng, activation=True))
+            prev = width
+        self.head = Dense(prev, n_classes, rng)
+        self.freeze_encoder = freeze_encoder
+        self.n_classes = n_classes
+        self._batch: Optional[GraphBatch] = None
+
+    def parameters(self) -> List[Parameter]:
+        params = [] if self.freeze_encoder else self.encoder.parameters()
+        for layer in self.head_layers:
+            params = params + layer.parameters()
+        return params + self.head.parameters()
+
+    def forward(self, batch: GraphBatch) -> np.ndarray:
+        h = self.encoder.forward(batch.a_hat, batch.x)
+        pooled = batch.pool_mean(h)
+        self._batch = batch
+        for layer in self.head_layers:
+            pooled = layer.forward(pooled)
+        return self.head.forward(pooled)
+
+    def backward(self, dlogits: np.ndarray) -> np.ndarray:
+        """Backpropagate; returns the gradient w.r.t. input node features.
+
+        When the encoder is frozen its parameters still accumulate gradients
+        (the optimizer simply never sees them), which keeps the input
+        gradient available for the feature-mask explainer.
+        """
+        if self._batch is None:
+            raise RuntimeError("backward called before forward")
+        dpooled = self.head.backward(dlogits)
+        for layer in reversed(self.head_layers):
+            dpooled = layer.backward(dpooled)
+        dh = self._batch.pool_mean_backward(dpooled)
+        return self.encoder.backward(dh)
+
+    def predict_proba(self, batch: GraphBatch) -> np.ndarray:
+        from .loss import softmax
+
+        return softmax(self.forward(batch))
+
+
+class NodeClassifier(Module):
+    """Encoder + linear head → per-node logits (for masked node labels)."""
+
+    def __init__(
+        self,
+        n_features: int,
+        hidden: Sequence[int] = (32, 32),
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.encoder = GCNEncoder(n_features, hidden, rng)
+        self.head = Dense(self.encoder.n_out, 1, rng)
+
+    def parameters(self) -> List[Parameter]:
+        return self.encoder.parameters() + self.head.parameters()
+
+    def forward(self, batch: GraphBatch) -> np.ndarray:
+        h = self.encoder.forward(batch.a_hat, batch.x)
+        return self.head.forward(h)[:, 0]
+
+    def backward(self, dlogits: np.ndarray) -> None:
+        dh = self.head.backward(dlogits[:, None])
+        self.encoder.backward(dh)
+
+    def predict_proba(self, batch: GraphBatch) -> np.ndarray:
+        from .loss import sigmoid
+
+        return sigmoid(self.forward(batch))

@@ -1,0 +1,48 @@
+"""Principal component analysis (for the Fig. 5 feature-space study)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """SVD-based PCA with the usual fit/transform API.
+
+    Attributes:
+        components_: (n_components, n_features) principal axes.
+        explained_variance_ratio_: Fraction of variance per component.
+    """
+
+    def __init__(self, n_components: int = 2) -> None:
+        self.n_components = n_components
+        self.mean_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "PCA":
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("PCA expects a 2-D sample matrix")
+        if x.shape[0] < 2:
+            raise ValueError("PCA needs at least two samples")
+        self.mean_ = x.mean(axis=0)
+        centered = x - self.mean_
+        _u, s, vt = np.linalg.svd(centered, full_matrices=False)
+        var = (s ** 2) / max(x.shape[0] - 1, 1)
+        total = var.sum() or 1.0
+        k = min(self.n_components, vt.shape[0])
+        self.components_ = vt[:k]
+        self.explained_variance_ratio_ = var[:k] / total
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.components_ is None:
+            raise RuntimeError("PCA is not fitted")
+        return (np.asarray(x, dtype=float) - self.mean_) @ self.components_.T
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)

@@ -1,0 +1,75 @@
+"""GraphSAGE-style convolution layer (Hamilton et al., 2017).
+
+An alternative aggregation to the paper's GCN (eq. (1)): the node's own
+features and the mean of its neighbors' features pass through *separate*
+weight matrices before the nonlinearity::
+
+    H' = act(H @ W_self + A_mean @ H @ W_neigh + b)
+
+Keeping self and neighborhood channels apart often helps when a node's own
+features (e.g. its tier bit) carry different information than its
+surroundings.  The layer is drop-in compatible with
+:class:`~repro.nn.model.GCNEncoder` via the ``layer_cls`` hook and is
+benchmarked against plain GCN in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .layers import Module, Parameter, relu, relu_grad, _glorot
+
+__all__ = ["SAGELayer", "make_sage_encoder"]
+
+
+class SAGELayer(Module):
+    """GraphSAGE mean-aggregator layer with manual backprop."""
+
+    def __init__(
+        self, n_in: int, n_out: int, rng: np.random.Generator, activation: bool = True
+    ) -> None:
+        self.W_self = Parameter(_glorot(rng, n_in, n_out))
+        self.W_neigh = Parameter(_glorot(rng, n_in, n_out))
+        self.b = Parameter(np.zeros(n_out))
+        self.activation = activation
+        self._cache: Optional[Tuple[sp.spmatrix, np.ndarray, np.ndarray, np.ndarray]] = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.W_self, self.W_neigh, self.b]
+
+    def forward(self, a_hat: sp.spmatrix, h: np.ndarray) -> np.ndarray:
+        z = a_hat @ h
+        s = h @ self.W_self.value + z @ self.W_neigh.value + self.b.value
+        out = relu(s) if self.activation else s
+        self._cache = (a_hat, h, z, s)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        a_hat, h, z, s = self._cache
+        ds = dout * relu_grad(s) if self.activation else dout
+        self.W_self.grad += h.T @ ds
+        self.W_neigh.grad += z.T @ ds
+        self.b.grad += ds.sum(axis=0)
+        dh = ds @ self.W_self.value.T
+        dz = ds @ self.W_neigh.value.T
+        return dh + a_hat.T @ dz
+
+
+def make_sage_encoder(n_in: int, hidden, seed: int = 0):
+    """A :class:`~repro.nn.model.GCNEncoder`-shaped stack of SAGE layers."""
+    from .model import GCNEncoder
+
+    rng = np.random.default_rng(seed)
+    enc = GCNEncoder.__new__(GCNEncoder)
+    enc.layers = []
+    prev = n_in
+    for width in hidden:
+        enc.layers.append(SAGELayer(prev, width, rng, activation=True))
+        prev = width
+    enc.n_out = prev
+    return enc

@@ -1,0 +1,14 @@
+"""Bit-parallel logic and fault simulation substrate."""
+
+from .logicsim import CompiledSimulator, TwoPatternResult
+from .faultsim import FaultMachine
+from .threeval import X, forced_nets, simulate3
+
+__all__ = [
+    "CompiledSimulator",
+    "TwoPatternResult",
+    "FaultMachine",
+    "X",
+    "forced_nets",
+    "simulate3",
+]

@@ -1,0 +1,63 @@
+"""Three-valued (0/1/X) full-netlist simulation.
+
+Pattern generators and DfT analyses often need to reason about partially
+specified vectors — which nets are forced by the specified bits and which
+remain unknown.  This simulator propagates the third value X exactly
+(per-gate completion enumeration for non-decomposable cells), one pattern
+at a time; for fully specified bulk simulation use the bit-parallel
+:class:`~repro.sim.logicsim.CompiledSimulator` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..netlist.netlist import Netlist
+
+__all__ = ["X", "simulate3", "forced_nets"]
+
+#: The unknown value.
+X = 2
+
+
+def simulate3(nl: Netlist, assignment: Dict[int, int]) -> np.ndarray:
+    """Propagate a partial input assignment through the core.
+
+    Args:
+        nl: The design.
+        assignment: Net id → 0/1 for the specified combinational inputs;
+            unassigned inputs are X.
+
+    Returns:
+        int8 array over nets with values 0, 1, or ``X`` (2).
+
+    Raises:
+        ValueError: if the assignment references a non-input net or a value
+            outside {0, 1}.
+    """
+    from ..atpg.podem import _eval3  # shared exact 3-valued cell evaluation
+
+    inputs = set(nl.comb_inputs)
+    values = np.full(nl.n_nets, X, dtype=np.int8)
+    for net, v in assignment.items():
+        if net not in inputs:
+            raise ValueError(f"net {net} is not a combinational input")
+        if v not in (0, 1):
+            raise ValueError(f"input value must be 0 or 1, got {v!r}")
+        values[net] = v
+    for gid in nl.topo_order():
+        g = nl.gates[gid]
+        values[g.out] = _eval3(g.cell, [int(values[n]) for n in g.fanin])
+    return values
+
+
+def forced_nets(nl: Netlist, assignment: Dict[int, int]) -> Dict[int, int]:
+    """Nets driven to a binary value by a partial assignment.
+
+    Useful for measuring how much of the design a compressed/partial test
+    cube actually controls.
+    """
+    values = simulate3(nl, assignment)
+    return {int(n): int(v) for n, v in enumerate(values) if v != X}

@@ -1,0 +1,6 @@
+"""Synthesis-style netlist transforms: re-synthesis and test points."""
+
+from .resynth import resynthesize
+from .testpoints import insert_test_points
+
+__all__ = ["resynthesize", "insert_test_points"]

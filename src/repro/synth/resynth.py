@@ -1,0 +1,126 @@
+"""Function-preserving re-synthesis (the paper's "Syn-2" configuration).
+
+Re-synthesizing at a different clock frequency changes gate selection,
+structure, and depth without changing function.  This transform reproduces
+that effect with a seeded sweep of local, provably function-preserving
+rewrites over the netlist:
+
+* polarity re-mapping      — ``AND2 → INV∘NAND2``, ``OR2 → INV∘NOR2``,
+  ``NAND2 → INV∘AND2``, ``NOR2 → INV∘OR2``, ``XOR2 ↔ INV∘XNOR2``;
+* tree decomposition       — ``AND3/4``, ``OR3/4``, ``NAND3/4``, ``NOR3/4``,
+  ``XOR3`` into two-input trees;
+* complex-cell expansion   — ``AOI21 → NOR2∘AND2``, ``OAI21 → NAND2∘OR2``,
+  ``MUX2 → OR2(AND2(a, ¬s), AND2(b, s))``;
+* buffering                — BUF insertion after a gate output.
+
+Equivalence of input/output behaviour is asserted by the test suite via
+random-pattern simulation of original vs. transformed netlists.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from ..netlist.builder import NetlistBuilder
+from ..netlist.netlist import EXTERNAL_DRIVER, Netlist
+
+__all__ = ["resynthesize"]
+
+
+def resynthesize(nl: Netlist, seed: int = 0, rewrite_probability: float = 0.5) -> Netlist:
+    """A functionally equivalent netlist with different structure.
+
+    Args:
+        nl: Source design.
+        seed: Rewrite-selection seed (deterministic output).
+        rewrite_probability: Chance that an applicable gate is rewritten.
+
+    Returns:
+        A fresh netlist named ``{nl.name}`` whose PI→PO/flop behaviour is
+        identical to the source.
+    """
+    rng = random.Random(seed)
+    b = NetlistBuilder(nl.name)
+    net_map: Dict[int, int] = {}
+
+    for nid in nl.primary_inputs:
+        net_map[nid] = b.add_primary_input(nl.nets[nid].name)
+    for f in nl.flops:
+        net_map[f.q_net] = b.add_net(nl.nets[f.q_net].name)
+
+    counter = [0]
+
+    def g(cell: str, fanin: List[int]) -> int:
+        counter[0] += 1
+        return b.add_gate(cell, fanin, gate_name=f"rs{counter[0]}")
+
+    def rewrite(cell: str, ins: List[int]) -> int:
+        """Emit a function-equivalent implementation of one source gate."""
+        if cell == "AND2":
+            return g("INV", [g("NAND2", ins)])
+        if cell == "OR2":
+            return g("INV", [g("NOR2", ins)])
+        if cell == "NAND2":
+            return g("INV", [g("AND2", ins)])
+        if cell == "NOR2":
+            return g("INV", [g("OR2", ins)])
+        if cell == "XOR2":
+            return g("INV", [g("XNOR2", ins)])
+        if cell == "XNOR2":
+            return g("INV", [g("XOR2", ins)])
+        if cell in ("AND3", "AND4"):
+            acc = g("AND2", ins[:2])
+            for x in ins[2:]:
+                acc = g("AND2", [acc, x])
+            return acc
+        if cell in ("OR3", "OR4"):
+            acc = g("OR2", ins[:2])
+            for x in ins[2:]:
+                acc = g("OR2", [acc, x])
+            return acc
+        if cell in ("NAND3", "NAND4"):
+            acc = g("AND2", ins[:2])
+            for x in ins[2:-1]:
+                acc = g("AND2", [acc, x])
+            return g("NAND2", [acc, ins[-1]])
+        if cell in ("NOR3", "NOR4"):
+            acc = g("OR2", ins[:2])
+            for x in ins[2:-1]:
+                acc = g("OR2", [acc, x])
+            return g("NOR2", [acc, ins[-1]])
+        if cell == "XOR3":
+            return g("XOR2", [g("XOR2", ins[:2]), ins[2]])
+        if cell == "AOI21":
+            return g("NOR2", [g("AND2", ins[:2]), ins[2]])
+        if cell == "OAI21":
+            return g("NAND2", [g("OR2", ins[:2]), ins[2]])
+        if cell == "MUX2":
+            a, bb, sel = ins
+            return g("OR2", [g("AND2", [a, g("INV", [sel])]), g("AND2", [bb, sel])])
+        raise KeyError(cell)
+
+    rewritable = {
+        "AND2", "OR2", "NAND2", "NOR2", "XOR2", "XNOR2",
+        "AND3", "AND4", "OR3", "OR4", "NAND3", "NAND4", "NOR3", "NOR4",
+        "XOR3", "AOI21", "OAI21", "MUX2",
+    }
+
+    for gid in nl.topo_order():
+        gate = nl.gates[gid]
+        ins = [net_map[n] for n in gate.fanin]
+        cell = gate.cell.name
+        if cell in rewritable and rng.random() < rewrite_probability:
+            out = rewrite(cell, ins)
+        else:
+            counter[0] += 1
+            out = b.add_gate(cell, ins, gate_name=f"rs{counter[0]}")
+        if rng.random() < 0.03:  # occasional drive-strength buffer
+            out = g("BUF", [out])
+        net_map[gate.out] = out
+
+    for f in nl.flops:
+        b.add_flop_with_q(d_net=net_map[f.d_net], q_net=net_map[f.q_net], name=f.name)
+    for nid in nl.primary_outputs:
+        b.mark_primary_output(net_map[nid])
+    return b.finish()

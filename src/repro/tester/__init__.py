@@ -1,0 +1,16 @@
+"""Tester substrate: failure logs, datalogs, and fault-injection campaigns."""
+
+from .failure_log import FailEntry, FailureLog
+from .injection import InjectionCampaign, Sample
+from .datalog import dumps_datalog, loads_datalog, read_datalog, write_datalog
+
+__all__ = [
+    "FailEntry",
+    "FailureLog",
+    "InjectionCampaign",
+    "Sample",
+    "dumps_datalog",
+    "loads_datalog",
+    "read_datalog",
+    "write_datalog",
+]

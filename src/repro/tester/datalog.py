@@ -1,0 +1,102 @@
+"""Text datalog serialization for failure logs.
+
+Real testers emit per-chip datalogs as text; this module round-trips
+:class:`~repro.tester.failure_log.FailureLog` through a STIL-flavored
+line format so logs can be archived, diffed, and re-diagnosed offline::
+
+    # repro failure datalog v1
+    CHIP lot7_wafer3_die42
+    MODE compacted
+    FAIL pattern=17 obs=ch2.p5 id=83
+    FAIL pattern=23 obs=po1 id=1
+
+The observation *label* is included for human readability; parsing trusts
+the numeric id (labels are validated against the observation map when one
+is supplied).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, TextIO, Tuple
+
+from ..dft.observation import ObservationMap
+from .failure_log import FailEntry, FailureLog
+
+__all__ = ["dumps_datalog", "loads_datalog", "write_datalog", "read_datalog"]
+
+_HEADER = "# repro failure datalog v1"
+_FAIL_RE = re.compile(
+    r"^FAIL\s+pattern=(?P<pattern>\d+)\s+obs=(?P<label>\S+)\s+id=(?P<id>\d+)\s*$"
+)
+
+
+def dumps_datalog(
+    log: FailureLog, chip_id: str = "chip0", obsmap: Optional[ObservationMap] = None
+) -> str:
+    """Serialize one chip's failure log to datalog text."""
+    lines = [_HEADER, f"CHIP {chip_id}", f"MODE {'compacted' if log.compacted else 'bypass'}"]
+    for e in log.entries:
+        label = (
+            obsmap.observations[e.observation].label
+            if obsmap is not None and e.observation < len(obsmap.observations)
+            else f"obs{e.observation}"
+        )
+        lines.append(f"FAIL pattern={e.pattern} obs={label} id={e.observation}")
+    return "\n".join(lines) + "\n"
+
+
+def loads_datalog(
+    text: str, obsmap: Optional[ObservationMap] = None
+) -> Tuple[str, FailureLog]:
+    """Parse datalog text into (chip id, failure log).
+
+    Raises:
+        ValueError: on a missing header, malformed lines, or (when an
+            observation map is given) label/id mismatches.
+    """
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != _HEADER:
+        raise ValueError("not a repro failure datalog (missing header)")
+    chip_id = "chip0"
+    compacted = False
+    entries = []
+    for raw in lines[1:]:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("CHIP "):
+            chip_id = line[5:].strip()
+            continue
+        if line.startswith("MODE "):
+            compacted = line[5:].strip() == "compacted"
+            continue
+        m = _FAIL_RE.match(line)
+        if not m:
+            raise ValueError(f"malformed datalog line: {raw!r}")
+        obs_id = int(m.group("id"))
+        if obsmap is not None:
+            if obs_id >= len(obsmap.observations):
+                raise ValueError(f"observation id {obs_id} out of range")
+            expected = obsmap.observations[obs_id].label
+            if m.group("label") != expected:
+                raise ValueError(
+                    f"label mismatch for observation {obs_id}: "
+                    f"{m.group('label')!r} != {expected!r}"
+                )
+        entries.append(FailEntry(pattern=int(m.group("pattern")), observation=obs_id))
+    entries.sort(key=lambda e: (e.pattern, e.observation))
+    return chip_id, FailureLog(entries=entries, compacted=compacted)
+
+
+def write_datalog(
+    log: FailureLog, fh: TextIO, chip_id: str = "chip0",
+    obsmap: Optional[ObservationMap] = None,
+) -> None:
+    """Write one failure log as datalog text."""
+    fh.write(dumps_datalog(log, chip_id, obsmap))
+
+
+def read_datalog(fh: TextIO, obsmap: Optional[ObservationMap] = None) -> Tuple[str, FailureLog]:
+    """Read a datalog from an open text file."""
+    return loads_datalog(fh.read(), obsmap)

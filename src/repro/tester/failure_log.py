@@ -1,0 +1,76 @@
+"""Tester failure logs.
+
+A :class:`FailureLog` is the per-chip datalog a tester emits: which pattern
+failed at which observation.  It is one of only two inputs the diagnosis
+framework needs (the other being the netlist), mirroring the paper's "the
+proposed framework simply utilizes the circuit netlist and failure log files
+from the tester".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..dft.observation import ObservationMap
+
+__all__ = ["FailEntry", "FailureLog"]
+
+
+@dataclass(frozen=True)
+class FailEntry:
+    """One erroneous tester response: pattern index + observation id."""
+
+    pattern: int
+    observation: int
+
+
+@dataclass
+class FailureLog:
+    """All erroneous responses of one failing chip.
+
+    Attributes:
+        entries: Failing (pattern, observation) pairs, sorted.
+        compacted: Whether responses went through the compactor.
+    """
+
+    entries: List[FailEntry]
+    compacted: bool = False
+
+    @classmethod
+    def from_detections(
+        cls, obsmap: ObservationMap, detections: Dict[int, np.ndarray]
+    ) -> "FailureLog":
+        """Build the log a tester would record for given per-net differences."""
+        fail_masks = obsmap.fail_masks(detections)
+        entries = [
+            FailEntry(pattern=int(p), observation=obs_id)
+            for obs_id, mask in fail_masks.items()
+            for p in np.nonzero(mask)[0]
+        ]
+        entries.sort(key=lambda e: (e.pattern, e.observation))
+        return cls(entries=entries, compacted=obsmap.compacted)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[FailEntry]:
+        return iter(self.entries)
+
+    @property
+    def failing_patterns(self) -> List[int]:
+        """Distinct failing pattern indices, sorted."""
+        return sorted({e.pattern for e in self.entries})
+
+    def observations_of_pattern(self, pattern: int) -> List[int]:
+        """Observation ids failing under one pattern."""
+        return sorted({e.observation for e in self.entries if e.pattern == pattern})
+
+    def by_pattern(self) -> Dict[int, List[int]]:
+        """Pattern index → failing observation ids."""
+        out: Dict[int, List[int]] = {}
+        for e in self.entries:
+            out.setdefault(e.pattern, []).append(e.observation)
+        return out

@@ -1,0 +1,110 @@
+"""Fault-injection campaigns.
+
+Reproduces the dataset-creation step of the paper's Fig. 4: inject one TDF
+(or a tier-systematic cluster) into the design, run logic simulation with the
+TDF patterns, and collect the erroneous responses into a failure log.  Chips
+whose fault escapes the pattern set (no failing response) are skipped — only
+failing chips reach diagnosis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..atpg.faults import Fault
+from ..dft.observation import ObservationMap
+from ..m3d.defects import DefectSampler
+from ..sim.faultsim import FaultMachine
+from ..sim.logicsim import TwoPatternResult
+from .failure_log import FailureLog
+
+__all__ = ["Sample", "InjectionCampaign"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One failing chip: the injected fault(s) and the tester's failure log."""
+
+    faults: Tuple[Fault, ...]
+    log: FailureLog
+
+
+class InjectionCampaign:
+    """Generates failing-chip samples for a prepared design.
+
+    Args:
+        machine: Fault machine over the design's compiled simulator.
+        good: Good-machine values for the design's TDF pattern set.
+        obsmap: Observation map (bypass or compacted).
+        sampler: Seeded defect sampler.
+        max_attempts_factor: Injections attempted per requested sample before
+            giving up (undetectable faults are re-drawn).
+    """
+
+    def __init__(
+        self,
+        machine: FaultMachine,
+        good: TwoPatternResult,
+        obsmap: ObservationMap,
+        sampler: DefectSampler,
+        max_attempts_factor: int = 8,
+    ) -> None:
+        self.machine = machine
+        self.good = good
+        self.obsmap = obsmap
+        self.sampler = sampler
+        self.max_attempts_factor = max_attempts_factor
+
+    def _log_of(self, faults: Sequence[Fault]) -> Optional[FailureLog]:
+        if len(faults) == 1:
+            detections = self.machine.propagate(faults[0], self.good)
+        else:
+            detections = self.machine.propagate_multi(list(faults), self.good)
+        if not detections:
+            return None
+        log = FailureLog.from_detections(self.obsmap, detections)
+        return log if len(log) else None
+
+    def single_fault_samples(self, n: int, miv_fraction: float = 0.15) -> List[Sample]:
+        """``n`` failing chips with one injected TDF each.
+
+        ``miv_fraction`` of the injections target MIVs, the defect class M3D
+        manufacturing makes most likely.
+        """
+        out: List[Sample] = []
+        attempts = 0
+        budget = max(1, n) * self.max_attempts_factor
+        while len(out) < n and attempts < budget:
+            attempts += 1
+            fault = self.sampler.sample_single(miv_fraction)
+            log = self._log_of([fault])
+            if log is not None:
+                out.append(Sample(faults=(fault,), log=log))
+        return out
+
+    def multi_fault_samples(self, n: int, n_min: int = 2, n_max: int = 5) -> List[Sample]:
+        """``n`` failing chips with a tier-systematic multi-fault cluster each."""
+        out: List[Sample] = []
+        attempts = 0
+        budget = max(1, n) * self.max_attempts_factor
+        while len(out) < n and attempts < budget:
+            attempts += 1
+            faults = self.sampler.sample_tier_systematic(n_min, n_max)
+            log = self._log_of(faults)
+            if log is not None:
+                out.append(Sample(faults=tuple(faults), log=log))
+        return out
+
+    def miv_fault_samples(self, n: int) -> List[Sample]:
+        """``n`` failing chips whose single injected TDF sits in an MIV."""
+        out: List[Sample] = []
+        attempts = 0
+        budget = max(1, n) * self.max_attempts_factor
+        while len(out) < n and attempts < budget:
+            attempts += 1
+            fault = self.sampler.sample_miv_fault()
+            log = self._log_of([fault])
+            if log is not None:
+                out.append(Sample(faults=(fault,), log=log))
+        return out

@@ -1,0 +1,49 @@
+"""Shared fixtures: small deterministic designs and prepared bundles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import DesignConfig, prepare_design
+from repro.netlist import GeneratorSpec, generate, toy_netlist
+
+
+@pytest.fixture
+def toy():
+    """The hand-written 5-gate netlist."""
+    return toy_netlist()
+
+
+@pytest.fixture(scope="session")
+def small_spec():
+    return GeneratorSpec("small", "aes_like", 180, 24, 12, 12, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_netlist(small_spec):
+    """A ~180-gate generated design (session-scoped, read-only)."""
+    return generate(small_spec)
+
+
+@pytest.fixture(scope="session")
+def prepared(small_spec):
+    """A fully prepared small design (partitioned, scanned, ATPG'd)."""
+    return prepare_design(
+        small_spec,
+        DesignConfig.standard("Syn-1"),
+        n_chains=4,
+        chains_per_channel=2,
+        max_patterns=96,
+    )
+
+
+@pytest.fixture(scope="session")
+def prepared_par(small_spec):
+    """The same design under the spectral (Par) partitioner."""
+    return prepare_design(
+        small_spec,
+        DesignConfig.standard("Par"),
+        n_chains=4,
+        chains_per_channel=2,
+        max_patterns=96,
+    )

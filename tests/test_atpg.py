@@ -1,0 +1,69 @@
+"""Unit tests for pattern containers and the TDF ATPG loop."""
+
+import numpy as np
+import pytest
+
+from repro.atpg import PatternSet, generate_tdf_patterns, random_patterns
+from repro.netlist import toy_netlist
+
+
+class TestPatternSet:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="differ"):
+            PatternSet(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            PatternSet(np.zeros(3), np.zeros(3))
+
+    def test_select(self):
+        ps = PatternSet(np.arange(8).reshape(2, 4) % 2, np.zeros((2, 4)))
+        sub = ps.select([0, 2])
+        assert sub.n_patterns == 2
+        assert np.array_equal(sub.v1, ps.v1[:, [0, 2]])
+
+    def test_concat(self):
+        a = random_patterns(toy_netlist(), 3, np.random.default_rng(0))
+        b = random_patterns(toy_netlist(), 2, np.random.default_rng(1))
+        c = a.concat(b)
+        assert c.n_patterns == 5
+        assert np.array_equal(c.v2[:, :3], a.v2)
+
+    def test_concat_input_mismatch(self):
+        a = PatternSet(np.zeros((2, 1)), np.zeros((2, 1)))
+        b = PatternSet(np.zeros((3, 1)), np.zeros((3, 1)))
+        with pytest.raises(ValueError, match="input counts"):
+            a.concat(b)
+
+
+class TestAtpg:
+    def test_coverage_and_determinism(self, toy):
+        r1 = generate_tdf_patterns(toy, seed=5, max_patterns=64)
+        r2 = generate_tdf_patterns(toy, seed=5, max_patterns=64)
+        assert r1.fault_coverage > 0.7
+        assert np.array_equal(r1.patterns.v1, r2.patterns.v1)
+        assert r1.detected == r2.detected
+
+    def test_detected_aligns_with_faults(self, toy):
+        r = generate_tdf_patterns(toy, seed=5, max_patterns=64)
+        assert len(r.detected) == len(r.faults) == r.n_target_faults
+
+    def test_selected_patterns_actually_detect(self, toy):
+        """Every detected fault is detected by the emitted pattern set."""
+        from repro.sim import CompiledSimulator, FaultMachine
+
+        r = generate_tdf_patterns(toy, seed=5, max_patterns=64, target_coverage=1.0)
+        sim = CompiledSimulator(toy)
+        machine = FaultMachine(sim)
+        good = sim.simulate_pair(r.patterns.v1, r.patterns.v2)
+        for fault, det in zip(r.faults, r.detected):
+            if det:
+                assert machine.detects(fault, good).any(), fault.label
+
+    def test_pattern_budget_respected(self, toy):
+        r = generate_tdf_patterns(toy, seed=5, max_patterns=4, target_coverage=1.0)
+        assert r.patterns.n_patterns <= 4
+
+    def test_small_netlist_reaches_high_coverage(self, small_netlist):
+        r = generate_tdf_patterns(small_netlist, seed=0, max_patterns=128)
+        assert r.fault_coverage >= 0.85

@@ -1,0 +1,79 @@
+"""Unit and property tests for the Fig. 3 back-tracing algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core import backtrace
+from repro.m3d import DefectSampler
+from repro.tester import FailureLog, InjectionCampaign
+
+
+@pytest.fixture(scope="module", params=["bypass", "compacted"])
+def traced(request, prepared):
+    mode = request.param
+    obsmap = prepared.obsmap(mode)
+    sampler = DefectSampler(prepared.nl, prepared.mivs, seed=31)
+    campaign = InjectionCampaign(prepared.machine, prepared.good, obsmap, sampler)
+    samples = campaign.single_fault_samples(30)
+    return prepared, obsmap, samples
+
+
+def test_truth_node_always_in_candidates(traced):
+    """Fig. 3 soundness: the injected site's node survives back-tracing."""
+    prepared, obsmap, samples = traced
+    for s in samples:
+        mask = backtrace(prepared.het, obsmap, s.log)
+        v = prepared.het.node_of_site(s.faults[0].site)
+        assert v is not None
+        assert mask[v], f"missed {s.faults[0].label}"
+
+
+def test_candidates_transition_under_failing_patterns(traced):
+    prepared, obsmap, samples = traced
+    het = prepared.het
+    for s in samples[:10]:
+        mask = backtrace(het, obsmap, s.log)
+        for p in s.log.failing_patterns:
+            trans = het.node_transitions(p)
+            assert np.all(trans[mask]), "candidate without transition survived"
+
+
+def test_candidates_in_every_failing_cone(traced):
+    prepared, obsmap, samples = traced
+    het = prepared.het
+    for s in samples[:10]:
+        mask = backtrace(het, obsmap, s.log)
+        for entry in s.log.entries:
+            tops = [
+                het.topnode_of_net[n]
+                for n in obsmap.observations[entry.observation].nets
+                if n in het.topnode_of_net
+            ]
+            union = np.zeros(het.n_nodes, dtype=bool)
+            for t in tops:
+                union |= het.cone_mask[t]
+            assert np.all(union[mask])
+
+
+def test_empty_log_empty_mask(prepared):
+    obsmap = prepared.obsmap("bypass")
+    mask = backtrace(prepared.het, obsmap, FailureLog(entries=[]))
+    assert not mask.any()
+
+
+def test_multi_fault_fallback_nonempty(prepared):
+    """Multi-fault chips may empty the strict intersection; the fallback
+    must still produce candidates."""
+    obsmap = prepared.obsmap("bypass")
+    sampler = DefectSampler(prepared.nl, prepared.mivs, seed=32)
+    campaign = InjectionCampaign(prepared.machine, prepared.good, obsmap, sampler)
+    for s in campaign.multi_fault_samples(10):
+        mask = backtrace(prepared.het, obsmap, s.log)
+        assert mask.any()
+
+
+def test_subgraph_smaller_than_graph(traced):
+    prepared, obsmap, samples = traced
+    sizes = [int(backtrace(prepared.het, obsmap, s.log).sum()) for s in samples]
+    assert max(sizes) < prepared.het.n_nodes
+    assert min(sizes) >= 1

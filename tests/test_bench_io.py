@@ -1,0 +1,107 @@
+"""Unit tests for the ISCAS-89 .bench reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import check, dumps_bench, loads_bench, toy_netlist
+from repro.sim import CompiledSimulator
+
+S27 = """
+# s27 (ISCAS-89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+"""
+
+
+def test_parse_s27():
+    nl = loads_bench(S27, name="s27")
+    assert nl.n_flops == 3
+    assert len(nl.primary_inputs) == 4
+    assert len(nl.primary_outputs) == 1
+    assert nl.n_gates == 10
+    assert check(nl) == []
+
+
+def test_s27_functional_spot_check():
+    """G17 = NOT(G11) with G11 = NOR(G5, G9): all-zero state, specific PIs."""
+    nl = loads_bench(S27, name="s27")
+    sim = CompiledSimulator(nl)
+    # inputs: G0..G3 then flop Qs G5, G6, G7.
+    vec = np.array([[0], [0], [0], [0], [0], [0], [0]], dtype=np.uint8)
+    vals = sim.simulate(vec)
+    g17 = nl.primary_outputs[0]
+    # Hand-evaluate: G14=1, G8=0, G12=1, G15=1, G16=0, G9=1, G11=NOR(0,1)=0,
+    # G17=NOT(0)=1.
+    assert vals[g17][0] == 1
+
+
+def test_roundtrip_preserves_function(toy):
+    text = dumps_bench(toy)
+    nl = loads_bench(text)
+    rng = np.random.default_rng(0)
+    inputs = rng.integers(0, 2, size=(len(toy.comb_inputs), 32), dtype=np.uint8)
+    va = CompiledSimulator(toy).simulate(inputs)
+    vb = CompiledSimulator(nl).simulate(inputs)
+    for oa, ob in zip(toy.observed_nets, nl.observed_nets):
+        assert np.array_equal(va[oa], vb[ob])
+
+
+def test_wide_gate_decomposed():
+    text = """
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+OUTPUT(y)
+y = NAND(a, b, c, d, e)
+"""
+    nl = loads_bench(text)
+    assert check(nl) == []
+    sim = CompiledSimulator(nl)
+    ones = np.ones((5, 1), dtype=np.uint8)
+    assert sim.simulate(ones)[nl.primary_outputs[0]][0] == 0
+    ones[2, 0] = 0
+    assert sim.simulate(ones)[nl.primary_outputs[0]][0] == 1
+
+
+def test_unknown_operator_rejected():
+    with pytest.raises(ValueError, match="unknown .bench operator"):
+        loads_bench("INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a, a)\n")
+
+
+def test_undriven_output_rejected():
+    with pytest.raises(ValueError, match="undriven"):
+        loads_bench("INPUT(a)\nOUTPUT(y)\n")
+
+
+def test_unparseable_line_rejected():
+    with pytest.raises(ValueError, match="unparseable"):
+        loads_bench("INPUT(a)\nwhat is this\n")
+
+
+def test_export_rejects_complex_cells(small_netlist):
+    # Generated designs contain MUX2/AOI21 which .bench cannot express.
+    from repro.synth import resynthesize
+
+    with pytest.raises(ValueError, match="no .bench equivalent"):
+        dumps_bench(small_netlist)
+    flat = resynthesize(small_netlist, seed=0, rewrite_probability=1.0)
+    text = dumps_bench(flat)  # after full rewrite it must export cleanly
+    assert "NAND" in text or "AND" in text

@@ -1,0 +1,83 @@
+"""Unit tests for the standard-cell library."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.netlist.cells import CELL_LIBRARY, INVERTING_CELLS, cell, cell_names
+
+
+def _bits(n_inputs):
+    """All input combinations as pattern-parallel arrays."""
+    combos = list(itertools.product([0, 1], repeat=n_inputs))
+    cols = np.array(combos, dtype=np.uint8).T
+    return [cols[i] for i in range(n_inputs)], combos
+
+
+REFERENCE = {
+    "BUF": lambda v: v[0],
+    "INV": lambda v: 1 - v[0],
+    "AND2": lambda v: v[0] & v[1],
+    "AND3": lambda v: v[0] & v[1] & v[2],
+    "AND4": lambda v: v[0] & v[1] & v[2] & v[3],
+    "OR2": lambda v: v[0] | v[1],
+    "OR3": lambda v: v[0] | v[1] | v[2],
+    "OR4": lambda v: v[0] | v[1] | v[2] | v[3],
+    "NAND2": lambda v: 1 - (v[0] & v[1]),
+    "NAND3": lambda v: 1 - (v[0] & v[1] & v[2]),
+    "NAND4": lambda v: 1 - (v[0] & v[1] & v[2] & v[3]),
+    "NOR2": lambda v: 1 - (v[0] | v[1]),
+    "NOR3": lambda v: 1 - (v[0] | v[1] | v[2]),
+    "NOR4": lambda v: 1 - (v[0] | v[1] | v[2] | v[3]),
+    "XOR2": lambda v: v[0] ^ v[1],
+    "XOR3": lambda v: v[0] ^ v[1] ^ v[2],
+    "XNOR2": lambda v: 1 - (v[0] ^ v[1]),
+    "MUX2": lambda v: v[1] if v[2] else v[0],
+    "AOI21": lambda v: 1 - ((v[0] & v[1]) | v[2]),
+    "OAI21": lambda v: 1 - ((v[0] | v[1]) & v[2]),
+}
+
+
+@pytest.mark.parametrize("name", sorted(REFERENCE))
+def test_truth_tables(name):
+    ct = cell(name)
+    inputs, combos = _bits(ct.n_inputs)
+    out = ct.evaluate(inputs)
+    expected = np.array([REFERENCE[name](c) for c in combos], dtype=np.uint8)
+    assert np.array_equal(out, expected), f"{name} truth table mismatch"
+
+
+def test_library_covers_reference():
+    assert set(REFERENCE) == set(CELL_LIBRARY)
+
+
+def test_evaluate_rejects_wrong_arity():
+    with pytest.raises(ValueError):
+        cell("NAND2").evaluate([np.zeros(4, dtype=np.uint8)])
+
+
+def test_unknown_cell_raises_keyerror():
+    with pytest.raises(KeyError, match="unknown cell"):
+        cell("NAND9")
+
+
+def test_cell_names_sorted_and_complete():
+    names = cell_names()
+    assert list(names) == sorted(names)
+    assert set(names) == set(CELL_LIBRARY)
+
+
+def test_areas_positive():
+    for ct in CELL_LIBRARY.values():
+        assert ct.area > 0
+
+
+def test_inverting_cells_listed_exist():
+    for name in INVERTING_CELLS:
+        assert name in CELL_LIBRARY
+
+
+def test_output_dtype_uint8():
+    inputs, _ = _bits(2)
+    assert cell("XOR2").evaluate(inputs).dtype == np.uint8

@@ -1,0 +1,47 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "AES" in out and "leon3mp" in out
+
+
+def test_export_verilog(tmp_path, capsys):
+    path = tmp_path / "aes.v"
+    assert main(["export", "--benchmark", "AES", "--scale", "tiny",
+                 "--output", str(path)]) == 0
+    text = path.read_text()
+    assert text.startswith("module")
+    from repro.netlist import loads
+
+    nl = loads(text)
+    assert nl.n_gates > 0
+
+
+def test_export_bench_stdout(capsys):
+    assert main(["export", "--benchmark", "Tate", "--scale", "tiny",
+                 "--format", "bench"]) == 0
+    out = capsys.readouterr().out
+    assert "INPUT(" in out and "DFF(" in out
+
+
+def test_tables_rejects_unknown_ids(capsys):
+    assert main(["tables", "--only", "table99"]) == 2
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+@pytest.mark.slow
+def test_tables_single_table(capsys):
+    assert main(["tables", "--scale", "tiny", "--samples", "8",
+                 "--only", "table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table III" in out

@@ -1,0 +1,93 @@
+"""Unit tests for the Fig. 4 data-generation flow and dataset builders."""
+
+import pytest
+
+from repro.atpg import site_tier
+from repro.data import CONFIG_NAMES, DesignConfig, build_dataset, prepare_design
+from repro.netlist import GeneratorSpec
+
+
+class TestDesignConfig:
+    def test_standard_names(self):
+        for name in CONFIG_NAMES:
+            cfg = DesignConfig.standard(name)
+            assert cfg.name == name
+
+    def test_random_configs(self):
+        cfg = DesignConfig.standard("Rand-3")
+        assert cfg.partitioner == "random"
+        assert cfg.partition_seed == 103
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown configuration"):
+            DesignConfig.standard("Syn-9")
+
+
+class TestPrepareDesign:
+    def test_bundle_consistency(self, prepared):
+        assert prepared.config.name == "Syn-1"
+        assert prepared.patterns.n_patterns > 0
+        assert prepared.atpg.fault_coverage > 0.7
+        assert len(prepared.mivs) == prepared.partition.cut
+        assert set(prepared.obsmaps) == {"bypass", "compacted", "misr"}
+        assert prepared.het.n_nodes > prepared.nl.n_nets
+
+    def test_configs_produce_different_designs(self, small_spec, prepared, prepared_par):
+        assert prepared.partition.method == "mincut"
+        assert prepared_par.partition.method == "spectral"
+        assert prepared.partition.gate_tiers != prepared_par.partition.gate_tiers
+
+    def test_tpi_adds_flops(self, small_spec):
+        tpi = prepare_design(
+            small_spec, DesignConfig.standard("TPI"), n_chains=4,
+            chains_per_channel=2, max_patterns=64,
+        )
+        base_flops = small_spec.n_flops
+        assert tpi.nl.n_flops > base_flops
+
+    def test_syn2_changes_structure(self, small_spec, prepared):
+        syn2 = prepare_design(
+            small_spec, DesignConfig.standard("Syn-2"), n_chains=4,
+            chains_per_channel=2, max_patterns=64,
+        )
+        assert syn2.nl.n_gates != prepared.nl.n_gates
+
+    def test_bad_partitioner_rejected(self, small_spec):
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            prepare_design(small_spec, DesignConfig("X", partitioner="magic"))
+
+
+class TestBuildDataset:
+    def test_single_fault_labels(self, prepared):
+        ds = build_dataset(prepared, "bypass", 25, seed=61, miv_fraction=0.3)
+        assert len(ds) > 0
+        for item in ds.items:
+            fault = item.faults[0]
+            if fault.site.kind == "miv":
+                assert item.graph.y == -1
+                assert item.graph.node_y.sum() == 1.0
+            else:
+                assert item.graph.y == site_tier(prepared.nl, fault.site)
+
+    def test_multi_fault_labels_single_tier(self, prepared):
+        ds = build_dataset(prepared, "bypass", 10, seed=62, kind="multi")
+        for item in ds.items:
+            tiers = {site_tier(prepared.nl, f.site) for f in item.faults}
+            assert len(tiers) == 1
+            assert item.graph.y == next(iter(tiers))
+
+    def test_miv_kind(self, prepared):
+        ds = build_dataset(prepared, "bypass", 8, seed=63, kind="miv")
+        assert all(item.faults[0].site.kind == "miv" for item in ds.items)
+
+    def test_unknown_kind_rejected(self, prepared):
+        with pytest.raises(ValueError, match="unknown dataset kind"):
+            build_dataset(prepared, "bypass", 5, seed=0, kind="exotic")
+
+    def test_graphs_property(self, prepared):
+        ds = build_dataset(prepared, "bypass", 5, seed=64)
+        assert len(ds.graphs) == len(ds.samples) == len(ds)
+
+    def test_compacted_mode(self, prepared):
+        ds = build_dataset(prepared, "compacted", 10, seed=65)
+        assert all(item.sample.log.compacted for item in ds.items)

@@ -1,0 +1,122 @@
+"""Tests for datalog serialization, equivalence classes, netlist profiles."""
+
+import numpy as np
+import pytest
+
+from repro.atpg import Polarity, stem_site
+from repro.diagnosis import (
+    Candidate,
+    DiagnosisReport,
+    class_first_hit,
+    class_resolution,
+    group_candidates,
+)
+from repro.netlist import format_profile, profile_netlist
+from repro.tester import FailEntry, FailureLog, dumps_datalog, loads_datalog
+
+
+class TestDatalog:
+    def test_roundtrip(self, prepared):
+        log = FailureLog(
+            entries=[FailEntry(3, 1), FailEntry(0, 2)], compacted=True
+        )
+        text = dumps_datalog(log, chip_id="lot1_die9", obsmap=prepared.obsmap("compacted"))
+        chip, parsed = loads_datalog(text, obsmap=prepared.obsmap("compacted"))
+        assert chip == "lot1_die9"
+        assert parsed.compacted
+        assert parsed.entries == sorted(log.entries, key=lambda e: (e.pattern, e.observation))
+
+    def test_roundtrip_without_obsmap(self):
+        log = FailureLog(entries=[FailEntry(1, 4)])
+        chip, parsed = loads_datalog(dumps_datalog(log))
+        assert parsed.entries == log.entries
+        assert not parsed.compacted
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError, match="missing header"):
+            loads_datalog("CHIP x\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            loads_datalog("# repro failure datalog v1\nFAIL whatever\n")
+
+    def test_label_mismatch_detected(self, prepared):
+        obsmap = prepared.obsmap("bypass")
+        text = "# repro failure datalog v1\nFAIL pattern=0 obs=WRONG id=1\n"
+        with pytest.raises(ValueError, match="label mismatch"):
+            loads_datalog(text, obsmap=obsmap)
+
+    def test_out_of_range_id(self, prepared):
+        obsmap = prepared.obsmap("bypass")
+        text = f"# repro failure datalog v1\nFAIL pattern=0 obs=x id={10**6}\n"
+        with pytest.raises(ValueError, match="out of range"):
+            loads_datalog(text, obsmap=obsmap)
+
+    def test_diagnosable_after_roundtrip(self, prepared):
+        """A re-parsed datalog diagnoses identically to the original log."""
+        from repro.data import build_dataset
+        from repro.diagnosis import EffectCauseDiagnoser
+
+        ds = build_dataset(prepared, "bypass", 3, seed=91)
+        diag = EffectCauseDiagnoser(
+            prepared.nl, prepared.obsmap("bypass"), prepared.patterns,
+            mivs=prepared.mivs, sim=prepared.sim,
+        )
+        for item in ds.items:
+            _chip, parsed = loads_datalog(dumps_datalog(item.sample.log))
+            a = diag.diagnose(item.sample.log)
+            b = diag.diagnose(parsed)
+            assert [c.site.label for c in a] == [c.site.label for c in b]
+
+
+def _cand(site, tfsf, tfsp=0, tpsf=0, tier=0):
+    return Candidate(site=site, polarity=Polarity.SLOW_TO_RISE,
+                     score=1.0, tier=tier, tfsf=tfsf, tfsp=tfsp, tpsf=tpsf)
+
+
+class TestEquivalence:
+    def test_grouping(self, toy):
+        s = [stem_site(toy, toy.gates[i].out) for i in range(4)]
+        rep = DiagnosisReport(candidates=[
+            _cand(s[0], 5), _cand(s[1], 5), _cand(s[2], 3), _cand(s[3], 5, tpsf=1),
+        ])
+        classes = group_candidates(rep)
+        assert [len(c.members) for c in classes] == [2, 1, 1]
+        assert class_resolution(rep) == 3
+
+    def test_class_first_hit(self, toy):
+        from repro.atpg import Fault
+
+        s = [stem_site(toy, toy.gates[i].out) for i in range(3)]
+        rep = DiagnosisReport(candidates=[_cand(s[0], 5), _cand(s[1], 3), _cand(s[2], 3)])
+        truth = [Fault(s[2], Polarity.SLOW_TO_RISE)]
+        assert class_first_hit(rep, truth) == 2
+        assert class_first_hit(rep, [Fault(stem_site(toy, toy.gates[4].out),
+                                           Polarity.SLOW_TO_RISE)]) == 0
+
+    def test_class_resolution_bounded(self, toy):
+        s0 = stem_site(toy, toy.gates[0].out)
+        rep = DiagnosisReport(candidates=[_cand(s0, 5)])
+        assert class_resolution(rep) == 1 <= rep.resolution
+
+
+class TestProfile:
+    def test_profile_fields(self, small_netlist):
+        p = profile_netlist(small_netlist)
+        assert p.n_gates == small_netlist.n_gates
+        assert abs(sum(p.gate_mix.values()) - 1.0) < 1e-9
+        assert p.depth > 0
+        assert 0.0 <= p.reconvergence <= 1.0
+        assert sum(p.fanout_histogram.values()) == small_netlist.n_nets
+
+    def test_flavors_differ(self):
+        from repro.netlist import GeneratorSpec, generate
+
+        aes = profile_netlist(generate(GeneratorSpec("a", "aes_like", 300, 32, 16, 16, 1)))
+        ncd = profile_netlist(generate(GeneratorSpec("n", "netcard_like", 300, 32, 16, 16, 1)))
+        assert aes.gate_mix.get("XOR2", 0) > ncd.gate_mix.get("XOR2", 0)
+        assert ncd.gate_mix.get("MUX2", 0) > aes.gate_mix.get("MUX2", 0)
+
+    def test_format(self, small_netlist):
+        text = format_profile(profile_netlist(small_netlist), "small")
+        assert "gate mix" in text and "reconvergent" in text

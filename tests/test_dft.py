@@ -1,0 +1,111 @@
+"""Unit and property tests for scan chains and response compaction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dft import ObservationMap, build_scan_chains
+
+
+class TestScanChains:
+    def test_balanced_chains(self, small_netlist):
+        scan = build_scan_chains(small_netlist, n_chains=4, seed=0)
+        lengths = [len(c.flops) for c in scan.chains]
+        assert max(lengths) - min(lengths) <= 1
+        assert sum(lengths) == small_netlist.n_flops
+        assert scan.chain_length == max(lengths)
+
+    def test_every_flop_in_exactly_one_chain(self, small_netlist):
+        scan = build_scan_chains(small_netlist, n_chains=5, seed=0)
+        seen = [f for c in scan.chains for f in c.flops]
+        assert sorted(seen) == list(range(small_netlist.n_flops))
+
+    def test_channels_group_chains(self, small_netlist):
+        scan = build_scan_chains(small_netlist, n_chains=6, chains_per_channel=4, seed=0)
+        assert scan.n_channels == 2
+        assert [len(ch) for ch in scan.channels] == [4, 2]
+
+    def test_zero_chains_rejected(self, small_netlist):
+        with pytest.raises(ValueError, match="at least one chain"):
+            build_scan_chains(small_netlist, n_chains=0)
+
+    def test_deterministic(self, small_netlist):
+        a = build_scan_chains(small_netlist, 4, seed=9)
+        b = build_scan_chains(small_netlist, 4, seed=9)
+        assert a == b
+
+
+class TestObservationMap:
+    def test_bypass_counts(self, small_netlist):
+        scan = build_scan_chains(small_netlist, 4, seed=0)
+        om = ObservationMap.bypass(small_netlist, scan)
+        assert om.n_observations == len(small_netlist.primary_outputs) + small_netlist.n_flops
+        assert not om.compacted
+
+    def test_compacted_counts(self, small_netlist):
+        scan = build_scan_chains(small_netlist, 4, chains_per_channel=2, seed=0)
+        om = ObservationMap.compacted(small_netlist, scan)
+        expected = len(small_netlist.primary_outputs) + sum(
+            max(len(scan.chains[c].flops) for c in ch) for ch in scan.channels
+        )
+        assert om.n_observations == expected
+        assert om.compacted
+
+    def test_every_flop_observed_once_compacted(self, small_netlist):
+        scan = build_scan_chains(small_netlist, 4, chains_per_channel=2, seed=0)
+        om = ObservationMap.compacted(small_netlist, scan)
+        count = {}
+        for obs in om.observations:
+            if obs.kind == "channel":
+                for net in obs.nets:
+                    count[net] = count.get(net, 0) + 1
+        assert set(count.values()) == {1}
+        assert set(count) == {f.d_net for f in small_netlist.flops}
+
+    def test_fail_masks_bypass_passthrough(self, small_netlist):
+        scan = build_scan_chains(small_netlist, 4, seed=0)
+        om = ObservationMap.bypass(small_netlist, scan)
+        d0 = small_netlist.flops[0].d_net
+        mask = np.array([True, False, True])
+        fails = om.fail_masks({d0: mask})
+        obs_ids = om.observations_of_net(d0)
+        assert len(obs_ids) == 1
+        assert np.array_equal(fails[obs_ids[0]], mask)
+
+    @given(st.lists(st.booleans(), min_size=2, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_xor_aliasing_parity(self, flags):
+        """A compacted observation fails iff an odd number of members differ."""
+        # Build a minimal observation map by hand via a tiny design.
+        from repro.netlist import NetlistBuilder
+
+        b = NetlistBuilder("p")
+        a = b.add_primary_input("a")
+        nets = []
+        for i in range(len(flags)):
+            nets.append(b.add_gate("BUF", [a], gate_name=f"b{i}"))
+            b.add_flop(nets[-1], name=f"f{i}")
+        nl = b.finish()
+        scan = build_scan_chains(nl, n_chains=len(flags), chains_per_channel=len(flags), shuffle=False)
+        om = ObservationMap.compacted(nl, scan)
+        detections = {
+            nl.flops[i].d_net: np.array([flags[i]]) for i in range(len(flags))
+        }
+        fails = om.fail_masks(detections)
+        odd = sum(flags) % 2 == 1
+        channel_obs = [o for o in om.observations if o.kind == "channel"]
+        assert len(channel_obs) == 1
+        assert (channel_obs[0].id in fails) == odd
+
+    def test_good_responses_xor(self, small_netlist):
+        scan = build_scan_chains(small_netlist, 4, chains_per_channel=2, seed=0)
+        om = ObservationMap.compacted(small_netlist, scan)
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 2, size=(small_netlist.n_nets, 5), dtype=np.uint8)
+        resp = om.good_responses(values)
+        for obs in om.observations:
+            acc = np.zeros(5, dtype=np.uint8)
+            for net in obs.nets:
+                acc ^= values[net]
+            assert np.array_equal(resp[obs.id], acc)

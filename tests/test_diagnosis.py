@@ -1,0 +1,150 @@
+"""Unit tests for diagnosis reports, the effect-cause tool, and the baseline."""
+
+import numpy as np
+import pytest
+
+from repro.atpg import Fault, Polarity, stem_site
+from repro.diagnosis import (
+    Candidate,
+    DiagnosisReport,
+    EffectCauseDiagnoser,
+    PadreLikeFilter,
+    first_hit_index,
+    report_is_accurate,
+    site_key,
+    sites_match,
+    summarize_reports,
+)
+from repro.m3d import DefectSampler
+from repro.tester import InjectionCampaign
+
+
+def _candidate(site, score=1.0, tier=0, tfsf=5, tfsp=0, tpsf=0):
+    return Candidate(
+        site=site, polarity=Polarity.SLOW_TO_RISE, score=score, tier=tier,
+        tfsf=tfsf, tfsp=tfsp, tpsf=tpsf,
+    )
+
+
+class TestReportMetrics:
+    def test_site_key_and_match(self, toy):
+        a = stem_site(toy, toy.gates[0].out)
+        b = stem_site(toy, toy.gates[0].out)
+        c = stem_site(toy, toy.gates[1].out)
+        assert site_key(a) == site_key(b)
+        assert sites_match(a, b)
+        assert not sites_match(a, c)
+
+    def test_accuracy_and_fhi(self, toy):
+        s0 = stem_site(toy, toy.gates[0].out)
+        s1 = stem_site(toy, toy.gates[1].out)
+        report = DiagnosisReport(candidates=[_candidate(s1), _candidate(s0)])
+        truth = [Fault(s0, Polarity.SLOW_TO_RISE)]
+        assert report_is_accurate(report, truth)
+        assert first_hit_index(report, truth) == 2
+        assert report.resolution == 2
+
+    def test_miss(self, toy):
+        s0 = stem_site(toy, toy.gates[0].out)
+        s1 = stem_site(toy, toy.gates[1].out)
+        report = DiagnosisReport(candidates=[_candidate(s1)])
+        truth = [Fault(s0, Polarity.SLOW_TO_RISE)]
+        assert not report_is_accurate(report, truth)
+        assert first_hit_index(report, truth) is None
+
+    def test_multi_fault_accuracy_requires_all(self, toy):
+        s0 = stem_site(toy, toy.gates[0].out)
+        s1 = stem_site(toy, toy.gates[1].out)
+        report = DiagnosisReport(candidates=[_candidate(s0)])
+        truths = [Fault(s0, Polarity.SLOW_TO_RISE), Fault(s1, Polarity.SLOW_TO_FALL)]
+        assert not report_is_accurate(report, truths)
+
+    def test_summarize(self, toy):
+        s0 = stem_site(toy, toy.gates[0].out)
+        report = DiagnosisReport(candidates=[_candidate(s0)])
+        truth = [Fault(s0, Polarity.SLOW_TO_RISE)]
+        q = summarize_reports([(report, truth), (DiagnosisReport([]), truth)])
+        assert q.accuracy == 0.5
+        assert q.mean_fhi == 1.0  # over accurate reports only
+        assert q.n_samples == 2
+
+
+@pytest.fixture(scope="module")
+def diag_setup(prepared):
+    obsmap = prepared.obsmap("bypass")
+    diag = EffectCauseDiagnoser(
+        prepared.nl, obsmap, prepared.patterns, mivs=prepared.mivs, sim=prepared.sim
+    )
+    sampler = DefectSampler(prepared.nl, prepared.mivs, seed=21)
+    campaign = InjectionCampaign(prepared.machine, prepared.good, obsmap, sampler)
+    samples = campaign.single_fault_samples(25)
+    return diag, samples
+
+
+class TestEffectCause:
+    def test_single_fault_accuracy(self, diag_setup):
+        diag, samples = diag_setup
+        hits = sum(
+            report_is_accurate(diag.diagnose(s.log), s.faults) for s in samples
+        )
+        assert hits / len(samples) >= 0.9
+
+    def test_truth_net_in_suspects(self, diag_setup):
+        diag, samples = diag_setup
+        for s in samples[:10]:
+            assert s.faults[0].site.net in diag.suspect_nets(s.log)
+
+    def test_empty_log(self, diag_setup):
+        from repro.tester import FailureLog
+
+        diag, _ = diag_setup
+        assert diag.diagnose(FailureLog(entries=[])).resolution == 0
+
+    def test_report_ranked_and_capped(self, diag_setup):
+        diag, samples = diag_setup
+        for s in samples[:5]:
+            rep = diag.diagnose(s.log)
+            assert rep.resolution <= diag.max_candidates
+            bands = [diag._band(c.score) for c in rep.candidates]
+            assert bands == sorted(bands, reverse=True)
+
+    def test_deterministic(self, diag_setup):
+        diag, samples = diag_setup
+        a = diag.diagnose(samples[0].log)
+        b = diag.diagnose(samples[0].log)
+        assert [c.site.label for c in a] == [c.site.label for c in b]
+
+
+class TestBaseline:
+    def test_small_report_passthrough(self, prepared, toy):
+        filt = PadreLikeFilter(prepared.nl)
+        s0 = stem_site(prepared.nl, prepared.nl.gates[0].out)
+        rep = DiagnosisReport(candidates=[_candidate(s0)])
+        assert filt.filter(rep).resolution == 1
+
+    def test_filter_never_empties_report(self, diag_setup, prepared):
+        diag, samples = diag_setup
+        filt = PadreLikeFilter(prepared.nl)
+        for s in samples:
+            rep = diag.diagnose(s.log)
+            out = filt.filter(rep)
+            assert 0 < out.resolution <= rep.resolution
+
+    def test_filter_mostly_preserves_accuracy(self, diag_setup, prepared):
+        diag, samples = diag_setup
+        filt = PadreLikeFilter(prepared.nl)
+        before = after = 0
+        for s in samples:
+            rep = diag.diagnose(s.log)
+            before += report_is_accurate(rep, s.faults)
+            after += report_is_accurate(filt.filter(rep), s.faults)
+        assert after >= before - max(2, 0.15 * len(samples))
+
+    def test_ranking_preserved(self, diag_setup, prepared):
+        diag, samples = diag_setup
+        filt = PadreLikeFilter(prepared.nl)
+        rep = diag.diagnose(samples[0].log)
+        out = filt.filter(rep)
+        labels = [c.site.label for c in rep]
+        kept = [c.site.label for c in out]
+        assert kept == [l for l in labels if l in set(kept)]

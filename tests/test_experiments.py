@@ -1,0 +1,135 @@
+"""Integration tests for experiment runners at tiny scale.
+
+These are the slowest tests in the suite (they train models); they pin the
+end-to-end behaviour every benchmark harness relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    atpg_quality,
+    design_matrix,
+    feature_significance,
+    format_design_matrix,
+    format_effectiveness,
+    format_multifault,
+    format_pca_study,
+    format_pfa_savings,
+    format_quality,
+    format_runtime,
+    format_significance,
+    format_standalone,
+    format_transferability,
+    effectiveness,
+    multifault_study,
+    pca_study,
+    pfa_savings,
+    runtime_table,
+    standalone_models,
+    transferability_study,
+)
+
+SCALE = "tiny"
+
+
+@pytest.mark.slow
+def test_design_matrix():
+    rows = design_matrix(scale=SCALE)
+    assert [r.design for r in rows] == ["AES", "Tate", "netcard", "leon3mp"]
+    for r in rows:
+        assert r.gates > 0 and r.mivs > 0
+        assert 0.5 <= r.fault_coverage <= 1.0
+    gates = [r.gates for r in rows]
+    assert gates == sorted(gates)  # AES < Tate < netcard < leon3mp
+    assert "Table III" in format_design_matrix(rows)
+
+
+@pytest.mark.slow
+def test_atpg_quality_rows():
+    rows = atpg_quality("bypass", designs=("AES",), configs=("Syn-1",), n_samples=15, scale=SCALE)
+    assert len(rows) == 1
+    q = rows[0].quality
+    assert q.n_samples > 0
+    assert q.accuracy > 0.7
+    assert q.mean_resolution >= 1.0
+    assert "Acc" in format_quality(rows, "t")
+
+
+@pytest.mark.slow
+def test_effectiveness_row_shape():
+    rows = effectiveness(
+        "bypass", designs=("AES",), configs=("Syn-1",), n_samples=15, scale=SCALE
+    )
+    r = rows[0]
+    # Pruning/filtering can only shrink reports.
+    assert r.gnn.quality.mean_resolution <= r.atpg.quality.mean_resolution + 1e-9
+    assert r.baseline.quality.mean_resolution <= r.atpg.quality.mean_resolution + 1e-9
+    assert r.combined.quality.mean_resolution <= r.gnn.quality.mean_resolution + 1e-9
+    assert r.gnn.tier_localization is None or 0 <= r.gnn.tier_localization <= 1
+    assert "GNN" in format_effectiveness(rows, "t")
+
+
+@pytest.mark.slow
+def test_pca_study_overlap():
+    study = pca_study("AES", configs=("Syn-1", "Par"), n_samples=15, scale=SCALE)
+    assert set(study.points) == {"Syn-1", "Par"}
+    assert study.overlap_ratio < 3.0  # clouds overlap broadly
+    assert "PCA" in format_pca_study(study)
+
+
+@pytest.mark.slow
+def test_transferability_rows():
+    rows = transferability_study("AES", configs=("Syn-1",), n_samples=15, scale=SCALE)
+    r = rows[0]
+    for v in (r.dedicated_tier, r.transferred_tier, r.dedicated_miv, r.transferred_miv):
+        assert 0.0 <= v <= 1.0
+    assert "Fig. 6" in format_transferability(rows, "AES")
+
+
+@pytest.mark.slow
+def test_runtime_and_pfa():
+    rows = runtime_table(designs=("AES",), n_samples=10, scale=SCALE)
+    r = rows[0]
+    assert r.t_atpg_s > 0 and r.t_gnn_s > 0 and r.t_update_s >= 0
+    assert r.t_gnn_s < r.t_atpg_s  # GNN inference is the fast path
+    curves = pfa_savings(rows)
+    pts = curves["AES"]
+    assert pts[-1][0] > pts[0][0]
+    assert "T_diff" in format_pfa_savings(curves)
+    assert "Table IX" in format_runtime(rows)
+
+
+@pytest.mark.slow
+def test_multifault_rows():
+    rows = multifault_study(designs=("AES",), n_train=40, n_test=12, epochs=15, scale=SCALE)
+    r = rows[0]
+    assert 0.0 <= r.tier_localization <= 1.0
+    assert r.framework.mean_resolution <= r.atpg.mean_resolution + 1e-9
+    assert "Table X" in format_multifault(rows)
+
+
+@pytest.mark.slow
+def test_standalone_ablation():
+    rows = standalone_models("AES", n_samples=15, scale=SCALE)
+    assert [r.method for r in rows] == [
+        "ATPG only",
+        "Tier-predictor",
+        "MIV-pinpointer",
+        "Tier-predictor + MIV-pinpointer",
+    ]
+    atpg = rows[0].quality
+    miv_only = rows[2].quality
+    # MIV-pinpointer alone never prunes: resolution unchanged.
+    assert miv_only.mean_resolution == pytest.approx(atpg.mean_resolution)
+    assert miv_only.accuracy == pytest.approx(atpg.accuracy)
+    assert "Table XI" in format_standalone(rows)
+
+
+@pytest.mark.slow
+def test_feature_significance_rows():
+    rows = feature_significance("AES", n_samples=15, scale=SCALE)
+    assert len(rows) == 13
+    for r in rows:
+        assert 0.0 <= r.significance <= 1.0
+    assert "significance" in format_significance(rows)

@@ -1,0 +1,78 @@
+"""Unit tests for the TDF fault universe."""
+
+import pytest
+
+from repro.atpg import (
+    Polarity,
+    branch_site,
+    enumerate_faults,
+    enumerate_sites,
+    site_tier,
+    stem_site,
+)
+from repro.atpg.faults import FaultSite
+from repro.m3d import apply_partition, extract_mivs, miv_fault_sites, mincut_bipartition
+
+
+def test_stem_site_covers_all_sinks(toy):
+    g1 = next(g for g in toy.gates if g.name == "g1")
+    site = stem_site(toy, g1.out)
+    assert site.kind == "stem"
+    assert set(site.sinks) == set(toy.nets[g1.out].sinks)
+    assert site.observed_faulty
+
+
+def test_branch_site_single_sink(toy):
+    g2 = next(g for g in toy.gates if g.name == "g2")
+    site = branch_site(toy, g2.id, 0)
+    assert site.kind == "branch"
+    assert site.sinks == ((g2.id, 0),)
+    assert not site.observed_faulty
+    assert site.net == g2.fanin[0]
+
+
+def test_bad_kind_rejected():
+    with pytest.raises(ValueError, match="bad fault-site kind"):
+        FaultSite(kind="weird", net=0, sinks=(), observed_faulty=False)
+
+
+def test_enumerate_sites_collapses_single_destination(toy):
+    sites = enumerate_sites(toy)
+    # Single-destination nets must not emit branch sites.
+    for net in toy.nets:
+        observed = net.id in set(toy.observed_nets)
+        n_dest = len(net.sinks) + (1 if observed else 0)
+        branches = [
+            s for s in sites if s.kind == "branch" and s.net == net.id
+        ]
+        if n_dest <= 1:
+            assert branches == []
+        else:
+            assert len(branches) == len(net.sinks)
+
+
+def test_enumerate_faults_both_polarities(toy):
+    faults = enumerate_faults(toy)
+    sites = enumerate_sites(toy)
+    assert len(faults) == 2 * len(sites)
+    labels = {f.label for f in faults}
+    assert len(labels) == len(faults)
+
+
+def test_site_tier(toy):
+    apply_partition(toy, mincut_bipartition(toy, seed=0))
+    g1 = next(g for g in toy.gates if g.name == "g1")
+    g3 = next(g for g in toy.gates if g.name == "g3")
+    assert site_tier(toy, stem_site(toy, g1.out)) == g1.tier
+    assert site_tier(toy, branch_site(toy, g3.id, 0)) == g3.tier
+    mivs = extract_mivs(toy)
+    for s in miv_fault_sites(toy, mivs):
+        assert site_tier(toy, s) is None
+
+
+def test_fault_label_includes_polarity(toy):
+    site = stem_site(toy, toy.gates[0].out)
+    from repro.atpg import Fault
+
+    f = Fault(site, Polarity.SLOW_TO_RISE)
+    assert f.label.endswith("/STR")

@@ -1,0 +1,133 @@
+"""Unit and property tests for TDF fault simulation."""
+
+import numpy as np
+import pytest
+
+from repro.atpg import Fault, Polarity, branch_site, stem_site
+from repro.netlist import NetlistBuilder, toy_netlist
+from repro.sim import CompiledSimulator, FaultMachine
+
+
+@pytest.fixture
+def buf_chain():
+    """pi -> BUF -> BUF -> po: detection is fully predictable."""
+    b = NetlistBuilder("chain")
+    a = b.add_primary_input("a")
+    x = b.add_gate("BUF", [a], gate_name="b0")
+    y = b.add_gate("BUF", [x], gate_name="b1")
+    b.mark_primary_output(y)
+    return b.finish()
+
+
+def test_slow_to_rise_needs_rising_transition(buf_chain):
+    sim = CompiledSimulator(buf_chain)
+    machine = FaultMachine(sim)
+    # Patterns: 0->1 (rising), 1->0 (falling), 1->1, 0->0.
+    v1 = np.array([[0, 1, 1, 0]], dtype=np.uint8)
+    v2 = np.array([[1, 0, 1, 0]], dtype=np.uint8)
+    good = sim.simulate_pair(v1, v2)
+    site = stem_site(buf_chain, buf_chain.primary_inputs[0])
+    det_str = machine.detects(Fault(site, Polarity.SLOW_TO_RISE), good)
+    det_stf = machine.detects(Fault(site, Polarity.SLOW_TO_FALL), good)
+    assert det_str.tolist() == [True, False, False, False]
+    assert det_stf.tolist() == [False, True, False, False]
+
+
+def test_branch_fault_disturbs_only_its_sink(toy):
+    """A branch fault at g3's q0 pin must never show at the PO (g2 cone)."""
+    sim = CompiledSimulator(toy)
+    machine = FaultMachine(sim)
+    rng = np.random.default_rng(0)
+    v1 = rng.integers(0, 2, size=(5, 64), dtype=np.uint8)
+    v2 = rng.integers(0, 2, size=(5, 64), dtype=np.uint8)
+    good = sim.simulate_pair(v1, v2)
+    g3 = next(g for g in toy.gates if g.name == "g3")
+    fault = Fault(branch_site(toy, g3.id, 1), Polarity.SLOW_TO_RISE)
+    detections = machine.propagate(fault, good)
+    po = toy.primary_outputs[0]
+    assert po not in detections
+    # It can still reach the flop D input via g3 -> g4.
+    assert set(detections) <= {toy.flops[0].d_net}
+
+
+def test_stem_fault_superset_of_branch(toy):
+    """A stem fault reaches at least the observations any branch reaches."""
+    sim = CompiledSimulator(toy)
+    machine = FaultMachine(sim)
+    rng = np.random.default_rng(1)
+    v1 = rng.integers(0, 2, size=(5, 128), dtype=np.uint8)
+    v2 = rng.integers(0, 2, size=(5, 128), dtype=np.uint8)
+    good = sim.simulate_pair(v1, v2)
+    g1 = next(g for g in toy.gates if g.name == "g1")  # n1 feeds g2 and g3
+    stem = machine.detects(Fault(stem_site(toy, g1.out), Polarity.SLOW_TO_FALL), good)
+    for gid, pin in toy.nets[g1.out].sinks:
+        br = machine.detects(Fault(branch_site(toy, gid, pin), Polarity.SLOW_TO_FALL), good)
+        # Branch detection may differ pattern-wise (reconvergence masking),
+        # but any pattern detecting the branch through a single path also
+        # activates the stem; the stem must be detectable wherever all
+        # branch effects agree — at minimum it is detected somewhere.
+        if br.any():
+            assert stem.any()
+
+
+def test_observed_stem_detected_directly():
+    """A fault on a PO net is observed even with no downstream gates."""
+    b = NetlistBuilder("po")
+    a = b.add_primary_input("a")
+    x = b.add_gate("BUF", [a])
+    b.mark_primary_output(x)
+    nl = b.finish()
+    sim = CompiledSimulator(nl)
+    machine = FaultMachine(sim)
+    v1 = np.array([[0]], dtype=np.uint8)
+    v2 = np.array([[1]], dtype=np.uint8)
+    good = sim.simulate_pair(v1, v2)
+    det = machine.propagate(Fault(stem_site(nl, x), Polarity.SLOW_TO_RISE), good)
+    assert x in det and det[x][0]
+
+
+def test_no_transition_no_detection(buf_chain):
+    sim = CompiledSimulator(buf_chain)
+    machine = FaultMachine(sim)
+    v = np.array([[1, 0]], dtype=np.uint8)
+    good = sim.simulate_pair(v, v)  # static patterns
+    site = stem_site(buf_chain, buf_chain.primary_inputs[0])
+    assert not machine.detects(Fault(site, Polarity.SLOW_TO_RISE), good).any()
+    assert machine.propagate(Fault(site, Polarity.SLOW_TO_RISE), good) == {}
+
+
+def test_multi_fault_union_cone(toy):
+    """propagate_multi detects at least what the strongest single fault does
+    when faults do not interact (disjoint cones)."""
+    sim = CompiledSimulator(toy)
+    machine = FaultMachine(sim)
+    rng = np.random.default_rng(2)
+    v1 = rng.integers(0, 2, size=(5, 64), dtype=np.uint8)
+    v2 = rng.integers(0, 2, size=(5, 64), dtype=np.uint8)
+    good = sim.simulate_pair(v1, v2)
+    g0 = next(g for g in toy.gates if g.name == "g0")
+    g4 = next(g for g in toy.gates if g.name == "g4")
+    f1 = Fault(stem_site(toy, g0.out), Polarity.SLOW_TO_RISE)
+    f2 = Fault(stem_site(toy, g4.out), Polarity.SLOW_TO_RISE)
+    # g0 reaches only the PO; g4 is the flop D net itself: disjoint.
+    multi = machine.propagate_multi([f1, f2], good)
+    single1 = machine.propagate(f1, good)
+    single2 = machine.propagate(f2, good)
+    for obs, mask in single1.items():
+        assert obs in multi and np.array_equal(multi[obs], mask)
+    for obs, mask in single2.items():
+        assert obs in multi and np.array_equal(multi[obs], mask)
+
+
+def test_activation_mask_polarity(toy):
+    sim = CompiledSimulator(toy)
+    machine = FaultMachine(sim)
+    v1 = np.array([[0, 1, 0, 1, 0]], dtype=np.uint8).T.repeat(2, axis=1)
+    v1[:, 1] ^= 1
+    v2 = v1 ^ 1
+    good = sim.simulate_pair(v1, v2)
+    site = stem_site(toy, toy.primary_inputs[0])
+    mask_r = machine.activation_mask(Fault(site, Polarity.SLOW_TO_RISE), good)
+    mask_f = machine.activation_mask(Fault(site, Polarity.SLOW_TO_FALL), good)
+    assert mask_r.tolist() == [True, False]
+    assert mask_f.tolist() == [False, True]

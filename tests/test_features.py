@@ -1,0 +1,117 @@
+"""Unit tests for Table II feature extraction and normalization."""
+
+import numpy as np
+import pytest
+
+from repro.core import FEATURE_NAMES, FeatureExtractor, N_FEATURES, StandardScaler, backtrace
+from repro.core.features import graph_feature_vector
+from repro.m3d import DefectSampler
+from repro.tester import InjectionCampaign
+
+
+@pytest.fixture(scope="module")
+def sample_graphs(prepared):
+    obsmap = prepared.obsmap("bypass")
+    sampler = DefectSampler(prepared.nl, prepared.mivs, seed=41)
+    campaign = InjectionCampaign(prepared.machine, prepared.good, obsmap, sampler)
+    samples = campaign.single_fault_samples(20)
+    graphs = []
+    for s in samples:
+        mask = backtrace(prepared.het, obsmap, s.log)
+        graphs.append(prepared.extractor.subgraph(mask))
+    return graphs
+
+
+def test_feature_count():
+    assert N_FEATURES == 13 == len(FEATURE_NAMES)
+
+
+def test_feature_matrix_shape(sample_graphs):
+    for g in sample_graphs:
+        assert g.x.shape == (g.n_nodes, 13)
+        assert np.isfinite(g.x).all()
+
+
+def test_global_degree_features(prepared):
+    het = prepared.het
+    fx = prepared.extractor
+    full = np.ones(het.n_nodes, dtype=bool)
+    g = fx.subgraph(full)
+    src, dst = het.edges
+    fanin = np.bincount(dst, minlength=het.n_nodes)
+    fanout = np.bincount(src, minlength=het.n_nodes)
+    assert np.array_equal(g.x[:, 0], fanin)
+    assert np.array_equal(g.x[:, 1], fanout)
+    # On the full graph, sub-graph degrees equal circuit degrees.
+    assert np.array_equal(g.x[:, 7], fanin)
+    assert np.array_equal(g.x[:, 8], fanout)
+
+
+def test_subgraph_degrees_bounded_by_circuit(sample_graphs):
+    for g in sample_graphs:
+        assert np.all(g.x[:, 7] <= g.x[:, 0])
+        assert np.all(g.x[:, 8] <= g.x[:, 1])
+
+
+def test_topedge_count_feature(prepared):
+    het = prepared.het
+    fx = prepared.extractor
+    full = np.ones(het.n_nodes, dtype=bool)
+    g = fx.subgraph(full)
+    assert np.array_equal(g.x[:, 2], het.cone_mask.sum(axis=0))
+
+
+def test_binary_features_binary(sample_graphs):
+    for g in sample_graphs:
+        assert set(np.unique(g.x[:, 5])) <= {0.0, 1.0}  # is_gate_output
+        assert set(np.unique(g.x[:, 6])) <= {0.0, 1.0}  # connects_miv
+        assert set(np.unique(g.x[:, 3])) <= {0.0, 0.5, 1.0}  # tier
+
+
+def test_empty_mask_rejected(prepared):
+    with pytest.raises(ValueError, match="empty sub-graph"):
+        prepared.extractor.subgraph(np.zeros(prepared.het.n_nodes, dtype=bool))
+
+
+def test_meta_nodes_map_back(prepared, sample_graphs):
+    for g in sample_graphs:
+        nodes = g.meta["nodes"]
+        assert len(nodes) == g.n_nodes
+        assert np.all(nodes < prepared.het.n_nodes)
+
+
+def test_node_mask_marks_mivs(prepared, sample_graphs):
+    from repro.core.hetgraph import NodeKind
+
+    for g in sample_graphs:
+        nodes = g.meta["nodes"]
+        expected = prepared.het.kind[nodes] == NodeKind.MIV
+        assert np.array_equal(g.node_mask, expected)
+
+
+class TestScaler:
+    def test_zero_mean_unit_std(self, sample_graphs):
+        scaler = StandardScaler()
+        normed = scaler.fit_transform(sample_graphs)
+        stacked = np.concatenate([g.x for g in normed])
+        assert np.allclose(stacked.mean(axis=0), 0, atol=1e-9)
+        stds = stacked.std(axis=0)
+        nonconst = stds > 1e-12
+        assert np.allclose(stds[nonconst], 1, atol=1e-6)
+
+    def test_unfitted_raises(self, sample_graphs):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(sample_graphs)
+
+    def test_preserves_structure(self, sample_graphs):
+        scaler = StandardScaler()
+        normed = scaler.fit_transform(sample_graphs)
+        for a, b in zip(sample_graphs, normed):
+            assert a.n_nodes == b.n_nodes
+            assert a.edges[0] is b.edges[0]
+            assert b.meta is a.meta
+
+
+def test_graph_feature_vector(sample_graphs):
+    g = sample_graphs[0]
+    assert np.allclose(graph_feature_vector(g), g.x.mean(axis=0))

@@ -1,0 +1,134 @@
+"""Unit tests for the heterogeneous graph construction (Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.core import HetGraph, NodeKind
+from repro.core.hetgraph import NodeKind
+from repro.atpg import branch_site, stem_site
+from repro.m3d import miv_fault_sites
+from repro.netlist.topology import fanin_cone_nets
+
+
+@pytest.fixture(scope="module")
+def het(prepared):
+    return prepared.het
+
+
+class TestStructure:
+    def test_node_counts(self, prepared, het):
+        nl = prepared.nl
+        n_stems = nl.n_nets
+        n_branches = sum(len(g.fanin) for g in nl.gates)
+        n_mivs = len(prepared.mivs)
+        assert het.n_nodes == n_stems + n_branches + n_mivs
+        assert (het.kind == NodeKind.STEM).sum() == n_stems
+        assert (het.kind == NodeKind.BRANCH).sum() == n_branches
+        assert (het.kind == NodeKind.MIV).sum() == n_mivs
+
+    def test_topnode_per_observation(self, prepared, het):
+        assert het.topnode_nets == prepared.nl.observed_nets
+
+    def test_branch_edges_route_through_miv(self, prepared, het):
+        """Every far-tier sink pin is reached stem→MIV→branch."""
+        src, dst = het.edges
+        edge_set = set(zip(src.tolist(), dst.tolist()))
+        for m in prepared.mivs:
+            mv = het.miv_index[m.id]
+            stem = int(het.stem_of_net[m.net])
+            assert (stem, mv) in edge_set
+            for g, p in m.far_sinks:
+                b = het.branch_index[(g, p)]
+                assert (mv, b) in edge_set
+                assert (stem, b) not in edge_set
+
+    def test_near_sinks_direct_edge(self, prepared, het):
+        src, dst = het.edges
+        edge_set = set(zip(src.tolist(), dst.tolist()))
+        nl = prepared.nl
+        miv_far = {(g, p) for m in prepared.mivs for (g, p) in m.far_sinks}
+        for net in nl.nets:
+            for g, p in net.sinks:
+                if (g, p) not in miv_far:
+                    assert (int(het.stem_of_net[net.id]), het.branch_index[(g, p)]) in edge_set
+
+    def test_branch_to_output_edges(self, prepared, het):
+        src, dst = het.edges
+        edge_set = set(zip(src.tolist(), dst.tolist()))
+        for g in prepared.nl.gates:
+            out_stem = int(het.stem_of_net[g.out])
+            for p in range(len(g.fanin)):
+                assert (het.branch_index[(g.id, p)], out_stem) in edge_set
+
+    def test_miv_node_tier_is_half(self, het):
+        miv_nodes = het.kind == NodeKind.MIV
+        assert np.all(het.tier[miv_nodes] == 0.5)
+
+    def test_is_output_only_for_driven_stems(self, prepared, het):
+        from repro.netlist.netlist import EXTERNAL_DRIVER
+
+        for net in prepared.nl.nets:
+            v = int(het.stem_of_net[net.id])
+            assert het.is_output[v] == (net.driver != EXTERNAL_DRIVER)
+
+
+class TestConeMask:
+    def test_matches_net_level_cone(self, prepared, het):
+        """Stem nodes in a Topnode's cone == nets in its fan-in cone."""
+        nl = prepared.nl
+        for t_idx, obs_net in enumerate(het.topnode_nets[:5]):
+            cone_nets = fanin_cone_nets(nl, obs_net)
+            stems_in = {
+                int(het.net[v])
+                for v in np.nonzero(het.cone_mask[t_idx])[0]
+                if het.kind[v] == NodeKind.STEM
+            }
+            assert stems_in == cone_nets
+
+    def test_topedge_dist_zero_at_observation(self, het):
+        for t_idx, obs_net in enumerate(het.topnode_nets[:5]):
+            v = int(het.stem_of_net[obs_net])
+            assert het.topedge_dist[t_idx, v] == 0
+
+    def test_dist_negative_outside_cone(self, het):
+        outside = ~het.cone_mask
+        assert np.all(het.topedge_dist[outside] == -1)
+        assert np.all(het.topedge_miv[outside] == -1)
+
+    def test_branch_dist_one_more_than_gate_output(self, prepared, het):
+        nl = prepared.nl
+        t_idx = 0
+        for g in nl.gates[:20]:
+            out_stem = int(het.stem_of_net[g.out])
+            if not het.cone_mask[t_idx, out_stem]:
+                continue
+            for p in range(len(g.fanin)):
+                b = het.branch_index[(g.id, p)]
+                assert het.cone_mask[t_idx, b]
+                assert het.topedge_dist[t_idx, b] == het.topedge_dist[t_idx, out_stem] + 1
+
+
+class TestSiteMapping:
+    def test_stem_roundtrip(self, prepared, het):
+        site = stem_site(prepared.nl, prepared.nl.gates[0].out)
+        v = het.node_of_site(site)
+        kind, net, _sinks = het.site_of_node(v)
+        assert kind == "stem" and net == site.net
+
+    def test_branch_roundtrip(self, prepared, het):
+        g = prepared.nl.gates[3]
+        site = branch_site(prepared.nl, g.id, 0)
+        v = het.node_of_site(site)
+        kind, net, sinks = het.site_of_node(v)
+        assert kind == "branch" and sinks == ((g.id, 0),)
+
+    def test_miv_roundtrip(self, prepared, het):
+        for site in miv_fault_sites(prepared.nl, prepared.mivs)[:5]:
+            v = het.node_of_site(site)
+            assert het.kind[v] == NodeKind.MIV
+            assert int(het.miv_id[v]) == site.miv_id
+
+    def test_node_transitions_maps_nets(self, prepared, het):
+        trans = prepared.good.transitions()
+        node_trans = het.node_transitions(0)
+        assert np.array_equal(node_trans, trans[het.net, 0])

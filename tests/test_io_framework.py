@@ -1,0 +1,68 @@
+"""Unit tests for framework serialization (save/load round trip)."""
+
+import numpy as np
+import pytest
+
+from repro.core import M3DDiagnosisFramework, load_framework, save_framework
+from repro.data import build_dataset
+
+
+@pytest.fixture(scope="module")
+def trained(prepared):
+    train = build_dataset(prepared, "bypass", 100, seed=71)
+    fw = M3DDiagnosisFramework(epochs=15, seed=0)
+    fw.fit([train])
+    return fw, train
+
+
+def test_roundtrip_predictions_identical(trained, tmp_path):
+    fw, train = trained
+    path = tmp_path / "fw.npz"
+    save_framework(fw, path)
+    fw2 = load_framework(path)
+    graphs = [g for g in train.graphs if g.y >= 0][:20]
+    assert np.allclose(
+        fw.tier_predictor.predict_proba(graphs),
+        fw2.tier_predictor.predict_proba(graphs),
+    )
+    assert fw2.tp_threshold == fw.tp_threshold
+    if fw.miv_pinpointer is not None:
+        assert fw2.miv_pinpointer is not None
+        g = train.graphs[0]
+        assert np.allclose(
+            fw.miv_pinpointer.predict_node_proba(g),
+            fw2.miv_pinpointer.predict_node_proba(g),
+        )
+        assert fw2.miv_pinpointer.threshold == fw.miv_pinpointer.threshold
+
+
+def test_roundtrip_classifier(trained, tmp_path):
+    fw, train = trained
+    path = tmp_path / "fw.npz"
+    save_framework(fw, path)
+    fw2 = load_framework(path)
+    assert (fw.classifier is None) == (fw2.classifier is None)
+    if fw.classifier is not None:
+        graphs = [g for g in train.graphs if g.y >= 0][:10]
+        assert np.allclose(
+            fw.classifier.prune_probability(graphs),
+            fw2.classifier.prune_probability(graphs),
+        )
+
+
+def test_loaded_framework_deployable(trained, prepared, tmp_path):
+    fw, _train = trained
+    path = tmp_path / "fw.npz"
+    save_framework(fw, path)
+    fw2 = load_framework(path)
+    test = build_dataset(prepared, "bypass", 5, seed=72)
+    for item in test.items:
+        tier, conf, _m = fw2.localize(prepared, "bypass", item.sample.log)
+        assert tier in (-1, 0, 1)
+        assert 0.0 <= conf <= 1.0
+
+
+def test_unfitted_save_rejected(tmp_path):
+    fw = M3DDiagnosisFramework()
+    with pytest.raises(RuntimeError, match="unfitted"):
+        save_framework(fw, tmp_path / "x.npz")

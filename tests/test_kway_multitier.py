@@ -1,0 +1,102 @@
+"""Unit tests for k-way partitioning and >2-tier support."""
+
+import pytest
+
+from repro.data import DesignConfig, build_dataset, prepare_design
+from repro.m3d import apply_partition, extract_mivs, kway_partition, random_bipartition
+from repro.netlist import GeneratorSpec, generate
+
+
+@pytest.fixture(scope="module")
+def tri(small_spec):
+    return prepare_design(
+        small_spec,
+        DesignConfig("3T", n_tiers=3, partition_seed=4),
+        n_chains=4,
+        chains_per_channel=2,
+        max_patterns=64,
+    )
+
+
+class TestKwayPartition:
+    def test_uses_all_tiers(self, small_netlist):
+        part = kway_partition(small_netlist, 3, seed=0)
+        assert set(part.gate_tiers) | set(part.flop_tiers) == {0, 1, 2}
+        assert part.method == "kway3"
+
+    def test_balance(self, small_netlist):
+        part = kway_partition(small_netlist, 4, seed=0)
+        # Largest tier holds at most ~1/k + tolerance of the area.
+        assert part.balance <= 1 / 4 + 0.2
+
+    def test_beats_random_three_way(self, small_netlist):
+        part = kway_partition(small_netlist, 3, seed=0)
+        # A random 3-way assignment cuts more nets than the refined one.
+        import random
+
+        rng = random.Random(0)
+        nl = small_netlist.copy()
+        for g in nl.gates:
+            g.tier = rng.randrange(3)
+        for f in nl.flops:
+            f.tier = rng.randrange(3)
+        from repro.m3d import cut_nets
+
+        assert part.cut < len(cut_nets(nl))
+
+    def test_k_one_rejected(self, small_netlist):
+        with pytest.raises(ValueError, match="k >= 2"):
+            kway_partition(small_netlist, 1)
+
+    def test_deterministic(self, small_netlist):
+        a = kway_partition(small_netlist, 3, seed=5)
+        b = kway_partition(small_netlist, 3, seed=5)
+        assert a.gate_tiers == b.gate_tiers
+
+
+class TestMultiTierMivs:
+    def test_miv_per_destination_tier(self, tri):
+        by_net = {}
+        for m in tri.mivs:
+            by_net.setdefault(m.net, []).append(m)
+        for net, group in by_net.items():
+            tiers = [m.target_tier for m in group]
+            assert len(tiers) == len(set(tiers))  # one MIV per far tier
+            for m in group:
+                assert m.target_tier != m.source_tier
+                for gid, _pin in m.far_sinks:
+                    assert tri.nl.gates[gid].tier == m.target_tier
+
+    def test_two_tier_unchanged(self, prepared):
+        # On bipartitioned designs every net still yields at most one MIV.
+        nets = [m.net for m in prepared.mivs]
+        assert len(nets) == len(set(nets))
+
+
+class TestThreeTierPipeline:
+    def test_dataset_labels_three_classes(self, tri):
+        ds = build_dataset(tri, "bypass", 40, seed=73, miv_fraction=0.0)
+        labels = {g.y for g in ds.graphs}
+        assert labels <= {0, 1, 2}
+        assert len(labels) >= 2
+
+    def test_framework_three_tiers(self, tri):
+        from repro.core import M3DDiagnosisFramework
+
+        train = build_dataset(tri, "bypass", 90, seed=74)
+        fw = M3DDiagnosisFramework(epochs=12, seed=0, n_tiers=3)
+        fw.fit([train])
+        proba = fw.tier_predictor.predict_proba([g for g in train.graphs if g.y >= 0][:5])
+        assert proba.shape[1] == 3
+
+    def test_sampler_covers_three_tiers(self, tri):
+        from repro.m3d import DefectSampler
+        from repro.atpg import site_tier
+
+        sampler = DefectSampler(tri.nl, tri.mivs, seed=0)
+        assert sampler.tiers == [0, 1, 2]
+        seen = set()
+        for _ in range(30):
+            cluster = sampler.sample_tier_systematic()
+            seen.add(site_tier(tri.nl, cluster[0].site))
+        assert len(seen) >= 2

@@ -1,0 +1,119 @@
+"""Unit and property tests for the bit-parallel logic simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import NetlistBuilder, toy_netlist
+from repro.sim import CompiledSimulator
+
+
+def _toy_reference(v):
+    """Direct evaluation of the toy netlist: v = (pi0..pi3, q0)."""
+    pi0, pi1, pi2, pi3, q0 = v
+    n0 = 1 - (pi0 & pi1)
+    n1 = 1 - (pi2 & pi3)
+    n2 = 1 - (n0 & n1)
+    n3 = 1 - (n1 & q0)
+    n4 = n3 ^ q0
+    return n2, n4
+
+
+@given(st.lists(st.integers(0, 1), min_size=5, max_size=5))
+@settings(max_examples=64, deadline=None)
+def test_toy_matches_reference(bits):
+    toy = toy_netlist()
+    sim = CompiledSimulator(toy)
+    inputs = np.array(bits, dtype=np.uint8)[:, None]
+    values = sim.simulate(inputs)
+    po, dnet = toy.observed_nets
+    exp_po, exp_d = _toy_reference(bits)
+    assert values[po][0] == exp_po
+    assert values[dnet][0] == exp_d
+
+
+def test_simulate_shape_check(toy):
+    sim = CompiledSimulator(toy)
+    with pytest.raises(ValueError, match="expected inputs"):
+        sim.simulate(np.zeros((3, 4), dtype=np.uint8))
+
+
+def test_pattern_parallelism_consistent(toy):
+    """Simulating N patterns at once equals N single-pattern runs."""
+    sim = CompiledSimulator(toy)
+    rng = np.random.default_rng(1)
+    block = rng.integers(0, 2, size=(5, 32), dtype=np.uint8)
+    full = sim.simulate(block)
+    for j in range(32):
+        single = sim.simulate(block[:, j : j + 1])
+        assert np.array_equal(full[:, j], single[:, 0])
+
+
+def test_de_morgan_equivalence():
+    """NAND(a,b) == OR(INV a, INV b) on random patterns."""
+    b = NetlistBuilder("dm")
+    a = b.add_primary_input("a")
+    c = b.add_primary_input("b")
+    nand = b.add_gate("NAND2", [a, c])
+    ia = b.add_gate("INV", [a])
+    ic = b.add_gate("INV", [c])
+    orr = b.add_gate("OR2", [ia, ic])
+    b.mark_primary_output(nand)
+    b.mark_primary_output(orr)
+    nl = b.finish()
+    sim = CompiledSimulator(nl)
+    rng = np.random.default_rng(2)
+    vals = sim.simulate(rng.integers(0, 2, size=(2, 64), dtype=np.uint8))
+    assert np.array_equal(vals[nand], vals[orr])
+
+
+def test_double_inversion_identity():
+    b = NetlistBuilder("ii")
+    a = b.add_primary_input("a")
+    x = b.add_gate("INV", [a])
+    y = b.add_gate("INV", [x])
+    b.mark_primary_output(y)
+    nl = b.finish()
+    sim = CompiledSimulator(nl)
+    rng = np.random.default_rng(3)
+    inp = rng.integers(0, 2, size=(1, 64), dtype=np.uint8)
+    assert np.array_equal(sim.simulate(inp)[y], inp[0])
+
+
+def test_two_pattern_result_transitions(toy):
+    sim = CompiledSimulator(toy)
+    v1 = np.zeros((5, 1), dtype=np.uint8)
+    v2 = np.ones((5, 1), dtype=np.uint8)
+    res = sim.simulate_pair(v1, v2)
+    trans = res.transitions()
+    rising = res.rising()
+    falling = res.falling()
+    assert np.array_equal(trans, rising | falling)
+    assert not (rising & falling).any()
+    # PIs all rise.
+    for pi in toy.primary_inputs:
+        assert rising[pi, 0]
+
+
+def test_resimulate_with_overrides_matches_full_sim(toy):
+    """Overriding an input net equals simulating the flipped input."""
+    sim = CompiledSimulator(toy)
+    rng = np.random.default_rng(4)
+    base_in = rng.integers(0, 2, size=(5, 8), dtype=np.uint8)
+    base = sim.simulate(base_in)
+    flipped_in = base_in.copy()
+    flipped_in[0] ^= 1  # flip pi0 everywhere
+    full = sim.simulate(flipped_in)
+
+    pi0 = toy.primary_inputs[0]
+    sinks = toy.nets[pi0].sinks
+    start = [g for g, _p in sinks]
+    override = {(g, p): flipped_in[0] for g, p in sinks}
+    modified = sim.resimulate_with_overrides(base, start, override)
+    for net in range(toy.n_nets):
+        if net == pi0:
+            continue
+        expected = full[net]
+        got = modified.get(net, base[net])
+        assert np.array_equal(got, expected), f"net {net}"

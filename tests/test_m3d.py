@@ -1,0 +1,133 @@
+"""Unit tests for partitioning, MIV extraction, and defect models."""
+
+import pytest
+
+from repro.atpg import site_tier
+from repro.m3d import (
+    DefectSampler,
+    apply_partition,
+    cut_nets,
+    extract_mivs,
+    mincut_bipartition,
+    miv_fault_sites,
+    miv_net_set,
+    random_bipartition,
+    spectral_bipartition,
+)
+
+
+@pytest.fixture
+def partitioned(small_netlist):
+    nl = small_netlist.copy()
+    part = mincut_bipartition(nl, seed=1)
+    apply_partition(nl, part)
+    return nl, part
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("fn", [mincut_bipartition, spectral_bipartition, random_bipartition])
+    def test_balance(self, small_netlist, fn):
+        part = fn(small_netlist, seed=0)
+        assert 0.38 <= part.balance <= 0.62
+        assert len(part.gate_tiers) == small_netlist.n_gates
+        assert len(part.flop_tiers) == small_netlist.n_flops
+        assert set(part.gate_tiers) <= {0, 1}
+
+    def test_mincut_beats_random(self, small_netlist):
+        mc = mincut_bipartition(small_netlist, seed=0)
+        rd = random_bipartition(small_netlist, seed=0)
+        assert mc.cut < rd.cut
+
+    def test_deterministic(self, small_netlist):
+        a = mincut_bipartition(small_netlist, seed=7)
+        b = mincut_bipartition(small_netlist, seed=7)
+        assert a.gate_tiers == b.gate_tiers
+        assert a.cut == b.cut
+
+    def test_seeds_differ(self, small_netlist):
+        a = random_bipartition(small_netlist, seed=1)
+        b = random_bipartition(small_netlist, seed=2)
+        assert a.gate_tiers != b.gate_tiers
+
+    def test_cut_matches_cut_nets(self, partitioned):
+        nl, part = partitioned
+        assert part.cut == len(cut_nets(nl))
+
+    def test_apply_partition_size_check(self, small_netlist, toy):
+        part = mincut_bipartition(small_netlist, seed=0)
+        with pytest.raises(ValueError, match="does not match"):
+            apply_partition(toy, part)
+
+
+class TestMivs:
+    def test_requires_tier_assignment(self, small_netlist):
+        with pytest.raises(ValueError, match="not fully tier-assigned"):
+            extract_mivs(small_netlist)
+
+    def test_one_miv_per_cut_net(self, partitioned):
+        nl, part = partitioned
+        mivs = extract_mivs(nl)
+        assert len(mivs) == part.cut
+        assert miv_net_set(mivs) == set(cut_nets(nl))
+
+    def test_far_sinks_are_on_other_tier(self, partitioned):
+        nl, _part = partitioned
+        for m in extract_mivs(nl):
+            for gid, _pin in m.far_sinks:
+                assert nl.gates[gid].tier != m.source_tier
+
+    def test_miv_fault_sites(self, partitioned):
+        nl, _ = partitioned
+        mivs = extract_mivs(nl)
+        sites = miv_fault_sites(nl, mivs)
+        assert len(sites) == len(mivs)
+        for s, m in zip(sites, mivs):
+            assert s.kind == "miv"
+            assert s.net == m.net
+            assert s.miv_id == m.id
+            assert s.sinks == m.far_sinks
+
+
+class TestDefectSampler:
+    def test_deterministic(self, partitioned):
+        nl, _ = partitioned
+        mivs = extract_mivs(nl)
+        a = DefectSampler(nl, mivs, seed=3)
+        b = DefectSampler(nl, mivs, seed=3)
+        for _ in range(10):
+            fa, fb = a.sample_single(0.3), b.sample_single(0.3)
+            assert fa.label == fb.label
+
+    def test_tier_restriction(self, partitioned):
+        nl, _ = partitioned
+        sampler = DefectSampler(nl, extract_mivs(nl), seed=0)
+        for tier in (0, 1):
+            for _ in range(10):
+                f = sampler.sample_gate_fault(tier)
+                assert site_tier(nl, f.site) == tier
+
+    def test_tier_systematic_confined(self, partitioned):
+        nl, _ = partitioned
+        sampler = DefectSampler(nl, extract_mivs(nl), seed=1)
+        for _ in range(10):
+            faults = sampler.sample_tier_systematic()
+            assert 2 <= len(faults) <= 5
+            tiers = {site_tier(nl, f.site) for f in faults}
+            assert len(tiers) == 1
+            # Distinct sites within a cluster.
+            assert len({f.site.label for f in faults}) == len(faults)
+
+    def test_miv_fault_kind(self, partitioned):
+        nl, _ = partitioned
+        sampler = DefectSampler(nl, extract_mivs(nl), seed=2)
+        assert sampler.sample_miv_fault().site.kind == "miv"
+
+    def test_no_mivs_raises(self, small_netlist):
+        nl = small_netlist.copy()
+        for g in nl.gates:
+            g.tier = 0
+        for f in nl.flops:
+            f.tier = 0
+        sampler = DefectSampler(nl, extract_mivs(nl), seed=0)
+        with pytest.raises(ValueError, match="no MIVs"):
+            sampler.sample_miv_fault()

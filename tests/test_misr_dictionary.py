@@ -1,0 +1,83 @@
+"""Unit tests for MISR compaction and fault-dictionary diagnosis."""
+
+import numpy as np
+import pytest
+
+from repro.dft import ObservationMap, build_scan_chains
+from repro.diagnosis import FaultDictionary, first_hit_index, report_is_accurate
+from repro.data import build_dataset
+from repro.tester import FailureLog
+
+
+class TestMisr:
+    def test_one_signature_observation(self, prepared):
+        om = prepared.obsmap("misr")
+        misr_obs = [o for o in om.observations if o.kind == "misr"]
+        assert len(misr_obs) == 1
+        assert misr_obs[0].combine == "or"
+        assert set(misr_obs[0].nets) == {f.d_net for f in prepared.nl.flops}
+
+    def test_or_combine_no_aliasing(self, prepared):
+        """Unlike XOR, an even number of differing flops still fails."""
+        om = prepared.obsmap("misr")
+        misr_obs = next(o for o in om.observations if o.kind == "misr")
+        d0, d1 = misr_obs.nets[0], misr_obs.nets[1]
+        mask = np.array([True, False])
+        fails = om.fail_masks({d0: mask, d1: mask})
+        assert misr_obs.id in fails
+        assert fails[misr_obs.id].tolist() == [True, False]
+        # The XOR-compacted map aliases the same double difference when the
+        # two flops share a channel position; the OR map never does.
+
+    def test_misr_dataset_and_backtrace(self, prepared):
+        ds = build_dataset(prepared, "misr", 15, seed=81)
+        assert len(ds) > 0
+        # MISR logs carry less information: the back-traced sub-graphs are
+        # at least as large (on average) as in bypass mode.
+        ds_b = build_dataset(prepared, "bypass", 15, seed=81)
+        mean_misr = np.mean([g.n_nodes for g in ds.graphs])
+        mean_bypass = np.mean([g.n_nodes for g in ds_b.graphs])
+        assert mean_misr >= mean_bypass * 0.8
+
+
+class TestFaultDictionary:
+    @pytest.fixture(scope="class")
+    def dictionary(self, prepared):
+        return FaultDictionary(
+            prepared.nl,
+            prepared.obsmap("bypass"),
+            prepared.patterns,
+            mivs=prepared.mivs,
+            sim=prepared.sim,
+        )
+
+    def test_entries_and_size(self, dictionary):
+        assert len(dictionary) > 100
+        assert dictionary.size_bytes() > 0
+
+    def test_exact_match_single_fault(self, dictionary, prepared):
+        ds = build_dataset(prepared, "bypass", 20, seed=82)
+        hits = 0
+        for item in ds.items:
+            rep = dictionary.diagnose(item.sample.log)
+            hits += report_is_accurate(rep, item.faults)
+        assert hits >= len(ds.items) - 1
+
+    def test_perfect_signature_ranks_first(self, dictionary, prepared):
+        ds = build_dataset(prepared, "bypass", 10, seed=83)
+        for item in ds.items:
+            rep = dictionary.diagnose(item.sample.log)
+            assert rep.resolution >= 1
+            assert rep.candidates[0].score == pytest.approx(1.0)
+
+    def test_empty_log(self, dictionary):
+        assert dictionary.diagnose(FailureLog(entries=[])).resolution == 0
+
+    def test_polarities_collapsed(self, dictionary, prepared):
+        ds = build_dataset(prepared, "bypass", 5, seed=84)
+        rep = dictionary.diagnose(ds.items[0].sample.log)
+        keys = [
+            (c.site.kind, c.site.net, c.site.sinks, c.site.miv_id)
+            for c in rep.candidates
+        ]
+        assert len(keys) == len(set(keys))

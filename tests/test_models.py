@@ -1,0 +1,190 @@
+"""Unit tests for Tier-predictor, MIV-pinpointer, and the transfer Classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core import MivPinpointer, PruneReorderClassifier, TierPredictor
+from repro.nn import GraphData
+
+
+def _tier_graphs(rng, n, informative=True):
+    """Synthetic sub-graphs whose tier feature column encodes the label."""
+    graphs = []
+    for i in range(n):
+        y = int(rng.integers(0, 2))
+        k = int(rng.integers(4, 9))
+        x = rng.normal(size=(k, 13)) * 0.3
+        if informative:
+            x[:, 3] = y + rng.normal(size=k) * 0.1
+        edges = (np.arange(k - 1), np.arange(1, k))
+        graphs.append(GraphData(x=x, edges=edges, y=y, meta={"nodes": np.arange(k)}))
+    return graphs
+
+
+def _miv_graphs(rng, n):
+    """Graphs with MIV nodes; the faulty MIV has a distinctive feature."""
+    graphs = []
+    for _i in range(n):
+        k = 8
+        x = rng.normal(size=(k, 13)) * 0.3
+        node_mask = np.zeros(k, dtype=bool)
+        node_mask[[2, 5]] = True
+        node_y = np.zeros(k)
+        faulty = int(rng.choice([2, 5]))
+        node_y[faulty] = 1.0
+        x[faulty, 11] = 3.0  # strong signal on a Topedge-MIV stat column
+        edges = (np.arange(k - 1), np.arange(1, k))
+        graphs.append(
+            GraphData(
+                x=x, edges=edges, y=-1, node_y=node_y, node_mask=node_mask,
+                meta={"nodes": np.arange(k)},
+            )
+        )
+    return graphs
+
+
+class TestTierPredictor:
+    def test_learns_separable_data(self):
+        rng = np.random.default_rng(0)
+        train = _tier_graphs(rng, 80)
+        test = _tier_graphs(rng, 30)
+        tp = TierPredictor(epochs=25, seed=0)
+        history = tp.fit(train)
+        assert history[-1] < history[0]
+        assert tp.accuracy(test) > 0.9
+
+    def test_predict_proba_shape_and_norm(self):
+        rng = np.random.default_rng(1)
+        train = _tier_graphs(rng, 40)
+        tp = TierPredictor(epochs=10, seed=0)
+        tp.fit(train)
+        proba = tp.predict_proba(train[:7])
+        assert proba.shape == (7, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.allclose(tp.confidence(train[:7]), proba.max(axis=1))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            TierPredictor().predict_proba([])
+
+    def test_no_labels_raises(self):
+        rng = np.random.default_rng(2)
+        graphs = _tier_graphs(rng, 5)
+        for g in graphs:
+            g.y = -1
+        with pytest.raises(ValueError, match="no labeled graphs"):
+            TierPredictor().fit(graphs)
+
+    def test_empty_predict(self):
+        rng = np.random.default_rng(3)
+        tp = TierPredictor(epochs=5, seed=0)
+        tp.fit(_tier_graphs(rng, 20))
+        assert tp.predict_proba([]).shape == (0, 2)
+
+
+class TestMivPinpointer:
+    def test_learns_planted_signal(self):
+        rng = np.random.default_rng(4)
+        train = _miv_graphs(rng, 60)
+        test = _miv_graphs(rng, 25)
+        mp = MivPinpointer(epochs=25, seed=1)
+        mp.fit(train)
+        assert mp.sample_accuracy(test) > 0.85
+
+    def test_threshold_calibrated_above_half(self):
+        rng = np.random.default_rng(5)
+        mp = MivPinpointer(epochs=15, seed=1)
+        mp.fit(_miv_graphs(rng, 40))
+        assert mp.threshold >= 0.5
+
+    def test_specificity_on_clean_graphs(self):
+        rng = np.random.default_rng(6)
+        train = _miv_graphs(rng, 60)
+        mp = MivPinpointer(epochs=20, seed=1)
+        mp.fit(train)
+        clean = _miv_graphs(rng, 20)
+        for g in clean:
+            g.node_y = np.zeros(g.n_nodes)
+            g.x[:, 11] = 0.0
+        assert mp.specificity(clean) > 0.6
+
+    def test_no_miv_graphs_raises(self):
+        rng = np.random.default_rng(7)
+        graphs = _tier_graphs(rng, 5)  # no node masks
+        with pytest.raises(ValueError, match="no graphs with MIV nodes"):
+            MivPinpointer().fit(graphs)
+
+    def test_predict_faulty_mivs_returns_het_ids(self):
+        rng = np.random.default_rng(8)
+        train = _miv_graphs(rng, 60)
+        mp = MivPinpointer(epochs=25, seed=1)
+        mp.fit(train)
+        g = train[0]
+        picks = mp.predict_faulty_mivs(g)
+        assert all(p in g.meta["nodes"] for p in picks)
+
+
+class TestClassifier:
+    def test_transfer_freezes_encoder(self):
+        rng = np.random.default_rng(9)
+        train = _tier_graphs(rng, 60)
+        tp = TierPredictor(epochs=15, seed=0)
+        tp.fit(train)
+        before = [p.value.copy() for p in tp.model.encoder.parameters()]
+
+        clf = PruneReorderClassifier(tp, epochs=10, seed=3)
+        tp_graphs = train[:30]
+        fp_graphs = train[30:36]
+        clf.fit(tp_graphs, fp_graphs)
+        # The Tier-predictor's own encoder must be untouched (deep copy)...
+        for b, p in zip(before, tp.model.encoder.parameters()):
+            assert np.array_equal(b, p.value)
+        # ...and the classifier's frozen encoder must equal the snapshot.
+        for b, p in zip(before, clf.model.encoder.parameters()):
+            assert np.array_equal(b, p.value)
+
+    def test_prune_probability_range(self):
+        rng = np.random.default_rng(10)
+        train = _tier_graphs(rng, 60)
+        tp = TierPredictor(epochs=15, seed=0)
+        tp.fit(train)
+        clf = PruneReorderClassifier(tp, epochs=10, seed=3)
+        clf.fit(train[:30], train[30:35])
+        probs = clf.prune_probability(train[:10])
+        assert probs.shape == (10,)
+        assert np.all((probs >= 0) & (probs <= 1))
+        assert isinstance(clf.should_prune(train[0]), bool)
+
+    def test_learns_to_separate_tp_fp(self):
+        """FP graphs carry a planted marker; the classifier should find it."""
+        rng = np.random.default_rng(11)
+        train = _tier_graphs(rng, 80)
+        tp = TierPredictor(epochs=15, seed=0)
+        tp.fit(train)
+        tp_graphs = _tier_graphs(rng, 50)
+        fp_graphs = _tier_graphs(rng, 8)
+        for g in fp_graphs:
+            g.x[:, 9] = 4.0
+        clf = PruneReorderClassifier(tp, epochs=25, seed=3)
+        clf.fit(tp_graphs, fp_graphs)
+        fp_test = _tier_graphs(rng, 10)
+        for g in fp_test:
+            g.x[:, 9] = 4.0
+        tp_test = _tier_graphs(rng, 10)
+        assert clf.prune_probability(fp_test).mean() < clf.prune_probability(tp_test).mean()
+
+    def test_requires_true_positives(self):
+        rng = np.random.default_rng(12)
+        tp = TierPredictor(epochs=5, seed=0)
+        tp.fit(_tier_graphs(rng, 20))
+        clf = PruneReorderClassifier(tp)
+        with pytest.raises(ValueError, match="no True Positive"):
+            clf.fit([], [])
+
+    def test_unfitted_raises(self):
+        rng = np.random.default_rng(13)
+        tp = TierPredictor(epochs=5, seed=0)
+        tp.fit(_tier_graphs(rng, 20))
+        clf = PruneReorderClassifier(tp)
+        with pytest.raises(RuntimeError):
+            clf.prune_probability(_tier_graphs(rng, 2))

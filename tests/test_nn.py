@@ -1,0 +1,303 @@
+"""Unit and gradient tests for the numpy GNN stack."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Dense,
+    GCNLayer,
+    GraphBatch,
+    GraphClassifier,
+    GraphData,
+    NodeClassifier,
+    PCA,
+    SGD,
+    bce_with_logits,
+    build_batch,
+    normalized_adjacency,
+    sigmoid,
+    softmax,
+    softmax_cross_entropy,
+)
+
+
+def _random_graphs(rng, n=3, n_feat=4):
+    out = []
+    for i in range(n):
+        k = rng.integers(3, 7)
+        edges = (rng.integers(0, k, size=k), rng.integers(0, k, size=k))
+        out.append(
+            GraphData(
+                x=rng.normal(size=(k, n_feat)),
+                edges=edges,
+                y=int(i % 2),
+                node_y=rng.integers(0, 2, size=k).astype(float),
+                node_mask=rng.integers(0, 2, size=k).astype(bool),
+            )
+        )
+    return out
+
+
+def _gradcheck(model, loss_fn, params, eps=1e-6, tol=1e-4, n_checks=8):
+    worst = 0.0
+    for p in params:
+        flat = p.value.ravel()
+        grad = p.grad.ravel()
+        idx = np.linspace(0, flat.size - 1, min(n_checks, flat.size)).astype(int)
+        for i in idx:
+            old = flat[i]
+            flat[i] = old + eps
+            lp = loss_fn()
+            flat[i] = old - eps
+            lm = loss_fn()
+            flat[i] = old
+            num = (lp - lm) / (2 * eps)
+            if abs(num) > 1e-9:
+                worst = max(worst, abs(num - grad[i]) / (abs(num) + 1e-9))
+    assert worst < tol, f"gradient error {worst}"
+
+
+class TestAdjacency:
+    def test_rows_sum_to_one(self):
+        a = normalized_adjacency(4, (np.array([0, 1]), np.array([1, 2])))
+        sums = np.asarray(a.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+
+    def test_symmetric_pattern(self):
+        a = normalized_adjacency(3, (np.array([0]), np.array([2])))
+        dense = a.toarray()
+        assert dense[0, 2] > 0 and dense[2, 0] > 0
+        assert dense[1, 1] == 1.0  # isolated node keeps only its self-loop
+
+    def test_multi_edges_collapsed(self):
+        a = normalized_adjacency(2, (np.array([0, 0, 0]), np.array([1, 1, 1])))
+        assert np.allclose(np.asarray(a.sum(axis=1)).ravel(), 1.0)
+        assert a.toarray()[0, 1] == 0.5
+
+
+class TestBatching:
+    def test_block_diagonal(self):
+        rng = np.random.default_rng(0)
+        graphs = _random_graphs(rng)
+        batch = build_batch(graphs)
+        assert batch.n_graphs == 3
+        assert batch.n_nodes == sum(g.n_nodes for g in graphs)
+        # No cross-graph coupling.
+        dense = batch.a_hat.toarray()
+        start = 0
+        for g in graphs:
+            end = start + g.n_nodes
+            assert np.allclose(dense[start:end, :start], 0)
+            assert np.allclose(dense[start:end, end:], 0)
+            start = end
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="zero graphs"):
+            build_batch([])
+
+    def test_pool_mean_and_backward(self):
+        rng = np.random.default_rng(1)
+        graphs = _random_graphs(rng)
+        batch = build_batch(graphs)
+        h = rng.normal(size=(batch.n_nodes, 5))
+        pooled = batch.pool_mean(h)
+        start = 0
+        for i, g in enumerate(graphs):
+            end = start + g.n_nodes
+            assert np.allclose(pooled[i], h[start:end].mean(axis=0))
+            start = end
+        # Backward: gradient of f = sum(pool * dpool) w.r.t. h.
+        dpool = rng.normal(size=pooled.shape)
+        dh = batch.pool_mean_backward(dpool)
+        eps = 1e-6
+        h2 = h.copy()
+        h2[0, 0] += eps
+        num = ((batch.pool_mean(h2) - pooled) * dpool).sum() / eps
+        assert abs(num - dh[0, 0]) < 1e-5
+
+
+class TestLosses:
+    def test_softmax_rows(self):
+        p = softmax(np.array([[1.0, 2.0, 3.0]]))
+        assert np.allclose(p.sum(), 1.0)
+        assert p[0, 2] > p[0, 1] > p[0, 0]
+
+    def test_ce_gradient_numeric(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(5, 3))
+        labels = rng.integers(0, 3, size=5)
+        loss, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        for i in range(5):
+            for j in range(3):
+                lp = softmax_cross_entropy(logits + eps * _one(5, 3, i, j), labels)[0]
+                lm = softmax_cross_entropy(logits - eps * _one(5, 3, i, j), labels)[0]
+                assert abs((lp - lm) / (2 * eps) - grad[i, j]) < 1e-5
+
+    def test_bce_gradient_numeric(self):
+        rng = np.random.default_rng(3)
+        logits = rng.normal(size=7)
+        targets = rng.integers(0, 2, size=7).astype(float)
+        mask = rng.integers(0, 2, size=7).astype(bool)
+        mask[0] = True
+        loss, grad = bce_with_logits(logits, targets, mask=mask, pos_weight=2.0)
+        eps = 1e-6
+        for i in range(7):
+            d = np.zeros(7)
+            d[i] = eps
+            lp = bce_with_logits(logits + d, targets, mask=mask, pos_weight=2.0)[0]
+            lm = bce_with_logits(logits - d, targets, mask=mask, pos_weight=2.0)[0]
+            assert abs((lp - lm) / (2 * eps) - grad[i]) < 1e-5
+
+    def test_sigmoid_stable(self):
+        assert sigmoid(np.array([-1000.0]))[0] == pytest.approx(0.0)
+        assert sigmoid(np.array([1000.0]))[0] == pytest.approx(1.0)
+
+
+def _one(n, m, i, j):
+    out = np.zeros((n, m))
+    out[i, j] = 1.0
+    return out
+
+
+class TestModels:
+    def test_graph_classifier_gradcheck(self):
+        rng = np.random.default_rng(4)
+        graphs = _random_graphs(rng)
+        batch = build_batch(graphs)
+        model = GraphClassifier(4, 2, hidden=(6,), head_hidden=(5,), seed=0)
+
+        def loss_fn():
+            return softmax_cross_entropy(model.forward(batch), batch.y)[0]
+
+        logits = model.forward(batch)
+        _l, dl = softmax_cross_entropy(logits, batch.y)
+        model.zero_grad()
+        model.backward(dl)
+        _gradcheck(model, loss_fn, model.parameters())
+
+    def test_node_classifier_gradcheck(self):
+        rng = np.random.default_rng(5)
+        graphs = _random_graphs(rng)
+        batch = build_batch(graphs)
+        model = NodeClassifier(4, hidden=(6, 5), seed=0)
+
+        def loss_fn():
+            return bce_with_logits(model.forward(batch), batch.node_y, mask=batch.node_mask)[0]
+
+        logits = model.forward(batch)
+        _l, dl = bce_with_logits(logits, batch.node_y, mask=batch.node_mask)
+        model.zero_grad()
+        model.backward(dl)
+        _gradcheck(model, loss_fn, model.parameters())
+
+    def test_frozen_encoder_excluded_from_parameters(self):
+        base = GraphClassifier(4, 2, hidden=(6,), seed=0)
+        import copy
+
+        transfer = GraphClassifier(
+            4, 2, encoder=copy.deepcopy(base.encoder), freeze_encoder=True, head_hidden=(3,), seed=1
+        )
+        n_all = len(base.parameters())
+        assert len(transfer.parameters()) < n_all + 4  # head layers only
+        enc_params = transfer.encoder.parameters()
+        assert all(p not in transfer.parameters() for p in enc_params)
+
+    def test_state_dict_roundtrip(self):
+        model = GraphClassifier(4, 2, hidden=(6,), seed=0)
+        state = model.state_dict()
+        model2 = GraphClassifier(4, 2, hidden=(6,), seed=99)
+        model2.load_state_dict(state)
+        for a, b in zip(model.parameters(), model2.parameters()):
+            assert np.array_equal(a.value, b.value)
+
+    def test_load_state_dict_shape_check(self):
+        model = GraphClassifier(4, 2, hidden=(6,), seed=0)
+        with pytest.raises(ValueError):
+            model.load_state_dict([np.zeros((1, 1))])
+
+
+class TestOptim:
+    def test_adam_minimizes_quadratic(self):
+        from repro.nn.layers import Parameter
+
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            p.zero_grad()
+            p.grad[:] = 2 * p.value
+            opt.step()
+        assert np.all(np.abs(p.value) < 0.05)
+
+    def test_sgd_momentum(self):
+        from repro.nn.layers import Parameter
+
+        p = Parameter(np.array([4.0]))
+        opt = SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(100):
+            p.zero_grad()
+            p.grad[:] = 2 * p.value
+            opt.step()
+        assert abs(p.value[0]) < 0.1
+
+
+class TestPCA:
+    def test_recovers_principal_direction(self):
+        rng = np.random.default_rng(6)
+        t = rng.normal(size=500)
+        x = np.stack([3 * t, t + 0.01 * rng.normal(size=500)], axis=1)
+        pca = PCA(2).fit(x)
+        direction = pca.components_[0] / np.linalg.norm(pca.components_[0])
+        expected = np.array([3.0, 1.0]) / np.sqrt(10)
+        assert abs(abs(direction @ expected) - 1.0) < 1e-2
+        assert pca.explained_variance_ratio_[0] > 0.95
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            PCA(2).transform(np.zeros((3, 2)))
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            PCA(2).fit(np.zeros((1, 4)))
+
+
+class TestExplain:
+    def test_feature_mask_finds_informative_feature(self):
+        """Only feature 0 carries the label; its mask score should be highest."""
+        from repro.nn import feature_mask_significance
+
+        rng = np.random.default_rng(7)
+        graphs = []
+        for i in range(40):
+            y = i % 2
+            x = rng.normal(size=(6, 4)) * 0.1
+            x[:, 0] = 2.0 * y - 1.0
+            edges = (np.arange(5), np.arange(1, 6))
+            graphs.append(GraphData(x=x, edges=edges, y=y))
+        model = GraphClassifier(4, 2, hidden=(8,), seed=0)
+        from repro.core.training import train_graph_classifier
+
+        train_graph_classifier(model, graphs, epochs=30, lr=0.05, seed=0)
+        sig = feature_mask_significance(model, graphs, n_steps=150, l1=0.05)
+        assert sig.shape == (4,)
+        assert np.all((sig >= 0) & (sig <= 1))
+        assert sig[0] == max(sig)
+
+    def test_permutation_importance_sign(self):
+        from repro.nn import permutation_importance
+
+        rng = np.random.default_rng(8)
+        graphs = []
+        for i in range(40):
+            y = i % 2
+            x = rng.normal(size=(5, 3)) * 0.1
+            x[:, 1] = y
+            graphs.append(GraphData(x=x, edges=(np.array([0]), np.array([1])), y=y))
+        model = GraphClassifier(3, 2, hidden=(8,), seed=0)
+        from repro.core.training import train_graph_classifier
+
+        train_graph_classifier(model, graphs, epochs=30, lr=0.05, seed=0)
+        drops = permutation_importance(model, graphs)
+        assert drops[1] == max(drops)
+        assert drops[1] > 0.2

@@ -1,0 +1,82 @@
+"""Unit tests for dummy-buffer graph oversampling."""
+
+import numpy as np
+import pytest
+
+from repro.core import insert_dummy_buffer, oversample_minority
+from repro.nn import GraphData
+
+
+@pytest.fixture
+def graph():
+    x = np.arange(12, dtype=float).reshape(4, 3)
+    x = np.hstack([x, np.zeros((4, 10))])  # 13 features like Table II
+    edges = (np.array([0, 1, 1]), np.array([1, 2, 3]))
+    return GraphData(
+        x=x,
+        edges=edges,
+        y=1,
+        node_y=np.array([0.0, 1.0, 0.0, 0.0]),
+        node_mask=np.array([False, True, False, False]),
+        meta={"nodes": np.arange(4)},
+    )
+
+
+class TestInsertDummyBuffer:
+    def test_adds_one_node(self, graph):
+        out = insert_dummy_buffer(graph, 1)
+        assert out.n_nodes == 5
+        assert graph.n_nodes == 4  # original untouched
+
+    def test_rewires_outgoing_edges(self, graph):
+        out = insert_dummy_buffer(graph, 1)
+        src, dst = out.edges
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        # node 1's old out-edges (1->2, 1->3) now leave the buffer (node 4).
+        assert (4, 2) in pairs and (4, 3) in pairs
+        assert (1, 2) not in pairs and (1, 3) not in pairs
+        assert (1, 4) in pairs  # host -> buffer
+        assert (0, 1) in pairs  # untouched edge
+
+    def test_buffer_features_copied_with_degree_fixup(self, graph):
+        out = insert_dummy_buffer(graph, 1)
+        assert out.x[4, 2] == graph.x[1, 2]
+        assert out.x[4, 0] == 1.0  # circuit fan-in
+        assert out.x[4, 7] == 1.0  # sub-graph fan-in
+
+    def test_labels_and_masks_extended(self, graph):
+        out = insert_dummy_buffer(graph, 1)
+        assert out.node_y[4] == 0.0
+        assert not out.node_mask[4]
+        assert out.y == graph.y
+        assert out.meta["synthetic"]
+
+    def test_bad_node_rejected(self, graph):
+        with pytest.raises(ValueError, match="out of range"):
+            insert_dummy_buffer(graph, 7)
+
+
+class TestOversampleMinority:
+    def test_balances_population(self, graph):
+        majority = [graph] * 20
+        minority = [graph]
+        out = oversample_minority(majority, minority, seed=0)
+        assert len(out) == 20
+        assert out[0] is graph
+        assert all(o.meta.get("synthetic") for o in out[1:])
+
+    def test_empty_minority(self, graph):
+        assert oversample_minority([graph] * 5, [], seed=0) == []
+
+    def test_deterministic(self, graph):
+        a = oversample_minority([graph] * 10, [graph], seed=3)
+        b = oversample_minority([graph] * 10, [graph], seed=3)
+        assert len(a) == len(b)
+        for ga, gb in zip(a, b):
+            assert ga.n_nodes == gb.n_nodes
+            assert np.array_equal(ga.edges[0], gb.edges[0])
+
+    def test_consecutive_buffers_appear(self, graph):
+        out = oversample_minority([graph] * 30, [graph], seed=1)
+        sizes = [g.n_nodes for g in out]
+        assert max(sizes) > graph.n_nodes + 1  # buffers stacked on synthetics

@@ -1,0 +1,112 @@
+"""Unit tests for the PODEM deterministic test generator."""
+
+import numpy as np
+import pytest
+
+from repro.atpg import Fault, Podem, Polarity, stem_site
+from repro.netlist import GeneratorSpec, NetlistBuilder, generate
+from repro.sim import CompiledSimulator, FaultMachine
+
+
+@pytest.fixture(scope="module")
+def design():
+    return generate(GeneratorSpec("pd", "leon3mp_like", 150, 20, 10, 10, seed=9))
+
+
+@pytest.fixture(scope="module")
+def podem(design):
+    return Podem(design)
+
+
+def _verify_stuck_at(nl, net, stuck, assignment):
+    """Simulate the assignment and check the fault is observed."""
+    sim = CompiledSimulator(nl)
+    rng = np.random.default_rng(7)
+    vec = rng.integers(0, 2, size=(len(nl.comb_inputs), 1), dtype=np.uint8)
+    for i, n in enumerate(nl.comb_inputs):
+        if n in assignment:
+            vec[i, 0] = assignment[n]
+    good = sim.simulate(vec)
+    # Faulty machine: force `net` to the stuck value.
+    faulty_val = np.full(1, stuck, dtype=np.uint8)
+    sinks = nl.nets[net].sinks
+    override = {(g, p): faulty_val for g, p in sinks}
+    modified = sim.resimulate_with_overrides(good, [g for g, _ in sinks], override)
+    for obs in nl.observed_nets:
+        if obs == net and good[net][0] != stuck:
+            return True
+        if obs in modified and modified[obs][0] != good[obs][0]:
+            return True
+    return False
+
+
+def test_stuck_at_generation_verified(design, podem):
+    rng = np.random.default_rng(0)
+    successes = 0
+    for _ in range(20):
+        net = int(rng.integers(0, design.n_nets))
+        stuck = int(rng.integers(0, 2))
+        res = podem.generate_stuck_at(net, stuck)
+        if res.success:
+            successes += 1
+            assert _verify_stuck_at(design, net, stuck, res.assignment)
+    assert successes >= 15
+
+
+def test_justify(design, podem):
+    sim = CompiledSimulator(design)
+    rng = np.random.default_rng(1)
+    for _ in range(10):
+        net = int(rng.integers(0, design.n_nets))
+        value = int(rng.integers(0, 2))
+        res = podem.justify(net, value)
+        if not res.success:
+            continue
+        vec = rng.integers(0, 2, size=(len(design.comb_inputs), 1), dtype=np.uint8)
+        for i, n in enumerate(design.comb_inputs):
+            if n in res.assignment:
+                vec[i, 0] = res.assignment[n]
+        assert sim.simulate(vec)[net][0] == value
+
+
+def test_tdf_pair_detects(design, podem):
+    sim = CompiledSimulator(design)
+    machine = FaultMachine(sim)
+    rng = np.random.default_rng(2)
+    generated = detected = 0
+    for trial in range(15):
+        net = int(rng.integers(0, design.n_nets))
+        pol = Polarity.SLOW_TO_RISE if rng.random() < 0.5 else Polarity.SLOW_TO_FALL
+        fault = Fault(stem_site(design, net), pol)
+        pair = podem.generate_tdf_pair(fault, seed=trial)
+        if pair is None:
+            continue
+        generated += 1
+        v1, v2 = pair
+        good = sim.simulate_pair(v1[:, None], v2[:, None])
+        detected += int(machine.detects(fault, good).any())
+    assert generated >= 10
+    assert detected == generated  # PODEM never emits a non-detecting pair
+
+
+def test_redundant_fault_terminates():
+    """x AND NOT(x) is constant 0: s-a-0 at the AND output is redundant."""
+    b = NetlistBuilder("red")
+    a = b.add_primary_input("a")
+    na = b.add_gate("INV", [a])
+    y = b.add_gate("AND2", [a, na])
+    out = b.add_gate("BUF", [y])
+    b.mark_primary_output(out)
+    nl = b.finish()
+    podem = Podem(nl, max_backtracks=50)
+    res = podem.generate_stuck_at(y, 0)
+    assert not res.success  # cannot activate a 1 on a constant-0 net
+
+
+def test_backtrack_budget_respected(design):
+    podem = Podem(design, max_backtracks=1)
+    rng = np.random.default_rng(3)
+    for _ in range(5):
+        net = int(rng.integers(0, design.n_nets))
+        res = podem.generate_stuck_at(net, 0)
+        assert res.backtracks <= 2  # budget + the final counted attempt

@@ -1,0 +1,176 @@
+"""Unit tests for the candidate pruning and reordering policy (Figs. 7/8)."""
+
+import numpy as np
+import pytest
+
+from repro.atpg import Polarity, stem_site
+from repro.core.policy import PruneReorderPolicy
+from repro.diagnosis import Candidate, DiagnosisReport
+from repro.nn import GraphData
+
+
+class StubTier:
+    """Tier-predictor stub returning a fixed probability vector."""
+
+    def __init__(self, proba):
+        self.proba = np.asarray(proba, dtype=float)
+
+    def predict_proba(self, graphs):
+        return np.tile(self.proba, (len(graphs), 1))
+
+
+class StubMiv:
+    """MIV-pinpointer stub flagging fixed HetGraph node ids."""
+
+    def __init__(self, nodes):
+        self.nodes = list(nodes)
+
+    def predict_faulty_mivs(self, graph):
+        return self.nodes
+
+
+class StubClassifier:
+    def __init__(self, prune):
+        self.prune = prune
+
+    def should_prune(self, graph, threshold=0.5):
+        return self.prune
+
+
+@pytest.fixture
+def setup(prepared):
+    het = prepared.het
+    nl = prepared.nl
+    # Build a report with candidates in both tiers plus one MIV candidate.
+    tier0 = [g for g in nl.gates if g.tier == 0][:2]
+    tier1 = [g for g in nl.gates if g.tier == 1][:2]
+    miv = prepared.mivs[0]
+
+    def cand(site, tier):
+        return Candidate(
+            site=site, polarity=Polarity.SLOW_TO_RISE, score=0.9, tier=tier
+        )
+
+    from repro.m3d import miv_fault_sites
+
+    miv_site = miv_fault_sites(nl, [miv])[0]
+    candidates = [
+        cand(stem_site(nl, tier0[0].out), 0),
+        cand(stem_site(nl, tier1[0].out), 1),
+        cand(miv_site, None),
+        cand(stem_site(nl, tier0[1].out), 0),
+        cand(stem_site(nl, tier1[1].out), 1),
+    ]
+    report = DiagnosisReport(candidates=candidates)
+    graph = GraphData(
+        x=np.zeros((3, 13)),
+        edges=(np.array([0]), np.array([1])),
+        meta={"nodes": np.arange(3)},
+    )
+    return het, report, graph, miv
+
+
+def test_low_confidence_reorders(setup):
+    het, report, graph, _miv = setup
+    policy = PruneReorderPolicy(
+        StubTier([0.4, 0.6]), None, None, het, tp_threshold=0.9
+    )
+    result = policy.apply(report, graph)
+    assert result.action == "reorder_lowconf"
+    assert result.pruned == []
+    assert result.report.resolution == report.resolution
+    tiers = [c.tier for c in result.report.candidates]
+    # Predicted tier 1 candidates come first.
+    first_others = tiers.index(0)
+    assert all(t != 1 for t in tiers[first_others:])
+
+
+def test_high_confidence_prunes_fault_free_tier(setup):
+    het, report, graph, _miv = setup
+    policy = PruneReorderPolicy(
+        StubTier([0.02, 0.98]), None, StubClassifier(True), het, tp_threshold=0.9
+    )
+    result = policy.apply(report, graph)
+    assert result.action == "prune"
+    assert all(c.tier in (None, 1) for c in result.report.candidates)
+    assert all(c.tier == 0 for c in result.pruned)
+    assert len(result.pruned) == 2
+
+
+def test_classifier_can_veto_pruning(setup):
+    het, report, graph, _miv = setup
+    policy = PruneReorderPolicy(
+        StubTier([0.02, 0.98]), None, StubClassifier(False), het, tp_threshold=0.9
+    )
+    result = policy.apply(report, graph)
+    assert result.action == "reorder"
+    assert result.pruned == []
+    assert result.report.resolution == report.resolution
+
+
+def test_no_classifier_means_prune_on_confidence(setup):
+    het, report, graph, _miv = setup
+    policy = PruneReorderPolicy(StubTier([0.98, 0.02]), None, None, het, tp_threshold=0.9)
+    result = policy.apply(report, graph)
+    assert result.action == "prune"
+    assert all(c.tier in (None, 0) for c in result.report.candidates)
+
+
+def test_miv_candidates_protected_from_pruning(setup):
+    """Candidates equivalent to flagged MIVs move to the top and survive."""
+    het, report, graph, miv = setup
+    miv_node = het.miv_index[miv.id]
+    policy = PruneReorderPolicy(
+        StubTier([0.98, 0.02]),
+        StubMiv([miv_node]),
+        StubClassifier(True),
+        het,
+        tp_threshold=0.9,
+    )
+    result = policy.apply(report, graph)
+    assert result.faulty_mivs == [miv.id]
+    top = result.report.candidates[0]
+    assert top.site.kind == "miv" and top.site.miv_id == miv.id
+
+
+def test_miv_net_equivalence_protects_stem(setup, prepared):
+    """A stem candidate on the flagged MIV's net is also promoted."""
+    het, _report, graph, miv = setup
+    stem = Candidate(
+        site=stem_site(prepared.nl, miv.net),
+        polarity=Polarity.SLOW_TO_RISE,
+        score=0.5,
+        tier=prepared.nl.net_tier(miv.net),
+    )
+    other_gate = next(g for g in prepared.nl.gates if g.out != miv.net and g.tier == 1)
+    other = Candidate(
+        site=stem_site(prepared.nl, other_gate.out),
+        polarity=Polarity.SLOW_TO_RISE,
+        score=0.9,
+        tier=1,
+    )
+    report = DiagnosisReport(candidates=[other, stem])
+    miv_node = het.miv_index[miv.id]
+    policy = PruneReorderPolicy(
+        StubTier([0.5, 0.5]), StubMiv([miv_node]), None, het, tp_threshold=0.9
+    )
+    result = policy.apply(report, graph)
+    assert result.report.candidates[0].site.net == miv.net
+
+
+def test_use_tier_false_only_applies_miv(setup):
+    het, report, graph, miv = setup
+    miv_node = het.miv_index[miv.id]
+    policy = PruneReorderPolicy(
+        StubTier([0.98, 0.02]),
+        StubMiv([miv_node]),
+        StubClassifier(True),
+        het,
+        tp_threshold=0.9,
+        use_tier=False,
+    )
+    result = policy.apply(report, graph)
+    assert result.predicted_tier == -1
+    assert result.pruned == []
+    assert result.report.resolution == report.resolution
+    assert result.report.candidates[0].site.kind == "miv"

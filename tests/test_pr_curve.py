@@ -1,0 +1,77 @@
+"""Unit and property tests for PR-curve threshold selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import precision_recall_curve, select_threshold
+
+
+def test_perfect_predictor():
+    points = precision_recall_curve([0.9, 0.8, 0.95], [True, True, True])
+    for p in points:
+        assert p.precision == 1.0
+    assert select_threshold(points, 0.99) == 0.0
+
+
+def test_mixed_predictor_threshold_separates():
+    # Correct predictions are confident, incorrect ones are not.
+    conf = [0.95, 0.9, 0.92, 0.55, 0.6]
+    corr = [True, True, True, False, False]
+    points = precision_recall_curve(conf, corr)
+    t = select_threshold(points, 0.99)
+    assert 0.6 <= t < 0.9
+    # Everything above t is correct.
+    assert all(c for cf, c in zip(conf, corr) if cf > t)
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError, match="align"):
+        precision_recall_curve([0.5], [True, False])
+
+
+def test_fallback_when_unreachable():
+    points = precision_recall_curve([0.9, 0.9], [False, False])
+    t = select_threshold(points, 0.99)
+    # No threshold reaches 99% precision on all-wrong data; the fallback
+    # picks the point with the highest precision (all pruned → precision 1.0
+    # by convention at the top threshold).
+    assert t == max(p.threshold for p in points if p.precision == max(q.precision for q in points))
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.0, 1.0), st.booleans()), min_size=2, max_size=40
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_recall_monotone_nonincreasing_in_threshold(data):
+    conf = [c for c, _ in data]
+    corr = [k for _, k in data]
+    points = precision_recall_curve(conf, corr)
+    thresholds = [p.threshold for p in points]
+    assert thresholds == sorted(thresholds)
+    recalls = [p.recall for p in points]
+    for a, b in zip(recalls, recalls[1:]):
+        assert b <= a + 1e-12
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.0, 1.0), st.booleans()), min_size=2, max_size=40
+    ),
+    st.floats(0.5, 1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_selected_threshold_meets_target_when_possible(data, target):
+    conf = [c for c, _ in data]
+    corr = [k for _, k in data]
+    points = precision_recall_curve(conf, corr)
+    t = select_threshold(points, target)
+    reachable = [p for p in points if p.precision >= target]
+    if reachable:
+        assert any(abs(p.threshold - t) < 1e-12 and p.precision >= target for p in points)
+        # Minimality: no smaller qualifying threshold exists.
+        for p in reachable:
+            assert p.threshold >= t - 1e-12

@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import GeneratorSpec, check, dumps, generate, loads
+from repro.sim import CompiledSimulator
+
+
+spec_strategy = st.builds(
+    GeneratorSpec,
+    name=st.just("prop"),
+    flavor=st.sampled_from(["aes_like", "tate_like", "netcard_like", "leon3mp_like"]),
+    n_gates=st.integers(30, 120),
+    n_flops=st.integers(4, 16),
+    n_pis=st.integers(4, 12),
+    n_pos=st.integers(2, 8),
+    seed=st.integers(0, 10 ** 6),
+)
+
+
+@given(spec_strategy)
+@settings(max_examples=15, deadline=None)
+def test_generated_netlists_are_structurally_valid(spec):
+    nl = generate(spec)
+    assert check(nl) == []
+    assert nl.n_gates == spec.n_gates
+    assert nl.n_flops == spec.n_flops
+
+
+@given(spec_strategy)
+@settings(max_examples=8, deadline=None)
+def test_verilog_roundtrip_preserves_behaviour(spec):
+    nl = generate(spec)
+    back = loads(dumps(nl))
+    rng = np.random.default_rng(spec.seed)
+    inputs = rng.integers(0, 2, size=(len(nl.comb_inputs), 8), dtype=np.uint8)
+    va = CompiledSimulator(nl).simulate(inputs)
+    vb = CompiledSimulator(back).simulate(inputs)
+    for oa, ob in zip(nl.observed_nets, back.observed_nets):
+        assert np.array_equal(va[oa], vb[ob])
+
+
+@given(spec_strategy, st.integers(0, 10 ** 6))
+@settings(max_examples=8, deadline=None)
+def test_partition_cut_equals_miv_count(spec, seed):
+    from repro.m3d import apply_partition, extract_mivs, mincut_bipartition
+
+    nl = generate(spec)
+    part = mincut_bipartition(nl, seed=seed)
+    apply_partition(nl, part)
+    assert len(extract_mivs(nl)) == part.cut
+
+
+@given(st.integers(0, 10 ** 6), st.integers(1, 6))
+@settings(max_examples=10, deadline=None)
+def test_backtrace_always_contains_injected_site(seed, n_inject):
+    """Fig. 3 soundness over random designs and injections."""
+    from repro.data import DesignConfig, build_dataset, prepare_design
+
+    spec = GeneratorSpec("bt", "aes_like", 120, 16, 8, 8, seed=seed % 5)
+    design = prepare_design(
+        spec, DesignConfig.standard("Syn-1"), n_chains=4,
+        chains_per_channel=2, max_patterns=48,
+    )
+    ds = build_dataset(design, "bypass", n_inject, seed=seed)
+    from repro.core import backtrace
+
+    for item in ds.items:
+        mask = backtrace(design.het, design.obsmap("bypass"), item.sample.log)
+        v = design.het.node_of_site(item.faults[0].site)
+        assert v is not None and mask[v]
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 30), st.integers(0, 5)), min_size=1, max_size=40)
+)
+@settings(max_examples=40, deadline=None)
+def test_failure_log_roundtrip_datalog(pairs):
+    from repro.tester import FailEntry, FailureLog, dumps_datalog, loads_datalog
+
+    entries = sorted({FailEntry(p, o) for p, o in pairs}, key=lambda e: (e.pattern, e.observation))
+    log = FailureLog(entries=list(entries))
+    _chip, back = loads_datalog(dumps_datalog(log))
+    assert back.entries == log.entries
+
+
+@given(st.integers(0, 10 ** 6))
+@settings(max_examples=10, deadline=None)
+def test_dummy_buffer_preserves_labels_and_grows_by_one(seed):
+    from repro.core import insert_dummy_buffer
+    from repro.nn import GraphData
+
+    rng = np.random.default_rng(seed)
+    k = int(rng.integers(2, 10))
+    g = GraphData(
+        x=rng.normal(size=(k, 13)),
+        edges=(rng.integers(0, k, size=k), rng.integers(0, k, size=k)),
+        y=int(rng.integers(0, 2)),
+        node_y=rng.integers(0, 2, size=k).astype(float),
+        node_mask=rng.integers(0, 2, size=k).astype(bool),
+        meta={"nodes": np.arange(k)},
+    )
+    node = int(rng.integers(0, k))
+    out = insert_dummy_buffer(g, node)
+    assert out.n_nodes == k + 1
+    assert out.y == g.y
+    assert np.array_equal(out.node_y[:k], g.node_y)
+    assert not out.node_mask[k]
+    # Edge count grows by exactly one (host -> buffer).
+    assert len(out.edges[0]) == len(g.edges[0]) + 1
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_pattern_select_concat_roundtrip(data):
+    from repro.atpg import PatternSet
+
+    n_in = data.draw(st.integers(1, 6))
+    n_pat = data.draw(st.integers(1, 10))
+    rng = np.random.default_rng(data.draw(st.integers(0, 100)))
+    ps = PatternSet(
+        rng.integers(0, 2, size=(n_in, n_pat), dtype=np.uint8),
+        rng.integers(0, 2, size=(n_in, n_pat), dtype=np.uint8),
+    )
+    cols = data.draw(
+        st.lists(st.integers(0, n_pat - 1), min_size=1, max_size=n_pat, unique=True)
+    )
+    sub = ps.select(cols)
+    assert sub.n_patterns == len(cols)
+    both = sub.concat(sub)
+    assert both.n_patterns == 2 * len(cols)
+    assert np.array_equal(both.v1[:, : len(cols)], sub.v1)

@@ -1,0 +1,126 @@
+"""Tests for the GraphSAGE layer and the 3-valued simulator."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GraphClassifier, GraphData, build_batch, make_sage_encoder, softmax_cross_entropy
+from repro.sim import X, forced_nets, simulate3
+from repro.netlist import NetlistBuilder
+
+
+class TestSage:
+    def _graphs(self, rng, n=3):
+        out = []
+        for i in range(n):
+            k = int(rng.integers(3, 7))
+            out.append(
+                GraphData(
+                    x=rng.normal(size=(k, 4)),
+                    edges=(rng.integers(0, k, size=k), rng.integers(0, k, size=k)),
+                    y=i % 2,
+                )
+            )
+        return out
+
+    def test_gradcheck_through_classifier(self):
+        rng = np.random.default_rng(0)
+        graphs = self._graphs(rng)
+        batch = build_batch(graphs)
+        model = GraphClassifier(4, 2, encoder=make_sage_encoder(4, (6, 5), seed=1), seed=2)
+
+        logits = model.forward(batch)
+        _l, dl = softmax_cross_entropy(logits, batch.y)
+        model.zero_grad()
+        model.backward(dl)
+
+        eps = 1e-6
+        worst = 0.0
+        for p in model.parameters():
+            flat, grad = p.value.ravel(), p.grad.ravel()
+            for i in np.linspace(0, flat.size - 1, 6).astype(int):
+                old = flat[i]
+                flat[i] = old + eps
+                lp = softmax_cross_entropy(model.forward(batch), batch.y)[0]
+                flat[i] = old - eps
+                lm = softmax_cross_entropy(model.forward(batch), batch.y)[0]
+                flat[i] = old
+                num = (lp - lm) / (2 * eps)
+                if abs(num) > 1e-9:
+                    worst = max(worst, abs(num - grad[i]) / (abs(num) + 1e-9))
+        assert worst < 1e-4
+
+    def test_learns_separable_data(self):
+        from repro.core.training import train_graph_classifier
+
+        rng = np.random.default_rng(1)
+        graphs = []
+        for i in range(60):
+            y = i % 2
+            k = 5
+            x = rng.normal(size=(k, 4)) * 0.1
+            x[:, 1] = y
+            graphs.append(GraphData(x=x, edges=(np.arange(4), np.arange(1, 5)), y=y))
+        model = GraphClassifier(4, 2, encoder=make_sage_encoder(4, (8,), seed=0), seed=0)
+        train_graph_classifier(model, graphs, epochs=25, lr=0.05, seed=0)
+        batch = build_batch(graphs)
+        acc = np.mean(np.argmax(model.forward(batch), axis=1) == batch.y)
+        assert acc > 0.9
+
+
+class TestThreeValued:
+    @pytest.fixture
+    def gate(self):
+        b = NetlistBuilder("tv")
+        a = b.add_primary_input("a")
+        c = b.add_primary_input("b")
+        y = b.add_gate("AND2", [a, c])
+        z = b.add_gate("XOR2", [a, c])
+        b.mark_primary_output(y)
+        b.mark_primary_output(z)
+        return b.finish(), a, c, y, z
+
+    def test_controlling_value_forces_output(self, gate):
+        nl, a, c, y, z = gate
+        values = simulate3(nl, {a: 0})
+        assert values[y] == 0  # AND with a 0 input is forced
+        assert values[z] == X  # XOR needs both inputs
+
+    def test_fully_specified_matches_two_valued(self, gate):
+        nl, a, c, y, z = gate
+        from repro.sim import CompiledSimulator
+
+        sim = CompiledSimulator(nl)
+        for va in (0, 1):
+            for vb in (0, 1):
+                v3 = simulate3(nl, {a: va, c: vb})
+                v2 = sim.simulate(np.array([[va], [vb]], dtype=np.uint8))
+                assert v3[y] == v2[y][0]
+                assert v3[z] == v2[z][0]
+
+    def test_forced_nets(self, gate):
+        nl, a, c, y, z = gate
+        forced = forced_nets(nl, {a: 0})
+        assert forced[y] == 0
+        assert z not in forced
+        assert forced[a] == 0
+
+    def test_bad_assignment_rejected(self, gate):
+        nl, a, c, y, z = gate
+        with pytest.raises(ValueError, match="not a combinational input"):
+            simulate3(nl, {y: 1})
+        with pytest.raises(ValueError, match="0 or 1"):
+            simulate3(nl, {a: 2})
+
+    def test_monotone_x_reduction(self, small_netlist):
+        """Specifying more inputs never un-forces a net."""
+        rng = np.random.default_rng(0)
+        inputs = small_netlist.comb_inputs
+        partial = {n: int(rng.integers(0, 2)) for n in inputs[: len(inputs) // 2]}
+        full = dict(partial)
+        for n in inputs:
+            full.setdefault(n, int(rng.integers(0, 2)))
+        v_partial = simulate3(small_netlist, partial)
+        v_full = simulate3(small_netlist, full)
+        known = v_partial != X
+        assert np.array_equal(v_partial[known], v_full[known])
+        assert (v_full != X).all()

@@ -1,0 +1,106 @@
+"""Unit and property tests for the synthesis transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import GeneratorSpec, check, generate, toy_netlist
+from repro.sim import CompiledSimulator
+from repro.synth import insert_test_points, resynthesize
+
+
+def _io_behaviour(nl, inputs):
+    values = CompiledSimulator(nl).simulate(inputs)
+    return np.stack([values[o] for o in nl.observed_nets])
+
+
+class TestResynthesize:
+    def test_structurally_valid(self, small_netlist):
+        out = resynthesize(small_netlist, seed=1)
+        assert check(out) == []
+
+    def test_function_preserved_toy(self, toy):
+        out = resynthesize(toy, seed=1, rewrite_probability=1.0)
+        rng = np.random.default_rng(0)
+        inputs = rng.integers(0, 2, size=(len(toy.comb_inputs), 64), dtype=np.uint8)
+        assert np.array_equal(_io_behaviour(toy, inputs), _io_behaviour(out, inputs))
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=10, deadline=None)
+    def test_function_preserved_random_seeds(self, seed):
+        nl = generate(GeneratorSpec("p", "leon3mp_like", 60, 8, 6, 6, seed=4))
+        out = resynthesize(nl, seed=seed, rewrite_probability=0.8)
+        rng = np.random.default_rng(seed)
+        inputs = rng.integers(0, 2, size=(len(nl.comb_inputs), 32), dtype=np.uint8)
+        assert np.array_equal(_io_behaviour(nl, inputs), _io_behaviour(out, inputs))
+
+    def test_structure_changes(self, small_netlist):
+        out = resynthesize(small_netlist, seed=1, rewrite_probability=0.8)
+        assert out.n_gates != small_netlist.n_gates
+
+    def test_deterministic(self, small_netlist):
+        a = resynthesize(small_netlist, seed=5)
+        b = resynthesize(small_netlist, seed=5)
+        assert [g.cell.name for g in a.gates] == [g.cell.name for g in b.gates]
+
+    def test_boundary_preserved(self, small_netlist):
+        out = resynthesize(small_netlist, seed=2)
+        assert len(out.primary_inputs) == len(small_netlist.primary_inputs)
+        assert len(out.primary_outputs) == len(small_netlist.primary_outputs)
+        assert out.n_flops == small_netlist.n_flops
+
+
+class TestTestPoints:
+    def test_adds_flops_within_budget(self, small_netlist):
+        out = insert_test_points(small_netlist, budget_fraction=0.05)
+        added = out.n_flops - small_netlist.n_flops
+        assert 1 <= added <= max(1, int(0.05 * small_netlist.n_gates))
+        assert check(out) == []
+
+    def test_gate_logic_untouched(self, small_netlist):
+        out = insert_test_points(small_netlist)
+        assert out.n_gates == small_netlist.n_gates
+        rng = np.random.default_rng(1)
+        inputs = rng.integers(
+            0, 2, size=(len(small_netlist.comb_inputs), 16), dtype=np.uint8
+        )
+        # Original inputs are a prefix of the new ones (TP flops appended).
+        padded = np.vstack(
+            [inputs, rng.integers(0, 2, size=(out.n_flops - small_netlist.n_flops, 16), dtype=np.uint8)]
+        )
+        vals_old = CompiledSimulator(small_netlist).simulate(inputs)
+        vals_new = CompiledSimulator(out).simulate(padded)
+        for o in small_netlist.primary_outputs:
+            assert np.array_equal(vals_old[o], vals_new[o])
+
+    def test_picks_least_observable_nets(self, small_netlist):
+        """Chosen nets are among the farthest from existing observations."""
+        from repro.netlist import bfs_distance_from_observation
+        from repro.netlist.netlist import EXTERNAL_DRIVER
+
+        nearest = {}
+        for obs in small_netlist.observed_nets:
+            dist, _ = bfs_distance_from_observation(small_netlist, obs)
+            for net, d in dist.items():
+                if net not in nearest or d < nearest[net]:
+                    nearest[net] = d
+        out = insert_test_points(small_netlist, budget_fraction=0.02)
+        new_flops = out.flops[small_netlist.n_flops :]
+        eligible = [
+            nearest.get(n.id, 10 ** 6)
+            for n in small_netlist.nets
+            if n.driver != EXTERNAL_DRIVER and n.id not in set(small_netlist.observed_nets)
+        ]
+        worst = sorted(eligible, reverse=True)[: len(new_flops)]
+        chosen = sorted((nearest.get(f.d_net, 10 ** 6) for f in new_flops), reverse=True)
+        assert chosen == worst
+
+    def test_improves_observability(self, small_netlist):
+        """TPI should not reduce ATPG fault coverage."""
+        from repro.atpg import generate_tdf_patterns
+
+        base = generate_tdf_patterns(small_netlist, seed=0, max_patterns=64)
+        tpi = insert_test_points(small_netlist, budget_fraction=0.03)
+        after = generate_tdf_patterns(tpi, seed=0, max_patterns=64)
+        assert after.fault_coverage >= base.fault_coverage - 0.03

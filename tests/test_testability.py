@@ -1,0 +1,103 @@
+"""Unit tests for SCOAP testability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import NetlistBuilder, compute_testability, toy_netlist
+from repro.netlist.testability import INF
+
+
+def test_inputs_cost_one(toy):
+    t = compute_testability(toy)
+    for net in toy.comb_inputs:
+        assert t.cc0[net] == 1
+        assert t.cc1[net] == 1
+
+
+def test_observed_nets_free_to_observe(toy):
+    t = compute_testability(toy)
+    for net in toy.observed_nets:
+        assert t.co[net] == 0
+
+
+def test_and_gate_controllability():
+    b = NetlistBuilder("t")
+    a = b.add_primary_input("a")
+    c = b.add_primary_input("b")
+    y = b.add_gate("AND2", [a, c])
+    b.mark_primary_output(y)
+    nl = b.finish()
+    t = compute_testability(nl)
+    # CC0(AND) = min(CC0 inputs) + 1 = 2; CC1 = sum(CC1 inputs) + 1 = 3.
+    assert t.cc0[y] == 2
+    assert t.cc1[y] == 3
+
+
+def test_nand_inverts_controllability():
+    b = NetlistBuilder("t")
+    a = b.add_primary_input("a")
+    c = b.add_primary_input("b")
+    y = b.add_gate("NAND2", [a, c])
+    b.mark_primary_output(y)
+    t = compute_testability(b.finish())
+    assert t.cc0[y] == 3  # all inputs to 1
+    assert t.cc1[y] == 2  # any input to 0
+
+
+def test_xor_controllability():
+    b = NetlistBuilder("t")
+    a = b.add_primary_input("a")
+    c = b.add_primary_input("b")
+    y = b.add_gate("XOR2", [a, c])
+    b.mark_primary_output(y)
+    t = compute_testability(b.finish())
+    # Even parity (00 or 11): 1+1=2; odd parity: 1+1=2 -> +1 each.
+    assert t.cc0[y] == 3
+    assert t.cc1[y] == 3
+
+
+def test_observability_grows_with_depth():
+    b = NetlistBuilder("t")
+    a = b.add_primary_input("a")
+    c = b.add_primary_input("b")
+    d = b.add_primary_input("c")
+    x = b.add_gate("AND2", [a, c])
+    y = b.add_gate("AND2", [x, d])
+    b.mark_primary_output(y)
+    t = compute_testability(b.finish())
+    assert t.co[y] == 0
+    assert t.co[x] == t.co[y] + t.cc1[d] + 1
+    assert t.co[a] == t.co[x] + t.cc1[c] + 1
+    assert t.co[a] > t.co[x] > t.co[y]
+
+
+def test_unobservable_net_is_inf():
+    b = NetlistBuilder("t")
+    a = b.add_primary_input("a")
+    dead = b.add_gate("INV", [a])
+    live = b.add_gate("BUF", [a])
+    b.mark_primary_output(live)
+    nl = b.finish()
+    # `dead` output drives nothing and is not observed.
+    t = compute_testability(nl)
+    assert t.co[dead] >= INF
+    assert t.co[live] == 0
+
+
+def test_hardest_lists(small_netlist):
+    t = compute_testability(small_netlist)
+    hard_obs = t.hardest_to_observe(5)
+    assert len(hard_obs) == 5
+    costs = [t.co[n] for n in hard_obs]
+    assert costs == sorted(costs, reverse=True)
+    hard_ctl = t.hardest_to_control(5)
+    assert len(hard_ctl) == 5
+
+
+def test_all_cells_have_rules(small_netlist):
+    # The generated design mixes every flavor; this must not raise.
+    t = compute_testability(small_netlist)
+    assert np.all(t.cc0[small_netlist.comb_inputs] == 1)
+    for g in small_netlist.gates:
+        assert t.cc0[g.out] < INF
+        assert t.cc1[g.out] < INF

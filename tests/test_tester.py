@@ -1,0 +1,80 @@
+"""Unit tests for failure logs and injection campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.dft import ObservationMap, build_scan_chains
+from repro.m3d import DefectSampler, extract_mivs
+from repro.tester import FailEntry, FailureLog, InjectionCampaign
+
+
+@pytest.fixture
+def campaign(prepared):
+    obsmap = prepared.obsmap("bypass")
+    sampler = DefectSampler(prepared.nl, prepared.mivs, seed=11)
+    return InjectionCampaign(prepared.machine, prepared.good, obsmap, sampler)
+
+
+class TestFailureLog:
+    def test_from_detections_sorted(self, prepared):
+        obsmap = prepared.obsmap("bypass")
+        d0 = prepared.nl.flops[0].d_net
+        n_pat = prepared.good.n_patterns
+        mask = np.zeros(n_pat, dtype=bool)
+        mask[[3, 1]] = True
+        log = FailureLog.from_detections(obsmap, {d0: mask})
+        assert [e.pattern for e in log.entries] == [1, 3]
+        assert log.failing_patterns == [1, 3]
+
+    def test_by_pattern(self):
+        log = FailureLog(entries=[FailEntry(0, 1), FailEntry(0, 2), FailEntry(3, 1)])
+        assert log.by_pattern() == {0: [1, 2], 3: [1]}
+        assert log.observations_of_pattern(0) == [1, 2]
+
+    def test_len_iter(self):
+        log = FailureLog(entries=[FailEntry(0, 1)])
+        assert len(log) == 1
+        assert list(log) == [FailEntry(0, 1)]
+
+
+class TestInjectionCampaign:
+    def test_single_fault_samples(self, campaign):
+        samples = campaign.single_fault_samples(10)
+        assert len(samples) == 10
+        for s in samples:
+            assert len(s.faults) == 1
+            assert len(s.log) > 0
+            assert not s.log.compacted
+
+    def test_miv_fraction_zero_means_gate_faults(self, campaign):
+        samples = campaign.single_fault_samples(10, miv_fraction=0.0)
+        assert all(s.faults[0].site.kind != "miv" for s in samples)
+
+    def test_miv_samples_all_miv(self, campaign):
+        samples = campaign.miv_fault_samples(5)
+        assert len(samples) == 5
+        assert all(s.faults[0].site.kind == "miv" for s in samples)
+
+    def test_multi_fault_cluster_sizes(self, campaign):
+        samples = campaign.multi_fault_samples(5)
+        for s in samples:
+            assert 2 <= len(s.faults) <= 5
+            assert len(s.log) > 0
+
+    def test_compacted_logs_flagged(self, prepared):
+        obsmap = prepared.obsmap("compacted")
+        sampler = DefectSampler(prepared.nl, prepared.mivs, seed=12)
+        camp = InjectionCampaign(prepared.machine, prepared.good, obsmap, sampler)
+        samples = camp.single_fault_samples(5)
+        assert all(s.log.compacted for s in samples)
+
+    def test_deterministic(self, prepared):
+        def make():
+            obsmap = prepared.obsmap("bypass")
+            sampler = DefectSampler(prepared.nl, prepared.mivs, seed=42)
+            camp = InjectionCampaign(prepared.machine, prepared.good, obsmap, sampler)
+            return camp.single_fault_samples(8)
+
+        a, b = make(), make()
+        assert [s.faults[0].label for s in a] == [s.faults[0].label for s in b]
+        assert [len(s.log) for s in a] == [len(s.log) for s in b]

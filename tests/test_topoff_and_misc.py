@@ -1,0 +1,50 @@
+"""Tests for the PODEM ATPG top-off, SCOAP-based TPI, and misc extensions."""
+
+import numpy as np
+import pytest
+
+from repro.atpg import generate_tdf_patterns
+from repro.netlist import GeneratorSpec, check, generate
+from repro.synth import insert_test_points
+
+
+def test_deterministic_topoff_never_reduces_coverage(small_netlist):
+    base = generate_tdf_patterns(
+        small_netlist, seed=0, max_patterns=48, target_coverage=1.0
+    )
+    topped = generate_tdf_patterns(
+        small_netlist, seed=0, max_patterns=96, target_coverage=1.0,
+        deterministic_topoff=True,
+    )
+    assert topped.fault_coverage >= base.fault_coverage
+    assert topped.patterns.n_patterns >= base.patterns.n_patterns
+
+
+def test_topoff_closes_random_resistant_gap():
+    """With a tiny random budget, PODEM should add coverage."""
+    nl = generate(GeneratorSpec("tp", "leon3mp_like", 150, 20, 10, 10, seed=9))
+    base = generate_tdf_patterns(nl, seed=0, batch_size=4, max_patterns=6,
+                                 target_coverage=1.0)
+    topped = generate_tdf_patterns(nl, seed=0, batch_size=4, max_patterns=64,
+                                   target_coverage=1.0, deterministic_topoff=True)
+    assert topped.fault_coverage > base.fault_coverage
+
+
+def test_scoap_tpi_valid_and_distinct(small_netlist):
+    by_dist = insert_test_points(small_netlist, budget_fraction=0.03, method="distance")
+    by_scoap = insert_test_points(small_netlist, budget_fraction=0.03, method="scoap")
+    assert check(by_scoap) == []
+    assert by_scoap.n_flops == by_dist.n_flops
+    # Both pick observation points; the criteria need not agree exactly but
+    # must both leave gate logic untouched.
+    assert by_scoap.n_gates == small_netlist.n_gates
+
+
+def test_tpi_unknown_method_rejected(small_netlist):
+    with pytest.raises(ValueError, match="unknown test-point method"):
+        insert_test_points(small_netlist, method="magic")
+
+
+def test_generator_distinct_fanins(small_netlist):
+    for g in small_netlist.gates:
+        assert len(set(g.fanin)) == len(g.fanin), f"duplicate fanin on {g.name}"

@@ -1,0 +1,93 @@
+"""Unit tests for cones, BFS distances, and reachability."""
+
+import pytest
+
+from repro.netlist import (
+    bfs_distance_from_observation,
+    fanin_cone_nets,
+    fanin_nets,
+    fanout_cone_gates,
+    reachable_observations,
+    sort_gates_topologically,
+    toy_netlist,
+)
+
+
+@pytest.fixture
+def names(toy):
+    gates = {g.name: g for g in toy.gates}
+    nets = {n.name: n for n in toy.nets}
+    return gates, nets
+
+
+def test_fanin_nets_of_gate_output(toy, names):
+    gates, _ = names
+    g2 = gates["g2"]
+    assert set(fanin_nets(toy, g2.out)) == set(g2.fanin)
+
+
+def test_fanin_nets_of_pi_empty(toy):
+    assert fanin_nets(toy, toy.primary_inputs[0]) == []
+
+
+def test_fanin_cone_contains_inputs(toy, names):
+    gates, _ = names
+    cone = fanin_cone_nets(toy, gates["g2"].out)
+    assert set(toy.primary_inputs[:4]) <= cone
+    assert gates["g0"].out in cone and gates["g1"].out in cone
+
+
+def test_fanin_cone_excludes_unrelated(toy, names):
+    gates, _ = names
+    cone = fanin_cone_nets(toy, gates["g0"].out)
+    assert gates["g1"].out not in cone
+    assert toy.flops[0].q_net not in cone
+
+
+def test_fanout_cone_topo_sorted(toy, names):
+    gates, _ = names
+    cone = fanout_cone_gates(toy, [gates["g1"].id])
+    # g1 feeds g2 and g3, g3 feeds g4.
+    assert set(cone) == {gates["g1"].id, gates["g2"].id, gates["g3"].id, gates["g4"].id}
+    pos = {gid: i for i, gid in enumerate(cone)}
+    assert pos[gates["g1"].id] < pos[gates["g3"].id] < pos[gates["g4"].id]
+
+
+def test_sort_gates_topologically_subset(toy, names):
+    gates, _ = names
+    subset = {gates["g4"].id, gates["g0"].id}
+    ordered = sort_gates_topologically(toy, subset)
+    assert ordered == [gates["g0"].id, gates["g4"].id]
+
+
+def test_bfs_distances(toy, names):
+    gates, _ = names
+    po = toy.primary_outputs[0]  # g2 output
+    dist, mivs = bfs_distance_from_observation(toy, po)
+    assert dist[po] == 0
+    assert dist[gates["g0"].out] == 1
+    assert dist[toy.primary_inputs[0]] == 2
+    assert all(v == 0 for v in mivs.values())
+
+
+def test_bfs_miv_counting(toy, names):
+    gates, _ = names
+    po = toy.primary_outputs[0]
+    miv_nets = {gates["g0"].out}
+    _dist, mivs = bfs_distance_from_observation(toy, po, miv_nets)
+    assert mivs[gates["g0"].out] == 1
+    assert mivs[toy.primary_inputs[0]] == 1  # path goes through the MIV net
+    assert mivs[gates["g1"].out] == 0
+
+
+def test_reachable_observations(toy, names):
+    gates, _ = names
+    # g0 only reaches the PO; q0 reaches both PO-side (via g3? no) and flop D.
+    assert reachable_observations(toy, gates["g0"].out) == [toy.primary_outputs[0]]
+    q_reach = reachable_observations(toy, toy.flops[0].q_net)
+    assert toy.flops[0].d_net in q_reach
+
+
+def test_reachable_includes_self_for_observed(toy):
+    d = toy.flops[0].d_net
+    assert d in reachable_observations(toy, d)

@@ -1,0 +1,52 @@
+"""Tests for early stopping / validation in the shared training loop."""
+
+import numpy as np
+
+from repro.core.training import train_graph_classifier
+from repro.nn import GraphClassifier, GraphData
+
+
+def _graphs(rng, n, noise=0.1):
+    out = []
+    for i in range(n):
+        y = i % 2
+        k = int(rng.integers(4, 8))
+        x = rng.normal(size=(k, 6)) * noise
+        x[:, 0] = 2.0 * y - 1.0 + rng.normal(size=k) * noise
+        out.append(GraphData(x=x, edges=(np.arange(k - 1), np.arange(1, k)), y=y))
+    return out
+
+
+def test_early_stopping_halts_before_budget():
+    rng = np.random.default_rng(0)
+    train = _graphs(rng, 40)
+    val = _graphs(rng, 16)
+    model = GraphClassifier(6, 2, hidden=(8,), seed=0)
+    history = train_graph_classifier(
+        model, train, epochs=200, lr=0.05, seed=0, val_graphs=val, patience=5
+    )
+    assert len(history) < 200  # separable data converges long before budget
+
+
+def test_best_weights_restored():
+    """The restored model matches the best validation accuracy seen."""
+    from repro.nn import build_batch
+
+    rng = np.random.default_rng(1)
+    train = _graphs(rng, 40)
+    val = _graphs(rng, 20)
+    model = GraphClassifier(6, 2, hidden=(8,), seed=0)
+    train_graph_classifier(
+        model, train, epochs=60, lr=0.05, seed=0, val_graphs=val, patience=4
+    )
+    batch = build_batch(val)
+    acc = float(np.mean(np.argmax(model.forward(batch), axis=1) == batch.y))
+    assert acc > 0.9
+
+
+def test_no_validation_keeps_old_behaviour():
+    rng = np.random.default_rng(2)
+    train = _graphs(rng, 30)
+    model = GraphClassifier(6, 2, hidden=(8,), seed=0)
+    history = train_graph_classifier(model, train, epochs=12, lr=0.05, seed=0)
+    assert len(history) == 12

@@ -1,0 +1,52 @@
+"""Unit tests for netlist structural validation."""
+
+import pytest
+
+from repro.netlist import NetlistError, check, toy_netlist, validate
+
+
+def test_clean_netlist_passes(toy):
+    assert check(toy) == []
+    validate(toy)  # must not raise
+
+
+def test_detects_dangling_gate_output(toy):
+    # Detach the PO so g2's output dangles.
+    toy.primary_outputs.clear()
+    problems = check(toy)
+    assert any("dangles" in p for p in problems)
+    with pytest.raises(NetlistError):
+        validate(toy)
+
+
+def test_detects_missing_sink_entry(toy):
+    toy.nets[toy.gates[2].fanin[0]].sinks.clear()
+    problems = check(toy)
+    assert any("missing" in p for p in problems)
+
+
+def test_detects_driver_mismatch(toy):
+    g = toy.gates[0]
+    toy.nets[g.out].driver = toy.gates[1].id
+    problems = check(toy)
+    assert any("claims driver" in p for p in problems)
+
+
+def test_detects_undriven_net(toy):
+    toy.nets[toy.primary_inputs[0]].driver = -1
+    toy.primary_inputs.pop(0)
+    problems = check(toy)
+    assert any("no driver" in p for p in problems)
+
+
+def test_detects_bad_flop_reference(toy):
+    toy.flops[0].d_net = 999
+    problems = check(toy)
+    assert any("bad nets" in p for p in problems)
+
+
+def test_detects_wrong_arity(toy):
+    toy.gates[0].fanin.append(0)
+    toy.nets[0].sinks.append((0, 2))
+    problems = check(toy)
+    assert any("fanins" in p for p in problems)
