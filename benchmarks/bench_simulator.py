@@ -1,0 +1,150 @@
+"""Bench: bit-packed fault-simulation engine vs. the uint8 reference.
+
+Measures, on one generated default-scale benchmark with 256 two-pattern
+tests:
+
+* good-machine two-pattern simulation throughput (patterns/s), and
+* steady-state ``FaultMachine.propagate`` throughput (faults/s) over the
+  full TDF fault list (stems + branches, both polarities),
+
+for the packed engine and for ``CompiledSimulator(nl, packed=False)``.
+Detection maps of every fault are verified bitwise identical between the
+engines before anything is timed, and the measured numbers are snapshotted
+to ``BENCH_simulator.json`` at the repo root.
+
+At ``REPRO_SCALE=default`` the packed propagate throughput must be at least
+10x the uint8 reference; ``REPRO_SCALE=tiny`` runs the same flow on a small
+design as a smoke test without the speedup floor.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import run_once
+
+from repro.atpg import enumerate_faults
+from repro.netlist import GeneratorSpec, generate
+from repro.sim import CompiledSimulator, FaultMachine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT = REPO_ROOT / "BENCH_simulator.json"
+
+#: Default scale mirrors the AES-like point of the experiment suite's
+#: design matrix (700 gates); tiny is a smoke-sized stand-in.
+SPECS = {
+    "default": GeneratorSpec("bench_sim", "aes_like", 700, 80, 32, 32, seed=3),
+    "tiny": GeneratorSpec("bench_sim", "aes_like", 120, 12, 8, 8, seed=3),
+}
+N_PATTERNS = {"default": 256, "tiny": 64}
+
+
+def _setup(scale):
+    spec = SPECS.get(scale, SPECS["tiny"])
+    n_patterns = N_PATTERNS.get(scale, 64)
+    nl = generate(spec)
+    faults = enumerate_faults(nl)
+    rng = np.random.default_rng(7)
+    n_in = len(nl.comb_inputs)
+    v1 = rng.integers(0, 2, size=(n_in, n_patterns), dtype=np.uint8)
+    v2 = rng.integers(0, 2, size=(n_in, n_patterns), dtype=np.uint8)
+    return nl, faults, v1, v2
+
+
+def _sweep(machine, faults, good):
+    for fault in faults:
+        machine.propagate(fault, good)
+
+
+def _bench_engines(scale):
+    nl, faults, v1, v2 = _setup(scale)
+    sim_p = CompiledSimulator(nl, packed=True)
+    sim_u = CompiledSimulator(nl, packed=False)
+    fm_p, fm_u = FaultMachine(sim_p), FaultMachine(sim_u)
+
+    # Good-machine simulation throughput (median of a few repeats).
+    n_patterns = v1.shape[1]
+    sim_times = {}
+    for name, sim in (("packed", sim_p), ("uint8", sim_u)):
+        times = []
+        for _ in range(15):
+            t0 = time.perf_counter()
+            sim.simulate_pair(v1, v2)
+            times.append(time.perf_counter() - t0)
+        sim_times[name] = float(np.median(times))
+    good_p = sim_p.simulate_pair(v1, v2)
+    good_u = sim_u.simulate_pair(v1, v2)
+
+    # Correctness gate: bitwise-identical detection maps, every fault.
+    mismatches = 0
+    for fault in faults:
+        d_p = fm_p.propagate(fault, good_p)
+        d_u = fm_u.propagate(fault, good_u)
+        if set(d_p) != set(d_u) or any(
+            not np.array_equal(d_p[k], d_u[k]) for k in d_p
+        ):
+            mismatches += 1
+    assert mismatches == 0, f"{mismatches} faults with non-identical detection maps"
+
+    # Steady-state propagate throughput: the verification pass above warmed
+    # every cone plan / generated function, so this measures the cached
+    # regime the ATPG and diagnosis loops live in.
+    prop = {}
+    for name, fm, good in (("packed", fm_p, good_p), ("uint8", fm_u, good_u)):
+        t0 = time.perf_counter()
+        _sweep(fm, faults, good)
+        dt = time.perf_counter() - t0
+        prop[name] = {"seconds": dt, "faults_per_s": len(faults) / dt}
+
+    return {
+        "scale": scale,
+        "design": {
+            "name": SPECS.get(scale, SPECS["tiny"]).name,
+            "n_gates": nl.n_gates,
+            "n_nets": nl.n_nets,
+            "n_faults": len(faults),
+            "n_patterns": n_patterns,
+        },
+        "good_machine": {
+            name: {
+                "seconds": t,
+                "patterns_per_s": n_patterns / t,
+            }
+            for name, t in sim_times.items()
+        },
+        "propagate": prop,
+        "speedup": {
+            "good_machine": sim_times["uint8"] / sim_times["packed"],
+            "propagate": prop["packed"]["faults_per_s"] / prop["uint8"]["faults_per_s"],
+        },
+        "detection_maps_identical": True,
+    }
+
+
+def test_simulator_throughput(benchmark, scale):
+    result = run_once(benchmark, _bench_engines, scale)
+    d = result["design"]
+    print(
+        f"\n[{scale}] {d['n_gates']} gates, {d['n_faults']} faults, "
+        f"{d['n_patterns']} patterns"
+    )
+    for section in ("good_machine", "propagate"):
+        for engine, row in result[section].items():
+            rate_key = "patterns_per_s" if section == "good_machine" else "faults_per_s"
+            print(
+                f"  {section:12s} {engine:6s}: {row[rate_key]:10.1f} "
+                f"{rate_key.replace('_per_s', '/s')}  ({row['seconds']:.3f}s)"
+            )
+    print(
+        f"  speedup: good-machine {result['speedup']['good_machine']:.2f}x, "
+        f"propagate {result['speedup']['propagate']:.2f}x"
+    )
+    assert result["detection_maps_identical"]
+    if scale == "default":
+        # Only the paper-shaped run refreshes the committed snapshot; smoke
+        # scales would clobber it with non-representative numbers.
+        SNAPSHOT.write_text(json.dumps(result, indent=2) + "\n")
+        assert result["speedup"]["propagate"] >= 10.0

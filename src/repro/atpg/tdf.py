@@ -53,6 +53,7 @@ def generate_tdf_patterns(
     target_coverage: float = 0.95,
     sim: Optional[CompiledSimulator] = None,
     deterministic_topoff: bool = False,
+    packed: bool = True,
 ) -> AtpgResult:
     """Generate a compact TDF pattern set for ``nl``.
 
@@ -67,12 +68,14 @@ def generate_tdf_patterns(
         deterministic_topoff: After the random loop, run PODEM on the
             remaining undetected stem faults and append its targeted pattern
             pairs (the commercial random-then-deterministic flow).
+        packed: Engine for the fallback simulator when ``sim`` is not given
+            (bit-packed by default; ``False`` selects the uint8 reference).
 
     Returns:
         An :class:`AtpgResult` with the selected patterns and coverage.
     """
     rng = np.random.default_rng(seed)
-    sim = sim or CompiledSimulator(nl)
+    sim = sim or CompiledSimulator(nl, packed=packed)
     machine = FaultMachine(sim)
     faults = enumerate_faults(nl, mivs=mivs, include_branches=False)
     n_faults = len(faults)

@@ -107,6 +107,7 @@ def prepare_design(
     atpg_seed: int = 3,
     max_patterns: int = 256,
     target_coverage: float = 0.95,
+    packed: bool = True,
 ) -> PreparedDesign:
     """Run the Fig. 4 flow for one benchmark/configuration point.
 
@@ -134,7 +135,7 @@ def prepare_design(
     mivs = extract_mivs(nl)
 
     scan = build_scan_chains(nl, n_chains, chains_per_channel, seed=0)
-    sim = CompiledSimulator(nl)
+    sim = CompiledSimulator(nl, packed=packed)
     atpg = generate_tdf_patterns(
         nl,
         seed=atpg_seed,

@@ -132,7 +132,10 @@ class EffectCauseDiagnoser:
         if len(passing) > self.n_passing_sample:
             passing = np.sort(rng.choice(passing, self.n_passing_sample, replace=False))
         cols = np.concatenate([failing, passing])
-        sub = TwoPatternResult(self.good.v1[:, cols], self.good.v2[:, cols])
+        # subset() keeps the parent's representation: with the packed engine
+        # the selected columns are re-packed once here, so every per-site
+        # propagate below runs word-parallel.
+        sub = self.good.subset(cols)
         return cols, sub
 
     def _predicted_fails(

@@ -9,16 +9,33 @@ patterns.
 Sequential elements (scan flops) are *not* cells: the full-scan abstraction
 in :mod:`repro.netlist.netlist` models flops as pseudo-input/pseudo-output
 boundary objects of the combinational core.
+
+Each cell additionally carries (or derives) a *packed* evaluation function
+for the bit-packed engine, operating on ``uint64`` words that hold 64
+patterns each.  AND/OR/XOR/NOT are native bitwise word operations; any cell
+without a hand-written packed kernel gets one derived from its truth table
+as a sum of minterms (library cells have at most 4 inputs, so at most 16
+minterms).
 """
 
 from __future__ import annotations
 
+import functools
+import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["CellType", "CELL_LIBRARY", "cell", "cell_names", "INVERTING_CELLS"]
+__all__ = [
+    "CellType",
+    "CELL_LIBRARY",
+    "cell",
+    "cell_names",
+    "packed_eval",
+    "PackedFn",
+    "INVERTING_CELLS",
+]
 
 EvalFn = Callable[[Sequence[np.ndarray]], np.ndarray]
 
@@ -36,6 +53,10 @@ class CellType:
             for area balancing.
         symmetric: True when all input pins are interchangeable; used by the
             re-synthesis transform to permute pins without changing function.
+        packed_func: Optional word-parallel evaluation ``fn(ins, full)`` over
+            packed words (uint64 arrays or Python big-ints; ``full`` is the
+            all-ones mask, so NOT is ``full ^ x``).  When absent,
+            :func:`packed_eval` derives one from the truth table.
     """
 
     name: str
@@ -43,6 +64,7 @@ class CellType:
     func: EvalFn = field(repr=False)
     area: float = 1.0
     symmetric: bool = True
+    packed_func: Optional["PackedFn"] = field(default=None, repr=False, compare=False)
 
     def evaluate(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
         """Evaluate the cell on pattern-parallel input arrays."""
@@ -96,25 +118,176 @@ def _oai21(ins: Sequence[np.ndarray]) -> np.ndarray:
     return _not((a | b) & c)
 
 
+# ---------------------------------------------------------------- packed ops
+# Word-parallel kernels.  A packed kernel has signature ``fn(ins, full)``
+# where ``ins`` are packed words and ``full`` is the all-ones mask of the
+# word type.  NOT is realized as ``full ^ x`` (never ``^ 1``, which would
+# flip only the lowest bit lane), which makes every kernel *algebra
+# generic*: it runs unchanged on uint64 numpy arrays (64 patterns per word,
+# ``full = np.uint64(2**64 - 1)``) and on arbitrary-precision Python ints
+# (all patterns in one machine word, ``full = 2**(64*n_words) - 1``) — the
+# latter is what the per-fault cone re-simulation uses, since big-int
+# bitwise ops dodge numpy's per-call dispatch overhead on tiny arrays.
+
+PackedFn = Callable[[Sequence, object], object]
+
+
+def _pand(ins: Sequence, full) -> object:
+    out = ins[0]
+    for x in ins[1:]:
+        out = out & x
+    return out
+
+
+def _por(ins: Sequence, full) -> object:
+    out = ins[0]
+    for x in ins[1:]:
+        out = out | x
+    return out
+
+
+def _pxor(ins: Sequence, full) -> object:
+    out = ins[0]
+    for x in ins[1:]:
+        out = out ^ x
+    return out
+
+
+def _pbuf(ins: Sequence, full) -> object:
+    return ins[0] & full
+
+
+def _pinv(ins: Sequence, full) -> object:
+    return full ^ ins[0]
+
+
+def _pnand(ins: Sequence, full) -> object:
+    return full ^ _pand(ins, full)
+
+
+def _pnor(ins: Sequence, full) -> object:
+    return full ^ _por(ins, full)
+
+
+def _pxnor(ins: Sequence, full) -> object:
+    return full ^ _pxor(ins, full)
+
+
+def _pmux2(ins: Sequence, full) -> object:
+    a, b, sel = ins
+    return (a & (full ^ sel)) | (b & sel)
+
+
+def _paoi21(ins: Sequence, full) -> object:
+    a, b, c = ins
+    return full ^ ((a & b) | c)
+
+
+def _poai21(ins: Sequence, full) -> object:
+    a, b, c = ins
+    return full ^ ((a | b) & c)
+
+
+def _truth_table_packed(fn: EvalFn, n_inputs: int) -> PackedFn:
+    """Derive a packed kernel from a cell's scalar truth table.
+
+    Evaluates ``fn`` on all 2^n input combinations once and emits the sum of
+    minterms over word-parallel literals; exact for any cell the uint8 path
+    can express.
+    """
+    minterms = []
+    for bits in itertools.product((0, 1), repeat=n_inputs):
+        probe = [np.array([b], dtype=np.uint8) for b in bits]
+        if int(np.asarray(fn(probe)).ravel()[0]) & 1:
+            minterms.append(bits)
+
+    def packed(ins: Sequence, full) -> object:
+        out = ins[0] ^ ins[0]
+        if len(minterms) == 2 ** n_inputs:
+            return out ^ full
+        for bits in minterms:
+            term = ins[0] if bits[0] else (full ^ ins[0])
+            for b, x in zip(bits[1:], ins[1:]):
+                term = term & (x if b else (full ^ x))
+            out = out | term
+        return out
+
+    return packed
+
+
+@functools.lru_cache(maxsize=None)
+def packed_eval(ct: CellType) -> PackedFn:
+    """The word-parallel evaluation function of a cell (derived if needed)."""
+    if ct.packed_func is not None:
+        return ct.packed_func
+    return _truth_table_packed(ct.func, ct.n_inputs)
+
+
+#: Source templates of the packed kernels, used by the cone code generator
+#: to inline a cell into a straight-line expression.  ``{0}``/``{1}``/…
+#: substitute the packed input operands; ``full`` is the all-ones mask in
+#: scope at the generated call site.  Cells absent here (custom cells) fall
+#: back to a kernel call through :func:`packed_eval`.
+_PACKED_EXPRS: Dict[str, str] = {
+    "BUF": "({0})",
+    "INV": "(full^{0})",
+    "XOR2": "({0}^{1})",
+    "XOR3": "({0}^{1}^{2})",
+    "XNOR2": "(full^({0}^{1}))",
+    "MUX2": "(({0}&(full^{2}))|({1}&{2}))",
+    "AOI21": "(full^(({0}&{1})|{2}))",
+    "OAI21": "(full^(({0}|{1})&{2}))",
+}
+for _n in (2, 3, 4):
+    _ops = "&".join("{%d}" % _i for _i in range(_n))
+    _orv = "|".join("{%d}" % _i for _i in range(_n))
+    _PACKED_EXPRS[f"AND{_n}"] = f"({_ops})"
+    _PACKED_EXPRS[f"OR{_n}"] = f"({_orv})"
+    _PACKED_EXPRS[f"NAND{_n}"] = f"(full^({_ops}))"
+    _PACKED_EXPRS[f"NOR{_n}"] = f"(full^({_orv}))"
+
+
+def packed_expr(ct: CellType, args: Sequence[str]) -> Optional[str]:
+    """Inline source expression of a cell over packed operands, or None.
+
+    Only cells whose :attr:`CellType.packed_func` is the library kernel the
+    template mirrors are inlined; a custom cell reusing a library name gets
+    ``None`` so the code generator calls its actual kernel.
+    """
+    template = _PACKED_EXPRS.get(ct.name)
+    if template is None or ct is not CELL_LIBRARY.get(ct.name):
+        return None
+    return template.format(*args)
+
+
 def _make_library() -> Dict[str, CellType]:
     lib: Dict[str, CellType] = {}
 
-    def add(name: str, n: int, fn: EvalFn, area: float, symmetric: bool = True) -> None:
-        lib[name] = CellType(name=name, n_inputs=n, func=fn, area=area, symmetric=symmetric)
+    def add(
+        name: str,
+        n: int,
+        fn: EvalFn,
+        area: float,
+        symmetric: bool = True,
+        packed: Optional[EvalFn] = None,
+    ) -> None:
+        lib[name] = CellType(
+            name=name, n_inputs=n, func=fn, area=area, symmetric=symmetric, packed_func=packed
+        )
 
-    add("BUF", 1, lambda ins: ins[0].copy(), 0.8)
-    add("INV", 1, lambda ins: _not(ins[0]), 0.5)
+    add("BUF", 1, lambda ins: ins[0].copy(), 0.8, packed=_pbuf)
+    add("INV", 1, lambda ins: _not(ins[0]), 0.5, packed=_pinv)
     for n in (2, 3, 4):
-        add(f"AND{n}", n, _and, 0.9 + 0.3 * n)
-        add(f"OR{n}", n, _or, 0.9 + 0.3 * n)
-        add(f"NAND{n}", n, lambda ins: _not(_and(ins)), 0.7 + 0.3 * n)
-        add(f"NOR{n}", n, lambda ins: _not(_or(ins)), 0.7 + 0.3 * n)
-    add("XOR2", 2, _xor, 2.0)
-    add("XNOR2", 2, lambda ins: _not(_xor(ins)), 2.1)
-    add("XOR3", 3, _xor, 3.0)
-    add("MUX2", 3, _mux2, 2.2, symmetric=False)
-    add("AOI21", 3, _aoi21, 1.6, symmetric=False)
-    add("OAI21", 3, _oai21, 1.6, symmetric=False)
+        add(f"AND{n}", n, _and, 0.9 + 0.3 * n, packed=_pand)
+        add(f"OR{n}", n, _or, 0.9 + 0.3 * n, packed=_por)
+        add(f"NAND{n}", n, lambda ins: _not(_and(ins)), 0.7 + 0.3 * n, packed=_pnand)
+        add(f"NOR{n}", n, lambda ins: _not(_or(ins)), 0.7 + 0.3 * n, packed=_pnor)
+    add("XOR2", 2, _xor, 2.0, packed=_pxor)
+    add("XNOR2", 2, lambda ins: _not(_xor(ins)), 2.1, packed=_pxnor)
+    add("XOR3", 3, _xor, 3.0, packed=_pxor)
+    add("MUX2", 3, _mux2, 2.2, symmetric=False, packed=_pmux2)
+    add("AOI21", 3, _aoi21, 1.6, symmetric=False, packed=_paoi21)
+    add("OAI21", 3, _oai21, 1.6, symmetric=False, packed=_poai21)
     return lib
 
 

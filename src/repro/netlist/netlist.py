@@ -111,6 +111,7 @@ class Netlist:
         self.primary_outputs = primary_outputs
         self.flops = flops
         self._topo_cache: Optional[List[int]] = None
+        self._topo_pos_cache: Optional[List[int]] = None
 
     # ------------------------------------------------------------------ size
     @property
@@ -147,6 +148,7 @@ class Netlist:
     def invalidate(self) -> None:
         """Drop cached derived data after a structural mutation."""
         self._topo_cache = None
+        self._topo_pos_cache = None
 
     def topo_order(self) -> List[int]:
         """Gate ids in topological (fanin-before-fanout) order.
@@ -179,6 +181,21 @@ class Netlist:
             )
         self._topo_cache = order
         return order
+
+    def topo_position(self) -> List[int]:
+        """``pos[gate_id]`` = the gate's index in :meth:`topo_order`.
+
+        Cached alongside the topological order (and dropped by
+        :meth:`invalidate`), so ordering a gate *subset* — e.g. a fault's
+        fan-out cone — costs O(|subset| log |subset|) instead of a scan over
+        every gate in the design.
+        """
+        if self._topo_pos_cache is None:
+            pos = [0] * self.n_gates
+            for i, gid in enumerate(self.topo_order()):
+                pos[gid] = i
+            self._topo_pos_cache = pos
+        return self._topo_pos_cache
 
     def net_levels(self) -> List[int]:
         """Topological level of every net (inputs at level 0)."""

@@ -63,9 +63,15 @@ def fanout_cone_gates(nl: Netlist, start_gates: Iterable[int]) -> List[int]:
 
 
 def sort_gates_topologically(nl: Netlist, gate_ids: Iterable[int]) -> List[int]:
-    """Order a gate subset by the netlist's global topological order."""
-    wanted = set(gate_ids)
-    return [gid for gid in nl.topo_order() if gid in wanted]
+    """Order a gate subset by the netlist's global topological order.
+
+    Uses the cached gate→position array (:meth:`Netlist.topo_position`), so
+    the cost is O(|subset| log |subset|) — the old implementation scanned the
+    full topological order on every call, which made per-fault cone
+    extraction quadratic over a whole fault list.
+    """
+    pos = nl.topo_position()
+    return sorted(gate_ids, key=pos.__getitem__)
 
 
 def bfs_distance_from_observation(

@@ -1,5 +1,6 @@
 """Bit-parallel logic and fault simulation substrate."""
 
+from .bitpack import WORD_BITS, n_words_for, pack_patterns, tail_mask, unpack_patterns
 from .logicsim import CompiledSimulator, TwoPatternResult
 from .faultsim import FaultMachine
 from .threeval import X, forced_nets, simulate3
@@ -8,6 +9,11 @@ __all__ = [
     "CompiledSimulator",
     "TwoPatternResult",
     "FaultMachine",
+    "WORD_BITS",
+    "n_words_for",
+    "pack_patterns",
+    "tail_mask",
+    "unpack_patterns",
     "X",
     "forced_nets",
     "simulate3",
