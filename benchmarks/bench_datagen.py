@@ -1,0 +1,155 @@
+"""Bench: parallel, cached dataset generation vs. the serial build.
+
+Measures, on one prepared default-scale benchmark:
+
+* serial (``workers=1``) injected-dataset build wall-clock,
+* the same build fanned out over a 4-worker pool,
+* a cold-cache build that also populates the artifact cache, and
+* a warm-cache rerun that must reload every chunk without simulating.
+
+All four datasets are verified byte-identical via their canonical SHA-256
+fingerprints before anything is reported, and the measured numbers are
+snapshotted to ``BENCH_datagen.json`` at the repo root.
+
+At ``REPRO_SCALE=default`` the 4-worker build must be at least 2x faster
+than serial — enforced only when the host exposes >= 2 CPU cores, since a
+process pool cannot beat wall-clock on a single core (the snapshot records
+``cores`` so the numbers stay interpretable) — and the warm rerun must
+reload every chunk without building any; ``REPRO_SCALE=tiny`` runs the same
+flow as a smoke test without the speedup floors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.data import DesignConfig
+from repro.netlist import GeneratorSpec
+from repro.runtime import DatasetRuntime, RuntimeStats, sample_set_fingerprint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT = REPO_ROOT / "BENCH_datagen.json"
+
+#: Default scale mirrors the AES-like point of the experiment suite's
+#: design matrix (700 gates); tiny is a smoke-sized stand-in.
+SPECS = {
+    "default": GeneratorSpec("bench_datagen", "aes_like", 700, 80, 32, 32, seed=3),
+    "tiny": GeneratorSpec("bench_datagen", "aes_like", 120, 12, 8, 8, seed=3),
+}
+PREPARE = {
+    "default": dict(n_chains=8, chains_per_channel=4, max_patterns=192),
+    "tiny": dict(n_chains=4, chains_per_channel=2, max_patterns=48),
+}
+N_SAMPLES = {"default": 256, "tiny": 48}
+WORKERS = 4
+SEED = 31337
+
+
+def _timed_build(rt, design, n_samples):
+    t0 = time.perf_counter()
+    ds = rt.build_dataset(design, "bypass", n_samples, SEED)
+    return ds, time.perf_counter() - t0
+
+
+def _bench_datagen(scale):
+    spec = SPECS.get(scale, SPECS["tiny"])
+    kwargs = PREPARE.get(scale, PREPARE["tiny"])
+    n_samples = N_SAMPLES.get(scale, 48)
+
+    with tempfile.TemporaryDirectory(prefix="repro_bench_cache_") as cache_dir:
+        cold_stats = RuntimeStats()
+        rt_cold = DatasetRuntime(workers=WORKERS, cache_dir=cache_dir, stats=cold_stats)
+        t0 = time.perf_counter()
+        design = rt_cold.prepare(spec, DesignConfig.standard("Syn-1"), **kwargs)
+        t_prepare = time.perf_counter() - t0
+
+        ds_serial, t_serial = _timed_build(DatasetRuntime(workers=1), design, n_samples)
+        ds_par, t_par = _timed_build(DatasetRuntime(workers=WORKERS), design, n_samples)
+        _ds_cold, t_cold = _timed_build(rt_cold, design, n_samples)
+
+        warm_stats = RuntimeStats()
+        rt_warm = DatasetRuntime(workers=1, cache_dir=cache_dir, stats=warm_stats)
+        t0 = time.perf_counter()
+        design_warm = rt_warm.prepare(spec, DesignConfig.standard("Syn-1"), **kwargs)
+        ds_warm, t_warm = _timed_build(rt_warm, design_warm, n_samples)
+
+        # Correctness gate: all builds byte-identical before timing means much.
+        digest = sample_set_fingerprint(ds_serial)
+        assert sample_set_fingerprint(ds_par) == digest
+        assert sample_set_fingerprint(_ds_cold) == digest
+        assert sample_set_fingerprint(ds_warm) == digest
+
+        warm_skipped_simulation = (
+            warm_stats.counters.get("dataset.chunks_built", 0) == 0
+            and warm_stats.counters.get("prepare.designs_built", 0) == 0
+            and "dataset.inject" not in warm_stats.stage_seconds
+        )
+        return {
+            "scale": scale,
+            "workers": WORKERS,
+            "cores": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity")
+            else (os.cpu_count() or 1),
+            "design": {
+                "name": spec.name,
+                "n_gates": design.nl.n_gates,
+                "n_patterns": design.patterns.n_patterns,
+                "n_samples": n_samples,
+            },
+            "prepare_seconds": t_prepare,
+            "build": {
+                "serial": {"seconds": t_serial, "samples_per_s": n_samples / t_serial},
+                "parallel": {"seconds": t_par, "samples_per_s": n_samples / t_par},
+                "cold_cache": {"seconds": t_cold, "samples_per_s": n_samples / t_cold},
+                "warm_cache": {"seconds": t_warm, "samples_per_s": n_samples / t_warm},
+            },
+            "speedup": {
+                "parallel_vs_serial": t_serial / t_par,
+                "warm_cache_vs_serial": t_serial / t_warm,
+            },
+            "warm_cache": {
+                "chunk_hits": warm_stats.counters.get("cache.sample_chunk.hit", 0),
+                "design_hits": warm_stats.counters.get("cache.design.hit", 0),
+                "chunks_built": warm_stats.counters.get("dataset.chunks_built", 0),
+                "skipped_simulation": warm_skipped_simulation,
+            },
+            "fingerprints_identical": True,
+            "fingerprint": digest,
+        }
+
+
+def test_datagen_throughput(benchmark, scale):
+    result = run_once(benchmark, _bench_datagen, scale)
+    d = result["design"]
+    print(
+        f"\n[{scale}] {d['n_gates']} gates, {d['n_patterns']} patterns, "
+        f"{d['n_samples']} samples, {result['workers']} workers "
+        f"(prepare {result['prepare_seconds']:.1f}s)"
+    )
+    for name, row in result["build"].items():
+        print(
+            f"  build {name:10s}: {row['samples_per_s']:8.1f} samples/s "
+            f"({row['seconds']:.2f}s)"
+        )
+    print(
+        f"  speedup: parallel {result['speedup']['parallel_vs_serial']:.2f}x, "
+        f"warm cache {result['speedup']['warm_cache_vs_serial']:.2f}x "
+        f"({result['warm_cache']['chunk_hits']} chunk hits, "
+        f"{result['cores']} core(s))"
+    )
+    assert result["fingerprints_identical"]
+    assert result["warm_cache"]["skipped_simulation"]
+    if scale == "default":
+        # Only the paper-shaped run refreshes the committed snapshot; smoke
+        # scales would clobber it with non-representative numbers.
+        SNAPSHOT.write_text(json.dumps(result, indent=2) + "\n")
+        assert result["speedup"]["warm_cache_vs_serial"] >= 2.0
+        if result["cores"] >= 2:
+            assert result["speedup"]["parallel_vs_serial"] >= 2.0
+        else:
+            print("  (single-core host: parallel speedup floor not enforced)")

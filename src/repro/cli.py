@@ -6,9 +6,14 @@ Installed as the ``repro`` console script::
     repro demo                      # end-to-end single-chip diagnosis demo
     repro tables --scale tiny ...   # regenerate paper tables/figures
     repro export --benchmark AES    # dump a generated benchmark netlist
+    repro cache --cache-dir DIR     # inspect / clear the artifact cache
 
 The table runner mirrors the pytest benchmark harness but prints straight to
-stdout, which is convenient for quick looks without pytest.
+stdout, which is convenient for quick looks without pytest.  ``demo`` and
+``tables`` accept ``--workers N`` / ``--cache-dir DIR`` to fan dataset
+generation out over a process pool and persist prepared designs and sample
+chunks in the content-addressed artifact cache (results are byte-identical
+for any worker count; see ``repro.runtime``).
 """
 
 from __future__ import annotations
@@ -37,9 +42,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="library and benchmark-suite overview")
 
+    def add_runtime_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="dataset-generation worker processes (default: "
+                            "$REPRO_WORKERS or 1; results are identical for any N)")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="content-addressed artifact cache directory "
+                            "(default: $REPRO_CACHE_DIR or no cache)")
+
     demo = sub.add_parser("demo", help="end-to-end single-chip diagnosis demo")
     demo.add_argument("--gates", type=int, default=400, help="design size")
     demo.add_argument("--seed", type=int, default=7)
+    add_runtime_args(demo)
 
     tables = sub.add_parser("tables", help="regenerate paper tables/figures")
     tables.add_argument("--scale", choices=("default", "tiny"), default="tiny")
@@ -49,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=f"comma-separated subset of: {', '.join(TABLE_CHOICES)}",
     )
+    add_runtime_args(tables)
 
     export = sub.add_parser("export", help="dump a generated benchmark netlist")
     export.add_argument("--benchmark", choices=("AES", "Tate", "netcard", "leon3mp"),
@@ -56,7 +71,22 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--scale", choices=("default", "tiny"), default="default")
     export.add_argument("--format", choices=("verilog", "bench"), default="verilog")
     export.add_argument("--output", default="-", help="file path or - for stdout")
+
+    cache = sub.add_parser("cache", help="inspect or clear the artifact cache")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory (default: $REPRO_CACHE_DIR)")
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every cached artifact")
     return parser
+
+
+def _configure_runtime(workers: Optional[int], cache_dir: Optional[str]):
+    """Apply CLI runtime flags to the process-global dataset runtime."""
+    from repro.runtime import configure
+
+    rt = configure(workers=workers, cache_dir=cache_dir)
+    rt.stats.progress = print  # surface fan-out / cache progress lines
+    return rt
 
 
 def _cmd_info() -> int:
@@ -78,26 +108,26 @@ def _cmd_info() -> int:
     return 0
 
 
-def _cmd_demo(gates: int, seed: int) -> int:
+def _cmd_demo(gates: int, seed: int, workers: Optional[int] = None,
+              cache_dir: Optional[str] = None) -> int:
     from repro import (
         DesignConfig,
         EffectCauseDiagnoser,
         GeneratorSpec,
         M3DDiagnosisFramework,
-        build_dataset,
         first_hit_index,
-        prepare_design,
         report_is_accurate,
     )
 
+    rt = _configure_runtime(workers, cache_dir)
     t0 = time.perf_counter()
     spec = GeneratorSpec("demo", "aes_like", gates, max(16, gates // 8), 16, 16, seed=seed)
-    design = prepare_design(spec, DesignConfig.standard("Syn-1"), n_chains=4,
-                            chains_per_channel=2, max_patterns=128)
+    design = rt.prepare(spec, DesignConfig.standard("Syn-1"), n_chains=4,
+                        chains_per_channel=2, max_patterns=128)
     print(f"prepared {design.nl} with {len(design.mivs)} MIVs "
           f"({time.perf_counter() - t0:.1f}s)")
-    train = build_dataset(design, "bypass", 120, seed=0)
-    chip = build_dataset(design, "bypass", 1, seed=999).items[0]
+    train = rt.build_dataset(design, "bypass", 120, seed=0)
+    chip = rt.build_dataset(design, "bypass", 1, seed=999).items[0]
     print(f"injected {chip.faults[0].label}; "
           f"{len(chip.sample.log)} failing responses")
 
@@ -105,19 +135,25 @@ def _cmd_demo(gates: int, seed: int) -> int:
                                 mivs=design.mivs, sim=design.sim)
     report = diag.diagnose(chip.sample.log)
     fw = M3DDiagnosisFramework(epochs=20, seed=0)
-    fw.fit([train])
+    fw.fit([train], stats_sink=rt.stats)
     result = fw.diagnose(design, "bypass", chip.sample.log, report, graph=chip.graph)
     print(f"ATPG report: {report.resolution} candidates; after policy "
           f"({result.action}): {result.report.resolution}")
     print(f"accurate={report_is_accurate(result.report, chip.faults)} "
           f"first-hit={first_hit_index(result.report, chip.faults)} "
           f"predicted tier={result.predicted_tier} (p={result.confidence:.2f})")
+    report_text = rt.stats.report()
+    if report_text:
+        print(f"\n{report_text}")
     return 0
 
 
-def _cmd_tables(scale: str, samples: int, only: Optional[str]) -> int:
+def _cmd_tables(scale: str, samples: int, only: Optional[str],
+                workers: Optional[int] = None, cache_dir: Optional[str] = None) -> int:
     from repro import experiments as ex
     from repro.experiments.three_tier import format_three_tier, three_tier_study
+
+    rt = _configure_runtime(workers, cache_dir)
 
     wanted = set(only.split(",")) if only else set(TABLE_CHOICES)
     unknown = wanted - set(TABLE_CHOICES)
@@ -162,6 +198,30 @@ def _cmd_tables(scale: str, samples: int, only: Optional[str]) -> int:
         ex.transferability_study(n_samples=samples, scale=scale), "Tate"))
     run("three-tier", lambda: format_three_tier(
         three_tier_study(n_test=samples, n_train=max(120, samples * 3), scale=scale)))
+    report_text = rt.stats.report()
+    if report_text:
+        print(f"\n================ runtime ================\n{report_text}")
+    return 0
+
+
+def _cmd_cache(cache_dir: Optional[str], clear: bool) -> int:
+    import os
+
+    from repro.runtime import ArtifactCache
+
+    cache_dir = cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        print("no cache directory (pass --cache-dir or set $REPRO_CACHE_DIR)",
+              file=sys.stderr)
+        return 2
+    cache = ArtifactCache(cache_dir)
+    by_kind = cache.entries()
+    print(f"cache {cache_dir}: {sum(by_kind.values())} artifact(s), "
+          f"{cache.size_bytes() / 1e6:.1f} MB")
+    for kind in sorted(by_kind):
+        print(f"  {kind:14s} {by_kind[kind]}")
+    if clear:
+        print(f"cleared {cache.clear()} artifact(s)")
     return 0
 
 
@@ -191,11 +251,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "info":
         return _cmd_info()
     if args.command == "demo":
-        return _cmd_demo(args.gates, args.seed)
+        return _cmd_demo(args.gates, args.seed, args.workers, args.cache_dir)
     if args.command == "tables":
-        return _cmd_tables(args.scale, args.samples, args.only)
+        return _cmd_tables(args.scale, args.samples, args.only,
+                           args.workers, args.cache_dir)
     if args.command == "export":
         return _cmd_export(args.benchmark, args.scale, args.format, args.output)
+    if args.command == "cache":
+        return _cmd_cache(args.cache_dir, args.clear)
     return 2
 
 

@@ -12,9 +12,8 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from ..nn.data import GraphData
-from ..data.datagen import DesignConfig, PreparedDesign, prepare_design
-from ..data.datasets import SampleSet, build_dataset
-from ..netlist.generators import GeneratorSpec
+from ..data.datagen import DesignConfig, PreparedDesign
+from ..data.datasets import SampleSet
 
 __all__ = ["augmentation_configs", "build_training_sets", "collect_graphs"]
 
@@ -33,21 +32,24 @@ def build_training_sets(
     n_per_design: int,
     seed: int = 1000,
     miv_fraction: float = 0.15,
+    runtime=None,
 ) -> List[SampleSet]:
-    """One injected dataset per prepared (augmentation) design."""
-    sets: List[SampleSet] = []
-    for i, design in enumerate(designs):
-        sets.append(
-            build_dataset(
-                design,
-                mode,
-                n_per_design,
-                seed=seed + i,
-                kind="single",
-                miv_fraction=miv_fraction,
-            )
-        )
-    return sets
+    """One injected dataset per prepared (augmentation) design.
+
+    Goes through the dataset runtime so every (design, chunk) work unit of
+    the whole augmentation matrix fans out over one worker pool and lands in
+    the artifact cache; ``runtime=None`` uses the process-global runtime
+    (serial and uncached unless configured otherwise), which produces
+    byte-identical sets to a plain :func:`repro.data.build_dataset` loop.
+    """
+    from ..runtime import DatasetRequest, get_runtime
+
+    rt = runtime if runtime is not None else get_runtime()
+    orders = [
+        (design, DatasetRequest(mode, n_per_design, seed + i, "single", miv_fraction))
+        for i, design in enumerate(designs)
+    ]
+    return rt.build_datasets(orders)
 
 
 def collect_graphs(sets: Sequence[SampleSet]) -> List[GraphData]:

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..diagnosis.report import Candidate, DiagnosisReport
 from ..nn.data import GraphData
+from ..runtime.instrument import RuntimeStats
 from ..tester.failure_log import FailureLog
 from ..data.datagen import PreparedDesign
 from ..data.datasets import SampleSet
@@ -98,12 +99,25 @@ class M3DDiagnosisFramework:
         self._fitted = False
 
     # ------------------------------------------------------------------ fit
-    def fit(self, training_sets: Sequence[SampleSet]) -> Dict[str, float]:
+    def fit(
+        self,
+        training_sets: Sequence[SampleSet],
+        stats_sink: Optional[RuntimeStats] = None,
+    ) -> Dict[str, float]:
         """Train all models from (augmented) training sample sets.
 
+        Args:
+            training_sets: Injected sample sets (one per augmentation design).
+            stats_sink: Optional shared :class:`RuntimeStats` receiving the
+                per-stage wall-clock (``fit.tier`` / ``fit.miv`` /
+                ``fit.classifier``) — the runtime and CLI pass theirs so
+                training shows up next to dataset-generation timings.
+
         Returns summary statistics: training accuracy of the Tier-predictor,
-        the selected ``Tp``, and the TP:FP imbalance seen by the Classifier.
+        the selected ``Tp``, the TP:FP imbalance seen by the Classifier, and
+        per-stage training seconds.
         """
+        timer = stats_sink if stats_sink is not None else RuntimeStats()
         graphs: List[GraphData] = []
         for s in training_sets:
             graphs.extend(s.graphs)
@@ -111,23 +125,26 @@ class M3DDiagnosisFramework:
             raise ValueError("no training graphs")
 
         tier_graphs = [g for g in graphs if g.y >= 0]
-        self.tier_predictor.fit(tier_graphs)
+        with timer.timed("fit.tier"):
+            self.tier_predictor.fit(tier_graphs)
 
         if self.miv_pinpointer is not None:
             miv_graphs = [g for g in graphs if g.node_mask is not None and g.node_mask.any()]
             if miv_graphs:
-                self.miv_pinpointer.fit(miv_graphs)
+                with timer.timed("fit.miv"):
+                    self.miv_pinpointer.fit(miv_graphs)
             else:
                 self.miv_pinpointer = None
 
         # PR curve on the training set → Tp.
-        proba = self.tier_predictor.predict_proba(tier_graphs)
-        preds = np.argmax(proba, axis=1)
-        conf = proba.max(axis=1)
-        truth = np.asarray([g.y for g in tier_graphs])
-        correct = preds == truth
-        curve = precision_recall_curve(conf, correct)
-        self.tp_threshold = select_threshold(curve, self.min_precision)
+        with timer.timed("fit.threshold"):
+            proba = self.tier_predictor.predict_proba(tier_graphs)
+            preds = np.argmax(proba, axis=1)
+            conf = proba.max(axis=1)
+            truth = np.asarray([g.y for g in tier_graphs])
+            correct = preds == truth
+            curve = precision_recall_curve(conf, correct)
+            self.tp_threshold = select_threshold(curve, self.min_precision)
 
         # Classifier on Predicted Positive samples.
         stats = {
@@ -146,7 +163,11 @@ class M3DDiagnosisFramework:
                 self.classifier = PruneReorderClassifier(
                     self.tier_predictor, epochs=max(10, self.epochs // 2), seed=self.seed + 2
                 )
-                self.classifier.fit(tp_graphs, fp_graphs)
+                with timer.timed("fit.classifier"):
+                    self.classifier.fit(tp_graphs, fp_graphs)
+        for stage, seconds in timer.stage_seconds.items():
+            if stage.startswith("fit."):
+                stats[f"{stage.replace('.', '_')}_s"] = seconds
         self._fitted = True
         return stats
 

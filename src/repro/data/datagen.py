@@ -67,8 +67,24 @@ class DesignConfig:
         if name == "Par":
             return cls(name, partitioner="spectral")
         if name.startswith("Rand-"):
-            k = int(name.split("-", 1)[1])
+            suffix = name.split("-", 1)[1]
+            try:
+                k = int(suffix, 10)
+            except ValueError:
+                raise ValueError(
+                    f"bad Rand configuration {name!r}: expected an integer suffix "
+                    f"like 'Rand-0', got suffix {suffix!r}"
+                ) from None
+            if k < 0:
+                raise ValueError(
+                    f"bad Rand configuration {name!r}: suffix must be >= 0"
+                )
             return cls(name, partitioner="random", partition_seed=100 + k)
+        if name == "Rand":
+            raise ValueError(
+                "bad Rand configuration 'Rand': expected 'Rand-<k>' with an "
+                "integer suffix, e.g. 'Rand-0'"
+            )
         raise ValueError(f"unknown configuration {name!r}")
 
 
@@ -89,6 +105,11 @@ class PreparedDesign:
     obsmaps: Dict[str, ObservationMap]
     het: HetGraph
     extractor: FeatureExtractor
+    #: Full parameter record of the ``prepare_design`` call that produced
+    #: this bundle (generator spec, config, DfT/ATPG knobs).  The runtime's
+    #: content-addressed artifact cache keys designs and their dataset
+    #: chunks off this.
+    provenance: Dict[str, object] = field(default_factory=dict)
 
     @property
     def patterns(self):
@@ -115,6 +136,16 @@ def prepare_design(
     3D partitioning → MIV extraction → scan stitching → TDF ATPG →
     good-machine simulation → heterogeneous graph + feature tables.
     """
+    provenance: Dict[str, object] = {
+        "spec": spec,
+        "config": config,
+        "n_chains": n_chains,
+        "chains_per_channel": chains_per_channel,
+        "atpg_seed": atpg_seed,
+        "max_patterns": max_patterns,
+        "target_coverage": target_coverage,
+        "packed": packed,
+    }
     nl = generate(spec)
     if config.resynth_seed is not None:
         nl = resynthesize(nl, seed=config.resynth_seed)
@@ -165,4 +196,5 @@ def prepare_design(
         obsmaps=obsmaps,
         het=het,
         extractor=FeatureExtractor(het),
+        provenance=provenance,
     )

@@ -1,4 +1,14 @@
-"""Diagnosis datasets: injected samples paired with back-trace sub-graphs."""
+"""Diagnosis datasets: injected samples paired with back-trace sub-graphs.
+
+Datasets are generated in fixed-size *chunks*: :func:`build_dataset` splits
+the requested sample count over the canonical chunk grid
+(:func:`repro.runtime.seeds.chunk_plan`) and gives every chunk its own
+defect-sampler seed derived from ``(master seed, design identity, mode,
+kind, chunk index)``.  Chunks are therefore independent work units — the
+parallel runtime (:mod:`repro.runtime`) executes the *same* grid across
+worker processes and concatenates in chunk order, producing byte-identical
+datasets for any worker count.
+"""
 
 from __future__ import annotations
 
@@ -10,11 +20,18 @@ import numpy as np
 from ..atpg.faults import Fault, site_tier
 from ..m3d.defects import DefectSampler
 from ..nn.data import GraphData
+from ..runtime.seeds import DEFAULT_CHUNK_SIZE, chunk_plan, derive_seed
 from ..tester.injection import InjectionCampaign, Sample
 from ..core.backtrace import backtrace
 from .datagen import PreparedDesign
 
-__all__ = ["LabeledSample", "SampleSet", "build_dataset"]
+__all__ = [
+    "LabeledSample",
+    "SampleSet",
+    "build_dataset",
+    "build_dataset_chunk",
+    "chunk_seed",
+]
 
 
 @dataclass
@@ -69,38 +86,53 @@ def _graph_labels(design: PreparedDesign, faults: Sequence[Fault]) -> Tuple[int,
     return y, node_y
 
 
-def build_dataset(
+def chunk_seed(
+    design: PreparedDesign, mode: str, kind: str, seed: int, chunk_index: int
+) -> int:
+    """The derived defect-sampler seed of one (design, dataset, chunk) unit.
+
+    A pure function of the master seed and the unit identity — independent
+    of worker count, scheduling order, and process boundaries.
+    """
+    return derive_seed(seed, design.benchmark, design.config.name, mode, kind, chunk_index)
+
+
+def build_dataset_chunk(
     design: PreparedDesign,
     mode: str,
-    n_samples: int,
+    chunk_index: int,
+    chunk_n: int,
     seed: int,
     kind: str = "single",
     miv_fraction: float = 0.15,
-) -> SampleSet:
-    """Inject faults, record failure logs, back-trace, and featurize.
+) -> List[LabeledSample]:
+    """Generate one chunk of labeled samples (a single runtime work unit).
 
     Args:
         design: Prepared (benchmark, config) bundle.
         mode: Observation mode, ``"bypass"`` or ``"compacted"``.
-        n_samples: Target number of failing chips.
-        seed: Defect-sampler seed.
+        chunk_index: Position of this chunk in the canonical grid.
+        chunk_n: Target number of failing chips for this chunk.
+        seed: The dataset's *master* seed; the chunk derives its own.
         kind: ``"single"`` (one TDF; ``miv_fraction`` of them in MIVs),
             ``"multi"`` (2–5 tier-systematic TDFs), or ``"miv"`` (MIV-only).
         miv_fraction: MIV share for ``kind="single"``.
 
     Returns:
-        A :class:`SampleSet`; samples whose back-trace yields an empty
-        sub-graph are skipped.
+        Labeled samples; injections whose back-trace yields an empty
+        sub-graph are skipped, so a chunk may come up short.
     """
     obsmap = design.obsmap(mode)
-    sampler = DefectSampler(design.nl, design.mivs, seed=seed)
+    sampler = DefectSampler(
+        design.nl, design.mivs, seed=chunk_seed(design, mode, kind, seed, chunk_index)
+    )
     campaign = InjectionCampaign(design.machine, design.good, obsmap, sampler)
     if kind == "single":
-        raw = campaign.single_fault_samples(n_samples, miv_fraction=miv_fraction)
+        raw = campaign.single_fault_samples(chunk_n, miv_fraction=miv_fraction)
     elif kind == "multi":
-        raw = campaign.multi_fault_samples(n_samples)
+        raw = campaign.multi_fault_samples(chunk_n)
     elif kind == "miv":
-        raw = campaign.miv_fault_samples(n_samples)
+        raw = campaign.miv_fault_samples(chunk_n)
     else:
         raise ValueError(f"unknown dataset kind {kind!r}")
 
@@ -112,4 +144,41 @@ def build_dataset(
         y, node_y = _graph_labels(design, s.faults)
         graph = design.extractor.subgraph(mask, y=y, node_y=node_y, meta={"sample": s})
         items.append(LabeledSample(sample=s, graph=graph))
+    return items
+
+
+def build_dataset(
+    design: PreparedDesign,
+    mode: str,
+    n_samples: int,
+    seed: int,
+    kind: str = "single",
+    miv_fraction: float = 0.15,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> SampleSet:
+    """Inject faults, record failure logs, back-trace, and featurize.
+
+    The serial reference build: iterates the canonical chunk grid in order.
+    :meth:`repro.runtime.DatasetRuntime.build_dataset` runs the same grid
+    with caching and worker fan-out and returns byte-identical results.
+
+    Args:
+        design: Prepared (benchmark, config) bundle.
+        mode: Observation mode, ``"bypass"`` or ``"compacted"``.
+        n_samples: Target number of failing chips.
+        seed: Master seed; per-chunk sampler seeds derive from it.
+        kind: ``"single"``, ``"multi"``, or ``"miv"``.
+        miv_fraction: MIV share for ``kind="single"``.
+        chunk_size: Samples per work unit; part of the dataset definition
+            (changing it changes the RNG stream boundaries).
+
+    Returns:
+        A :class:`SampleSet`; samples whose back-trace yields an empty
+        sub-graph are skipped.
+    """
+    items: List[LabeledSample] = []
+    for chunk_index, chunk_n in chunk_plan(n_samples, chunk_size):
+        items.extend(
+            build_dataset_chunk(design, mode, chunk_index, chunk_n, seed, kind, miv_fraction)
+        )
     return SampleSet(design=design, mode=mode, items=items)

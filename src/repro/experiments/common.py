@@ -3,6 +3,13 @@
 Preparing a design (ATPG + heterogeneous graph) and training the framework
 are the expensive steps; every table/figure runner funnels through the
 memoized helpers here so one pytest/benchmark session pays each cost once.
+
+All design preparation and dataset construction goes through the
+process-global :class:`repro.runtime.DatasetRuntime`, so every experiment
+gains worker fan-out and the on-disk artifact cache for free — configure it
+with ``repro.runtime.configure(workers=..., cache_dir=...)`` (or the
+``REPRO_WORKERS`` / ``REPRO_CACHE_DIR`` environment variables) *before* the
+first helper call; results are byte-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -16,14 +23,16 @@ import numpy as np
 
 from ..core.augment import augmentation_configs, build_training_sets
 from ..core.pipeline import M3DDiagnosisFramework
-from ..data.datagen import DesignConfig, PreparedDesign, prepare_design
-from ..data.datasets import SampleSet, build_dataset
+from ..data.datagen import DesignConfig, PreparedDesign
+from ..data.datasets import SampleSet
 from ..diagnosis.effect_cause import EffectCauseDiagnoser
 from ..diagnosis.report import DiagnosisReport
+from ..runtime import get_runtime
 from .benchmarks import BenchmarkSpec, benchmark
 
 __all__ = [
     "get_prepared",
+    "get_prepared_many",
     "get_dataset",
     "get_framework",
     "get_dedicated_framework",
@@ -39,17 +48,44 @@ TRAIN_SAMPLES_PER_DESIGN = 160
 TEST_SAMPLES = 60
 
 
-@functools.lru_cache(maxsize=None)
-def get_prepared(name: str, config_name: str, scale: str = "default") -> PreparedDesign:
-    """Prepared design bundle for one (benchmark, configuration) point."""
-    spec: BenchmarkSpec = benchmark(name, scale)
-    return prepare_design(
-        spec.generator,
-        DesignConfig.standard(config_name),
+def _prepare_kwargs(spec: BenchmarkSpec) -> Dict[str, int]:
+    return dict(
         n_chains=spec.n_chains,
         chains_per_channel=spec.chains_per_channel,
         max_patterns=spec.max_patterns,
     )
+
+
+#: Per-process memo of prepared bundles, keyed (benchmark, config, scale).
+#: A plain dict (not lru_cache) so :func:`get_prepared_many` can prime it
+#: after one parallel fan-out.
+_PREPARED: Dict[Tuple[str, str, str], PreparedDesign] = {}
+
+
+def get_prepared(name: str, config_name: str, scale: str = "default") -> PreparedDesign:
+    """Prepared design bundle for one (benchmark, configuration) point."""
+    return get_prepared_many(name, [config_name], scale)[0]
+
+
+def get_prepared_many(
+    name: str, config_names: Sequence[str], scale: str = "default"
+) -> List[PreparedDesign]:
+    """Several configuration points of one benchmark, prepared in one fan-out.
+
+    Uses :meth:`DatasetRuntime.prepare_many` so cache misses build in
+    parallel, then primes the per-process memo so later single-point
+    :func:`get_prepared` lookups are free.
+    """
+    missing = [c for c in config_names if (name, c, scale) not in _PREPARED]
+    if missing:
+        spec: BenchmarkSpec = benchmark(name, scale)
+        points = [
+            (spec.generator, DesignConfig.standard(c), _prepare_kwargs(spec))
+            for c in missing
+        ]
+        for c, design in zip(missing, get_runtime().prepare_many(points)):
+            _PREPARED[(name, c, scale)] = design
+    return [_PREPARED[(name, c, scale)] for c in config_names]
 
 
 @functools.lru_cache(maxsize=None)
@@ -64,7 +100,7 @@ def get_dataset(
 ) -> SampleSet:
     """Cached injected dataset for one design point."""
     design = get_prepared(name, config_name, scale)
-    return build_dataset(design, mode, n_samples, seed=seed, kind=kind)
+    return get_runtime().build_dataset(design, mode, n_samples, seed, kind)
 
 
 @functools.lru_cache(maxsize=None)
@@ -83,9 +119,9 @@ def get_framework(
 
     Returns (framework, fit statistics incl. training time).
     """
-    designs = [
-        get_prepared(name, cfg.name, scale) for cfg in augmentation_configs(n_random)
-    ]
+    designs = get_prepared_many(
+        name, [cfg.name for cfg in augmentation_configs(n_random)], scale
+    )
     sets = build_training_sets(designs, mode, n_train, seed=1000 + seed)
     fw = M3DDiagnosisFramework(
         epochs=epochs,
@@ -94,7 +130,7 @@ def get_framework(
         use_classifier=use_classifier,
     )
     t0 = time.perf_counter()
-    stats = fw.fit(sets)
+    stats = fw.fit(sets, stats_sink=get_runtime().stats)
     stats["train_time_s"] = time.perf_counter() - t0
     stats["n_train_graphs"] = float(sum(len(s) for s in sets))
     return fw, stats
@@ -112,7 +148,7 @@ def get_dedicated_framework(
 ) -> Tuple[M3DDiagnosisFramework, Dict[str, float]]:
     """The *Dedicated Model*: trained on one configuration's own samples."""
     design = get_prepared(name, config_name, scale)
-    train = build_dataset(design, mode, n_train, seed=2000 + seed, kind="single")
+    train = get_runtime().build_dataset(design, mode, n_train, 2000 + seed, "single")
     fw = M3DDiagnosisFramework(epochs=epochs, seed=seed)
     t0 = time.perf_counter()
     stats = fw.fit([train])

@@ -74,6 +74,17 @@ class CellType:
             )
         return self.func(inputs).astype(np.uint8)
 
+    def __reduce_ex__(self, protocol):
+        # Library cells pickle by name so the unpickled instance *is* the
+        # CELL_LIBRARY singleton — identity matters: `packed_expr` only
+        # inlines a cell when `ct is CELL_LIBRARY[ct.name]`, and several
+        # library eval functions are lambdas that cannot pickle by value.
+        # Custom cells fall through to the default protocol and pickle only
+        # if their eval functions do.
+        if CELL_LIBRARY.get(self.name) is self:
+            return (cell, (self.name,))
+        return super().__reduce_ex__(protocol)
+
 
 def _and(ins: Sequence[np.ndarray]) -> np.ndarray:
     out = ins[0].copy()

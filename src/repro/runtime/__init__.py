@@ -1,0 +1,52 @@
+"""Parallel, cached dataset-generation runtime with determinism guarantees.
+
+Public surface:
+
+* :class:`DatasetRuntime` — cache-aware, multi-process executor for design
+  preparation and injected-dataset construction;
+* :func:`configure` / :func:`get_runtime` — the process-global runtime every
+  experiment runner and the CLI share (``REPRO_WORKERS`` /
+  ``REPRO_CACHE_DIR`` set its defaults);
+* :class:`ArtifactCache` — the content-addressed on-disk store;
+* :mod:`~repro.runtime.seeds` helpers — deterministic per-unit seed
+  derivation and the canonical chunk grid;
+* :mod:`~repro.runtime.fingerprint` helpers — byte-level dataset digests
+  used by the determinism test harness.
+"""
+
+from .cache import ArtifactCache, CODE_VERSION, cache_key_hash, canonical_key
+from .fingerprint import (
+    deterministic_split,
+    fingerprints_identical,
+    graph_fingerprint,
+    sample_set_fingerprint,
+)
+from .instrument import RuntimeStats
+from .runtime import (
+    DatasetRequest,
+    DatasetRuntime,
+    configure,
+    get_runtime,
+    reset_runtime,
+)
+from .seeds import DEFAULT_CHUNK_SIZE, chunk_plan, derive_seed
+
+__all__ = [
+    "ArtifactCache",
+    "CODE_VERSION",
+    "DatasetRequest",
+    "DatasetRuntime",
+    "DEFAULT_CHUNK_SIZE",
+    "RuntimeStats",
+    "cache_key_hash",
+    "canonical_key",
+    "chunk_plan",
+    "configure",
+    "derive_seed",
+    "deterministic_split",
+    "fingerprints_identical",
+    "get_runtime",
+    "graph_fingerprint",
+    "reset_runtime",
+    "sample_set_fingerprint",
+]

@@ -1,0 +1,159 @@
+"""Content-addressed on-disk artifact cache.
+
+Artifacts (prepared-design bundles, injected sample chunks) are stored under
+the SHA-256 of a *canonical key*: a JSON-serializable dict describing
+everything that determines the artifact's content — generator spec,
+design configuration, stage parameters, derived seed, and the generation
+code version.  Equal inputs hit the same file; any input change (including a
+:data:`CODE_VERSION` bump) misses and regenerates.
+
+Layout: ``<cache_dir>/<kind>/<hash[:2]>/<hash>.pkl`` with atomic
+write-then-rename, so concurrent workers may race to fill the same entry
+and the loser simply overwrites the identical bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from .instrument import RuntimeStats
+
+__all__ = ["ArtifactCache", "CODE_VERSION", "cache_key_hash", "canonical_key"]
+
+#: Version stamp of the dataset-generation code paths baked into every cache
+#: key.  Bump whenever :func:`repro.data.prepare_design`, the injection /
+#: back-trace / feature code, or the chunking grid changes behaviour, so
+#: stale artifacts can never be returned for new code.
+CODE_VERSION = 1
+
+
+def canonical_key(key: Dict[str, Any]) -> str:
+    """The canonical JSON form of a cache key (sorted keys, no whitespace).
+
+    Dataclasses (e.g. ``GeneratorSpec``, ``DesignConfig``) are flattened to
+    ``{"__type__": name, **fields}`` dicts so keys stay readable and stable.
+    """
+
+    def default(obj: Any) -> Any:
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            d = {"__type__": type(obj).__name__}
+            d.update(dataclasses.asdict(obj))
+            return d
+        raise TypeError(f"cache keys must be JSON-serializable, got {type(obj).__name__}")
+
+    return json.dumps(key, sort_keys=True, separators=(",", ":"), default=default)
+
+
+def cache_key_hash(key: Dict[str, Any]) -> str:
+    """SHA-256 hex digest of the canonical key."""
+    return hashlib.sha256(canonical_key(key).encode()).hexdigest()
+
+
+class ArtifactCache:
+    """Pickle-backed content-addressed store with hit/miss accounting.
+
+    Args:
+        cache_dir: Root directory; created on first write.
+        stats: Optional shared :class:`RuntimeStats` receiving
+            ``cache.<kind>.hit`` / ``cache.<kind>.miss`` counters and load /
+            store stage timings.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path], stats: Optional[RuntimeStats] = None) -> None:
+        self.root = Path(cache_dir)
+        self.stats = stats if stats is not None else RuntimeStats()
+
+    def _path(self, kind: str, digest: str) -> Path:
+        return self.root / kind / digest[:2] / f"{digest}.pkl"
+
+    # ------------------------------------------------------------------- api
+    def get(self, kind: str, key: Dict[str, Any]) -> Tuple[Optional[Any], bool]:
+        """Look up one artifact.
+
+        Returns:
+            ``(artifact, True)`` on a hit, ``(None, False)`` on a miss.  A
+            corrupt or unreadable entry is treated as a miss (and removed so
+            the regenerated artifact replaces it).
+        """
+        path = self._path(kind, cache_key_hash(key))
+        if not path.exists():
+            self.stats.count(f"cache.{kind}.miss")
+            return None, False
+        try:
+            with self.stats.timed(f"cache.{kind}.load"):
+                with open(path, "rb") as fh:
+                    artifact = pickle.load(fh)
+        except Exception:
+            self.stats.count(f"cache.{kind}.miss")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None, False
+        self.stats.count(f"cache.{kind}.hit")
+        return artifact, True
+
+    def put(self, kind: str, key: Dict[str, Any], artifact: Any) -> Path:
+        """Store one artifact atomically; returns its path.
+
+        The key's canonical JSON is stored alongside (``.key.json``) for
+        debuggability — ``repro cache --info`` and humans can see what each
+        entry is without unpickling it.
+        """
+        digest = cache_key_hash(key)
+        path = self._path(kind, digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with self.stats.timed(f"cache.{kind}.store"):
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(artifact, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        path.with_suffix(".key.json").write_text(canonical_key(key) + "\n")
+        return path
+
+    # ------------------------------------------------------------ management
+    def entries(self) -> Dict[str, int]:
+        """Artifact counts per kind."""
+        out: Dict[str, int] = {}
+        if not self.root.exists():
+            return out
+        for kind_dir in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            out[kind_dir.name] = sum(1 for _ in kind_dir.glob("*/*.pkl"))
+        return out
+
+    def size_bytes(self) -> int:
+        """Total bytes on disk under the cache root."""
+        if not self.root.exists():
+            return 0
+        return sum(p.stat().st_size for p in self.root.rglob("*") if p.is_file())
+
+    def clear(self) -> int:
+        """Delete every cached artifact; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in list(self.root.rglob("*")):
+            if path.is_file():
+                path.unlink()
+                if path.suffix == ".pkl":
+                    removed += 1
+        for path in sorted((p for p in self.root.rglob("*") if p.is_dir()), reverse=True):
+            try:
+                path.rmdir()
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,357 @@
+"""Parallel, cached dataset-generation runtime.
+
+The Fig. 4 flow (netlist → M3D → DfT → ATPG → per-sample graph
+construction) decomposes into two kinds of work unit:
+
+* **design points** — one :func:`repro.data.prepare_design` call per
+  (benchmark, configuration); independent of each other;
+* **sample chunks** — fixed-size slices of an injected dataset, each with a
+  seed derived from its identity (:mod:`repro.runtime.seeds`); independent
+  of each other *and* of the worker count.
+
+:class:`DatasetRuntime` executes both kinds with an optional
+``multiprocessing`` pool and an optional content-addressed on-disk cache
+(:mod:`repro.runtime.cache`), and records per-stage wall-clock plus cache
+hit/miss counters (:mod:`repro.runtime.instrument`).  Results are
+byte-identical across ``workers=1``, ``workers=N``, and warm-cache reloads —
+the determinism test harness asserts exactly that.
+
+A process-global runtime (:func:`get_runtime` / :func:`configure`)
+lets every experiment runner and the CLI share one pool and cache;
+``REPRO_WORKERS`` and ``REPRO_CACHE_DIR`` set its defaults.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+from .cache import CODE_VERSION, ArtifactCache
+from .instrument import RuntimeStats
+from .seeds import DEFAULT_CHUNK_SIZE, chunk_plan
+
+# The data layer imports repro.runtime.seeds for its chunk grid, so the
+# runtime imports the data layer lazily (inside functions) to stay
+# cycle-free no matter which package loads first.
+if TYPE_CHECKING:  # pragma: no cover
+    from ..data.datagen import DesignConfig, PreparedDesign
+    from ..data.datasets import LabeledSample, SampleSet
+    from ..netlist.generators import GeneratorSpec
+
+__all__ = [
+    "DatasetRequest",
+    "DatasetRuntime",
+    "configure",
+    "get_runtime",
+    "reset_runtime",
+]
+
+
+@dataclass(frozen=True)
+class DatasetRequest:
+    """One injected-dataset build order for an already-prepared design."""
+
+    mode: str
+    n_samples: int
+    seed: int
+    kind: str = "single"
+    miv_fraction: float = 0.15
+
+
+# ----------------------------------------------------------------- workers
+# Worker-side state is installed once per process by the pool initializer
+# (cheap under fork, pickled once per worker under spawn), so per-task
+# payloads are three small ints.
+
+_CHUNK_STATE: Optional[List[Tuple["PreparedDesign", DatasetRequest]]] = None
+
+
+def _init_chunk_worker(state: Optional[List[Tuple["PreparedDesign", DatasetRequest]]]) -> None:
+    global _CHUNK_STATE
+    _CHUNK_STATE = state
+
+
+def _run_chunk(task: Tuple[int, int, int]):
+    from ..data.datasets import build_dataset_chunk
+
+    pair_index, chunk_index, chunk_n = task
+    design, req = _CHUNK_STATE[pair_index]
+    t0 = time.perf_counter()
+    items = build_dataset_chunk(
+        design, req.mode, chunk_index, chunk_n, req.seed, req.kind, req.miv_fraction
+    )
+    return pair_index, chunk_index, items, time.perf_counter() - t0
+
+
+def _prepare_point(point: Tuple["GeneratorSpec", "DesignConfig", Dict[str, object]]):
+    from ..data.datagen import prepare_design
+
+    spec, config, kwargs = point
+    t0 = time.perf_counter()
+    design = prepare_design(spec, config, **kwargs)
+    return design, time.perf_counter() - t0
+
+
+class DatasetRuntime:
+    """Executes dataset-generation work units with caching and fan-out.
+
+    Args:
+        workers: Worker processes for fan-out; 1 runs everything inline.
+        cache_dir: Root of the content-addressed artifact cache; ``None``
+            disables on-disk caching.
+        chunk_size: Samples per injection work unit.  Part of the dataset
+            definition — see :data:`repro.runtime.seeds.DEFAULT_CHUNK_SIZE`.
+        stats: Shared stats sink; a fresh one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: Optional[Union[str, os.PathLike]] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        stats: Optional[RuntimeStats] = None,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.chunk_size = int(chunk_size)
+        self.stats = stats if stats is not None else RuntimeStats()
+        self.cache: Optional[ArtifactCache] = (
+            ArtifactCache(cache_dir, stats=self.stats) if cache_dir else None
+        )
+
+    # ----------------------------------------------------------------- keys
+    @staticmethod
+    def _design_key(provenance: Dict[str, object]) -> Dict[str, object]:
+        return {"artifact": "design", "version": CODE_VERSION, **provenance}
+
+    def _chunk_key(
+        self,
+        design: PreparedDesign,
+        req: DatasetRequest,
+        chunk_index: int,
+        chunk_n: int,
+    ) -> Optional[Dict[str, object]]:
+        if not design.provenance:
+            return None  # hand-built bundle: not content-addressable
+        return {
+            "artifact": "sample_chunk",
+            "version": CODE_VERSION,
+            "design": self._design_key(design.provenance),
+            "mode": req.mode,
+            "dataset_kind": req.kind,
+            "seed": req.seed,
+            "miv_fraction": req.miv_fraction,
+            "chunk_size": self.chunk_size,
+            "chunk_index": chunk_index,
+            "chunk_n": chunk_n,
+        }
+
+    # -------------------------------------------------------------- prepare
+    def prepare(
+        self, spec: GeneratorSpec, config: DesignConfig, **kwargs: object
+    ) -> PreparedDesign:
+        """Cache-aware :func:`repro.data.prepare_design` for one point."""
+        return self.prepare_many([(spec, config, dict(kwargs))])[0]
+
+    def prepare_many(
+        self,
+        points: Sequence[Tuple[GeneratorSpec, DesignConfig, Dict[str, object]]],
+    ) -> List[PreparedDesign]:
+        """Prepare several design points, fanning the misses over workers.
+
+        Args:
+            points: ``(spec, config, prepare_design-kwargs)`` triples.
+
+        Returns:
+            Bundles in input order; cache hits load from disk, misses build
+            (in parallel when ``workers > 1``) and are stored back.
+        """
+        results: List[Optional[PreparedDesign]] = [None] * len(points)
+        keys: List[Dict[str, object]] = []
+        missing: List[int] = []
+        for i, (spec, config, kwargs) in enumerate(points):
+            key = self._design_key(
+                {"spec": spec, "config": config, **_full_prepare_kwargs(kwargs)}
+            )
+            keys.append(key)
+            if self.cache is not None:
+                design, hit = self.cache.get("design", key)
+                if hit:
+                    results[i] = design
+                    continue
+            missing.append(i)
+
+        if missing:
+            tasks = [points[i] for i in missing]
+            if self.workers > 1 and len(tasks) > 1:
+                self.stats.emit(
+                    f"[datagen] preparing {len(tasks)} design point(s) "
+                    f"on {self.workers} workers"
+                )
+                with self.stats.timed("prepare.wall"):
+                    with multiprocessing.Pool(min(self.workers, len(tasks))) as pool:
+                        built = pool.map(_prepare_point, tasks)
+            else:
+                with self.stats.timed("prepare.wall"):
+                    built = [_prepare_point(t) for t in tasks]
+            for i, (design, elapsed) in zip(missing, built):
+                self.stats.add_time("prepare.build", elapsed)
+                self.stats.count("prepare.designs_built")
+                results[i] = design
+                if self.cache is not None:
+                    self.cache.put("design", keys[i], design)
+                self.stats.emit(
+                    f"[datagen] prepared {design.benchmark}/{design.config.name} "
+                    f"({elapsed:.1f}s)"
+                )
+        return results  # type: ignore[return-value]
+
+    # -------------------------------------------------------------- datasets
+    def build_dataset(
+        self,
+        design: PreparedDesign,
+        mode: str,
+        n_samples: int,
+        seed: int,
+        kind: str = "single",
+        miv_fraction: float = 0.15,
+    ) -> SampleSet:
+        """Cache-aware, parallel counterpart of :func:`repro.data.build_dataset`."""
+        req = DatasetRequest(mode, n_samples, seed, kind, miv_fraction)
+        return self.build_datasets([(design, req)])[0]
+
+    def build_datasets(
+        self, orders: Sequence[Tuple[PreparedDesign, DatasetRequest]]
+    ) -> List[SampleSet]:
+        """Build several datasets, fanning all missing chunks over one pool.
+
+        Every (order, chunk) pair is an independent work unit; chunks from
+        different design points interleave freely across workers, so a
+        Syn-1/TPI/Syn-2/Par/Rand-k matrix keeps every worker busy.  Results
+        are assembled in canonical chunk order regardless of completion
+        order, which keeps them byte-identical to the serial build.
+        """
+        with self.stats.timed("dataset.wall"):
+            return self._build_datasets(orders)
+
+    def _build_datasets(
+        self, orders: Sequence[Tuple["PreparedDesign", DatasetRequest]]
+    ) -> List["SampleSet"]:
+        from ..data.datasets import SampleSet
+
+        # chunks[order_index][chunk_index] -> items
+        chunks: List[Dict[int, List[LabeledSample]]] = [{} for _ in orders]
+        chunk_keys: Dict[Tuple[int, int], Dict[str, object]] = {}
+        tasks: List[Tuple[int, int, int]] = []
+        for oi, (design, req) in enumerate(orders):
+            if req.kind not in ("single", "multi", "miv"):
+                raise ValueError(f"unknown dataset kind {req.kind!r}")
+            for chunk_index, chunk_n in chunk_plan(req.n_samples, self.chunk_size):
+                key = self._chunk_key(design, req, chunk_index, chunk_n)
+                if key is not None and self.cache is not None:
+                    items, hit = self.cache.get("sample_chunk", key)
+                    if hit:
+                        chunks[oi][chunk_index] = items
+                        continue
+                if key is not None:
+                    chunk_keys[(oi, chunk_index)] = key
+                tasks.append((oi, chunk_index, chunk_n))
+
+        if tasks:
+            n_cached = sum(len(c) for c in chunks)
+            self.stats.emit(
+                f"[datagen] injecting {len(tasks)} chunk(s) "
+                f"({n_cached} cached) on {min(self.workers, len(tasks))} worker(s)"
+            )
+            state = [(design, req) for design, req in orders]
+            if self.workers > 1 and len(tasks) > 1:
+                with multiprocessing.Pool(
+                    min(self.workers, len(tasks)),
+                    initializer=_init_chunk_worker,
+                    initargs=(state,),
+                ) as pool:
+                    outcomes = pool.map(_run_chunk, tasks)
+            else:
+                _init_chunk_worker(state)
+                try:
+                    outcomes = [_run_chunk(t) for t in tasks]
+                finally:
+                    _init_chunk_worker(None)
+            for oi, chunk_index, items, elapsed in outcomes:
+                self.stats.add_time("dataset.inject", elapsed)
+                self.stats.count("dataset.chunks_built")
+                self.stats.count("dataset.samples", len(items))
+                chunks[oi][chunk_index] = items
+                key = chunk_keys.get((oi, chunk_index))
+                if key is not None and self.cache is not None:
+                    self.cache.put("sample_chunk", key, items)
+
+        out: List[SampleSet] = []
+        for oi, (design, req) in enumerate(orders):
+            items: List[LabeledSample] = []
+            for chunk_index, _chunk_n in chunk_plan(req.n_samples, self.chunk_size):
+                items.extend(chunks[oi][chunk_index])
+            out.append(SampleSet(design=design, mode=req.mode, items=items))
+        return out
+
+
+def _full_prepare_kwargs(kwargs: Dict[str, object]) -> Dict[str, object]:
+    """Prepare kwargs with defaults filled in, so keys don't depend on call style."""
+    import inspect
+
+    from ..data.datagen import prepare_design
+
+    defaults = {
+        name: p.default
+        for name, p in inspect.signature(prepare_design).parameters.items()
+        if p.default is not inspect.Parameter.empty
+    }
+    defaults.update(kwargs)
+    return defaults
+
+
+# ------------------------------------------------------------------ global
+_GLOBAL_RUNTIME: Optional[DatasetRuntime] = None
+
+
+def configure(
+    workers: Optional[int] = None,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    chunk_size: Optional[int] = None,
+    stats: Optional[RuntimeStats] = None,
+) -> DatasetRuntime:
+    """Install (and return) the process-global runtime.
+
+    Unspecified parameters fall back to the ``REPRO_WORKERS`` /
+    ``REPRO_CACHE_DIR`` environment variables, then to serial/uncached.
+    Call before any experiment helper touches the pipeline — the experiment
+    layer memoizes prepared designs per process.
+    """
+    global _GLOBAL_RUNTIME
+    if workers is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "1"))
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    _GLOBAL_RUNTIME = DatasetRuntime(
+        workers=workers,
+        cache_dir=cache_dir,
+        chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size,
+        stats=stats,
+    )
+    return _GLOBAL_RUNTIME
+
+
+def get_runtime() -> DatasetRuntime:
+    """The process-global runtime (created from the environment on first use)."""
+    global _GLOBAL_RUNTIME
+    if _GLOBAL_RUNTIME is None:
+        configure()
+    return _GLOBAL_RUNTIME
+
+
+def reset_runtime() -> None:
+    """Drop the process-global runtime (tests use this to isolate state)."""
+    global _GLOBAL_RUNTIME
+    _GLOBAL_RUNTIME = None

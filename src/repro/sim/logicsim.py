@@ -221,6 +221,20 @@ class CompiledSimulator:
         self._gate_kernels: List[PackedFn] = [packed_eval(g.cell) for g in nl.gates]
         self._groups: List[_LevelGroup] = self._compile_levels() if packed else []
 
+    # -------------------------------------------------------------- pickling
+    def __getstate__(self):
+        """Pickle only (netlist, engine flag); everything else is derived.
+
+        The compiled state holds generated straight-line functions and
+        per-cell kernels (closures for truth-table-derived cells) that cannot
+        pickle; recompiling on load costs milliseconds and guarantees the
+        caches match the running code.
+        """
+        return {"nl": self.nl, "packed": self.packed}
+
+    def __setstate__(self, state):
+        self.__init__(state["nl"], packed=state["packed"])
+
     # --------------------------------------------------------------- compile
     def _compile_levels(self) -> List[_LevelGroup]:
         """Group gates by (topological level, cell type) into index arrays."""

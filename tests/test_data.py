@@ -22,6 +22,24 @@ class TestDesignConfig:
         with pytest.raises(ValueError, match="unknown configuration"):
             DesignConfig.standard("Syn-9")
 
+    @pytest.mark.parametrize("name", ["Rand-", "Rand-x", "Rand-1.5", "Rand-0x3"])
+    def test_rand_non_integer_suffix_rejected(self, name):
+        with pytest.raises(ValueError, match="expected an integer suffix"):
+            DesignConfig.standard(name)
+
+    def test_rand_missing_suffix_rejected(self):
+        with pytest.raises(ValueError, match="Rand-<k>"):
+            DesignConfig.standard("Rand")
+
+    def test_rand_negative_suffix_rejected(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            DesignConfig.standard("Rand--3")
+
+    def test_rand_large_and_padded_suffixes_accepted(self):
+        assert DesignConfig.standard("Rand-12").partition_seed == 112
+        # int(..., 10) tolerates leading zeros but not other bases.
+        assert DesignConfig.standard("Rand-007").partition_seed == 107
+
 
 class TestPrepareDesign:
     def test_bundle_consistency(self, prepared):

@@ -1,0 +1,123 @@
+"""Golden end-to-end regression fixture (paper Fig. 1 flow in miniature).
+
+Runs a tiny fixed-seed pipeline — prepare → inject → ATPG diagnosis → train
+→ prune/reorder — and compares the resulting diagnosis metrics against the
+snapshot in ``tests/golden/e2e_metrics.json`` within explicit tolerances.
+Any silent behavior change anywhere in the flow (simulation, ATPG,
+back-trace, features, GNN training, policy) moves a metric and fails here.
+
+Refresh the snapshot after an *intentional* change with::
+
+    REPRO_UPDATE_GOLDEN=1 pytest tests/test_golden.py -m slow
+
+and commit the diff alongside the change that caused it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data import DesignConfig
+from repro.diagnosis import EffectCauseDiagnoser
+from repro.diagnosis.report import first_hit_index, report_is_accurate
+from repro.core.pipeline import M3DDiagnosisFramework
+from repro.netlist import GeneratorSpec
+from repro.runtime import DatasetRuntime
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "e2e_metrics.json"
+
+#: Absolute tolerance per metric: counts and rates are exact under the
+#: fixed seeds; rank/resolution means get slack for BLAS-order float noise
+#: in GNN training on other platforms.
+TOLERANCES = {
+    "n_test": 0.0,
+    "n_diagnosed": 0.0,
+    "atpg_accuracy": 1e-9,
+    "atpg_mean_resolution": 1e-6,
+    "atpg_mean_first_hit": 1e-6,
+    "policy_accuracy": 0.10,
+    "policy_mean_resolution": 0.75,
+    "policy_mean_first_hit": 0.75,
+    "tier_accuracy": 0.10,
+    "miv_flag_rate": 0.15,
+}
+
+
+def _run_pipeline() -> dict:
+    rt = DatasetRuntime(workers=1)
+    spec = GeneratorSpec("golden", "aes_like", 200, 24, 12, 12, seed=17)
+    design = rt.prepare(
+        spec,
+        DesignConfig.standard("Syn-1"),
+        n_chains=4,
+        chains_per_channel=2,
+        max_patterns=96,
+    )
+    train = rt.build_dataset(design, "bypass", 96, seed=100)
+    test = rt.build_dataset(design, "bypass", 24, seed=9000)
+
+    fw = M3DDiagnosisFramework(epochs=15, seed=0)
+    fw.fit([train])
+    diag = EffectCauseDiagnoser(
+        design.nl, design.obsmap("bypass"), design.patterns,
+        mivs=design.mivs, sim=design.sim,
+    )
+
+    atpg_acc, atpg_res, atpg_hit = [], [], []
+    pol_acc, pol_res, pol_hit = [], [], []
+    tier_ok, miv_flagged, n_diagnosed = [], [], 0
+    for item in test.items:
+        report = diag.diagnose(item.sample.log)
+        result = fw.diagnose(design, "bypass", item.sample.log, report,
+                             graph=item.graph)
+        n_diagnosed += 1
+        atpg_acc.append(report_is_accurate(report, item.faults))
+        atpg_res.append(report.resolution)
+        atpg_hit.append(first_hit_index(report, item.faults) or report.resolution + 1)
+        pol_acc.append(report_is_accurate(result.report, item.faults))
+        pol_res.append(result.report.resolution)
+        pol_hit.append(
+            first_hit_index(result.report, item.faults) or result.report.resolution + 1
+        )
+        if item.graph.y >= 0:
+            tier_ok.append(result.predicted_tier == item.graph.y)
+        miv_flagged.append(bool(result.faulty_mivs))
+
+    return {
+        "n_test": float(len(test)),
+        "n_diagnosed": float(n_diagnosed),
+        "atpg_accuracy": float(np.mean(atpg_acc)),
+        "atpg_mean_resolution": float(np.mean(atpg_res)),
+        "atpg_mean_first_hit": float(np.mean(atpg_hit)),
+        "policy_accuracy": float(np.mean(pol_acc)),
+        "policy_mean_resolution": float(np.mean(pol_res)),
+        "policy_mean_first_hit": float(np.mean(pol_hit)),
+        "tier_accuracy": float(np.mean(tier_ok)) if tier_ok else -1.0,
+        "miv_flag_rate": float(np.mean(miv_flagged)),
+    }
+
+
+@pytest.mark.slow
+def test_golden_e2e_metrics():
+    metrics = _run_pipeline()
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"golden snapshot refreshed at {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        "missing golden snapshot; generate with REPRO_UPDATE_GOLDEN=1"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert set(metrics) == set(golden), "metric set changed — refresh the snapshot"
+    for name, want in golden.items():
+        tol = TOLERANCES[name]
+        got = metrics[name]
+        assert got == pytest.approx(want, abs=tol), (
+            f"{name}: got {got!r}, golden {want!r} (tolerance ±{tol}); "
+            f"if intentional, refresh with REPRO_UPDATE_GOLDEN=1"
+        )

@@ -1,0 +1,207 @@
+"""Unit tests for the dataset-generation runtime's building blocks.
+
+Covers seed derivation and the chunk grid (:mod:`repro.runtime.seeds`), the
+content-addressed artifact cache (:mod:`repro.runtime.cache`), the stats
+sink (:mod:`repro.runtime.instrument`), and the canonical fingerprint
+helpers (:mod:`repro.runtime.fingerprint`).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data.datagen import DesignConfig
+from repro.runtime import (
+    ArtifactCache,
+    DatasetRequest,
+    RuntimeStats,
+    cache_key_hash,
+    canonical_key,
+    chunk_plan,
+    derive_seed,
+    deterministic_split,
+)
+
+
+# ------------------------------------------------------------------- seeds
+def test_derive_seed_is_deterministic_and_sensitive():
+    a = derive_seed(7, "AES", "Syn-1", "bypass", 0)
+    assert a == derive_seed(7, "AES", "Syn-1", "bypass", 0)
+    # Any part changing changes the stream.
+    assert a != derive_seed(8, "AES", "Syn-1", "bypass", 0)
+    assert a != derive_seed(7, "Tate", "Syn-1", "bypass", 0)
+    assert a != derive_seed(7, "AES", "Rand-0", "bypass", 0)
+    assert a != derive_seed(7, "AES", "Syn-1", "compacted", 0)
+    assert a != derive_seed(7, "AES", "Syn-1", "bypass", 1)
+
+
+def test_derive_seed_fits_numpy_seed_range():
+    for i in range(100):
+        s = derive_seed(i, "x", i * 3)
+        assert 0 <= s < 2 ** 63
+        np.random.default_rng(s)  # must be accepted
+
+
+def test_derive_seed_no_concat_collisions():
+    # ("ab", "c") must not collide with ("a", "bc").
+    assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+
+def test_chunk_plan_covers_exactly():
+    for n in (0, 1, 15, 16, 17, 48, 100):
+        plan = chunk_plan(n, 16)
+        assert sum(size for _i, size in plan) == n
+        assert [i for i, _s in plan] == list(range(len(plan)))
+        assert all(1 <= size <= 16 for _i, size in plan)
+        if plan:
+            assert all(size == 16 for _i, size in plan[:-1])
+
+
+def test_chunk_plan_rejects_bad_input():
+    with pytest.raises(ValueError):
+        chunk_plan(-1, 16)
+    with pytest.raises(ValueError):
+        chunk_plan(10, 0)
+
+
+# ----------------------------------------------------------------- cache key
+def test_canonical_key_is_order_independent():
+    k1 = canonical_key({"b": 2, "a": 1, "nested": {"y": 0, "x": [1, 2]}})
+    k2 = canonical_key({"a": 1, "nested": {"x": [1, 2], "y": 0}, "b": 2})
+    assert k1 == k2
+    assert cache_key_hash({"b": 2, "a": 1}) == cache_key_hash({"a": 1, "b": 2})
+
+
+def test_canonical_key_flattens_dataclasses_with_type_tag():
+    cfg = DesignConfig.standard("Rand-3")
+    text = canonical_key({"config": cfg})
+    assert "DesignConfig" in text  # __type__ tag present
+    assert "103" in text  # partition_seed captured
+    # Distinct configs hash differently.
+    assert cache_key_hash({"c": cfg}) != cache_key_hash(
+        {"c": DesignConfig.standard("Rand-4")}
+    )
+
+
+def test_cache_key_hash_is_stable_hex():
+    h = cache_key_hash({"artifact": "design", "version": 1})
+    assert h == cache_key_hash({"version": 1, "artifact": "design"})
+    assert len(h) == 64
+    int(h, 16)
+
+
+# -------------------------------------------------------------------- cache
+def test_cache_roundtrip_and_layout(tmp_path):
+    stats = RuntimeStats()
+    cache = ArtifactCache(tmp_path / "c", stats=stats)
+    key = {"artifact": "unit", "x": 1}
+    obj, hit = cache.get("unit", key)
+    assert not hit and obj is None
+    payload = {"arr": np.arange(5), "s": "hello"}
+    cache.put("unit", key, payload)
+    back, hit = cache.get("unit", key)
+    assert hit
+    assert np.array_equal(back["arr"], payload["arr"]) and back["s"] == "hello"
+    assert stats.cache_hits == 1 and stats.cache_misses == 1
+    # Two-level fan-out layout plus a readable sidecar.
+    digest = cache_key_hash(key)
+    pkl = tmp_path / "c" / "unit" / digest[:2] / f"{digest}.pkl"
+    assert pkl.exists()
+    assert pkl.with_suffix(".key.json").exists() or pkl.parent.joinpath(
+        f"{digest}.key.json"
+    ).exists()
+
+
+def test_cache_corrupt_entry_is_a_miss(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = {"artifact": "unit", "x": 2}
+    cache.put("unit", key, [1, 2, 3])
+    digest = cache_key_hash(key)
+    pkl = tmp_path / "unit" / digest[:2] / f"{digest}.pkl"
+    pkl.write_bytes(b"not a pickle")
+    obj, hit = cache.get("unit", key)
+    assert not hit and obj is None
+    assert not pkl.exists()  # corrupt entry evicted
+    # And a fresh put works again.
+    cache.put("unit", key, [1, 2, 3])
+    assert cache.get("unit", key)[1]
+
+
+def test_cache_entries_size_and_clear(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    for i in range(3):
+        cache.put("kind_a", {"i": i}, list(range(i)))
+    cache.put("kind_b", {"i": 0}, "x")
+    assert cache.entries() == {"kind_a": 3, "kind_b": 1}
+    assert cache.size_bytes() > 0
+    assert cache.clear() == 4
+    assert cache.entries() == {}
+    assert cache.size_bytes() == 0
+
+
+def test_cache_distinct_keys_do_not_collide(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.put("unit", {"seed": 1}, "one")
+    cache.put("unit", {"seed": 2}, "two")
+    assert cache.get("unit", {"seed": 1})[0] == "one"
+    assert cache.get("unit", {"seed": 2})[0] == "two"
+
+
+# -------------------------------------------------------------- instrument
+def test_runtime_stats_timing_counters_and_report():
+    stats = RuntimeStats()
+    with stats.timed("stage.a"):
+        pass
+    stats.add_time("stage.a", 1.5)
+    stats.count("cache.design.hit", 2)
+    stats.count("cache.chunk.miss")
+    assert stats.stage_calls["stage.a"] == 2
+    assert stats.stage_seconds["stage.a"] >= 1.5
+    assert stats.cache_hits == 2 and stats.cache_misses == 1
+    text = stats.report()
+    assert "stage.a" in text and "cache.design.hit" in text
+    stats.clear()
+    assert stats.report().endswith("(no recorded activity)")
+
+
+def test_runtime_stats_merge_and_progress():
+    seen = []
+    a = RuntimeStats(progress=seen.append)
+    a.emit("hello")
+    assert seen == ["hello"]
+    b = RuntimeStats()
+    b.add_time("s", 2.0)
+    b.count("n", 3)
+    a.add_time("s", 1.0)
+    a.merge(b)
+    assert a.stage_seconds["s"] == pytest.approx(3.0)
+    assert a.stage_calls["s"] == 2
+    assert a.counters["n"] == 3
+
+
+# ------------------------------------------------------------- fingerprints
+def test_deterministic_split_is_pure_and_well_formed():
+    s1 = deterministic_split(100, seed=0)
+    s2 = deterministic_split(100, seed=0)
+    assert np.array_equal(s1, s2)
+    assert len(s1) == 20  # round(0.2 * 100)
+    assert np.array_equal(s1, np.sort(s1))
+    assert len(np.unique(s1)) == len(s1)
+    assert s1.min() >= 0 and s1.max() < 100
+    # Different seed / size → different fold.
+    assert not np.array_equal(s1, deterministic_split(100, seed=1))
+    assert len(deterministic_split(0)) == 0
+    with pytest.raises(ValueError):
+        deterministic_split(-1)
+
+
+def test_dataset_request_is_frozen_and_hashable():
+    req = DatasetRequest("bypass", 10, 7)
+    assert req.kind == "single" and req.miv_fraction == 0.15
+    with pytest.raises(Exception):
+        req.seed = 8
+    assert hash(req) == hash(DatasetRequest("bypass", 10, 7))
+    assert pickle.loads(pickle.dumps(req)) == req

@@ -1,0 +1,191 @@
+"""Property-based tests with seeded hand-rolled generators.
+
+Complements the hypothesis suite in ``test_properties.py`` with
+dependency-free randomized sweeps: bit-packing round-trips over ragged
+pattern counts (:mod:`repro.sim.bitpack`) and structural invariants of the
+heterogeneous graph (:mod:`repro.core.hetgraph`) over generated designs —
+every Topedge targets a live node, MIV nodes carry the spanning tier label,
+and no edge dangles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hetgraph import NodeKind
+from repro.sim.bitpack import (
+    WORD_BITS,
+    int_to_bits,
+    n_words_for,
+    pack_patterns,
+    rows_to_ints,
+    tail_mask,
+    unpack_patterns,
+)
+
+#: Boundary pattern counts around the 64-bit word size, plus seeded
+#: random ragged counts drawn per test.
+RAGGED_COUNTS = (1, 2, 63, 64, 65, 127, 128, 129)
+
+
+def _random_cases(seed: int, n_cases: int):
+    """Hand-rolled generator: (rng, shape-prefix, n_patterns) triples."""
+    rng = np.random.default_rng(seed)
+    for _ in range(n_cases):
+        ndim = int(rng.integers(1, 4))
+        prefix = tuple(int(rng.integers(1, 5)) for _ in range(ndim - 1))
+        n_pat = int(rng.integers(1, 200))
+        yield rng, prefix, n_pat
+
+
+# ------------------------------------------------------------------ bitpack
+def test_n_words_and_tail_mask_boundaries():
+    assert n_words_for(0) == 1  # always at least one word
+    for n in RAGGED_COUNTS:
+        assert n_words_for(n) == -(-n // WORD_BITS) or n == 0
+        mask = int(tail_mask(n))
+        rem = n % WORD_BITS
+        assert mask == (2 ** 64 - 1 if rem == 0 else (1 << rem) - 1)
+
+
+@pytest.mark.parametrize("n_pat", RAGGED_COUNTS)
+def test_pack_unpack_roundtrip_ragged(n_pat):
+    rng = np.random.default_rng(n_pat)
+    values = rng.integers(0, 2, size=(3, n_pat), dtype=np.uint8)
+    packed = pack_patterns(values)
+    assert packed.shape == (3, n_words_for(n_pat))
+    assert packed.dtype == np.uint64
+    assert np.array_equal(unpack_patterns(packed, n_pat), values)
+    # Tail bits beyond n_patterns are zeroed by pack_patterns.
+    assert np.all(packed[:, -1] & ~tail_mask(n_pat) == 0)
+
+
+def test_pack_unpack_roundtrip_random_shapes():
+    for rng, prefix, n_pat in _random_cases(seed=99, n_cases=40):
+        values = rng.integers(0, 2, size=prefix + (n_pat,), dtype=np.uint8)
+        back = unpack_patterns(pack_patterns(values), n_pat)
+        assert back.shape == values.shape
+        assert np.array_equal(back, values)
+
+
+def test_unpack_discards_garbage_tail():
+    rng = np.random.default_rng(7)
+    for n_pat in (1, 63, 65, 100):
+        values = rng.integers(0, 2, size=(2, n_pat), dtype=np.uint8)
+        dirty = pack_patterns(values).copy()
+        dirty[:, -1] |= ~tail_mask(n_pat)  # wreck the padding bits
+        assert np.array_equal(unpack_patterns(dirty, n_pat), values)
+
+
+def test_bool_input_packs_like_uint8():
+    rng = np.random.default_rng(11)
+    values = rng.integers(0, 2, size=(4, 77), dtype=np.uint8)
+    assert np.array_equal(pack_patterns(values.astype(bool)), pack_patterns(values))
+
+
+def test_rows_to_ints_bit_layout_and_roundtrip():
+    for rng, _prefix, n_pat in _random_cases(seed=123, n_cases=25):
+        values = rng.integers(0, 2, size=(3, n_pat), dtype=np.uint8)
+        ints = rows_to_ints(pack_patterns(values))
+        assert len(ints) == 3
+        for row, value in zip(values, ints):
+            # Bit p of the big-int is pattern p.
+            assert value == sum(int(b) << p for p, b in enumerate(row))
+            assert np.array_equal(int_to_bits(value, n_pat), row)
+
+
+def test_rows_to_ints_accepts_1d_rows():
+    values = np.array([1, 0, 1, 1], dtype=np.uint8)
+    (as_int,) = rows_to_ints(pack_patterns(values))
+    assert as_int == 0b1101
+    assert np.array_equal(int_to_bits(as_int, 4), values)
+
+
+# ----------------------------------------------------------------- hetgraph
+@pytest.fixture(params=["aes-Syn-1", "aes-Par"])
+def het_design(request, prepared, prepared_par):
+    return prepared if request.param == "aes-Syn-1" else prepared_par
+
+
+def test_hetgraph_no_dangling_edges(het_design):
+    het = het_design.het
+    src, dst = het.edges
+    assert len(src) == len(dst)
+    for arr in (src, dst):
+        assert arr.min() >= 0 and arr.max() < het.n_nodes
+    # No self-loops in the circuit-level graph.
+    assert not np.any(src == dst)
+
+
+def test_hetgraph_miv_nodes_span_tiers(het_design):
+    het = het_design.het
+    miv_mask = het.kind == NodeKind.MIV
+    assert miv_mask.sum() == len(het_design.mivs)
+    # MIV nodes carry the spanning tier label; everything else sits on a tier.
+    assert np.all(het.tier[miv_mask] == 0.5)
+    assert np.all(np.isin(het.tier[~miv_mask], (0.0, 1.0)))
+    assert np.all(het.miv_id[miv_mask] >= 0)
+    assert np.all(het.miv_id[~miv_mask] == -1)
+    assert np.all(het.connects_miv[miv_mask])
+    # Every physical MIV resolves to exactly its node.
+    for m in het_design.mivs:
+        v = het.miv_index[m.id]
+        assert het.kind[v] == NodeKind.MIV and het.miv_id[v] == m.id
+
+
+def test_hetgraph_topedges_target_existing_nodes(het_design):
+    het = het_design.het
+    assert het.cone_mask.shape == (het.n_topnodes, het.n_nodes)
+    assert het.topedge_dist.shape == het.cone_mask.shape
+    assert het.topedge_miv.shape == het.cone_mask.shape
+    in_cone = het.cone_mask.astype(bool)
+    # A Topedge exists exactly where the cone says so, with sane features.
+    assert np.all(het.topedge_dist[in_cone] >= 0)
+    assert np.all(het.topedge_miv[in_cone] >= 0)
+    assert np.all(het.topedge_dist[~in_cone] == -1)
+    # Every Topnode observes at least its own observation net's stem.
+    for t, obs_net in enumerate(het.topnode_nets):
+        assert 0 <= obs_net < het.nl.n_nets
+        stem = int(het.stem_of_net[obs_net])
+        assert stem >= 0 and in_cone[t, stem]
+        assert het.topnode_of_net[obs_net] == t
+
+
+def test_hetgraph_node_identity_maps_are_consistent(het_design):
+    het = het_design.het
+    for n in range(het.nl.n_nets):
+        v = int(het.stem_of_net[n])
+        assert v >= 0
+        assert het.kind[v] == NodeKind.STEM and het.net[v] == n
+    for (g, p), v in het.branch_index.items():
+        assert het.kind[v] == NodeKind.BRANCH
+        assert het.gate[v] == g and het.pin[v] == p
+        assert het.net[v] == het.nl.gates[g].fanin[p]
+
+
+def test_hetgraph_invariants_over_random_specs():
+    """Seeded sweep over fresh designs (both partitioners, varied sizes)."""
+    from repro.data import DesignConfig, prepare_design
+    from repro.netlist import GeneratorSpec
+
+    rng = np.random.default_rng(2024)
+    for _ in range(2):
+        n_gates = int(rng.integers(90, 150))
+        seed = int(rng.integers(0, 1000))
+        config = "Rand-0" if rng.integers(2) else "Syn-1"
+        design = prepare_design(
+            GeneratorSpec("prop", "netcard_like", n_gates, 12, 8, 6, seed=seed),
+            DesignConfig.standard(config),
+            n_chains=3,
+            chains_per_channel=3,
+            max_patterns=32,
+        )
+        het = design.het
+        src, dst = het.edges
+        assert src.min() >= 0 and dst.max() < het.n_nodes
+        miv_mask = het.kind == NodeKind.MIV
+        assert np.all(het.tier[miv_mask] == 0.5)
+        in_cone = het.cone_mask.astype(bool)
+        assert np.all(het.topedge_dist[in_cone] >= 0)
+        assert np.all(het.topedge_dist[~in_cone] == -1)
