@@ -1,0 +1,53 @@
+"""Static-analysis subsystem: determinism linting and structural DRC.
+
+Two engines back the ``repro check`` CLI command (and its ``repro lint``
+alias):
+
+* :mod:`repro.analysis.replint` — *repro-lint*, an AST-based linter that
+  enforces the repository's determinism and cache-safety contracts
+  (rules ``RPL001``…; see :data:`repro.analysis.replint.LINT_RULES`).
+  These contracts are what make the content-addressed artifact cache of
+  :mod:`repro.runtime` sound: every generation path must be a pure
+  function of its seeds and inputs.
+
+* :mod:`repro.analysis.drc` — structural design-rule checks over
+  :class:`~repro.netlist.netlist.Netlist`, MIV lists, and
+  :class:`~repro.core.hetgraph.HetGraph` bundles (rules ``DRC001``…; see
+  :data:`repro.analysis.drc.DRC_RULES`).  ``prepare_design`` runs the
+  cheap tier of these as a fail-fast pass on every prepared design.
+
+Both engines are importable without numpy/scipy so ``repro check --self``
+stays runnable in minimal environments.
+"""
+
+from .drc import (
+    DRC_RULES,
+    DrcError,
+    DrcViolation,
+    NetlistError,
+    assert_clean,
+    run_drc,
+)
+from .replint import (
+    LINT_RULES,
+    LintViolation,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "DRC_RULES",
+    "DrcError",
+    "DrcViolation",
+    "NetlistError",
+    "assert_clean",
+    "run_drc",
+    "LINT_RULES",
+    "LintViolation",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

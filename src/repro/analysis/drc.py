@@ -1,0 +1,658 @@
+"""Structural design-rule checks for netlists, MIV lists, and HetGraphs.
+
+Grown out of the original 72-line ``repro.netlist.validate``: the same
+single-driver/arity/sink-consistency rules, plus combinational-loop naming
+via Tarjan's SCC algorithm, dead-logic reachability, positional-id
+assertions, tier/MIV consistency, and HetGraph (Table I) invariants.  Every
+rule has a stable id so the mutation-test harness and CI can assert exactly
+which rule fires:
+
+=========  ============================================================
+rule       violation
+=========  ============================================================
+DRC001     combinational loop (Tarjan SCC over the gate graph)
+DRC002     floating net: no driver and not a PI / flop Q output
+DRC003     driver mismatch / multi-driven net
+DRC004     dangling gate output (no sinks, never observed)
+DRC005     gate fanin arity differs from its cell definition
+DRC006     reference to an out-of-range net / gate id
+DRC007     net sink list disagrees with gate fanin pins
+DRC008     ids are not positional (``nets[i].id != i`` …)
+DRC009     unreachable gate: output reaches no observation point
+DRC020     partial tier assignment (mix of assigned and -1)
+DRC021     tier-crossing (net, far tier) has no MIV
+DRC022     MIV does not cross tiers (intra-tier or spurious)
+DRC023     MIV direction/sink/observability mismatch with signal flow
+DRC024     duplicate MIV for one (net, target tier) / non-positional id
+DRC030     Topnode list differs from the design's observation points
+DRC031     Topedge D_top / N_MIV features disagree with netlist BFS
+DRC032     cone mask inconsistent with Topedge feature sentinels
+DRC033     HetGraph node/edge identity arrays malformed
+=========  ============================================================
+
+``run_drc`` never raises on malformed inputs — reporting the breakage *is*
+its job — so every rule guards its own index accesses and rules that need a
+sane id space are skipped (with the DRC006/DRC008 findings explaining why).
+
+This module deliberately imports nothing from the rest of the package at
+module level (``repro.netlist.validate`` re-exports from here, so a
+top-level import either way would be circular) and touches numpy only
+inside the HetGraph rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.hetgraph import HetGraph
+    from ..m3d.miv import MIV
+    from ..netlist.netlist import Netlist
+
+__all__ = [
+    "DRC_RULES",
+    "DrcError",
+    "DrcViolation",
+    "NetlistError",
+    "assert_clean",
+    "run_drc",
+]
+
+#: Rule id → one-line description (the DRC engine's public catalog).
+DRC_RULES: Dict[str, str] = {
+    "DRC001": "combinational loop in the gate graph",
+    "DRC002": "floating net without a driver",
+    "DRC003": "driver mismatch or multi-driven net",
+    "DRC004": "dangling (unobserved, sink-less) gate output",
+    "DRC005": "gate fanin arity differs from cell definition",
+    "DRC006": "out-of-range net or gate reference",
+    "DRC007": "net sink list inconsistent with gate fanin pins",
+    "DRC008": "non-positional net/gate/flop ids",
+    "DRC009": "gate output reaches no observation point",
+    "DRC020": "partial tier assignment",
+    "DRC021": "tier-crossing net without an MIV",
+    "DRC022": "MIV that does not cross tiers",
+    "DRC023": "MIV direction/sink/observability mismatch",
+    "DRC024": "duplicate or non-positionally-numbered MIV",
+    "DRC030": "Topnodes differ from the design's observation points",
+    "DRC031": "Topedge D_top/N_MIV features inconsistent with the netlist",
+    "DRC032": "cone mask inconsistent with Topedge sentinels",
+    "DRC033": "malformed HetGraph node/edge identity arrays",
+}
+
+
+class NetlistError(ValueError):
+    """A structural violation found by the DRC engine.
+
+    Kept under its historical name — the original ``netlist.validate``
+    module raised it — and aliased as :data:`DrcError` for new code.
+    """
+
+
+DrcError = NetlistError
+
+
+@dataclass(frozen=True)
+class DrcViolation:
+    """One finding of the structural DRC engine."""
+
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.rule}: {self.message}"
+
+
+# ---------------------------------------------------------------- helpers
+def _external_driver() -> int:
+    from ..netlist.netlist import EXTERNAL_DRIVER
+
+    return EXTERNAL_DRIVER
+
+
+def _tarjan_sccs(n: int, adj: Sequence[Sequence[int]]) -> List[List[int]]:
+    """Strongly connected components, iteratively (no recursion limit).
+
+    Returns components in reverse-topological discovery order; vertices
+    inside a component keep discovery order, which makes reports stable.
+    """
+    index = [-1] * n
+    low = [0] * n
+    on_stack = [False] * n
+    stack: List[int] = []
+    sccs: List[List[int]] = []
+    counter = 0
+
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        # Each frame: (vertex, iterator position into adj[vertex]).
+        work: List[Tuple[int, int]] = [(root, 0)]
+        while work:
+            v, pi = work[-1]
+            if pi == 0:
+                index[v] = low[v] = counter
+                counter += 1
+                stack.append(v)
+                on_stack[v] = True
+            advanced = False
+            for next_pi in range(pi, len(adj[v])):
+                w = adj[v][next_pi]
+                if index[w] == -1:
+                    work[-1] = (v, next_pi + 1)
+                    work.append((w, 0))
+                    advanced = True
+                    break
+                if on_stack[w]:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if low[v] == index[v]:
+                comp: List[int] = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    comp.append(w)
+                    if w == v:
+                        break
+                sccs.append(comp[::-1])
+            if work:
+                u, _ = work[-1]
+                low[u] = min(low[u], low[v])
+    return sccs
+
+
+# ----------------------------------------------------------- core netlist
+def _check_ids_and_refs(nl: "Netlist", out: List[DrcViolation]) -> bool:
+    """DRC006 + DRC008.  Returns True when the id space is sane enough for
+    the graph-walking rules to run without guarding every index."""
+    ok = True
+    for i, net in enumerate(nl.nets):
+        if net.id != i:
+            out.append(DrcViolation(
+                "DRC008", f"net {net.name!r} has id {net.id} at position {i}"))
+            ok = False
+    for i, g in enumerate(nl.gates):
+        if g.id != i:
+            out.append(DrcViolation(
+                "DRC008", f"gate {g.name!r} has id {g.id} at position {i}"))
+            ok = False
+    for i, f in enumerate(nl.flops):
+        if f.id != i:
+            out.append(DrcViolation(
+                "DRC008", f"flop {f.name!r} has id {f.id} at position {i}"))
+            ok = False
+
+    n_nets, n_gates = nl.n_nets, nl.n_gates
+    for g in nl.gates:
+        for pin, nid in enumerate(g.fanin):
+            if not 0 <= nid < n_nets:
+                out.append(DrcViolation(
+                    "DRC006", f"gate {g.name!r} pin {pin} references bad net {nid}"))
+                ok = False
+        if not 0 <= g.out < n_nets:
+            out.append(DrcViolation(
+                "DRC006", f"gate {g.name!r} output references bad net {g.out}"))
+            ok = False
+    external = _external_driver()
+    for net in nl.nets:
+        if net.driver != external and not 0 <= net.driver < n_gates:
+            out.append(DrcViolation(
+                "DRC006", f"net {net.name!r} references bad driver gate {net.driver}"))
+            ok = False
+        for gate_id, _pin in net.sinks:
+            if not 0 <= gate_id < n_gates:
+                out.append(DrcViolation(
+                    "DRC006", f"net {net.name!r} sink references bad gate {gate_id}"))
+                ok = False
+    for f in nl.flops:
+        if not 0 <= f.d_net < n_nets or not 0 <= f.q_net < n_nets:
+            out.append(DrcViolation("DRC006", f"flop {f.name!r} references bad nets"))
+            ok = False
+    for nid in list(nl.primary_inputs) + list(nl.primary_outputs):
+        if not 0 <= nid < n_nets:
+            out.append(DrcViolation("DRC006", f"primary I/O references bad net {nid}"))
+            ok = False
+    return ok
+
+
+def _check_structure(nl: "Netlist", out: List[DrcViolation]) -> None:
+    """DRC002..DRC005 + DRC007: local single-driver/arity/sink consistency."""
+    external = _external_driver()
+    external_nets = set(nl.primary_inputs) | {f.q_net for f in nl.flops}
+
+    driven_by: Dict[int, List[int]] = {}
+    for g in nl.gates:
+        driven_by.setdefault(g.out, []).append(g.id)
+
+    for net in nl.nets:
+        if net.driver == external and net.id not in external_nets:
+            if net.id in driven_by:
+                out.append(DrcViolation(
+                    "DRC003",
+                    f"net {net.name!r} claims no driver but gate "
+                    f"{nl.gates[driven_by[net.id][0]].name!r} drives it"))
+            else:
+                out.append(DrcViolation(
+                    "DRC002", f"net {net.name!r} ({net.id}) has no driver"))
+        if net.driver != external:
+            g = nl.gates[net.driver]
+            if g.out != net.id:
+                out.append(DrcViolation(
+                    "DRC003",
+                    f"net {net.name!r} claims driver gate {g.name!r} "
+                    f"but that gate drives net {g.out}"))
+        drivers = driven_by.get(net.id, [])
+        if len(drivers) > 1:
+            names = ", ".join(repr(nl.gates[d].name) for d in drivers)
+            out.append(DrcViolation(
+                "DRC003", f"net {net.name!r} is multi-driven by gates {names}"))
+
+    for g in nl.gates:
+        if len(g.fanin) != g.cell.n_inputs:
+            out.append(DrcViolation(
+                "DRC005",
+                f"gate {g.name!r} has {len(g.fanin)} fanins for cell {g.cell.name}"))
+        for pin, nid in enumerate(g.fanin):
+            if (g.id, pin) not in nl.nets[nid].sinks:
+                out.append(DrcViolation(
+                    "DRC007",
+                    f"sink list of net {nid} is missing gate {g.name!r} pin {pin}"))
+    for net in nl.nets:
+        for gate_id, pin in net.sinks:
+            g = nl.gates[gate_id]
+            if pin >= len(g.fanin) or g.fanin[pin] != net.id:
+                out.append(DrcViolation(
+                    "DRC007",
+                    f"net {net.name!r} lists stale sink (gate {g.name!r}, pin {pin})"))
+
+    observed = set(nl.observed_nets)
+    for g in nl.gates:
+        net = nl.nets[g.out]
+        if not net.sinks and net.id not in observed:
+            out.append(DrcViolation(
+                "DRC004", f"gate {g.name!r} output net {net.name!r} dangles"))
+
+
+def _check_loops(nl: "Netlist", out: List[DrcViolation]) -> None:
+    """DRC001 via Tarjan SCC: name the gates on every combinational cycle."""
+    adj: List[List[int]] = [[] for _ in range(nl.n_gates)]
+    for g in nl.gates:
+        for sink_gate, _pin in nl.nets[g.out].sinks:
+            adj[g.id].append(sink_gate)
+    for comp in _tarjan_sccs(nl.n_gates, adj):
+        cyclic = len(comp) > 1 or comp[0] in adj[comp[0]]
+        if cyclic:
+            names = ", ".join(nl.gates[gid].name for gid in comp[:6])
+            more = f" (+{len(comp) - 6} more)" if len(comp) > 6 else ""
+            out.append(DrcViolation(
+                "DRC001",
+                f"combinational loop through {len(comp)} gate(s): {names}{more}"))
+
+
+def _check_reachability(nl: "Netlist", out: List[DrcViolation]) -> None:
+    """DRC009: gates whose output cannot reach any observation point."""
+    external = _external_driver()
+    live_nets: Set[int] = set()
+    stack = [n for n in nl.observed_nets if 0 <= n < nl.n_nets]
+    live_nets.update(stack)
+    while stack:
+        cur = stack.pop()
+        drv = nl.nets[cur].driver
+        if drv == external:
+            continue
+        for nid in nl.gates[drv].fanin:
+            if nid not in live_nets:
+                live_nets.add(nid)
+                stack.append(nid)
+    observed = set(nl.observed_nets)
+    for g in nl.gates:
+        if g.out in live_nets:
+            continue
+        if not nl.nets[g.out].sinks and g.out not in observed:
+            continue  # already reported as dangling (DRC004)
+        out.append(DrcViolation(
+            "DRC009",
+            f"gate {g.name!r} output net {nl.nets[g.out].name!r} "
+            "reaches no observation point"))
+
+
+# ------------------------------------------------------------- tiers/MIVs
+def _expected_crossings(
+    nl: "Netlist",
+) -> Dict[Tuple[int, int], Tuple[int, Tuple[Tuple[int, int], ...], bool]]:
+    """(net, target tier) → (source tier, far sinks, observed_faulty).
+
+    The ground-truth crossing set, recomputed from tier assignments alone —
+    the reference any claimed MIV list is judged against.  Mirrors the
+    semantics of :func:`repro.m3d.miv.extract_mivs` by construction.
+    """
+    d_tier: Dict[int, List[int]] = {}
+    for f in nl.flops:
+        d_tier.setdefault(f.d_net, []).append(f.tier)
+    pos = set(nl.primary_outputs)
+
+    expected: Dict[Tuple[int, int], Tuple[int, Tuple[Tuple[int, int], ...], bool]] = {}
+    for net in nl.nets:
+        src = nl.net_tier(net.id)
+        far_by_tier: Dict[int, List[Tuple[int, int]]] = {}
+        for gate_id, pin in net.sinks:
+            t = nl.gates[gate_id].tier
+            if t != src:
+                far_by_tier.setdefault(t, []).append((gate_id, pin))
+        observed_tiers = {t for t in d_tier.get(net.id, ()) if t != src}
+        if net.id in pos and src != 0:
+            observed_tiers.add(0)
+        for t in sorted(set(far_by_tier) | observed_tiers):
+            expected[(net.id, t)] = (
+                src,
+                tuple(far_by_tier.get(t, ())),
+                t in observed_tiers,
+            )
+    return expected
+
+
+def _check_tiers_and_mivs(
+    nl: "Netlist", mivs: Optional[Sequence["MIV"]], out: List[DrcViolation]
+) -> None:
+    """DRC020..DRC024: tier-assignment and MIV-list consistency."""
+    tiers = [g.tier for g in nl.gates] + [f.tier for f in nl.flops]
+    if not tiers:
+        return
+    n_unassigned = sum(1 for t in tiers if t < 0)
+    if n_unassigned == len(tiers):
+        return  # 2D netlist: tier rules do not apply
+    if n_unassigned:
+        out.append(DrcViolation(
+            "DRC020",
+            f"partial tier assignment: {n_unassigned} of {len(tiers)} "
+            "gates/flops have no tier"))
+        return
+    if mivs is None:
+        return
+
+    expected = _expected_crossings(nl)
+    claimed: Dict[Tuple[int, int], "MIV"] = {}
+    for i, m in enumerate(mivs):
+        if m.id != i:
+            out.append(DrcViolation(
+                "DRC024", f"MIV at position {i} has non-positional id {m.id}"))
+        key = (m.net, m.target_tier)
+        if key in claimed:
+            out.append(DrcViolation(
+                "DRC024",
+                f"duplicate MIV for net {nl.nets[m.net].name!r} "
+                f"target tier {m.target_tier}"))
+            continue
+        claimed[key] = m
+        if key not in expected:
+            kind = "intra-tier" if m.target_tier == nl.net_tier(m.net) else "spurious"
+            out.append(DrcViolation(
+                "DRC022",
+                f"{kind} MIV {m.id} on net {nl.nets[m.net].name!r} "
+                f"(source tier {m.source_tier}, target tier {m.target_tier}) "
+                "crosses no tier boundary"))
+            continue
+        src, far_sinks, observed_faulty = expected[key]
+        if m.source_tier != src:
+            out.append(DrcViolation(
+                "DRC023",
+                f"MIV {m.id} on net {nl.nets[m.net].name!r} claims source tier "
+                f"{m.source_tier} but the net is driven from tier {src}"))
+        if tuple(sorted(m.far_sinks)) != tuple(sorted(far_sinks)):
+            out.append(DrcViolation(
+                "DRC023",
+                f"MIV {m.id} on net {nl.nets[m.net].name!r} far-sink set "
+                f"{sorted(m.far_sinks)} does not match the tier-"
+                f"{m.target_tier} sinks {sorted(far_sinks)}"))
+        if bool(m.observed_faulty) != observed_faulty:
+            out.append(DrcViolation(
+                "DRC023",
+                f"MIV {m.id} on net {nl.nets[m.net].name!r} observability flag "
+                f"{m.observed_faulty} disagrees with the tier-{m.target_tier} "
+                "observation points"))
+    for key in expected:
+        if key not in claimed:
+            net_id, t = key
+            out.append(DrcViolation(
+                "DRC021",
+                f"net {nl.nets[net_id].name!r} crosses from tier "
+                f"{expected[key][0]} to tier {t} without an MIV"))
+
+
+# --------------------------------------------------------------- HetGraph
+def _check_hetgraph(
+    nl: "Netlist",
+    mivs: Optional[Sequence["MIV"]],
+    het: "HetGraph",
+    deep: bool,
+    out: List[DrcViolation],
+) -> None:
+    """DRC030..DRC033: Table I invariants of a built heterogeneous graph."""
+    import numpy as np
+
+    from ..core.hetgraph import NodeKind
+
+    # DRC030 — Topnodes must be exactly the observation points, in order.
+    if list(het.topnode_nets) != list(nl.observed_nets):
+        out.append(DrcViolation(
+            "DRC030",
+            f"Topnode nets {list(het.topnode_nets)[:8]}… differ from the "
+            f"design's observation points (POs + flop D nets)"))
+
+    n_nodes = het.n_nodes
+    n_nets = nl.n_nets
+
+    # DRC033 — identity arrays well-formed.
+    aligned = {
+        "kind": het.kind, "net": het.net, "gate": het.gate, "pin": het.pin,
+        "miv_id": het.miv_id, "tier": het.tier, "level": het.level,
+        "is_output": het.is_output, "connects_miv": het.connects_miv,
+    }
+    for name, arr in aligned.items():
+        if len(arr) != n_nodes:
+            out.append(DrcViolation(
+                "DRC033", f"node column {name!r} has length {len(arr)}, "
+                f"expected {n_nodes}"))
+            return  # nothing below is meaningful on ragged columns
+    bad_kind = ~np.isin(het.kind, (NodeKind.STEM, NodeKind.BRANCH, NodeKind.MIV))
+    if bad_kind.any():
+        out.append(DrcViolation(
+            "DRC033", f"{int(bad_kind.sum())} node(s) have an unknown kind code"))
+    bad_net = (het.net < 0) | (het.net >= n_nets)
+    if bad_net.any():
+        out.append(DrcViolation(
+            "DRC033", f"{int(bad_net.sum())} node(s) reference out-of-range nets"))
+    src, dst = het.edges
+    if len(src) != len(dst):
+        out.append(DrcViolation(
+            "DRC033", "edge source/destination arrays have different lengths"))
+    else:
+        bad_edges = ((src < 0) | (src >= n_nodes) | (dst < 0) | (dst >= n_nodes))
+        if len(src) and bad_edges.any():
+            out.append(DrcViolation(
+                "DRC033",
+                f"{int(bad_edges.sum())} edge endpoint(s) out of range"))
+    if len(het.stem_of_net) != n_nets:
+        out.append(DrcViolation(
+            "DRC033", f"stem_of_net covers {len(het.stem_of_net)} nets, "
+            f"expected {n_nets}"))
+    else:
+        for nid in range(n_nets):
+            v = int(het.stem_of_net[nid])
+            if not 0 <= v < n_nodes or int(het.kind[v]) != NodeKind.STEM \
+                    or int(het.net[v]) != nid:
+                out.append(DrcViolation(
+                    "DRC033", f"net {nid} has no valid stem node"))
+                break
+
+    # DRC032 — cone mask and the -1 sentinels must tell the same story.
+    shapes_ok = (
+        het.cone_mask.shape == het.topedge_dist.shape == het.topedge_miv.shape
+        and het.cone_mask.shape == (len(het.topnode_nets), n_nodes)
+    )
+    if not shapes_ok:
+        out.append(DrcViolation(
+            "DRC032",
+            f"cone/Topedge arrays have shapes {het.cone_mask.shape}, "
+            f"{het.topedge_dist.shape}, {het.topedge_miv.shape}; expected "
+            f"({len(het.topnode_nets)}, {n_nodes})"))
+    else:
+        dist_mismatch = het.cone_mask != (het.topedge_dist >= 0)
+        miv_mismatch = het.cone_mask != (het.topedge_miv >= 0)
+        if dist_mismatch.any() or miv_mismatch.any():
+            n_bad = int((dist_mismatch | miv_mismatch).sum())
+            out.append(DrcViolation(
+                "DRC032",
+                f"{n_bad} Topedge entr(ies) where the cone mask and the -1 "
+                "feature sentinels disagree"))
+
+    if deep and shapes_ok and mivs is not None:
+        _check_topedges_deep(nl, mivs, het, out)
+
+
+def _check_topedges_deep(
+    nl: "Netlist",
+    mivs: Sequence["MIV"],
+    het: "HetGraph",
+    out: List[DrcViolation],
+) -> None:
+    """DRC031: recompute every Topedge feature from the netlist and compare.
+
+    This re-runs the per-Topnode backward BFS — the same O(n_top · (V+E))
+    the graph build paid — so it is only on in ``deep`` mode (``repro check``
+    and the mutation harness), not in the fail-fast pipeline pass.
+    """
+    import numpy as np
+
+    from ..core.hetgraph import NodeKind
+    from ..m3d.miv import miv_net_set
+    from ..netlist.topology import bfs_distance_from_observation
+
+    miv_nets = miv_net_set(mivs)
+    miv_index = {m.id: i for i, m in enumerate(mivs)}
+    n_nets = nl.n_nets
+    kind_arr = np.asarray(het.kind)
+    gate_arr = np.asarray(het.gate)
+    node_net = np.asarray(het.net)
+    connects = np.asarray(het.connects_miv)
+    gate_out = np.asarray([g.out for g in nl.gates] + [0], dtype=np.int64)
+
+    mismatches = 0
+    first: Optional[str] = None
+    for t_idx, obs_net in enumerate(het.topnode_nets):
+        if not 0 <= obs_net < n_nets:
+            out.append(DrcViolation(
+                "DRC031", f"Topnode {t_idx} observes out-of-range net {obs_net}"))
+            return
+        dist_net, miv_cnt = bfs_distance_from_observation(nl, obs_net, miv_nets)
+        dist_arr = np.full(n_nets, -1, dtype=np.int64)
+        miv_arr = np.full(n_nets, -1, dtype=np.int64)
+        for k, v in dist_net.items():
+            dist_arr[k] = v
+        for k, v in miv_cnt.items():
+            miv_arr[k] = v
+
+        want_dist = np.full(het.n_nodes, -1, dtype=np.int64)
+        want_miv = np.full(het.n_nodes, -1, dtype=np.int64)
+        stems = kind_arr == NodeKind.STEM
+        nd = dist_arr[node_net]
+        sel = stems & (nd >= 0)
+        want_dist[sel] = nd[sel]
+        want_miv[sel] = miv_arr[node_net][sel]
+
+        branches = kind_arr == NodeKind.BRANCH
+        b_out = gate_out[np.where(branches, gate_arr, -1)]
+        bd = dist_arr[b_out]
+        sel = branches & (bd >= 0)
+        want_dist[sel] = bd[sel] + 1
+        want_miv[sel] = miv_arr[b_out][sel] + connects[sel]
+
+        for m in mivs:
+            v = het.miv_index.get(m.id)
+            if v is None:
+                continue
+            best: Optional[Tuple[int, int]] = None
+            for gid, _pin in m.far_sinks:
+                o = nl.gates[gid].out
+                if dist_arr[o] >= 0:
+                    cand = (int(dist_arr[o]) + 1, int(miv_arr[o]) + 1)
+                    if best is None or cand[0] < best[0]:
+                        best = cand
+            if m.observed_faulty and obs_net == m.net:
+                best = (0, 1)
+            if best is not None:
+                want_dist[v], want_miv[v] = best
+
+        got_dist = np.asarray(het.topedge_dist[t_idx], dtype=np.int64)
+        got_miv = np.asarray(het.topedge_miv[t_idx], dtype=np.int64)
+        bad = (got_dist != want_dist) | (got_miv != want_miv)
+        if bad.any():
+            mismatches += int(bad.sum())
+            if first is None:
+                v = int(np.argmax(bad))
+                first = (
+                    f"Topnode {t_idx} (net {obs_net}) node {v}: stored "
+                    f"(D_top={int(got_dist[v])}, N_MIV={int(got_miv[v])}) vs "
+                    f"recomputed ({int(want_dist[v])}, {int(want_miv[v])})"
+                )
+    if mismatches:
+        out.append(DrcViolation(
+            "DRC031",
+            f"{mismatches} Topedge feature(s) disagree with the netlist BFS; "
+            f"first: {first}"))
+
+    unknown = set(miv_index) ^ set(het.miv_index)
+    if unknown:
+        out.append(DrcViolation(
+            "DRC031",
+            f"HetGraph MIV nodes and the MIV list disagree on ids {sorted(unknown)[:6]}"))
+
+
+# ------------------------------------------------------------- entry points
+def run_drc(
+    nl: "Netlist",
+    mivs: Optional[Sequence["MIV"]] = None,
+    het: Optional["HetGraph"] = None,
+    deep: bool = False,
+) -> List[DrcViolation]:
+    """Run every applicable design-rule check; return all findings.
+
+    Args:
+        nl: The netlist under test.
+        mivs: Its claimed MIV list, enabling the DRC02x rules (requires a
+            fully tier-assigned netlist).
+        het: Its built heterogeneous graph, enabling the DRC03x rules.
+        deep: Also recompute every Topedge feature from scratch (DRC031) —
+            as expensive as the graph build itself; used by ``repro check``
+            and the mutation harness, not the fail-fast pipeline pass.
+    """
+    out: List[DrcViolation] = []
+    refs_ok = _check_ids_and_refs(nl, out)
+    if not refs_ok:
+        return out  # graph-walking rules would chase the bad ids reported above
+    _check_structure(nl, out)
+    _check_loops(nl, out)
+    _check_reachability(nl, out)
+    _check_tiers_and_mivs(nl, mivs, out)
+    if het is not None:
+        _check_hetgraph(nl, mivs, het, deep, out)
+    return out
+
+
+def assert_clean(
+    nl: "Netlist",
+    mivs: Optional[Sequence["MIV"]] = None,
+    het: Optional["HetGraph"] = None,
+    deep: bool = False,
+    context: str = "",
+) -> None:
+    """Raise :class:`DrcError` when :func:`run_drc` finds any violation."""
+    problems = run_drc(nl, mivs=mivs, het=het, deep=deep)
+    if problems:
+        where = f" in {context}" if context else ""
+        listed = "; ".join(str(p) for p in problems[:10])
+        more = f" (+{len(problems) - 10} more)" if len(problems) > 10 else ""
+        raise DrcError(f"DRC failed{where}: {listed}{more}")

@@ -1,0 +1,400 @@
+"""repro-lint: AST-based determinism and cache-safety linter.
+
+The dataset runtime (:mod:`repro.runtime`) caches artifacts under
+content-addressed keys and promises byte-identical results for any worker
+count.  That promise only holds when every generation path is a pure
+function of its explicit seeds and inputs.  These rules ban the constructs
+that silently break it:
+
+========  =============================================================
+rule      contract
+========  =============================================================
+RPL001    no global-state RNG calls (``random.random()``,
+          ``np.random.rand()``, …) — inject a seeded ``random.Random``
+          or ``np.random.Generator`` instead
+RPL002    no wall-clock/OS entropy (``time.time()``, ``os.urandom()``,
+          ``uuid.uuid4()``, ``secrets.*``, ``datetime.now()``) in code
+          reachable from runtime work units
+RPL003    no order-sensitive iteration over set displays
+          (``list({...})``, ``for x in {...}``) — unordered iteration
+          leaks ``PYTHONHASHSEED``-dependent order into artifacts
+RPL004    no mutable default arguments (shared state across calls)
+RPL005    no lambdas stored as instance state (unpicklable: breaks the
+          artifact cache and multiprocessing fan-out)
+========  =============================================================
+
+Any finding can be silenced on its line with ``# repro-lint:
+disable=RPL001`` (comma-separate several ids), or for a whole file with
+``# repro-lint: disable-file=RPL001`` on any line.  Suppressions are meant
+to carry a justification in a neighbouring comment.
+
+The linter is pure stdlib (``ast`` + ``re``) so ``repro check --self``
+runs in environments without the numeric stack.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple, Union
+
+__all__ = [
+    "LINT_RULES",
+    "LintViolation",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
+
+#: Rule id → one-line description (the linter's public catalog).
+LINT_RULES: Dict[str, str] = {
+    "RPL001": "global-state RNG call; inject a seeded random.Random / np.random.Generator",
+    "RPL002": "wall-clock or OS entropy source in deterministic code",
+    "RPL003": "order-sensitive iteration over an unordered set display",
+    "RPL004": "mutable default argument",
+    "RPL005": "lambda stored as instance state (unpicklable)",
+}
+
+#: ``random.<attr>`` accesses that construct isolated RNGs (allowed).
+_RANDOM_ALLOWED = {"Random", "SystemRandom"}
+
+#: ``numpy.random.<attr>`` accesses that construct isolated RNGs (allowed).
+_NP_RANDOM_ALLOWED = {
+    "Generator",
+    "default_rng",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+    "RandomState",  # legacy, but instance-scoped when constructed explicitly
+}
+
+#: Fully-qualified callables banned by RPL002 (exact match).
+_ENTROPY_BANNED = {
+    "time.time",
+    "time.time_ns",
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+#: Module prefixes banned wholesale by RPL002.
+_ENTROPY_BANNED_PREFIXES = ("secrets.",)
+
+#: Wrappers whose output order follows the input iterable's order (RPL003).
+_ORDER_SENSITIVE_WRAPPERS = {"list", "tuple", "iter", "enumerate", "reversed"}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable(?P<scope>-file)?\s*=\s*(?P<ids>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+)
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One finding of the repro-lint engine."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """True for expressions that are syntactically unordered sets."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-pass visitor implementing every RPL rule."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.violations: List[LintViolation] = []
+        #: Local name → fully-qualified module/object path it is bound to.
+        self.aliases: Dict[str, str] = {}
+
+    # ------------------------------------------------------------- plumbing
+    def _add(self, rule: str, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            LintViolation(
+                rule=rule,
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    def _qualname(self, node: ast.AST) -> str:
+        """Resolve ``np.random.rand`` → ``"numpy.random.rand"`` (or "")."""
+        parts: List[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return ""
+        root = self.aliases.get(cur.id)
+        if root is None:
+            return ""
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    # -------------------------------------------------------------- imports
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                full = f"{node.module}.{alias.name}"
+                self.aliases[alias.asname or alias.name] = full
+                # RPL001 fires at the import when a global-state function is
+                # pulled out of random / numpy.random by name.
+                if node.module == "random" and alias.name not in _RANDOM_ALLOWED:
+                    self._add(
+                        "RPL001",
+                        node,
+                        f"from-import of global-state 'random.{alias.name}'; "
+                        "inject a seeded random.Random instead",
+                    )
+                elif node.module == "numpy.random" and alias.name not in _NP_RANDOM_ALLOWED:
+                    self._add(
+                        "RPL001",
+                        node,
+                        f"from-import of global-state 'numpy.random.{alias.name}'; "
+                        "inject a seeded np.random.Generator instead",
+                    )
+        self.generic_visit(node)
+
+    # ----------------------------------------------------- RPL001 / RPL002
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        qn = self._qualname(node)
+        if qn:
+            head, _, tail = qn.rpartition(".")
+            if head == "random" and tail not in _RANDOM_ALLOWED:
+                self._add(
+                    "RPL001",
+                    node,
+                    f"global-state RNG '{qn}'; inject a seeded random.Random instead",
+                )
+            elif head == "numpy.random" and tail not in _NP_RANDOM_ALLOWED:
+                self._add(
+                    "RPL001",
+                    node,
+                    f"global-state RNG '{qn}'; inject a seeded np.random.Generator instead",
+                )
+            elif qn in _ENTROPY_BANNED or qn.startswith(_ENTROPY_BANNED_PREFIXES):
+                self._add(
+                    "RPL002",
+                    node,
+                    f"entropy source '{qn}' breaks determinism; derive values "
+                    "from seeds (repro.runtime.seeds.derive_seed)",
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # A from-imported entropy function called by bare name.
+        if isinstance(node.func, ast.Name):
+            qn = self.aliases.get(node.func.id, "")
+            if qn in _ENTROPY_BANNED or (qn and qn.startswith(_ENTROPY_BANNED_PREFIXES)):
+                self._add(
+                    "RPL002",
+                    node,
+                    f"entropy source '{qn}' breaks determinism; derive values "
+                    "from seeds (repro.runtime.seeds.derive_seed)",
+                )
+            # RPL003: order-sensitive wrappers over a set display.
+            if (
+                node.func.id in _ORDER_SENSITIVE_WRAPPERS
+                and node.args
+                and _is_set_expr(node.args[0])
+            ):
+                self._add(
+                    "RPL003",
+                    node,
+                    f"'{node.func.id}()' over a set has PYTHONHASHSEED-dependent "
+                    "order; use sorted(...) before it leaks into artifacts",
+                )
+        # RPL003: "sep".join({...}) serializes unordered content.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and node.args
+            and _is_set_expr(node.args[0])
+        ):
+            self._add(
+                "RPL003",
+                node,
+                "str.join over a set has PYTHONHASHSEED-dependent order; "
+                "use sorted(...) first",
+            )
+        self.generic_visit(node)
+
+    # ---------------------------------------------------------------- RPL003
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter):
+            self._add(
+                "RPL003",
+                node,
+                "iterating a set display has PYTHONHASHSEED-dependent order; "
+                "use sorted(...)",
+            )
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        if _is_set_expr(node.iter):
+            self._add(
+                "RPL003",
+                node.iter,
+                "comprehension over a set display has PYTHONHASHSEED-dependent "
+                "order; use sorted(...)",
+            )
+        self.generic_visit(node)
+
+    # ---------------------------------------------------------------- RPL004
+    def _check_defaults(self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> None:
+        for default in [*node.args.defaults, *node.args.kw_defaults]:
+            if default is None:
+                continue
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                                           ast.DictComp, ast.SetComp))
+            if not mutable and isinstance(default, ast.Call) and isinstance(default.func, ast.Name):
+                mutable = default.func.id in ("list", "dict", "set", "bytearray")
+            if mutable:
+                self._add(
+                    "RPL004",
+                    default,
+                    f"mutable default argument in '{node.name}()' is shared "
+                    "across calls; default to None and construct inside",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # ---------------------------------------------------------------- RPL005
+    def _check_self_lambda(self, target: ast.expr, value: ast.expr) -> None:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and isinstance(value, ast.Lambda)
+        ):
+            self._add(
+                "RPL005",
+                value,
+                f"lambda stored on 'self.{target.attr}' is unpicklable and "
+                "breaks the artifact cache / process fan-out; use a bound "
+                "method or module-level function",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_self_lambda(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_self_lambda(node.target, node.value)
+        self.generic_visit(node)
+
+
+def _suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """(line → suppressed rule ids, file-wide suppressed ids)."""
+    per_line: Dict[int, Set[str]] = {}
+    per_file: Set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        ids = {part.strip() for part in m.group("ids").split(",")}
+        if m.group("scope"):
+            per_file |= ids
+        else:
+            per_line.setdefault(lineno, set()).update(ids)
+    return per_line, per_file
+
+
+def lint_source(source: str, path: str = "<string>") -> List[LintViolation]:
+    """Lint one Python source string; returns findings sorted by position.
+
+    Raises:
+        SyntaxError: when the source does not parse.
+    """
+    tree = ast.parse(source, filename=path)
+    checker = _Checker(path)
+    checker.visit(tree)
+    per_line, per_file = _suppressions(source)
+    kept = [
+        v
+        for v in checker.violations
+        if v.rule not in per_file and v.rule not in per_line.get(v.line, ())
+    ]
+    return sorted(kept, key=lambda v: (v.line, v.col, v.rule))
+
+
+def lint_file(path: Union[str, Path]) -> List[LintViolation]:
+    """Lint one ``.py`` file."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), path=str(p))
+
+
+def iter_python_files(root: Union[str, Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``root`` (or ``root`` itself), sorted."""
+    p = Path(root)
+    if p.is_file():
+        if p.suffix == ".py":
+            yield p
+        return
+    yield from sorted(q for q in p.rglob("*.py") if q.is_file())
+
+
+def lint_paths(paths: Iterable[Union[str, Path]]) -> List[LintViolation]:
+    """Lint every ``.py`` file under each of ``paths``.
+
+    Unparseable files surface as a synthetic ``RPL000`` finding rather than
+    aborting the run, so one bad file cannot hide the rest of the report.
+    """
+    out: List[LintViolation] = []
+    for root in paths:
+        for f in iter_python_files(root):
+            try:
+                out.extend(lint_file(f))
+            except SyntaxError as exc:
+                out.append(
+                    LintViolation(
+                        rule="RPL000",
+                        path=str(f),
+                        line=exc.lineno or 1,
+                        col=exc.offset or 0,
+                        message=f"syntax error: {exc.msg}",
+                    )
+                )
+    return out

@@ -7,6 +7,9 @@ Installed as the ``repro`` console script::
     repro tables --scale tiny ...   # regenerate paper tables/figures
     repro export --benchmark AES    # dump a generated benchmark netlist
     repro cache --cache-dir DIR     # inspect / clear the artifact cache
+    repro check --self              # repro-lint the package sources
+    repro check a.py d.bench p.pkl  # lint sources / DRC netlists & designs
+    repro lint ...                  # alias for check
 
 The table runner mirrors the pytest benchmark harness but prints straight to
 stdout, which is convenient for quick looks without pytest.  ``demo`` and
@@ -77,6 +80,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache directory (default: $REPRO_CACHE_DIR)")
     cache.add_argument("--clear", action="store_true",
                        help="delete every cached artifact")
+
+    check = sub.add_parser(
+        "check",
+        aliases=["lint"],
+        help="static analysis: repro-lint sources, structural DRC on netlists",
+        description="Run repro-lint (determinism/cache-safety rules RPL001…) "
+        "over Python sources and the structural DRC engine (rules DRC001…) "
+        "over netlists and prepared designs.  Exits 1 when anything fires.",
+    )
+    check.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help=".py file or directory (repro-lint); .bench/.v netlist or "
+        ".pkl pickled Netlist/PreparedDesign (DRC)")
+    check.add_argument(
+        "--self", dest="check_self", action="store_true",
+        help="lint the installed repro package sources (the CI gate)")
+    check.add_argument(
+        "--no-deep", dest="deep", action="store_false",
+        help="skip the Topedge re-verification (DRC031) on pickled designs")
+    check.add_argument(
+        "--rules", action="store_true",
+        help="print the rule catalogs and exit")
     return parser
 
 
@@ -225,6 +250,95 @@ def _cmd_cache(cache_dir: Optional[str], clear: bool) -> int:
     return 0
 
 
+def _check_netlist_file(path: str, deep: bool) -> List[str]:
+    """DRC a ``.bench``/``.v`` netlist file; returns violation strings."""
+    from repro.analysis import run_drc
+    from repro.netlist import loads, loads_bench
+
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        if path.endswith(".bench"):
+            nl = loads_bench(text, name=path)
+        else:
+            nl = loads(text)
+    except ValueError as exc:
+        return [f"unloadable netlist: {exc}"]
+    return [str(v) for v in run_drc(nl, deep=deep)]
+
+
+def _check_pickle_file(path: str, deep: bool) -> List[str]:
+    """DRC a pickled Netlist / PreparedDesign / {nl, mivs, het} bundle."""
+    import pickle
+
+    from repro.analysis import run_drc
+    from repro.netlist import Netlist
+
+    with open(path, "rb") as fh:
+        obj = pickle.load(fh)
+    if isinstance(obj, dict):
+        nl, mivs, het = obj.get("nl"), obj.get("mivs"), obj.get("het")
+    elif isinstance(obj, Netlist):
+        nl, mivs, het = obj, None, None
+    else:
+        nl = getattr(obj, "nl", None)
+        mivs = getattr(obj, "mivs", None)
+        het = getattr(obj, "het", None)
+    if nl is None:
+        return [f"unrecognized pickle payload {type(obj).__name__!r}: "
+                "expected a Netlist, a PreparedDesign, or a dict with 'nl'"]
+    return [str(v) for v in run_drc(nl, mivs=mivs, het=het, deep=deep)]
+
+
+def _cmd_check(paths: List[str], check_self: bool, deep: bool, rules: bool) -> int:
+    from repro.analysis import DRC_RULES, LINT_RULES, lint_paths
+
+    if rules:
+        for rid, text in {**LINT_RULES, **DRC_RULES}.items():
+            print(f"{rid}  {text}")
+        return 0
+
+    lint_roots: List[str] = []
+    if check_self:
+        import os
+
+        import repro
+
+        lint_roots.append(os.path.dirname(os.path.abspath(repro.__file__)))
+
+    n_problems = 0
+    n_targets = 0
+    for path in paths:
+        if path.endswith((".bench", ".v", ".pkl", ".pickle")):
+            n_targets += 1
+            checker = (
+                _check_netlist_file
+                if path.endswith((".bench", ".v"))
+                else _check_pickle_file
+            )
+            try:
+                msgs = checker(path, deep)
+            except OSError as exc:
+                print(f"{path}: cannot read: {exc}", file=sys.stderr)
+                return 2
+            for msg in msgs:
+                print(f"{path}: {msg}")
+                n_problems += 1
+        else:
+            lint_roots.append(path)
+
+    if lint_roots:
+        n_targets += len(lint_roots)
+        for v in lint_paths(lint_roots):
+            print(v)
+            n_problems += 1
+    if not n_targets:
+        print("nothing to check (pass paths or --self)", file=sys.stderr)
+        return 2
+    print(f"repro check: {n_problems} problem(s) in {n_targets} target(s)")
+    return 1 if n_problems else 0
+
+
 def _cmd_export(benchmark_name: str, scale: str, fmt: str, output: str) -> int:
     from repro.experiments.benchmarks import benchmark
     from repro.netlist import dumps, dumps_bench, generate
@@ -259,6 +373,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_export(args.benchmark, args.scale, args.format, args.output)
     if args.command == "cache":
         return _cmd_cache(args.cache_dir, args.clear)
+    if args.command in ("check", "lint"):
+        return _cmd_check(args.paths, args.check_self, args.deep, args.rules)
     return 2
 
 

@@ -23,6 +23,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from ..analysis.drc import assert_clean
 from ..atpg.tdf import AtpgResult, generate_tdf_patterns
 from ..dft.observation import ObservationMap
 from ..dft.scan import ScanConfig, build_scan_chains
@@ -129,12 +130,22 @@ def prepare_design(
     max_patterns: int = 256,
     target_coverage: float = 0.95,
     packed: bool = True,
+    drc: bool = True,
 ) -> PreparedDesign:
     """Run the Fig. 4 flow for one benchmark/configuration point.
 
     The pipeline: generate (synthesize) → optional re-synthesis / TPI →
     3D partitioning → MIV extraction → scan stitching → TDF ATPG →
-    good-machine simulation → heterogeneous graph + feature tables.
+    good-machine simulation → heterogeneous graph + feature tables, then a
+    fail-fast structural DRC pass (:mod:`repro.analysis.drc`) over the
+    netlist, MIV list, and heterogeneous graph.  ``drc=False`` opts out —
+    e.g. when deliberately preparing a broken design for diagnosis studies.
+    The flag does not change the produced bundle, so it is excluded from
+    ``provenance`` (and therefore from artifact-cache keys).
+
+    Raises:
+        repro.analysis.drc.DrcError: when ``drc`` is on and any structural
+            rule fires.
     """
     provenance: Dict[str, object] = {
         "spec": spec,
@@ -182,6 +193,11 @@ def prepare_design(
         "misr": ObservationMap.misr(nl, scan),
     }
     het = HetGraph.build(nl, mivs, good.transitions())
+    if drc:
+        assert_clean(
+            nl, mivs=mivs, het=het,
+            context=f"prepared design {spec.name}/{config.name}",
+        )
     return PreparedDesign(
         benchmark=spec.name,
         config=config,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..netlist.netlist import Netlist
 
@@ -59,6 +59,7 @@ def build_scan_chains(
     chains_per_channel: int = 4,
     seed: int = 0,
     shuffle: bool = True,
+    rng: Optional[random.Random] = None,
 ) -> ScanConfig:
     """Stitch flops into balanced chains and group chains into channels.
 
@@ -69,12 +70,14 @@ def build_scan_chains(
         seed: Order shuffle seed; real tools stitch by placement proximity,
             which on a synthetic design is equivalent to a seeded shuffle.
         shuffle: Disable to stitch flops in id order (deterministic layouts).
+        rng: Pre-seeded generator used for the shuffle instead of
+            ``random.Random(seed)``; the caller owns its state.
     """
     if n_chains < 1:
         raise ValueError("need at least one chain")
     flop_ids = [f.id for f in nl.flops]
     if shuffle:
-        random.Random(seed).shuffle(flop_ids)
+        (rng if rng is not None else random.Random(seed)).shuffle(flop_ids)
     chains: List[ScanChain] = []
     for cid in range(n_chains):
         members = tuple(flop_ids[cid::n_chains])

@@ -31,11 +31,19 @@ class DefectSampler:
         nl: Tier-assigned design.
         mivs: The design's MIVs.
         seed: RNG seed; every sample sequence is deterministic.
+        rng: Pre-seeded generator used instead of ``random.Random(seed)``;
+            the caller owns its state.
     """
 
-    def __init__(self, nl: Netlist, mivs: Sequence[MIV], seed: int = 0) -> None:
+    def __init__(
+        self,
+        nl: Netlist,
+        mivs: Sequence[MIV],
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self.nl = nl
-        self.rng = random.Random(seed)
+        self.rng = rng if rng is not None else random.Random(seed)
         self.gate_sites: List[FaultSite] = enumerate_sites(nl, mivs=(), include_branches=True)
         self.miv_sites: List[FaultSite] = miv_fault_sites(nl, mivs)
         tiers = sorted({t for t in (site_tier(nl, s) for s in self.gate_sites) if t is not None})

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..netlist.netlist import EXTERNAL_DRIVER, Netlist
 
@@ -96,6 +96,7 @@ def mincut_bipartition(
     seed: int = 0,
     balance_tolerance: float = 0.08,
     max_passes: int = 6,
+    rng: Optional[random.Random] = None,
 ) -> PartitionResult:
     """Partition gates and flops into two tiers minimizing the net cut.
 
@@ -105,8 +106,10 @@ def mincut_bipartition(
         balance_tolerance: Allowed deviation of the top-tier area fraction
             from 0.5.
         max_passes: Refinement sweep budget.
+        rng: Pre-seeded generator used instead of ``random.Random(seed)``;
+            the caller owns its state.
     """
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     n_gates = nl.n_gates
     n_vertices = n_gates + nl.n_flops
     areas = _areas(nl)
@@ -176,17 +179,19 @@ def kway_partition(
     seed: int = 0,
     balance_tolerance: float = 0.10,
     max_passes: int = 6,
+    rng: Optional[random.Random] = None,
 ) -> PartitionResult:
     """Partition into ``k`` tiers by move-based cut refinement.
 
     Generalizes :func:`mincut_bipartition` for the paper's >2-tier
     extension: a random balanced k-way assignment refined by moving vertices
     to the tier that minimizes the number of multi-tier nets, subject to
-    per-tier area balance.
+    per-tier area balance.  ``rng`` injects a pre-seeded generator in place
+    of ``random.Random(seed)``.
     """
     if k < 2:
         raise ValueError("k-way partitioning needs k >= 2")
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     n_gates = nl.n_gates
     n_vertices = n_gates + nl.n_flops
     areas = _areas(nl)

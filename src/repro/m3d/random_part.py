@@ -8,7 +8,7 @@ of spatial gate distributions and do not overfit any one partitioner.
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import List, Optional
 
 from ..netlist.netlist import Netlist
 from .partition import FLOP_AREA, PartitionResult, _areas, _cut_count, _hyperedges
@@ -16,9 +16,15 @@ from .partition import FLOP_AREA, PartitionResult, _areas, _cut_count, _hyperedg
 __all__ = ["random_bipartition"]
 
 
-def random_bipartition(nl: Netlist, seed: int = 0) -> PartitionResult:
-    """Assign tiers uniformly at random subject to area balance."""
-    rng = random.Random(seed)
+def random_bipartition(
+    nl: Netlist, seed: int = 0, rng: Optional[random.Random] = None
+) -> PartitionResult:
+    """Assign tiers uniformly at random subject to area balance.
+
+    ``rng`` injects a pre-seeded generator in place of
+    ``random.Random(seed)``; the caller owns its state.
+    """
+    rng = rng if rng is not None else random.Random(seed)
     n_gates = nl.n_gates
     n_vertices = n_gates + nl.n_flops
     areas = _areas(nl)

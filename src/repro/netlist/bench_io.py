@@ -17,7 +17,7 @@ cells, wider gates are decomposed into trees on import.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, TextIO, Tuple
+from typing import Dict, List, Optional, TextIO, Tuple
 
 from .builder import NetlistBuilder
 from .netlist import EXTERNAL_DRIVER, Netlist
@@ -135,7 +135,7 @@ def loads_bench(text: str, name: str = "bench") -> Netlist:
 
     counter = [0]
 
-    def emit(op: str, args: List[int], out_name: str = None) -> int:
+    def emit(op: str, args: List[int], out_name: Optional[str] = None) -> int:
         counter[0] += 1
         cell, tree = _cell_for(op, len(args))
         if not tree:

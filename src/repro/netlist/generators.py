@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .builder import NetlistBuilder
 from .netlist import Netlist
@@ -102,7 +102,7 @@ class GeneratorSpec:
     seed: int
 
 
-def generate(spec: GeneratorSpec) -> Netlist:
+def generate(spec: GeneratorSpec, rng: Optional[random.Random] = None) -> Netlist:
     """Generate a deterministic netlist from ``spec``.
 
     The construction guarantees:
@@ -110,9 +110,12 @@ def generate(spec: GeneratorSpec) -> Netlist:
     * the core is acyclic (gate inputs come only from already-created nets);
     * every PI and every flop Q net drives at least one gate;
     * every gate output either fans out, feeds a PO, or feeds a flop D pin.
+
+    ``rng`` injects a pre-seeded generator in place of
+    ``random.Random(spec.seed)``; the caller owns its state.
     """
     flavor = FLAVORS[spec.flavor]
-    rng = random.Random(spec.seed)
+    rng = rng if rng is not None else random.Random(spec.seed)
     b = NetlistBuilder(spec.name)
 
     pis = [b.add_primary_input(f"pi{i}") for i in range(spec.n_pis)]

@@ -1,72 +1,46 @@
-"""Structural design-rule checks for netlists.
+"""Structural design-rule checks for netlists (compatibility front-end).
 
-``validate`` raises :class:`NetlistError` on the first violation;
-``check`` returns the full list of violation messages for reporting.
+The actual engine lives in :mod:`repro.analysis.drc`, which extends the
+original checks of this module with rule ids, Tarjan-named combinational
+loops, dead-logic reachability, positional-id assertions (replacing the old
+no-op positional check), and tier/MIV/HetGraph rules.
+
+``validate`` raises :class:`NetlistError` on violation; ``check`` returns
+the full list of violation messages (each prefixed with its rule id) for
+reporting.  Pass ``mivs``/``het`` to extend the scope beyond the bare
+netlist; use :func:`repro.analysis.drc.run_drc` directly for structured
+:class:`~repro.analysis.drc.DrcViolation` records.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
-from .netlist import EXTERNAL_DRIVER, Netlist
+from ..analysis.drc import NetlistError, run_drc
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.hetgraph import HetGraph
+    from ..m3d.miv import MIV
+    from .netlist import Netlist
 
 __all__ = ["NetlistError", "validate", "check"]
 
 
-class NetlistError(ValueError):
-    """A structural violation found by :func:`validate`."""
-
-
-def check(nl: Netlist) -> List[str]:
+def check(
+    nl: "Netlist",
+    mivs: Optional[Sequence["MIV"]] = None,
+    het: Optional["HetGraph"] = None,
+) -> List[str]:
     """Return human-readable messages for every structural violation."""
-    problems: List[str] = []
-    external = set(nl.primary_inputs) | {f.q_net for f in nl.flops}
-
-    for net in nl.nets:
-        if net.id != nl.nets.index(net):
-            pass  # ids are positional by construction; nothing to check cheaply
-        if net.driver == EXTERNAL_DRIVER and net.id not in external:
-            problems.append(f"net {net.name!r} ({net.id}) has no driver")
-        if net.driver != EXTERNAL_DRIVER:
-            g = nl.gates[net.driver]
-            if g.out != net.id:
-                problems.append(
-                    f"net {net.name!r} claims driver gate {g.name!r} "
-                    f"but that gate drives net {g.out}"
-                )
-
-    for g in nl.gates:
-        if len(g.fanin) != g.cell.n_inputs:
-            problems.append(
-                f"gate {g.name!r} has {len(g.fanin)} fanins for cell {g.cell.name}"
-            )
-        for pin, nid in enumerate(g.fanin):
-            if not 0 <= nid < nl.n_nets:
-                problems.append(f"gate {g.name!r} pin {pin} references bad net {nid}")
-            elif (g.id, pin) not in nl.nets[nid].sinks:
-                problems.append(
-                    f"sink list of net {nid} is missing gate {g.name!r} pin {pin}"
-                )
-
-    observed = set(nl.observed_nets)
-    for g in nl.gates:
-        net = nl.nets[g.out]
-        if not net.sinks and net.id not in observed:
-            problems.append(f"gate {g.name!r} output net {net.name!r} dangles")
-
-    for f in nl.flops:
-        if not 0 <= f.d_net < nl.n_nets or not 0 <= f.q_net < nl.n_nets:
-            problems.append(f"flop {f.name!r} references bad nets")
-
-    try:
-        nl.topo_order()
-    except ValueError as exc:
-        problems.append(str(exc))
-    return problems
+    return [str(v) for v in run_drc(nl, mivs=mivs, het=het)]
 
 
-def validate(nl: Netlist) -> None:
+def validate(
+    nl: "Netlist",
+    mivs: Optional[Sequence["MIV"]] = None,
+    het: Optional["HetGraph"] = None,
+) -> None:
     """Raise :class:`NetlistError` when the netlist violates any structural rule."""
-    problems = check(nl)
+    problems = check(nl, mivs=mivs, het=het)
     if problems:
         raise NetlistError("; ".join(problems[:10]))

@@ -298,7 +298,12 @@ class DatasetRuntime:
 
 
 def _full_prepare_kwargs(kwargs: Dict[str, object]) -> Dict[str, object]:
-    """Prepare kwargs with defaults filled in, so keys don't depend on call style."""
+    """Prepare kwargs with defaults filled in, so keys don't depend on call style.
+
+    The ``drc`` fail-fast flag is excluded: it only decides whether the
+    structural checks run, never what the prepared bundle contains, so the
+    same artifact must hash to the same cache key either way.
+    """
     import inspect
 
     from ..data.datagen import prepare_design
@@ -309,6 +314,7 @@ def _full_prepare_kwargs(kwargs: Dict[str, object]) -> Dict[str, object]:
         if p.default is not inspect.Parameter.empty
     }
     defaults.update(kwargs)
+    defaults.pop("drc", None)
     return defaults
 
 

@@ -28,19 +28,26 @@ from ..netlist.netlist import EXTERNAL_DRIVER, Netlist
 __all__ = ["resynthesize"]
 
 
-def resynthesize(nl: Netlist, seed: int = 0, rewrite_probability: float = 0.5) -> Netlist:
+def resynthesize(
+    nl: Netlist,
+    seed: int = 0,
+    rewrite_probability: float = 0.5,
+    rng: Optional[random.Random] = None,
+) -> Netlist:
     """A functionally equivalent netlist with different structure.
 
     Args:
         nl: Source design.
         seed: Rewrite-selection seed (deterministic output).
         rewrite_probability: Chance that an applicable gate is rewritten.
+        rng: Pre-seeded generator used instead of ``random.Random(seed)``;
+            the caller owns its state.
 
     Returns:
         A fresh netlist named ``{nl.name}`` whose PI→PO/flop behaviour is
         identical to the source.
     """
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     b = NetlistBuilder(nl.name)
     net_map: Dict[int, int] = {}
 

@@ -1,0 +1,112 @@
+"""End-to-end tests for ``repro check`` / ``repro lint``."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.cli import main
+from repro.netlist import dumps_bench
+from repro.netlist.cells import CELL_LIBRARY
+from repro.netlist.netlist import EXTERNAL_DRIVER, Gate, Net, Netlist
+
+
+def _cyclic_netlist():
+    """Two cross-coupled NAND2s — unbuildable via NetlistBuilder (it fails
+    fast on loops), so constructed by hand."""
+    nand2 = CELL_LIBRARY["NAND2"]
+    nets = [
+        Net(0, "a", EXTERNAL_DRIVER, [(0, 0), (1, 0)]),
+        Net(1, "n1", 0, [(1, 1)]),
+        Net(2, "n2", 1, [(0, 1)]),
+    ]
+    gates = [
+        Gate(0, "g0", nand2, [0, 2], 1),
+        Gate(1, "g1", nand2, [0, 1], 2),
+    ]
+    return Netlist("cyc", gates, nets, [0], [1], [])
+
+
+def test_check_clean_python_file(tmp_path, capsys):
+    f = tmp_path / "clean.py"
+    f.write_text("import random\nr = random.Random(1)\nx = r.random()\n")
+    assert main(["check", str(f)]) == 0
+    assert "0 problem(s)" in capsys.readouterr().out
+
+
+def test_check_flags_global_rng(tmp_path, capsys):
+    f = tmp_path / "bad.py"
+    f.write_text("import random\nx = random.random()\n")
+    assert main(["check", str(f)]) == 1
+    assert "RPL001" in capsys.readouterr().out
+
+
+def test_lint_alias(tmp_path):
+    f = tmp_path / "bad.py"
+    f.write_text("import time\nt = time.time()\n")
+    assert main(["lint", str(f)]) == 1
+
+
+def test_check_self_is_clean():
+    assert main(["check", "--self"]) == 0
+
+
+def test_check_pickled_cyclic_netlist(tmp_path, capsys):
+    f = tmp_path / "cyc.pkl"
+    f.write_bytes(pickle.dumps(_cyclic_netlist()))
+    assert main(["check", str(f)]) == 1
+    assert "DRC001" in capsys.readouterr().out
+
+
+def test_check_pickled_design_missing_miv(tmp_path, capsys, prepared):
+    f = tmp_path / "design.pkl"
+    bundle = {"nl": prepared.nl, "mivs": list(prepared.mivs)[:-1], "het": None}
+    f.write_bytes(pickle.dumps(bundle))
+    assert main(["check", str(f)]) == 1
+    assert "DRC021" in capsys.readouterr().out
+
+
+def test_check_pickled_clean_design(tmp_path, prepared):
+    f = tmp_path / "design.pkl"
+    bundle = {"nl": prepared.nl, "mivs": prepared.mivs, "het": prepared.het}
+    f.write_bytes(pickle.dumps(bundle))
+    assert main(["check", str(f)]) == 0
+
+
+def test_check_bench_file(tmp_path, toy):
+    f = tmp_path / "toy.bench"
+    f.write_text(dumps_bench(toy))
+    assert main(["check", str(f)]) == 0
+
+
+def test_check_unparseable_bench(tmp_path, capsys):
+    f = tmp_path / "bad.bench"
+    f.write_text("n1 = NAND(nonexistent_a, nonexistent_b)\n")
+    assert main(["check", str(f)]) == 1
+    assert "unloadable netlist" in capsys.readouterr().out
+
+
+def test_check_without_targets_is_usage_error(capsys):
+    assert main(["check"]) == 2
+
+
+def test_check_missing_file_is_usage_error(tmp_path):
+    assert main(["check", str(tmp_path / "nope.pkl")]) == 2
+
+
+def test_check_rules_catalog(capsys):
+    assert main(["check", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for rid in ("RPL001", "RPL005", "DRC001", "DRC033"):
+        assert rid in out
+
+
+def test_check_mixed_targets(tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    cyc = tmp_path / "cyc.pkl"
+    cyc.write_bytes(pickle.dumps(_cyclic_netlist()))
+    assert main(["check", str(good), str(cyc)]) == 1
+    out = capsys.readouterr().out
+    assert "DRC001" in out and "2 target(s)" in out

@@ -1,0 +1,236 @@
+"""Unit tests for the repro-lint AST checker: good/bad snippet pairs per rule."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import LINT_RULES, lint_paths, lint_source
+
+
+def rules_of(source: str):
+    return [v.rule for v in lint_source(textwrap.dedent(source))]
+
+
+# ------------------------------------------------------------------ RPL001
+BAD_RPL001 = [
+    "import random\nx = random.random()",
+    "import random\nrandom.seed(42)",
+    "import random\nxs = random.sample(range(9), 3)",
+    "import numpy as np\na = np.random.rand(3)",
+    "import numpy as np\nnp.random.seed(0)",
+    "import numpy.random as npr\nnpr.shuffle([1, 2])",
+    "from random import shuffle",
+    "from numpy.random import rand",
+]
+
+GOOD_RPL001 = [
+    "import random\nr = random.Random(7)\nx = r.random()",
+    "import random\nr = random.SystemRandom()",
+    "import numpy as np\ng = np.random.default_rng(0)\na = g.random(3)",
+    "import numpy as np\ng = np.random.Generator(np.random.PCG64(1))",
+    "from random import Random\nr = Random(3)",
+    "from numpy.random import default_rng",
+    # A different module's `random` attribute is not the stdlib RNG.
+    "import mylib\nx = mylib.random.random()",
+]
+
+
+@pytest.mark.parametrize("src", BAD_RPL001)
+def test_rpl001_fires(src):
+    assert "RPL001" in rules_of(src)
+
+
+@pytest.mark.parametrize("src", GOOD_RPL001)
+def test_rpl001_clean(src):
+    assert "RPL001" not in rules_of(src)
+
+
+# ------------------------------------------------------------------ RPL002
+BAD_RPL002 = [
+    "import time\nt = time.time()",
+    "import time\nt = time.time_ns()",
+    "import os\nb = os.urandom(8)",
+    "import uuid\nu = uuid.uuid4()",
+    "import secrets\nt = secrets.token_hex(8)",
+    "import datetime\nd = datetime.datetime.now()",
+    "from time import time\nt = time()",
+]
+
+GOOD_RPL002 = [
+    "import time\ntime.sleep(0.1)",
+    "import time\nt = time.monotonic()",
+    "import os\np = os.path.join('a', 'b')",
+    "import uuid\nu = uuid.uuid5(None, 'x')",
+    "import datetime\nd = datetime.datetime(2022, 3, 14)",
+]
+
+
+@pytest.mark.parametrize("src", BAD_RPL002)
+def test_rpl002_fires(src):
+    assert "RPL002" in rules_of(src)
+
+
+@pytest.mark.parametrize("src", GOOD_RPL002)
+def test_rpl002_clean(src):
+    assert "RPL002" not in rules_of(src)
+
+
+# ------------------------------------------------------------------ RPL003
+BAD_RPL003 = [
+    "for x in {1, 2, 3}:\n    pass",
+    "xs = list({1, 2})",
+    "xs = tuple(set(ys))",
+    "xs = [x for x in {1, 2}]",
+    "s = ','.join({'a', 'b'})",
+    "for i, x in enumerate({1, 2}):\n    pass",
+]
+
+GOOD_RPL003 = [
+    "for x in sorted({1, 2, 3}):\n    pass",
+    "xs = list([1, 2])",
+    "xs = sorted(set(ys))",
+    "xs = [x for x in sorted({1, 2})]",
+    "s = ','.join(sorted({'a', 'b'}))",
+    "n = len({1, 2})",  # size queries are order-independent
+]
+
+
+@pytest.mark.parametrize("src", BAD_RPL003)
+def test_rpl003_fires(src):
+    assert "RPL003" in rules_of(src)
+
+
+@pytest.mark.parametrize("src", GOOD_RPL003)
+def test_rpl003_clean(src):
+    assert "RPL003" not in rules_of(src)
+
+
+# ------------------------------------------------------------------ RPL004
+BAD_RPL004 = [
+    "def f(x=[]):\n    pass",
+    "def f(x={}):\n    pass",
+    "def f(x=set()):\n    pass",
+    "def f(x=dict()):\n    pass",
+    "def f(*, x=[1]):\n    pass",
+    "async def f(x=[]):\n    pass",
+]
+
+GOOD_RPL004 = [
+    "def f(x=None):\n    pass",
+    "def f(x=()):\n    pass",
+    "def f(x=0, y='a'):\n    pass",
+    "def f(x=frozenset()):\n    pass",
+]
+
+
+@pytest.mark.parametrize("src", BAD_RPL004)
+def test_rpl004_fires(src):
+    assert "RPL004" in rules_of(src)
+
+
+@pytest.mark.parametrize("src", GOOD_RPL004)
+def test_rpl004_clean(src):
+    assert "RPL004" not in rules_of(src)
+
+
+# ------------------------------------------------------------------ RPL005
+BAD_RPL005 = [
+    """
+    class C:
+        def __init__(self):
+            self.f = lambda x: x + 1
+    """,
+    """
+    class C:
+        def __init__(self):
+            self.f: object = lambda: 0
+    """,
+]
+
+GOOD_RPL005 = [
+    """
+    class C:
+        def __init__(self):
+            self.f = max
+        def g(self, x):
+            return x
+    """,
+    "f = lambda x: x",  # local lambda, never pickled with an instance
+]
+
+
+@pytest.mark.parametrize("src", BAD_RPL005)
+def test_rpl005_fires(src):
+    assert "RPL005" in rules_of(src)
+
+
+@pytest.mark.parametrize("src", GOOD_RPL005)
+def test_rpl005_clean(src):
+    assert "RPL005" not in rules_of(src)
+
+
+# ------------------------------------------------------------- suppressions
+def test_line_suppression():
+    src = "import random\nx = random.random()  # repro-lint: disable=RPL001"
+    assert rules_of(src) == []
+
+
+def test_line_suppression_wrong_rule_keeps_finding():
+    src = "import random\nx = random.random()  # repro-lint: disable=RPL002"
+    assert "RPL001" in rules_of(src)
+
+
+def test_multi_id_suppression():
+    src = (
+        "import random, time\n"
+        "x = random.random() + time.time()  # repro-lint: disable=RPL001, RPL002"
+    )
+    assert rules_of(src) == []
+
+
+def test_file_suppression():
+    src = (
+        "# repro-lint: disable-file=RPL001\n"
+        "import random\n"
+        "x = random.random()\n"
+        "y = random.random()\n"
+    )
+    assert rules_of(src) == []
+
+
+# ------------------------------------------------------------------ plumbing
+def test_violation_str_format():
+    (v,) = lint_source("import random\nx = random.random()", path="m.py")
+    assert str(v) == f"m.py:2:4: RPL001 {v.message}"
+    assert v.message in ("global-state RNG 'random.random'; inject a seeded "
+                        "random.Random instead",)
+
+
+def test_lint_source_raises_on_syntax_error():
+    with pytest.raises(SyntaxError):
+        lint_source("def broken(:\n")
+
+
+def test_lint_paths_reports_syntax_error_as_rpl000(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    ok = tmp_path / "ok.py"
+    ok.write_text("x = 1\n")
+    findings = lint_paths([tmp_path])
+    assert [v.rule for v in findings] == ["RPL000"]
+    assert findings[0].path.endswith("bad.py")
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    sub = tmp_path / "pkg"
+    sub.mkdir()
+    (sub / "a.py").write_text("import random\nx = random.random()\n")
+    (sub / "b.txt").write_text("import random\nrandom.random()\n")
+    findings = lint_paths([tmp_path])
+    assert len(findings) == 1 and findings[0].rule == "RPL001"
+
+
+def test_rule_catalog_complete():
+    assert set(LINT_RULES) == {"RPL001", "RPL002", "RPL003", "RPL004", "RPL005"}
