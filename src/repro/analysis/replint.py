@@ -21,6 +21,11 @@ RPL003    no order-sensitive iteration over set displays
 RPL004    no mutable default arguments (shared state across calls)
 RPL005    no lambdas stored as instance state (unpicklable: breaks the
           artifact cache and multiprocessing fan-out)
+RPL006    no error swallowing — bare ``except:`` (catches SystemExit /
+          KeyboardInterrupt), and ``except Exception: pass`` hide the
+          failures the fault-tolerance layer must classify (retry,
+          evict, degrade, abort); catch specific types, or handle /
+          re-raise
 ========  =============================================================
 
 Any finding can be silenced on its line with ``# repro-lint:
@@ -56,6 +61,7 @@ LINT_RULES: Dict[str, str] = {
     "RPL003": "order-sensitive iteration over an unordered set display",
     "RPL004": "mutable default argument",
     "RPL005": "lambda stored as instance state (unpicklable)",
+    "RPL006": "error swallowing: bare except / broad except with pass-only body",
 }
 
 #: ``random.<attr>`` accesses that construct isolated RNGs (allowed).
@@ -297,6 +303,49 @@ class _Checker(ast.NodeVisitor):
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self.generic_visit(node)
+
+    # ---------------------------------------------------------------- RPL006
+    @staticmethod
+    def _catches_everything(expr: ast.expr) -> bool:
+        """True for ``Exception`` / ``BaseException`` (alone or in a tuple)."""
+        names = expr.elts if isinstance(expr, ast.Tuple) else [expr]
+        return any(
+            isinstance(n, ast.Name) and n.id in ("Exception", "BaseException")
+            for n in names
+        )
+
+    @staticmethod
+    def _is_trivial_body(body: List[ast.stmt]) -> bool:
+        """True when a handler body only passes/continues (swallows)."""
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue)):
+                continue
+            if (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+            ):
+                continue
+            return False
+        return True
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._add(
+                "RPL006",
+                node,
+                "bare 'except:' also swallows SystemExit/KeyboardInterrupt; "
+                "catch specific exception types and re-raise what you cannot "
+                "handle",
+            )
+        elif self._catches_everything(node.type) and self._is_trivial_body(node.body):
+            self._add(
+                "RPL006",
+                node,
+                "broad exception handler with a pass-only body swallows every "
+                "error; classify it — handle, record, or re-raise",
+            )
         self.generic_visit(node)
 
     # ---------------------------------------------------------------- RPL005

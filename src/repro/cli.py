@@ -7,6 +7,7 @@ Installed as the ``repro`` console script::
     repro tables --scale tiny ...   # regenerate paper tables/figures
     repro export --benchmark AES    # dump a generated benchmark netlist
     repro cache --cache-dir DIR     # inspect / clear the artifact cache
+    repro doctor --cache-dir DIR    # audit / repair artifact-cache health
     repro check --self              # repro-lint the package sources
     repro check a.py d.bench p.pkl  # lint sources / DRC netlists & designs
     repro lint ...                  # alias for check
@@ -17,6 +18,12 @@ stdout, which is convenient for quick looks without pytest.  ``demo`` and
 generation out over a process pool and persist prepared designs and sample
 chunks in the content-addressed artifact cache (results are byte-identical
 for any worker count; see ``repro.runtime``).
+
+Long runs are interruption-safe: with a cache directory configured,
+``tables`` records each completed table in an atomic progress manifest and
+model training checkpoints per stage, so Ctrl-C / SIGTERM tears the worker
+pool down promptly, prints a resume hint, and re-running the same command
+picks up from the last completed stage.
 """
 
 from __future__ import annotations
@@ -66,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=f"comma-separated subset of: {', '.join(TABLE_CHOICES)}",
     )
+    tables.add_argument(
+        "--no-resume", dest="resume", action="store_false",
+        help="ignore (and discard) any checkpoint manifest from an "
+             "interrupted run with the same parameters",
+    )
     add_runtime_args(tables)
 
     export = sub.add_parser("export", help="dump a generated benchmark netlist")
@@ -80,6 +92,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache directory (default: $REPRO_CACHE_DIR)")
     cache.add_argument("--clear", action="store_true",
                        help="delete every cached artifact")
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="audit artifact-cache health (orphan tmps, desynced sidecars)",
+        description="Audit the content-addressed cache for damage an "
+        "interrupted or faulty run can leave behind: orphaned *.tmp files, "
+        "sidecars without payloads, payloads without (or with desynced) "
+        "sidecars, and — with --deep — payloads that no longer unpickle.  "
+        "Exits 0 when healthy, 1 when problems were found.",
+    )
+    doctor.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache directory (default: $REPRO_CACHE_DIR)")
+    doctor.add_argument("--deep", action="store_true",
+                        help="also unpickle every payload (slow; catches bit rot)")
+    doctor.add_argument("--fix", action="store_true",
+                        help="evict inconsistent entries and collect orphan tmps")
 
     check = sub.add_parser(
         "check",
@@ -133,8 +161,28 @@ def _cmd_info() -> int:
     return 0
 
 
+def _resume_hint(cache_dir_used: bool) -> str:
+    if cache_dir_used:
+        return ("interrupted — cached artifacts and checkpoints are intact; "
+                "re-run the same command to resume from the last completed stage")
+    return ("interrupted — re-run with --cache-dir DIR to make the next "
+            "interruption resumable")
+
+
 def _cmd_demo(gates: int, seed: int, workers: Optional[int] = None,
               cache_dir: Optional[str] = None) -> int:
+    from repro.runtime import handle_termination
+
+    try:
+        with handle_termination():
+            return _demo_body(gates, seed, workers, cache_dir)
+    except KeyboardInterrupt:
+        print(f"\n{_resume_hint(cache_dir is not None)}", file=sys.stderr)
+        return 130
+
+
+def _demo_body(gates: int, seed: int, workers: Optional[int],
+               cache_dir: Optional[str]) -> int:
     from repro import (
         DesignConfig,
         EffectCauseDiagnoser,
@@ -174,9 +222,24 @@ def _cmd_demo(gates: int, seed: int, workers: Optional[int] = None,
 
 
 def _cmd_tables(scale: str, samples: int, only: Optional[str],
-                workers: Optional[int] = None, cache_dir: Optional[str] = None) -> int:
+                workers: Optional[int] = None, cache_dir: Optional[str] = None,
+                resume: bool = True) -> int:
+    from repro.runtime import handle_termination
+
+    try:
+        with handle_termination():
+            return _tables_body(scale, samples, only, workers, cache_dir, resume)
+    except KeyboardInterrupt:
+        print(f"\n{_resume_hint(cache_dir is not None)}", file=sys.stderr)
+        return 130
+
+
+def _tables_body(scale: str, samples: int, only: Optional[str],
+                 workers: Optional[int], cache_dir: Optional[str],
+                 resume: bool) -> int:
     from repro import experiments as ex
     from repro.experiments.three_tier import format_three_tier, three_tier_study
+    from repro.runtime import ProgressManifest, manifest_path
 
     rt = _configure_runtime(workers, cache_dir)
 
@@ -186,13 +249,40 @@ def _cmd_tables(scale: str, samples: int, only: Optional[str],
         print(f"unknown table ids: {sorted(unknown)}", file=sys.stderr)
         return 2
 
+    # With a cache configured, each completed table is recorded in an
+    # atomic progress manifest keyed by the run parameters: an interrupted
+    # run re-invoked identically replays finished tables from the manifest
+    # instead of regenerating them.
+    manifest: Optional[ProgressManifest] = None
+    if rt.cache is not None:
+        run_key = {"command": "tables", "scale": scale, "samples": samples,
+                   "only": sorted(wanted)}
+        manifest = ProgressManifest(
+            manifest_path(rt.cache.root, "tables", run_key), run_key
+        )
+        if not resume:
+            manifest.discard()
+        elif manifest.done_stages():
+            print(f"[resume] {len(manifest.done_stages())} stage(s) already "
+                  f"complete: {', '.join(manifest.done_stages())}")
+
     def run(tid: str, fn) -> None:
         if tid not in wanted:
             return
+        if manifest is not None and manifest.is_done(tid):
+            print(f"\n================ {tid} ================")
+            payload = manifest.result(tid)
+            if payload:
+                print(payload)
+            print(f"[{tid}: resumed from checkpoint]")
+            return
         t0 = time.perf_counter()
         print(f"\n================ {tid} ================")
-        print(fn())
+        text = fn()
+        print(text)
         print(f"[{tid}: {time.perf_counter() - t0:.1f}s]")
+        if manifest is not None:
+            manifest.mark_done(tid, payload=text)
 
     run("table3", lambda: ex.format_design_matrix(ex.design_matrix(scale=scale)))
     run("table5", lambda: ex.format_quality(
@@ -248,6 +338,26 @@ def _cmd_cache(cache_dir: Optional[str], clear: bool) -> int:
     if clear:
         print(f"cleared {cache.clear()} artifact(s)")
     return 0
+
+
+def _cmd_doctor(cache_dir: Optional[str], deep: bool, fix: bool) -> int:
+    import os
+
+    from repro.runtime import ArtifactCache
+
+    cache_dir = cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        print("no cache directory (pass --cache-dir or set $REPRO_CACHE_DIR)",
+              file=sys.stderr)
+        return 2
+    cache = ArtifactCache(cache_dir)
+    health = cache.doctor(deep=deep, fix=fix)
+    print(f"cache {cache_dir}:")
+    print(health.report())
+    if fix and health.problems:
+        print(f"repaired {health.problems} problem(s)")
+        return 0
+    return 1 if health.problems else 0
 
 
 def _check_netlist_file(path: str, deep: bool) -> List[str]:
@@ -368,11 +478,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_demo(args.gates, args.seed, args.workers, args.cache_dir)
     if args.command == "tables":
         return _cmd_tables(args.scale, args.samples, args.only,
-                           args.workers, args.cache_dir)
+                           args.workers, args.cache_dir, args.resume)
     if args.command == "export":
         return _cmd_export(args.benchmark, args.scale, args.format, args.output)
     if args.command == "cache":
         return _cmd_cache(args.cache_dir, args.clear)
+    if args.command == "doctor":
+        return _cmd_doctor(args.cache_dir, args.deep, args.fix)
     if args.command in ("check", "lint"):
         return _cmd_check(args.paths, args.check_self, args.deep, args.rules)
     return 2

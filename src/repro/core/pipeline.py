@@ -11,9 +11,12 @@ is guaranteed to reach ATPG-level accuracy when the PFA falls back to it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.cache import ArtifactCache
 
 from ..diagnosis.report import Candidate, DiagnosisReport
 from ..nn.data import GraphData
@@ -99,10 +102,31 @@ class M3DDiagnosisFramework:
         self._fitted = False
 
     # ------------------------------------------------------------------ fit
+    def _checkpoint_key(self, training_sets: Sequence[SampleSet]) -> Dict[str, object]:
+        """Content-addressed identity of one fit: data fingerprints + params."""
+        from ..runtime.cache import CODE_VERSION
+        from ..runtime.fingerprint import sample_set_fingerprint
+
+        return {
+            "artifact": "fit_stage",
+            "version": CODE_VERSION,
+            "data": [sample_set_fingerprint(s) for s in training_sets],
+            "params": {
+                "min_precision": self.min_precision,
+                "hidden": list(self.hidden),
+                "epochs": self.epochs,
+                "seed": self.seed,
+                "use_miv_pinpointer": self.use_miv_pinpointer,
+                "use_classifier": self.use_classifier,
+                "n_tiers": self.n_tiers,
+            },
+        }
+
     def fit(
         self,
         training_sets: Sequence[SampleSet],
         stats_sink: Optional[RuntimeStats] = None,
+        checkpoint: Optional["ArtifactCache"] = None,
     ) -> Dict[str, float]:
         """Train all models from (augmented) training sample sets.
 
@@ -112,6 +136,14 @@ class M3DDiagnosisFramework:
                 per-stage wall-clock (``fit.tier`` / ``fit.miv`` /
                 ``fit.classifier``) — the runtime and CLI pass theirs so
                 training shows up next to dataset-generation timings.
+            checkpoint: Optional :class:`repro.runtime.ArtifactCache`.  Each
+                training stage (tier / miv / threshold / classifier) is then
+                checkpointed under a key derived from the training-set
+                fingerprints and the hyperparameters; an interrupted fit
+                re-invoked on the same data resumes, loading completed
+                stages instead of retraining them (visible as
+                ``fit.<stage>.resumed`` counters with no ``fit.<stage>``
+                wall-clock entry).
 
         Returns summary statistics: training accuracy of the Tier-predictor,
         the selected ``Tp``, the TP:FP imbalance seen by the Classifier, and
@@ -124,27 +156,58 @@ class M3DDiagnosisFramework:
         if not graphs:
             raise ValueError("no training graphs")
 
+        ckpt_key = self._checkpoint_key(training_sets) if checkpoint is not None else None
+
+        def stage_load(stage: str) -> Tuple[object, bool]:
+            if checkpoint is None:
+                return None, False
+            payload, hit = checkpoint.get("fit_stage", {**ckpt_key, "stage": stage})
+            if hit:
+                timer.count(f"fit.{stage}.resumed")
+            return payload, hit
+
+        def stage_save(stage: str, payload: object) -> None:
+            if checkpoint is not None:
+                checkpoint.put("fit_stage", {**ckpt_key, "stage": stage}, payload)
+
         tier_graphs = [g for g in graphs if g.y >= 0]
-        with timer.timed("fit.tier"):
-            self.tier_predictor.fit(tier_graphs)
+        payload, hit = stage_load("tier")
+        if hit:
+            self.tier_predictor = payload
+        else:
+            with timer.timed("fit.tier"):
+                self.tier_predictor.fit(tier_graphs)
+            stage_save("tier", self.tier_predictor)
 
         if self.miv_pinpointer is not None:
-            miv_graphs = [g for g in graphs if g.node_mask is not None and g.node_mask.any()]
-            if miv_graphs:
-                with timer.timed("fit.miv"):
-                    self.miv_pinpointer.fit(miv_graphs)
+            payload, hit = stage_load("miv")
+            if hit:
+                self.miv_pinpointer = payload
             else:
-                self.miv_pinpointer = None
+                miv_graphs = [
+                    g for g in graphs if g.node_mask is not None and g.node_mask.any()
+                ]
+                if miv_graphs:
+                    with timer.timed("fit.miv"):
+                        self.miv_pinpointer.fit(miv_graphs)
+                else:
+                    self.miv_pinpointer = None
+                stage_save("miv", self.miv_pinpointer)
 
         # PR curve on the training set → Tp.
-        with timer.timed("fit.threshold"):
-            proba = self.tier_predictor.predict_proba(tier_graphs)
-            preds = np.argmax(proba, axis=1)
-            conf = proba.max(axis=1)
-            truth = np.asarray([g.y for g in tier_graphs])
-            correct = preds == truth
-            curve = precision_recall_curve(conf, correct)
-            self.tp_threshold = select_threshold(curve, self.min_precision)
+        payload, hit = stage_load("threshold")
+        if hit:
+            self.tp_threshold, conf, correct = payload
+        else:
+            with timer.timed("fit.threshold"):
+                proba = self.tier_predictor.predict_proba(tier_graphs)
+                preds = np.argmax(proba, axis=1)
+                conf = proba.max(axis=1)
+                truth = np.asarray([g.y for g in tier_graphs])
+                correct = preds == truth
+                curve = precision_recall_curve(conf, correct)
+                self.tp_threshold = select_threshold(curve, self.min_precision)
+            stage_save("threshold", (self.tp_threshold, conf, correct))
 
         # Classifier on Predicted Positive samples.
         stats = {
@@ -154,17 +217,23 @@ class M3DDiagnosisFramework:
             "n_false_positive": 0.0,
         }
         if self.use_classifier:
-            positive = conf > self.tp_threshold
-            tp_graphs = [g for g, p, c in zip(tier_graphs, positive, correct) if p and c]
-            fp_graphs = [g for g, p, c in zip(tier_graphs, positive, correct) if p and not c]
-            stats["n_true_positive"] = float(len(tp_graphs))
-            stats["n_false_positive"] = float(len(fp_graphs))
-            if tp_graphs:
-                self.classifier = PruneReorderClassifier(
-                    self.tier_predictor, epochs=max(10, self.epochs // 2), seed=self.seed + 2
-                )
-                with timer.timed("fit.classifier"):
-                    self.classifier.fit(tp_graphs, fp_graphs)
+            payload, hit = stage_load("classifier")
+            if hit:
+                self.classifier, n_tp, n_fp = payload
+            else:
+                positive = conf > self.tp_threshold
+                tp_graphs = [g for g, p, c in zip(tier_graphs, positive, correct) if p and c]
+                fp_graphs = [g for g, p, c in zip(tier_graphs, positive, correct) if p and not c]
+                n_tp, n_fp = len(tp_graphs), len(fp_graphs)
+                if tp_graphs:
+                    self.classifier = PruneReorderClassifier(
+                        self.tier_predictor, epochs=max(10, self.epochs // 2), seed=self.seed + 2
+                    )
+                    with timer.timed("fit.classifier"):
+                        self.classifier.fit(tp_graphs, fp_graphs)
+                stage_save("classifier", (self.classifier, n_tp, n_fp))
+            stats["n_true_positive"] = float(n_tp)
+            stats["n_false_positive"] = float(n_fp)
         for stage, seconds in timer.stage_seconds.items():
             if stage.startswith("fit."):
                 stats[f"{stage.replace('.', '_')}_s"] = seconds

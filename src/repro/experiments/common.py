@@ -130,7 +130,10 @@ def get_framework(
         use_classifier=use_classifier,
     )
     t0 = time.perf_counter()
-    stats = fw.fit(sets, stats_sink=get_runtime().stats)
+    # With a cache configured, every training stage checkpoints: an
+    # interrupted tables/fit run re-invoked with the same inputs resumes
+    # from the last completed model instead of retraining from scratch.
+    stats = fw.fit(sets, stats_sink=get_runtime().stats, checkpoint=get_runtime().cache)
     stats["train_time_s"] = time.perf_counter() - t0
     stats["n_train_graphs"] = float(sum(len(s) for s in sets))
     return fw, stats
@@ -151,7 +154,7 @@ def get_dedicated_framework(
     train = get_runtime().build_dataset(design, mode, n_train, 2000 + seed, "single")
     fw = M3DDiagnosisFramework(epochs=epochs, seed=seed)
     t0 = time.perf_counter()
-    stats = fw.fit([train])
+    stats = fw.fit([train], checkpoint=get_runtime().cache)
     stats["train_time_s"] = time.perf_counter() - t0
     return fw, stats
 

@@ -11,10 +11,22 @@ Public surface:
 * :mod:`~repro.runtime.seeds` helpers — deterministic per-unit seed
   derivation and the canonical chunk grid;
 * :mod:`~repro.runtime.fingerprint` helpers — byte-level dataset digests
-  used by the determinism test harness.
+  used by the determinism test harness;
+* :mod:`~repro.runtime.faulttol` — per-unit deadlines, bounded retries,
+  pool respawn, the parallel → respawn → serial degradation ladder, and
+  signal-safe teardown;
+* :mod:`~repro.runtime.checkpoint` — atomic progress manifests that let
+  interrupted ``tables`` / ``fit`` runs resume from the last completed
+  stage;
+* :mod:`~repro.runtime.chaos` — deterministic failure injection
+  (``REPRO_CHAOS``) proving every recovery path preserves dataset
+  fingerprints.
 """
 
-from .cache import ArtifactCache, CODE_VERSION, cache_key_hash, canonical_key
+from .cache import ArtifactCache, CacheHealth, CODE_VERSION, cache_key_hash, canonical_key
+from .chaos import ChaosError, ChaosPlan, chaos_from_env
+from .checkpoint import ProgressManifest, manifest_path
+from .faulttol import RetryPolicy, UnitFailedError, handle_termination, run_units
 from .fingerprint import (
     deterministic_split,
     fingerprints_identical,
@@ -34,12 +46,19 @@ from .seeds import DEFAULT_CHUNK_SIZE, chunk_plan, derive_seed
 __all__ = [
     "ArtifactCache",
     "CODE_VERSION",
+    "CacheHealth",
+    "ChaosError",
+    "ChaosPlan",
     "DatasetRequest",
     "DatasetRuntime",
     "DEFAULT_CHUNK_SIZE",
+    "ProgressManifest",
+    "RetryPolicy",
     "RuntimeStats",
+    "UnitFailedError",
     "cache_key_hash",
     "canonical_key",
+    "chaos_from_env",
     "chunk_plan",
     "configure",
     "derive_seed",
@@ -47,6 +66,9 @@ __all__ = [
     "fingerprints_identical",
     "get_runtime",
     "graph_fingerprint",
+    "handle_termination",
+    "manifest_path",
     "reset_runtime",
+    "run_units",
     "sample_set_fingerprint",
 ]

@@ -1,0 +1,182 @@
+"""Chaos-injection harness for the dataset-generation runtime.
+
+The fault-tolerance layer (:mod:`repro.runtime.faulttol`, the hardened
+:class:`repro.runtime.cache.ArtifactCache`) promises that worker crashes,
+hung units, and corrupted cache entries never change the bytes of a built
+dataset — they only cost retries.  This module makes that promise testable
+by injecting exactly those failures on demand:
+
+* **crash** — the worker process handling a selected unit dies hard
+  (``os._exit``), as if OOM-killed;
+* **hang** — a selected unit sleeps past its deadline, as if deadlocked;
+* **corrupt** — a just-written cache payload is truncated or bit-flipped,
+  as if a crash interrupted an (unsafe) write;
+* **drop_sidecar** — a just-written ``.key.json`` sidecar is deleted,
+  desyncing the payload from its key record.
+
+Decisions are *deterministic*: each (unit token, attempt) pair hashes
+against the configured rate via :func:`repro.runtime.seeds.derive_seed`,
+so a chaos run is reproducible under ``PYTHONHASHSEED`` and worker-count
+changes.  Failures fire on attempt 0 only — a retried unit always gets a
+clean execution, which is what lets the recovery suite assert fingerprint
+identity with non-chaotic builds.
+
+Configuration comes from the ``REPRO_CHAOS`` environment variable
+(``"crash=0.3,hang=0.2,corrupt=1,drop_sidecar=0.5,seed=7,hang_s=30"``) or
+programmatically via :class:`ChaosPlan`.  The env var reaches worker
+processes through the pool initializer, not through inherited state, so it
+works under both fork and spawn start methods.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .seeds import derive_seed
+
+__all__ = ["ChaosError", "ChaosPlan", "chaos_from_env", "in_worker", "mark_worker"]
+
+#: Denominator for rate quantization; rates are exact multiples of 1/2**20.
+_RATE_DENOM = 1 << 20
+
+#: Process-local flag: True inside pool worker processes (set by the pool
+#: initializer via :func:`mark_worker`).  Crash injection only hard-kills
+#: worker processes; in the serial/degraded path it raises instead.
+_IN_WORKER = False
+
+
+def mark_worker(flag: bool = True) -> None:
+    """Mark this process as a pool worker (crash injection may ``_exit``)."""
+    global _IN_WORKER
+    _IN_WORKER = flag
+
+
+def in_worker() -> bool:
+    """True when running inside a pool worker process."""
+    return _IN_WORKER
+
+
+class ChaosError(RuntimeError):
+    """Raised by chaos injection in lieu of a hard crash (serial path)."""
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Deterministic failure-injection rates for one runtime.
+
+    Attributes:
+        crash: Probability a unit's worker dies hard on attempt 0.
+        hang: Probability a unit sleeps ``hang_seconds`` on attempt 0.
+        corrupt: Probability a cache payload is damaged right after a put.
+        drop_sidecar: Probability a sidecar is deleted right after a put.
+        seed: Chaos decision seed (independent of dataset seeds).
+        hang_seconds: Sleep injected by a hang (must exceed the deadline to
+            be observable).
+    """
+
+    crash: float = 0.0
+    hang: float = 0.0
+    corrupt: float = 0.0
+    drop_sidecar: float = 0.0
+    seed: int = 0
+    hang_seconds: float = 30.0
+
+    # ------------------------------------------------------------- decisions
+    def _fires(self, kind: str, token: Tuple[object, ...], rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        draw = derive_seed(self.seed, "chaos", kind, *token) % _RATE_DENOM
+        return draw < int(rate * _RATE_DENOM)
+
+    def maybe_fail_unit(self, token: Tuple[object, ...], attempt: int) -> None:
+        """Inject a crash or hang for one work unit (attempt 0 only).
+
+        Called by worker functions before real work starts.  A crash kills
+        the worker process outright (``os._exit(70)``) so the pool loses the
+        unit exactly the way an OOM kill would; outside a worker it raises
+        :class:`ChaosError` so the serial path exercises the retry loop
+        instead of killing the build process.  Hangs only fire inside
+        workers — an in-process sleep could not be preempted by the
+        deadline, it would only slow the serial path down.
+        """
+        if attempt != 0:
+            return
+        if self._fires("crash", token, self.crash):
+            if in_worker():
+                os._exit(70)  # hard death: no cleanup, no exception, no result
+            raise ChaosError(f"injected crash for unit {token!r}")
+        if self._fires("hang", token, self.hang) and in_worker():
+            import time
+
+            time.sleep(self.hang_seconds)
+
+    def maybe_damage_entry(self, payload: "os.PathLike[str]", sidecar: "os.PathLike[str]") -> None:
+        """Damage a freshly written cache entry (truncate / flip / drop).
+
+        Alternates deterministically between truncation and a single
+        bit-flip so both corruption shapes get exercised.
+        """
+        name = os.fspath(payload)
+        if self._fires("corrupt", (name,), self.corrupt):
+            with open(name, "r+b") as fh:
+                fh.seek(0, os.SEEK_END)
+                size = fh.tell()
+                if derive_seed(self.seed, "corrupt-shape", name) % 2 == 0 or size < 2:
+                    fh.truncate(size // 2)  # torn write
+                else:
+                    fh.seek(size // 2)
+                    byte = fh.read(1)
+                    fh.seek(size // 2)
+                    fh.write(bytes([byte[0] ^ 0x40]))  # silent bit rot
+        if self._fires("drop_sidecar", (name,), self.drop_sidecar):
+            from pathlib import Path
+
+            Path(os.fspath(sidecar)).unlink(missing_ok=True)
+
+    @property
+    def active(self) -> bool:
+        """True when any injection rate is non-zero."""
+        return any(r > 0.0 for r in (self.crash, self.hang, self.corrupt, self.drop_sidecar))
+
+
+def chaos_from_env(env: Optional[str] = None) -> Optional[ChaosPlan]:
+    """Parse ``REPRO_CHAOS`` into a :class:`ChaosPlan` (None when unset/empty).
+
+    Format: comma-separated ``key=value`` pairs; keys are the
+    :class:`ChaosPlan` rates plus ``seed`` and ``hang_s``.  Unknown keys and
+    malformed values raise ``ValueError`` — silent misconfiguration of a
+    chaos run would make its results meaningless.
+    """
+    if env is None:
+        env = os.environ.get("REPRO_CHAOS", "")
+    env = env.strip()
+    if not env:
+        return None
+    fields = {"crash": 0.0, "hang": 0.0, "corrupt": 0.0, "drop_sidecar": 0.0,
+              "seed": 0, "hang_s": 30.0}
+    for part in env.split(","):
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep or key not in fields:
+            raise ValueError(
+                f"bad REPRO_CHAOS entry {part!r}: expected key=value with key "
+                f"in {sorted(fields)}"
+            )
+        try:
+            fields[key] = int(value) if key == "seed" else float(value)
+        except ValueError:
+            raise ValueError(
+                f"bad REPRO_CHAOS value {part!r}: {key} must be numeric"
+            ) from None
+    return ChaosPlan(
+        crash=fields["crash"],
+        hang=fields["hang"],
+        corrupt=fields["corrupt"],
+        drop_sidecar=fields["drop_sidecar"],
+        seed=int(fields["seed"]),
+        hang_seconds=fields["hang_s"],
+    )

@@ -1,0 +1,127 @@
+"""Checkpoint/resume manifests for multi-stage runs.
+
+A long run (``repro tables``, a multi-model ``pipeline.fit``) is a sequence
+of named stages whose outputs are pure functions of their inputs.  A
+:class:`ProgressManifest` records, per stage, that the stage completed —
+optionally with a small result payload (a formatted table, a threshold) —
+keyed by a *run key*: the content-addressed identity of everything feeding
+the run (scale, sample counts, code version…).  An interrupted run invoked
+again with the same inputs resumes from the last completed stage; any input
+change rotates the run key and invalidates the whole manifest, so a resume
+can never mix stages from different configurations.
+
+Manifests are JSON (human-inspectable, diff-able in bug reports) and every
+update is written atomically via the same tempfile + fsync + rename
+protocol as the artifact cache, so a SIGKILL mid-write leaves either the
+old manifest or the new one, never a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .cache import CODE_VERSION, cache_key_hash
+
+__all__ = ["ProgressManifest", "manifest_path"]
+
+_FORMAT = 1
+
+
+def manifest_path(root: Union[str, os.PathLike], name: str,
+                  run_key: Dict[str, Any]) -> Path:
+    """Canonical manifest location for one (name, run key) under ``root``.
+
+    The run-key hash is in the filename, so concurrent runs with different
+    parameters never contend for one manifest file.
+    """
+    digest = cache_key_hash({"manifest": name, "version": CODE_VERSION, **run_key})
+    return Path(root) / "manifests" / f"{name}-{digest[:16]}.json"
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    import tempfile
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ProgressManifest:
+    """Stage-completion record for one resumable run.
+
+    Args:
+        path: Manifest file location (see :func:`manifest_path`).
+        run_key: Identity of the run's inputs.  A manifest on disk whose
+            recorded run key differs is ignored and will be overwritten —
+            stale progress must never leak across configurations.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike], run_key: Dict[str, Any]) -> None:
+        self.path = Path(path)
+        self.run_key_hash = cache_key_hash({"version": CODE_VERSION, **run_key})
+        self._stages: Dict[str, Dict[str, Any]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            doc = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return  # torn/corrupt manifest: start over (stages just re-run)
+        if (
+            isinstance(doc, dict)
+            and doc.get("format") == _FORMAT
+            and doc.get("run_key_hash") == self.run_key_hash
+            and isinstance(doc.get("stages"), dict)
+        ):
+            self._stages = doc["stages"]
+
+    def _flush(self) -> None:
+        doc = {
+            "format": _FORMAT,
+            "run_key_hash": self.run_key_hash,
+            "stages": self._stages,
+        }
+        _atomic_write_text(self.path, json.dumps(doc, indent=1, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------- api
+    def is_done(self, stage: str) -> bool:
+        """True when ``stage`` completed in this run configuration."""
+        return stage in self._stages
+
+    def result(self, stage: str) -> Optional[Any]:
+        """The payload recorded with a completed stage (None if absent)."""
+        entry = self._stages.get(stage)
+        return None if entry is None else entry.get("payload")
+
+    def mark_done(self, stage: str, payload: Optional[Any] = None) -> None:
+        """Record one completed stage (atomically persisted immediately)."""
+        entry: Dict[str, Any] = {"order": len(self._stages)}
+        if payload is not None:
+            entry["payload"] = payload
+        self._stages[stage] = entry
+        self._flush()
+
+    def done_stages(self) -> List[str]:
+        """Completed stage names in completion order."""
+        return sorted(self._stages, key=lambda s: self._stages[s].get("order", 0))
+
+    def discard(self) -> None:
+        """Delete the manifest (used by ``--no-resume`` / successful cleanup)."""
+        self._stages = {}
+        self.path.unlink(missing_ok=True)

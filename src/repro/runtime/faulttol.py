@@ -1,0 +1,266 @@
+"""Fault-tolerant work-unit execution for the dataset runtime.
+
+The runtime's work units (design preparations, sample chunks) are pure
+functions of their identity and derived seed, so any unit can be re-executed
+after a failure and produce byte-identical results.  This module supplies
+the execution layer that exploits that property:
+
+* **per-unit deadlines** — a unit that neither completes nor fails within
+  ``RetryPolicy.deadline`` seconds is declared lost (hung worker, or a
+  worker that died and took the in-flight task with it);
+* **bounded retries** — lost and crashed units are re-submitted up to
+  ``max_retries`` times; exhaustion raises :class:`UnitFailedError` naming
+  the unit, never a silent partial result;
+* **pool health + respawn** — any deadline expiry marks the pool unhealthy
+  (a hung worker occupies its slot forever); the pool is terminated and
+  respawned, keeping results already collected;
+* **degradation ladder** — after ``max_pool_respawns`` unhealthy pools the
+  remaining units run serially in-process (parallel → respawn → serial), so
+  a pathological environment degrades to slow, never to broken;
+* **signal-safe teardown** — ``KeyboardInterrupt``/``SIGTERM`` terminate
+  the pool promptly (``terminate()`` then ``join()``), record the aborted
+  units in the stats report, and re-raise, leaving any cache consistent.
+
+Everything here is mechanism, not policy: callers pass a module-level
+worker function ``fn((payload, attempt))`` plus the payload list, and get
+results back in input order regardless of retries or degradation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.pool
+import signal
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .instrument import RuntimeStats
+
+__all__ = [
+    "RetryPolicy",
+    "UnitFailedError",
+    "handle_termination",
+    "run_units",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadlines and retry budgets for fault-tolerant unit execution.
+
+    Attributes:
+        deadline: Seconds a unit may run before being declared lost;
+            ``None`` disables deadlines (a hung worker then hangs the build,
+            as the pre-fault-tolerance runtime did).
+        max_retries: Re-executions allowed per unit after its first attempt.
+        max_pool_respawns: Unhealthy-pool teardowns tolerated before the
+            runtime degrades to serial in-process execution.
+    """
+
+    deadline: Optional[float] = None
+    max_retries: int = 2
+    max_pool_respawns: int = 2
+
+    @staticmethod
+    def from_env() -> "RetryPolicy":
+        """Policy with ``REPRO_UNIT_DEADLINE`` (seconds) applied if set."""
+        import os
+
+        raw = os.environ.get("REPRO_UNIT_DEADLINE", "").strip()
+        return RetryPolicy(deadline=float(raw) if raw else None)
+
+
+class UnitFailedError(RuntimeError):
+    """A work unit failed every allowed attempt.
+
+    Attributes:
+        unit: The unit's payload (its identity: pair/chunk indices, spec…).
+        attempts: Total attempts made.
+        cause: The last failure — an exception instance, or ``None`` when
+            every attempt was lost to a timeout/worker death.
+    """
+
+    def __init__(self, label: str, unit: Any, attempts: int,
+                 cause: Optional[BaseException]) -> None:
+        self.unit = unit
+        self.attempts = attempts
+        self.cause = cause
+        why = f"last error: {cause!r}" if cause is not None else "lost to timeout/worker death"
+        super().__init__(
+            f"{label} unit {unit!r} failed after {attempts} attempt(s); {why}"
+        )
+
+
+def _pool_initializer(initializer: Optional[Callable[..., None]],
+                      initargs: Tuple[Any, ...]) -> None:
+    """Worker bootstrap: mark the process as a pool worker, then delegate.
+
+    The mark gates chaos crash injection (hard ``_exit`` is only ever issued
+    inside a disposable worker); the serial fallback calls ``initializer``
+    directly, unmarked, so injected crashes surface as retryable exceptions
+    there instead of killing the build process.
+    """
+    from .chaos import mark_worker
+
+    mark_worker(True)
+    if initializer is not None:
+        initializer(*initargs)
+
+
+@contextmanager
+def handle_termination() -> Iterator[None]:
+    """Convert SIGTERM into ``KeyboardInterrupt`` for the enclosed block.
+
+    Lets one teardown path (terminate pool, flush stats, print the resume
+    hint) serve both Ctrl-C and a supervisor's SIGTERM.  Installing signal
+    handlers is only legal in the main thread; elsewhere this is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt(f"terminated by signal {signum}")
+
+    previous = signal.signal(signal.SIGTERM, _raise)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def _run_serial(
+    units: Sequence[Any],
+    fn: Callable[[Tuple[Any, int]], Any],
+    indices: Sequence[int],
+    attempts: List[int],
+    results: List[Any],
+    policy: RetryPolicy,
+    stats: RuntimeStats,
+    label: str,
+) -> None:
+    """Execute ``indices`` in-process with the same retry accounting."""
+    for i in indices:
+        while True:
+            try:
+                results[i] = fn((units[i], attempts[i]))
+                break
+            except Exception as exc:
+                stats.count(f"faulttol.{label}.unit_errors")
+                attempts[i] += 1
+                if attempts[i] > policy.max_retries:
+                    raise UnitFailedError(label, units[i], attempts[i], exc) from exc
+                stats.count(f"faulttol.{label}.retries")
+
+
+def run_units(
+    units: Sequence[Any],
+    fn: Callable[[Tuple[Any, int]], Any],
+    workers: int,
+    policy: RetryPolicy,
+    stats: RuntimeStats,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple[Any, ...] = (),
+    label: str = "unit",
+) -> List[Any]:
+    """Run ``fn((unit, attempt))`` for every unit; results in input order.
+
+    Args:
+        units: Work-unit payloads (small and picklable).
+        fn: Module-level worker function taking one ``(payload, attempt)``
+            tuple.  Must be deterministic in the payload — a retried unit is
+            expected to reproduce the first attempt's bytes.
+        workers: Pool width; ``<= 1`` runs serially in-process.
+        policy: Deadline / retry / degradation budgets.
+        stats: Sink for ``faulttol.*`` counters (retries, timeouts,
+            respawns, degradation, aborts).
+        initializer / initargs: Pool worker initialization (worker-side
+            state, chaos plan).  The initializer also runs before serial
+            execution so both paths see identical worker state.
+        label: Counter namespace and error-message prefix.
+
+    Raises:
+        UnitFailedError: A unit exhausted ``policy.max_retries``.
+        KeyboardInterrupt: Propagated after prompt pool teardown; the
+            number of units still outstanding is recorded under
+            ``faulttol.<label>.aborted_units``.
+    """
+    results: List[Any] = [None] * len(units)
+    attempts = [0] * len(units)
+    remaining = list(range(len(units)))
+    if not remaining:
+        return results
+
+    serial = workers <= 1 or len(units) == 1
+    respawns = 0
+    while remaining and not serial:
+        pool = multiprocessing.Pool(
+            min(workers, len(remaining)),
+            initializer=_pool_initializer,
+            initargs=(initializer, initargs),
+        )
+        if respawns:
+            stats.count(f"faulttol.{label}.pool_respawns")
+        try:
+            pending: Dict[int, multiprocessing.pool.AsyncResult] = {
+                i: pool.apply_async(fn, ((units[i], attempts[i]),)) for i in remaining
+            }
+            unhealthy = False
+            still_running: List[int] = []
+            for i in list(remaining):
+                try:
+                    # After the first expiry the pool is doomed anyway; only
+                    # harvest what is already finished (timeout 0).
+                    results[i] = pending[i].get(0 if unhealthy else policy.deadline)
+                    remaining.remove(i)
+                except multiprocessing.TimeoutError:
+                    unhealthy = True
+                    still_running.append(i)
+                except Exception as exc:
+                    # The unit itself raised (or its worker refused it).
+                    stats.count(f"faulttol.{label}.unit_errors")
+                    attempts[i] += 1
+                    if attempts[i] > policy.max_retries:
+                        raise UnitFailedError(label, units[i], attempts[i], exc) from exc
+                    stats.count(f"faulttol.{label}.retries")
+            if not unhealthy:
+                pool.close()
+                pool.join()
+                # Units that raised (rare: deterministic bugs, injected
+                # serial-path chaos) re-run in the in-process tail below,
+                # where a repeat failure is attributed unambiguously.
+                break
+            # Deadline expiry: hung worker or crash-lost task.  Bill the
+            # first expired unit as the likely culprit; units merely queued
+            # behind it are resubmitted free of charge.
+            stats.count(f"faulttol.{label}.timeouts")
+            culprit = still_running[0]
+            attempts[culprit] += 1
+            if attempts[culprit] > policy.max_retries:
+                raise UnitFailedError(label, units[culprit], attempts[culprit], None)
+            stats.count(f"faulttol.{label}.retries")
+            respawns += 1
+            if respawns > policy.max_pool_respawns:
+                stats.emit(
+                    f"[faulttol] {label}: pool unhealthy {respawns}x; degrading "
+                    f"to serial execution of {len(remaining)} unit(s)"
+                )
+                stats.count(f"faulttol.{label}.degraded_serial")
+                serial = True
+        except BaseException:
+            # KeyboardInterrupt (incl. converted SIGTERM), UnitFailedError,
+            # MemoryError…: tear the pool down promptly — terminate() first,
+            # close() would wait forever on a hung worker.
+            stats.count(f"faulttol.{label}.aborted_units", len(remaining))
+            raise
+        finally:
+            pool.terminate()
+            pool.join()
+
+    if remaining:
+        if initializer is not None:
+            initializer(*initargs)
+        _run_serial(units, fn, list(remaining), attempts, results, policy, stats, label)
+    return results

@@ -1,0 +1,317 @@
+"""Chaos-injection suite: recovery paths preserve dataset fingerprints.
+
+The fault-tolerance contract under test: worker crashes, hung units,
+corrupted cache payloads, and dropped sidecars cost retries and rebuilds —
+never bytes.  Every recovered build here must fingerprint identically to a
+clean ``workers=1`` build, and exhausted retries must surface as a
+structured :class:`UnitFailedError` naming the failing unit, not as a
+silent partial dataset.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.runtime import (
+    ChaosError,
+    ChaosPlan,
+    DatasetRuntime,
+    RetryPolicy,
+    RuntimeStats,
+    UnitFailedError,
+    chaos_from_env,
+    reset_runtime,
+    sample_set_fingerprint,
+)
+from repro.runtime.faulttol import run_units
+
+pytestmark = pytest.mark.chaos
+
+SEED = 4242
+
+
+@pytest.fixture(autouse=True)
+def _isolate_global_runtime():
+    reset_runtime()
+    yield
+    reset_runtime()
+
+
+# ------------------------------------------------------------ REPRO_CHAOS
+def test_chaos_from_env_parses_all_fields():
+    plan = chaos_from_env("crash=0.5, hang=1, corrupt=0.25,drop_sidecar=1,seed=9,hang_s=3")
+    assert plan == ChaosPlan(crash=0.5, hang=1.0, corrupt=0.25, drop_sidecar=1.0,
+                             seed=9, hang_seconds=3.0)
+    assert plan.active
+
+
+def test_chaos_from_env_empty_and_unset(monkeypatch):
+    assert chaos_from_env("") is None
+    assert chaos_from_env("  ") is None
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    assert chaos_from_env() is None
+    monkeypatch.setenv("REPRO_CHAOS", "crash=1")
+    assert chaos_from_env().crash == 1.0
+
+
+@pytest.mark.parametrize("bad", ["crash", "crash=x", "explode=1", "crash=1;hang=1"])
+def test_chaos_from_env_rejects_malformed(bad):
+    with pytest.raises(ValueError, match="REPRO_CHAOS"):
+        chaos_from_env(bad)
+
+
+def test_chaos_decisions_are_deterministic():
+    a = ChaosPlan(crash=0.5, seed=7)
+    b = ChaosPlan(crash=0.5, seed=7)
+    tokens = [("chunk", 0, i) for i in range(64)]
+    fires_a = [a._fires("crash", t, a.crash) for t in tokens]
+    assert fires_a == [b._fires("crash", t, b.crash) for t in tokens]
+    assert any(fires_a) and not all(fires_a)  # 0.5 is neither 0 nor 1
+    # Rates 0 and 1 short-circuit to constant decisions.
+    assert not ChaosPlan(seed=7)._fires("crash", tokens[0], 0.0)
+    assert ChaosPlan(seed=7)._fires("crash", tokens[0], 1.0)
+
+
+# ------------------------------------------------- run_units failure paths
+def _double(task):
+    payload, _attempt = task
+    return payload * 2
+
+
+def _crash_on_first_attempt(task):
+    payload, attempt = task
+    if attempt == 0 and payload == 1:
+        os._exit(70)  # hard worker death; the task is lost, never raised
+    return payload * 2
+
+
+def _hang_on_first_attempt(task):
+    payload, attempt = task
+    if attempt == 0 and payload == 1:
+        time.sleep(30)
+    return payload * 2
+
+
+def _always_fail(task):
+    payload, _attempt = task
+    raise ValueError(f"unit {payload} is cursed")
+
+
+def _sleep_forever(task):
+    time.sleep(60)
+
+
+def test_run_units_clean_parallel_keeps_order():
+    stats = RuntimeStats()
+    out = run_units(list(range(6)), _double, workers=4,
+                    policy=RetryPolicy(deadline=30), stats=stats)
+    assert out == [0, 2, 4, 6, 8, 10]
+    assert stats.counters == {}  # no retries, no timeouts, no respawns
+
+
+def test_run_units_recovers_worker_crash():
+    """A hard-killed worker loses its unit; the retry reproduces it."""
+    stats = RuntimeStats()
+    out = run_units(list(range(4)), _crash_on_first_attempt, workers=4,
+                    policy=RetryPolicy(deadline=3, max_retries=2), stats=stats)
+    assert out == [0, 2, 4, 6]
+    assert stats.counters.get("faulttol.unit.timeouts", 0) >= 1
+    assert stats.counters.get("faulttol.unit.retries", 0) >= 1
+
+
+def test_run_units_recovers_hung_unit():
+    """A unit sleeping past its deadline is killed with its pool and retried."""
+    stats = RuntimeStats()
+    t0 = time.perf_counter()
+    out = run_units(list(range(4)), _hang_on_first_attempt, workers=4,
+                    policy=RetryPolicy(deadline=2, max_retries=2), stats=stats)
+    assert out == [0, 2, 4, 6]
+    assert time.perf_counter() - t0 < 25  # nowhere near the 30s sleep
+    assert stats.counters.get("faulttol.unit.timeouts", 0) >= 1
+    assert stats.counters.get("faulttol.unit.pool_respawns", 0) >= 1
+
+
+def test_run_units_degrades_to_serial():
+    """With no respawn budget, one unhealthy pool drops to in-process serial."""
+    stats = RuntimeStats()
+    out = run_units(list(range(4)), _hang_on_first_attempt, workers=4,
+                    policy=RetryPolicy(deadline=2, max_retries=2,
+                                       max_pool_respawns=0), stats=stats)
+    assert out == [0, 2, 4, 6]
+    assert stats.counters.get("faulttol.unit.degraded_serial", 0) == 1
+
+
+def test_run_units_retry_exhaustion_names_unit_parallel():
+    stats = RuntimeStats()
+    with pytest.raises(UnitFailedError) as err:
+        run_units([5, 6], _always_fail, workers=2,
+                  policy=RetryPolicy(deadline=30, max_retries=1), stats=stats)
+    assert err.value.unit in (5, 6)
+    assert err.value.attempts == 2
+    assert isinstance(err.value.cause, ValueError)
+    assert "cursed" in str(err.value)
+
+
+def test_run_units_retry_exhaustion_serial():
+    stats = RuntimeStats()
+    with pytest.raises(UnitFailedError) as err:
+        run_units([9], _always_fail, workers=1,
+                  policy=RetryPolicy(max_retries=2), stats=stats)
+    assert err.value.unit == 9 and err.value.attempts == 3
+    assert stats.counters["faulttol.unit.retries"] == 2
+
+
+def test_run_units_timeout_exhaustion_has_no_cause():
+    stats = RuntimeStats()
+    with pytest.raises(UnitFailedError) as err:
+        run_units([1, 1], _sleep_forever, workers=2,
+                  policy=RetryPolicy(deadline=1, max_retries=0), stats=stats)
+    assert err.value.cause is None
+    assert "timeout/worker death" in str(err.value)
+
+
+def test_run_units_empty_and_single():
+    stats = RuntimeStats()
+    assert run_units([], _double, workers=4, policy=RetryPolicy(), stats=stats) == []
+    # A single unit runs in-process even with a pool-sized worker budget.
+    assert run_units([3], _double, workers=4, policy=RetryPolicy(), stats=stats) == [6]
+
+
+# ------------------------------------------- the chaos determinism proof
+#: Chosen (with crash=hang=0.25) so that over this build's three chunk
+#: units exactly one crashes and one hangs — asserted below, so a rate or
+#: hash change cannot silently turn this into a chaos-free test.
+CHAOS_SEED = 10
+N_SAMPLES = 48  # three 16-sample chunks
+
+
+def test_chaotic_parallel_build_matches_clean_serial(prepared, tmp_path):
+    """Acceptance proof: crash + hang + corrupted cache ⇒ identical bytes.
+
+    A 4-worker build under a chaos plan that kills one worker, hangs one
+    unit past its deadline, and damages every cache payload it writes must
+    produce the exact SHA-256 fingerprint of a clean serial build — and a
+    follow-up warm build must detect the corrupted entries, evict them,
+    and rebuild to the same fingerprint again.
+    """
+    plan = ChaosPlan(crash=0.25, hang=0.25, corrupt=1.0, seed=CHAOS_SEED,
+                     hang_seconds=30.0)
+    tokens = [("chunk", 0, i) for i in range(3)]
+    crashed = [t for t in tokens if plan._fires("crash", t, plan.crash)]
+    hung = [t for t in tokens if t not in crashed and plan._fires("hang", t, plan.hang)]
+    assert len(crashed) == 1 and len(hung) == 1  # the chaos this test promises
+
+    stats = RuntimeStats()
+    chaotic = DatasetRuntime(
+        workers=4,
+        cache_dir=tmp_path,
+        stats=stats,
+        retry=RetryPolicy(deadline=4.0, max_retries=3, max_pool_respawns=4),
+        chaos=plan,
+    )
+    built = chaotic.build_dataset(prepared, "bypass", N_SAMPLES, SEED)
+    clean = DatasetRuntime(workers=1).build_dataset(prepared, "bypass", N_SAMPLES, SEED)
+    assert sample_set_fingerprint(built) == sample_set_fingerprint(clean)
+    # The failures really happened: one deadline expiry per crash and hang.
+    assert stats.counters.get("faulttol.chunk.timeouts", 0) >= 2
+    assert stats.counters.get("faulttol.chunk.retries", 0) >= 2
+
+    # Every cached payload was damaged on write; a warm, chaos-free build
+    # must quarantine them all and regenerate the same bytes.
+    warm_stats = RuntimeStats()
+    warm = DatasetRuntime(workers=1, cache_dir=tmp_path, stats=warm_stats)
+    rebuilt = warm.build_dataset(prepared, "bypass", N_SAMPLES, SEED)
+    assert sample_set_fingerprint(rebuilt) == sample_set_fingerprint(clean)
+    assert warm_stats.counters.get("cache.sample_chunk.hit", 0) == 0
+    assert (warm_stats.counters.get("cache.sample_chunk.corrupt", 0)
+            + warm_stats.counters.get("cache.sample_chunk.desynced", 0)) == 3
+    assert warm_stats.counters.get("dataset.chunks_built", 0) == 3
+
+
+def test_dropped_sidecars_force_rebuild_to_identical_bytes(prepared, tmp_path):
+    plan = ChaosPlan(drop_sidecar=1.0, seed=1)
+    first = DatasetRuntime(workers=1, cache_dir=tmp_path, chaos=plan).build_dataset(
+        prepared, "bypass", 32, SEED
+    )
+    stats = RuntimeStats()
+    warm = DatasetRuntime(workers=1, cache_dir=tmp_path, stats=stats)
+    second = warm.build_dataset(prepared, "bypass", 32, SEED)
+    assert sample_set_fingerprint(second) == sample_set_fingerprint(first)
+    assert stats.counters.get("cache.sample_chunk.desynced", 0) == 2
+    # The eviction removed both halves: the repaired cache is then clean.
+    assert warm.cache.doctor().problems == 0
+
+
+def test_env_driven_serial_chaos_retries_to_identical_bytes(prepared, monkeypatch):
+    """``REPRO_CHAOS`` crash injection on the serial path raises-and-retries."""
+    monkeypatch.setenv("REPRO_CHAOS", "crash=1,seed=3")
+    stats = RuntimeStats()
+    rt = DatasetRuntime(workers=1, stats=stats)
+    assert rt.chaos is not None and rt.chaos.crash == 1.0
+    built = rt.build_dataset(prepared, "bypass", 32, SEED)
+    monkeypatch.delenv("REPRO_CHAOS")
+    clean = DatasetRuntime(workers=1).build_dataset(prepared, "bypass", 32, SEED)
+    assert sample_set_fingerprint(built) == sample_set_fingerprint(clean)
+    # Every chunk failed once (attempt 0) and succeeded on retry.
+    assert stats.counters.get("faulttol.chunk.unit_errors", 0) == 2
+    assert stats.counters.get("faulttol.chunk.retries", 0) == 2
+
+
+def test_serial_chaos_crash_raises_instead_of_exiting():
+    """Outside a worker, crash injection must never kill the process."""
+    plan = ChaosPlan(crash=1.0, seed=0)
+    with pytest.raises(ChaosError, match="injected crash"):
+        plan.maybe_fail_unit(("chunk", 0, 0), attempt=0)
+    plan.maybe_fail_unit(("chunk", 0, 0), attempt=1)  # retries run clean
+
+
+# ------------------------------------------------------- signal teardown
+_ABORT_SCRIPT = """
+import os, signal, sys, threading, time
+
+from repro.runtime import RetryPolicy, RuntimeStats, handle_termination
+from repro.runtime.faulttol import run_units
+from tests.test_chaos import _sleep_forever
+
+stats = RuntimeStats()
+
+def _terminate_soon():
+    time.sleep(1.5)
+    os.kill(os.getpid(), signal.SIGTERM)
+
+threading.Thread(target=_terminate_soon, daemon=True).start()
+try:
+    with handle_termination():
+        run_units([1, 2, 3, 4], _sleep_forever, workers=2,
+                  policy=RetryPolicy(), stats=stats)
+except KeyboardInterrupt:
+    print("ABORTED", stats.counters.get("faulttol.unit.aborted_units", 0), flush=True)
+    sys.exit(130)
+print("NOT INTERRUPTED", flush=True)
+sys.exit(1)
+"""
+
+
+def test_sigterm_tears_pool_down_promptly_and_records_aborts(tmp_path):
+    """SIGTERM during a fan-out exits in seconds, not after the 60s sleeps."""
+    script = tmp_path / "abort_script.py"
+    script.write_text(_ABORT_SCRIPT)
+    env = dict(os.environ)
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(root, "src"), root, env.get("PYTHONPATH", "")]
+    )
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, str(script)], env=env, cwd=root,
+        capture_output=True, text=True, timeout=40,
+    )
+    elapsed = time.perf_counter() - t0
+    assert proc.returncode == 130, proc.stderr
+    assert "ABORTED 4" in proc.stdout  # all four outstanding units recorded
+    assert elapsed < 30  # terminate(), not a 60s drain

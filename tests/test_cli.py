@@ -39,6 +39,51 @@ def test_parser_requires_command():
         build_parser().parse_args([])
 
 
+# ------------------------------------------------------------------ doctor
+def test_doctor_requires_cache_dir(monkeypatch, capsys):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert main(["doctor"]) == 2
+    assert "no cache directory" in capsys.readouterr().err
+
+
+def test_doctor_healthy_cache(tmp_path, capsys):
+    from repro.runtime import ArtifactCache
+
+    ArtifactCache(tmp_path).put("unit", {"x": 1}, [1, 2, 3])
+    assert main(["doctor", "--cache-dir", str(tmp_path), "--deep"]) == 0
+    out = capsys.readouterr().out
+    assert "1 artifact(s), 0 problem(s)" in out
+
+
+def test_doctor_reports_then_fixes_problems(tmp_path, capsys):
+    from repro.runtime import ArtifactCache, cache_key_hash
+
+    import os
+
+    cache = ArtifactCache(tmp_path)
+    cache.put("unit", {"x": 1}, [1, 2, 3])
+    digest = cache_key_hash({"x": 1})
+    (tmp_path / "unit" / digest[:2] / f"{digest}.key.json").unlink()
+    stale = tmp_path / "unit" / "stale.tmp"
+    stale.write_bytes(b"")
+    os.utime(stale, (0, 0))  # old enough for --fix's tmp age guard
+
+    assert main(["doctor", "--cache-dir", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "2 problem(s)" in out
+    assert "payload without sidecar" in out and "orphan tmp file" in out
+
+    assert main(["doctor", "--cache-dir", str(tmp_path), "--fix"]) == 0
+    assert "repaired 2 problem(s)" in capsys.readouterr().out
+    assert main(["doctor", "--cache-dir", str(tmp_path)]) == 0
+
+
+def test_doctor_honors_env_cache_dir(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["doctor"]) == 0
+    assert "0 problem(s)" in capsys.readouterr().out
+
+
 @pytest.mark.slow
 def test_tables_single_table(capsys):
     assert main(["tables", "--scale", "tiny", "--samples", "8",

@@ -171,6 +171,95 @@ def test_rpl005_clean(src):
     assert "RPL005" not in rules_of(src)
 
 
+# ------------------------------------------------------------------ RPL006
+BAD_RPL006 = [
+    """
+    try:
+        work()
+    except:
+        pass
+    """,
+    """
+    try:
+        work()
+    except Exception:
+        pass
+    """,
+    """
+    try:
+        work()
+    except BaseException:
+        ...
+    """,
+    """
+    try:
+        work()
+    except (ValueError, Exception):
+        pass
+    """,
+    """
+    for x in xs:
+        try:
+            work(x)
+        except Exception as e:
+            continue
+    """,
+    """
+    try:
+        work()
+    except:
+        handled()
+    """,  # bare except is flagged even with a real body
+]
+
+GOOD_RPL006 = [
+    """
+    try:
+        work()
+    except OSError:
+        pass
+    """,  # narrow exception: intentional swallow is fine
+    """
+    try:
+        work()
+    except Exception:
+        raise
+    """,
+    """
+    try:
+        work()
+    except Exception as e:
+        log(e)
+    """,
+    """
+    try:
+        work()
+    except (ValueError, KeyError):
+        pass
+    """,
+]
+
+
+@pytest.mark.parametrize("src", BAD_RPL006)
+def test_rpl006_fires(src):
+    assert "RPL006" in rules_of(src)
+
+
+@pytest.mark.parametrize("src", GOOD_RPL006)
+def test_rpl006_clean(src):
+    assert "RPL006" not in rules_of(src)
+
+
+def test_rpl006_suppressible_inline():
+    src = (
+        "try:\n"
+        "    work()\n"
+        "except Exception:  # repro-lint: disable=RPL006\n"
+        "    pass\n"
+    )
+    assert rules_of(src) == []
+
+
 # ------------------------------------------------------------- suppressions
 def test_line_suppression():
     src = "import random\nx = random.random()  # repro-lint: disable=RPL001"
@@ -233,4 +322,6 @@ def test_lint_paths_walks_directories(tmp_path):
 
 
 def test_rule_catalog_complete():
-    assert set(LINT_RULES) == {"RPL001", "RPL002", "RPL003", "RPL004", "RPL005"}
+    assert set(LINT_RULES) == {
+        "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006",
+    }

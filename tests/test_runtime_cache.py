@@ -150,6 +150,141 @@ def test_cache_distinct_keys_do_not_collide(tmp_path):
     assert cache.get("unit", {"seed": 2})[0] == "two"
 
 
+# ------------------------------------------------- cache failure recovery
+def _entry_paths(root, kind, key):
+    digest = cache_key_hash(key)
+    pkl = root / kind / digest[:2] / f"{digest}.pkl"
+    return pkl, pkl.with_suffix(".key.json")
+
+
+def test_cache_truncated_payload_evicts_both_halves(tmp_path):
+    stats = RuntimeStats()
+    cache = ArtifactCache(tmp_path, stats=stats)
+    key = {"artifact": "unit", "x": 3}
+    cache.put("unit", key, list(range(100)))
+    pkl, sidecar = _entry_paths(tmp_path, "unit", key)
+    pkl.write_bytes(pkl.read_bytes()[: pkl.stat().st_size // 2])  # torn write
+    obj, hit = cache.get("unit", key)
+    assert not hit and obj is None
+    assert stats.counters["cache.unit.corrupt"] == 1
+    assert not pkl.exists() and not sidecar.exists()  # no half-entry left
+
+
+def test_cache_bit_flip_is_caught_by_payload_digest(tmp_path):
+    """A flipped bit mid-pickle may unpickle *silently wrong*; the sidecar's
+    payload hash must catch it before the bytes reach a build."""
+    stats = RuntimeStats()
+    cache = ArtifactCache(tmp_path, stats=stats)
+    key = {"artifact": "unit", "x": 4}
+    cache.put("unit", key, np.arange(256, dtype=np.uint8))
+    pkl, _sidecar = _entry_paths(tmp_path, "unit", key)
+    data = bytearray(pkl.read_bytes())
+    data[len(data) // 2] ^= 0x40  # same length, one bad bit
+    pkl.write_bytes(bytes(data))
+    obj, hit = cache.get("unit", key)
+    assert not hit and obj is None
+    assert stats.counters["cache.unit.corrupt"] == 1
+
+
+def test_cache_missing_sidecar_is_a_miss_and_evicts(tmp_path):
+    stats = RuntimeStats()
+    cache = ArtifactCache(tmp_path, stats=stats)
+    key = {"artifact": "unit", "x": 5}
+    cache.put("unit", key, "payload")
+    pkl, sidecar = _entry_paths(tmp_path, "unit", key)
+    sidecar.unlink()
+    obj, hit = cache.get("unit", key)
+    assert not hit and obj is None
+    assert stats.counters["cache.unit.desynced"] == 1
+    assert not pkl.exists()
+
+
+def test_cache_desynced_sidecar_is_a_miss(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = {"artifact": "unit", "x": 6}
+    cache.put("unit", key, "payload")
+    pkl, sidecar = _entry_paths(tmp_path, "unit", key)
+    # Sidecar claims a different key: the record lies about the bytes.
+    other_doc = ArtifactCache._sidecar_doc(canonical_key({"x": 99}), b"payload")
+    sidecar.write_bytes(other_doc)
+    assert cache.get("unit", key) == (None, False)
+    assert not pkl.exists() and not sidecar.exists()
+
+
+def test_cache_put_leaves_no_tempfiles(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    for i in range(5):
+        cache.put("unit", {"i": i}, list(range(i)))
+    assert not list(tmp_path.rglob("*.tmp"))
+
+
+def test_gc_orphans_respects_age_guard(tmp_path):
+    import os
+
+    cache = ArtifactCache(tmp_path)
+    cache.put("unit", {"x": 1}, "v")
+    fresh = tmp_path / "unit" / "fresh.tmp"
+    stale = tmp_path / "unit" / "stale.tmp"
+    fresh.write_bytes(b"x")
+    stale.write_bytes(b"x")
+    os.utime(stale, (0, 0))  # ancient mtime
+    assert cache.gc_orphans(max_age_s=3600.0) == 1  # only the stale one
+    assert fresh.exists() and not stale.exists()
+    assert cache.gc_orphans(max_age_s=0.0) == 1  # zero age collects the rest
+    assert cache.get("unit", {"x": 1})[1]  # real entries untouched
+
+
+def test_doctor_reports_and_fixes_every_problem_class(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    for i in range(4):
+        cache.put("unit", {"i": i}, list(range(8)))
+    healthy = cache.doctor(deep=True)
+    assert healthy.problems == 0
+    assert healthy.entries == {"unit": 4}
+    assert "0 problem(s)" in healthy.report()
+
+    p0, s0 = _entry_paths(tmp_path, "unit", {"i": 0})
+    p1, s1 = _entry_paths(tmp_path, "unit", {"i": 1})
+    p2, s2 = _entry_paths(tmp_path, "unit", {"i": 2})
+    p3, s3 = _entry_paths(tmp_path, "unit", {"i": 3})
+    s0.unlink()                                    # payload without sidecar
+    p1.unlink()                                    # dangling sidecar
+    s2.write_text("{ torn")                        # desynced sidecar
+    data = bytearray(p3.read_bytes())
+    data[len(data) // 2] ^= 0x01
+    p3.write_bytes(bytes(data))                    # silent bit rot
+    (tmp_path / "unit" / "x.tmp").write_bytes(b"")  # interrupted write
+
+    shallow = cache.doctor()
+    assert len(shallow.missing_sidecars) == 1
+    assert len(shallow.dangling_sidecars) == 1
+    assert len(shallow.desynced_sidecars) == 1
+    assert shallow.corrupt_payloads == []  # bit rot needs the deep audit
+    assert len(shallow.orphan_tmps) == 1
+
+    deep = cache.doctor(deep=True)
+    assert [p.name for p in deep.corrupt_payloads] == [p3.name]
+    assert deep.problems == 5
+    assert "desynced sidecar" in deep.report()
+
+    cache.doctor(deep=True, fix=True, tmp_max_age_s=0.0)
+    repaired = cache.doctor(deep=True)
+    assert repaired.problems == 0
+    assert sum(repaired.entries.values()) == 0  # every damaged entry evicted
+
+
+def test_doctor_ignores_manifests_dir(tmp_path):
+    from repro.runtime import ProgressManifest
+
+    cache = ArtifactCache(tmp_path)
+    cache.put("unit", {"x": 1}, "v")
+    ProgressManifest(tmp_path / "manifests" / "m.json", {"r": 1}).mark_done("s")
+    health = cache.doctor(deep=True)
+    assert health.problems == 0
+    assert health.entries == {"unit": 1}
+    assert cache.entries() == {"unit": 1}
+
+
 # -------------------------------------------------------------- instrument
 def test_runtime_stats_timing_counters_and_report():
     stats = RuntimeStats()
