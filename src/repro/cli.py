@@ -8,6 +8,7 @@ Installed as the ``repro`` console script::
     repro export --benchmark AES    # dump a generated benchmark netlist
     repro cache --cache-dir DIR     # inspect / clear the artifact cache
     repro doctor --cache-dir DIR    # audit / repair artifact-cache health
+    repro stats out.json            # render a --stats-out metrics snapshot
     repro check --self              # repro-lint the package sources
     repro check a.py d.bench p.pkl  # lint sources / DRC netlists & designs
     repro lint ...                  # alias for check
@@ -59,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="content-addressed artifact cache directory "
                             "(default: $REPRO_CACHE_DIR or no cache)")
+        p.add_argument("--stats-out", default=None, metavar="FILE",
+                       help="write a metrics snapshot (span tree, stage "
+                            "timings, cache/faulttol counters) on exit — "
+                            "JSON by default, Prometheus textfile for "
+                            ".prom/.txt; render with `repro stats FILE`")
 
     demo = sub.add_parser("demo", help="end-to-end single-chip diagnosis demo")
     demo.add_argument("--gates", type=int, default=400, help="design size")
@@ -92,6 +98,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache directory (default: $REPRO_CACHE_DIR)")
     cache.add_argument("--clear", action="store_true",
                        help="delete every cached artifact")
+
+    stats = sub.add_parser(
+        "stats",
+        help="render a metrics snapshot written by --stats-out",
+        description="Render a JSON metrics document (written by the demo/"
+        "tables --stats-out flag): the hierarchical span tree, the top-N "
+        "stages by wall-clock, per-kind cache hit ratios, and fault-"
+        "tolerance events (retries, timeouts, pool respawns, degradations).",
+    )
+    stats.add_argument("metrics", metavar="FILE",
+                       help="JSON metrics file (--stats-out output)")
+    stats.add_argument("--top", type=int, default=10, metavar="N",
+                       help="stages to list in the wall-clock ranking "
+                            "(default: 10)")
 
     doctor = sub.add_parser(
         "doctor",
@@ -169,20 +189,51 @@ def _resume_hint(cache_dir_used: bool) -> str:
             "interruption resumable")
 
 
+def _write_stats_out(rt, stats_out: Optional[str]) -> None:
+    """Export the run's metrics snapshot (JSON or Prometheus textfile)."""
+    if not stats_out:
+        return
+    from repro.obs import write_metrics
+
+    out = write_metrics(stats_out, rt.stats, rt.tracer)
+    print(f"wrote metrics snapshot to {out}", file=sys.stderr)
+
+
+def _interrupted(rt, stats_out: Optional[str]) -> int:
+    """Shared Ctrl-C/SIGTERM epilogue: clean the cache, flush metrics.
+
+    The worker pool is already torn down by the time the interrupt
+    propagates here (``run_units`` terminates it in its own handler), so no
+    concurrent writer can own an in-flight tempfile: collect *all* ``*.tmp``
+    leftovers (age 0) rather than stranding this run's until the next
+    ``repro doctor``.  The metrics snapshot is still written — an
+    interrupted run is exactly the one whose timings need inspecting.
+    """
+    if rt.cache is not None:
+        removed = rt.cache.gc_orphans(0.0)
+        if removed:
+            print(f"collected {removed} orphaned tmp file(s)", file=sys.stderr)
+    _write_stats_out(rt, stats_out)
+    print(f"\n{_resume_hint(rt.cache is not None)}", file=sys.stderr)
+    return 130
+
+
 def _cmd_demo(gates: int, seed: int, workers: Optional[int] = None,
-              cache_dir: Optional[str] = None) -> int:
+              cache_dir: Optional[str] = None,
+              stats_out: Optional[str] = None) -> int:
     from repro.runtime import handle_termination
 
+    rt = _configure_runtime(workers, cache_dir)
     try:
-        with handle_termination():
-            return _demo_body(gates, seed, workers, cache_dir)
+        with handle_termination(), rt.tracer.span("demo"):
+            code = _demo_body(rt, gates, seed)
     except KeyboardInterrupt:
-        print(f"\n{_resume_hint(cache_dir is not None)}", file=sys.stderr)
-        return 130
+        return _interrupted(rt, stats_out)
+    _write_stats_out(rt, stats_out)
+    return code
 
 
-def _demo_body(gates: int, seed: int, workers: Optional[int],
-               cache_dir: Optional[str]) -> int:
+def _demo_body(rt, gates: int, seed: int) -> int:
     from repro import (
         DesignConfig,
         EffectCauseDiagnoser,
@@ -192,7 +243,6 @@ def _demo_body(gates: int, seed: int, workers: Optional[int],
         report_is_accurate,
     )
 
-    rt = _configure_runtime(workers, cache_dir)
     t0 = time.perf_counter()
     spec = GeneratorSpec("demo", "aes_like", gates, max(16, gates // 8), 16, 16, seed=seed)
     design = rt.prepare(spec, DesignConfig.standard("Syn-1"), n_chains=4,
@@ -208,7 +258,7 @@ def _demo_body(gates: int, seed: int, workers: Optional[int],
                                 mivs=design.mivs, sim=design.sim)
     report = diag.diagnose(chip.sample.log)
     fw = M3DDiagnosisFramework(epochs=20, seed=0)
-    fw.fit([train], stats_sink=rt.stats)
+    fw.fit([train], stats_sink=rt.stats, tracer=rt.tracer)
     result = fw.diagnose(design, "bypass", chip.sample.log, report, graph=chip.graph)
     print(f"ATPG report: {report.resolution} candidates; after policy "
           f"({result.action}): {result.report.resolution}")
@@ -223,25 +273,24 @@ def _demo_body(gates: int, seed: int, workers: Optional[int],
 
 def _cmd_tables(scale: str, samples: int, only: Optional[str],
                 workers: Optional[int] = None, cache_dir: Optional[str] = None,
-                resume: bool = True) -> int:
+                resume: bool = True, stats_out: Optional[str] = None) -> int:
     from repro.runtime import handle_termination
 
+    rt = _configure_runtime(workers, cache_dir)
     try:
-        with handle_termination():
-            return _tables_body(scale, samples, only, workers, cache_dir, resume)
+        with handle_termination(), rt.tracer.span("tables"):
+            code = _tables_body(rt, scale, samples, only, resume)
     except KeyboardInterrupt:
-        print(f"\n{_resume_hint(cache_dir is not None)}", file=sys.stderr)
-        return 130
+        return _interrupted(rt, stats_out)
+    _write_stats_out(rt, stats_out)
+    return code
 
 
-def _tables_body(scale: str, samples: int, only: Optional[str],
-                 workers: Optional[int], cache_dir: Optional[str],
+def _tables_body(rt, scale: str, samples: int, only: Optional[str],
                  resume: bool) -> int:
     from repro import experiments as ex
     from repro.experiments.three_tier import format_three_tier, three_tier_study
     from repro.runtime import ProgressManifest, manifest_path
-
-    rt = _configure_runtime(workers, cache_dir)
 
     wanted = set(only.split(",")) if only else set(TABLE_CHOICES)
     unknown = wanted - set(TABLE_CHOICES)
@@ -278,7 +327,8 @@ def _tables_body(scale: str, samples: int, only: Optional[str],
             return
         t0 = time.perf_counter()
         print(f"\n================ {tid} ================")
-        text = fn()
+        with rt.tracer.span(tid):
+            text = fn()
         print(text)
         print(f"[{tid}: {time.perf_counter() - t0:.1f}s]")
         if manifest is not None:
@@ -337,6 +387,21 @@ def _cmd_cache(cache_dir: Optional[str], clear: bool) -> int:
         print(f"  {kind:14s} {by_kind[kind]}")
     if clear:
         print(f"cleared {cache.clear()} artifact(s)")
+    return 0
+
+
+def _cmd_stats(metrics_file: str, top: int) -> int:
+    from repro.obs import load_metrics, render_metrics
+
+    try:
+        doc = load_metrics(metrics_file)
+    except OSError as exc:
+        print(f"{metrics_file}: cannot read: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render_metrics(doc, top=top))
     return 0
 
 
@@ -475,14 +540,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "info":
         return _cmd_info()
     if args.command == "demo":
-        return _cmd_demo(args.gates, args.seed, args.workers, args.cache_dir)
+        return _cmd_demo(args.gates, args.seed, args.workers, args.cache_dir,
+                         args.stats_out)
     if args.command == "tables":
         return _cmd_tables(args.scale, args.samples, args.only,
-                           args.workers, args.cache_dir, args.resume)
+                           args.workers, args.cache_dir, args.resume,
+                           args.stats_out)
     if args.command == "export":
         return _cmd_export(args.benchmark, args.scale, args.format, args.output)
     if args.command == "cache":
         return _cmd_cache(args.cache_dir, args.clear)
+    if args.command == "stats":
+        return _cmd_stats(args.metrics, args.top)
     if args.command == "doctor":
         return _cmd_doctor(args.cache_dir, args.deep, args.fix)
     if args.command in ("check", "lint"):

@@ -20,6 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 from ..diagnosis.report import Candidate, DiagnosisReport
 from ..nn.data import GraphData
+from ..obs import SpanTracer, profiled
 from ..runtime.instrument import RuntimeStats
 from ..tester.failure_log import FailureLog
 from ..data.datagen import PreparedDesign
@@ -127,6 +128,7 @@ class M3DDiagnosisFramework:
         training_sets: Sequence[SampleSet],
         stats_sink: Optional[RuntimeStats] = None,
         checkpoint: Optional["ArtifactCache"] = None,
+        tracer: Optional[SpanTracer] = None,
     ) -> Dict[str, float]:
         """Train all models from (augmented) training sample sets.
 
@@ -144,12 +146,28 @@ class M3DDiagnosisFramework:
                 stages instead of retraining them (visible as
                 ``fit.<stage>.resumed`` counters with no ``fit.<stage>``
                 wall-clock entry).
+            tracer: Optional span tracer; each training stage records a
+                ``fit.<stage>`` span (nested under the caller's active
+                span) and honours the ``REPRO_PROFILE`` per-stage
+                profiling hooks.  Span/checkpoint keys never mix: spans
+                are excluded from checkpoint identity.
 
         Returns summary statistics: training accuracy of the Tier-predictor,
         the selected ``Tp``, the TP:FP imbalance seen by the Classifier, and
         per-stage training seconds.
         """
         timer = stats_sink if stats_sink is not None else RuntimeStats()
+        tr = tracer if tracer is not None else SpanTracer()
+        with tr.span("fit"):
+            return self._fit_impl(training_sets, timer, tr, checkpoint)
+
+    def _fit_impl(
+        self,
+        training_sets: Sequence[SampleSet],
+        timer: RuntimeStats,
+        tr: SpanTracer,
+        checkpoint: Optional["ArtifactCache"],
+    ) -> Dict[str, float]:
         graphs: List[GraphData] = []
         for s in training_sets:
             graphs.extend(s.graphs)
@@ -175,7 +193,7 @@ class M3DDiagnosisFramework:
         if hit:
             self.tier_predictor = payload
         else:
-            with timer.timed("fit.tier"):
+            with timer.timed("fit.tier"), profiled("fit-tier", tr), tr.span("tier"):
                 self.tier_predictor.fit(tier_graphs)
             stage_save("tier", self.tier_predictor)
 
@@ -188,7 +206,7 @@ class M3DDiagnosisFramework:
                     g for g in graphs if g.node_mask is not None and g.node_mask.any()
                 ]
                 if miv_graphs:
-                    with timer.timed("fit.miv"):
+                    with timer.timed("fit.miv"), profiled("fit-miv", tr), tr.span("miv"):
                         self.miv_pinpointer.fit(miv_graphs)
                 else:
                     self.miv_pinpointer = None
@@ -199,7 +217,8 @@ class M3DDiagnosisFramework:
         if hit:
             self.tp_threshold, conf, correct = payload
         else:
-            with timer.timed("fit.threshold"):
+            with timer.timed("fit.threshold"), profiled("fit-threshold", tr), \
+                    tr.span("threshold"):
                 proba = self.tier_predictor.predict_proba(tier_graphs)
                 preds = np.argmax(proba, axis=1)
                 conf = proba.max(axis=1)
@@ -229,7 +248,8 @@ class M3DDiagnosisFramework:
                     self.classifier = PruneReorderClassifier(
                         self.tier_predictor, epochs=max(10, self.epochs // 2), seed=self.seed + 2
                     )
-                    with timer.timed("fit.classifier"):
+                    with timer.timed("fit.classifier"), profiled("fit-classifier", tr), \
+                            tr.span("classifier"):
                         self.classifier.fit(tp_graphs, fp_graphs)
                 stage_save("classifier", (self.classifier, n_tp, n_fp))
             stats["n_true_positive"] = float(n_tp)

@@ -133,7 +133,8 @@ def get_framework(
     # With a cache configured, every training stage checkpoints: an
     # interrupted tables/fit run re-invoked with the same inputs resumes
     # from the last completed model instead of retraining from scratch.
-    stats = fw.fit(sets, stats_sink=get_runtime().stats, checkpoint=get_runtime().cache)
+    stats = fw.fit(sets, stats_sink=get_runtime().stats,
+                   checkpoint=get_runtime().cache, tracer=get_runtime().tracer)
     stats["train_time_s"] = time.perf_counter() - t0
     stats["n_train_graphs"] = float(sum(len(s) for s in sets))
     return fw, stats
@@ -154,7 +155,8 @@ def get_dedicated_framework(
     train = get_runtime().build_dataset(design, mode, n_train, 2000 + seed, "single")
     fw = M3DDiagnosisFramework(epochs=epochs, seed=seed)
     t0 = time.perf_counter()
-    stats = fw.fit([train], checkpoint=get_runtime().cache)
+    stats = fw.fit([train], stats_sink=get_runtime().stats,
+                   checkpoint=get_runtime().cache, tracer=get_runtime().tracer)
     stats["train_time_s"] = time.perf_counter() - t0
     return fw, stats
 
@@ -185,6 +187,9 @@ def get_atpg_reports(
     """ATPG reports for a cached test set; returns (reports, total seconds)."""
     dataset = get_dataset(name, config_name, mode, kind, n_samples, seed, scale)
     diag = get_diagnoser(name, config_name, mode, scale)
+    rt = get_runtime()
     t0 = time.perf_counter()
-    reports = tuple(diag.diagnose(item.sample.log) for item in dataset.items)
+    with rt.stats.timed("atpg.diagnose"), rt.tracer.span("atpg.diagnose"):
+        reports = tuple(diag.diagnose(item.sample.log) for item in dataset.items)
+        rt.tracer.count("reports", len(reports))
     return reports, time.perf_counter() - t0

@@ -1,0 +1,245 @@
+"""Metrics export: stable-schema JSON and Prometheus textfiles.
+
+One *metrics document* snapshots everything the runtime knows about a run:
+per-stage wall-clock (:class:`repro.runtime.RuntimeStats`), the span tree
+(:class:`repro.obs.SpanTracer`), free-form counters, and two derived views
+(cache hit ratios per artifact kind, fault-tolerance events) that the
+``repro stats`` renderer and dashboards both want pre-computed.
+
+The JSON schema is versioned (:data:`METRICS_SCHEMA`) and additive-only:
+consumers pin ``schema`` and ignore unknown keys.  The Prometheus writer
+emits the node-exporter *textfile collector* format — drop the file into
+``--collector.textfile.directory`` and every stage/span/counter scrapes as
+a labelled counter.  Metrics are observability sideband: they are never
+hashed into cache keys or dataset fingerprints.
+
+Self-contained (no :mod:`repro` imports); stats objects are duck-typed via
+:class:`StatsLike` so this module stays import-cycle-free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Protocol, Union
+
+from .spans import SpanExport, SpanTracer, render_span_tree
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "StatsLike",
+    "load_metrics",
+    "metrics_document",
+    "render_metrics",
+    "write_metrics",
+    "write_prometheus",
+]
+
+#: Version of the JSON metrics schema.  Bump only on breaking shape changes;
+#: additions are backwards-compatible and do not bump.
+METRICS_SCHEMA = 1
+
+#: File suffixes routed to the Prometheus-textfile writer by
+#: :func:`write_metrics`; anything else gets JSON.
+_PROM_SUFFIXES = (".prom", ".txt")
+
+
+class StatsLike(Protocol):
+    """Structural view of :class:`repro.runtime.RuntimeStats`."""
+
+    stage_seconds: Dict[str, float]
+    stage_calls: Dict[str, int]
+    counters: Dict[str, int]
+
+
+def _cache_view(counters: Dict[str, int]) -> Dict[str, Any]:
+    """Per-kind and overall hit/miss tallies from ``cache.<kind>.<event>``."""
+    kinds: Dict[str, Dict[str, Any]] = {}
+    for name, value in counters.items():
+        parts = name.split(".")
+        if len(parts) != 3 or parts[0] != "cache" or parts[2] not in ("hit", "miss"):
+            continue
+        entry = kinds.setdefault(parts[1], {"hits": 0, "misses": 0})
+        entry["hits" if parts[2] == "hit" else "misses"] += value
+
+    def ratio(hits: int, misses: int) -> Optional[float]:
+        total = hits + misses
+        return (hits / total) if total else None
+
+    for entry in kinds.values():
+        entry["hit_ratio"] = ratio(entry["hits"], entry["misses"])
+    hits = sum(e["hits"] for e in kinds.values())
+    misses = sum(e["misses"] for e in kinds.values())
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_ratio": ratio(hits, misses),
+        "kinds": {k: kinds[k] for k in sorted(kinds)},
+    }
+
+
+def _faulttol_view(counters: Dict[str, int]) -> Dict[str, Any]:
+    """Fault-tolerance events: the full ``faulttol.*`` map plus per-event totals."""
+    events = {k: v for k, v in counters.items() if k.startswith("faulttol.")}
+    totals: Dict[str, int] = {}
+    for name, value in events.items():
+        event = name.rpartition(".")[2]
+        totals[event] = totals.get(event, 0) + value
+    return {
+        "events": {k: events[k] for k in sorted(events)},
+        "totals": {k: totals[k] for k in sorted(totals)},
+    }
+
+
+def metrics_document(stats: StatsLike, tracer: Optional[SpanTracer] = None,
+                     spans: Optional[SpanExport] = None) -> Dict[str, Any]:
+    """The stable-schema metrics document for one run.
+
+    Args:
+        stats: Stage timings and counters (any :class:`StatsLike`).
+        tracer: Span source; ignored when ``spans`` is given explicitly.
+        spans: Pre-exported span map (e.g. loaded from another process).
+    """
+    if spans is None:
+        spans = tracer.export() if tracer is not None else {}
+    return {
+        "schema": METRICS_SCHEMA,
+        "stages": {
+            name: {
+                "seconds": stats.stage_seconds[name],
+                "calls": stats.stage_calls.get(name, 0),
+            }
+            for name in sorted(stats.stage_seconds)
+        },
+        "counters": {k: stats.counters[k] for k in sorted(stats.counters)},
+        "spans": {k: spans[k] for k in sorted(spans)},
+        "cache": _cache_view(stats.counters),
+        "faulttol": _faulttol_view(stats.counters),
+    }
+
+
+# ------------------------------------------------------------------ writers
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_lines(doc: Dict[str, Any]) -> Iterable[str]:
+    series = (
+        ("repro_stage_seconds_total", "Accumulated wall-clock per stage.",
+         "stage", {k: v["seconds"] for k, v in doc["stages"].items()}),
+        ("repro_stage_calls_total", "Timed intervals per stage.",
+         "stage", {k: v["calls"] for k, v in doc["stages"].items()}),
+        ("repro_span_seconds_total", "Accumulated wall-clock per span path.",
+         "span", {k: v["seconds"] for k, v in doc["spans"].items()}),
+        ("repro_span_calls_total", "Completed spans per span path.",
+         "span", {k: v["calls"] for k, v in doc["spans"].items()}),
+        ("repro_counter_total", "Free-form runtime event counters.",
+         "name", doc["counters"]),
+        ("repro_cache_hits_total", "Artifact-cache hits per kind.",
+         "kind", {k: v["hits"] for k, v in doc["cache"]["kinds"].items()}),
+        ("repro_cache_misses_total", "Artifact-cache misses per kind.",
+         "kind", {k: v["misses"] for k, v in doc["cache"]["kinds"].items()}),
+    )
+    for metric, help_text, label, values in series:
+        if not values:
+            continue
+        yield f"# HELP {metric} {help_text}"
+        yield f"# TYPE {metric} counter"
+        for key in sorted(values):
+            value = values[key]
+            formatted = f"{value:.9g}" if isinstance(value, float) else str(value)
+            yield f'{metric}{{{label}="{_prom_escape(key)}"}} {formatted}'
+
+
+def write_prometheus(path: Union[str, os.PathLike], doc: Dict[str, Any]) -> Path:
+    """Write ``doc`` in Prometheus textfile-collector format."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text("\n".join(_prom_lines(doc)) + "\n", encoding="utf-8")
+    return out
+
+
+def write_metrics(path: Union[str, os.PathLike], stats: StatsLike,
+                  tracer: Optional[SpanTracer] = None) -> Path:
+    """Export one metrics snapshot to ``path``.
+
+    ``.prom``/``.txt`` suffixes get the Prometheus textfile format; every
+    other suffix gets the stable-schema JSON document.
+    """
+    doc = metrics_document(stats, tracer)
+    out = Path(path)
+    if out.suffix in _PROM_SUFFIXES:
+        return write_prometheus(out, doc)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return out
+
+
+def load_metrics(path: Union[str, os.PathLike]) -> Dict[str, Any]:
+    """Load and validate one JSON metrics document.
+
+    Raises:
+        ValueError: Not a metrics document, or an unsupported schema version.
+    """
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or "schema" not in doc:
+        raise ValueError(f"{path}: not a repro metrics document")
+    if doc["schema"] != METRICS_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported metrics schema {doc['schema']!r} "
+            f"(this build reads schema {METRICS_SCHEMA})"
+        )
+    return doc
+
+
+# ----------------------------------------------------------------- renderer
+def render_metrics(doc: Dict[str, Any], top: int = 10) -> str:
+    """Human-readable rendering of a metrics document (``repro stats``).
+
+    Sections: the span tree, the top-N stages by total seconds, cache hit
+    ratios per artifact kind, and fault-tolerance events (retries, timeouts,
+    pool respawns, degradations, aborts) — the questions "where did the time
+    go", "did the cache help", and "what went wrong" in one screen.
+    """
+    lines = [render_span_tree(doc.get("spans", {}))]
+
+    stages = doc.get("stages", {})
+    if stages:
+        ranked = sorted(stages.items(), key=lambda kv: (-kv[1]["seconds"], kv[0]))[:top]
+        width = max(len(name) for name, _ in ranked)
+        lines.append(f"\ntop {len(ranked)} stage(s) by wall-clock:")
+        for name, entry in ranked:
+            lines.append(
+                f"  {name:<{width}s} {entry['seconds']:9.3f}s {entry['calls']:6d} calls"
+            )
+
+    cache = doc.get("cache", {})
+    kinds = cache.get("kinds", {})
+    if kinds:
+        lines.append("\ncache hit ratios:")
+        width = max(len(k) for k in kinds)
+        for kind in sorted(kinds):
+            entry = kinds[kind]
+            ratio = entry.get("hit_ratio")
+            shown = f"{ratio * 100:5.1f}%" if ratio is not None else "   n/a"
+            lines.append(
+                f"  {kind:<{width}s} {shown}  ({entry['hits']} hit(s), "
+                f"{entry['misses']} miss(es))"
+            )
+        overall = cache.get("hit_ratio")
+        if overall is not None:
+            lines.append(
+                f"  overall: {overall * 100:.1f}% of {cache['hits'] + cache['misses']} "
+                "lookup(s)"
+            )
+
+    events = doc.get("faulttol", {}).get("events", {})
+    lines.append("\nfaulttol events:")
+    if events:
+        width = max(len(k) for k in events)
+        for name in sorted(events):
+            lines.append(f"  {name:<{width}s} {events[name]:6d}")
+    else:
+        lines.append("  (none — no retries, timeouts, respawns, or degradations)")
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Opt-in profiling hooks for work units and pipeline stages.
+
+Set ``REPRO_PROFILE`` to light up per-unit profiling across the whole
+stack — the runtime's worker functions and the training pipeline's fit
+stages all pass through :func:`profiled`:
+
+* ``REPRO_PROFILE=cprofile`` — each wrapped unit runs under
+  :mod:`cProfile` and dumps ``<label>.prof`` (load with ``pstats`` or
+  ``snakeviz``);
+* ``REPRO_PROFILE=spans`` — each wrapped unit dumps the span (sub)tree it
+  accrued as ``<label>.spans.txt``, diffed out of the active tracer so a
+  shared tracer yields per-unit trees.
+
+Dumps land in ``REPRO_PROFILE_DIR`` (default ``repro-profiles/``).  The
+environment variables reach pool workers through normal env inheritance,
+so one exported variable profiles serial and parallel runs alike.  When
+``REPRO_PROFILE`` is unset the hooks are a no-op with no measurable cost.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Optional
+
+from .spans import SpanTracer, diff_spans, get_tracer, render_span_tree
+
+__all__ = [
+    "PROFILE_DIR_ENV",
+    "PROFILE_ENV",
+    "PROFILE_MODES",
+    "profile_dir",
+    "profile_mode",
+    "profiled",
+]
+
+PROFILE_ENV = "REPRO_PROFILE"
+PROFILE_DIR_ENV = "REPRO_PROFILE_DIR"
+
+#: Accepted ``REPRO_PROFILE`` values ("" / "off" / "0" disable).
+PROFILE_MODES = ("cprofile", "spans")
+
+_LABEL_SANITIZER = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def profile_mode(env: Optional[str] = None) -> str:
+    """The active profiling mode: ``""`` (off), ``"cprofile"``, or ``"spans"``.
+
+    Raises:
+        ValueError: ``REPRO_PROFILE`` is set to an unknown mode — a silently
+            ignored typo would report "nothing is slow" instead of profiles.
+    """
+    if env is None:
+        env = os.environ.get(PROFILE_ENV, "")
+    mode = env.strip().lower()
+    if mode in ("", "off", "0", "none"):
+        return ""
+    if mode not in PROFILE_MODES:
+        raise ValueError(
+            f"bad {PROFILE_ENV}={env!r}: expected one of {PROFILE_MODES} (or unset)"
+        )
+    return mode
+
+
+def profile_dir() -> Path:
+    """Directory receiving profile dumps (``REPRO_PROFILE_DIR``)."""
+    return Path(os.environ.get(PROFILE_DIR_ENV, "") or "repro-profiles")
+
+
+def _safe_label(label: str) -> str:
+    return _LABEL_SANITIZER.sub("_", label).strip("._") or "unit"
+
+
+@contextmanager
+def profiled(label: str, tracer: Optional[SpanTracer] = None) -> Iterator[None]:
+    """Profile the enclosed block per the ``REPRO_PROFILE`` mode.
+
+    Args:
+        label: Dump-file stem; sanitized for the filesystem.  Retries reuse
+            a label and overwrite — last attempt wins, deterministically.
+        tracer: Tracer whose span delta to dump in ``spans`` mode; defaults
+            to the process-global tracer.
+    """
+    mode = profile_mode()
+    if not mode:
+        yield
+        return
+    out_dir = profile_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = _safe_label(label)
+    if mode == "cprofile":
+        import cProfile
+
+        prof = cProfile.Profile()
+        prof.enable()
+        try:
+            yield
+        finally:
+            prof.disable()
+            prof.dump_stats(str(out_dir / f"{stem}.prof"))
+        return
+    # spans mode: dump the delta this block accrued on the tracer.
+    tr = tracer if tracer is not None else get_tracer()
+    before = tr.export()
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - t0
+        tree = render_span_tree(diff_spans(before, tr.export()))
+        (out_dir / f"{stem}.spans.txt").write_text(
+            f"unit: {label}\nwall-clock: {elapsed:.6f}s\n{tree}\n", encoding="utf-8"
+        )

@@ -1,0 +1,258 @@
+"""Hierarchical span tracing for the runtime, pipeline, and CLI.
+
+A *span* is a named, nested wall-clock interval.  Entering
+``tracer.span("dataset")`` while ``tracer.span("tables.table9")`` is active
+records under the dotted path ``tables.table9.dataset``, so one trace of a
+full ``repro tables`` run reads as a tree: which table, which stage inside
+it, which cache/pool operation inside *that*.  Repeated spans with the same
+path aggregate (total seconds, call count, counters), which keeps the tree
+bounded no matter how many work units execute.
+
+Concurrency model:
+
+* **threads** — the active-path stack is thread-local; the aggregate map is
+  lock-guarded, so concurrent threads record safely (each under its own
+  path).
+* **worker processes** — a worker records into its own private
+  :class:`SpanTracer` (created per work unit), returns :meth:`export`
+  through the existing result channel, and the parent :meth:`merge`\\ s the
+  buffer under its currently active span.  Span data therefore never rides
+  in cache keys, fingerprints, or artifact payloads — it is observability
+  sideband, excluded from provenance by construction.
+
+Self-contained (no :mod:`repro` imports) so every layer can use it without
+import cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "SpanExport",
+    "SpanRecord",
+    "SpanTracer",
+    "diff_spans",
+    "get_tracer",
+    "render_span_tree",
+    "reset_tracer",
+    "set_tracer",
+]
+
+#: Plain-data form of one tracer: ``{path: {"seconds", "calls", "counters"}}``.
+#: This is what crosses process boundaries and lands in metrics documents.
+SpanExport = Dict[str, Dict[str, object]]
+
+
+@dataclass
+class SpanRecord:
+    """Aggregated statistics of every span that shares one dotted path."""
+
+    seconds: float = 0.0
+    calls: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
+
+
+class SpanTracer:
+    """Aggregating, nesting-aware span recorder.
+
+    The context-manager API is the whole write surface::
+
+        with tracer.span("fit"):
+            with tracer.span("tier"):
+                ...                      # records under "fit.tier"
+                tracer.count("graphs", n)  # counter attached to "fit.tier"
+    """
+
+    def __init__(self) -> None:
+        self._records: Dict[str, SpanRecord] = {}
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------- recording
+    def _stack(self) -> List[str]:
+        stack: Optional[List[str]] = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current_path(self) -> str:
+        """Dotted path of the innermost active span ("" outside any span)."""
+        return ".".join(self._stack())
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Record one nested interval under ``name`` (dots add levels)."""
+        stack = self._stack()
+        stack.append(name)
+        path = ".".join(stack)
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - t0
+            if stack and stack[-1] == name:
+                stack.pop()
+            self.add(path, elapsed)
+
+    def add(self, path: str, seconds: float, calls: int = 1) -> None:
+        """Fold one finished interval (or a merged aggregate) into ``path``."""
+        with self._lock:
+            rec = self._records.setdefault(path, SpanRecord())
+            rec.seconds += seconds
+            rec.calls += calls
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Attach a counter to the innermost active span (root when none)."""
+        path = self.current_path()
+        with self._lock:
+            rec = self._records.setdefault(path, SpanRecord())
+            rec.counters[name] = rec.counters.get(name, 0) + n
+
+    # ------------------------------------------------------- export / merge
+    def export(self) -> SpanExport:
+        """Plain-data snapshot, safe to pickle across the result channel."""
+        with self._lock:
+            return {
+                path: {
+                    "seconds": rec.seconds,
+                    "calls": rec.calls,
+                    "counters": dict(rec.counters),
+                }
+                for path, rec in self._records.items()
+            }
+
+    def merge(self, exported: SpanExport, prefix: Optional[str] = None) -> None:
+        """Fold a worker buffer in, re-rooted under ``prefix``.
+
+        ``prefix=None`` uses the caller's currently active span path, which
+        is what the runtime wants: chunk spans merged while ``dataset`` is
+        active land at ``...dataset.chunk``.
+        """
+        if prefix is None:
+            prefix = self.current_path()
+        for path, rec in exported.items():
+            full = f"{prefix}.{path}" if prefix and path else (prefix or path)
+            self.add(full, float(rec.get("seconds", 0.0)), int(rec.get("calls", 0)))  # type: ignore[arg-type]
+            counters = rec.get("counters")
+            if isinstance(counters, dict):
+                with self._lock:
+                    target = self._records.setdefault(full, SpanRecord())
+                    for k, v in counters.items():
+                        target.counters[k] = target.counters.get(k, 0) + int(v)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+
+def diff_spans(before: SpanExport, after: SpanExport) -> SpanExport:
+    """Spans accrued between two :meth:`SpanTracer.export` snapshots.
+
+    Used by the profiling hooks to dump the tree of one unit/stage out of a
+    long-lived shared tracer.
+    """
+    delta: SpanExport = {}
+    for path, rec in after.items():
+        prev = before.get(path, {})
+        seconds = float(rec["seconds"]) - float(prev.get("seconds", 0.0))  # type: ignore[arg-type]
+        calls = int(rec["calls"]) - int(prev.get("calls", 0))  # type: ignore[call-overload]
+        counters: Dict[str, int] = {}
+        prev_counters = prev.get("counters", {})
+        for k, v in rec.get("counters", {}).items():  # type: ignore[union-attr]
+            dv = int(v) - int(prev_counters.get(k, 0))  # type: ignore[union-attr]
+            if dv:
+                counters[k] = dv
+        if calls > 0 or seconds > 1e-9 or counters:
+            delta[path] = {"seconds": seconds, "calls": calls, "counters": counters}
+    return delta
+
+
+def render_span_tree(spans: SpanExport, indent: int = 2) -> str:
+    """Human-readable indented tree of an exported span map.
+
+    Missing intermediate nodes (a counter attached at ``a.b.c`` with no
+    recorded ``a.b`` interval) are synthesized with blank stats so the tree
+    always nests cleanly.  Children render in name order — deterministic
+    output beats by-cost ordering here; ``repro stats --top`` covers the
+    cost ranking.
+    """
+    if not spans:
+        return "span tree: (no recorded spans)"
+    # Counters recorded outside any span live at path ""; show them as a
+    # synthetic "(root)" node instead of an unprintable empty name.
+    spans = {(path or "(root)"): rec for path, rec in spans.items()}
+
+    children: Dict[str, List[str]] = {"": []}
+
+    def ensure(path: str) -> None:
+        if path in children:
+            return
+        children[path] = []
+        parent = path.rpartition(".")[0]
+        ensure(parent)
+        children[parent].append(path)
+
+    for path in spans:
+        ensure(path)
+
+    width = max(len(path.rpartition(".")[2]) + indent * path.count(".") for path in spans) + indent
+
+    lines = ["span tree:"]
+
+    def walk(path: str, depth: int) -> None:
+        if path:
+            rec = spans.get(path, {})
+            name = " " * (indent * depth) + path.rpartition(".")[2]
+            seconds = float(rec.get("seconds", 0.0))  # type: ignore[arg-type]
+            calls = int(rec.get("calls", 0))  # type: ignore[call-overload]
+            counters = rec.get("counters") or {}
+            extra = ""
+            if counters:
+                inner = ", ".join(f"{k}={counters[k]}" for k in sorted(counters))  # type: ignore[index]
+                extra = f"  [{inner}]"
+            lines.append(f"  {name:<{width}s} {seconds:9.3f}s {calls:6d} calls{extra}")
+        for child in sorted(children.get(path, [])):
+            walk(child, depth + (1 if path else 0))
+
+    walk("", 0)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------- global
+_GLOBAL_TRACER: Optional[SpanTracer] = None
+_GLOBAL_LOCK = threading.Lock()
+
+
+def get_tracer() -> SpanTracer:
+    """The process-global tracer (created on first use).
+
+    The CLI, the dataset runtime, and the training pipeline default to this
+    instance so one ``--stats-out`` flag captures the whole stack; tests
+    build private tracers to compare runs in isolation.
+    """
+    global _GLOBAL_TRACER
+    with _GLOBAL_LOCK:
+        if _GLOBAL_TRACER is None:
+            _GLOBAL_TRACER = SpanTracer()
+        return _GLOBAL_TRACER
+
+
+def set_tracer(tracer: SpanTracer) -> SpanTracer:
+    """Install ``tracer`` as the process-global tracer (returns it)."""
+    global _GLOBAL_TRACER
+    with _GLOBAL_LOCK:
+        _GLOBAL_TRACER = tracer
+    return tracer
+
+
+def reset_tracer() -> None:
+    """Drop the process-global tracer (tests use this to isolate state)."""
+    global _GLOBAL_TRACER
+    with _GLOBAL_LOCK:
+        _GLOBAL_TRACER = None

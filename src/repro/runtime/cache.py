@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from ..obs import SpanTracer, get_tracer
 from .instrument import RuntimeStats
 
 __all__ = [
@@ -148,14 +149,18 @@ class ArtifactCache:
         chaos: Optional :class:`repro.runtime.chaos.ChaosPlan`; when set,
             freshly written entries may be deliberately damaged so the
             recovery paths stay exercised.
+        tracer: Optional span tracer; ``cache.load`` / ``cache.store``
+            spans nest under whatever span is active at call time.
     """
 
     def __init__(self, cache_dir: Union[str, Path],
                  stats: Optional[RuntimeStats] = None,
-                 chaos: Optional[Any] = None) -> None:
+                 chaos: Optional[Any] = None,
+                 tracer: Optional[SpanTracer] = None) -> None:
         self.root = Path(cache_dir)
         self.stats = stats if stats is not None else RuntimeStats()
         self.chaos = chaos
+        self.tracer = tracer if tracer is not None else get_tracer()
 
     def _path(self, kind: str, digest: str) -> Path:
         return self.root / kind / digest[:2] / f"{digest}.pkl"
@@ -221,7 +226,7 @@ class ArtifactCache:
             self._evict(path)
             return None, False
         try:
-            with self.stats.timed(f"cache.{kind}.load"):
+            with self.stats.timed(f"cache.{kind}.load"), self.tracer.span("cache.load"):
                 with open(path, "rb") as fh:
                     data = fh.read()
                 if hashlib.sha256(data).hexdigest() != sidecar_doc["payload_sha256"]:
@@ -249,7 +254,7 @@ class ArtifactCache:
         digest = cache_key_hash(key)
         path = self._path(kind, digest)
         path.parent.mkdir(parents=True, exist_ok=True)
-        with self.stats.timed(f"cache.{kind}.store"):
+        with self.stats.timed(f"cache.{kind}.store"), self.tracer.span("cache.store"):
             payload = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
             sidecar = self._sidecar(path)
             _atomic_write_bytes(sidecar, self._sidecar_doc(canonical_key(key), payload))

@@ -36,6 +36,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..obs import SpanTracer
 from .instrument import RuntimeStats
 
 __all__ = [
@@ -131,6 +132,16 @@ def handle_termination() -> Iterator[None]:
         signal.signal(signal.SIGTERM, previous)
 
 
+@contextmanager
+def _maybe_span(tracer: Optional[SpanTracer], name: str) -> Iterator[None]:
+    """A tracer span, or a no-op when no tracer was supplied."""
+    if tracer is None:
+        yield
+        return
+    with tracer.span(name):
+        yield
+
+
 def _run_serial(
     units: Sequence[Any],
     fn: Callable[[Tuple[Any, int]], Any],
@@ -164,6 +175,7 @@ def run_units(
     initializer: Optional[Callable[..., None]] = None,
     initargs: Tuple[Any, ...] = (),
     label: str = "unit",
+    tracer: Optional[SpanTracer] = None,
 ) -> List[Any]:
     """Run ``fn((unit, attempt))`` for every unit; results in input order.
 
@@ -180,6 +192,9 @@ def run_units(
             state, chaos plan).  The initializer also runs before serial
             execution so both paths see identical worker state.
         label: Counter namespace and error-message prefix.
+        tracer: Optional span tracer recording ``pool`` (one span per pool
+            incarnation) and ``serial`` (the in-process tail) under the
+            caller's active span.
 
     Raises:
         UnitFailedError: A unit exhausted ``policy.max_retries``.
@@ -196,6 +211,8 @@ def run_units(
     serial = workers <= 1 or len(units) == 1
     respawns = 0
     while remaining and not serial:
+        span = _maybe_span(tracer, "pool")
+        span.__enter__()
         pool = multiprocessing.Pool(
             min(workers, len(remaining)),
             initializer=_pool_initializer,
@@ -258,9 +275,11 @@ def run_units(
         finally:
             pool.terminate()
             pool.join()
+            span.__exit__(None, None, None)
 
     if remaining:
         if initializer is not None:
             initializer(*initargs)
-        _run_serial(units, fn, list(remaining), attempts, results, policy, stats, label)
+        with _maybe_span(tracer, "serial"):
+            _run_serial(units, fn, list(remaining), attempts, results, policy, stats, label)
     return results

@@ -58,14 +58,37 @@ class RuntimeStats:
         """Send one progress line to the configured sink."""
         self.progress(message)
 
+    # -------------------------------------------------------------- pickling
+    # Stats ride along in multiprocessing payloads (worker merges); the
+    # progress sink may be a lambda or bound method, which does not pickle.
+    # Drop it on the wire and restore the null sink on the far side — a
+    # worker has no terminal to print to anyway.
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state["progress"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        if self.__dict__.get("progress") is None:
+            self.__dict__["progress"] = null_progress
+
     # ------------------------------------------------------------- reporting
     @property
     def cache_hits(self) -> int:
-        return sum(v for k, v in self.counters.items() if k.endswith(".hit"))
+        """Total artifact-cache hits (``cache.<kind>.hit`` counters only)."""
+        return sum(
+            v for k, v in self.counters.items()
+            if k.startswith("cache.") and k.endswith(".hit")
+        )
 
     @property
     def cache_misses(self) -> int:
-        return sum(v for k, v in self.counters.items() if k.endswith(".miss"))
+        """Total artifact-cache misses (``cache.<kind>.miss`` counters only)."""
+        return sum(
+            v for k, v in self.counters.items()
+            if k.startswith("cache.") and k.endswith(".miss")
+        )
 
     def merge(self, other: "RuntimeStats") -> None:
         """Fold another stats object (e.g. from a worker) into this one."""
@@ -79,13 +102,17 @@ class RuntimeStats:
     def report(self) -> str:
         """Human-readable multi-line summary (stages then counters)."""
         lines = ["runtime stats:"]
+        # Size the name column to the longest key so dotted span-style paths
+        # (easily past 28 chars) cannot shove the value columns out of line.
+        keys = list(self.stage_seconds) + list(self.counters)
+        width = max([28, *(len(k) for k in keys)]) if keys else 28
         for stage in sorted(self.stage_seconds):
             lines.append(
-                f"  {stage:28s} {self.stage_seconds[stage]:8.2f}s"
+                f"  {stage:{width}s} {self.stage_seconds[stage]:8.2f}s"
                 f"  ({self.stage_calls.get(stage, 0)} calls)"
             )
         for name in sorted(self.counters):
-            lines.append(f"  {name:28s} {self.counters[name]:8d}")
+            lines.append(f"  {name:{width}s} {self.counters[name]:8d}")
         if len(lines) == 1:
             lines.append("  (no recorded activity)")
         return "\n".join(lines)
