@@ -89,7 +89,8 @@ def build_parser() -> argparse.ArgumentParser:
     export = sub.add_parser("export", help="dump a generated benchmark netlist")
     export.add_argument("--benchmark", choices=("AES", "Tate", "netcard", "leon3mp"),
                         default="AES")
-    export.add_argument("--scale", choices=("default", "tiny"), default="default")
+    export.add_argument("--scale", choices=("default", "tiny", "large"),
+                        default="default")
     export.add_argument("--format", choices=("verilog", "bench"), default="verilog")
     export.add_argument("--output", default="-", help="file path or - for stdout")
 
@@ -115,12 +116,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     doctor = sub.add_parser(
         "doctor",
-        help="audit artifact-cache health (orphan tmps, desynced sidecars)",
+        help="audit artifact-cache health (orphan tmps, desynced sidecars, "
+             "leaked shared-memory segments)",
         description="Audit the content-addressed cache for damage an "
         "interrupted or faulty run can leave behind: orphaned *.tmp files, "
         "sidecars without payloads, payloads without (or with desynced) "
         "sidecars, and — with --deep — payloads that no longer unpickle.  "
-        "Exits 0 when healthy, 1 when problems were found.",
+        "Also scans for repro_* shared-memory segments whose owning process "
+        "is dead (a crashed parallel build's spill/result planes); --fix "
+        "reaps them.  Exits 0 when healthy, 1 when problems were found.",
     )
     doctor.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="cache directory (default: $REPRO_CACHE_DIR)")
@@ -405,6 +409,26 @@ def _cmd_stats(metrics_file: str, top: int) -> int:
     return 0
 
 
+def _doctor_segments(fix: bool) -> int:
+    """Audit (and with ``fix``, reap) orphaned shared-memory segments.
+
+    A crashed run can strand its spill/result segments in ``/dev/shm``;
+    they are attributed by the owner pid embedded in the segment name, so
+    a *live* run's segments are never touched.  Returns the number of
+    orphans found (0 on platforms without a shm file view).
+    """
+    from repro.runtime import reap_orphan_segments, scan_orphan_segments
+
+    orphans = reap_orphan_segments() if fix else scan_orphan_segments()
+    verb = "reaped" if fix else "found"
+    total = sum(o.nbytes for o in orphans)
+    print(f"shared memory: {verb} {len(orphans)} orphaned segment(s) "
+          f"({total} bytes)")
+    for o in orphans:
+        print(f"  {o.name}  {o.nbytes} bytes  (dead pid {o.pid})")
+    return len(orphans)
+
+
 def _cmd_doctor(cache_dir: Optional[str], deep: bool, fix: bool) -> int:
     import os
 
@@ -419,10 +443,12 @@ def _cmd_doctor(cache_dir: Optional[str], deep: bool, fix: bool) -> int:
     health = cache.doctor(deep=deep, fix=fix)
     print(f"cache {cache_dir}:")
     print(health.report())
-    if fix and health.problems:
-        print(f"repaired {health.problems} problem(s)")
+    orphan_segments = _doctor_segments(fix)
+    problems = health.problems + orphan_segments
+    if fix and problems:
+        print(f"repaired {problems} problem(s)")
         return 0
-    return 1 if health.problems else 0
+    return 1 if problems else 0
 
 
 def _check_netlist_file(path: str, deep: bool) -> List[str]:

@@ -18,10 +18,14 @@ Rand-k     Syn-1 netlist, random partition seed k (data augmentation)
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import SpanTracer
 
 from ..analysis.drc import assert_clean
 from ..atpg.tdf import AtpgResult, generate_tdf_patterns
@@ -121,6 +125,16 @@ class PreparedDesign:
         return self.obsmaps[mode]
 
 
+@contextmanager
+def _stage(tracer: Optional["SpanTracer"], name: str) -> Iterator[None]:
+    """A sub-stage span, or a no-op when no tracer rides along."""
+    if tracer is None:
+        yield
+        return
+    with tracer.span(name):
+        yield
+
+
 def prepare_design(
     spec: GeneratorSpec,
     config: DesignConfig,
@@ -131,6 +145,7 @@ def prepare_design(
     target_coverage: float = 0.95,
     packed: bool = True,
     drc: bool = True,
+    tracer: Optional["SpanTracer"] = None,
 ) -> PreparedDesign:
     """Run the Fig. 4 flow for one benchmark/configuration point.
 
@@ -142,6 +157,12 @@ def prepare_design(
     e.g. when deliberately preparing a broken design for diagnosis studies.
     The flag does not change the produced bundle, so it is excluded from
     ``provenance`` (and therefore from artifact-cache keys).
+
+    ``tracer`` records one child span per pipeline stage (``generate``,
+    ``partition``, ``scan``, ``atpg``, ``goodsim``, ``graph``, ``drc``) so
+    ``repro stats`` can rank where preparation time goes.  Tracing is
+    observability sideband: it never changes the bundle, the provenance, or
+    any cache key.
 
     Raises:
         repro.analysis.drc.DrcError: when ``drc`` is on and any structural
@@ -157,47 +178,54 @@ def prepare_design(
         "target_coverage": target_coverage,
         "packed": packed,
     }
-    nl = generate(spec)
-    if config.resynth_seed is not None:
-        nl = resynthesize(nl, seed=config.resynth_seed)
-    if config.test_points:
-        nl = insert_test_points(nl)
+    with _stage(tracer, "generate"):
+        nl = generate(spec)
+        if config.resynth_seed is not None:
+            nl = resynthesize(nl, seed=config.resynth_seed)
+        if config.test_points:
+            nl = insert_test_points(nl)
 
-    if config.n_tiers > 2:
-        part = kway_partition(nl, config.n_tiers, seed=config.partition_seed)
-    elif config.partitioner == "mincut":
-        part = mincut_bipartition(nl, seed=config.partition_seed)
-    elif config.partitioner == "spectral":
-        part = spectral_bipartition(nl, seed=config.partition_seed)
-    elif config.partitioner == "random":
-        part = random_bipartition(nl, seed=config.partition_seed)
-    else:
-        raise ValueError(f"unknown partitioner {config.partitioner!r}")
-    apply_partition(nl, part)
-    mivs = extract_mivs(nl)
+    with _stage(tracer, "partition"):
+        if config.n_tiers > 2:
+            part = kway_partition(nl, config.n_tiers, seed=config.partition_seed)
+        elif config.partitioner == "mincut":
+            part = mincut_bipartition(nl, seed=config.partition_seed)
+        elif config.partitioner == "spectral":
+            part = spectral_bipartition(nl, seed=config.partition_seed)
+        elif config.partitioner == "random":
+            part = random_bipartition(nl, seed=config.partition_seed)
+        else:
+            raise ValueError(f"unknown partitioner {config.partitioner!r}")
+        apply_partition(nl, part)
+        mivs = extract_mivs(nl)
 
-    scan = build_scan_chains(nl, n_chains, chains_per_channel, seed=0)
-    sim = CompiledSimulator(nl, packed=packed)
-    atpg = generate_tdf_patterns(
-        nl,
-        seed=atpg_seed,
-        mivs=miv_fault_sites(nl, mivs),
-        max_patterns=max_patterns,
-        target_coverage=target_coverage,
-        sim=sim,
-    )
-    good = sim.simulate_pair(atpg.patterns.v1, atpg.patterns.v2)
-    obsmaps = {
-        "bypass": ObservationMap.bypass(nl, scan),
-        "compacted": ObservationMap.compacted(nl, scan),
-        "misr": ObservationMap.misr(nl, scan),
-    }
-    het = HetGraph.build(nl, mivs, good.transitions())
-    if drc:
-        assert_clean(
-            nl, mivs=mivs, het=het,
-            context=f"prepared design {spec.name}/{config.name}",
+    with _stage(tracer, "scan"):
+        scan = build_scan_chains(nl, n_chains, chains_per_channel, seed=0)
+        sim = CompiledSimulator(nl, packed=packed)
+    with _stage(tracer, "atpg"):
+        atpg = generate_tdf_patterns(
+            nl,
+            seed=atpg_seed,
+            mivs=miv_fault_sites(nl, mivs),
+            max_patterns=max_patterns,
+            target_coverage=target_coverage,
+            sim=sim,
         )
+    with _stage(tracer, "goodsim"):
+        good = sim.simulate_pair(atpg.patterns.v1, atpg.patterns.v2)
+        obsmaps = {
+            "bypass": ObservationMap.bypass(nl, scan),
+            "compacted": ObservationMap.compacted(nl, scan),
+            "misr": ObservationMap.misr(nl, scan),
+        }
+    with _stage(tracer, "graph"):
+        het = HetGraph.build(nl, mivs, good.transitions())
+    if drc:
+        with _stage(tracer, "drc"):
+            assert_clean(
+                nl, mivs=mivs, het=het,
+                context=f"prepared design {spec.name}/{config.name}",
+            )
     return PreparedDesign(
         benchmark=spec.name,
         config=config,

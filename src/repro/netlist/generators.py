@@ -102,6 +102,15 @@ class GeneratorSpec:
     seed: int
 
 
+#: Gate count at or above which :func:`generate` switches to the
+#: linear-time construction.  The classic path is kept verbatim below the
+#: threshold so every existing spec (and its golden netlist) is
+#: byte-identical; the paper-scale tier (98K–338K gates) would take
+#: quadratic time there (set→tuple conversions per pin, full-netlist
+#: rewiring scans).
+LARGE_GATE_THRESHOLD = 20_000
+
+
 def generate(spec: GeneratorSpec, rng: Optional[random.Random] = None) -> Netlist:
     """Generate a deterministic netlist from ``spec``.
 
@@ -113,7 +122,14 @@ def generate(spec: GeneratorSpec, rng: Optional[random.Random] = None) -> Netlis
 
     ``rng`` injects a pre-seeded generator in place of
     ``random.Random(spec.seed)``; the caller owns its state.
+
+    Specs with ``n_gates >= LARGE_GATE_THRESHOLD`` use a linear-time
+    construction (:func:`_generate_large`) with the same structural
+    guarantees; below the threshold the original algorithm (and therefore
+    every previously generated netlist) is unchanged byte-for-byte.
     """
+    if spec.n_gates >= LARGE_GATE_THRESHOLD:
+        return _generate_large(spec, rng)
     flavor = FLAVORS[spec.flavor]
     rng = rng if rng is not None else random.Random(spec.seed)
     b = NetlistBuilder(spec.name)
@@ -205,6 +221,141 @@ def generate(spec: GeneratorSpec, rng: Optional[random.Random] = None) -> Netlis
     for i in range(spec.n_pos):
         b.mark_primary_output(sink_nets[spec.n_flops + i])
     for n in sink_nets[n_slots:]:
+        b.mark_primary_output(n)
+    return b.finish()
+
+
+def _generate_large(spec: GeneratorSpec, rng: Optional[random.Random] = None) -> Netlist:
+    """Linear-time generator for paper-scale cores (≥ ``LARGE_GATE_THRESHOLD``).
+
+    Same structural recipe as :func:`generate` — flavor-weighted gate mix,
+    locality-windowed fanin selection, a bias toward consuming not-yet-read
+    nets — but every per-gate step is O(1):
+
+    * the "unconsumed net" draw uses a swap-pop list with lazy invalidation
+      instead of materializing ``tuple(set)`` per pin;
+    * locality/global picks index into the net list directly instead of
+      slicing a window copy;
+    * surplus dangling outputs are observed through extra POs outright
+      (the sub-threshold path first tries to rewire them into later gates,
+      which needs a full-netlist consumer scan per net); only *inputs* that
+      ended up unread get the targeted rewiring pass, and there are O(1) of
+      those.
+
+    The stream is intentionally distinct from the classic path — the
+    threshold, not the caller, picks the algorithm, and all golden/pinned
+    specs sit far below it.
+    """
+    flavor = FLAVORS[spec.flavor]
+    rng = rng if rng is not None else random.Random(spec.seed)
+    b = NetlistBuilder(spec.name)
+
+    pis = [b.add_primary_input(f"pi{i}") for i in range(spec.n_pis)]
+    q_nets = [b.add_net(f"q{i}") for i in range(spec.n_flops)]
+    inputs = pis + q_nets
+    input_set = set(inputs)
+
+    cells, weights = zip(*flavor.gate_mix)
+    cum_weights = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cum_weights.append(acc)
+
+    from .cells import cell as _cell
+
+    n_inputs_by_cell = {name: _cell(name).n_inputs for name in cells}
+    available: List[int] = list(inputs)
+    consumed: set = set()
+    #: Candidate nets for the consume-something-unread bias.  Entries whose
+    #: net got consumed through another branch are skipped lazily on pop.
+    pending: List[int] = list(inputs)
+
+    def pop_unconsumed() -> Optional[int]:
+        while pending:
+            i = rng.randrange(len(pending))
+            pending[i], pending[-1] = pending[-1], pending[i]
+            net = pending.pop()
+            if net not in consumed:
+                return net
+        return None
+
+    window = flavor.window
+    locality = flavor.locality
+    for i in range(spec.n_gates):
+        cname = rng.choices(cells, cum_weights=cum_weights, k=1)[0]
+        n_in = n_inputs_by_cell[cname]
+        fanin: List[int] = []
+        for _pin in range(n_in):
+            pick: Optional[int] = None
+            for _attempt in range(8):
+                if pending and rng.random() < 0.35:
+                    pick = pop_unconsumed()
+                if pick is None:
+                    if rng.random() < locality and len(available) > window:
+                        pick = available[len(available) - window + rng.randrange(window)]
+                    else:
+                        pick = available[rng.randrange(len(available))]
+                if pick not in fanin:
+                    break
+                pick = None
+            if pick is None:  # pragma: no cover - 8 collisions on >=window nets
+                pick = available[rng.randrange(len(available))]
+            fanin.append(pick)
+            consumed.add(pick)
+        out = b.add_gate(cname, fanin, gate_name=f"{spec.name}_g{i}")
+        available.append(out)
+        pending.append(out)
+
+    # Inputs nothing read (rare at this scale): rewire them into a gate pin
+    # whose current net keeps another consumer.  Acyclic by construction —
+    # PIs and flop Q nets predate every gate.
+    unread_inputs = [n for n in inputs if n not in consumed]
+    if unread_inputs:
+        from collections import Counter
+
+        counts = Counter(n for g in b._gates for n in g.fanin)
+        for net in unread_inputs:
+            start = rng.randrange(len(b._gates))
+            for off in range(len(b._gates)):
+                g = b._gates[(start + off) % len(b._gates)]
+                if net in g.fanin:
+                    break
+                done = False
+                for pin, old in enumerate(g.fanin):
+                    if counts[old] >= 2:
+                        counts[old] -= 1
+                        counts[net] += 1
+                        g.fanin[pin] = net
+                        consumed.add(net)
+                        done = True
+                        break
+                if done:
+                    break
+
+    # Bind flops and POs to dangling outputs; surplus dangling nets become
+    # extra observation POs so no logic is dead.
+    dangling = [n for n in available if n not in consumed and n not in input_set]
+    rng.shuffle(dangling)
+    n_slots = spec.n_flops + spec.n_pos
+    sink_nets = dangling[:n_slots]
+    extra_pos = dangling[n_slots:]
+    if len(sink_nets) < n_slots:
+        seen = set(sink_nets)
+        for n in reversed(available):
+            if len(sink_nets) >= n_slots:
+                break
+            if n not in seen and n not in input_set:
+                seen.add(n)
+                sink_nets.append(n)
+        while len(sink_nets) < n_slots:  # pragma: no cover - degenerate specs
+            sink_nets.append(available[rng.randrange(len(inputs), len(available))])
+
+    for i in range(spec.n_flops):
+        b.add_flop_with_q(d_net=sink_nets[i], q_net=q_nets[i], name=f"{spec.name}_ff{i}")
+    for i in range(spec.n_pos):
+        b.mark_primary_output(sink_nets[spec.n_flops + i])
+    for n in extra_pos:
         b.mark_primary_output(n)
     return b.finish()
 

@@ -20,13 +20,23 @@ Public surface:
   stage;
 * :mod:`~repro.runtime.chaos` — deterministic failure injection
   (``REPRO_CHAOS``) proving every recovery path preserves dataset
-  fingerprints.
+  fingerprints;
+* :mod:`~repro.runtime.pool` — persistent worker pools with resident
+  designs and shared-memory data planes (spill segments in, result
+  segments out), plus the orphan-segment audit ``repro doctor`` uses.
 """
 
 from .cache import ArtifactCache, CacheHealth, CODE_VERSION, cache_key_hash, canonical_key
 from .chaos import ChaosError, ChaosPlan, chaos_from_env
 from .checkpoint import ProgressManifest, manifest_path
 from .faulttol import RetryPolicy, UnitFailedError, handle_termination, run_units
+from .pool import (
+    PersistentWorkerPool,
+    get_pool,
+    reap_orphan_segments,
+    scan_orphan_segments,
+    shutdown_pools,
+)
 from .fingerprint import (
     deterministic_split,
     fingerprints_identical,
@@ -52,6 +62,7 @@ __all__ = [
     "DatasetRequest",
     "DatasetRuntime",
     "DEFAULT_CHUNK_SIZE",
+    "PersistentWorkerPool",
     "ProgressManifest",
     "RetryPolicy",
     "RuntimeStats",
@@ -64,11 +75,15 @@ __all__ = [
     "derive_seed",
     "deterministic_split",
     "fingerprints_identical",
+    "get_pool",
     "get_runtime",
     "graph_fingerprint",
     "handle_termination",
     "manifest_path",
+    "reap_orphan_segments",
     "reset_runtime",
     "run_units",
     "sample_set_fingerprint",
+    "scan_orphan_segments",
+    "shutdown_pools",
 ]

@@ -9,6 +9,9 @@ by injecting exactly those failures on demand:
 * **crash** — the worker process handling a selected unit dies hard
   (``os._exit``), as if OOM-killed;
 * **hang** — a selected unit sleeps past its deadline, as if deadlocked;
+* **shm_crash** — the worker dies halfway through writing its result into
+  a shared-memory segment, leaving a torn segment for the parent's sweep
+  (:meth:`repro.runtime.pool.PersistentWorkerPool.sweep_results`) to reap;
 * **corrupt** — a just-written cache payload is truncated or bit-flipped,
   as if a crash interrupted an (unsafe) write;
 * **drop_sidecar** — a just-written ``.key.json`` sidecar is deleted,
@@ -69,6 +72,8 @@ class ChaosPlan:
     Attributes:
         crash: Probability a unit's worker dies hard on attempt 0.
         hang: Probability a unit sleeps ``hang_seconds`` on attempt 0.
+        shm_crash: Probability a unit's worker dies mid-write of its
+            shared-memory result segment on attempt 0.
         corrupt: Probability a cache payload is damaged right after a put.
         drop_sidecar: Probability a sidecar is deleted right after a put.
         seed: Chaos decision seed (independent of dataset seeds).
@@ -78,6 +83,7 @@ class ChaosPlan:
 
     crash: float = 0.0
     hang: float = 0.0
+    shm_crash: float = 0.0
     corrupt: float = 0.0
     drop_sidecar: float = 0.0
     seed: int = 0
@@ -114,6 +120,23 @@ class ChaosPlan:
 
             time.sleep(self.hang_seconds)
 
+    def maybe_fail_shm_write(self, token: Tuple[object, ...], attempt: int) -> None:
+        """Kill the worker mid-way through a result-segment write (attempt 0).
+
+        Called by :func:`repro.runtime.pool.ship_result` after flushing half
+        of the payload, so the surviving segment is exactly the torn shape a
+        real mid-write death leaves.  ``os._exit(71)`` distinguishes the
+        injection from a unit-body crash (70) in process post-mortems.
+        Outside a worker it raises :class:`ChaosError` — the serial path has
+        no segment to tear, but still exercises the retry accounting.
+        """
+        if attempt != 0:
+            return
+        if self._fires("shm_crash", token, self.shm_crash):
+            if in_worker():
+                os._exit(71)  # torn segment: written half stays behind
+            raise ChaosError(f"injected shm-write crash for unit {token!r}")
+
     def maybe_damage_entry(self, payload: "os.PathLike[str]", sidecar: "os.PathLike[str]") -> None:
         """Damage a freshly written cache entry (truncate / flip / drop).
 
@@ -140,7 +163,11 @@ class ChaosPlan:
     @property
     def active(self) -> bool:
         """True when any injection rate is non-zero."""
-        return any(r > 0.0 for r in (self.crash, self.hang, self.corrupt, self.drop_sidecar))
+        return any(
+            r > 0.0
+            for r in (self.crash, self.hang, self.shm_crash, self.corrupt,
+                      self.drop_sidecar)
+        )
 
 
 def chaos_from_env(env: Optional[str] = None) -> Optional[ChaosPlan]:
@@ -156,8 +183,8 @@ def chaos_from_env(env: Optional[str] = None) -> Optional[ChaosPlan]:
     env = env.strip()
     if not env:
         return None
-    fields = {"crash": 0.0, "hang": 0.0, "corrupt": 0.0, "drop_sidecar": 0.0,
-              "seed": 0, "hang_s": 30.0}
+    fields = {"crash": 0.0, "hang": 0.0, "shm_crash": 0.0, "corrupt": 0.0,
+              "drop_sidecar": 0.0, "seed": 0, "hang_s": 30.0}
     for part in env.split(","):
         key, sep, value = part.partition("=")
         key = key.strip()
@@ -175,6 +202,7 @@ def chaos_from_env(env: Optional[str] = None) -> Optional[ChaosPlan]:
     return ChaosPlan(
         crash=fields["crash"],
         hang=fields["hang"],
+        shm_crash=fields["shm_crash"],
         corrupt=fields["corrupt"],
         drop_sidecar=fields["drop_sidecar"],
         seed=int(fields["seed"]),

@@ -34,10 +34,13 @@ import signal
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..obs import SpanTracer
 from .instrument import RuntimeStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pool import PersistentWorkerPool
 
 __all__ = [
     "RetryPolicy",
@@ -176,6 +179,7 @@ def run_units(
     initargs: Tuple[Any, ...] = (),
     label: str = "unit",
     tracer: Optional[SpanTracer] = None,
+    pool: Optional["PersistentWorkerPool"] = None,
 ) -> List[Any]:
     """Run ``fn((unit, attempt))`` for every unit; results in input order.
 
@@ -190,11 +194,17 @@ def run_units(
             respawns, degradation, aborts).
         initializer / initargs: Pool worker initialization (worker-side
             state, chaos plan).  The initializer also runs before serial
-            execution so both paths see identical worker state.
+            execution so both paths see identical worker state.  Mutually
+            exclusive with ``pool`` — persistent workers outlive any one
+            call, so per-call state must ride in the unit payloads instead.
         label: Counter namespace and error-message prefix.
         tracer: Optional span tracer recording ``pool`` (one span per pool
             incarnation) and ``serial`` (the in-process tail) under the
             caller's active span.
+        pool: Reuse this :class:`repro.runtime.pool.PersistentWorkerPool`
+            instead of spawning an ephemeral pool.  A healthy pool is left
+            alive for the next call; an unhealthy (or aborted) one is
+            invalidated, which is this layer's respawn.
 
     Raises:
         UnitFailedError: A unit exhausted ``policy.max_retries``.
@@ -202,6 +212,11 @@ def run_units(
             number of units still outstanding is recorded under
             ``faulttol.<label>.aborted_units``.
     """
+    if pool is not None and initializer is not None:
+        raise ValueError(
+            "run_units: initializer is incompatible with a persistent pool; "
+            "ship per-call state in the unit payloads"
+        )
     results: List[Any] = [None] * len(units)
     attempts = [0] * len(units)
     remaining = list(range(len(units)))
@@ -213,16 +228,20 @@ def run_units(
     while remaining and not serial:
         span = _maybe_span(tracer, "pool")
         span.__enter__()
-        pool = multiprocessing.Pool(
-            min(workers, len(remaining)),
-            initializer=_pool_initializer,
-            initargs=(initializer, initargs),
-        )
+        if pool is not None:
+            mp_pool = pool.acquire()
+        else:
+            mp_pool = multiprocessing.Pool(
+                min(workers, len(remaining)),
+                initializer=_pool_initializer,
+                initargs=(initializer, initargs),
+            )
         if respawns:
             stats.count(f"faulttol.{label}.pool_respawns")
+        healthy = False
         try:
             pending: Dict[int, multiprocessing.pool.AsyncResult] = {
-                i: pool.apply_async(fn, ((units[i], attempts[i]),)) for i in remaining
+                i: mp_pool.apply_async(fn, ((units[i], attempts[i]),)) for i in remaining
             }
             unhealthy = False
             still_running: List[int] = []
@@ -243,8 +262,10 @@ def run_units(
                         raise UnitFailedError(label, units[i], attempts[i], exc) from exc
                     stats.count(f"faulttol.{label}.retries")
             if not unhealthy:
-                pool.close()
-                pool.join()
+                healthy = True
+                if pool is None:
+                    mp_pool.close()
+                    mp_pool.join()
                 # Units that raised (rare: deterministic bugs, injected
                 # serial-path chaos) re-run in the in-process tail below,
                 # where a repeat failure is attributed unambiguously.
@@ -273,8 +294,15 @@ def run_units(
             stats.count(f"faulttol.{label}.aborted_units", len(remaining))
             raise
         finally:
-            pool.terminate()
-            pool.join()
+            if pool is not None:
+                # A healthy persistent pool survives for the next call;
+                # anything else (hung workers, aborts) is torn down so the
+                # next acquire() forks fresh workers.
+                if not healthy:
+                    pool.invalidate()
+            else:
+                mp_pool.terminate()
+                mp_pool.join()
             span.__exit__(None, None, None)
 
     if remaining:

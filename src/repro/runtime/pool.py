@@ -1,0 +1,548 @@
+"""Persistent worker pools with resident state and shared-memory data planes.
+
+The original fan-out (PR 2) paid two taxes on every work unit: the full
+``PreparedDesign`` (netlist, compiled simulator, graphs) was pickled into
+each task payload, and every result (pattern/detection arrays, labeled
+samples) was pickled back through the pool's result pipe.  At bench scale
+the serialization dwarfed the simulation — ``parallel_vs_serial`` came out
+*below 1*.  This module removes both taxes:
+
+* **persistent pools** — one :class:`PersistentWorkerPool` per worker count
+  survives across ``run_units`` calls (and across runtimes), so worker
+  processes, their imports, and their warmed caches are paid for once per
+  process, not once per build;
+* **resident designs** — each worker keeps an LRU of unpickled
+  ``PreparedDesign`` bundles keyed by a *design token* (a hash of the
+  design's provenance).  Fork-spawned workers inherit the parent's registry
+  outright; workers born later (pool respawns) re-materialize designs from
+  a shared-memory *spill* segment written once per design;
+* **shared-memory result plane** — workers pickle results into
+  ``multiprocessing.shared_memory`` segments and send back a fixed-size
+  descriptor ``(name, nbytes, sha256)``; the parent attaches, verifies, and
+  unlinks.  Nothing large crosses the multiprocessing result pipe;
+* **descriptor payloads** — a dispatched unit is a token + chunk geometry +
+  seed, a few hundred bytes regardless of design size.
+
+Determinism is untouched: segments carry *bytes of results*, never RNG
+state, and the canonical chunk grid (:mod:`repro.runtime.seeds`) still
+defines every unit's seed.  Crash-safety: segment names are deterministic
+(``repro_<pid>_<tag><seq>a<attempt>``), so the parent can sweep every name
+a unit could have written — including segments half-written by a worker
+that died mid-write — and ``repro doctor`` can reap segments whose owning
+pid is gone.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import itertools
+import multiprocessing
+import multiprocessing.pool
+import os
+import pickle
+from collections import OrderedDict
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from .chaos import ChaosPlan, mark_worker
+
+__all__ = [
+    "OrphanSegment",
+    "PersistentWorkerPool",
+    "ResidentRef",
+    "auto_batch_size",
+    "fetch_result",
+    "get_pool",
+    "reap_orphan_segments",
+    "register_resident",
+    "resolve_resident",
+    "scan_orphan_segments",
+    "ship_result",
+    "shutdown_pools",
+]
+
+#: Every segment this module creates is named ``repro_<ownerpid>_...`` so
+#: leak auditing (``repro doctor``) can attribute segments to processes.
+SEGMENT_PREFIX = "repro_"
+
+#: Where POSIX shared memory appears as files on Linux.  Orphan scanning is
+#: gated on this directory existing; the data plane itself is portable.
+_SHM_DIR = Path("/dev/shm")
+
+#: Worker-side resident designs kept unpickled per process.  Small: each
+#: entry is a full PreparedDesign; eight covers a benchmark-suite sweep's
+#: working set without letting a long matrix run grow worker RSS unbounded.
+_RESIDENT_CAP = 8
+
+
+def _noop_track(name: str, rtype: str) -> None:
+    """Stand-in for tracker register/unregister while touching segments."""
+
+
+@contextmanager
+def _tracker_silenced() -> Iterator[None]:
+    """Keep ``resource_tracker`` out of segment create/attach/unlink.
+
+    Python (< 3.13, which added ``track=False``) registers POSIX segments
+    with the tracker on *attach* as well as create, so a worker attaching a
+    parent-owned segment would mark it for unlink-at-exit — and because
+    every forked process reports to one tracker whose name set deduplicates,
+    unregistering after the fact races across processes (duplicate
+    unregisters crash the tracker loop with ``KeyError``; so does
+    ``SharedMemory.unlink()``'s implicit unregister of a never-registered
+    name).  Segment lifetimes here are managed explicitly
+    (fetch/sweep/shutdown), with ``repro doctor`` as the post-mortem
+    backstop, so the tracker must never hear about them at all.  These
+    calls are single-threaded within each process.
+    """
+    try:
+        from multiprocessing import resource_tracker
+    except ImportError:  # pragma: no cover - no tracker on this platform
+        yield
+        return
+    original = (resource_tracker.register, resource_tracker.unregister)
+    resource_tracker.register = _noop_track
+    resource_tracker.unregister = _noop_track
+    try:
+        yield
+    finally:
+        resource_tracker.register, resource_tracker.unregister = original
+
+
+def _open_shm(name: str, create: bool = False, size: int = 0) -> Any:
+    """Open a segment with tracker bookkeeping suppressed."""
+    from multiprocessing import shared_memory
+
+    with _tracker_silenced():
+        if create:
+            return shared_memory.SharedMemory(name=name, create=True, size=size)
+        return shared_memory.SharedMemory(name=name)
+
+
+# --------------------------------------------------------------- residency
+class ResidentRef(NamedTuple):
+    """Descriptor of a design a worker can resolve without unpickling it.
+
+    Attributes:
+        key: Design token (provenance hash, or an anonymous per-process id).
+        spill: Shared-memory segment holding the pickled design, or ``None``
+            when the design is only reachable through in-process registries
+            (serial execution).
+        nbytes: Pickled size (segments may be page-rounded).
+        digest: SHA-256 of the pickled bytes.
+    """
+
+    key: str
+    spill: Optional[str]
+    nbytes: int
+    digest: str
+
+
+#: Designs registered for in-process (serial) execution.  Never evicted:
+#: without a spill segment there is no way to re-materialize them.
+_PINNED: Dict[str, Any] = {}
+
+#: LRU of designs materialized from spill segments (worker side) or
+#: registered at spill time (parent side, for the degraded-serial path).
+_RESIDENT: "OrderedDict[str, Any]" = OrderedDict()
+
+#: Anonymous-design tokens.  Hand-built bundles (no provenance) get a
+#: per-process token; the keep-list pins them so ``id()`` reuse can never
+#: alias two designs to one token.
+_ANON_TOKENS: Dict[int, str] = {}
+_ANON_KEEP: List[Any] = []
+_ANON_SEQ = itertools.count(1)
+
+
+def resident_token(design: Any) -> str:
+    """Stable token identifying ``design`` across processes.
+
+    Designs with provenance hash to the same token in every process — that
+    is what lets a pool reuse one resident copy across configs/runtimes of
+    the same design.  Hand-built designs get a process-local token.
+    """
+    provenance = getattr(design, "provenance", None)
+    if provenance:
+        from .cache import cache_key_hash
+
+        return cache_key_hash({"resident": "design", **provenance})[:16]
+    token = _ANON_TOKENS.get(id(design))
+    if token is None:
+        token = f"anon{next(_ANON_SEQ)}"
+        _ANON_TOKENS[id(design)] = token
+        _ANON_KEEP.append(design)
+    return token
+
+
+def _remember(key: str, design: Any) -> None:
+    _RESIDENT[key] = design
+    _RESIDENT.move_to_end(key)
+    while len(_RESIDENT) > _RESIDENT_CAP:
+        _RESIDENT.popitem(last=False)
+
+
+def register_resident(design: Any) -> ResidentRef:
+    """Pin ``design`` for in-process execution and return its reference.
+
+    The serial path's counterpart of
+    :meth:`PersistentWorkerPool.ensure_resident`: no segment is written, the
+    worker function resolves the token straight from this process's
+    registry.
+    """
+    key = resident_token(design)
+    _PINNED[key] = design
+    return ResidentRef(key, None, 0, "")
+
+
+def resolve_resident(ref: ResidentRef) -> Any:
+    """Materialize the design behind ``ref`` (registry hit or spill attach).
+
+    Resolution order: pinned registry (serial path), the resident LRU
+    (earlier resolve, or fork-inherited from the parent), then the spill
+    segment.  A spill's bytes are digest-verified before unpickling.
+    """
+    design = _PINNED.get(ref.key)
+    if design is not None:
+        return design
+    design = _RESIDENT.get(ref.key)
+    if design is not None:
+        _RESIDENT.move_to_end(ref.key)
+        return design
+    if ref.spill is None:
+        raise RuntimeError(
+            f"design {ref.key!r} is not resident and has no spill segment"
+        )
+    shm = _open_shm(ref.spill)
+    try:
+        payload = bytes(shm.buf[: ref.nbytes])
+    finally:
+        shm.close()
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != ref.digest:
+        raise RuntimeError(
+            f"design spill {ref.spill!r} failed verification "
+            f"(got {digest[:12]}, want {ref.digest[:12]})"
+        )
+    design = pickle.loads(payload)
+    _remember(ref.key, design)
+    return design
+
+
+# ------------------------------------------------------------- result plane
+def ship_result(
+    value: Any,
+    base: Optional[str],
+    attempt: int,
+    chaos: Optional[ChaosPlan] = None,
+    token: Tuple[object, ...] = (),
+) -> Tuple[str, ...]:
+    """Publish a unit result; return the small descriptor to send back.
+
+    With ``base`` (pool execution) the pickled result lands in a segment
+    named ``{base}a{attempt}`` — deterministic, so the parent can sweep
+    every possible name even for attempts that died mid-write — and the
+    descriptor is ``("shm", name, nbytes, sha256)``.  Without ``base``
+    (serial execution) the value rides the return path as ``("obj", value)``.
+
+    ``chaos.maybe_fail_shm_write`` is invoked *mid-write* (half the payload
+    flushed) so the chaos suite exercises exactly the torn-segment shape a
+    real worker death would leave.
+    """
+    if base is None:
+        return ("obj", value)
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    name = f"{base}a{attempt}"
+    try:
+        shm = _open_shm(name, create=True, size=max(1, len(payload)))
+    except FileExistsError:
+        # A resubmitted unit re-ran an attempt whose first worker already
+        # created (possibly half-wrote) this segment.  Replace it: the unit
+        # is deterministic, so a complete rewrite yields identical bytes.
+        stale = _open_shm(name)
+        stale.close()
+        with _tracker_silenced():
+            stale.unlink()
+        shm = _open_shm(name, create=True, size=max(1, len(payload)))
+    try:
+        half = len(payload) // 2
+        shm.buf[:half] = payload[:half]
+        if chaos is not None:
+            chaos.maybe_fail_shm_write(token, attempt)
+        shm.buf[half : len(payload)] = payload[half:]
+    finally:
+        shm.close()
+    return ("shm", name, str(len(payload)), hashlib.sha256(payload).hexdigest())
+
+
+def fetch_result(descriptor: Tuple[str, ...]) -> Any:
+    """Consume a :func:`ship_result` descriptor (attach, verify, unlink)."""
+    if descriptor[0] == "obj":
+        return descriptor[1]
+    _kind, name, nbytes, digest = descriptor
+    shm = _open_shm(name)
+    try:
+        payload = bytes(shm.buf[: int(nbytes)])
+    finally:
+        shm.close()
+        try:
+            with _tracker_silenced():
+                shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - concurrent sweep
+            pass
+    got = hashlib.sha256(payload).hexdigest()
+    if got != digest:
+        raise RuntimeError(
+            f"result segment {name!r} failed verification "
+            f"(got {got[:12]}, want {digest[:12]})"
+        )
+    return pickle.loads(payload)
+
+
+def _unlink_segment(name: str) -> bool:
+    """Best-effort unlink of one segment by name; True when it existed."""
+    try:
+        shm = _open_shm(name)
+    except FileNotFoundError:
+        return False
+    shm.close()
+    try:
+        with _tracker_silenced():
+            shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - lost a race
+        return False
+    return True
+
+
+# ------------------------------------------------------------- chunk batching
+def auto_batch_size(n_tasks: int, workers: int, n_gates: int) -> int:
+    """Canonical chunks dispatched per work unit.
+
+    The chunk *grid* is part of the dataset definition and never changes;
+    batching only groups contiguous grid cells into one dispatch so small
+    designs are not drowned in per-unit overhead.  Targets ~4 units per
+    worker for load balancing, capped so one unit of a large design stays a
+    reasonable retry/deadline quantum (a 100K-gate chunk is already heavy).
+    Serial execution always uses batch 1 — identical loop to the reference
+    builder.
+    """
+    if workers <= 1 or n_tasks <= 1:
+        return 1
+    target_units = workers * 4
+    batch = -(-n_tasks // target_units)
+    cap = max(1, 50_000 // max(1, n_gates))
+    return max(1, min(batch, cap))
+
+
+def batched(seq: Sequence[Any], size: int) -> Iterable[Sequence[Any]]:
+    """Split ``seq`` into contiguous runs of at most ``size`` items."""
+    for start in range(0, len(seq), max(1, size)):
+        yield seq[start : start + size]
+
+
+# ---------------------------------------------------------------- the pool
+#: Mints per-process-unique segment numbers across every pool instance.
+_SEGMENT_SEQ = itertools.count(1)
+
+
+def _worker_bootstrap() -> None:
+    """Initializer for persistent pool workers: mark as disposable."""
+    mark_worker(True)
+
+
+class PersistentWorkerPool:
+    """A reusable ``multiprocessing.Pool`` plus its shared-memory segments.
+
+    One instance per worker count lives for the process (see
+    :func:`get_pool`).  The inner pool is created lazily on
+    :meth:`acquire` — *after* the caller has spilled its designs, so
+    fork-spawned workers inherit the parent's resident registry and usually
+    never touch a spill segment at all — and is replaced wholesale by
+    :meth:`invalidate` when the fault-tolerance layer declares it unhealthy.
+
+    Spill segments are deduplicated by design token and live until
+    :meth:`shutdown` (process exit at the latest, via ``atexit``): a pool
+    reused across configs of one design pays the spill exactly once.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(2, int(workers))
+        self._owner_pid = os.getpid()
+        self._inner: Optional[multiprocessing.pool.Pool] = None
+        self._spills: Dict[str, ResidentRef] = {}
+        #: Pool incarnations torn down as unhealthy (observability only).
+        self.invalidations = 0
+
+    # ------------------------------------------------------------ lifecycle
+    def acquire(self) -> multiprocessing.pool.Pool:
+        """The live inner pool, creating it if needed."""
+        if self._inner is None:
+            self._inner = multiprocessing.Pool(
+                self.workers, initializer=_worker_bootstrap
+            )
+        return self._inner
+
+    def invalidate(self) -> None:
+        """Tear down the inner pool (hung/crashed workers); keep segments.
+
+        The next :meth:`acquire` forks a fresh pool whose workers inherit
+        the parent registry as of *now*; anything newer resolves through
+        the spill segments, which survive invalidation on purpose.
+        """
+        if self._inner is not None:
+            self._inner.terminate()
+            self._inner.join()
+            self._inner = None
+            self.invalidations += 1
+
+    def shutdown(self) -> None:
+        """Release the inner pool and every segment this pool owns."""
+        if os.getpid() != self._owner_pid:
+            return  # forked child inheriting the registry must not unlink
+        if self._inner is not None:
+            self._inner.terminate()
+            self._inner.join()
+            self._inner = None
+        for ref in self._spills.values():
+            if ref.spill:
+                _unlink_segment(ref.spill)
+        self._spills.clear()
+
+    # ------------------------------------------------------------ data plane
+    def _new_name(self, tag: str) -> str:
+        # The sequence is process-global, not per-pool: pools of different
+        # worker counts coexist in one process and must never mint the same
+        # segment name.
+        return f"{SEGMENT_PREFIX}{self._owner_pid}_{tag}{next(_SEGMENT_SEQ)}"
+
+    def ensure_resident(self, design: Any) -> ResidentRef:
+        """Spill ``design`` once and return the reference workers resolve.
+
+        Also registers the design in this process's resident LRU so the
+        degraded-serial tail of the fault-tolerance ladder resolves it
+        without re-attaching the segment.
+        """
+        key = resident_token(design)
+        ref = self._spills.get(key)
+        if ref is None:
+            payload = pickle.dumps(design, protocol=pickle.HIGHEST_PROTOCOL)
+            name = self._new_name("s")
+            shm = _open_shm(name, create=True, size=len(payload))
+            try:
+                shm.buf[: len(payload)] = payload
+            finally:
+                shm.close()
+            ref = ResidentRef(
+                key, name, len(payload), hashlib.sha256(payload).hexdigest()
+            )
+            self._spills[key] = ref
+        _remember(key, design)
+        return ref
+
+    def result_base(self, tag: str) -> str:
+        """A fresh deterministic base name for one unit's result segments."""
+        return self._new_name(tag)
+
+    def sweep_results(self, bases: Iterable[Optional[str]], max_retries: int) -> int:
+        """Unlink every segment the given units could have written.
+
+        Covers descriptors never fetched (aborted runs) *and* segments a
+        worker half-wrote before dying: attempt numbers are bounded by the
+        retry budget, so ``{base}a{0..max_retries+1}`` enumerates every
+        possible name.  Returns the number of segments actually removed.
+        """
+        removed = 0
+        for base in bases:
+            if not base:
+                continue
+            for attempt in range(max_retries + 2):
+                if _unlink_segment(f"{base}a{attempt}"):
+                    removed += 1
+        return removed
+
+
+# ------------------------------------------------------------ global registry
+_POOLS: Dict[int, PersistentWorkerPool] = {}
+
+
+def get_pool(workers: int) -> PersistentWorkerPool:
+    """The process-wide persistent pool for ``workers`` (created on demand)."""
+    pool = _POOLS.get(workers)
+    if pool is None or pool._owner_pid != os.getpid():
+        pool = PersistentWorkerPool(workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Shut down every pool this process owns (registered via ``atexit``)."""
+    for pool in list(_POOLS.values()):
+        pool.shutdown()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+# ------------------------------------------------------------- leak auditing
+class OrphanSegment(NamedTuple):
+    """One ``repro_*`` shared-memory segment whose owning process is gone."""
+
+    name: str
+    nbytes: int
+    pid: int
+
+
+def _segment_owner(name: str) -> Optional[int]:
+    """Owning pid parsed from a ``repro_<pid>_...`` segment name."""
+    rest = name[len(SEGMENT_PREFIX) :]
+    pid_part = rest.split("_", 1)[0]
+    return int(pid_part) if pid_part.isdigit() else None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by another user
+        return True
+    return True
+
+
+def scan_orphan_segments(shm_dir: Optional[Path] = None) -> List[OrphanSegment]:
+    """Find ``repro_*`` segments owned by dead processes.
+
+    Segments of *live* processes (a running build's spills and in-flight
+    results) are never reported.  On platforms without a ``/dev/shm``
+    file view the scan returns empty — the data plane still cleans up after
+    itself there; only the post-mortem audit is Linux-shaped.
+    """
+    root = _SHM_DIR if shm_dir is None else shm_dir
+    if not root.is_dir():
+        return []
+    orphans: List[OrphanSegment] = []
+    for entry in sorted(root.glob(f"{SEGMENT_PREFIX}*")):
+        pid = _segment_owner(entry.name)
+        if pid is None or _pid_alive(pid):
+            continue
+        try:
+            size = entry.stat().st_size
+        except OSError:  # pragma: no cover - raced with cleanup
+            continue
+        orphans.append(OrphanSegment(entry.name, size, pid))
+    return orphans
+
+
+def reap_orphan_segments(shm_dir: Optional[Path] = None) -> List[OrphanSegment]:
+    """Unlink every orphaned segment; returns what was removed."""
+    root = _SHM_DIR if shm_dir is None else shm_dir
+    reaped: List[OrphanSegment] = []
+    for orphan in scan_orphan_segments(root):
+        try:
+            (root / orphan.name).unlink()
+        except FileNotFoundError:  # pragma: no cover - raced with cleanup
+            continue
+        reaped.append(orphan)
+    return reaped

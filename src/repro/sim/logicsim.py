@@ -216,6 +216,11 @@ class CompiledSimulator:
         ] = {}
         #: Generated straight-line propagation functions per start-gate key.
         self._prop_fn_cache: Dict[Tuple[int, ...], object] = {}
+        #: Marshaled code objects + kernel bindings for generated cone
+        #: functions.  Unlike the function cache this *does* pickle, so a
+        #: design loaded from the artifact cache (or a pool's shared-memory
+        #: spill) skips the dominant ``compile()`` cost of warming cones.
+        self._cone_code: Dict[Tuple[int, ...], Tuple[bytes, Tuple[Tuple[int, int], ...]]] = {}
         #: Per-gate packed kernels, resolved once so cone-plan construction
         #: and the packed resimulation never hash cell types per call.
         self._gate_kernels: List[PackedFn] = [packed_eval(g.cell) for g in nl.gates]
@@ -223,17 +228,35 @@ class CompiledSimulator:
 
     # -------------------------------------------------------------- pickling
     def __getstate__(self):
-        """Pickle only (netlist, engine flag); everything else is derived.
+        """Pickle (netlist, engine flag) plus the marshaled cone code.
 
         The compiled state holds generated straight-line functions and
         per-cell kernels (closures for truth-table-derived cells) that cannot
-        pickle; recompiling on load costs milliseconds and guarantees the
-        caches match the running code.
+        pickle; those are rebuilt on load.  The *code objects* behind the
+        generated cone functions, however, are the dominant preparation cost
+        (``compile()`` of thousands of cones), so they travel as ``marshal``
+        blobs: a design reloaded from the artifact cache — or materialized
+        from a worker pool's shared-memory spill — re-binds them without
+        recompiling.  Marshal blobs are interpreter-specific, so they are
+        tagged with the Python version and silently dropped on mismatch
+        (the cone is then recompiled from the netlist; correctness never
+        depends on the cached code).
         """
-        return {"nl": self.nl, "packed": self.packed}
+        import sys
+
+        return {
+            "nl": self.nl,
+            "packed": self.packed,
+            "cone_code": self._cone_code,
+            "cone_pyver": tuple(sys.version_info[:2]),
+        }
 
     def __setstate__(self, state):
+        import sys
+
         self.__init__(state["nl"], packed=state["packed"])
+        if state.get("cone_pyver") == tuple(sys.version_info[:2]):
+            self._cone_code.update(state.get("cone_code", {}))
 
     # --------------------------------------------------------------- compile
     def _compile_levels(self) -> List[_LevelGroup]:
@@ -431,9 +454,27 @@ class CompiledSimulator:
         key = tuple(sorted(set(start_gates)))
         fn = self._prop_fn_cache.get(key)
         if fn is None:
-            fn = self._build_propagation_fn(key)
+            cached = self._cone_code.get(key)
+            if cached is not None:
+                fn = self._bind_cone_code(key, cached)
+            else:
+                fn = self._build_propagation_fn(key)
             self._prop_fn_cache[key] = fn
         return fn
+
+    def _bind_cone_code(
+        self, key: Tuple[int, ...],
+        cached: Tuple[bytes, Tuple[Tuple[int, int], ...]],
+    ):
+        """Re-bind a marshaled cone code object to this simulator's kernels."""
+        import marshal
+
+        blob, kernel_gids = cached
+        ns: Dict[str, object] = {
+            "_K": {idx: self._gate_kernels[gid] for idx, gid in kernel_gids}
+        }
+        exec(marshal.loads(blob), ns)
+        return ns["_prop"]
 
     def _build_propagation_fn(self, key: Tuple[int, ...]):
         gates = self.nl.gates
@@ -469,8 +510,16 @@ class CompiledSimulator:
                 lines.append(f"    d = (v{out} ^ b[{out}]) & vm")
                 lines.append(f"    if d: r[{out}] = d")
         lines.append("    return r")
+        kernel_gids: Dict[int, int] = {}
+        for idx, gid in enumerate(cone):
+            if idx in kernels:
+                kernel_gids[idx] = gid
+        code = compile("\n".join(lines), f"<cone-plan {key[:4]}>", "exec")
+        import marshal
+
+        self._cone_code[key] = (marshal.dumps(code), tuple(kernel_gids.items()))
         ns: Dict[str, object] = {"_K": kernels}
-        exec(compile("\n".join(lines), f"<cone-plan {key[:4]}>", "exec"), ns)
+        exec(code, ns)
         return ns["_prop"]
 
     def resimulate_packed(

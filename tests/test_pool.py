@@ -1,0 +1,289 @@
+"""Persistent-pool layer: payloads, shared-memory lifecycle, orphan reaping.
+
+The contracts under test:
+
+* dispatched unit payloads are *descriptors* — a resident-design token plus
+  chunk geometry — never the pickled ``PreparedDesign`` itself;
+* results travel through named shared-memory segments that are verified,
+  consumed, and unlinked; a worker dying mid-write leaves a torn segment
+  that the retry overwrites and the post-run sweep reaps;
+* a chaotic 4-worker build whose workers die mid-shm-write still
+  fingerprints identically to a clean serial build and leaves no result
+  segments behind;
+* ``repro doctor`` finds (and with ``--fix`` reaps) ``repro_*`` segments
+  whose owning process is gone, and never touches a live process's.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.runtime import (
+    ChaosError,
+    ChaosPlan,
+    DatasetRuntime,
+    RetryPolicy,
+    RuntimeStats,
+    reset_runtime,
+    sample_set_fingerprint,
+)
+from repro.runtime import pool as poolmod
+from repro.runtime.pool import (
+    auto_batch_size,
+    batched,
+    fetch_result,
+    get_pool,
+    reap_orphan_segments,
+    register_resident,
+    resolve_resident,
+    scan_orphan_segments,
+    ship_result,
+)
+from repro.runtime.runtime import ChunkUnit
+
+SEED = 9001
+
+_HAS_SHM_DIR = poolmod._SHM_DIR.is_dir()
+
+
+@pytest.fixture(autouse=True)
+def _isolate_global_runtime():
+    reset_runtime()
+    yield
+    reset_runtime()
+
+
+def _result_segments() -> list:
+    """This process's result ("c"/"p" tag) segments visible in /dev/shm."""
+    if not _HAS_SHM_DIR:
+        return []
+    pid = os.getpid()
+    return sorted(
+        p.name
+        for p in poolmod._SHM_DIR.glob(f"repro_{pid}_*")
+        if p.name.split("_", 2)[2][0] in ("c", "p")
+    )
+
+
+# ----------------------------------------------------------- unit payloads
+def test_chunk_unit_payload_is_descriptor_sized(prepared):
+    """A dispatched unit must not embed the design — tokens only."""
+    ref = register_resident(prepared)
+    unit = ChunkUnit(
+        ref=ref,
+        order_index=0,
+        mode="bypass",
+        seed=SEED,
+        kind="single",
+        miv_fraction=0.15,
+        chunks=((0, 16), (1, 16), (2, 16)),
+        result_base=f"repro_{os.getpid()}_c999",
+        chaos=ChaosPlan(crash=0.25, seed=7),
+    )
+    payload = len(pickle.dumps(unit, protocol=pickle.HIGHEST_PROTOCOL))
+    design = len(pickle.dumps(prepared, protocol=pickle.HIGHEST_PROTOCOL))
+    assert payload < 2048  # descriptor-sized, independent of design size
+    assert design > 20 * payload  # the design itself is much bigger
+    assert resolve_resident(ref) is prepared
+
+
+def test_resident_tokens_stable_and_anon_designs_distinct(prepared):
+    assert poolmod.resident_token(prepared) == poolmod.resident_token(prepared)
+
+    class _Fake:
+        provenance = None
+
+    a, b = _Fake(), _Fake()
+    assert poolmod.resident_token(a) != poolmod.resident_token(b)
+    assert poolmod.resident_token(a) == poolmod.resident_token(a)
+
+
+# ------------------------------------------------------- shm result plane
+def test_ship_fetch_roundtrip_unlinks_segment():
+    value = {"items": list(range(100)), "tag": "roundtrip"}
+    base = f"repro_{os.getpid()}_t1"
+    desc = ship_result(value, base, attempt=0)
+    assert desc[0] == "shm" and desc[1] == f"{base}a0"
+    if _HAS_SHM_DIR:
+        assert (poolmod._SHM_DIR / desc[1]).exists()
+    assert fetch_result(desc) == value
+    if _HAS_SHM_DIR:
+        assert not (poolmod._SHM_DIR / desc[1]).exists()  # consumed == unlinked
+
+
+def test_ship_result_serial_path_bypasses_shm():
+    desc = ship_result([1, 2, 3], base=None, attempt=0)
+    assert desc == ("obj", [1, 2, 3])
+    assert fetch_result(desc) == [1, 2, 3]
+
+
+def test_torn_segment_is_overwritten_on_retry_and_swept():
+    """A mid-write death leaves {base}a0 torn; the re-run replaces it."""
+    value = {"payload": "x" * 4096}
+    base = f"repro_{os.getpid()}_t2"
+    plan = ChaosPlan(shm_crash=1.0, seed=0)
+    token = ("chunkres", 0, 0)
+    # Serial-path injection raises mid-write instead of killing the process,
+    # leaving exactly the torn segment a worker death would.
+    with pytest.raises(ChaosError, match="shm-write"):
+        ship_result(value, base, attempt=0, chaos=plan, token=token)
+    if _HAS_SHM_DIR:
+        assert (poolmod._SHM_DIR / f"{base}a0").exists()
+    # The resubmitted attempt hits FileExistsError and must replace the
+    # torn bytes wholesale (attempt 0 fired already, attempt stays 0 only
+    # for the billing-free resubmissions; rewrite must succeed either way).
+    desc = ship_result(value, base, attempt=0, chaos=None, token=token)
+    assert fetch_result(desc) == value
+
+    # And a sweep reaps whatever a unit *could* have written, fetched or not.
+    with pytest.raises(ChaosError):
+        ship_result(value, base, attempt=0, chaos=plan, token=token)
+    pool = get_pool(2)
+    removed = pool.sweep_results([base], max_retries=2)
+    assert removed == 1
+    if _HAS_SHM_DIR:
+        assert not (poolmod._SHM_DIR / f"{base}a0").exists()
+
+
+# ------------------------------------------------------------ batch geometry
+def test_auto_batch_size_serial_and_small_fanouts_stay_per_chunk():
+    assert auto_batch_size(3, 1, 180) == 1  # serial: reference loop
+    assert auto_batch_size(1, 8, 180) == 1
+    assert auto_batch_size(3, 4, 180) == 1  # fewer tasks than target units
+
+
+def test_auto_batch_size_groups_large_fanouts_and_caps_heavy_designs():
+    assert auto_batch_size(64, 2, 180) == 8  # ceil(64 / (2*4))
+    assert auto_batch_size(64, 2, 100_000) == 1  # one 100K chunk is enough
+    assert auto_batch_size(64, 2, 20_000) == 2  # 50_000 // 20_000
+    # Batching never drops or reorders grid cells.
+    cells = [(i, 16) for i in range(17)]
+    groups = list(batched(cells, 3))
+    assert [c for g in groups for c in g] == cells
+    assert max(len(g) for g in groups) == 3
+
+
+def test_batched_parallel_build_matches_serial_fingerprint(prepared):
+    """batch > 1 groups grid cells per dispatch without changing bytes."""
+    n_samples = 272  # 17 canonical chunks -> batch 3 on 2 workers
+    assert auto_batch_size(17, 2, prepared.nl.n_gates) > 1
+    serial = DatasetRuntime(workers=1).build_dataset(
+        prepared, "bypass", n_samples, SEED
+    )
+    parallel = DatasetRuntime(workers=2).build_dataset(
+        prepared, "bypass", n_samples, SEED
+    )
+    assert sample_set_fingerprint(parallel) == sample_set_fingerprint(serial)
+    assert _result_segments() == []  # every result consumed and unlinked
+
+
+# --------------------------------------------------------- pool persistence
+def test_get_pool_is_persistent_and_reused_across_builds(prepared):
+    pool = get_pool(2)
+    assert get_pool(2) is pool
+    assert pool.acquire() is pool.acquire()
+    before = pool.invalidations
+    rt = DatasetRuntime(workers=2)
+    a = rt.build_dataset(prepared, "bypass", 48, SEED)
+    b = rt.build_dataset(prepared, "bypass", 48, SEED + 1)
+    assert pool.invalidations == before  # healthy builds never respawn
+    assert len(a.items) == 48 and len(b.items) == 48
+    # One spill segment per design, deduplicated across builds.
+    token = poolmod.resident_token(prepared)
+    assert token in pool._spills
+    assert _result_segments() == []
+
+
+# ------------------------------------------- chaos: death mid-segment-write
+@pytest.mark.chaos
+def test_shm_crash_chaos_build_matches_clean_serial(prepared):
+    """Workers dying mid-shm-write cost retries, never bytes or segments.
+
+    ``shm_crash=1.0`` kills every unit's worker halfway through its result
+    write on attempt 0 (``os._exit(71)``), so each of the three chunk units
+    leaves a torn segment and must be re-executed.  The recovered build must
+    fingerprint identically to a clean serial build, and no result segment
+    may outlive the run.
+    """
+    plan = ChaosPlan(shm_crash=1.0, seed=5)
+    stats = RuntimeStats()
+    chaotic = DatasetRuntime(
+        workers=4,
+        stats=stats,
+        retry=RetryPolicy(deadline=3.0, max_retries=2, max_pool_respawns=4),
+        chaos=plan,
+    )
+    built = chaotic.build_dataset(prepared, "bypass", 48, SEED)
+    clean = DatasetRuntime(workers=1).build_dataset(prepared, "bypass", 48, SEED)
+    assert sample_set_fingerprint(built) == sample_set_fingerprint(clean)
+    # The deaths really happened: deadline expiries and billed retries.
+    assert stats.counters.get("faulttol.chunk.timeouts", 0) >= 1
+    assert stats.counters.get("faulttol.chunk.retries", 0) >= 1
+    # Torn and fetched segments alike were reclaimed by the sweep.
+    assert _result_segments() == []
+
+
+# ------------------------------------------------------------ orphan audit
+def test_scan_and_reap_orphans_only_touch_dead_pids(tmp_path):
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    dead_pid = proc.pid
+    live_pid = os.getpid()
+
+    (tmp_path / f"repro_{dead_pid}_s1").write_bytes(b"x" * 64)
+    (tmp_path / f"repro_{dead_pid}_c2a0").write_bytes(b"y" * 32)
+    (tmp_path / f"repro_{live_pid}_s1").write_bytes(b"z" * 16)
+    (tmp_path / "repro_notapid_s1").write_bytes(b"?")  # unattributable: keep
+    (tmp_path / "unrelated_file").write_bytes(b"!")
+
+    orphans = scan_orphan_segments(tmp_path)
+    assert sorted(o.name for o in orphans) == [
+        f"repro_{dead_pid}_c2a0",
+        f"repro_{dead_pid}_s1",
+    ]
+    assert all(o.pid == dead_pid for o in orphans)
+    assert {o.name: o.nbytes for o in orphans}[f"repro_{dead_pid}_s1"] == 64
+
+    reaped = reap_orphan_segments(tmp_path)
+    assert sorted(o.name for o in reaped) == sorted(o.name for o in orphans)
+    assert not (tmp_path / f"repro_{dead_pid}_s1").exists()
+    assert (tmp_path / f"repro_{live_pid}_s1").exists()
+    assert (tmp_path / "repro_notapid_s1").exists()
+    assert scan_orphan_segments(tmp_path) == []
+
+
+def test_scan_orphans_missing_dir_is_empty(tmp_path):
+    assert scan_orphan_segments(tmp_path / "nope") == []
+
+
+def test_doctor_reports_and_reaps_orphan_segments(tmp_path, monkeypatch, capsys):
+    """``repro doctor`` counts orphans as problems; ``--fix`` reaps them."""
+    from repro.cli import main
+    from repro.runtime import ArtifactCache
+
+    cache_dir = tmp_path / "cache"
+    ArtifactCache(cache_dir).put("unit", {"x": 1}, [1, 2, 3])
+    shm_dir = tmp_path / "shm"
+    shm_dir.mkdir()
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    (shm_dir / f"repro_{proc.pid}_s1").write_bytes(b"x" * 128)
+    monkeypatch.setattr(poolmod, "_SHM_DIR", shm_dir)
+
+    assert main(["doctor", "--cache-dir", str(cache_dir)]) == 1
+    out = capsys.readouterr().out
+    assert "found 1 orphaned segment(s) (128 bytes)" in out
+    assert f"dead pid {proc.pid}" in out
+
+    assert main(["doctor", "--cache-dir", str(cache_dir), "--fix"]) == 0
+    out = capsys.readouterr().out
+    assert "reaped 1 orphaned segment(s)" in out
+    assert not (shm_dir / f"repro_{proc.pid}_s1").exists()
+
+    assert main(["doctor", "--cache-dir", str(cache_dir)]) == 0
+    assert "found 0 orphaned segment(s)" in capsys.readouterr().out
