@@ -1,0 +1,171 @@
+"""Bench: GNN training/inference throughput per tensor backend.
+
+Measures, on a pool of paper-shaped back-trace sub-graphs, graphs/second
+for GraphClassifier training and inference on every available backend
+(numpy always; torch when installed) at batch sizes 1/16/64.  The
+``batch_size=1`` numpy row is the seed per-graph training regime and serves
+as the baseline every other (backend, batch) point is compared against.
+
+Before anything is timed, every non-oracle backend's forward logits are
+verified against the numpy oracle (the differential gate — same idiom as
+the packed-vs-uint8 simulator bench).  At ``REPRO_SCALE=default`` the
+measured numbers are snapshotted to ``BENCH_gnn.json`` at the repo root and
+the best batched-training point must be at least 2x the per-graph baseline;
+``REPRO_SCALE=tiny`` runs the same flow as a smoke test without the floor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.features import N_FEATURES
+from repro.core.training import train_graph_classifier
+from repro.nn import GraphClassifier, GraphData, available_backends, build_batch
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT = REPO_ROOT / "BENCH_gnn.json"
+
+#: Pool sizes / epochs per scale.  Default mirrors one fit stage of the
+#: experiment suite (a few hundred sub-graphs, tens of nodes each).
+POOL = {"default": 240, "tiny": 24}
+EPOCHS = {"default": 3, "tiny": 1}
+BATCH_SIZES = (1, 16, 64)
+HIDDEN = (32, 32)
+SPEEDUP_FLOOR = 2.0
+
+
+def _make_graphs(scale):
+    rng = np.random.default_rng(5)
+    graphs = []
+    for i in range(POOL.get(scale, POOL["tiny"])):
+        k = int(rng.integers(12, 49))
+        n_edges = int(rng.integers(k, 3 * k))
+        edges = (rng.integers(0, k, size=n_edges), rng.integers(0, k, size=n_edges))
+        x = rng.normal(size=(k, N_FEATURES))
+        x[:, 0] += 1.5 * (i % 2)
+        graphs.append(GraphData(x=x, edges=edges, y=int(i % 2)))
+    return graphs
+
+
+def _differential_gate(graphs):
+    """Every backend's forward must match the numpy oracle before timing."""
+    batch = build_batch(graphs[:16])
+    ref = GraphClassifier(N_FEATURES, 2, hidden=HIDDEN, seed=0, backend="numpy")
+    oracle = ref.forward(batch)
+    for backend in available_backends():
+        if backend == "numpy":
+            continue
+        alt = GraphClassifier(N_FEATURES, 2, hidden=HIDDEN, seed=0, backend=backend)
+        got = alt.backend.to_numpy(alt.forward(batch))
+        np.testing.assert_allclose(got, oracle, atol=1e-9, rtol=0)
+
+
+def _time_train(graphs, backend, batch_size, epochs):
+    model = GraphClassifier(N_FEATURES, 2, hidden=HIDDEN, seed=0, backend=backend)
+    t0 = time.perf_counter()
+    train_graph_classifier(
+        model, graphs, epochs=epochs, batch_size=batch_size, seed=0
+    )
+    dt = time.perf_counter() - t0
+    return {
+        "seconds": dt,
+        "graphs_per_s": epochs * len(graphs) / dt,
+    }, model
+
+
+def _time_inference(model, graphs, batch_size, repeats=5):
+    chunks = [
+        build_batch(graphs[i : i + batch_size])
+        for i in range(0, len(graphs), batch_size)
+    ]
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for chunk in chunks:
+            model.predict_proba(chunk)
+        times.append(time.perf_counter() - t0)
+    dt = float(np.median(times))
+    return {"seconds": dt, "graphs_per_s": len(graphs) / dt}
+
+
+def _bench_backends(scale):
+    graphs = _make_graphs(scale)
+    epochs = EPOCHS.get(scale, EPOCHS["tiny"])
+    _differential_gate(graphs)
+
+    per_backend = {}
+    for backend in available_backends():
+        rows = {"train": {}, "inference": {}}
+        for bs in BATCH_SIZES:
+            rows["train"][str(bs)], model = _time_train(graphs, backend, bs, epochs)
+            rows["inference"][str(bs)] = _time_inference(model, graphs, bs)
+        per_backend[backend] = rows
+
+    baseline = per_backend["numpy"]["train"]["1"]["graphs_per_s"]
+    best = max(
+        (
+            (rows["train"][str(bs)]["graphs_per_s"], backend, bs)
+            for backend, rows in per_backend.items()
+            for bs in BATCH_SIZES
+            if bs > 1
+        ),
+    )
+    return {
+        "scale": scale,
+        "workload": {
+            "n_graphs": len(graphs),
+            "n_features": N_FEATURES,
+            "hidden": list(HIDDEN),
+            "epochs": epochs,
+            "batch_sizes": list(BATCH_SIZES),
+        },
+        "host": {
+            "cpu_logical": os.cpu_count(),
+            "backends": available_backends(),
+        },
+        "baseline": {
+            "backend": "numpy",
+            "batch_size": 1,
+            "train_graphs_per_s": baseline,
+        },
+        "backends": per_backend,
+        "speedup": {
+            "best_batched_train_vs_pergraph": best[0] / baseline,
+            "best_backend": best[1],
+            "best_batch_size": best[2],
+        },
+        "oracle_differential_ok": True,
+    }
+
+
+def test_gnn_throughput(benchmark, scale):
+    result = run_once(benchmark, _bench_backends, scale)
+    w = result["workload"]
+    print(
+        f"\n[{scale}] {w['n_graphs']} graphs x {w['epochs']} epochs, "
+        f"backends: {', '.join(result['host']['backends'])}"
+    )
+    for backend, rows in result["backends"].items():
+        for section in ("train", "inference"):
+            line = "  ".join(
+                f"bs={bs}: {rows[section][str(bs)]['graphs_per_s']:8.1f} g/s"
+                for bs in w["batch_sizes"]
+            )
+            print(f"  {backend:10s} {section:9s} {line}")
+    s = result["speedup"]
+    print(
+        f"  best batched train: {s['best_backend']} bs={s['best_batch_size']} "
+        f"-> {s['best_batched_train_vs_pergraph']:.2f}x the per-graph baseline"
+    )
+    assert result["oracle_differential_ok"]
+    if scale == "default":
+        # Only the paper-shaped run refreshes the committed snapshot; smoke
+        # scales would clobber it with non-representative numbers.
+        SNAPSHOT.write_text(json.dumps(result, indent=2) + "\n")
+        assert s["best_batched_train_vs_pergraph"] >= SPEEDUP_FLOOR

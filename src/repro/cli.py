@@ -69,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="end-to-end single-chip diagnosis demo")
     demo.add_argument("--gates", type=int, default=400, help="design size")
     demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument("--nn-backend", default=None, metavar="SPEC",
+                      help="tensor backend for the GNN models (numpy, torch, "
+                           "torch-cpu, torch-cuda, auto); default consults "
+                           "$REPRO_NN_BACKEND, then the numpy oracle")
     add_runtime_args(demo)
 
     tables = sub.add_parser("tables", help="regenerate paper tables/figures")
@@ -224,20 +228,21 @@ def _interrupted(rt, stats_out: Optional[str]) -> int:
 
 def _cmd_demo(gates: int, seed: int, workers: Optional[int] = None,
               cache_dir: Optional[str] = None,
-              stats_out: Optional[str] = None) -> int:
+              stats_out: Optional[str] = None,
+              nn_backend: Optional[str] = None) -> int:
     from repro.runtime import handle_termination
 
     rt = _configure_runtime(workers, cache_dir)
     try:
         with handle_termination(), rt.tracer.span("demo"):
-            code = _demo_body(rt, gates, seed)
+            code = _demo_body(rt, gates, seed, nn_backend)
     except KeyboardInterrupt:
         return _interrupted(rt, stats_out)
     _write_stats_out(rt, stats_out)
     return code
 
 
-def _demo_body(rt, gates: int, seed: int) -> int:
+def _demo_body(rt, gates: int, seed: int, nn_backend: Optional[str] = None) -> int:
     from repro import (
         DesignConfig,
         EffectCauseDiagnoser,
@@ -261,7 +266,7 @@ def _demo_body(rt, gates: int, seed: int) -> int:
     diag = EffectCauseDiagnoser(design.nl, design.obsmap("bypass"), design.patterns,
                                 mivs=design.mivs, sim=design.sim)
     report = diag.diagnose(chip.sample.log)
-    fw = M3DDiagnosisFramework(epochs=20, seed=0)
+    fw = M3DDiagnosisFramework(epochs=20, seed=0, nn_backend=nn_backend)
     fw.fit([train], stats_sink=rt.stats, tracer=rt.tracer)
     result = fw.diagnose(design, "bypass", chip.sample.log, report, graph=chip.graph)
     print(f"ATPG report: {report.resolution} candidates; after policy "
@@ -567,7 +572,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_info()
     if args.command == "demo":
         return _cmd_demo(args.gates, args.seed, args.workers, args.cache_dir,
-                         args.stats_out)
+                         args.stats_out, args.nn_backend)
     if args.command == "tables":
         return _cmd_tables(args.scale, args.samples, args.only,
                            args.workers, args.cache_dir, args.resume,

@@ -40,6 +40,9 @@ class PruneReorderClassifier:
         epochs / batch_size / lr: Training hyperparameters.
         oversample_seed: Dummy-buffer oversampling seed.
         seed: Head weight-init seed.
+        backend: nn tensor backend for this model; None inherits the
+            Tier-predictor's (the transferred encoder is migrated when the
+            backends differ — weights carry over exactly).
     """
 
     def __init__(
@@ -51,12 +54,14 @@ class PruneReorderClassifier:
         lr: float = 5e-3,
         oversample_seed: int = 0,
         seed: int = 0,
+        backend: Optional[str] = None,
     ) -> None:
         self.epochs = epochs
         self.batch_size = batch_size
         self.lr = lr
         self.oversample_seed = oversample_seed
         self.seed = seed
+        self.backend = backend
         # Share the Tier-predictor's input normalization and freeze a deep
         # copy of its encoder (training the Classifier must not disturb the
         # Tier-predictor).
@@ -69,6 +74,7 @@ class PruneReorderClassifier:
             freeze_encoder=True,
             head_hidden=tuple(head_hidden),
             seed=seed,
+            backend=backend,
         )
         self._fitted = False
 

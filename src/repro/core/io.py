@@ -72,10 +72,15 @@ def save_framework(fw: M3DDiagnosisFramework, path: Union[str, Path]) -> None:
     np.savez_compressed(Path(path), **arrays)
 
 
-def load_framework(path: Union[str, Path]) -> M3DDiagnosisFramework:
+def load_framework(
+    path: Union[str, Path], backend: Optional[str] = None
+) -> M3DDiagnosisFramework:
     """Load a framework saved by :func:`save_framework`.
 
     The returned framework is ready for :meth:`policy_for`/:meth:`diagnose`.
+    Saved weights are backend-neutral numpy, so ``backend`` freely re-homes a
+    framework trained on one backend onto another (e.g. train on torch-cuda,
+    deploy on the numpy oracle).
     """
     data = np.load(Path(path))
     meta = json.loads(bytes(data["meta_json"]).decode())
@@ -90,11 +95,12 @@ def load_framework(path: Union[str, Path]) -> M3DDiagnosisFramework:
         use_miv_pinpointer=meta["has_miv"],
         use_classifier=meta["has_classifier"],
         n_tiers=meta["n_tiers"],
+        nn_backend=backend,
     )
     fw.tp_threshold = float(meta["tp_threshold"])
 
     fw.tier_predictor = TierPredictor(
-        n_tiers=meta["n_tiers"], hidden=tuple(meta["hidden"]), seed=meta["seed"]
+        n_tiers=meta["n_tiers"], hidden=tuple(meta["hidden"]), seed=meta["seed"], backend=backend
     )
     fw.tier_predictor.model.load_state_dict(_unpack("tier", data))
     fw.tier_predictor.scaler.mean_ = data["tier_scaler_mean"]
@@ -102,7 +108,9 @@ def load_framework(path: Union[str, Path]) -> M3DDiagnosisFramework:
     fw.tier_predictor._fitted = True
 
     if meta["has_miv"]:
-        fw.miv_pinpointer = MivPinpointer(hidden=tuple(meta["hidden"]), seed=meta["seed"] + 1)
+        fw.miv_pinpointer = MivPinpointer(
+            hidden=tuple(meta["hidden"]), seed=meta["seed"] + 1, backend=backend
+        )
         fw.miv_pinpointer.model.load_state_dict(_unpack("miv", data))
         fw.miv_pinpointer.scaler.mean_ = data["miv_scaler_mean"]
         fw.miv_pinpointer.scaler.std_ = data["miv_scaler_std"]
@@ -112,7 +120,7 @@ def load_framework(path: Union[str, Path]) -> M3DDiagnosisFramework:
         fw.miv_pinpointer = None
 
     if meta["has_classifier"]:
-        clf = PruneReorderClassifier(fw.tier_predictor, seed=meta["seed"] + 2)
+        clf = PruneReorderClassifier(fw.tier_predictor, seed=meta["seed"] + 2, backend=backend)
         clf.model.load_state_dict(_unpack("clf", data))
         clf._fitted = True
         fw.classifier = clf

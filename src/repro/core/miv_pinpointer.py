@@ -28,6 +28,8 @@ class MivPinpointer:
         threshold: Defect-probability cutoff for reporting an MIV faulty.
         epochs / batch_size / lr: Training hyperparameters.
         seed: Weight-init and shuffling seed.
+        backend: nn tensor backend ("numpy", "torch", ...); None consults
+            ``$REPRO_NN_BACKEND`` and falls back to the numpy oracle.
     """
 
     def __init__(
@@ -39,6 +41,7 @@ class MivPinpointer:
         lr: float = 1e-2,
         weight_decay: float = 1e-4,
         seed: int = 0,
+        backend: Optional[str] = None,
     ) -> None:
         self.hidden = tuple(hidden)
         self.threshold = threshold
@@ -47,8 +50,9 @@ class MivPinpointer:
         self.lr = lr
         self.weight_decay = weight_decay
         self.seed = seed
+        self.backend = backend
         self.scaler = StandardScaler()
-        self.model = NodeClassifier(N_FEATURES, hidden=self.hidden, seed=seed)
+        self.model = NodeClassifier(N_FEATURES, hidden=self.hidden, seed=seed, backend=backend)
         self._fitted = False
 
     def fit(self, graphs: Sequence[GraphData]) -> List[float]:

@@ -19,6 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..runtime.cache import ArtifactCache
 
 from ..diagnosis.report import Candidate, DiagnosisReport
+from ..nn.backends import get_backend
 from ..nn.data import GraphData
 from ..obs import SpanTracer, profiled
 from ..runtime.instrument import RuntimeStats
@@ -73,6 +74,10 @@ class M3DDiagnosisFramework:
         epochs: Training epochs per model.
         seed: Global seed for weight init and shuffling.
         use_miv_pinpointer / use_classifier: Ablation switches (Table XI).
+        nn_backend: Tensor backend for all three GNN models ("numpy",
+            "torch", ...); None consults ``$REPRO_NN_BACKEND`` and falls
+            back to the numpy oracle.  Model weights stay backend-neutral,
+            so a framework trained on one backend deploys on any other.
     """
 
     def __init__(
@@ -84,6 +89,7 @@ class M3DDiagnosisFramework:
         use_miv_pinpointer: bool = True,
         use_classifier: bool = True,
         n_tiers: int = 2,
+        nn_backend: Optional[str] = None,
     ) -> None:
         self.min_precision = min_precision
         self.hidden = tuple(hidden)
@@ -92,9 +98,12 @@ class M3DDiagnosisFramework:
         self.use_miv_pinpointer = use_miv_pinpointer
         self.use_classifier = use_classifier
         self.n_tiers = n_tiers
-        self.tier_predictor = TierPredictor(n_tiers=n_tiers, hidden=self.hidden, epochs=epochs, seed=seed)
+        self.nn_backend = nn_backend
+        self.tier_predictor = TierPredictor(
+            n_tiers=n_tiers, hidden=self.hidden, epochs=epochs, seed=seed, backend=nn_backend
+        )
         self.miv_pinpointer: Optional[MivPinpointer] = (
-            MivPinpointer(hidden=self.hidden, epochs=epochs, seed=seed + 1)
+            MivPinpointer(hidden=self.hidden, epochs=epochs, seed=seed + 1, backend=nn_backend)
             if use_miv_pinpointer
             else None
         )
@@ -120,6 +129,9 @@ class M3DDiagnosisFramework:
                 "use_miv_pinpointer": self.use_miv_pinpointer,
                 "use_classifier": self.use_classifier,
                 "n_tiers": self.n_tiers,
+                # Resolved backend spec: checkpoints trained on different
+                # backends are distinct artifacts (float trajectories differ).
+                "nn_backend": get_backend(self.nn_backend).spec,
             },
         }
 
@@ -246,7 +258,10 @@ class M3DDiagnosisFramework:
                 n_tp, n_fp = len(tp_graphs), len(fp_graphs)
                 if tp_graphs:
                     self.classifier = PruneReorderClassifier(
-                        self.tier_predictor, epochs=max(10, self.epochs // 2), seed=self.seed + 2
+                        self.tier_predictor,
+                        epochs=max(10, self.epochs // 2),
+                        seed=self.seed + 2,
+                        backend=self.nn_backend,
                     )
                     with timer.timed("fit.classifier"), profiled("fit-classifier", tr), \
                             tr.span("classifier"):

@@ -28,6 +28,8 @@ class TierPredictor:
         hidden: GCN layer widths.
         epochs / batch_size / lr: Training hyperparameters.
         seed: Weight-init and shuffling seed.
+        backend: nn tensor backend ("numpy", "torch", ...); None consults
+            ``$REPRO_NN_BACKEND`` and falls back to the numpy oracle.
     """
 
     def __init__(
@@ -39,6 +41,7 @@ class TierPredictor:
         lr: float = 1e-2,
         weight_decay: float = 1e-4,
         seed: int = 0,
+        backend: Optional[str] = None,
     ) -> None:
         self.n_tiers = n_tiers
         self.hidden = tuple(hidden)
@@ -47,8 +50,11 @@ class TierPredictor:
         self.lr = lr
         self.weight_decay = weight_decay
         self.seed = seed
+        self.backend = backend
         self.scaler = StandardScaler()
-        self.model = GraphClassifier(N_FEATURES, n_tiers, hidden=self.hidden, seed=seed)
+        self.model = GraphClassifier(
+            N_FEATURES, n_tiers, hidden=self.hidden, seed=seed, backend=backend
+        )
         self._fitted = False
 
     def fit(self, graphs: Sequence[GraphData]) -> List[float]:

@@ -69,7 +69,8 @@ def train_graph_classifier(
         if callback is not None:
             callback(epoch, mean_loss)
         if val_batch is not None and patience is not None:
-            preds = np.argmax(model.forward(val_batch), axis=1)
+            val_logits = model.backend.to_numpy(model.forward(val_batch))
+            preds = np.argmax(val_logits, axis=1)
             acc = float(np.mean(preds == val_batch.y))
             if acc > best_acc:
                 best_acc = acc

@@ -1,5 +1,17 @@
-"""Pure-numpy GNN substrate (PyTorch/DGL replacement)."""
+"""GNN substrate with pluggable tensor backends (PyTorch/DGL replacement).
 
+The numpy/scipy backend is the always-available reference oracle; an optional
+torch backend (CPU/GPU) is selected per model (``backend=``) or globally via
+``$REPRO_NN_BACKEND``.  See :mod:`repro.nn.backends`.
+"""
+
+from .backends import (
+    BackendUnavailableError,
+    TensorBackend,
+    available_backends,
+    get_backend,
+    torch_available,
+)
 from .layers import Dense, GCNLayer, Module, Parameter, relu
 from .data import GraphBatch, GraphData, build_batch, normalized_adjacency
 from .loss import bce_with_logits, sigmoid, softmax, softmax_cross_entropy
@@ -10,6 +22,11 @@ from .explain import feature_mask_significance, permutation_importance
 from .sage import SAGELayer, make_sage_encoder
 
 __all__ = [
+    "TensorBackend",
+    "BackendUnavailableError",
+    "available_backends",
+    "get_backend",
+    "torch_available",
     "Dense",
     "GCNLayer",
     "Module",

@@ -1,0 +1,120 @@
+"""Pluggable tensor backends for the GNN stack.
+
+The numpy/scipy backend is always available and serves as the reference
+oracle; a torch backend (CPU or CUDA) is auto-detected at import and used
+when requested.  Selection order for :func:`get_backend`:
+
+1. An explicit argument — a backend instance, or a spec string.
+2. The ``REPRO_NN_BACKEND`` environment variable.
+3. The default: ``numpy``.
+
+Spec strings: ``numpy``, ``torch`` (CUDA when available, else CPU),
+``torch-cpu``, ``torch-cuda``, and ``auto`` (best available: torch when
+importable, numpy otherwise).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Union
+
+from .base import BackendUnavailableError, TensorBackend
+from .numpy_backend import NumpyBackend
+
+__all__ = [
+    "TensorBackend",
+    "NumpyBackend",
+    "BackendUnavailableError",
+    "get_backend",
+    "available_backends",
+    "torch_available",
+    "infer_backend",
+]
+
+#: Environment variable consulted when no backend is named explicitly.
+BACKEND_ENV_VAR = "REPRO_NN_BACKEND"
+
+_CACHE: Dict[str, TensorBackend] = {"numpy": NumpyBackend()}
+_TORCH_CHECKED = False
+_TORCH = None
+
+
+def _torch_module():
+    """The torch module when importable, else None (checked once)."""
+    global _TORCH_CHECKED, _TORCH
+    if not _TORCH_CHECKED:
+        _TORCH_CHECKED = True
+        try:
+            import torch as _torch_mod
+        except ImportError:
+            _TORCH = None
+        else:
+            _TORCH = _torch_mod
+    return _TORCH
+
+
+def torch_available() -> bool:
+    """True when the optional torch backend can be constructed."""
+    return _torch_module() is not None
+
+
+def available_backends() -> List[str]:
+    """Backend family names usable on this host (oracle always first)."""
+    names = ["numpy"]
+    if torch_available():
+        names.append("torch")
+    return names
+
+
+def _torch_backend(device: str) -> TensorBackend:
+    if _torch_module() is None:
+        raise BackendUnavailableError(
+            "the torch nn backend was requested but torch is not installed; "
+            "install torch or use REPRO_NN_BACKEND=numpy"
+        )
+    from .torch_backend import TorchBackend
+
+    return TorchBackend(device=device)
+
+
+def get_backend(spec: Union[None, str, TensorBackend] = None) -> TensorBackend:
+    """Resolve a backend from a spec, the environment, or the default.
+
+    Args:
+        spec: A :class:`TensorBackend` (returned as-is), a spec string, or
+            None to consult ``$REPRO_NN_BACKEND`` and fall back to numpy.
+
+    Raises:
+        BackendUnavailableError: a torch spec on a torch-less host.
+        ValueError: an unknown spec string.
+    """
+    if isinstance(spec, TensorBackend):
+        return spec
+    name = (spec or os.environ.get(BACKEND_ENV_VAR) or "numpy").strip().lower()
+    if name == "auto":
+        name = "torch" if torch_available() else "numpy"
+    if name == "torch":
+        torch = _torch_module()
+        name = "torch-cuda" if (torch is not None and torch.cuda.is_available()) else "torch-cpu"
+    cached = _CACHE.get(name)
+    if cached is not None:
+        return cached
+    if name == "torch-cpu":
+        backend = _torch_backend("cpu")
+    elif name == "torch-cuda":
+        backend = _torch_backend("cuda")
+    else:
+        raise ValueError(
+            f"unknown nn backend {name!r}; expected one of: numpy, torch, "
+            f"torch-cpu, torch-cuda, auto (available here: {available_backends()})"
+        )
+    _CACHE[name] = backend
+    return backend
+
+
+def infer_backend(x: Any) -> TensorBackend:
+    """The backend a tensor belongs to (numpy for any host array-like)."""
+    if type(x).__module__.partition(".")[0] == "torch":
+        device = "cuda" if x.device.type == "cuda" else "cpu"
+        return get_backend(f"torch-{device}")
+    return _CACHE["numpy"]

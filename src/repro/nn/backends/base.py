@@ -1,0 +1,149 @@
+"""The tensor-backend interface every GNN compute engine implements.
+
+The nn stack (layers, losses, optimizers, pooling) is written against this
+small op set instead of numpy directly, so the same model code runs on the
+dependency-free numpy/scipy reference engine or on an optional accelerated
+engine (torch CPU/GPU).  The contract mirrors the simulator's packed-vs-uint8
+idiom: the numpy backend is the always-available oracle, and every other
+backend is differential-tested against it (same seeds → same logits, losses,
+and post-training predictions within documented tolerances).
+
+Design rules:
+
+* **Tensors are opaque.**  Model code may use the arithmetic operators
+  (``+ - * / @``), broadcasting, and basic slicing — both ``np.ndarray`` and
+  ``torch.Tensor`` support them — but every other operation goes through the
+  backend.
+* **State is backend-neutral.**  ``state_dict`` always yields float64 numpy
+  arrays regardless of backend, so checkpoints and ``.npz`` model files
+  interchange across backends (train on one, predict on another).
+* **Sparse matrices enter as scipy CSR.**  ``sparse()`` packs a
+  ``scipy.sparse.csr_matrix`` into whatever handle the backend's SpMM wants
+  (for numpy, the matrix itself); ``spmm``/``spmm_t`` accept either a handle
+  or a raw scipy matrix and wrap on the fly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["TensorBackend", "BackendUnavailableError"]
+
+
+class BackendUnavailableError(RuntimeError):
+    """Requested backend's runtime (e.g. torch) is not importable."""
+
+
+class TensorBackend:
+    """Abstract tensor engine; see the numpy backend for reference semantics.
+
+    Attributes:
+        name: Engine family ("numpy", "torch").
+        spec: Full re-creation spec ("numpy", "torch-cpu", "torch-cuda") —
+            round-trips through :func:`repro.nn.backends.get_backend`, which
+            also makes every backend picklable.
+        device: Human-readable compute device ("cpu", "cuda:0").
+    """
+
+    name: str = "abstract"
+    spec: str = "abstract"
+    device: str = "cpu"
+
+    # -------------------------------------------------------- construction
+    def asarray(self, x: Any, dtype: Optional[type] = None) -> Any:
+        """Lift array-likes onto this backend (float64 unless told otherwise).
+
+        Must be cheap (no copy) when ``x`` already lives on this backend
+        with the right dtype.
+        """
+        raise NotImplementedError
+
+    def zeros(self, shape: Tuple[int, ...]) -> Any:
+        raise NotImplementedError
+
+    def zeros_like(self, t: Any) -> Any:
+        raise NotImplementedError
+
+    def onehot(self, labels: Any, n_classes: int) -> Any:
+        """(n, n_classes) float64 one-hot rows from integer labels."""
+        idx = np.asarray(self._to_host(labels), dtype=np.int64)
+        out = np.zeros((idx.shape[0], n_classes))
+        out[np.arange(idx.shape[0]), idx] = 1.0
+        return self.asarray(out)
+
+    # ----------------------------------------------------------- transfer
+    def to_numpy(self, t: Any) -> np.ndarray:
+        """Copy a backend tensor to a fresh host numpy array."""
+        raise NotImplementedError
+
+    def _to_host(self, t: Any) -> np.ndarray:
+        """Host view for index math; may alias ``t`` when already host-side."""
+        return t if isinstance(t, np.ndarray) else self.to_numpy(t)
+
+    def copyto(self, dst: Any, src: Any) -> None:
+        """In-place overwrite of a backend tensor from an array-like."""
+        raise NotImplementedError
+
+    def fill(self, t: Any, value: float) -> None:
+        raise NotImplementedError
+
+    def to_scalar(self, t: Any) -> float:
+        raise NotImplementedError
+
+    def dtype_of(self, t: Any) -> np.dtype:
+        """The tensor's dtype as a numpy dtype (for state-file checks)."""
+        raise NotImplementedError
+
+    # --------------------------------------------------------- elementwise
+    def exp(self, t: Any) -> Any:
+        raise NotImplementedError
+
+    def log(self, t: Any) -> Any:
+        raise NotImplementedError
+
+    def sqrt(self, t: Any) -> Any:
+        raise NotImplementedError
+
+    def relu(self, t: Any) -> Any:
+        raise NotImplementedError
+
+    def relu_grad(self, t: Any) -> Any:
+        raise NotImplementedError
+
+    def sigmoid(self, t: Any) -> Any:
+        raise NotImplementedError
+
+    def where(self, cond: Any, a: Any, b: Any) -> Any:
+        raise NotImplementedError
+
+    # ---------------------------------------------------------- reductions
+    def sum(self, t: Any, axis: Optional[int] = None, keepdims: bool = False) -> Any:
+        raise NotImplementedError
+
+    def max(self, t: Any, axis: Optional[int] = None, keepdims: bool = False) -> Any:
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- sparse
+    def sparse(self, a: sp.spmatrix) -> Any:
+        """Pack a scipy CSR matrix into this backend's SpMM handle."""
+        raise NotImplementedError
+
+    def spmm(self, a: Any, dense: Any) -> Any:
+        """``A @ dense`` where ``a`` is a handle or raw scipy matrix."""
+        raise NotImplementedError
+
+    def spmm_t(self, a: Any, dense: Any) -> Any:
+        """``A.T @ dense`` where ``a`` is a handle or raw scipy matrix."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- plumbing
+    def __reduce__(self):
+        from . import get_backend
+
+        return (get_backend, (self.spec,))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} spec={self.spec!r} device={self.device!r}>"

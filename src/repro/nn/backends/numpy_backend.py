@@ -1,0 +1,102 @@
+"""The numpy/scipy reference backend — the framework's differential oracle.
+
+Semantics here *define* correctness: every other backend is tested against
+this one the same way the packed fault simulator is tested against the uint8
+reference.  The implementation is deliberately the seed nn stack's exact
+numerics (same op order, same accumulation order), so refactoring the layers
+through the backend interface left the numpy path bitwise identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .base import TensorBackend
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(TensorBackend):
+    """Dependency-free reference engine over ``np.ndarray`` / scipy CSR."""
+
+    name = "numpy"
+    spec = "numpy"
+    device = "cpu"
+
+    # -------------------------------------------------------- construction
+    def asarray(self, x: Any, dtype: Optional[type] = None) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64 if dtype is None else dtype)
+
+    def zeros(self, shape: Tuple[int, ...]) -> np.ndarray:
+        return np.zeros(shape)
+
+    def zeros_like(self, t: np.ndarray) -> np.ndarray:
+        return np.zeros_like(t)
+
+    # ----------------------------------------------------------- transfer
+    def to_numpy(self, t: np.ndarray) -> np.ndarray:
+        return np.array(t)
+
+    def _to_host(self, t: np.ndarray) -> np.ndarray:
+        return t
+
+    def copyto(self, dst: np.ndarray, src: Any) -> None:
+        dst[...] = src
+
+    def fill(self, t: np.ndarray, value: float) -> None:
+        t[...] = value
+
+    def to_scalar(self, t: Any) -> float:
+        return float(t)
+
+    def dtype_of(self, t: np.ndarray) -> np.dtype:
+        return t.dtype
+
+    # --------------------------------------------------------- elementwise
+    def exp(self, t: np.ndarray) -> np.ndarray:
+        return np.exp(t)
+
+    def log(self, t: np.ndarray) -> np.ndarray:
+        return np.log(t)
+
+    def sqrt(self, t: np.ndarray) -> np.ndarray:
+        return np.sqrt(t)
+
+    def relu(self, t: np.ndarray) -> np.ndarray:
+        return np.maximum(t, 0.0)
+
+    def relu_grad(self, t: np.ndarray) -> np.ndarray:
+        return (t > 0.0).astype(t.dtype)
+
+    def sigmoid(self, t: np.ndarray) -> np.ndarray:
+        # Piecewise-stable: never exponentiates a large positive argument.
+        t = np.asarray(t, dtype=np.float64)
+        out = np.empty_like(t)
+        pos = t >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-t[pos]))
+        ex = np.exp(t[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        return out
+
+    def where(self, cond: np.ndarray, a: Any, b: Any) -> np.ndarray:
+        return np.where(cond, a, b)
+
+    # ---------------------------------------------------------- reductions
+    def sum(self, t: np.ndarray, axis: Optional[int] = None, keepdims: bool = False) -> Any:
+        return t.sum(axis=axis, keepdims=keepdims) if axis is not None else t.sum()
+
+    def max(self, t: np.ndarray, axis: Optional[int] = None, keepdims: bool = False) -> Any:
+        return t.max(axis=axis, keepdims=keepdims) if axis is not None else t.max()
+
+    # -------------------------------------------------------------- sparse
+    def sparse(self, a: sp.spmatrix) -> sp.csr_matrix:
+        return a if isinstance(a, sp.csr_matrix) else a.tocsr()
+
+    def spmm(self, a: sp.spmatrix, dense: np.ndarray) -> np.ndarray:
+        return a @ dense
+
+    def spmm_t(self, a: sp.spmatrix, dense: np.ndarray) -> np.ndarray:
+        return a.T @ dense

@@ -1,0 +1,152 @@
+"""Optional torch tensor backend (CPU or CUDA).
+
+Imported lazily by the registry only when torch is installed; the rest of the
+framework never depends on it.  Everything runs in float64 so the backend can
+be differential-tested against the numpy oracle at tight tolerances —
+throughput still wins on batched block-diagonal SpMM, and models can be moved
+to float32/GPU-friendly regimes later without touching the interface.
+
+Sparse matrices are packed once per forward pass into a pair of CSR tensors
+(the matrix and its transpose) so both the forward ``A @ H`` and the backward
+``A.T @ dH`` hit torch's native sparse-dense matmul.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+import torch
+
+from .base import TensorBackend
+
+__all__ = ["TorchBackend"]
+
+
+class _TorchCSR:
+    """A scipy CSR packed for torch SpMM: forward and transposed tensors."""
+
+    __slots__ = ("fwd", "bwd")
+
+    def __init__(self, fwd: "torch.Tensor", bwd: "torch.Tensor") -> None:
+        self.fwd = fwd
+        self.bwd = bwd
+
+
+class TorchBackend(TensorBackend):
+    """Torch engine; ``device`` is "cpu" or "cuda"."""
+
+    name = "torch"
+
+    def __init__(self, device: str = "cpu") -> None:
+        self.spec = f"torch-{device}"
+        self.device = device
+        self._device = torch.device(device)
+
+    @staticmethod
+    def _torch_dtype(dtype: Optional[type]) -> "torch.dtype":
+        if dtype is None or dtype is float:
+            return torch.float64
+        return {
+            bool: torch.bool,
+            int: torch.int64,
+            np.float64: torch.float64,
+            np.float32: torch.float32,
+            np.int64: torch.int64,
+            np.bool_: torch.bool,
+        }.get(dtype, torch.float64)
+
+    def _scalar(self, x: Any) -> "torch.Tensor":
+        if isinstance(x, torch.Tensor):
+            return x
+        return torch.as_tensor(x, dtype=torch.float64, device=self._device)
+
+    # -------------------------------------------------------- construction
+    def asarray(self, x: Any, dtype: Optional[type] = None) -> "torch.Tensor":
+        td = self._torch_dtype(dtype)
+        if isinstance(x, torch.Tensor):
+            if x.dtype == td and x.device == self._device:
+                return x
+            return x.to(device=self._device, dtype=td)
+        return torch.as_tensor(np.asarray(x), dtype=td, device=self._device)
+
+    def zeros(self, shape: Tuple[int, ...]) -> "torch.Tensor":
+        return torch.zeros(shape, dtype=torch.float64, device=self._device)
+
+    def zeros_like(self, t: "torch.Tensor") -> "torch.Tensor":
+        return torch.zeros_like(t)
+
+    # ----------------------------------------------------------- transfer
+    def to_numpy(self, t: "torch.Tensor") -> np.ndarray:
+        if isinstance(t, np.ndarray):
+            return np.array(t)
+        return t.detach().cpu().numpy().copy()
+
+    def copyto(self, dst: "torch.Tensor", src: Any) -> None:
+        dst.copy_(torch.as_tensor(np.asarray(src)))
+
+    def fill(self, t: "torch.Tensor", value: float) -> None:
+        t.fill_(value)
+
+    def to_scalar(self, t: Any) -> float:
+        return float(t.item() if isinstance(t, torch.Tensor) else t)
+
+    def dtype_of(self, t: "torch.Tensor") -> np.dtype:
+        return np.dtype(str(t.dtype).replace("torch.", ""))
+
+    # --------------------------------------------------------- elementwise
+    def exp(self, t: "torch.Tensor") -> "torch.Tensor":
+        return torch.exp(t)
+
+    def log(self, t: "torch.Tensor") -> "torch.Tensor":
+        return torch.log(t)
+
+    def sqrt(self, t: "torch.Tensor") -> "torch.Tensor":
+        return torch.sqrt(t)
+
+    def relu(self, t: "torch.Tensor") -> "torch.Tensor":
+        return torch.clamp_min(t, 0.0)
+
+    def relu_grad(self, t: "torch.Tensor") -> "torch.Tensor":
+        return (t > 0.0).to(t.dtype)
+
+    def sigmoid(self, t: "torch.Tensor") -> "torch.Tensor":
+        return torch.sigmoid(t)
+
+    def where(self, cond: "torch.Tensor", a: Any, b: Any) -> "torch.Tensor":
+        return torch.where(cond, self._scalar(a), self._scalar(b))
+
+    # ---------------------------------------------------------- reductions
+    def sum(self, t: "torch.Tensor", axis: Optional[int] = None, keepdims: bool = False) -> Any:
+        if axis is None:
+            return t.sum()
+        return t.sum(dim=axis, keepdim=keepdims)
+
+    def max(self, t: "torch.Tensor", axis: Optional[int] = None, keepdims: bool = False) -> Any:
+        if axis is None:
+            return t.max()
+        return t.max(dim=axis, keepdim=keepdims).values
+
+    # -------------------------------------------------------------- sparse
+    def _pack_csr(self, a: sp.csr_matrix) -> "torch.Tensor":
+        return torch.sparse_csr_tensor(
+            torch.as_tensor(a.indptr, dtype=torch.int64),
+            torch.as_tensor(a.indices, dtype=torch.int64),
+            torch.as_tensor(a.data, dtype=torch.float64),
+            size=a.shape,
+        ).to(self._device)
+
+    def sparse(self, a: sp.spmatrix) -> _TorchCSR:
+        csr = a if isinstance(a, sp.csr_matrix) else a.tocsr()
+        return _TorchCSR(self._pack_csr(csr), self._pack_csr(csr.T.tocsr()))
+
+    def spmm(self, a: Any, dense: "torch.Tensor") -> "torch.Tensor":
+        if not isinstance(a, _TorchCSR):
+            a = self.sparse(a)
+        return torch.matmul(a.fwd, dense)
+
+    def spmm_t(self, a: Any, dense: "torch.Tensor") -> "torch.Tensor":
+        if not isinstance(a, _TorchCSR):
+            a = self.sparse(a)
+        return torch.matmul(a.bwd, dense)

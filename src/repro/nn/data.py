@@ -82,10 +82,35 @@ class GraphBatch:
     y: np.ndarray
     node_y: np.ndarray
     node_mask: np.ndarray
+    _pool_csr: Optional[sp.csr_matrix] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def n_nodes(self) -> int:
         return self.x.shape[0]
+
+    def graph_counts(self) -> np.ndarray:
+        """Node count per graph as float (zero-node graphs count as 1)."""
+        counts = np.bincount(self.graph_ids, minlength=self.n_graphs).astype(float)
+        counts[counts == 0] = 1.0
+        return counts
+
+    def pool_matrix(self) -> sp.csr_matrix:
+        """(n_graphs, n_nodes) membership matrix with unit entries.
+
+        ``pool_matrix() @ H`` sums node embeddings per graph through the same
+        backend SpMM path as the graph convolutions; dividing by
+        :meth:`graph_counts` afterwards reproduces :meth:`pool_mean` bitwise
+        (identical accumulation order, identical final division).
+        """
+        if self._pool_csr is None:
+            data = np.ones(self.n_nodes)
+            cols = np.arange(self.n_nodes, dtype=np.int64)
+            self._pool_csr = sp.csr_matrix(
+                (data, (self.graph_ids, cols)), shape=(self.n_graphs, self.n_nodes)
+            )
+        return self._pool_csr
 
     def pool_mean(self, h: np.ndarray) -> np.ndarray:
         """Per-graph mean pooling of node embeddings."""

@@ -43,8 +43,9 @@ def feature_mask_significance(
         l1: Sparsity penalty on mask values.
         seed: Mask initialization seed.
     """
+    be = model.backend
     batch = build_batch(list(graphs))
-    base_logits = model.forward(batch)
+    base_logits = be.to_numpy(model.forward(batch))
     targets = np.argmax(base_logits, axis=1)
 
     rng = np.random.default_rng(seed)
@@ -58,7 +59,7 @@ def feature_mask_significance(
         logits = model.forward(batch)
         _loss, dlogits = softmax_cross_entropy(logits, targets)
         model.zero_grad()
-        dx = model.backward(dlogits)
+        dx = be.to_numpy(model.backward(dlogits))
         dm = (dx * x0).sum(axis=0) * m * (1.0 - m)
         dm += l1 * m * (1.0 - m)  # d/dlogit of l1 * sigmoid
         mask_logits -= lr * dm
@@ -75,9 +76,10 @@ def permutation_importance(
     seed: int = 0,
 ) -> np.ndarray:
     """Accuracy drop when one feature column is shuffled across nodes."""
+    be = model.backend
     batch = build_batch(list(graphs))
     labels = batch.y
-    base_acc = float(np.mean(np.argmax(model.forward(batch), axis=1) == labels))
+    base_acc = float(np.mean(np.argmax(be.to_numpy(model.forward(batch)), axis=1) == labels))
     rng = np.random.default_rng(seed)
     x0 = batch.x.copy()
     n_feat = x0.shape[1]
@@ -87,7 +89,7 @@ def permutation_importance(
         for _ in range(n_repeats):
             batch.x = x0.copy()
             batch.x[:, f] = rng.permutation(batch.x[:, f])
-            acc = float(np.mean(np.argmax(model.forward(batch), axis=1) == labels))
+            acc = float(np.mean(np.argmax(be.to_numpy(model.forward(batch)), axis=1) == labels))
             accs.append(acc)
         drops[f] = base_acc - float(np.mean(accs))
     batch.x = x0

@@ -1,53 +1,106 @@
 """Neural-network building blocks with manual backpropagation.
 
-A deliberately small, dependency-free replacement for the PyTorch/DGL stack
-the paper uses: dense layers, the paper's GCN layer (eq. (1): mean
-aggregation over neighbors, learnable weight and bias, activation), and ReLU.
-Gradients are verified against finite differences in the test suite.
+A deliberately small replacement for the PyTorch/DGL stack the paper uses:
+dense layers, the paper's GCN layer (eq. (1): mean aggregation over
+neighbors, learnable weight and bias, activation), and ReLU.  All tensor math
+goes through a pluggable :mod:`repro.nn.backends` engine — numpy/scipy is the
+always-available reference oracle, torch the optional accelerated path — and
+gradients are verified against finite differences on every available backend
+in the test suite.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple, Union
 
 import numpy as np
-import scipy.sparse as sp
+
+from .backends import TensorBackend, get_backend
 
 __all__ = ["Parameter", "Module", "Dense", "GCNLayer", "relu", "relu_grad"]
 
+BackendSpec = Union[None, str, TensorBackend]
+
 
 class Parameter:
-    """A trainable tensor with its gradient accumulator."""
+    """A trainable tensor with its gradient accumulator.
 
-    def __init__(self, value: np.ndarray) -> None:
-        self.value = np.asarray(value, dtype=np.float64)
-        self.grad = np.zeros_like(self.value)
+    The value/grad pair lives on one backend; ``to_backend`` migrates both
+    (grad is reset — optimizer state must be rebuilt after a migration).
+    """
+
+    def __init__(self, value: Any, backend: BackendSpec = None) -> None:
+        self.backend = get_backend(backend)
+        self.value = self.backend.asarray(value)
+        self.grad = self.backend.zeros_like(self.value)
 
     def zero_grad(self) -> None:
-        self.grad[...] = 0.0
+        self.backend.fill(self.grad, 0.0)
+
+    def to_backend(self, backend: BackendSpec) -> None:
+        be = get_backend(backend)
+        if be is self.backend:
+            return
+        host = self.backend.to_numpy(self.value)
+        self.backend = be
+        self.value = be.asarray(host)
+        self.grad = be.zeros_like(self.value)
 
 
 class Module:
     """Base class: exposes parameters for the optimizer and state I/O."""
 
+    backend: TensorBackend
+
     def parameters(self) -> List[Parameter]:
         raise NotImplementedError
+
+    def modules(self) -> List["Module"]:
+        """Direct sub-modules (for backend migration); leaves return []."""
+        return []
+
+    def _direct_parameters(self) -> List[Parameter]:
+        """Parameters owned by this module itself, including frozen ones."""
+        return self.parameters()
 
     def zero_grad(self) -> None:
         for p in self.parameters():
             p.zero_grad()
 
+    def to_backend(self, backend: BackendSpec) -> "Module":
+        """Migrate all parameters (frozen ones included) to another backend.
+
+        Weights transfer exactly (float64 host roundtrip); forward caches are
+        dropped and any optimizer built on the old tensors must be recreated.
+        """
+        be = get_backend(backend)
+        for child in self.modules():
+            child.to_backend(be)
+        for p in self._direct_parameters():
+            p.to_backend(be)
+        self.backend = be
+        if hasattr(self, "_cache"):
+            self._cache = None
+        return self
+
     def state_dict(self) -> List[np.ndarray]:
-        return [p.value.copy() for p in self.parameters()]
+        """Backend-neutral weights: always host float64 numpy arrays."""
+        return [p.backend.to_numpy(p.value) for p in self.parameters()]
 
     def load_state_dict(self, state: List[np.ndarray]) -> None:
+        """Load backend-neutral weights; shape AND dtype must match."""
         params = self.parameters()
         if len(state) != len(params):
             raise ValueError(f"state has {len(state)} tensors, model has {len(params)}")
         for p, v in zip(params, state):
-            if p.value.shape != v.shape:
-                raise ValueError(f"shape mismatch: {p.value.shape} vs {v.shape}")
-            p.value[...] = v
+            v = np.asarray(v)
+            shape = tuple(p.value.shape)
+            if shape != v.shape:
+                raise ValueError(f"shape mismatch: {shape} vs {v.shape}")
+            expected = p.backend.dtype_of(p.value)
+            if v.dtype != expected:
+                raise ValueError(f"dtype mismatch: expected {expected}, got {v.dtype}")
+            p.backend.copyto(p.value, v)
 
 
 def relu(x: np.ndarray) -> np.ndarray:
@@ -67,29 +120,38 @@ class Dense(Module):
     """Affine layer ``X @ W + b`` with optional ReLU."""
 
     def __init__(
-        self, n_in: int, n_out: int, rng: np.random.Generator, activation: bool = False
+        self,
+        n_in: int,
+        n_out: int,
+        rng: np.random.Generator,
+        activation: bool = False,
+        backend: BackendSpec = None,
     ) -> None:
-        self.W = Parameter(_glorot(rng, n_in, n_out))
-        self.b = Parameter(np.zeros(n_out))
+        self.backend = get_backend(backend)
+        self.W = Parameter(_glorot(rng, n_in, n_out), self.backend)
+        self.b = Parameter(np.zeros(n_out), self.backend)
         self.activation = activation
-        self._cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._cache: Optional[Tuple[Any, Any]] = None
 
     def parameters(self) -> List[Parameter]:
         return [self.W, self.b]
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: Any) -> Any:
+        be = self.backend
+        x = be.asarray(x)
         s = x @ self.W.value + self.b.value
-        out = relu(s) if self.activation else s
+        out = be.relu(s) if self.activation else s
         self._cache = (x, s)
         return out
 
-    def backward(self, dout: np.ndarray) -> np.ndarray:
+    def backward(self, dout: Any) -> Any:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
+        be = self.backend
         x, s = self._cache
-        ds = dout * relu_grad(s) if self.activation else dout
+        ds = dout * be.relu_grad(s) if self.activation else dout
         self.W.grad += x.T @ ds
-        self.b.grad += ds.sum(axis=0)
+        self.b.grad += be.sum(ds, axis=0)
         return ds @ self.W.value.T
 
 
@@ -98,33 +160,43 @@ class GCNLayer(Module):
 
     ``H' = act(b + A_hat @ H @ W)`` where ``A_hat`` is the row-normalized
     (mean over neighbors, self-loop included) adjacency of the sub-graph.
-    ``A_hat`` is supplied per batch (block-diagonal over graphs).
+    ``A_hat`` is supplied per batch (block-diagonal over graphs) as a scipy
+    CSR matrix or a backend SpMM handle.
     """
 
     def __init__(
-        self, n_in: int, n_out: int, rng: np.random.Generator, activation: bool = True
+        self,
+        n_in: int,
+        n_out: int,
+        rng: np.random.Generator,
+        activation: bool = True,
+        backend: BackendSpec = None,
     ) -> None:
-        self.W = Parameter(_glorot(rng, n_in, n_out))
-        self.b = Parameter(np.zeros(n_out))
+        self.backend = get_backend(backend)
+        self.W = Parameter(_glorot(rng, n_in, n_out), self.backend)
+        self.b = Parameter(np.zeros(n_out), self.backend)
         self.activation = activation
-        self._cache: Optional[Tuple[sp.spmatrix, np.ndarray, np.ndarray]] = None
+        self._cache: Optional[Tuple[Any, Any, Any]] = None
 
     def parameters(self) -> List[Parameter]:
         return [self.W, self.b]
 
-    def forward(self, a_hat: sp.spmatrix, h: np.ndarray) -> np.ndarray:
-        z = a_hat @ h
+    def forward(self, a_hat: Any, h: Any) -> Any:
+        be = self.backend
+        h = be.asarray(h)
+        z = be.spmm(a_hat, h)
         s = z @ self.W.value + self.b.value
-        out = relu(s) if self.activation else s
+        out = be.relu(s) if self.activation else s
         self._cache = (a_hat, z, s)
         return out
 
-    def backward(self, dout: np.ndarray) -> np.ndarray:
+    def backward(self, dout: Any) -> Any:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
+        be = self.backend
         a_hat, z, s = self._cache
-        ds = dout * relu_grad(s) if self.activation else dout
+        ds = dout * be.relu_grad(s) if self.activation else dout
         self.W.grad += z.T @ ds
-        self.b.grad += ds.sum(axis=0)
+        self.b.grad += be.sum(ds, axis=0)
         dz = ds @ self.W.value.T
-        return a_hat.T @ dz
+        return be.spmm_t(a_hat, dz)

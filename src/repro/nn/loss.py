@@ -1,80 +1,99 @@
-"""Loss functions returning (loss, gradient-w.r.t.-logits) pairs."""
+"""Loss functions returning (loss, gradient-w.r.t.-logits) pairs.
+
+The losses are backend-generic: logits may be numpy arrays or tensors from
+any :mod:`repro.nn.backends` engine (the engine is inferred from the logits),
+and the returned gradient lives on the same backend so it feeds straight into
+``model.backward``.  Labels, targets, and masks are host-side numpy arrays
+(they come from :class:`~repro.nn.data.GraphBatch`); weight and denominator
+bookkeeping happens on the host so the numpy path is bitwise identical to the
+pre-backend implementation.
+"""
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 import numpy as np
+
+from .backends import infer_backend
 
 __all__ = ["softmax", "softmax_cross_entropy", "sigmoid", "bce_with_logits"]
 
 
-def softmax(logits: np.ndarray) -> np.ndarray:
-    """Row-wise softmax, numerically stabilized."""
-    z = logits - logits.max(axis=-1, keepdims=True)
-    e = np.exp(z)
-    return e / e.sum(axis=-1, keepdims=True)
+def _host(x: Any) -> np.ndarray:
+    """Any array-like (including backend tensors) as a host numpy array."""
+    return x if isinstance(x, np.ndarray) else infer_backend(x)._to_host(x)
+
+
+def softmax(logits: Any) -> Any:
+    """Row-wise softmax, numerically stabilized; same backend as the input."""
+    be = infer_backend(logits)
+    z = logits - be.max(logits, axis=-1, keepdims=True)
+    e = be.exp(z)
+    return e / be.sum(e, axis=-1, keepdims=True)
 
 
 def softmax_cross_entropy(
-    logits: np.ndarray, labels: np.ndarray, class_weights: Optional[np.ndarray] = None
-) -> Tuple[float, np.ndarray]:
+    logits: Any, labels: np.ndarray, class_weights: Optional[np.ndarray] = None
+) -> Tuple[float, Any]:
     """Mean cross-entropy over rows.
 
     Args:
-        logits: (n, n_classes).
-        labels: (n,) integer class ids.
+        logits: (n, n_classes), numpy or backend tensor.
+        labels: (n,) integer class ids (host-side).
         class_weights: Optional per-class loss weights (imbalance handling).
 
     Returns:
-        (scalar loss, gradient w.r.t. logits of the same shape).
+        (scalar loss, gradient w.r.t. logits of the same shape/backend).
     """
-    n = logits.shape[0]
+    be = infer_backend(logits)
+    labels = np.asarray(_host(labels), dtype=np.int64)
+    n = labels.shape[0]
     probs = softmax(logits)
     eps = 1e-12
-    w = np.ones(n) if class_weights is None else class_weights[labels]
-    losses = -np.log(probs[np.arange(n), labels] + eps) * w
-    grad = probs.copy()
-    grad[np.arange(n), labels] -= 1.0
-    grad *= w[:, None]
-    denom = max(w.sum(), eps)
-    return float(losses.sum() / denom), grad / denom
+    w_host = np.ones(n) if class_weights is None else class_weights[labels]
+    onehot = be.onehot(labels, int(logits.shape[-1]))
+    w = be.asarray(w_host)
+    # sum(probs * onehot) picks the true-class probability exactly (the other
+    # terms are exact zeros), matching fancy indexing bit for bit.
+    losses = -be.log(be.sum(probs * onehot, axis=-1) + eps) * w
+    grad = (probs - onehot) * w[:, None]
+    denom = max(float(w_host.sum()), eps)
+    return be.to_scalar(be.sum(losses)) / denom, grad / denom
 
 
-def sigmoid(x: np.ndarray) -> np.ndarray:
-    out = np.empty_like(x, dtype=np.float64)
-    pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
-    out[~pos] = ex / (1.0 + ex)
-    return out
+def sigmoid(x: Any) -> Any:
+    """Numerically stable logistic function on numpy or backend tensors."""
+    return infer_backend(x).sigmoid(x)
 
 
 def bce_with_logits(
-    logits: np.ndarray,
+    logits: Any,
     targets: np.ndarray,
     mask: Optional[np.ndarray] = None,
     pos_weight: float = 1.0,
-) -> Tuple[float, np.ndarray]:
+) -> Tuple[float, Any]:
     """Masked binary cross-entropy on logits.
 
     Args:
-        logits: Arbitrary shape.
-        targets: Same shape, in {0, 1}.
+        logits: Arbitrary shape, numpy or backend tensor.
+        targets: Same shape, in {0, 1} (host-side).
         mask: Boolean mask of entries contributing to the loss.
         pos_weight: Extra weight on positive targets (class imbalance).
 
     Returns:
-        (scalar loss, gradient w.r.t. logits).
+        (scalar loss, gradient w.r.t. logits on the logits' backend).
     """
-    logits = np.asarray(logits, dtype=np.float64)
-    targets = np.asarray(targets, dtype=np.float64)
-    p = sigmoid(logits)
+    be = infer_backend(logits)
+    targets_host = np.asarray(_host(targets), dtype=np.float64)
+    p = be.sigmoid(logits)
     eps = 1e-12
-    w = np.where(targets > 0.5, pos_weight, 1.0)
+    w_host = np.where(targets_host > 0.5, pos_weight, 1.0)
     if mask is not None:
-        w = w * mask
-    denom = max(float(np.sum(w > 0)), 1.0)
-    losses = -(targets * np.log(p + eps) + (1 - targets) * np.log(1 - p + eps)) * w
-    grad = (p - targets) * w / denom
-    return float(losses.sum() / denom), grad
+        w_host = w_host * np.asarray(_host(mask))
+    denom = max(float(np.sum(w_host > 0)), 1.0)
+    t = be.asarray(targets_host)
+    w = be.asarray(w_host)
+    losses = -(t * be.log(p + eps) + (1 - t) * be.log(1 - p + eps)) * w
+    grad = (p - t) * w / denom
+    return be.to_scalar(be.sum(losses)) / denom, grad

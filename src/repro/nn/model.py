@@ -9,17 +9,24 @@ The three paper models share these shapes:
 * **Classifier** — ``GraphClassifier`` built on the Tier-predictor's
   *pre-trained, frozen* encoder (network-based deep transfer learning) with a
   fresh trainable head.
+
+Every model runs on a pluggable tensor backend (``backend=`` or
+``$REPRO_NN_BACKEND``; numpy is the reference oracle).  Batches enter as
+host-side :class:`~repro.nn.data.GraphBatch` objects; each forward lifts the
+features once, packs the block-diagonal CSR adjacency (and the mean-pooling
+matrix) into the backend's SpMM handle, and hands opaque tensors down the
+layer stack.  ``predict_proba`` always returns host numpy arrays.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
-import scipy.sparse as sp
 
+from .backends import get_backend
 from .data import GraphBatch
-from .layers import Dense, GCNLayer, Module, Parameter
+from .layers import BackendSpec, Dense, GCNLayer, Module, Parameter
 
 __all__ = ["GCNEncoder", "GraphClassifier", "NodeClassifier"]
 
@@ -27,24 +34,37 @@ __all__ = ["GCNEncoder", "GraphClassifier", "NodeClassifier"]
 class GCNEncoder(Module):
     """A stack of GCN layers producing node embeddings."""
 
-    def __init__(self, n_in: int, hidden: Sequence[int], rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        n_in: int,
+        hidden: Sequence[int],
+        rng: np.random.Generator,
+        backend: BackendSpec = None,
+    ) -> None:
+        self.backend = get_backend(backend)
         self.layers: List[GCNLayer] = []
         prev = n_in
         for width in hidden:
-            self.layers.append(GCNLayer(prev, width, rng, activation=True))
+            self.layers.append(GCNLayer(prev, width, rng, activation=True, backend=self.backend))
             prev = width
         self.n_out = prev
 
     def parameters(self) -> List[Parameter]:
         return [p for layer in self.layers for p in layer.parameters()]
 
-    def forward(self, a_hat: sp.spmatrix, x: np.ndarray) -> np.ndarray:
+    def modules(self) -> List[Module]:
+        return list(self.layers)
+
+    def _direct_parameters(self) -> List[Parameter]:
+        return []
+
+    def forward(self, a_hat: Any, x: Any) -> Any:
         h = x
         for layer in self.layers:
             h = layer.forward(a_hat, h)
         return h
 
-    def backward(self, dh: np.ndarray) -> np.ndarray:
+    def backward(self, dh: Any) -> Any:
         for layer in reversed(self.layers):
             dh = layer.backward(dh)
         return dh
@@ -62,18 +82,29 @@ class GraphClassifier(Module):
         encoder: Optional[GCNEncoder] = None,
         freeze_encoder: bool = False,
         head_hidden: Sequence[int] = (),
+        backend: BackendSpec = None,
     ) -> None:
+        # A supplied (transfer) encoder fixes the backend unless one is
+        # named explicitly, in which case the encoder is migrated to it.
+        if backend is None and encoder is not None:
+            self.backend = encoder.backend
+        else:
+            self.backend = get_backend(backend)
+        if encoder is not None and encoder.backend is not self.backend:
+            encoder.to_backend(self.backend)
         rng = np.random.default_rng(seed)
-        self.encoder = encoder if encoder is not None else GCNEncoder(n_features, hidden, rng)
+        self.encoder = (
+            encoder if encoder is not None else GCNEncoder(n_features, hidden, rng, self.backend)
+        )
         self.head_layers: List[Dense] = []
         prev = self.encoder.n_out
         for width in head_hidden:
-            self.head_layers.append(Dense(prev, width, rng, activation=True))
+            self.head_layers.append(Dense(prev, width, rng, activation=True, backend=self.backend))
             prev = width
-        self.head = Dense(prev, n_classes, rng)
+        self.head = Dense(prev, n_classes, rng, backend=self.backend)
         self.freeze_encoder = freeze_encoder
         self.n_classes = n_classes
-        self._batch: Optional[GraphBatch] = None
+        self._cache: Optional[Tuple[Any, Any]] = None
 
     def parameters(self) -> List[Parameter]:
         params = [] if self.freeze_encoder else self.encoder.parameters()
@@ -81,33 +112,45 @@ class GraphClassifier(Module):
             params = params + layer.parameters()
         return params + self.head.parameters()
 
-    def forward(self, batch: GraphBatch) -> np.ndarray:
-        h = self.encoder.forward(batch.a_hat, batch.x)
-        pooled = batch.pool_mean(h)
-        self._batch = batch
+    def modules(self) -> List[Module]:
+        return [self.encoder, *self.head_layers, self.head]
+
+    def _direct_parameters(self) -> List[Parameter]:
+        return []
+
+    def forward(self, batch: GraphBatch) -> Any:
+        be = self.backend
+        a_hat = be.sparse(batch.a_hat)
+        h = self.encoder.forward(a_hat, be.asarray(batch.x))
+        pool = be.sparse(batch.pool_matrix())
+        counts = be.asarray(batch.graph_counts())[:, None]
+        pooled = be.spmm(pool, h) / counts
+        self._cache = (pool, counts)
         for layer in self.head_layers:
             pooled = layer.forward(pooled)
         return self.head.forward(pooled)
 
-    def backward(self, dlogits: np.ndarray) -> np.ndarray:
+    def backward(self, dlogits: Any) -> Any:
         """Backpropagate; returns the gradient w.r.t. input node features.
 
         When the encoder is frozen its parameters still accumulate gradients
         (the optimizer simply never sees them), which keeps the input
         gradient available for the feature-mask explainer.
         """
-        if self._batch is None:
+        if self._cache is None:
             raise RuntimeError("backward called before forward")
+        be = self.backend
+        pool, counts = self._cache
         dpooled = self.head.backward(dlogits)
         for layer in reversed(self.head_layers):
             dpooled = layer.backward(dpooled)
-        dh = self._batch.pool_mean_backward(dpooled)
+        dh = be.spmm_t(pool, dpooled / counts)
         return self.encoder.backward(dh)
 
     def predict_proba(self, batch: GraphBatch) -> np.ndarray:
         from .loss import softmax
 
-        return softmax(self.forward(batch))
+        return self.backend.to_numpy(softmax(self.forward(batch)))
 
 
 class NodeClassifier(Module):
@@ -118,23 +161,33 @@ class NodeClassifier(Module):
         n_features: int,
         hidden: Sequence[int] = (32, 32),
         seed: int = 0,
+        backend: BackendSpec = None,
     ) -> None:
+        self.backend = get_backend(backend)
         rng = np.random.default_rng(seed)
-        self.encoder = GCNEncoder(n_features, hidden, rng)
-        self.head = Dense(self.encoder.n_out, 1, rng)
+        self.encoder = GCNEncoder(n_features, hidden, rng, self.backend)
+        self.head = Dense(self.encoder.n_out, 1, rng, backend=self.backend)
 
     def parameters(self) -> List[Parameter]:
         return self.encoder.parameters() + self.head.parameters()
 
-    def forward(self, batch: GraphBatch) -> np.ndarray:
-        h = self.encoder.forward(batch.a_hat, batch.x)
+    def modules(self) -> List[Module]:
+        return [self.encoder, self.head]
+
+    def _direct_parameters(self) -> List[Parameter]:
+        return []
+
+    def forward(self, batch: GraphBatch) -> Any:
+        be = self.backend
+        a_hat = be.sparse(batch.a_hat)
+        h = self.encoder.forward(a_hat, be.asarray(batch.x))
         return self.head.forward(h)[:, 0]
 
-    def backward(self, dlogits: np.ndarray) -> None:
+    def backward(self, dlogits: Any) -> None:
         dh = self.head.backward(dlogits[:, None])
         self.encoder.backward(dh)
 
     def predict_proba(self, batch: GraphBatch) -> np.ndarray:
         from .loss import sigmoid
 
-        return sigmoid(self.forward(batch))
+        return self.backend.to_numpy(sigmoid(self.forward(batch)))

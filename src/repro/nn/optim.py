@@ -1,10 +1,14 @@
-"""Optimizers over :class:`repro.nn.layers.Parameter` lists."""
+"""Optimizers over :class:`repro.nn.layers.Parameter` lists.
+
+Optimizer state (momentum / first and second moments) lives on each
+parameter's backend, so stepping never crosses the host boundary.  Build the
+optimizer *after* any ``to_backend`` migration — moving parameters resets
+their gradients and orphans previously allocated state.
+"""
 
 from __future__ import annotations
 
-from typing import List, Sequence
-
-import numpy as np
+from typing import Sequence
 
 from .layers import Parameter
 
@@ -18,7 +22,7 @@ class SGD:
         self.params = list(params)
         self.lr = lr
         self.momentum = momentum
-        self._velocity = [np.zeros_like(p.value) for p in self.params]
+        self._velocity = [p.backend.zeros_like(p.value) for p in self.params]
 
     def step(self) -> None:
         for p, v in zip(self.params, self._velocity):
@@ -47,8 +51,8 @@ class Adam:
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
-        self._m = [np.zeros_like(p.value) for p in self.params]
-        self._v = [np.zeros_like(p.value) for p in self.params]
+        self._m = [p.backend.zeros_like(p.value) for p in self.params]
+        self._v = [p.backend.zeros_like(p.value) for p in self.params]
         self._t = 0
 
     def step(self) -> None:
@@ -63,7 +67,7 @@ class Adam:
             m += (1.0 - self.beta1) * g
             v *= self.beta2
             v += (1.0 - self.beta2) * (g * g)
-            p.value -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)
+            p.value -= self.lr * (m / b1t) / (p.backend.sqrt(v / b2t) + self.eps)
 
     def zero_grad(self) -> None:
         for p in self.params:

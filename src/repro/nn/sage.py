@@ -9,18 +9,19 @@ weight matrices before the nonlinearity::
 Keeping self and neighborhood channels apart often helps when a node's own
 features (e.g. its tier bit) carry different information than its
 surroundings.  The layer is drop-in compatible with
-:class:`~repro.nn.model.GCNEncoder` via the ``layer_cls`` hook and is
-benchmarked against plain GCN in the test suite.
+:class:`~repro.nn.model.GCNEncoder` via the ``layer_cls`` hook, runs on any
+:mod:`repro.nn.backends` engine, and is benchmarked against plain GCN in the
+test suite.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 import numpy as np
-import scipy.sparse as sp
 
-from .layers import Module, Parameter, relu, relu_grad, _glorot
+from .backends import get_backend
+from .layers import BackendSpec, Module, Parameter, _glorot
 
 __all__ = ["SAGELayer", "make_sage_encoder"]
 
@@ -29,47 +30,58 @@ class SAGELayer(Module):
     """GraphSAGE mean-aggregator layer with manual backprop."""
 
     def __init__(
-        self, n_in: int, n_out: int, rng: np.random.Generator, activation: bool = True
+        self,
+        n_in: int,
+        n_out: int,
+        rng: np.random.Generator,
+        activation: bool = True,
+        backend: BackendSpec = None,
     ) -> None:
-        self.W_self = Parameter(_glorot(rng, n_in, n_out))
-        self.W_neigh = Parameter(_glorot(rng, n_in, n_out))
-        self.b = Parameter(np.zeros(n_out))
+        self.backend = get_backend(backend)
+        self.W_self = Parameter(_glorot(rng, n_in, n_out), self.backend)
+        self.W_neigh = Parameter(_glorot(rng, n_in, n_out), self.backend)
+        self.b = Parameter(np.zeros(n_out), self.backend)
         self.activation = activation
-        self._cache: Optional[Tuple[sp.spmatrix, np.ndarray, np.ndarray, np.ndarray]] = None
+        self._cache: Optional[Tuple[Any, Any, Any, Any]] = None
 
     def parameters(self) -> List[Parameter]:
         return [self.W_self, self.W_neigh, self.b]
 
-    def forward(self, a_hat: sp.spmatrix, h: np.ndarray) -> np.ndarray:
-        z = a_hat @ h
+    def forward(self, a_hat: Any, h: Any) -> Any:
+        be = self.backend
+        h = be.asarray(h)
+        z = be.spmm(a_hat, h)
         s = h @ self.W_self.value + z @ self.W_neigh.value + self.b.value
-        out = relu(s) if self.activation else s
+        out = be.relu(s) if self.activation else s
         self._cache = (a_hat, h, z, s)
         return out
 
-    def backward(self, dout: np.ndarray) -> np.ndarray:
+    def backward(self, dout: Any) -> Any:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
+        be = self.backend
         a_hat, h, z, s = self._cache
-        ds = dout * relu_grad(s) if self.activation else dout
+        ds = dout * be.relu_grad(s) if self.activation else dout
         self.W_self.grad += h.T @ ds
         self.W_neigh.grad += z.T @ ds
-        self.b.grad += ds.sum(axis=0)
+        self.b.grad += be.sum(ds, axis=0)
         dh = ds @ self.W_self.value.T
         dz = ds @ self.W_neigh.value.T
-        return dh + a_hat.T @ dz
+        return dh + be.spmm_t(a_hat, dz)
 
 
-def make_sage_encoder(n_in: int, hidden, seed: int = 0):
+def make_sage_encoder(n_in: int, hidden, seed: int = 0, backend: BackendSpec = None):
     """A :class:`~repro.nn.model.GCNEncoder`-shaped stack of SAGE layers."""
     from .model import GCNEncoder
 
+    be = get_backend(backend)
     rng = np.random.default_rng(seed)
     enc = GCNEncoder.__new__(GCNEncoder)
+    enc.backend = be
     enc.layers = []
     prev = n_in
     for width in hidden:
-        enc.layers.append(SAGELayer(prev, width, rng, activation=True))
+        enc.layers.append(SAGELayer(prev, width, rng, activation=True, backend=be))
         prev = width
     enc.n_out = prev
     return enc

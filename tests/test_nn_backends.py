@@ -1,0 +1,493 @@
+"""Backend registry, batching-invariant, and oracle-differential tests.
+
+This is the GNN analogue of the simulator's packed-vs-uint8 harness: the
+numpy backend is the reference oracle, and every other backend must agree
+with it on forward logits, loss values, gradients, and post-training
+predictions within the tolerances documented below.  On hosts without torch
+the differential tests *skip* (never fail); CI runs them in a dedicated
+torch job.
+"""
+
+import copy
+import pickle
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import N_FEATURES
+from repro.nn import (
+    Adam,
+    GraphClassifier,
+    GraphData,
+    NodeClassifier,
+    available_backends,
+    bce_with_logits,
+    build_batch,
+    get_backend,
+    softmax_cross_entropy,
+    torch_available,
+)
+from repro.nn.backends import (
+    BACKEND_ENV_VAR,
+    BackendUnavailableError,
+    NumpyBackend,
+    infer_backend,
+)
+from repro.nn.layers import Parameter
+
+#: Documented differential tolerances (see DESIGN.md).  Forward/loss/grad
+#: comparisons are pure float64 re-orderings, so they agree to ~1e-12; the
+#: bound leaves headroom for BLAS/backend kernel choice.  Post-fit
+#: predictions compound hundreds of optimizer steps, hence the looser bound.
+FORWARD_ATOL = 1e-9
+FIT_ATOL = 1e-4
+
+requires_torch = pytest.mark.skipif(
+    not torch_available(),
+    reason="torch not installed; the differential suite runs on the CI torch job",
+)
+
+
+def _graphs(seed, n=6, n_feat=4, max_nodes=8):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        k = int(rng.integers(2, max_nodes))
+        edges = (rng.integers(0, k, size=2 * k), rng.integers(0, k, size=2 * k))
+        out.append(
+            GraphData(
+                x=rng.normal(size=(k, n_feat)),
+                edges=edges,
+                y=int(i % 2),
+                node_y=rng.integers(0, 2, size=k).astype(float),
+                node_mask=np.ones(k, dtype=bool),
+            )
+        )
+    return out
+
+
+class TestRegistry:
+    def test_default_is_numpy_singleton(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        be = get_backend(None)
+        assert isinstance(be, NumpyBackend)
+        assert be is get_backend("numpy")
+        assert be.spec == "numpy" and be.name == "numpy"
+
+    def test_instance_passthrough(self):
+        be = get_backend("numpy")
+        assert get_backend(be) is be
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert get_backend(None) is get_backend("numpy")
+        monkeypatch.setenv(BACKEND_ENV_VAR, "no-such-engine")
+        with pytest.raises(ValueError, match="unknown nn backend"):
+            get_backend(None)
+
+    def test_explicit_spec_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "no-such-engine")
+        assert get_backend("numpy").name == "numpy"
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError, match="unknown nn backend"):
+            get_backend("tensorflow")
+
+    def test_auto_resolves_to_best_available(self):
+        be = get_backend("auto")
+        if torch_available():
+            assert be.name == "torch"
+        else:
+            assert be.name == "numpy"
+
+    def test_available_backends_oracle_first(self):
+        names = available_backends()
+        assert names[0] == "numpy"
+        assert ("torch" in names) == torch_available()
+
+    @pytest.mark.skipif(torch_available(), reason="torch present on this host")
+    def test_torch_spec_unavailable_raises(self):
+        with pytest.raises(BackendUnavailableError, match="not installed"):
+            get_backend("torch-cpu")
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_pickle_roundtrip_preserves_identity(self, backend):
+        be = get_backend(backend)
+        assert pickle.loads(pickle.dumps(be)) is be
+
+    def test_infer_backend_host_arrays(self):
+        assert infer_backend(np.zeros(3)) is get_backend("numpy")
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_op_semantics_match_oracle(self, backend):
+        """Spot-check every backend op against the numpy reference."""
+        be = get_backend(backend)
+        ref = get_backend("numpy")
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(5, 4))
+        a = sp.random(5, 5, density=0.5, random_state=7, format="csr")
+        pairs = [
+            (be.to_numpy(be.exp(be.asarray(x))), np.exp(x)),
+            (be.to_numpy(be.log(be.asarray(np.abs(x) + 1.0))), np.log(np.abs(x) + 1.0)),
+            (be.to_numpy(be.sqrt(be.asarray(np.abs(x)))), np.sqrt(np.abs(x))),
+            (be.to_numpy(be.relu(be.asarray(x))), np.maximum(x, 0.0)),
+            (be.to_numpy(be.relu_grad(be.asarray(x))), (x > 0.0).astype(float)),
+            (be.to_numpy(be.sigmoid(be.asarray(x))), ref.sigmoid(x)),
+            (be.to_numpy(be.sum(be.asarray(x), axis=0)), x.sum(axis=0)),
+            (
+                be.to_numpy(be.max(be.asarray(x), axis=1, keepdims=True)),
+                x.max(axis=1, keepdims=True),
+            ),
+            (be.to_numpy(be.onehot(np.array([0, 2, 1]), 3)), np.eye(3)[[0, 2, 1]]),
+            (be.to_numpy(be.spmm(be.sparse(a), be.asarray(x))), a @ x),
+            (be.to_numpy(be.spmm_t(be.sparse(a), be.asarray(x))), a.T @ x),
+        ]
+        for got, want in pairs:
+            np.testing.assert_allclose(got, want, atol=FORWARD_ATOL, rtol=0)
+        assert be.to_scalar(be.sum(be.asarray(x))) == pytest.approx(x.sum())
+        assert be.dtype_of(be.asarray(x)) == np.float64
+
+
+class TestBatchedIdentity:
+    """Block-diagonal batched forward vs per-graph sequential forward.
+
+    The graph ops (SpMM aggregation and mean pooling) are bitwise identical
+    between the two paths on the numpy oracle.  Full GraphClassifier logits
+    additionally cross the dense head, where BLAS picks shape-dependent
+    gemm kernels that may differ in the last ulp — hence exact equality
+    through pooling and a 1e-12 bound on logits (see DESIGN.md).
+    """
+
+    def test_pool_matrix_matches_pool_mean_bitwise(self):
+        graphs = _graphs(0)
+        batch = build_batch(graphs)
+        rng = np.random.default_rng(1)
+        h = rng.normal(size=(batch.n_nodes, 5))
+        via_spmm = (batch.pool_matrix() @ h) / batch.graph_counts()[:, None]
+        assert np.array_equal(via_spmm, batch.pool_mean(h))
+
+    def test_graph_classifier_batched_equals_sequential(self):
+        graphs = _graphs(2)
+        model = GraphClassifier(4, 2, hidden=(6,), head_hidden=(5,), seed=0)
+        batch = build_batch(graphs)
+        be = model.backend
+
+        # Through encoder + pooling: bitwise identical.
+        h = model.encoder.forward(be.sparse(batch.a_hat), be.asarray(batch.x))
+        pooled = be.spmm(be.sparse(batch.pool_matrix()), h) / batch.graph_counts()[:, None]
+        batched_logits = model.forward(batch)
+        seq_pooled, seq_logits = [], []
+        for g in graphs:
+            b1 = build_batch([g])
+            h1 = model.encoder.forward(be.sparse(b1.a_hat), be.asarray(b1.x))
+            seq_pooled.append(be.spmm(be.sparse(b1.pool_matrix()), h1) / b1.graph_counts()[:, None])
+            seq_logits.append(model.forward(b1))
+        assert np.array_equal(pooled, np.concatenate(seq_pooled, axis=0))
+        np.testing.assert_allclose(
+            batched_logits, np.concatenate(seq_logits, axis=0), atol=1e-12, rtol=0
+        )
+
+    def test_node_classifier_batched_equals_sequential_exactly(self):
+        graphs = _graphs(3)
+        model = NodeClassifier(4, hidden=(6, 5), seed=0)
+        batched = model.forward(build_batch(graphs))
+        seq = np.concatenate([model.forward(build_batch([g])) for g in graphs])
+        assert np.array_equal(batched, seq)
+
+
+def _graph_strategy():
+    def build(sizes, seed):
+        rng = np.random.default_rng(seed)
+        out = []
+        for i, k in enumerate(sizes):
+            n_edges = int(rng.integers(0, 3 * k))
+            edges = (rng.integers(0, k, size=n_edges), rng.integers(0, k, size=n_edges))
+            out.append(
+                GraphData(
+                    x=rng.normal(size=(k, 3)),
+                    edges=edges,
+                    y=int(rng.integers(0, 3)),
+                    node_y=rng.integers(0, 2, size=k).astype(float),
+                    node_mask=rng.integers(0, 2, size=k).astype(bool),
+                )
+            )
+        return out
+
+    return st.builds(
+        build,
+        st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=6),
+        st.integers(min_value=0, max_value=2**31),
+    )
+
+
+class TestPackingInvariants:
+    """Property-style sweeps over random graph lists (satellite 3)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(_graph_strategy())
+    def test_packing_alignment(self, graphs):
+        batch = build_batch(graphs)
+        sizes = [g.n_nodes for g in graphs]
+        assert batch.n_graphs == len(graphs)
+        assert batch.n_nodes == sum(sizes)
+        # graph_ids: contiguous non-decreasing blocks of the right lengths.
+        assert np.array_equal(
+            batch.graph_ids, np.repeat(np.arange(len(graphs)), sizes)
+        )
+        assert np.array_equal(
+            np.bincount(batch.graph_ids, minlength=batch.n_graphs), sizes
+        )
+        # Label / mask alignment: each graph's slice is its own data.
+        assert np.array_equal(batch.y, [g.y for g in graphs])
+        start = 0
+        for g in graphs:
+            end = start + g.n_nodes
+            assert np.array_equal(batch.node_y[start:end], g.node_y)
+            assert np.array_equal(batch.node_mask[start:end], g.node_mask)
+            start = end
+
+    @settings(max_examples=30, deadline=None)
+    @given(_graph_strategy())
+    def test_block_diagonal_adjacency(self, graphs):
+        batch = build_batch(graphs)
+        coo = batch.a_hat.tocoo()
+        # Every nonzero stays inside its graph's diagonal block.
+        assert np.array_equal(batch.graph_ids[coo.row], batch.graph_ids[coo.col])
+        # Row normalization survives the packing.
+        np.testing.assert_allclose(
+            np.asarray(batch.a_hat.sum(axis=1)).ravel(), 1.0, atol=1e-12
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(_graph_strategy())
+    def test_pool_matrix_invariants(self, graphs):
+        batch = build_batch(graphs)
+        pool = batch.pool_matrix()
+        assert pool.shape == (batch.n_graphs, batch.n_nodes)
+        assert np.array_equal(np.asarray(pool.sum(axis=1)).ravel(), batch.graph_counts())
+        coo = pool.tocoo()
+        assert np.array_equal(coo.data, np.ones(batch.n_nodes))
+        assert np.array_equal(coo.row, batch.graph_ids[coo.col])
+
+
+class TestStateDict:
+    def test_state_is_backend_neutral_numpy(self):
+        model = GraphClassifier(4, 2, hidden=(6,), seed=0)
+        state = model.state_dict()
+        assert all(isinstance(v, np.ndarray) and v.dtype == np.float64 for v in state)
+        # Copies, not views: mutating the state never touches live weights.
+        before = model.backend.to_numpy(model.parameters()[0].value)
+        state[0][...] = 1e9
+        assert np.array_equal(model.backend.to_numpy(model.parameters()[0].value), before)
+
+    def test_dtype_mismatch_rejected(self):
+        model = GraphClassifier(4, 2, hidden=(6,), seed=0)
+        state = [v.astype(np.float32) for v in model.state_dict()]
+        with pytest.raises(ValueError, match="dtype mismatch"):
+            model.load_state_dict(state)
+
+    def test_length_mismatch_rejected(self):
+        model = GraphClassifier(4, 2, hidden=(6,), seed=0)
+        with pytest.raises(ValueError, match="state has"):
+            model.load_state_dict(model.state_dict()[:-1])
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_roundtrip_on_each_backend(self, backend):
+        graphs = _graphs(5)
+        batch = build_batch(graphs)
+        src = GraphClassifier(4, 2, hidden=(6,), seed=0, backend=backend)
+        dst = GraphClassifier(4, 2, hidden=(6,), seed=99, backend=backend)
+        dst.load_state_dict(src.state_dict())
+        np.testing.assert_allclose(
+            src.predict_proba(batch), dst.predict_proba(batch), atol=FORWARD_ATOL, rtol=0
+        )
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_to_backend_migration_preserves_weights(self, backend):
+        model = GraphClassifier(4, 2, hidden=(6,), head_hidden=(3,), seed=0)
+        state = model.state_dict()
+        model.to_backend(backend)
+        assert model.backend is get_backend(backend)
+        assert all(p.backend is model.backend for p in model.parameters())
+        for a, b in zip(state, model.state_dict()):
+            assert np.array_equal(a, b)
+
+
+@requires_torch
+class TestTorchDifferential:
+    """The oracle contract: torch must reproduce numpy within tolerance."""
+
+    def _pair(self, **kw):
+        return (
+            GraphClassifier(4, 2, hidden=(6,), head_hidden=(5,), seed=0, backend="numpy", **kw),
+            GraphClassifier(4, 2, hidden=(6,), head_hidden=(5,), seed=0, backend="torch", **kw),
+        )
+
+    def test_forward_logits_match(self):
+        batch = build_batch(_graphs(7))
+        ref, alt = self._pair()
+        np.testing.assert_allclose(
+            ref.forward(batch),
+            alt.backend.to_numpy(alt.forward(batch)),
+            atol=FORWARD_ATOL,
+            rtol=0,
+        )
+
+    def test_node_logits_match(self):
+        batch = build_batch(_graphs(8))
+        ref = NodeClassifier(4, hidden=(6, 5), seed=0, backend="numpy")
+        alt = NodeClassifier(4, hidden=(6, 5), seed=0, backend="torch")
+        np.testing.assert_allclose(
+            ref.forward(batch),
+            alt.backend.to_numpy(alt.forward(batch)),
+            atol=FORWARD_ATOL,
+            rtol=0,
+        )
+
+    def test_loss_values_and_grads_match(self):
+        batch = build_batch(_graphs(9))
+        ref, alt = self._pair()
+        weights = np.array([1.0, 2.5])
+        l_ref, g_ref = softmax_cross_entropy(ref.forward(batch), batch.y, weights)
+        l_alt, g_alt = softmax_cross_entropy(alt.forward(batch), batch.y, weights)
+        assert l_alt == pytest.approx(l_ref, abs=FORWARD_ATOL)
+        np.testing.assert_allclose(
+            alt.backend.to_numpy(g_alt), g_ref, atol=FORWARD_ATOL, rtol=0
+        )
+        node = build_batch(_graphs(10))
+        nl_ref, ng_ref = bce_with_logits(
+            NodeClassifier(4, seed=0, backend="numpy").forward(node),
+            node.node_y,
+            mask=node.node_mask,
+            pos_weight=3.0,
+        )
+        alt_model = NodeClassifier(4, seed=0, backend="torch")
+        nl_alt, ng_alt = bce_with_logits(
+            alt_model.forward(node), node.node_y, mask=node.node_mask, pos_weight=3.0
+        )
+        assert nl_alt == pytest.approx(nl_ref, abs=FORWARD_ATOL)
+        np.testing.assert_allclose(
+            alt_model.backend.to_numpy(ng_alt), ng_ref, atol=FORWARD_ATOL, rtol=0
+        )
+
+    def test_param_grads_match_after_backward(self):
+        batch = build_batch(_graphs(11))
+        ref, alt = self._pair()
+        for model in (ref, alt):
+            model.zero_grad()
+            _, dl = softmax_cross_entropy(model.forward(batch), batch.y)
+            model.backward(dl)
+        for p_ref, p_alt in zip(ref.parameters(), alt.parameters()):
+            np.testing.assert_allclose(
+                alt.backend.to_numpy(p_alt.grad),
+                p_ref.backend.to_numpy(p_ref.grad),
+                atol=FORWARD_ATOL,
+                rtol=0,
+            )
+
+    def test_adam_on_torch_parameters(self):
+        be = get_backend("torch")
+        p = Parameter(np.array([5.0, -3.0]), be)
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            p.zero_grad()
+            be.copyto(p.grad, 2.0 * be.to_numpy(p.value))
+            opt.step()
+        assert np.all(np.abs(be.to_numpy(p.value)) < 0.05)
+
+    def test_post_fit_predictions_match(self):
+        """Identical seeds → (near-)identical trained predictors (satellite 2)."""
+        from repro.core.tier_predictor import TierPredictor
+
+        rng = np.random.default_rng(12)
+        graphs = []
+        for i in range(24):
+            k = int(rng.integers(3, 7))
+            edges = (rng.integers(0, k, size=2 * k), rng.integers(0, k, size=2 * k))
+            x = rng.normal(size=(k, N_FEATURES))
+            x[:, 0] += 2.0 * (i % 2)
+            graphs.append(GraphData(x=x, edges=edges, y=int(i % 2)))
+        preds = {}
+        for backend in ("numpy", "torch"):
+            tp = TierPredictor(hidden=(8,), epochs=6, batch_size=8, seed=0, backend=backend)
+            tp.fit(graphs)
+            preds[backend] = tp.predict_proba(graphs)
+        np.testing.assert_allclose(preds["torch"], preds["numpy"], atol=FIT_ATOL, rtol=0)
+
+    def test_cross_backend_checkpoint(self):
+        """Train on one backend, predict on the other (satellite 4)."""
+        batch = build_batch(_graphs(13))
+        ref, _ = self._pair()
+        opt = Adam(ref.parameters(), lr=0.05)
+        for _ in range(5):
+            ref.zero_grad()
+            _, dl = softmax_cross_entropy(ref.forward(batch), batch.y)
+            ref.backward(dl)
+            opt.step()
+        alt = GraphClassifier(4, 2, hidden=(6,), head_hidden=(5,), seed=42, backend="torch")
+        alt.load_state_dict(ref.state_dict())
+        np.testing.assert_allclose(
+            alt.predict_proba(batch), ref.predict_proba(batch), atol=FORWARD_ATOL, rtol=0
+        )
+        # And back again: torch state re-homes onto the oracle unchanged.
+        back = GraphClassifier(4, 2, hidden=(6,), head_hidden=(5,), seed=7, backend="numpy")
+        back.load_state_dict(alt.state_dict())
+        for a, b in zip(ref.state_dict(), back.state_dict()):
+            assert np.array_equal(a, b)
+
+    def test_transfer_encoder_migrates_across_backends(self):
+        ref, _ = self._pair()
+        transfer = GraphClassifier(
+            4,
+            2,
+            encoder=copy.deepcopy(ref.encoder),
+            freeze_encoder=True,
+            seed=1,
+            backend="torch",
+        )
+        assert transfer.backend.name == "torch"
+        assert transfer.encoder.backend is transfer.backend
+        for a, b in zip(ref.encoder.state_dict(), transfer.encoder.state_dict()):
+            assert np.array_equal(a, b)
+
+    def test_env_knob_selects_torch(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "torch-cpu")
+        model = GraphClassifier(4, 2, hidden=(6,), seed=0)
+        assert model.backend.name == "torch"
+        assert model.backend.device == "cpu"
+
+    def test_infer_backend_torch_tensor(self):
+        be = get_backend("torch-cpu")
+        assert infer_backend(be.asarray(np.zeros(3))) is be
+
+
+class TestCoreKnob:
+    """Backend selection threads through the paper pipeline (tentpole)."""
+
+    def test_framework_checkpoint_key_records_backend(self):
+        from repro.core.pipeline import M3DDiagnosisFramework
+
+        fw = M3DDiagnosisFramework(nn_backend="numpy")
+        assert fw._checkpoint_key([])["params"]["nn_backend"] == "numpy"
+
+    def test_predictors_accept_backend(self):
+        from repro.core.classifier import PruneReorderClassifier
+        from repro.core.miv_pinpointer import MivPinpointer
+        from repro.core.tier_predictor import TierPredictor
+
+        tp = TierPredictor(backend="numpy")
+        assert tp.model.backend is get_backend("numpy")
+        mp = MivPinpointer(backend="numpy")
+        assert mp.model.backend is get_backend("numpy")
+        clf = PruneReorderClassifier(tp, backend=None)
+        assert clf.model.backend is tp.model.backend
+
+    def test_cli_exposes_nn_backend_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["demo", "--nn-backend", "numpy"])
+        assert args.nn_backend == "numpy"
+        assert build_parser().parse_args(["demo"]).nn_backend is None
