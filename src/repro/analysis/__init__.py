@@ -1,6 +1,6 @@
-"""Static-analysis subsystem: determinism linting and structural DRC.
+"""Static-analysis subsystem: linting, DRC, and contract analyzers.
 
-Two engines back the ``repro check`` CLI command (and its ``repro lint``
+Four engines back the ``repro check`` CLI command (and its ``repro lint``
 alias):
 
 * :mod:`repro.analysis.replint` — *repro-lint*, an AST-based linter that
@@ -16,7 +16,25 @@ alias):
   :data:`repro.analysis.drc.DRC_RULES`).  ``prepare_design`` runs the
   cheap tier of these as a fail-fast pass on every prepared design.
 
-Both engines are importable without numpy/scipy so ``repro check --self``
+* :mod:`repro.analysis.purity` — backend-purity dataflow over the nn
+  stack (rules ``BPL001``…): raw numpy/scipy/torch must never touch a
+  backend tensor outside ``nn/backends/``, math stays float64, and
+  checkpoints stay host numpy.  This is the static half of PR 7's
+  oracle-differential contract.
+
+* :mod:`repro.analysis.lifecycle` — CFG-based resource-lifecycle and
+  fork-safety checks over the runtime (rules ``RCL001``…): shared-memory
+  acquire/release pairing on all paths including exceptions, no
+  fork-hostile values in pickled unit payloads, no multiprocessing
+  primitives created after a pool fork point.
+
+All source-level engines emit :class:`~repro.analysis.suppress.Finding`
+records and share one suppression/baseline layer
+(:mod:`repro.analysis.suppress`): inline ``# repro-lint: disable=``
+directives, a checked-in ``.repro-baseline.json`` debt inventory, and the
+``SUP001`` unused-suppression audit.
+
+Every engine is importable without numpy/scipy so ``repro check --self``
 stays runnable in minimal environments.
 """
 
@@ -26,7 +44,19 @@ from .drc import (
     DrcViolation,
     NetlistError,
     assert_clean,
+    check_netlist,
     run_drc,
+    validate_netlist,
+)
+from .lifecycle import (
+    LIFECYCLE_RULES,
+    analyze_lifecycle_paths,
+    analyze_lifecycle_source,
+)
+from .purity import (
+    PURITY_RULES,
+    analyze_purity_paths,
+    analyze_purity_source,
 )
 from .replint import (
     LINT_RULES,
@@ -36,6 +66,14 @@ from .replint import (
     lint_paths,
     lint_source,
 )
+from .suppress import (
+    UNUSED_SUPPRESSION_RULE,
+    Baseline,
+    BaselineEntry,
+    Finding,
+    parse_suppressions,
+    unused_suppressions,
+)
 
 __all__ = [
     "DRC_RULES",
@@ -43,11 +81,25 @@ __all__ = [
     "DrcViolation",
     "NetlistError",
     "assert_clean",
+    "check_netlist",
     "run_drc",
+    "validate_netlist",
+    "LIFECYCLE_RULES",
+    "analyze_lifecycle_paths",
+    "analyze_lifecycle_source",
+    "PURITY_RULES",
+    "analyze_purity_paths",
+    "analyze_purity_source",
     "LINT_RULES",
     "LintViolation",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "UNUSED_SUPPRESSION_RULE",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "parse_suppressions",
+    "unused_suppressions",
 ]

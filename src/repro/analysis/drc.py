@@ -35,9 +35,9 @@ its job — so every rule guards its own index accesses and rules that need a
 sane id space are skipped (with the DRC006/DRC008 findings explaining why).
 
 This module deliberately imports nothing from the rest of the package at
-module level (``repro.netlist.validate`` re-exports from here, so a
-top-level import either way would be circular) and touches numpy only
-inside the HetGraph rules.
+module level (``repro.netlist`` re-exports ``check``/``validate`` from
+here, so a top-level import either way would be circular) and touches
+numpy only inside the HetGraph rules.
 """
 
 from __future__ import annotations
@@ -56,7 +56,9 @@ __all__ = [
     "DrcViolation",
     "NetlistError",
     "assert_clean",
+    "check_netlist",
     "run_drc",
+    "validate_netlist",
 ]
 
 #: Rule id → one-line description (the DRC engine's public catalog).
@@ -656,3 +658,32 @@ def assert_clean(
         listed = "; ".join(str(p) for p in problems[:10])
         more = f" (+{len(problems) - 10} more)" if len(problems) > 10 else ""
         raise DrcError(f"DRC failed{where}: {listed}{more}")
+
+
+def check_netlist(
+    nl: "Netlist",
+    mivs: Optional[Sequence["MIV"]] = None,
+    het: Optional["HetGraph"] = None,
+) -> List[str]:
+    """Human-readable messages for every structural violation.
+
+    The string-level front-end ``repro.netlist`` re-exports as ``check``
+    (formerly ``repro.netlist.validate.check``); use :func:`run_drc` for
+    structured :class:`DrcViolation` records.
+    """
+    return [str(v) for v in run_drc(nl, mivs=mivs, het=het)]
+
+
+def validate_netlist(
+    nl: "Netlist",
+    mivs: Optional[Sequence["MIV"]] = None,
+    het: Optional["HetGraph"] = None,
+) -> None:
+    """Raise :class:`NetlistError` on any structural violation.
+
+    Re-exported by ``repro.netlist`` as ``validate`` (formerly
+    ``repro.netlist.validate.validate``).
+    """
+    problems = check_netlist(nl, mivs=mivs, het=het)
+    if problems:
+        raise NetlistError("; ".join(problems[:10]))

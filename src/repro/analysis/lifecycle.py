@@ -1,0 +1,827 @@
+"""Resource-lifecycle & fork-safety analyzer for the runtime (``RCL001``…).
+
+The worker-pool layer (PR 6) manages POSIX shared-memory segments with
+*explicit* lifetimes — the ``resource_tracker`` is deliberately silenced, so
+nothing cleans up after a code path that drops a segment on the floor.  A
+segment acquired with ``create=True`` carries two obligations: the handle
+must be **closed** and the segment **unlinked** (or its name handed to an
+owner that will unlink it) on *every* path out of the function, including
+the exception paths.  A plain attach carries only the close obligation.
+The analyzer builds a statement-level CFG per function — with exception
+edges, ``finally`` duplication per continuation, and loop back-edges — and
+runs a worklist dataflow over the set of outstanding obligations:
+
+=========  ============================================================
+rule       contract
+=========  ============================================================
+RCL001     a shared-memory segment can leak on an **exception** path
+           (close/unlink obligation outstanding at an exceptional exit)
+RCL002     a segment is not released on a **normal** exit path
+RCL003     a fork-hostile value (lambda, lock, pool, tracer, open file,
+           multiprocessing primitive) is captured into a pickled unit
+           payload, ``pickle.dumps``, or ``apply_async`` arguments
+RCL004     a multiprocessing primitive is created *after* a pool fork
+           point in the same function (workers fork without it — the
+           primitive silently fails to synchronize anything)
+=========  ============================================================
+
+Obligation discharge is ownership-aware: unlink is considered satisfied
+when the segment *name* escapes the function (returned, stored into an
+attribute/container, or passed to a non-lifecycle call) — that is the
+module's "deterministic names + sweeper" protocol, where the caller
+(``sweep_results`` / ``fetch_result``) owns the unlink.  The analysis is
+therefore a *may-leak* check: a finding means some path drops the segment
+with no owner left holding its name.
+
+Intentional leak-on-raise sites (e.g. the mid-write chaos window in
+``ship_result``, reclaimed by ``sweep_results`` enumerating deterministic
+attempt names) carry justified inline suppressions rather than baseline
+entries, so the reasoning lives next to the code.  Pure stdlib, like every
+engine behind ``repro check --self``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from .suppress import Finding, parse_suppressions
+
+__all__ = [
+    "LIFECYCLE_RULES",
+    "analyze_lifecycle_file",
+    "analyze_lifecycle_paths",
+    "analyze_lifecycle_source",
+    "iter_lifecycle_targets",
+]
+
+#: Rule id → one-line description (the lifecycle engine's public catalog).
+LIFECYCLE_RULES: Dict[str, str] = {
+    "RCL001": "shared-memory segment can leak on an exception path",
+    "RCL002": "shared-memory segment not released on a normal exit path",
+    "RCL003": "fork-hostile value captured into a pickled unit payload",
+    "RCL004": "multiprocessing primitive created after a pool fork point",
+}
+
+#: The two obligations a segment acquire can impose.
+_CLOSE = "close"
+_UNLINK = "unlink"
+
+#: Functions that open a segment (first arg / ``name=`` is the name).
+_ACQUIRE_FUNCS = {"_open_shm", "SharedMemory"}
+
+#: Calls that are part of the lifecycle protocol itself — a segment name
+#: passed to one of these is *not* an ownership transfer.
+_LIFECYCLE_CALLS = {"_open_shm", "SharedMemory", "_unlink_segment"}
+
+#: Constructors whose results must never ride in a pickled payload.
+_FORK_HOSTILE_QUALS = {
+    f"{mod}.{name}"
+    for mod in ("threading", "multiprocessing")
+    for name in (
+        "Lock", "RLock", "Semaphore", "BoundedSemaphore", "Condition",
+        "Event", "Barrier",
+    )
+} | {
+    "multiprocessing.Queue", "multiprocessing.SimpleQueue",
+    "multiprocessing.JoinableQueue", "multiprocessing.Value",
+    "multiprocessing.Array", "multiprocessing.Manager",
+    "multiprocessing.Pool", "multiprocessing.pool.Pool",
+}
+_FORK_HOSTILE_NAMES = {"SpanTracer", "get_tracer", "open"}
+
+#: Multiprocessing primitives whose creation after a fork point is RCL004.
+_MP_PRIMITIVE_QUALS = {
+    q for q in _FORK_HOSTILE_QUALS if q.startswith("multiprocessing.")
+}
+
+_EXIT = 0      # normal function exit
+_EXC_EXIT = 1  # exceptional function exit
+
+
+@dataclass(frozen=True)
+class _Site:
+    """One segment-acquire site."""
+
+    sid: int
+    line: int
+    col: int
+    handle: Optional[str]    # local var bound to the SharedMemory handle
+    name_var: Optional[str]  # local var holding the segment name
+    obligations: FrozenSet[str]
+
+
+class _Cfg:
+    """A statement-level CFG with separate normal and exception edges."""
+
+    def __init__(self) -> None:
+        # Nodes 0/1 are the exit sentinels and carry no statement.
+        self.stmts: List[Optional[ast.stmt]] = [None, None]
+        self.succ: List[Set[int]] = [set(), set()]
+        self.exc: List[Set[int]] = [set(), set()]
+
+    def new(self, stmt: Optional[ast.stmt]) -> int:
+        self.stmts.append(stmt)
+        self.succ.append(set())
+        self.exc.append(set())
+        return len(self.stmts) - 1
+
+
+def _handler_is_catchall(handler: ast.ExceptHandler) -> bool:
+    t = handler.type
+    if t is None:
+        return True
+    names = [t] if not isinstance(t, ast.Tuple) else list(t.elts)
+    for n in names:
+        base = n.attr if isinstance(n, ast.Attribute) else (
+            n.id if isinstance(n, ast.Name) else ""
+        )
+        if base in ("BaseException", "Exception"):
+            return True
+    return False
+
+
+class _CfgBuilder:
+    """Builds the CFG for one function body.
+
+    ``finally`` blocks are duplicated per continuation (normal, exception,
+    return, break, continue) — the standard lowering, and cheap at the size
+    of the functions this runs over.
+    """
+
+    def __init__(self, cfg: _Cfg) -> None:
+        self.cfg = cfg
+
+    def build(
+        self,
+        body: Sequence[ast.stmt],
+        nxt: int,
+        exc: FrozenSet[int],
+        brk: Optional[int],
+        cont: Optional[int],
+        ret: int,
+    ) -> int:
+        """Wire ``body`` and return its entry node."""
+        entry = nxt
+        for stmt in reversed(body):
+            entry = self._stmt(stmt, entry, exc, brk, cont, ret)
+        return entry
+
+    def _simple(self, stmt: ast.stmt, nxt: int, exc: FrozenSet[int]) -> int:
+        node = self.cfg.new(stmt)
+        self.cfg.succ[node].add(nxt)
+        self.cfg.exc[node] |= exc
+        return node
+
+    def _stmt(
+        self,
+        stmt: ast.stmt,
+        nxt: int,
+        exc: FrozenSet[int],
+        brk: Optional[int],
+        cont: Optional[int],
+        ret: int,
+    ) -> int:
+        cfg = self.cfg
+        if isinstance(stmt, ast.Return):
+            node = cfg.new(stmt)
+            cfg.succ[node].add(ret)
+            cfg.exc[node] |= exc
+            return node
+        if isinstance(stmt, ast.Raise):
+            node = cfg.new(stmt)
+            cfg.exc[node] |= exc
+            # A raise has no normal successor.
+            return node
+        if isinstance(stmt, ast.Break) and brk is not None:
+            node = cfg.new(stmt)
+            cfg.succ[node].add(brk)
+            return node
+        if isinstance(stmt, ast.Continue) and cont is not None:
+            node = cfg.new(stmt)
+            cfg.succ[node].add(cont)
+            return node
+        if isinstance(stmt, ast.If):
+            node = cfg.new(stmt)
+            cfg.exc[node] |= exc
+            cfg.succ[node].add(self.build(stmt.body, nxt, exc, brk, cont, ret))
+            cfg.succ[node].add(
+                self.build(stmt.orelse, nxt, exc, brk, cont, ret)
+                if stmt.orelse else nxt
+            )
+            return node
+        if isinstance(stmt, (ast.While, ast.For)):
+            node = cfg.new(stmt)
+            cfg.exc[node] |= exc
+            after = (
+                self.build(stmt.orelse, nxt, exc, brk, cont, ret)
+                if stmt.orelse else nxt
+            )
+            body_entry = self.build(stmt.body, node, exc, after, node, ret)
+            cfg.succ[node].add(body_entry)
+            cfg.succ[node].add(after)
+            return node
+        if isinstance(stmt, ast.With):
+            node = cfg.new(stmt)
+            cfg.exc[node] |= exc
+            cfg.succ[node].add(self.build(stmt.body, nxt, exc, brk, cont, ret))
+            return node
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, nxt, exc, brk, cont, ret)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # Nested definitions are analyzed separately; the def itself
+            # is a no-op for this function's resources.
+            node = cfg.new(None)
+            cfg.succ[node].add(nxt)
+            return node
+        return self._simple(stmt, nxt, exc)
+
+    def _try(
+        self,
+        stmt: ast.Try,
+        nxt: int,
+        exc: FrozenSet[int],
+        brk: Optional[int],
+        cont: Optional[int],
+        ret: int,
+    ) -> int:
+        fin = stmt.finalbody
+
+        def through_finally(target: int, kind: str) -> int:
+            if not fin:
+                return target
+            return self.build(fin, target, exc, None, None, ret if kind == "ret" else target)
+
+        fin_nxt = through_finally(nxt, "nxt")
+        fin_ret = through_finally(ret, "ret")
+        fin_brk = through_finally(brk, "brk") if brk is not None else None
+        fin_cont = through_finally(cont, "cont") if cont is not None else None
+        if fin:
+            fin_exc: FrozenSet[int] = frozenset(
+                self.build(fin, e, exc, None, None, ret) for e in exc
+            )
+        else:
+            fin_exc = exc
+
+        handler_entries = [
+            self.build(h.body, fin_nxt, fin_exc, fin_brk, fin_cont, fin_ret)
+            for h in stmt.handlers
+        ]
+        body_exc = frozenset(handler_entries) | (
+            frozenset()
+            if any(_handler_is_catchall(h) for h in stmt.handlers)
+            else fin_exc
+        )
+        orelse_entry = (
+            self.build(stmt.orelse, fin_nxt, fin_exc, fin_brk, fin_cont, fin_ret)
+            if stmt.orelse else fin_nxt
+        )
+        return self.build(
+            stmt.body, orelse_entry, body_exc or fin_exc, fin_brk, fin_cont, fin_ret
+        )
+
+
+@dataclass
+class _Effects:
+    """What one CFG node does to the obligation state."""
+
+    acquires: List[_Site] = field(default_factory=list)
+    #: (site id, obligation) pairs discharged by this statement.
+    discharges: Set[Tuple[int, str]] = field(default_factory=set)
+
+
+class _FunctionAnalysis:
+    """RCL001/RCL002 dataflow over one function."""
+
+    def __init__(
+        self, func: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+        path: str, qualname: str, aliases: Dict[str, str],
+    ) -> None:
+        self.func = func
+        self.path = path
+        self.qualname = qualname
+        self.aliases = aliases
+        self.sites: List[_Site] = []
+
+    # -------------------------------------------------------- acquire model
+    def _qualname_of(self, node: ast.AST) -> str:
+        parts: List[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return ""
+        parts.append(self.aliases.get(cur.id, cur.id))
+        return ".".join(reversed(parts))
+
+    def _acquire_call(self, call: ast.Call) -> Optional[Tuple[bool, Optional[str]]]:
+        """``(creates, name_var)`` when ``call`` opens a segment, else None."""
+        fn = call.func
+        base = fn.attr if isinstance(fn, ast.Attribute) else (
+            fn.id if isinstance(fn, ast.Name) else ""
+        )
+        if base not in _ACQUIRE_FUNCS:
+            return None
+        creates = False
+        for kw in call.keywords:
+            if kw.arg == "create":
+                creates = bool(
+                    isinstance(kw.value, ast.Constant) and kw.value.value
+                )
+        name_expr: Optional[ast.expr] = call.args[0] if call.args else None
+        for kw in call.keywords:
+            if kw.arg == "name":
+                name_expr = kw.value
+        name_var = name_expr.id if isinstance(name_expr, ast.Name) else None
+        return creates, name_var
+
+    def _attr_bases(self, expr: ast.expr) -> Set[int]:
+        """ids of Name nodes that only serve as attribute bases.
+
+        ``shm.buf[:8]`` *reads through* the handle; only a bare ``shm``
+        reference (returned, stored, passed whole) transfers ownership.
+        """
+        out: Set[int] = set()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                out.add(id(node.value))
+        return out
+
+    def _is_pure_release(self, stmt: Optional[ast.stmt]) -> bool:
+        """True for statements that only release (modeled as non-throwing).
+
+        Without this, the ``shm.close()`` inside a ``finally`` block would
+        manufacture an exception path on which the close "failed" and every
+        later discharge is unreachable — pure noise, releases don't raise.
+        """
+        if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+            return False
+        fn = stmt.value.func
+        if isinstance(fn, ast.Attribute) and fn.attr in ("close", "unlink"):
+            return True
+        base = fn.attr if isinstance(fn, ast.Attribute) else (
+            fn.id if isinstance(fn, ast.Name) else ""
+        )
+        return base == "_unlink_segment"
+
+    def _node_exprs(self, stmt: ast.stmt) -> List[ast.expr]:
+        """The expressions *belonging to* a CFG node (no nested bodies)."""
+        if isinstance(stmt, (ast.If, ast.While)):
+            return [stmt.test]
+        if isinstance(stmt, ast.For):
+            return [stmt.iter]
+        if isinstance(stmt, ast.With):
+            return [i.context_expr for i in stmt.items]
+        out: List[ast.expr] = []
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                out.append(child)
+        return out
+
+    def _effects(self, stmt: Optional[ast.stmt]) -> _Effects:
+        eff = _Effects()
+        if stmt is None:
+            return eff
+        exprs = self._node_exprs(stmt)
+
+        # Acquires: ``handle = _open_shm(...)`` / ``= SharedMemory(...)``.
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+            acq = self._acquire_call(stmt.value)
+            if acq is not None:
+                creates, name_var = acq
+                handle = (
+                    stmt.targets[0].id
+                    if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name)
+                    else None
+                )
+                obligations = frozenset(
+                    (_CLOSE, _UNLINK) if creates else (_CLOSE,)
+                )
+                eff.acquires.append(_Site(
+                    sid=len(self.sites), line=stmt.lineno, col=stmt.col_offset,
+                    handle=handle, name_var=name_var, obligations=obligations,
+                ))
+
+        by_handle: Dict[str, List[_Site]] = {}
+        by_name: Dict[str, List[_Site]] = {}
+        for s in self.sites:
+            if s.handle:
+                by_handle.setdefault(s.handle, []).append(s)
+            if s.name_var:
+                by_name.setdefault(s.name_var, []).append(s)
+
+        for expr in exprs:
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Call):
+                    fn = node.func
+                    # handle.close() / handle.unlink()
+                    if (
+                        isinstance(fn, ast.Attribute)
+                        and isinstance(fn.value, ast.Name)
+                        and fn.value.id in by_handle
+                    ):
+                        if fn.attr == "close":
+                            eff.discharges |= {
+                                (s.sid, _CLOSE) for s in by_handle[fn.value.id]
+                            }
+                        elif fn.attr == "unlink":
+                            eff.discharges |= {
+                                (s.sid, _UNLINK) for s in by_handle[fn.value.id]
+                            }
+                        continue
+                    # _unlink_segment(name) — by segment name.
+                    base = fn.attr if isinstance(fn, ast.Attribute) else (
+                        fn.id if isinstance(fn, ast.Name) else ""
+                    )
+                    if base == "_unlink_segment":
+                        for arg in node.args:
+                            if isinstance(arg, ast.Name) and arg.id in by_name:
+                                eff.discharges |= {
+                                    (s.sid, _UNLINK) for s in by_name[arg.id]
+                                }
+                        continue
+                    # Ownership transfer: the name (or the handle itself)
+                    # passed to a non-lifecycle call escapes the function's
+                    # responsibility.
+                    if base not in _LIFECYCLE_CALLS:
+                        for arg in [*node.args, *[k.value for k in node.keywords]]:
+                            bases = self._attr_bases(arg)
+                            for leaf in ast.walk(arg):
+                                if not isinstance(leaf, ast.Name) or id(leaf) in bases:
+                                    continue
+                                if leaf.id in by_name:
+                                    eff.discharges |= {
+                                        (s.sid, _UNLINK) for s in by_name[leaf.id]
+                                    }
+                                if leaf.id in by_handle:
+                                    eff.discharges |= {
+                                        (s.sid, ob)
+                                        for s in by_handle[leaf.id]
+                                        for ob in (_CLOSE, _UNLINK)
+                                    }
+
+        # Escapes through returns and stores into attributes/containers.
+        escape_exprs: List[ast.expr] = []
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            escape_exprs.append(stmt.value)
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, (ast.Attribute, ast.Subscript)) for t in stmt.targets
+        ):
+            escape_exprs.append(stmt.value)
+        for expr in escape_exprs:
+            bases = self._attr_bases(expr)
+            for leaf in ast.walk(expr):
+                if not isinstance(leaf, ast.Name) or id(leaf) in bases:
+                    continue
+                if leaf.id in by_name:
+                    eff.discharges |= {
+                        (s.sid, _UNLINK) for s in by_name[leaf.id]
+                    }
+                if leaf.id in by_handle:
+                    eff.discharges |= {
+                        (s.sid, ob)
+                        for s in by_handle[leaf.id]
+                        for ob in (_CLOSE, _UNLINK)
+                    }
+        return eff
+
+    # ------------------------------------------------------------- dataflow
+    def run(self) -> List[Finding]:
+        # Pass 1: collect acquire sites so effect extraction can resolve
+        # handle/name bindings anywhere in the function (including releases
+        # that appear before the acquire in source order, e.g. in loops).
+        for stmt in ast.walk(self.func):
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                acq = self._acquire_call(stmt.value)
+                if acq is None:
+                    continue
+                creates, name_var = acq
+                handle = (
+                    stmt.targets[0].id
+                    if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name)
+                    else None
+                )
+                self.sites.append(_Site(
+                    sid=len(self.sites), line=stmt.lineno, col=stmt.col_offset,
+                    handle=handle, name_var=name_var,
+                    obligations=frozenset((_CLOSE, _UNLINK) if creates else (_CLOSE,)),
+                ))
+        if not self.sites:
+            return []
+
+        cfg = _Cfg()
+        builder = _CfgBuilder(cfg)
+        entry = builder.build(
+            list(self.func.body), _EXIT, frozenset({_EXC_EXIT}), None, None, _EXIT
+        )
+
+        effects = [self._node_effects_for(cfg.stmts[i]) for i in range(len(cfg.stmts))]
+
+        # Worklist: node → set of outstanding (site, obligation) pairs that
+        # *may* hold on entry.
+        n = len(cfg.stmts)
+        state_in: List[Optional[FrozenSet[Tuple[int, str]]]] = [None] * n
+        state_in[entry] = frozenset()
+        work = [entry]
+        while work:
+            node = work.pop()
+            inc = state_in[node]
+            assert inc is not None
+            eff = effects[node]
+            after_discharge = inc - eff.discharges
+            normal_out = after_discharge | {
+                (s.sid, ob) for s in eff.acquires for ob in s.obligations
+            }
+            # Exception edges: the acquire did not take effect (the call
+            # raised), but discharges on this statement still count —
+            # and pure release statements do not raise at all.
+            exc_out = after_discharge
+            exc_targets = (
+                () if self._is_pure_release(cfg.stmts[node]) else cfg.exc[node]
+            )
+            for succ, out in (
+                *[(t, normal_out) for t in cfg.succ[node]],
+                *[(t, exc_out) for t in exc_targets],
+            ):
+                merged = out if state_in[succ] is None else (state_in[succ] | out)
+                if merged != state_in[succ]:
+                    state_in[succ] = merged
+                    if succ > _EXC_EXIT:
+                        work.append(succ)
+
+        findings: List[Finding] = []
+        seen: Set[Tuple[int, str]] = set()
+        for exit_node, rule in ((_EXC_EXIT, "RCL001"), (_EXIT, "RCL002")):
+            outstanding = state_in[exit_node] or frozenset()
+            for sid, ob in sorted(outstanding):
+                if (sid, rule) in seen:
+                    continue
+                seen.add((sid, rule))
+                site = self.sites[sid]
+                kind = "an exception" if rule == "RCL001" else "a normal"
+                findings.append(Finding(
+                    rule=rule, path=self.path, line=site.line, col=site.col,
+                    message=(
+                        f"segment acquired here may leak on {kind} exit "
+                        f"path ('{ob}' obligation never discharged; close "
+                        "the handle and unlink the segment — or hand its "
+                        "name to an owner — on every path)"
+                    ),
+                    symbol=self.qualname,
+                ))
+        return findings
+
+    def _node_effects_for(self, stmt: Optional[ast.stmt]) -> _Effects:
+        eff = self._effects(stmt)
+        # Re-key freshly-seen acquires in _effects onto the sites collected
+        # in pass 1 (matched by position).
+        if eff.acquires:
+            eff.acquires = [
+                s for s in self.sites
+                if any(a.line == s.line and a.col == s.col for a in eff.acquires)
+            ]
+        return eff
+
+
+class _LifecycleChecker(ast.NodeVisitor):
+    """RCL003/RCL004 scans + per-function RCL001/RCL002 dataflow."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+        self.aliases: Dict[str, str] = {}
+        self._class_stack: List[str] = []
+
+    # -------------------------------------------------------------- imports
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            top = alias.name.split(".")[0]
+            self.aliases[alias.asname or top] = alias.name if alias.asname else top
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+
+    # ---------------------------------------------------------- definitions
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _qual(self, name: str) -> str:
+        prefix = ".".join(self._class_stack)
+        return f"{prefix}.{name}" if prefix else name
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._function(node)
+
+    def _function(self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> None:
+        qual = self._qual(node.name)
+        analysis = _FunctionAnalysis(node, self.path, qual, self.aliases)
+        self.findings.extend(analysis.run())
+        self._scan_payload_capture(node, qual)
+        self._scan_fork_ordering(node, qual)
+        # Recurse into nested defs/classes under this function's qualname.
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                self._class_stack.append(node.name)
+                self.visit(stmt)
+                self._class_stack.pop()
+
+    # ------------------------------------------------------------- RCL003
+    def _qualname_of(self, node: ast.AST) -> str:
+        parts: List[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return ""
+        parts.append(self.aliases.get(cur.id, cur.id))
+        return ".".join(reversed(parts))
+
+    def _is_fork_hostile_call(self, call: ast.Call) -> bool:
+        fn = call.func
+        if isinstance(fn, ast.Name) and fn.id in _FORK_HOSTILE_NAMES:
+            return True
+        qn = self._qualname_of(fn)
+        return qn in _FORK_HOSTILE_QUALS
+
+    def _scan_payload_capture(
+        self, func: Union[ast.FunctionDef, ast.AsyncFunctionDef], qual: str
+    ) -> None:
+        # Local names bound to fork-hostile values inside this function.
+        hostile_names: Set[str] = set()
+        for stmt in ast.walk(func):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            hostile = (
+                isinstance(stmt.value, ast.Lambda)
+                or (isinstance(stmt.value, ast.Call)
+                    and self._is_fork_hostile_call(stmt.value))
+            )
+            if hostile:
+                for t in stmt.targets:
+                    if isinstance(t, ast.Name):
+                        hostile_names.add(t.id)
+
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            is_sink = False
+            sink = ""
+            if isinstance(fn, ast.Name) and (
+                fn.id.endswith("Unit") or fn.id.endswith("Payload")
+            ):
+                is_sink, sink = True, f"{fn.id}(...) payload"
+            elif isinstance(fn, ast.Attribute) and fn.attr == "apply_async":
+                is_sink, sink = True, "apply_async arguments"
+            elif self._qualname_of(fn) == "pickle.dumps":
+                is_sink, sink = True, "pickle.dumps"
+            if not is_sink:
+                continue
+            # Flatten container literals: payloads routinely travel as the
+            # argument *tuple* of apply_async / pickle.dumps, so a hostile
+            # value one level down is just as captured.
+            worklist = [*node.args, *[k.value for k in node.keywords]]
+            flat: List[ast.expr] = []
+            while worklist:
+                arg = worklist.pop()
+                if isinstance(arg, (ast.Tuple, ast.List, ast.Set)):
+                    worklist.extend(arg.elts)
+                elif isinstance(arg, ast.Dict):
+                    worklist.extend(v for v in arg.values if v is not None)
+                elif isinstance(arg, ast.Starred):
+                    worklist.append(arg.value)
+                else:
+                    flat.append(arg)
+            for arg in flat:
+                hostile_arg = (
+                    isinstance(arg, ast.Lambda)
+                    or (isinstance(arg, ast.Name) and arg.id in hostile_names)
+                    or (isinstance(arg, ast.Call)
+                        and self._is_fork_hostile_call(arg))
+                    or (isinstance(arg, ast.Name) and arg.id == "tracer")
+                    or (isinstance(arg, ast.Attribute) and arg.attr == "tracer")
+                )
+                if hostile_arg:
+                    self.findings.append(Finding(
+                        rule="RCL003", path=self.path, line=arg.lineno,
+                        col=arg.col_offset,
+                        message=(
+                            f"fork-hostile value captured into {sink}; unit "
+                            "payloads cross process boundaries — ship plain "
+                            "data (descriptors, exported spans), never live "
+                            "locks/pools/tracers/lambdas"
+                        ),
+                        symbol=qual,
+                    ))
+
+    # ------------------------------------------------------------- RCL004
+    def _is_fork_point(self, call: ast.Call) -> bool:
+        fn = call.func
+        if isinstance(fn, ast.Name) and fn.id == "get_pool":
+            return True
+        qn = self._qualname_of(fn)
+        if qn in ("multiprocessing.Pool", "multiprocessing.pool.Pool"):
+            return True
+        return (
+            isinstance(fn, ast.Attribute)
+            and fn.attr == "acquire"
+            and isinstance(fn.value, ast.Name)
+            and "pool" in fn.value.id.lower()
+        )
+
+    def _scan_fork_ordering(
+        self, func: Union[ast.FunctionDef, ast.AsyncFunctionDef], qual: str
+    ) -> None:
+        fork_line: Optional[int] = None
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            if self._is_fork_point(node):
+                if fork_line is None or node.lineno < fork_line:
+                    fork_line = node.lineno
+        if fork_line is None:
+            return
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call) or node.lineno <= fork_line:
+                continue
+            qn = self._qualname_of(node.func)
+            if qn in _MP_PRIMITIVE_QUALS and qn not in (
+                "multiprocessing.Pool", "multiprocessing.pool.Pool"
+            ):
+                self.findings.append(Finding(
+                    rule="RCL004", path=self.path, line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"'{qn}' created after the pool fork point at line "
+                        f"{fork_line}; already-forked workers never see it — "
+                        "create multiprocessing primitives before the pool"
+                    ),
+                    symbol=qual,
+                ))
+
+
+# -------------------------------------------------------------- entry points
+def analyze_lifecycle_source(
+    source: str, path: str = "<string>", suppress: bool = True
+) -> List[Finding]:
+    """Run the lifecycle/fork-safety rules over one source string.
+
+    Raises:
+        SyntaxError: when the source does not parse.
+    """
+    tree = ast.parse(source, filename=path)
+    checker = _LifecycleChecker(path)
+    checker.visit(tree)
+    findings = sorted(checker.findings, key=lambda f: (f.line, f.col, f.rule))
+    if suppress:
+        findings = parse_suppressions(source).apply(findings)
+    return findings
+
+
+def analyze_lifecycle_file(
+    path: Union[str, Path], suppress: bool = True
+) -> List[Finding]:
+    p = Path(path)
+    return analyze_lifecycle_source(
+        p.read_text(encoding="utf-8"), path=str(p), suppress=suppress
+    )
+
+
+def iter_lifecycle_targets(runtime_root: Union[str, Path]) -> Iterable[Path]:
+    """``.py`` files under a ``runtime/`` tree."""
+    root = Path(runtime_root)
+    if root.is_file():
+        if root.suffix == ".py":
+            yield root
+        return
+    for p in sorted(root.rglob("*.py")):
+        if p.is_file():
+            yield p
+
+
+def analyze_lifecycle_paths(paths: Iterable[Union[str, Path]]) -> List[Finding]:
+    """Analyze every ``.py`` file under each path."""
+    out: List[Finding] = []
+    for root in paths:
+        for f in iter_lifecycle_targets(root):
+            try:
+                out.extend(analyze_lifecycle_file(f))
+            except SyntaxError as exc:
+                out.append(Finding(
+                    rule="RCL000", path=str(f), line=exc.lineno or 1,
+                    col=exc.offset or 0, message=f"syntax error: {exc.msg}",
+                ))
+    return out

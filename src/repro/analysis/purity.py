@@ -1,0 +1,581 @@
+"""Backend-purity analyzer for the nn stack (rules ``BPL001``…).
+
+PR 7 rebuilt the GNN models on a pluggable :class:`repro.nn.backends.base.
+TensorBackend`: the numpy engine is the bitwise oracle, and every other
+engine is differential-tested against it.  That contract only holds while
+the model code stays *backend-neutral* — the moment a raw ``np.`` call
+touches a backend tensor, the numpy path silently keeps working while every
+other backend either crashes on a foreign tensor type or, worse, takes a
+host round-trip that changes accumulation order and breaks the
+differential tolerances.  The runtime differential tests catch such a
+regression only on hosts where a second backend is installed; this
+analyzer catches it on every host, at lint time.
+
+The engine runs an **intraprocedural taint dataflow** over each function:
+values returned by backend ops, ``Parameter.data`` fields (``.value`` /
+``.grad``), module ``forward``/``backward`` calls, and saved forward caches
+are *backend tensors*; taint propagates through arithmetic, slicing, and
+attribute access, and is cleared by the sanctioned host escapes
+(``to_numpy`` / ``_to_host`` / ``to_scalar``).  On that lattice:
+
+=========  ============================================================
+rule       contract
+=========  ============================================================
+BPL001     no raw ``numpy``/``scipy`` operation applied to a backend
+           tensor — route it through the ``TensorBackend`` op set
+BPL002     no reduced-precision dtype (``float32``/``float16``/…)
+           entering tensor math: state and math are float64 by contract
+BPL003     no ``to_numpy`` → ``asarray`` host round-trip inside a
+           ``forward``/``backward`` hot path (kills the GPU backends and
+           perturbs accumulation order)
+BPL004     ``state_dict`` values must be host numpy arrays — return
+           ``backend.to_numpy(p.value)``, never the live tensor
+BPL005     no direct ``torch`` import/use outside ``nn/backends/``
+=========  ============================================================
+
+Inline ``# repro-lint: disable=BPL001`` suppressions and the baseline file
+work as for every engine (:mod:`repro.analysis.suppress`).  The analyzer is
+pure stdlib; it is pointed at ``src/repro/nn/`` excluding ``nn/backends/``
+(the backends *are* the boundary — raw numpy/torch is their job).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Union
+
+from .suppress import Finding, parse_suppressions
+
+__all__ = [
+    "PURITY_RULES",
+    "analyze_purity_file",
+    "analyze_purity_paths",
+    "analyze_purity_source",
+    "iter_purity_targets",
+]
+
+#: Rule id → one-line description (the purity engine's public catalog).
+PURITY_RULES: Dict[str, str] = {
+    "BPL001": "raw numpy/scipy operation applied to a backend tensor",
+    "BPL002": "reduced-precision dtype entering tensor math (contract: float64)",
+    "BPL003": "to_numpy→asarray host round-trip inside forward/backward",
+    "BPL004": "state_dict value is a live backend tensor, not a host numpy array",
+    "BPL005": "direct torch import/use outside nn/backends/",
+}
+
+#: Backend methods whose result is host-side (clears tensor taint).
+_HOST_ESCAPES = {"to_numpy", "_to_host", "to_scalar", "dtype_of"}
+
+#: Free functions that return host arrays from tensors (loss.py helper).
+_HOST_ESCAPE_FUNCS = {"_host"}
+
+#: Functions producing a backend object.
+_BACKEND_PRODUCERS = {"get_backend", "infer_backend"}
+
+#: Attribute accesses on a tensor that yield host-side metadata, not data.
+_TENSOR_META_ATTRS = {"shape", "ndim", "dtype", "size"}
+
+#: Reduced-precision dtypes banned by BPL002 (qualified numpy names).
+_BANNED_DTYPES = {
+    "numpy.float32", "numpy.float16", "numpy.single", "numpy.half",
+}
+_BANNED_DTYPE_STRS = {"float32", "float16", "single", "half", "f4", "f2"}
+
+#: Hot-path method names where a host round-trip is a BPL003 finding.
+_HOT_PATHS = {"forward", "backward"}
+
+# Taint kinds.
+_TENSOR = "tensor"       # lives on a backend
+_HOST_COPY = "hostcopy"  # host numpy copied off a backend tensor
+
+
+class _Scope:
+    """Per-function taint environment."""
+
+    def __init__(self, name: str, qualname: str) -> None:
+        self.name = name
+        self.qualname = qualname
+        #: local name → taint kind (_TENSOR / _HOST_COPY).
+        self.taint: Dict[str, str] = {}
+        #: local names bound to backend objects.
+        self.backends: Set[str] = set()
+
+
+class _PurityChecker(ast.NodeVisitor):
+    """Single-pass visitor running the taint rules over one module."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+        #: import alias → fully-qualified module path.
+        self.aliases: Dict[str, str] = {}
+        self._scopes: List[_Scope] = [_Scope("<module>", "<module>")]
+        self._class_stack: List[str] = []
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def scope(self) -> _Scope:
+        return self._scopes[-1]
+
+    def _add(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            rule=rule,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            symbol=self.scope.qualname,
+        ))
+
+    def _qualname(self, node: ast.AST) -> str:
+        """Resolve ``np.linalg.svd`` → ``"numpy.linalg.svd"`` (or "")."""
+        parts: List[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return ""
+        root = self.aliases.get(cur.id)
+        if root is None:
+            return ""
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    # -------------------------------------------------------------- imports
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            top = alias.name.split(".")[0]
+            self.aliases[alias.asname or top] = alias.name if alias.asname else top
+            if top == "torch":
+                self._add(
+                    "BPL005", node,
+                    "direct torch import outside nn/backends/; go through "
+                    "the TensorBackend interface",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            if node.module.split(".")[0] == "torch":
+                self._add(
+                    "BPL005", node,
+                    "direct torch import outside nn/backends/; go through "
+                    "the TensorBackend interface",
+                )
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    # ---------------------------------------------------------- definitions
+    def _enter_function(self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> None:
+        prefix = ".".join(self._class_stack)
+        qual = f"{prefix}.{node.name}" if prefix else node.name
+        scope = _Scope(node.name, qual)
+        self._scopes.append(scope)
+        for stmt in node.body:
+            self._exec_stmt(stmt)
+        self._scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        for stmt in node.body:
+            self.visit(stmt)
+        self._class_stack.pop()
+
+    # ---------------------------------------------------- statement walking
+    def _exec_stmt(self, stmt: ast.stmt) -> None:
+        """Execute one statement against the current taint environment."""
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._enter_function(stmt)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            self.visit_ClassDef(stmt)
+            return
+        if isinstance(stmt, ast.Assign):
+            kind = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, kind)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self._eval(stmt.value))
+            return
+        if isinstance(stmt, ast.AugAssign):
+            kind = self._eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                prior = self.scope.taint.get(stmt.target.id)
+                merged = _TENSOR if _TENSOR in (kind, prior) else (kind or prior)
+                if merged:
+                    self.scope.taint[stmt.target.id] = merged
+            else:
+                self._eval(stmt.target)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                if self.scope.name == "state_dict":
+                    self._check_state_dict_return(stmt.value)
+                self._eval(stmt.value)
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._eval(stmt.test)
+            for s in [*stmt.body, *stmt.orelse]:
+                self._exec_stmt(s)
+            return
+        if isinstance(stmt, ast.For):
+            kind = self._eval(stmt.iter)
+            self._bind(stmt.target, kind)
+            for s in [*stmt.body, *stmt.orelse]:
+                self._exec_stmt(s)
+            return
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                kind = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, kind)
+            for s in stmt.body:
+                self._exec_stmt(s)
+            return
+        if isinstance(stmt, ast.Try):
+            for s in [*stmt.body, *stmt.orelse, *stmt.finalbody]:
+                self._exec_stmt(s)
+            for handler in stmt.handlers:
+                for s in handler.body:
+                    self._exec_stmt(s)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+            return
+        # Remaining simple statements (pass, raise, assert, del, …): just
+        # evaluate any embedded expressions for their findings.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._eval(child)
+
+    def _bind(self, target: ast.expr, kind: Optional[str]) -> None:
+        if isinstance(target, ast.Name):
+            if kind is None:
+                self.scope.taint.pop(target.id, None)
+                self.scope.backends.discard(target.id)
+            elif kind == "backend":
+                self.scope.backends.add(target.id)
+                self.scope.taint.pop(target.id, None)
+            else:
+                self.scope.taint[target.id] = kind
+                self.scope.backends.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                # Tuple taint is not tracked element-wise; distribute.
+                self._bind(elt, kind if kind != "backend" else None)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            self._eval(target.value)
+
+    # ------------------------------------------------------------ expression
+    def _is_backend_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.scope.backends or node.id == "backend"
+        if isinstance(node, ast.Attribute):
+            return node.attr == "backend"
+        if isinstance(node, ast.Call):
+            fn = node.func
+            return isinstance(fn, ast.Name) and fn.id in _BACKEND_PRODUCERS
+        return False
+
+    def _eval(self, node: ast.expr) -> Optional[str]:
+        """Taint kind of ``node`` (side effect: records findings)."""
+        if isinstance(node, ast.Name):
+            if node.id in self.scope.backends:
+                return "backend"
+            return self.scope.taint.get(node.id)
+
+        if isinstance(node, ast.Attribute):
+            if self._is_backend_expr(node):
+                self._eval_children_of_attr(node)
+                return "backend"
+            base = self._eval(node.value)
+            # Parameter fields are live backend tensors wherever they occur.
+            if node.attr in ("value", "grad") and not isinstance(node.value, ast.Constant):
+                return _TENSOR
+            # Saved forward caches hold the forward pass's tensors.
+            if node.attr == "_cache":
+                return _TENSOR
+            if base == _TENSOR and node.attr in _TENSOR_META_ATTRS:
+                return None
+            return base if base in (_TENSOR, _HOST_COPY) else None
+
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left)
+            right = self._eval(node.right)
+            for k in (_TENSOR, _HOST_COPY):
+                if k in (left, right):
+                    return k
+            return None
+
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+
+        if isinstance(node, ast.Compare):
+            self._eval(node.left)
+            for comp in node.comparators:
+                self._eval(comp)
+            return None
+
+        if isinstance(node, ast.BoolOp):
+            kinds = [self._eval(v) for v in node.values]
+            for k in (_TENSOR, _HOST_COPY):
+                if k in kinds:
+                    return k
+            return None
+
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            a, b = self._eval(node.body), self._eval(node.orelse)
+            for k in (_TENSOR, _HOST_COPY):
+                if k in (a, b):
+                    return k
+            return None
+
+        if isinstance(node, ast.Subscript):
+            base = self._eval(node.value)
+            if isinstance(node.slice, ast.expr):
+                self._eval(node.slice)
+            return base if base in (_TENSOR, _HOST_COPY) else None
+
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            kinds = [self._eval(e) for e in node.elts]
+            for k in (_TENSOR, _HOST_COPY):
+                if k in kinds:
+                    return k
+            return None
+
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                kind = self._eval(gen.iter)
+                self._bind(gen.target, kind)
+            return self._eval(node.elt)
+
+        if isinstance(node, ast.DictComp):
+            for gen in node.generators:
+                self._bind(gen.target, self._eval(gen.iter))
+            self._eval(node.key)
+            return self._eval(node.value)
+
+        if isinstance(node, ast.Dict):
+            kinds = [self._eval(v) for v in node.values if v is not None]
+            return _TENSOR if _TENSOR in kinds else None
+
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+
+        if isinstance(node, ast.Lambda):
+            return None
+
+        if isinstance(node, ast.JoinedStr):
+            for v in node.values:
+                if isinstance(v, ast.FormattedValue):
+                    self._eval(v.value)
+            return None
+
+        return None
+
+    def _eval_children_of_attr(self, node: ast.Attribute) -> None:
+        """Evaluate the base of a backend attribute chain for findings."""
+        if isinstance(node.value, ast.expr):
+            self._eval(node.value)
+
+    def _arg_kinds(self, node: ast.Call) -> List[Optional[str]]:
+        kinds = [self._eval(a) for a in node.args]
+        kinds.extend(self._eval(kw.value) for kw in node.keywords)
+        return kinds
+
+    def _eval_call(self, node: ast.Call) -> Optional[str]:
+        self._check_dtype_literals(node)
+        fn = node.func
+
+        # Backend method calls: be.<op>(...)
+        if isinstance(fn, ast.Attribute) and self._is_backend_expr(fn.value):
+            self._eval_children_of_attr(fn)
+            kinds = self._arg_kinds(node)
+            if fn.attr in _HOST_ESCAPES:
+                return _HOST_COPY if fn.attr in ("to_numpy", "_to_host") else None
+            if fn.attr == "asarray" and self.scope.name in _HOT_PATHS:
+                if _HOST_COPY in kinds:
+                    self._add(
+                        "BPL003", node,
+                        "to_numpy→asarray host round-trip inside "
+                        f"'{self.scope.qualname}'; keep the value on its "
+                        "backend (the round-trip serializes every GPU op "
+                        "and perturbs accumulation order)",
+                    )
+            return _TENSOR
+
+        # Raw numpy/scipy call: flag when a backend tensor flows in.
+        qn = self._qualname(fn) if isinstance(fn, (ast.Attribute, ast.Name)) else ""
+        kinds = self._arg_kinds(node)
+        if qn.split(".")[0] in ("numpy", "scipy") and _TENSOR in kinds:
+            self._add(
+                "BPL001", node,
+                f"raw '{qn}' applied to a backend tensor; use the "
+                "TensorBackend op set (numpy semantics are only valid on "
+                "the numpy oracle)",
+            )
+            return _TENSOR
+        if qn.split(".")[0] == "torch":
+            self._add(
+                "BPL005", node,
+                f"direct torch call '{qn}' outside nn/backends/",
+            )
+            return _TENSOR
+
+        if isinstance(fn, ast.Name):
+            if fn.id in _BACKEND_PRODUCERS:
+                return "backend"
+            if fn.id in _HOST_ESCAPE_FUNCS:
+                return _HOST_COPY
+            if fn.id in ("float", "int", "bool", "len"):
+                return None
+            # A local helper: conservatively forward the strongest arg kind.
+            for k in (_TENSOR, _HOST_COPY):
+                if k in kinds:
+                    return k
+            return None
+
+        if isinstance(fn, ast.Attribute):
+            base = self._eval(fn.value)
+            if fn.attr in ("forward", "backward"):
+                return _TENSOR
+            if fn.attr in _HOST_ESCAPES:
+                return _HOST_COPY if fn.attr in ("to_numpy", "_to_host") else None
+            if base in (_TENSOR, _HOST_COPY):
+                # Method on a tainted value (t.sum(), t.copy(), …) stays
+                # on the same side of the boundary.
+                return base
+            return None
+
+        self._eval(fn)
+        return None
+
+    # ------------------------------------------------------------ BPL002
+    def _check_dtype_literals(self, node: ast.Call) -> None:
+        candidates: List[ast.expr] = [
+            kw.value for kw in node.keywords if kw.arg == "dtype"
+        ]
+        fn = node.func
+        if isinstance(fn, ast.Attribute) and fn.attr == "astype" and node.args:
+            candidates.append(node.args[0])
+        for expr in candidates:
+            if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+                if expr.value in _BANNED_DTYPE_STRS:
+                    self._add(
+                        "BPL002", expr,
+                        f"reduced-precision dtype {expr.value!r}; nn state "
+                        "and math are float64 by contract",
+                    )
+            else:
+                qn = self._qualname(expr)
+                if qn in _BANNED_DTYPES:
+                    self._add(
+                        "BPL002", expr,
+                        f"reduced-precision dtype '{qn}'; nn state and "
+                        "math are float64 by contract",
+                    )
+
+    # ------------------------------------------------------------ BPL004
+    def _check_state_dict_return(self, expr: ast.expr, wrapped: bool = False) -> None:
+        """Flag live ``.value``/``.grad`` tensors escaping ``state_dict``."""
+        if isinstance(expr, ast.Call):
+            fn = expr.func
+            escapes = isinstance(fn, ast.Attribute) and fn.attr in _HOST_ESCAPES
+            for child in [*expr.args, *[kw.value for kw in expr.keywords]]:
+                self._check_state_dict_return(child, wrapped=wrapped or escapes)
+            if isinstance(fn, ast.Attribute):
+                self._check_state_dict_return(fn.value, wrapped=wrapped)
+            return
+        if isinstance(expr, ast.Attribute):
+            if expr.attr in ("value", "grad") and not wrapped:
+                self._add(
+                    "BPL004", expr,
+                    f"state_dict returns live tensor '.{expr.attr}'; wrap "
+                    "it in backend.to_numpy(...) so checkpoints stay "
+                    "host float64 numpy on every backend",
+                )
+            self._check_state_dict_return(expr.value, wrapped=wrapped)
+            return
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._check_state_dict_return(child, wrapped=wrapped)
+            elif isinstance(child, ast.comprehension):
+                self._check_state_dict_return(child.iter, wrapped=wrapped)
+
+
+# -------------------------------------------------------------- entry points
+def analyze_purity_source(
+    source: str, path: str = "<string>", suppress: bool = True
+) -> List[Finding]:
+    """Run the backend-purity rules over one source string.
+
+    Args:
+        source: Python source text.
+        path: Reported in findings.
+        suppress: Honor inline ``# repro-lint: disable=`` directives; pass
+            ``False`` to get the raw findings (the unused-suppression audit
+            needs them).
+
+    Raises:
+        SyntaxError: when the source does not parse.
+    """
+    tree = ast.parse(source, filename=path)
+    checker = _PurityChecker(path)
+    checker.visit(tree)
+    findings = sorted(checker.findings, key=lambda f: (f.line, f.col, f.rule))
+    if suppress:
+        findings = parse_suppressions(source).apply(findings)
+    return findings
+
+
+def analyze_purity_file(path: Union[str, Path], suppress: bool = True) -> List[Finding]:
+    p = Path(path)
+    return analyze_purity_source(
+        p.read_text(encoding="utf-8"), path=str(p), suppress=suppress
+    )
+
+
+def iter_purity_targets(nn_root: Union[str, Path]) -> Iterator[Path]:
+    """``.py`` files under an ``nn/`` tree, excluding ``backends/``.
+
+    The backends are the sanctioned numpy/torch boundary; everything above
+    them must be backend-neutral.
+    """
+    root = Path(nn_root)
+    if root.is_file():
+        if root.suffix == ".py" and "backends" not in root.parts:
+            yield root
+        return
+    for p in sorted(root.rglob("*.py")):
+        if p.is_file() and "backends" not in p.relative_to(root).parts:
+            yield p
+
+
+def analyze_purity_paths(paths: Iterable[Union[str, Path]]) -> List[Finding]:
+    """Analyze every eligible file under each path (see the file filter)."""
+    out: List[Finding] = []
+    for root in paths:
+        for f in iter_purity_targets(root):
+            try:
+                out.extend(analyze_purity_file(f))
+            except SyntaxError as exc:
+                out.append(Finding(
+                    rule="BPL000", path=str(f), line=exc.lineno or 1,
+                    col=exc.offset or 0, message=f"syntax error: {exc.msg}",
+                ))
+    return out

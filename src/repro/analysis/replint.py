@@ -40,10 +40,10 @@ runs in environments without the numeric stack.
 from __future__ import annotations
 
 import ast
-import re
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Union
+
+from .suppress import Finding, parse_suppressions
 
 __all__ = [
     "LINT_RULES",
@@ -53,6 +53,10 @@ __all__ = [
     "lint_paths",
     "lint_source",
 ]
+
+#: Historical name for this engine's finding record; all engines now share
+#: :class:`repro.analysis.suppress.Finding` (same fields, plus ``symbol``).
+LintViolation = Finding
 
 #: Rule id → one-line description (the linter's public catalog).
 LINT_RULES: Dict[str, str] = {
@@ -100,25 +104,6 @@ _ENTROPY_BANNED_PREFIXES = ("secrets.",)
 #: Wrappers whose output order follows the input iterable's order (RPL003).
 _ORDER_SENSITIVE_WRAPPERS = {"list", "tuple", "iter", "enumerate", "reversed"}
 
-_SUPPRESS_RE = re.compile(
-    r"#\s*repro-lint:\s*disable(?P<scope>-file)?\s*=\s*(?P<ids>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
-)
-
-
-@dataclass(frozen=True)
-class LintViolation:
-    """One finding of the repro-lint engine."""
-
-    rule: str
-    path: str
-    line: int
-    col: int
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
-
-
 def _is_set_expr(node: ast.AST) -> bool:
     """True for expressions that are syntactically unordered sets."""
     if isinstance(node, (ast.Set, ast.SetComp)):
@@ -136,6 +121,8 @@ class _Checker(ast.NodeVisitor):
         self.violations: List[LintViolation] = []
         #: Local name → fully-qualified module/object path it is bound to.
         self.aliases: Dict[str, str] = {}
+        #: Enclosing definition names, for the finding's baseline symbol.
+        self._symbols: List[str] = []
 
     # ------------------------------------------------------------- plumbing
     def _add(self, rule: str, node: ast.AST, message: str) -> None:
@@ -146,6 +133,7 @@ class _Checker(ast.NodeVisitor):
                 line=getattr(node, "lineno", 1),
                 col=getattr(node, "col_offset", 0),
                 message=message,
+                symbol=".".join(self._symbols) or "<module>",
             )
         )
 
@@ -299,11 +287,20 @@ class _Checker(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        self._symbols.append(node.name)
         self.generic_visit(node)
+        self._symbols.pop()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self._symbols.append(node.name)
         self.generic_visit(node)
+        self._symbols.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._symbols.append(node.name)
+        self.generic_visit(node)
+        self._symbols.pop()
 
     # ---------------------------------------------------------------- RPL006
     @staticmethod
@@ -375,24 +372,13 @@ class _Checker(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
-    """(line → suppressed rule ids, file-wide suppressed ids)."""
-    per_line: Dict[int, Set[str]] = {}
-    per_file: Set[str] = set()
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        m = _SUPPRESS_RE.search(line)
-        if not m:
-            continue
-        ids = {part.strip() for part in m.group("ids").split(",")}
-        if m.group("scope"):
-            per_file |= ids
-        else:
-            per_line.setdefault(lineno, set()).update(ids)
-    return per_line, per_file
-
-
-def lint_source(source: str, path: str = "<string>") -> List[LintViolation]:
+def lint_source(
+    source: str, path: str = "<string>", suppress: bool = True
+) -> List[LintViolation]:
     """Lint one Python source string; returns findings sorted by position.
+
+    ``suppress=False`` skips the inline ``# repro-lint: disable=`` layer
+    and returns the raw findings (the unused-suppression audit needs them).
 
     Raises:
         SyntaxError: when the source does not parse.
@@ -400,19 +386,16 @@ def lint_source(source: str, path: str = "<string>") -> List[LintViolation]:
     tree = ast.parse(source, filename=path)
     checker = _Checker(path)
     checker.visit(tree)
-    per_line, per_file = _suppressions(source)
-    kept = [
-        v
-        for v in checker.violations
-        if v.rule not in per_file and v.rule not in per_line.get(v.line, ())
-    ]
-    return sorted(kept, key=lambda v: (v.line, v.col, v.rule))
+    kept = sorted(checker.violations, key=lambda v: (v.line, v.col, v.rule))
+    if suppress:
+        kept = parse_suppressions(source).apply(kept)
+    return kept
 
 
-def lint_file(path: Union[str, Path]) -> List[LintViolation]:
+def lint_file(path: Union[str, Path], suppress: bool = True) -> List[LintViolation]:
     """Lint one ``.py`` file."""
     p = Path(path)
-    return lint_source(p.read_text(encoding="utf-8"), path=str(p))
+    return lint_source(p.read_text(encoding="utf-8"), path=str(p), suppress=suppress)
 
 
 def iter_python_files(root: Union[str, Path]) -> Iterator[Path]:

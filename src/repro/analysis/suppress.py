@@ -1,0 +1,239 @@
+"""Shared suppression and baseline layer for every analysis engine.
+
+All three source-level engines (:mod:`repro.analysis.replint`,
+:mod:`repro.analysis.purity`, :mod:`repro.analysis.lifecycle`) emit
+:class:`Finding` records and honor the same two silencing mechanisms:
+
+* **inline suppressions** — ``# repro-lint: disable=BPL001`` on the
+  finding's line (comma-separate several ids), or ``# repro-lint:
+  disable-file=BPL001`` anywhere for a whole file.  Meant to carry a
+  justification in a neighbouring comment; a per-line suppression whose
+  rule never fires on that line is *dead* and reported as ``SUP001`` by
+  :func:`unused_suppressions` (the CLI runs that audit under
+  ``repro check --self``).
+
+* **a baseline file** — a checked-in JSON inventory of pre-existing debt.
+  Each entry names a ``rule``, a ``path`` (suffix-matched so the file works
+  from any checkout root), the enclosing ``symbol`` (function/class
+  qualname, so entries survive unrelated line churn), and a ``reason``.
+  Findings matching an entry are demoted from failures to an informational
+  count; entries matching nothing are reported so the baseline can only
+  shrink.  An empty ``entries`` list is the healthy steady state: new debt
+  either gets fixed or gets an inline suppression with a justification.
+
+The layer is pure stdlib so ``repro check --self`` stays runnable in
+environments without the numeric stack.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple, Union
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "Suppressions",
+    "UNUSED_SUPPRESSION_RULE",
+    "parse_suppressions",
+    "unused_suppressions",
+]
+
+#: Synthetic rule id for dead inline suppressions (see the CLI self-audit).
+UNUSED_SUPPRESSION_RULE = "SUP001"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable(?P<scope>-file)?\s*=\s*"
+    r"(?P<ids>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One finding of a source-level analysis engine.
+
+    ``symbol`` is the enclosing function/class qualname (``<module>`` at
+    top level) — the stable anchor baseline entries match against.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = "<module>"
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        """Machine-readable record for ``repro check --format json``."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+
+@dataclass
+class Suppressions:
+    """Inline ``# repro-lint: disable=`` directives of one source file."""
+
+    #: line → rule ids suppressed on that line.
+    per_line: Dict[int, Set[str]] = field(default_factory=dict)
+    #: Rule ids suppressed for the whole file.
+    per_file: Set[str] = field(default_factory=set)
+
+    def hides(self, rule: str, line: int) -> bool:
+        return rule in self.per_file or rule in self.per_line.get(line, ())
+
+    def apply(self, findings: Sequence[Finding]) -> List[Finding]:
+        """Findings with every suppressed record dropped."""
+        return [f for f in findings if not self.hides(f.rule, f.line)]
+
+
+def _comment_lines(source: str) -> Iterable[Tuple[int, str]]:
+    """(lineno, text) for every ``#`` comment token in ``source``.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps directive text
+    quoted inside strings/docstrings — like the examples in this module's
+    own docs — from registering as live suppressions.  Falls back to the
+    raw lines when the source does not tokenize; the engines only analyze
+    parseable files, so the fallback is a formality.
+    """
+    import io
+    import tokenize
+
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        yield from enumerate(source.splitlines(), start=1)
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Collect every inline suppression directive in ``source``."""
+    sup = Suppressions()
+    for lineno, line in _comment_lines(source):
+        m = _SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        ids = {part.strip() for part in m.group("ids").split(",")}
+        if m.group("scope"):
+            sup.per_file |= ids
+        else:
+            sup.per_line.setdefault(lineno, set()).update(ids)
+    return sup
+
+
+def unused_suppressions(
+    source: str, path: str, raw_findings: Sequence[Finding]
+) -> List[Finding]:
+    """Dead inline suppressions, as synthetic ``SUP001`` findings.
+
+    ``raw_findings`` must be the *unsuppressed* union from every engine
+    that analyzed the file: a per-line directive is dead when none of its
+    ids fire on its line, a file-wide directive when none fire anywhere in
+    the file.  Dead suppressions are how contract rot starts — the
+    directive outlives the code it excused — so the self-audit flags them.
+    """
+    sup = parse_suppressions(source)
+    fired_by_line: Dict[int, Set[str]] = {}
+    fired_anywhere: Set[str] = set()
+    for f in raw_findings:
+        fired_by_line.setdefault(f.line, set()).add(f.rule)
+        fired_anywhere.add(f.rule)
+
+    out: List[Finding] = []
+    for line in sorted(sup.per_line):
+        for rule in sorted(sup.per_line[line] - fired_by_line.get(line, set())):
+            out.append(Finding(
+                rule=UNUSED_SUPPRESSION_RULE, path=path, line=line, col=0,
+                message=f"unused suppression: {rule} never fires on this line",
+            ))
+    for rule in sorted(sup.per_file - fired_anywhere):
+        out.append(Finding(
+            rule=UNUSED_SUPPRESSION_RULE, path=path, line=1, col=0,
+            message=f"unused suppression: {rule} never fires in this file",
+        ))
+    return out
+
+
+# ------------------------------------------------------------------ baseline
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One acknowledged pre-existing finding.
+
+    ``path`` matches by suffix (``/``-normalized) so one baseline file
+    serves every checkout; ``symbol`` anchors the entry to the enclosing
+    definition instead of a line number.
+    """
+
+    rule: str
+    path: str
+    symbol: str
+    reason: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        if self.rule != finding.rule or self.symbol != finding.symbol:
+            return False
+        normalized = finding.path.replace("\\", "/")
+        want = self.path.replace("\\", "/")
+        return normalized == want or normalized.endswith("/" + want)
+
+
+class Baseline:
+    """The checked-in inventory of acknowledged findings.
+
+    A missing file behaves as an empty baseline, so ``repro check`` needs
+    no flag day: the file only exists once there is debt to record.
+    """
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries = list(entries)
+
+    @classmethod
+    def load(cls, path: Union[str, Path, None]) -> "Baseline":
+        if path is None:
+            return cls()
+        p = Path(path)
+        if not p.is_file():
+            return cls()
+        doc = json.loads(p.read_text(encoding="utf-8"))
+        if not isinstance(doc, dict) or doc.get("version") != 1:
+            raise ValueError(f"{p}: not a version-1 repro baseline file")
+        entries = []
+        for raw in doc.get("entries", []):
+            try:
+                entries.append(BaselineEntry(
+                    rule=raw["rule"], path=raw["path"],
+                    symbol=raw.get("symbol", "<module>"),
+                    reason=raw.get("reason", ""),
+                ))
+            except (KeyError, TypeError) as exc:
+                raise ValueError(f"{p}: malformed baseline entry {raw!r}") from exc
+        return cls(entries)
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into (new, baselined)."""
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for f in findings:
+            (old if any(e.matches(f) for e in self.entries) else new).append(f)
+        return new, old
+
+    def unused_entries(self, findings: Sequence[Finding]) -> List[BaselineEntry]:
+        """Entries that matched no finding — stale debt records to delete."""
+        return [
+            e for e in self.entries if not any(e.matches(f) for f in findings)
+        ]

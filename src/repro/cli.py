@@ -141,23 +141,39 @@ def build_parser() -> argparse.ArgumentParser:
         "check",
         aliases=["lint"],
         help="static analysis: repro-lint sources, structural DRC on netlists",
-        description="Run repro-lint (determinism/cache-safety rules RPL001…) "
-        "over Python sources and the structural DRC engine (rules DRC001…) "
-        "over netlists and prepared designs.  Exits 1 when anything fires.",
+        description="Run repro-lint (determinism/cache-safety rules RPL001…), "
+        "the backend-purity analyzer (BPL001…), and the resource-lifecycle/"
+        "fork-safety analyzer (RCL001…) over Python sources, and the "
+        "structural DRC engine (rules DRC001…) over netlists and prepared "
+        "designs.  Inline '# repro-lint: disable=' directives and the "
+        "baseline file silence findings; dead suppressions surface as "
+        "SUP001.  Exits 1 when anything fires.",
     )
     check.add_argument(
         "paths", nargs="*", metavar="PATH",
-        help=".py file or directory (repro-lint); .bench/.v netlist or "
-        ".pkl pickled Netlist/PreparedDesign (DRC)")
+        help=".py file or directory (repro-lint + purity + lifecycle); "
+        ".bench/.v netlist or .pkl pickled Netlist/PreparedDesign (DRC)")
     check.add_argument(
         "--self", dest="check_self", action="store_true",
-        help="lint the installed repro package sources (the CI gate)")
+        help="analyze the installed repro package sources (the CI gate): "
+        "repro-lint everywhere, backend purity over nn/, lifecycle over "
+        "runtime/, plus the unused-suppression audit")
     check.add_argument(
         "--no-deep", dest="deep", action="store_false",
         help="skip the Topedge re-verification (DRC031) on pickled designs")
     check.add_argument(
         "--rules", action="store_true",
         help="print the rule catalogs and exit")
+    check.add_argument(
+        "--format", dest="fmt", choices=("text", "json"), default="text",
+        help="output format: human-readable text (default) or a JSON "
+        "document with structured findings (rule, path, line, col, "
+        "message, symbol) for CI annotation")
+    check.add_argument(
+        "--baseline", default=".repro-baseline.json", metavar="FILE",
+        help="baseline file of acknowledged findings (default: "
+        ".repro-baseline.json; a missing file is an empty baseline); "
+        "baselined findings don't fail the run, stale entries do")
     return parser
 
 
@@ -496,24 +512,54 @@ def _check_pickle_file(path: str, deep: bool) -> List[str]:
     return [str(v) for v in run_drc(nl, mivs=mivs, het=het, deep=deep)]
 
 
-def _cmd_check(paths: List[str], check_self: bool, deep: bool, rules: bool) -> int:
-    from repro.analysis import DRC_RULES, LINT_RULES, lint_paths
+def _cmd_check(paths: List[str], check_self: bool, deep: bool, rules: bool,
+               fmt: str = "text",
+               baseline_path: str = ".repro-baseline.json") -> int:
+    import json as _json
+    import os
+
+    import repro
+    from repro.analysis import (
+        DRC_RULES,
+        LIFECYCLE_RULES,
+        LINT_RULES,
+        PURITY_RULES,
+        UNUSED_SUPPRESSION_RULE,
+        Baseline,
+        Finding,
+        analyze_lifecycle_source,
+        analyze_purity_source,
+        iter_python_files,
+        lint_source,
+        parse_suppressions,
+        unused_suppressions,
+    )
+    from repro.analysis.lifecycle import iter_lifecycle_targets
+    from repro.analysis.purity import iter_purity_targets
 
     if rules:
-        for rid, text in {**LINT_RULES, **DRC_RULES}.items():
+        catalog = {
+            **LINT_RULES, **PURITY_RULES, **LIFECYCLE_RULES, **DRC_RULES,
+            UNUSED_SUPPRESSION_RULE:
+                "inline suppression whose rule never fires (dead directive)",
+        }
+        for rid, text in catalog.items():
             print(f"{rid}  {text}")
         return 0
 
-    lint_roots: List[str] = []
-    if check_self:
-        import os
+    try:
+        baseline = Baseline.load(baseline_path)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
-        import repro
-
-        lint_roots.append(os.path.dirname(os.path.abspath(repro.__file__)))
-
-    n_problems = 0
+    findings: List[Finding] = []
     n_targets = 0
+
+    # Netlist / pickle targets run the DRC engine; violations become
+    # Finding records (line 0 anchors the file as a whole) so one report
+    # format serves both source and design targets.
+    lint_roots: List[str] = []
     for path in paths:
         if path.endswith((".bench", ".v", ".pkl", ".pickle")):
             n_targets += 1
@@ -528,20 +574,94 @@ def _cmd_check(paths: List[str], check_self: bool, deep: bool, rules: bool) -> i
                 print(f"{path}: cannot read: {exc}", file=sys.stderr)
                 return 2
             for msg in msgs:
-                print(f"{path}: {msg}")
-                n_problems += 1
+                rule, _, rest = msg.partition(": ")
+                if rule not in DRC_RULES:
+                    rule, rest = "DRC000", msg
+                findings.append(Finding(
+                    rule=rule, path=path, line=0, col=0, message=rest,
+                    symbol="<file>",
+                ))
         else:
             lint_roots.append(path)
 
-    if lint_roots:
-        n_targets += len(lint_roots)
-        for v in lint_paths(lint_roots):
-            print(v)
-            n_problems += 1
+    # Source targets: every file gets repro-lint; the contract analyzers
+    # attach where their contracts live (under --self: purity over nn/,
+    # lifecycle over runtime/) and everywhere for explicit paths.
+    engines: dict = {}
+
+    def _attach(root, name, it) -> None:
+        for f in it(root):
+            engines.setdefault(f, set()).add(name)
+
+    if check_self:
+        n_targets += 1
+        pkg = os.path.dirname(os.path.abspath(repro.__file__))
+        _attach(pkg, "lint", iter_python_files)
+        _attach(os.path.join(pkg, "nn"), "purity", iter_purity_targets)
+        _attach(os.path.join(pkg, "runtime"), "lifecycle",
+                iter_lifecycle_targets)
+    for root in lint_roots:
+        n_targets += 1
+        _attach(root, "lint", iter_python_files)
+        _attach(root, "purity", iter_purity_targets)
+        _attach(root, "lifecycle", iter_lifecycle_targets)
+
     if not n_targets:
         print("nothing to check (pass paths or --self)", file=sys.stderr)
         return 2
-    print(f"repro check: {n_problems} problem(s) in {n_targets} target(s)")
+
+    runners = {
+        "lint": lint_source,
+        "purity": analyze_purity_source,
+        "lifecycle": analyze_lifecycle_source,
+    }
+    for f in sorted(engines):
+        try:
+            source = f.read_text(encoding="utf-8")
+        except OSError as exc:
+            print(f"{f}: cannot read: {exc}", file=sys.stderr)
+            return 2
+        raw: List[Finding] = []
+        try:
+            for name in sorted(engines[f]):
+                raw.extend(runners[name](source, str(f), suppress=False))
+        except SyntaxError as exc:
+            findings.append(Finding(
+                rule="RPL000", path=str(f), line=exc.lineno or 1,
+                col=exc.offset or 0, message=f"syntax error: {exc.msg}",
+            ))
+            continue
+        raw.sort(key=lambda v: (v.line, v.col, v.rule))
+        findings.extend(parse_suppressions(source).apply(raw))
+        findings.extend(unused_suppressions(source, str(f), raw))
+
+    new, baselined = baseline.split(findings)
+    stale = baseline.unused_entries(findings)
+    n_problems = len(new) + len(stale)
+
+    if fmt == "json":
+        doc = {
+            "findings": [v.to_json() for v in new],
+            "baselined": [v.to_json() for v in baselined],
+            "unused_baseline_entries": [
+                {"rule": e.rule, "path": e.path, "symbol": e.symbol,
+                 "reason": e.reason}
+                for e in stale
+            ],
+            "problems": n_problems,
+            "targets": n_targets,
+        }
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        for v in new:
+            print(v)
+        for e in stale:
+            print(f"{baseline_path}: stale baseline entry {e.rule} {e.path} "
+                  f"({e.symbol}) matches nothing — delete it")
+        if baselined:
+            print(f"{len(baselined)} baselined finding(s) suppressed by "
+                  f"{baseline_path}")
+        print(f"repro check: {n_problems} problem(s) in {n_targets} target(s)")
     return 1 if n_problems else 0
 
 
@@ -586,7 +706,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "doctor":
         return _cmd_doctor(args.cache_dir, args.deep, args.fix)
     if args.command in ("check", "lint"):
-        return _cmd_check(args.paths, args.check_self, args.deep, args.rules)
+        return _cmd_check(args.paths, args.check_self, args.deep, args.rules,
+                          args.fmt, args.baseline)
     return 2
 
 

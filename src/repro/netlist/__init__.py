@@ -15,7 +15,11 @@ from .topology import (
 from .testability import Testability, compute_testability
 from .bench_io import dumps_bench, loads_bench, read_bench, write_bench
 from .stats import NetlistProfile, format_profile, profile_netlist
-from .validate import NetlistError, check, validate
+from ..analysis.drc import (
+    NetlistError,
+    check_netlist as check,
+    validate_netlist as validate,
+)
 from .verilog import dumps, loads, read_verilog, write_verilog
 
 __all__ = [

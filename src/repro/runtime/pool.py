@@ -254,8 +254,13 @@ def ship_result(
         return ("obj", value)
     payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
     name = f"{base}a{attempt}"
+    # Leak-on-raise here is intentional, not missed: result-segment names
+    # are deterministic (``{base}a{attempt}``), so the parent reclaims every
+    # possible name — including ones half-written by a dying worker, which
+    # could not run cleanup code anyway — via ``sweep_results``.  Unlinking
+    # on the worker side would race the sweeping parent for no benefit.
     try:
-        shm = _open_shm(name, create=True, size=max(1, len(payload)))
+        shm = _open_shm(name, create=True, size=max(1, len(payload)))  # repro-lint: disable=RCL001
     except FileExistsError:
         # A resubmitted unit re-ran an attempt whose first worker already
         # created (possibly half-wrote) this segment.  Replace it: the unit
@@ -264,7 +269,7 @@ def ship_result(
         stale.close()
         with _tracker_silenced():
             stale.unlink()
-        shm = _open_shm(name, create=True, size=max(1, len(payload)))
+        shm = _open_shm(name, create=True, size=max(1, len(payload)))  # repro-lint: disable=RCL001
     try:
         half = len(payload) // 2
         shm.buf[:half] = payload[:half]
@@ -431,6 +436,13 @@ class PersistentWorkerPool:
             shm = _open_shm(name, create=True, size=len(payload))
             try:
                 shm.buf[: len(payload)] = payload
+            except BaseException:
+                # The segment's name has not escaped yet: nothing records
+                # it in ``_spills``, so ``shutdown`` would never unlink it
+                # and it would outlive the process as doctor-only debris.
+                # Reclaim it before propagating.
+                _unlink_segment(name)
+                raise
             finally:
                 shm.close()
             ref = ResidentRef(

@@ -98,8 +98,108 @@ def test_check_missing_file_is_usage_error(tmp_path):
 def test_check_rules_catalog(capsys):
     assert main(["check", "--rules"]) == 0
     out = capsys.readouterr().out
-    for rid in ("RPL001", "RPL005", "DRC001", "DRC033"):
+    for rid in ("RPL001", "RPL005", "DRC001", "DRC033",
+                "BPL001", "BPL005", "RCL001", "RCL004", "SUP001"):
         assert rid in out
+
+
+def test_check_runs_purity_engine_on_explicit_paths(tmp_path, capsys):
+    f = tmp_path / "model.py"
+    f.write_text(
+        "import numpy as np\n"
+        "def combine(x, backend):\n"
+        "    t = backend.matmul(x, x)\n"
+        "    return np.tanh(t)\n"
+    )
+    assert main(["check", str(f)]) == 1
+    assert "BPL001" in capsys.readouterr().out
+
+
+def test_check_runs_lifecycle_engine_on_explicit_paths(tmp_path, capsys):
+    f = tmp_path / "plane.py"
+    f.write_text(
+        "def peek(name):\n"
+        "    shm = _open_shm(name)\n"
+        "    return bytes(shm.buf[:8])\n"
+    )
+    assert main(["check", str(f)]) == 1
+    out = capsys.readouterr().out
+    assert "RCL001" in out or "RCL002" in out
+
+
+def test_check_reports_dead_suppression(tmp_path, capsys):
+    f = tmp_path / "dead.py"
+    f.write_text("x = 1  # repro-lint: disable=RPL001\n")
+    assert main(["check", str(f)]) == 1
+    assert "SUP001" in capsys.readouterr().out
+
+
+def test_check_json_format(tmp_path, capsys):
+    import json
+
+    f = tmp_path / "bad.py"
+    f.write_text("import random\nx = random.random()\n")
+    assert main(["check", "--format", "json", str(f)]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["problems"] == 1 and doc["targets"] == 1
+    (finding,) = doc["findings"]
+    assert finding["rule"] == "RPL001"
+    assert finding["path"] == str(f) and finding["line"] == 2
+    assert finding["symbol"] == "<module>"
+    assert doc["baselined"] == [] and doc["unused_baseline_entries"] == []
+
+
+def test_check_json_format_clean_run(tmp_path, capsys):
+    import json
+
+    f = tmp_path / "clean.py"
+    f.write_text("x = 1\n")
+    assert main(["check", "--format", "json", str(f)]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc == {"findings": [], "baselined": [],
+                   "unused_baseline_entries": [], "problems": 0,
+                   "targets": 1}
+
+
+def test_check_baseline_demotes_known_findings(tmp_path, capsys):
+    import json
+
+    f = tmp_path / "bad.py"
+    f.write_text("import random\nx = random.random()\n")
+    bl = tmp_path / "baseline.json"
+    bl.write_text(json.dumps({
+        "version": 1,
+        "entries": [{"rule": "RPL001", "path": "bad.py",
+                     "symbol": "<module>", "reason": "legacy seed"}],
+    }))
+    assert main(["check", "--baseline", str(bl), str(f)]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined finding(s)" in out and "0 problem(s)" in out
+
+
+def test_check_stale_baseline_entry_is_a_problem(tmp_path, capsys):
+    import json
+
+    f = tmp_path / "clean.py"
+    f.write_text("x = 1\n")
+    bl = tmp_path / "baseline.json"
+    bl.write_text(json.dumps({
+        "version": 1,
+        "entries": [{"rule": "RPL001", "path": "gone.py",
+                     "symbol": "<module>", "reason": "fixed long ago"}],
+    }))
+    assert main(["check", "--baseline", str(bl), str(f)]) == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_check_malformed_baseline_is_usage_error(tmp_path, capsys):
+    import json
+
+    f = tmp_path / "clean.py"
+    f.write_text("x = 1\n")
+    bl = tmp_path / "baseline.json"
+    bl.write_text(json.dumps({"version": 7}))
+    assert main(["check", "--baseline", str(bl), str(f)]) == 2
 
 
 def test_check_mixed_targets(tmp_path, capsys):

@@ -15,9 +15,9 @@ import numpy as np
 import pytest
 
 from repro.analysis import DRC_RULES, DrcError, assert_clean, run_drc
-from repro.netlist.validate import NetlistError
-from repro.netlist.validate import check as validate_check
-from repro.netlist.validate import validate as validate_full
+from repro.analysis.drc import NetlistError
+from repro.analysis.drc import check_netlist as validate_check
+from repro.analysis.drc import validate_netlist as validate_full
 from repro.netlist.cells import CELL_LIBRARY
 from repro.netlist.netlist import EXTERNAL_DRIVER, Gate, Net
 

@@ -1,0 +1,249 @@
+"""Mutation harness for the resource-lifecycle analyzer (RCL rules).
+
+Each mutator returns a ``(bad, good)`` pair of source snippets: ``bad``
+contains exactly one class of lifecycle/fork-safety damage and must fire
+the intended rule; ``good`` is the disciplined twin of the same code and
+must not.  ``test_all_rules_covered`` pins the harness to the full
+``LIFECYCLE_RULES`` catalog, so adding an RCL rule without a mutation here
+fails CI.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import LIFECYCLE_RULES, analyze_lifecycle_source
+
+MUTATIONS = []
+
+
+def mutation(rule):
+    def deco(fn):
+        MUTATIONS.append(pytest.param(rule, fn, id=f"{rule}-{fn.__name__}"))
+        return fn
+
+    return deco
+
+
+def _src(text: str) -> str:
+    return textwrap.dedent(text)
+
+
+@mutation("RCL001")
+def create_leaks_on_write_failure():
+    # The write between creation and the name escaping can raise; the bad
+    # twin strands the segment (exactly the ensure_resident bug PR 8 fixed).
+    bad = _src("""
+        def spill(name, payload):
+            shm = _open_shm(name, create=True, size=len(payload))
+            shm.buf[: len(payload)] = payload
+            shm.close()
+            _unlink_segment(name)
+    """)
+    good = _src("""
+        def spill(name, payload):
+            shm = _open_shm(name, create=True, size=len(payload))
+            try:
+                shm.buf[: len(payload)] = payload
+            except BaseException:
+                _unlink_segment(name)
+                raise
+            finally:
+                shm.close()
+            return name
+    """)
+    return bad, good
+
+
+@mutation("RCL001")
+def finally_closes_but_never_unlinks():
+    bad = _src("""
+        def spill(name, payload):
+            shm = _open_shm(name, create=True, size=len(payload))
+            try:
+                shm.buf[: len(payload)] = payload
+            finally:
+                shm.close()
+    """)
+    good = _src("""
+        def spill(name, payload):
+            shm = _open_shm(name, create=True, size=len(payload))
+            try:
+                shm.buf[: len(payload)] = payload
+            finally:
+                shm.close()
+                _unlink_segment(name)
+    """)
+    return bad, good
+
+
+@mutation("RCL002")
+def attach_never_closed():
+    bad = _src("""
+        def peek(name):
+            shm = _open_shm(name)
+            return bytes(shm.buf[:8])
+    """)
+    good = _src("""
+        def peek(name):
+            shm = _open_shm(name)
+            try:
+                return bytes(shm.buf[:8])
+            finally:
+                shm.close()
+    """)
+    return bad, good
+
+
+@mutation("RCL002")
+def close_only_on_happy_branch():
+    bad = _src("""
+        def maybe_read(name, want):
+            shm = _open_shm(name)
+            if want:
+                data = bytes(shm.buf[:8])
+                shm.close()
+                return data
+            return None
+    """)
+    good = _src("""
+        def maybe_read(name, want):
+            shm = _open_shm(name)
+            try:
+                if want:
+                    return bytes(shm.buf[:8])
+                return None
+            finally:
+                shm.close()
+    """)
+    return bad, good
+
+
+@mutation("RCL003")
+def lambda_in_unit_payload():
+    bad = _src("""
+        def make_units(refs):
+            return [ChunkUnit(ref=r, fn=lambda x: x) for r in refs]
+    """)
+    good = _src("""
+        def make_units(refs):
+            return [ChunkUnit(ref=r, fn_name="identity") for r in refs]
+    """)
+    return bad, good
+
+
+@mutation("RCL003")
+def tracer_in_payload():
+    bad = _src("""
+        def dispatch(mp_pool, unit, self):
+            return mp_pool.apply_async(run, (unit, self.tracer))
+    """)
+    good = _src("""
+        def dispatch(mp_pool, unit, self):
+            return mp_pool.apply_async(run, (unit, self.span_export))
+    """)
+    return bad, good
+
+
+@mutation("RCL003")
+def lock_pickled_into_payload():
+    bad = _src("""
+        import threading
+
+        def freeze(state):
+            guard = threading.Lock()
+            return pickle.dumps((state, guard))
+    """)
+    good = _src("""
+        def freeze(state):
+            return pickle.dumps((state,))
+    """)
+    return bad, good
+
+
+@mutation("RCL004")
+def queue_created_after_fork():
+    bad = _src("""
+        import multiprocessing
+
+        def run(units):
+            pool = get_pool(4)
+            results = multiprocessing.Queue()
+            return pool, results
+    """)
+    good = _src("""
+        import multiprocessing
+
+        def run(units):
+            results = multiprocessing.Queue()
+            pool = get_pool(4)
+            return pool, results
+    """)
+    return bad, good
+
+
+@mutation("RCL004")
+def lock_created_after_pool_acquire():
+    bad = _src("""
+        import multiprocessing
+
+        def run(pool, units):
+            inner = pool.acquire()
+            guard = multiprocessing.Lock()
+            return inner, guard
+    """)
+    good = _src("""
+        import multiprocessing
+
+        def run(pool, units):
+            guard = multiprocessing.Lock()
+            inner = pool.acquire()
+            return inner, guard
+    """)
+    return bad, good
+
+
+# ------------------------------------------------------------------ tests
+@pytest.mark.parametrize("rule,mutator", MUTATIONS)
+def test_bad_fires_and_good_stays_clean(rule, mutator):
+    bad, good = mutator()
+    fired = {f.rule for f in analyze_lifecycle_source(bad, "runtime/pool.py")}
+    assert rule in fired, f"expected {rule} on the bad twin, got {sorted(fired)}"
+    clean = {f.rule for f in analyze_lifecycle_source(good, "runtime/pool.py")}
+    assert rule not in clean, f"{rule} misfired on the good twin"
+
+
+def test_all_rules_covered():
+    covered = {p.values[0] for p in MUTATIONS}
+    assert covered == set(LIFECYCLE_RULES), (
+        f"rules without a mutation: {sorted(set(LIFECYCLE_RULES) - covered)}; "
+        f"mutations for unknown rules: {sorted(covered - set(LIFECYCLE_RULES))}"
+    )
+
+
+def test_leak_finding_anchors_the_acquire_site():
+    bad, _ = create_leaks_on_write_failure()
+    findings = [
+        f for f in analyze_lifecycle_source(bad, "runtime/pool.py")
+        if f.rule == "RCL001"
+    ]
+    assert findings
+    # Anchored at the _open_shm call, attributed to the enclosing function.
+    assert all("_open_shm" in bad.splitlines()[f.line - 1] for f in findings)
+    assert all(f.symbol == "spill" for f in findings)
+
+
+def test_ownership_transfer_discharges_obligations():
+    # Returning the segment *name* hands the obligations to the caller —
+    # the protocol ship_result/sweep_results relies on.
+    src = _src("""
+        def publish(name, payload):
+            shm = _open_shm(name, create=True, size=len(payload))
+            shm.buf[: len(payload)] = payload
+            shm.close()
+            return name
+    """)
+    findings = analyze_lifecycle_source(src, "runtime/pool.py")
+    assert {f.rule for f in findings} <= {"RCL001"}  # normal path is owned

@@ -150,6 +150,42 @@ def test_torn_segment_is_overwritten_on_retry_and_swept():
         assert not (poolmod._SHM_DIR / f"{base}a0").exists()
 
 
+class _SpillPayload:
+    """Anonymous picklable design stand-in for the spill-failure test."""
+
+    provenance = None
+
+
+def test_ensure_resident_failed_spill_write_reclaims_segment(monkeypatch):
+    """A raise between segment creation and registry escape must unlink.
+
+    The segment's name reaches ``_spills`` only after the payload write
+    succeeds, so a failure in between used to strand the segment in
+    ``/dev/shm`` until ``repro doctor`` (lifecycle rule RCL001; see
+    ``repro.analysis.lifecycle``).
+    """
+    pool = poolmod.PersistentWorkerPool(2)
+    created: list = []
+    orig = poolmod._open_shm
+
+    def undersized(name, create=False, size=0):
+        created.append(name)
+        # One byte instead of the payload size: the buf write then raises
+        # exactly where a mid-spill failure (ENOMEM, chaos) would.
+        return orig(name, create=create, size=1)
+
+    monkeypatch.setattr(poolmod, "_open_shm", undersized)
+    with pytest.raises(ValueError):
+        pool.ensure_resident(_SpillPayload())
+    assert created, "spill segment was never created"
+    assert not pool._spills  # the name never escaped to the registry
+    monkeypatch.setattr(poolmod, "_open_shm", orig)
+    if _HAS_SHM_DIR:
+        assert not (poolmod._SHM_DIR / created[0]).exists()
+    with pytest.raises(FileNotFoundError):
+        orig(created[0])  # attach fails: the segment was unlinked on raise
+
+
 # ------------------------------------------------------------ batch geometry
 def test_auto_batch_size_serial_and_small_fanouts_stay_per_chunk():
     assert auto_batch_size(3, 1, 180) == 1  # serial: reference loop

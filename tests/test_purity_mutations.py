@@ -1,0 +1,207 @@
+"""Mutation harness for the backend-purity analyzer (BPL rules).
+
+Each mutator returns a ``(bad, good)`` pair of source snippets: ``bad``
+contains exactly one class of purity violation and must fire the intended
+rule; ``good`` is the sanctioned twin of the same code and must not.
+``test_all_rules_covered`` pins the harness to the full ``PURITY_RULES``
+catalog, so adding a BPL rule without a mutation here fails CI.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import PURITY_RULES, analyze_purity_source
+
+MUTATIONS = []
+
+
+def mutation(rule):
+    def deco(fn):
+        MUTATIONS.append(pytest.param(rule, fn, id=f"{rule}-{fn.__name__}"))
+        return fn
+
+    return deco
+
+
+def _src(text: str) -> str:
+    return textwrap.dedent(text)
+
+
+@mutation("BPL001")
+def raw_numpy_on_tensor():
+    bad = _src("""
+        import numpy as np
+
+        def combine(x, backend):
+            t = backend.matmul(x, x)
+            return np.tanh(t)
+    """)
+    good = _src("""
+        import numpy as np
+
+        def combine(x, backend):
+            t = backend.matmul(x, x)
+            return backend.tanh(t)
+    """)
+    return bad, good
+
+
+@mutation("BPL001")
+def raw_scipy_on_parameter_field():
+    bad = _src("""
+        import scipy.sparse as sp
+
+        class Layer:
+            def step(self):
+                return sp.csr_matrix(self.w.value)
+    """)
+    good = _src("""
+        import scipy.sparse as sp
+
+        class Layer:
+            def step(self, backend):
+                host = backend.to_numpy(self.w.value)
+                return sp.csr_matrix(host)
+    """)
+    return bad, good
+
+
+@mutation("BPL002")
+def reduced_precision_dtype_kwarg():
+    bad = _src("""
+        import numpy as np
+
+        def init_weights(n):
+            return np.zeros(n, dtype=np.float32)
+    """)
+    good = _src("""
+        import numpy as np
+
+        def init_weights(n):
+            return np.zeros(n, dtype=np.float64)
+    """)
+    return bad, good
+
+
+@mutation("BPL002")
+def reduced_precision_astype_string():
+    bad = _src("""
+        def shrink(w):
+            return w.astype("float16")
+    """)
+    good = _src("""
+        def shrink(w):
+            return w.astype("float64")
+    """)
+    return bad, good
+
+
+@mutation("BPL003")
+def host_round_trip_in_forward():
+    bad = _src("""
+        def forward(self, x, backend):
+            h = backend.to_numpy(x)
+            return backend.asarray(h)
+    """)
+    # The identical round-trip outside a hot path (checkpoint export) is
+    # sanctioned — BPL003 is specifically about forward/backward.
+    good = _src("""
+        def export(self, x, backend):
+            h = backend.to_numpy(x)
+            return backend.asarray(h)
+    """)
+    return bad, good
+
+
+@mutation("BPL004")
+def state_dict_returns_live_tensor():
+    bad = _src("""
+        class Layer:
+            def state_dict(self):
+                return {"w": self.w.value, "b": self.b.value}
+    """)
+    good = _src("""
+        class Layer:
+            def state_dict(self):
+                be = self.backend
+                return {
+                    "w": be.to_numpy(self.w.value),
+                    "b": be.to_numpy(self.b.value),
+                }
+    """)
+    return bad, good
+
+
+@mutation("BPL005")
+def direct_torch_import():
+    bad = _src("""
+        import torch
+
+        def relu(x):
+            return torch.relu(x)
+    """)
+    good = _src("""
+        def relu(x, backend):
+            return backend.relu(x)
+    """)
+    return bad, good
+
+
+@mutation("BPL005")
+def direct_torch_from_import():
+    bad = _src("""
+        from torch import nn
+
+        def head(d):
+            return nn.Linear(d, d)
+    """)
+    good = _src("""
+        from repro.nn.layers import Linear
+
+        def head(d):
+            return Linear(d, d)
+    """)
+    return bad, good
+
+
+# ------------------------------------------------------------------ tests
+@pytest.mark.parametrize("rule,mutator", MUTATIONS)
+def test_bad_fires_and_good_stays_clean(rule, mutator):
+    bad, good = mutator()
+    fired = {f.rule for f in analyze_purity_source(bad, "nn/model.py")}
+    assert rule in fired, f"expected {rule} on the bad twin, got {sorted(fired)}"
+    clean = {f.rule for f in analyze_purity_source(good, "nn/model.py")}
+    assert rule not in clean, f"{rule} misfired on the good twin"
+
+
+def test_all_rules_covered():
+    covered = {p.values[0] for p in MUTATIONS}
+    assert covered == set(PURITY_RULES), (
+        f"rules without a mutation: {sorted(set(PURITY_RULES) - covered)}; "
+        f"mutations for unknown rules: {sorted(covered - set(PURITY_RULES))}"
+    )
+
+
+def test_findings_carry_symbol_and_position():
+    bad, _ = state_dict_returns_live_tensor()
+    findings = [
+        f for f in analyze_purity_source(bad, "nn/model.py")
+        if f.rule == "BPL004"
+    ]
+    assert findings and all(f.symbol == "Layer.state_dict" for f in findings)
+    assert all(f.line > 0 for f in findings)
+
+
+def test_inline_suppression_silences_finding():
+    bad, _ = raw_numpy_on_tensor()
+    bad = bad.replace(
+        "return np.tanh(t)",
+        "return np.tanh(t)  # repro-lint: disable=BPL001",
+    )
+    assert analyze_purity_source(bad, "nn/model.py") == []
+    # Raw mode still sees it — that is what the SUP001 audit consumes.
+    raw = analyze_purity_source(bad, "nn/model.py", suppress=False)
+    assert {f.rule for f in raw} == {"BPL001"}

@@ -1,0 +1,122 @@
+"""Shared suppression/baseline layer: directives, SUP001 audit, baseline."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    UNUSED_SUPPRESSION_RULE,
+    Baseline,
+    BaselineEntry,
+    Finding,
+    parse_suppressions,
+    unused_suppressions,
+)
+
+
+def _f(rule="RPL001", path="src/a.py", line=3, symbol="fn"):
+    return Finding(rule=rule, path=path, line=line, col=0,
+                   message="m", symbol=symbol)
+
+
+# ------------------------------------------------------------- directives
+def test_per_line_directive_hides_only_its_line_and_rule():
+    sup = parse_suppressions("x = 1  # repro-lint: disable=RPL001\ny = 2\n")
+    assert sup.hides("RPL001", 1)
+    assert not sup.hides("RPL001", 2)
+    assert not sup.hides("RPL002", 1)
+
+
+def test_file_directive_and_comma_separated_ids():
+    src = "# repro-lint: disable-file=RPL001, BPL002\nx = 1\n"
+    sup = parse_suppressions(src)
+    assert sup.hides("RPL001", 99) and sup.hides("BPL002", 1)
+    assert sup.apply([_f(line=50)]) == []
+
+
+def test_directive_inside_string_literal_is_not_live():
+    # Documentation that *mentions* a directive (docstrings, help text)
+    # must neither suppress findings nor count as a dead suppression.
+    src = textwrap.dedent('''
+        DOC = """use # repro-lint: disable=RPL001 to silence"""
+        x = 1  # a real comment
+    ''')
+    sup = parse_suppressions(src)
+    assert not sup.per_line and not sup.per_file
+    assert unused_suppressions(src, "a.py", []) == []
+
+
+# ------------------------------------------------------------ SUP001 audit
+def test_dead_line_directive_is_reported():
+    src = "x = 1  # repro-lint: disable=RPL001\n"
+    out = unused_suppressions(src, "a.py", [])
+    assert [(f.rule, f.line) for f in out] == [(UNUSED_SUPPRESSION_RULE, 1)]
+    assert "RPL001" in out[0].message
+
+
+def test_live_directive_is_not_reported():
+    src = "x = 1  # repro-lint: disable=RPL001\n"
+    assert unused_suppressions(src, "a.py", [_f(line=1)]) == []
+
+
+def test_dead_file_directive_reports_once_at_line_one():
+    src = "# repro-lint: disable-file=BPL001\nx = 1\n"
+    out = unused_suppressions(src, "a.py", [_f(rule="RPL001", line=2)])
+    assert [(f.rule, f.line) for f in out] == [(UNUSED_SUPPRESSION_RULE, 1)]
+
+
+# --------------------------------------------------------------- baseline
+def test_baseline_suffix_path_and_symbol_matching():
+    entry = BaselineEntry(rule="RPL001", path="repro/a.py", symbol="fn")
+    assert entry.matches(_f(path="/checkout/src/repro/a.py"))
+    assert not entry.matches(_f(path="/checkout/src/repro/b.py"))
+    assert not entry.matches(_f(symbol="other"))
+    assert not entry.matches(_f(rule="RPL002"))
+
+
+def test_baseline_split_and_unused_entries():
+    bl = Baseline([
+        BaselineEntry(rule="RPL001", path="src/a.py", symbol="fn"),
+        BaselineEntry(rule="BPL004", path="src/z.py", symbol="gone"),
+    ])
+    new, old = bl.split([_f(), _f(rule="RPL002")])
+    assert [f.rule for f in new] == ["RPL002"]
+    assert [f.rule for f in old] == ["RPL001"]
+    assert [e.rule for e in bl.unused_entries([_f()])] == ["BPL004"]
+
+
+def test_baseline_load_missing_file_is_empty(tmp_path):
+    assert Baseline.load(tmp_path / "nope.json").entries == []
+    assert Baseline.load(None).entries == []
+
+
+def test_baseline_load_rejects_wrong_version_and_bad_entries(tmp_path):
+    p = tmp_path / "b.json"
+    p.write_text(json.dumps({"version": 2, "entries": []}))
+    with pytest.raises(ValueError, match="version-1"):
+        Baseline.load(p)
+    p.write_text(json.dumps({"version": 1, "entries": [{"rule": "X"}]}))
+    with pytest.raises(ValueError, match="malformed"):
+        Baseline.load(p)
+
+
+def test_checked_in_baseline_is_valid_and_empty():
+    # The healthy steady state: the repo carries no acknowledged debt.
+    from pathlib import Path
+
+    repo = Path(__file__).resolve().parent.parent
+    bl = Baseline.load(repo / ".repro-baseline.json")
+    assert bl.entries == []
+
+
+# ---------------------------------------------------------------- Finding
+def test_finding_str_and_json_round_trip():
+    f = _f()
+    assert str(f) == "src/a.py:3:0: RPL001 m"
+    doc = f.to_json()
+    assert doc == {"rule": "RPL001", "path": "src/a.py", "line": 3,
+                   "col": 0, "message": "m", "symbol": "fn"}
+    assert json.loads(json.dumps(doc)) == doc
