@@ -23,7 +23,18 @@ RCL003     a fork-hostile value (lambda, lock, pool, tracer, open file,
 RCL004     a multiprocessing primitive is created *after* a pool fork
            point in the same function (workers fork without it — the
            primitive silently fails to synchronize anything)
+RCL005     a socket / accepted connection is not closed on every CFG
+           path (close obligation outstanding at any exit)
 =========  ============================================================
+
+Sockets (PR 9's distributed runtime) carry a single *close* obligation,
+imposed by ``socket.socket(...)``, ``socket.create_connection(...)``, or a
+tuple-unpacked ``listener.accept()``.  The wire helpers
+(``send_frame`` / ``recv_frame`` / ``recv_frame_poll``) are part of the
+lifecycle protocol: passing a socket to them is *use*, not an ownership
+transfer — only storing the handle, returning it, or handing it whole to
+other code discharges the obligation.  A socket assigned directly into an
+attribute or container escapes at birth and imposes nothing here.
 
 Obligation discharge is ownership-aware: unlink is considered satisfied
 when the segment *name* escapes the function (returned, stored into an
@@ -63,6 +74,7 @@ LIFECYCLE_RULES: Dict[str, str] = {
     "RCL002": "shared-memory segment not released on a normal exit path",
     "RCL003": "fork-hostile value captured into a pickled unit payload",
     "RCL004": "multiprocessing primitive created after a pool fork point",
+    "RCL005": "socket/connection not closed on every CFG path",
 }
 
 #: The two obligations a segment acquire can impose.
@@ -73,8 +85,14 @@ _UNLINK = "unlink"
 _ACQUIRE_FUNCS = {"_open_shm", "SharedMemory"}
 
 #: Calls that are part of the lifecycle protocol itself — a segment name
-#: passed to one of these is *not* an ownership transfer.
-_LIFECYCLE_CALLS = {"_open_shm", "SharedMemory", "_unlink_segment"}
+#: (or a socket) passed to one of these is *not* an ownership transfer.
+_LIFECYCLE_CALLS = {
+    "_open_shm", "SharedMemory", "_unlink_segment",
+    "send_frame", "recv_frame", "recv_frame_poll",
+}
+
+#: Qualified constructors that impose a socket close obligation.
+_SOCK_ACQUIRE_QUALS = {"socket.socket", "socket.create_connection"}
 
 #: Constructors whose results must never ride in a pickled payload.
 _FORK_HOSTILE_QUALS = {
@@ -103,14 +121,15 @@ _EXC_EXIT = 1  # exceptional function exit
 
 @dataclass(frozen=True)
 class _Site:
-    """One segment-acquire site."""
+    """One resource-acquire site (shared-memory segment or socket)."""
 
     sid: int
     line: int
     col: int
-    handle: Optional[str]    # local var bound to the SharedMemory handle
-    name_var: Optional[str]  # local var holding the segment name
+    handle: Optional[str]    # local var bound to the resource handle
+    name_var: Optional[str]  # local var holding the segment name (shm only)
     obligations: FrozenSet[str]
+    kind: str = "shm"        # "shm" or "sock"
 
 
 class _Cfg:
@@ -338,6 +357,43 @@ class _FunctionAnalysis:
         name_var = name_expr.id if isinstance(name_expr, ast.Name) else None
         return creates, name_var
 
+    def _extract_acquire(
+        self, stmt: ast.stmt
+    ) -> Optional[Tuple[str, Optional[str], Optional[str], FrozenSet[str]]]:
+        """``(kind, handle, name_var, obligations)`` when ``stmt`` acquires.
+
+        Covers segment opens (``kind="shm"``), socket constructors, and
+        tuple-unpacked ``listener.accept()`` (``kind="sock"``).  A socket
+        bound straight into an attribute or container escapes at birth
+        and yields no site.
+        """
+        if not isinstance(stmt, ast.Assign) or not isinstance(stmt.value, ast.Call):
+            return None
+        call = stmt.value
+        target = stmt.targets[0] if len(stmt.targets) == 1 else None
+        plain_handle = target.id if isinstance(target, ast.Name) else None
+
+        acq = self._acquire_call(call)
+        if acq is not None:
+            creates, name_var = acq
+            return "shm", plain_handle, name_var, frozenset(
+                (_CLOSE, _UNLINK) if creates else (_CLOSE,)
+            )
+        if self._qualname_of(call.func) in _SOCK_ACQUIRE_QUALS:
+            if plain_handle is None:
+                return None
+            return "sock", plain_handle, None, frozenset({_CLOSE})
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "accept"
+            and not call.args
+            and isinstance(target, ast.Tuple)
+            and target.elts
+            and isinstance(target.elts[0], ast.Name)
+        ):
+            return "sock", target.elts[0].id, None, frozenset({_CLOSE})
+        return None
+
     def _attr_bases(self, expr: ast.expr) -> Set[int]:
         """ids of Name nodes that only serve as attribute bases.
 
@@ -387,23 +443,16 @@ class _FunctionAnalysis:
             return eff
         exprs = self._node_exprs(stmt)
 
-        # Acquires: ``handle = _open_shm(...)`` / ``= SharedMemory(...)``.
-        if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
-            acq = self._acquire_call(stmt.value)
-            if acq is not None:
-                creates, name_var = acq
-                handle = (
-                    stmt.targets[0].id
-                    if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name)
-                    else None
-                )
-                obligations = frozenset(
-                    (_CLOSE, _UNLINK) if creates else (_CLOSE,)
-                )
-                eff.acquires.append(_Site(
-                    sid=len(self.sites), line=stmt.lineno, col=stmt.col_offset,
-                    handle=handle, name_var=name_var, obligations=obligations,
-                ))
+        # Acquires: ``handle = _open_shm(...)`` / ``= SharedMemory(...)`` /
+        # socket constructors / ``conn, addr = listener.accept()``.
+        acq = self._extract_acquire(stmt)
+        if acq is not None:
+            kind, handle, name_var, obligations = acq
+            eff.acquires.append(_Site(
+                sid=len(self.sites), line=stmt.lineno, col=stmt.col_offset,
+                handle=handle, name_var=name_var, obligations=obligations,
+                kind=kind,
+            ))
 
         by_handle: Dict[str, List[_Site]] = {}
         by_name: Dict[str, List[_Site]] = {}
@@ -494,20 +543,15 @@ class _FunctionAnalysis:
         # handle/name bindings anywhere in the function (including releases
         # that appear before the acquire in source order, e.g. in loops).
         for stmt in ast.walk(self.func):
-            if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
-                acq = self._acquire_call(stmt.value)
+            if isinstance(stmt, ast.stmt):
+                acq = self._extract_acquire(stmt)
                 if acq is None:
                     continue
-                creates, name_var = acq
-                handle = (
-                    stmt.targets[0].id
-                    if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name)
-                    else None
-                )
+                kind, handle, name_var, obligations = acq
                 self.sites.append(_Site(
                     sid=len(self.sites), line=stmt.lineno, col=stmt.col_offset,
-                    handle=handle, name_var=name_var,
-                    obligations=frozenset((_CLOSE, _UNLINK) if creates else (_CLOSE,)),
+                    handle=handle, name_var=name_var, obligations=obligations,
+                    kind=kind,
                 ))
         if not self.sites:
             return []
@@ -554,22 +598,34 @@ class _FunctionAnalysis:
 
         findings: List[Finding] = []
         seen: Set[Tuple[int, str]] = set()
-        for exit_node, rule in ((_EXC_EXIT, "RCL001"), (_EXIT, "RCL002")):
+        for exit_node, shm_rule in ((_EXC_EXIT, "RCL001"), (_EXIT, "RCL002")):
             outstanding = state_in[exit_node] or frozenset()
+            exit_kind = "an exception" if exit_node == _EXC_EXIT else "a normal"
             for sid, ob in sorted(outstanding):
+                site = self.sites[sid]
+                # Sockets carry one rule regardless of exit flavor: the
+                # contract is simply "closed on every CFG path".
+                rule = shm_rule if site.kind == "shm" else "RCL005"
                 if (sid, rule) in seen:
                     continue
                 seen.add((sid, rule))
-                site = self.sites[sid]
-                kind = "an exception" if rule == "RCL001" else "a normal"
-                findings.append(Finding(
-                    rule=rule, path=self.path, line=site.line, col=site.col,
-                    message=(
-                        f"segment acquired here may leak on {kind} exit "
+                if site.kind == "shm":
+                    message = (
+                        f"segment acquired here may leak on {exit_kind} exit "
                         f"path ('{ob}' obligation never discharged; close "
                         "the handle and unlink the segment — or hand its "
                         "name to an owner — on every path)"
-                    ),
+                    )
+                else:
+                    message = (
+                        f"socket acquired here may leak on {exit_kind} exit "
+                        "path (never closed; wire helpers do not take "
+                        "ownership — close the connection, or hand it whole "
+                        "to an owner, on every path)"
+                    )
+                findings.append(Finding(
+                    rule=rule, path=self.path, line=site.line, col=site.col,
+                    message=message,
                     symbol=self.qualname,
                 ))
         return findings

@@ -90,6 +90,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_runtime_args(tables)
 
+    coordinator = sub.add_parser(
+        "coordinator",
+        help="run a tables build as a distributed coordinator",
+        description="Serve dataset-generation work units to `repro worker` "
+        "processes over the lease-based wire protocol while running the "
+        "tables build.  Workers may connect at any time (they retry with "
+        "backoff); a cluster that stalls or partitions degrades to the "
+        "local fault-tolerant executor, so the build always completes — "
+        "with fingerprints byte-identical to a serial run.",
+    )
+    coordinator.add_argument("--scale", choices=("default", "tiny"), default="tiny")
+    coordinator.add_argument("--samples", type=int, default=20,
+                             help="test chips per point")
+    coordinator.add_argument(
+        "--only", default=None,
+        help=f"comma-separated subset of: {', '.join(TABLE_CHOICES)}",
+    )
+    coordinator.add_argument(
+        "--no-resume", dest="resume", action="store_false",
+        help="ignore (and discard) any checkpoint manifest from an "
+             "interrupted run with the same parameters",
+    )
+    coordinator.add_argument("--host", default="127.0.0.1",
+                             help="listen address (default: 127.0.0.1)")
+    coordinator.add_argument("--port", type=int, default=0,
+                             help="listen port (default: 0 = pick a free "
+                                  "port, printed at startup)")
+    coordinator.add_argument("--lease-timeout", type=float, default=10.0,
+                             metavar="S",
+                             help="lease lifetime without a worker heartbeat")
+    coordinator.add_argument("--fallback-after", type=float, default=10.0,
+                             metavar="S",
+                             help="remote-progress silence before the build "
+                                  "degrades to local execution")
+    add_runtime_args(coordinator)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve work units for a `repro coordinator`",
+        description="Connect to a coordinator, lease work units, execute "
+        "them, and push results back.  Reconnects with deterministic "
+        "seeded backoff; exits 0 on coordinator-initiated shutdown, 3 when "
+        "the reconnect budget is exhausted.",
+    )
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address")
+    worker.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="local disk tier for fetched designs "
+                             "(default: $REPRO_CACHE_DIR or none)")
+    worker.add_argument("--max-reconnects", type=int, default=30, metavar="N",
+                        help="consecutive failed connections tolerated "
+                             "before giving up (default: 30)")
+
     export = sub.add_parser("export", help="dump a generated benchmark netlist")
     export.add_argument("--benchmark", choices=("AES", "Tate", "netcard", "leon3mp"),
                         default="AES")
@@ -121,14 +174,17 @@ def build_parser() -> argparse.ArgumentParser:
     doctor = sub.add_parser(
         "doctor",
         help="audit artifact-cache health (orphan tmps, desynced sidecars, "
-             "leaked shared-memory segments)",
+             "leaked shared-memory segments, stale distributed-tier state)",
         description="Audit the content-addressed cache for damage an "
         "interrupted or faulty run can leave behind: orphaned *.tmp files, "
         "sidecars without payloads, payloads without (or with desynced) "
         "sidecars, and — with --deep — payloads that no longer unpickle.  "
         "Also scans for repro_* shared-memory segments whose owning process "
-        "is dead (a crashed parallel build's spill/result planes); --fix "
-        "reaps them.  Exits 0 when healthy, 1 when problems were found.",
+        "is dead (a crashed parallel build's spill/result planes), stale "
+        "distributed-tier state (lease files of dead coordinators, orphaned "
+        "result-store entries, stale run markers), and checkpoint manifests "
+        "no current run key can match; --fix reaps them.  Exits 0 when "
+        "healthy, 1 when problems were found.",
     )
     doctor.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="cache directory (default: $REPRO_CACHE_DIR)")
@@ -332,7 +388,8 @@ def _tables_body(rt, scale: str, samples: int, only: Optional[str],
         run_key = {"command": "tables", "scale": scale, "samples": samples,
                    "only": sorted(wanted)}
         manifest = ProgressManifest(
-            manifest_path(rt.cache.root, "tables", run_key), run_key
+            manifest_path(rt.cache.root, "tables", run_key), run_key,
+            name="tables",
         )
         if not resume:
             manifest.discard()
@@ -394,6 +451,57 @@ def _tables_body(rt, scale: str, samples: int, only: Optional[str],
     return 0
 
 
+def _cmd_coordinator(scale: str, samples: int, only: Optional[str],
+                     host: str, port: int, lease_timeout: float,
+                     fallback_after: float, workers: Optional[int] = None,
+                     cache_dir: Optional[str] = None, resume: bool = True,
+                     stats_out: Optional[str] = None) -> int:
+    from pathlib import Path
+
+    from repro.runtime import Coordinator, DistPolicy, handle_termination
+
+    rt = _configure_runtime(workers, cache_dir)
+    policy = DistPolicy(lease_timeout_s=lease_timeout,
+                        fallback_after_s=fallback_after)
+    store_dir = Path(rt.cache.root) / "dist" if rt.cache is not None else None
+    coordinator = Coordinator(
+        host=host, port=port, workers=rt.workers, policy=policy,
+        retry=rt.retry, stats=rt.stats, chaos=rt.chaos,
+        store_dir=store_dir, tracer=rt.tracer,
+    )
+    rt.dist = coordinator
+    print(f"coordinator listening on "
+          f"{coordinator.address[0]}:{coordinator.address[1]}", file=sys.stderr)
+    try:
+        with handle_termination(), rt.tracer.span("tables"):
+            code = _tables_body(rt, scale, samples, only, resume)
+    except KeyboardInterrupt:
+        coordinator.close()
+        return _interrupted(rt, stats_out)
+    finally:
+        coordinator.close()
+    _write_stats_out(rt, stats_out)
+    return code
+
+
+def _cmd_worker(connect: str, cache_dir: Optional[str],
+                max_reconnects: int) -> int:
+    import os
+
+    from repro.runtime import run_worker
+
+    cache_dir = cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
+    print(f"worker {os.getpid()} connecting to {connect}", file=sys.stderr)
+    code = run_worker(connect, cache_dir=cache_dir,
+                      max_reconnects=max_reconnects)
+    if code == 0:
+        print("worker: coordinator shut the cluster down", file=sys.stderr)
+    else:
+        print(f"worker: giving up after {max_reconnects} reconnect attempt(s)",
+              file=sys.stderr)
+    return code
+
+
 def _cmd_cache(cache_dir: Optional[str], clear: bool) -> int:
     import os
 
@@ -450,6 +558,22 @@ def _doctor_segments(fix: bool) -> int:
     return len(orphans)
 
 
+def _doctor_dist(cache_dir: str, fix: bool) -> int:
+    """Audit the distributed tier + checkpoint manifests; returns problems."""
+    from pathlib import Path
+
+    from repro.runtime import audit_dist_store, audit_manifests
+
+    dist_health = audit_dist_store(Path(cache_dir) / "dist", fix=fix)
+    print("distributed tier:")
+    print(dist_health.report())
+    manifest_problems = audit_manifests(cache_dir, fix=fix)
+    print(f"  unmatchable checkpoint manifests: {len(manifest_problems)}")
+    for name, problem in manifest_problems:
+        print(f"    manifests/{name}: {problem}")
+    return dist_health.problems + len(manifest_problems)
+
+
 def _cmd_doctor(cache_dir: Optional[str], deep: bool, fix: bool) -> int:
     import os
 
@@ -465,7 +589,8 @@ def _cmd_doctor(cache_dir: Optional[str], deep: bool, fix: bool) -> int:
     print(f"cache {cache_dir}:")
     print(health.report())
     orphan_segments = _doctor_segments(fix)
-    problems = health.problems + orphan_segments
+    dist_problems = _doctor_dist(cache_dir, fix)
+    problems = health.problems + orphan_segments + dist_problems
     if fix and problems:
         print(f"repaired {problems} problem(s)")
         return 0
@@ -697,6 +822,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_tables(args.scale, args.samples, args.only,
                            args.workers, args.cache_dir, args.resume,
                            args.stats_out)
+    if args.command == "coordinator":
+        return _cmd_coordinator(args.scale, args.samples, args.only,
+                                args.host, args.port, args.lease_timeout,
+                                args.fallback_after, args.workers,
+                                args.cache_dir, args.resume, args.stats_out)
+    if args.command == "worker":
+        return _cmd_worker(args.connect, args.cache_dir, args.max_reconnects)
     if args.command == "export":
         return _cmd_export(args.benchmark, args.scale, args.format, args.output)
     if args.command == "cache":

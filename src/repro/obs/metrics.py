@@ -2,9 +2,10 @@
 
 One *metrics document* snapshots everything the runtime knows about a run:
 per-stage wall-clock (:class:`repro.runtime.RuntimeStats`), the span tree
-(:class:`repro.obs.SpanTracer`), free-form counters, and two derived views
-(cache hit ratios per artifact kind, fault-tolerance events) that the
-``repro stats`` renderer and dashboards both want pre-computed.
+(:class:`repro.obs.SpanTracer`), free-form counters, and three derived views
+(cache hit ratios per artifact kind, fault-tolerance events, distributed-
+runtime events) that the ``repro stats`` renderer and dashboards both want
+pre-computed.
 
 The JSON schema is versioned (:data:`METRICS_SCHEMA`) and additive-only:
 consumers pin ``schema`` and ignore unknown keys.  The Prometheus writer
@@ -92,6 +93,23 @@ def _faulttol_view(counters: Dict[str, int]) -> Dict[str, Any]:
     }
 
 
+def _dist_view(counters: Dict[str, int]) -> Dict[str, Any]:
+    """Distributed-runtime events: the ``dist.*`` map plus derived health.
+
+    ``remote_share`` is the fraction of completed units that came back over
+    the wire (vs. the local fallback ladder) — 1.0 means the cluster did all
+    the work, 0.0 means every unit degraded to local execution.
+    """
+    events = {k: v for k, v in counters.items() if k.startswith("dist.")}
+    remote = events.get("dist.results_remote", 0)
+    local = events.get("dist.fallback_units", 0)
+    done = remote + local
+    return {
+        "events": {k: events[k] for k in sorted(events)},
+        "remote_share": (remote / done) if done else None,
+    }
+
+
 def metrics_document(stats: StatsLike, tracer: Optional[SpanTracer] = None,
                      spans: Optional[SpanExport] = None) -> Dict[str, Any]:
     """The stable-schema metrics document for one run.
@@ -116,6 +134,7 @@ def metrics_document(stats: StatsLike, tracer: Optional[SpanTracer] = None,
         "spans": {k: spans[k] for k in sorted(spans)},
         "cache": _cache_view(stats.counters),
         "faulttol": _faulttol_view(stats.counters),
+        "dist": _dist_view(stats.counters),
     }
 
 
@@ -242,4 +261,15 @@ def render_metrics(doc: Dict[str, Any], top: int = 10) -> str:
             lines.append(f"  {name:<{width}s} {events[name]:6d}")
     else:
         lines.append("  (none — no retries, timeouts, respawns, or degradations)")
+
+    dist = doc.get("dist", {})
+    dist_events = dist.get("events", {})
+    if dist_events:
+        lines.append("\ndistributed runtime:")
+        width = max(len(k) for k in dist_events)
+        for name in sorted(dist_events):
+            lines.append(f"  {name:<{width}s} {dist_events[name]:6d}")
+        share = dist.get("remote_share")
+        if share is not None:
+            lines.append(f"  remote share: {share * 100:.1f}% of completed units")
     return "\n".join(lines)

@@ -23,12 +23,17 @@ Public surface:
   fingerprints;
 * :mod:`~repro.runtime.pool` — persistent worker pools with resident
   designs and shared-memory data planes (spill segments in, result
-  segments out), plus the orphan-segment audit ``repro doctor`` uses.
+  segments out), plus the orphan-segment audit ``repro doctor`` uses;
+* :mod:`~repro.runtime.dist` — the distributed rung: a lease-based
+  coordinator serving work units to socket-connected workers over a
+  digest-framed wire protocol, degrading to the local ladder when the
+  cluster stalls or partitions, with byte-identical output throughout.
 """
 
 from .cache import ArtifactCache, CacheHealth, CODE_VERSION, cache_key_hash, canonical_key
 from .chaos import ChaosError, ChaosPlan, chaos_from_env
-from .checkpoint import ProgressManifest, manifest_path
+from .checkpoint import ProgressManifest, audit_manifests, manifest_path
+from .dist import Coordinator, DistPolicy, audit_dist_store, run_worker
 from .faulttol import RetryPolicy, UnitFailedError, handle_termination, run_units
 from .pool import (
     PersistentWorkerPool,
@@ -59,14 +64,18 @@ __all__ = [
     "CacheHealth",
     "ChaosError",
     "ChaosPlan",
+    "Coordinator",
     "DatasetRequest",
     "DatasetRuntime",
     "DEFAULT_CHUNK_SIZE",
+    "DistPolicy",
     "PersistentWorkerPool",
     "ProgressManifest",
     "RetryPolicy",
     "RuntimeStats",
     "UnitFailedError",
+    "audit_dist_store",
+    "audit_manifests",
     "cache_key_hash",
     "canonical_key",
     "chaos_from_env",
@@ -83,6 +92,7 @@ __all__ = [
     "reap_orphan_segments",
     "reset_runtime",
     "run_units",
+    "run_worker",
     "sample_set_fingerprint",
     "scan_orphan_segments",
     "shutdown_pools",

@@ -17,6 +17,22 @@ by injecting exactly those failures on demand:
 * **drop_sidecar** — a just-written ``.key.json`` sidecar is deleted,
   desyncing the payload from its key record.
 
+The distributed runtime (:mod:`repro.runtime.dist`) adds network fault
+kinds on the same deterministic substrate:
+
+* **net_kill** — a remote worker dies hard (``os._exit(72)``) right after
+  accepting a lease, mid-unit from the coordinator's point of view;
+* **net_drop / net_dup / net_trunc** — a data-plane frame (a unit result)
+  is silently dropped, sent twice, or truncated mid-stream with the
+  connection cut, exercising ack/resend, duplicate-result idempotency,
+  and digest-framed corruption detection respectively;
+* **net_stall** — a worker stops heartbeating and sleeps ``hang_seconds``
+  before executing, so the coordinator reaps the lease and reassigns the
+  unit while the stalled result arrives late (and is ignored);
+* **partition** — the coordinator grants no leases at all, as if the
+  network partitioned the whole cluster; the build must complete through
+  the local-fallback rung of the degradation ladder.
+
 Decisions are *deterministic*: each (unit token, attempt) pair hashes
 against the configured rate via :func:`repro.runtime.seeds.derive_seed`,
 so a chaos run is reproducible under ``PYTHONHASHSEED`` and worker-count
@@ -76,9 +92,19 @@ class ChaosPlan:
             shared-memory result segment on attempt 0.
         corrupt: Probability a cache payload is damaged right after a put.
         drop_sidecar: Probability a sidecar is deleted right after a put.
+        net_kill: Probability a distributed worker dies hard on a unit's
+            attempt 0, right after taking its lease.
+        net_drop: Probability a result frame's first send is dropped.
+        net_dup: Probability a result frame is sent twice.
+        net_trunc: Probability a result frame is truncated mid-stream and
+            the connection cut.
+        net_stall: Probability a worker stalls (no heartbeats, sleeps
+            ``hang_seconds``) before executing a leased unit.
+        partition: Probability the coordinator refuses every lease for a
+            batch (full network partition; forces the local fallback).
         seed: Chaos decision seed (independent of dataset seeds).
-        hang_seconds: Sleep injected by a hang (must exceed the deadline to
-            be observable).
+        hang_seconds: Sleep injected by a hang/stall (must exceed the
+            deadline / lease timeout to be observable).
     """
 
     crash: float = 0.0
@@ -86,6 +112,12 @@ class ChaosPlan:
     shm_crash: float = 0.0
     corrupt: float = 0.0
     drop_sidecar: float = 0.0
+    net_kill: float = 0.0
+    net_drop: float = 0.0
+    net_dup: float = 0.0
+    net_trunc: float = 0.0
+    net_stall: float = 0.0
+    partition: float = 0.0
     seed: int = 0
     hang_seconds: float = 30.0
 
@@ -160,13 +192,62 @@ class ChaosPlan:
 
             Path(os.fspath(sidecar)).unlink(missing_ok=True)
 
+    # ------------------------------------------------------- network faults
+    def maybe_kill_net_worker(self, token: Tuple[object, ...], attempt: int) -> None:
+        """Kill a distributed worker right after it leased a unit (attempt 0).
+
+        ``os._exit(72)`` distinguishes the injection from a unit-body crash
+        (70) and an shm-write crash (71).  Outside a worker process it
+        raises :class:`ChaosError` so in-process tests exercise the
+        coordinator's requeue accounting without dying.
+        """
+        if attempt != 0:
+            return
+        if self._fires("net_kill", token, self.net_kill):
+            if in_worker():
+                os._exit(72)  # mid-unit death: lease left dangling
+            raise ChaosError(f"injected worker kill for unit {token!r}")
+
+    def frame_fault(self, token: Tuple[object, ...], send_attempt: int) -> Optional[str]:
+        """Which frame fault (if any) to inject into one data-plane send.
+
+        Returns ``"drop"``, ``"dup"``, ``"trunc"``, or ``None``.  Faults
+        fire on a frame's *first* send only — a resend after a missing ack
+        or a reconnect always goes out clean, which is what lets the chaos
+        suite assert fingerprint identity with fault-free builds.
+        """
+        if send_attempt != 0:
+            return None
+        for kind, rate in (("net_drop", self.net_drop),
+                           ("net_dup", self.net_dup),
+                           ("net_trunc", self.net_trunc)):
+            if self._fires(kind, token, rate):
+                return kind[len("net_"):]
+        return None
+
+    def stall_fires(self, token: Tuple[object, ...], attempt: int) -> bool:
+        """True when a leased unit should stall (no heartbeats, attempt 0).
+
+        The stalled worker sleeps ``hang_seconds`` before executing, long
+        enough for the coordinator to reap the lease and reassign the unit;
+        the stalled result then arrives late and exercises the
+        duplicate-result idempotency path.
+        """
+        return attempt == 0 and self._fires("net_stall", token, self.net_stall)
+
+    def partition_fires(self, token: Tuple[object, ...]) -> bool:
+        """True when the coordinator should refuse every lease for a batch."""
+        return self._fires("partition", token, self.partition)
+
     @property
     def active(self) -> bool:
         """True when any injection rate is non-zero."""
         return any(
             r > 0.0
             for r in (self.crash, self.hang, self.shm_crash, self.corrupt,
-                      self.drop_sidecar)
+                      self.drop_sidecar, self.net_kill, self.net_drop,
+                      self.net_dup, self.net_trunc, self.net_stall,
+                      self.partition)
         )
 
 
@@ -184,7 +265,9 @@ def chaos_from_env(env: Optional[str] = None) -> Optional[ChaosPlan]:
     if not env:
         return None
     fields = {"crash": 0.0, "hang": 0.0, "shm_crash": 0.0, "corrupt": 0.0,
-              "drop_sidecar": 0.0, "seed": 0, "hang_s": 30.0}
+              "drop_sidecar": 0.0, "net_kill": 0.0, "net_drop": 0.0,
+              "net_dup": 0.0, "net_trunc": 0.0, "net_stall": 0.0,
+              "partition": 0.0, "seed": 0, "hang_s": 30.0}
     for part in env.split(","):
         key, sep, value = part.partition("=")
         key = key.strip()
@@ -205,6 +288,12 @@ def chaos_from_env(env: Optional[str] = None) -> Optional[ChaosPlan]:
         shm_crash=fields["shm_crash"],
         corrupt=fields["corrupt"],
         drop_sidecar=fields["drop_sidecar"],
+        net_kill=fields["net_kill"],
+        net_drop=fields["net_drop"],
+        net_dup=fields["net_dup"],
+        net_trunc=fields["net_trunc"],
+        net_stall=fields["net_stall"],
+        partition=fields["partition"],
         seed=int(fields["seed"]),
         hang_seconds=fields["hang_s"],
     )

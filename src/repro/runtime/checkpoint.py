@@ -14,6 +14,12 @@ Manifests are JSON (human-inspectable, diff-able in bug reports) and every
 update is written atomically via the same tempfile + fsync + rename
 protocol as the artifact cache, so a SIGKILL mid-write leaves either the
 old manifest or the new one, never a torn file.
+
+Format 2 manifests additionally record their *name* and *run key*
+verbatim, which makes them auditable: :func:`audit_manifests` (behind
+``repro doctor``) re-derives each manifest's canonical filename from its
+recorded identity and flags files that no current run key can ever match
+— legacy formats, torn files, version-stale digests, renamed files.
 """
 
 from __future__ import annotations
@@ -21,13 +27,13 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from .cache import CODE_VERSION, cache_key_hash
 
-__all__ = ["ProgressManifest", "manifest_path"]
+__all__ = ["ProgressManifest", "audit_manifests", "manifest_path"]
 
-_FORMAT = 1
+_FORMAT = 2
 
 
 def manifest_path(root: Union[str, os.PathLike], name: str,
@@ -68,11 +74,24 @@ class ProgressManifest:
         run_key: Identity of the run's inputs.  A manifest on disk whose
             recorded run key differs is ignored and will be overwritten —
             stale progress must never leak across configurations.
+        name: Run name (the same string passed to :func:`manifest_path`);
+            recorded in the manifest so :func:`audit_manifests` can verify
+            the file still matches a derivable run key.
     """
 
-    def __init__(self, path: Union[str, os.PathLike], run_key: Dict[str, Any]) -> None:
+    def __init__(self, path: Union[str, os.PathLike], run_key: Dict[str, Any],
+                 name: Optional[str] = None) -> None:
         self.path = Path(path)
+        self.name = name
         self.run_key_hash = cache_key_hash({"version": CODE_VERSION, **run_key})
+        try:
+            # Stored verbatim for the doctor audit; a run key with
+            # non-JSON values simply isn't auditable (and is flagged so).
+            self._run_key_json: Optional[Dict[str, Any]] = json.loads(
+                json.dumps(run_key)
+            )
+        except (TypeError, ValueError):
+            self._run_key_json = None
         self._stages: Dict[str, Dict[str, Any]] = {}
         self._load()
 
@@ -94,6 +113,8 @@ class ProgressManifest:
     def _flush(self) -> None:
         doc = {
             "format": _FORMAT,
+            "name": self.name,
+            "run_key": self._run_key_json,
             "run_key_hash": self.run_key_hash,
             "stages": self._stages,
         }
@@ -125,3 +146,54 @@ class ProgressManifest:
         """Delete the manifest (used by ``--no-resume`` / successful cleanup)."""
         self._stages = {}
         self.path.unlink(missing_ok=True)
+
+
+def audit_manifests(root: Union[str, os.PathLike],
+                    fix: bool = False) -> List[Tuple[str, str]]:
+    """Find manifests under ``root`` that no current run key can match.
+
+    Flags (and with ``fix``, deletes):
+
+    * unparseable files (torn by something other than the atomic writer);
+    * pre-format-2 manifests and manifests without a recorded name/run key
+      — nothing can verify them, and no current writer produces them;
+    * manifests whose recorded (name, run key) no longer derives their own
+      filename, or whose recorded hash doesn't match the recorded run key
+      — a code-version bump or a rename stranded them; no invocation will
+      ever read them again.
+
+    Returns ``(filename, problem)`` pairs.  Manifests that verify — i.e.
+    resumable state for some reachable run key — are never touched.
+    """
+    mdir = Path(root) / "manifests"
+    problems: List[Tuple[str, str]] = []
+    if not mdir.is_dir():
+        return problems
+    for path in sorted(mdir.glob("*.json")):
+        problem = _manifest_problem(Path(root), path)
+        if problem is None:
+            continue
+        problems.append((path.name, problem))
+        if fix:
+            path.unlink(missing_ok=True)
+    return problems
+
+
+def _manifest_problem(root: Path, path: Path) -> Optional[str]:
+    """Why ``path`` is unmatchable, or ``None`` when it verifies."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return "unreadable (torn or not JSON)"
+    if not isinstance(doc, dict) or doc.get("format") != _FORMAT:
+        return f"legacy format {doc.get('format') if isinstance(doc, dict) else '?'}"
+    name = doc.get("name")
+    run_key = doc.get("run_key")
+    if not isinstance(name, str) or not isinstance(run_key, dict):
+        return "no recorded run key"
+    if manifest_path(root, name, run_key).name != path.name:
+        return "filename does not match recorded run key (stale code version?)"
+    expected = cache_key_hash({"version": CODE_VERSION, **run_key})
+    if doc.get("run_key_hash") != expected:
+        return "run-key hash mismatch"
+    return None

@@ -1,0 +1,33 @@
+"""Distributed work-unit runtime: coordinator/worker sharding over sockets.
+
+The fourth rung of the execution ladder.  One :class:`Coordinator` serves
+``ChunkUnit`` / ``PrepareUnit`` payloads to socket-connected workers
+(:func:`run_worker`) over a length-prefixed, digest-framed wire protocol
+(:mod:`~repro.runtime.dist.wire`), with lease-based assignment,
+heartbeats, cache-aware scheduling, duplicate-result idempotency, and a
+persistent result store (:mod:`~repro.runtime.dist.store`) for resume and
+``repro doctor`` audits.  A cluster that stops making progress — or is
+chaos-partitioned — degrades to the in-process fault-tolerant executor,
+so the full ladder reads: distributed → local-parallel → respawn →
+serial, with byte-identical output at every rung.
+"""
+
+from .coordinator import Coordinator, DistPolicy
+from .store import DistHealth, DistStore, audit_dist_store, unit_identity
+from .wire import Frame, FrameError, recv_frame, recv_frame_poll, send_frame
+from .worker import run_worker
+
+__all__ = [
+    "Coordinator",
+    "DistHealth",
+    "DistPolicy",
+    "DistStore",
+    "Frame",
+    "FrameError",
+    "audit_dist_store",
+    "recv_frame",
+    "recv_frame_poll",
+    "run_worker",
+    "send_frame",
+    "unit_identity",
+]

@@ -1,0 +1,567 @@
+"""Lease-based coordinator for the distributed work-unit runtime.
+
+One :class:`Coordinator` owns a listening socket, a set of worker
+sessions (one daemon thread per connection), and at most one active unit
+*batch* at a time.  Workers pull work: each sends ``lease`` requests and
+receives a ``grant`` carrying one pickled :class:`~repro.runtime.runtime.
+ChunkUnit` / ``PrepareUnit`` payload, executes it, and pushes back a
+``result`` frame (acknowledged, resent until acknowledged).  The
+robustness contract mirrors the in-process fault-tolerance layer
+(:mod:`repro.runtime.faulttol`), extended across the network boundary:
+
+* **leases, not assignments** — every grant carries a deadline, extended
+  by worker heartbeats; a lease that expires (stalled worker, dead
+  worker, partition) silently requeues its unit for the next ``lease``
+  request, attempt count bumped, bounded by the shared
+  :class:`~repro.runtime.faulttol.RetryPolicy`;
+* **duplicate-result idempotency** — units are pure functions of their
+  identity, so a late result from a reaped lease, a resent frame, or a
+  duplicated frame is either accepted (unit still open: identical bytes)
+  or counted and dropped (unit done).  Nothing is ever un-done;
+* **cache-aware scheduling** — ``lease`` requests advertise the worker's
+  resident design tokens; pending units whose design is already warm on
+  that worker are granted first (``dist.warm_grants``);
+* **widened degradation ladder** — distributed → local-parallel →
+  respawn → serial.  When no remote progress happens for
+  ``fallback_after_s`` (or the batch is chaos-partitioned), the
+  not-yet-done units run locally through
+  :func:`repro.runtime.faulttol.run_units`, which carries its own
+  parallel → respawn → serial ladder.  A fully partitioned cluster
+  completes the build with byte-identical output;
+* **checkpoint resume** — completed units persist in the
+  :class:`~repro.runtime.dist.store.DistStore` as ``(identity, result)``
+  pairs; a coordinator restarted on the same batch preloads them
+  (``dist.resumed_units``) and only schedules the remainder.
+
+Everything observable lands in ``dist.*`` counters on the shared
+:class:`~repro.runtime.instrument.RuntimeStats`, surfaced by
+``repro stats`` next to the ``faulttol.*`` family.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ...obs import SpanTracer
+from ..chaos import ChaosPlan, chaos_from_env
+from ..faulttol import RetryPolicy, UnitFailedError
+from ..faulttol import run_units as _run_units_local
+from ..instrument import RuntimeStats
+from ..pool import resident_token
+from .store import DistStore, run_hash, unit_identity
+from .wire import Frame, FrameError, recv_frame_poll, send_frame
+
+__all__ = ["Coordinator", "DistPolicy"]
+
+_PathLike = Union[str, os.PathLike]
+
+
+@dataclass(frozen=True)
+class DistPolicy:
+    """Timing knobs for the coordinator/worker protocol.
+
+    Attributes:
+        heartbeat_s: Interval at which workers beat for a leased unit
+            (shipped to workers in the ``welcome`` frame).
+        lease_timeout_s: Lease lifetime without a heartbeat; an expired
+            lease requeues its unit.
+        poll_s: Coordinator poll granularity (session recv windows and
+            the build thread's wait step).
+        fallback_after_s: Remote-progress silence that triggers the local
+            fallback rung of the degradation ladder.
+        ack_timeout_s: How long a worker waits for a result ack before
+            resending the frame.
+        io_timeout_s: Mid-frame read deadline; a peer that stalls inside
+            a frame this long is treated as dead.
+    """
+
+    heartbeat_s: float = 2.0
+    lease_timeout_s: float = 10.0
+    poll_s: float = 0.2
+    fallback_after_s: float = 10.0
+    ack_timeout_s: float = 5.0
+    io_timeout_s: float = 30.0
+
+
+class _Batch:
+    """Mutable state of one ``run_units`` call (guarded by the coordinator lock)."""
+
+    def __init__(self, label: str, units: List[Any], identities: List[str],
+                 rhash: str, seq: int) -> None:
+        self.label = label
+        self.units = units
+        self.identities = identities
+        self.rhash = rhash
+        self.seq = seq
+        n = len(units)
+        #: Per-unit state: pending | leased | local | done.
+        self.state: List[str] = ["pending"] * n
+        self.attempts: List[int] = [0] * n
+        self.results: List[Any] = [None] * n
+        #: idx -> (session id, lease id, monotonic deadline, attempt).
+        self.leases: Dict[int, Tuple[int, str, float, int]] = {}
+        self.failure: Optional[UnitFailedError] = None
+        self.partitioned = False
+        self.last_progress = time.monotonic()
+
+
+class Coordinator:
+    """Serve work units to socket-connected workers; fall back locally.
+
+    Args:
+        host / port: Listen address; port 0 picks a free port (read the
+            bound address back from :attr:`address`).
+        workers: Pool width for the *local fallback* rung (a partitioned
+            or worker-less cluster still builds at this parallelism).
+        policy: Protocol timing knobs.
+        retry: Shared attempt budget — lease expiries, disconnect
+            requeues, and remote unit errors all draw from
+            ``retry.max_retries``, exactly like local retries do.
+        stats: Sink for ``dist.*`` counters.
+        chaos: Failure-injection plan; shipped to workers in ``welcome``
+            so one ``REPRO_CHAOS`` plan governs the whole cluster.
+        store_dir: Root for the lease/marker/result store (resume +
+            ``repro doctor`` audit); ``None`` disables persistence.
+        tracer: Span tracer handed to the local-fallback executor.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 1,
+        policy: Optional[DistPolicy] = None,
+        retry: Optional[RetryPolicy] = None,
+        stats: Optional[RuntimeStats] = None,
+        chaos: Optional[ChaosPlan] = None,
+        store_dir: Optional[_PathLike] = None,
+        tracer: Optional[SpanTracer] = None,
+    ) -> None:
+        self.policy = policy if policy is not None else DistPolicy()
+        self.retry = retry if retry is not None else RetryPolicy.from_env()
+        self.stats = stats if stats is not None else RuntimeStats()
+        self.chaos = chaos if chaos is not None else chaos_from_env()
+        self.tracer = tracer
+        self.workers = max(1, int(workers))
+        self.store: Optional[DistStore] = (
+            DistStore(store_dir) if store_dir is not None else None
+        )
+
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._closed = False
+        self._designs: Dict[str, bytes] = {}
+        self._batch: Optional[_Batch] = None
+        self._batch_seq = 0
+        self._sessions: List[threading.Thread] = []
+        self._session_seq = 0
+
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        #: The bound ``(host, port)`` — workers connect here.
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="dist-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Stop accepting, tell sessions to shut their workers down."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._listener.close()
+        self._accept_thread.join(timeout=5.0)
+        for thread in self._sessions:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- designs
+    def offer_design(self, design: Any) -> str:
+        """Make ``design`` fetchable by workers; returns its resident token."""
+        token = resident_token(design)
+        with self._cond:
+            if token not in self._designs:
+                self._designs[token] = pickle.dumps(
+                    design, protocol=pickle.HIGHEST_PROTOCOL
+                )
+        return token
+
+    # ------------------------------------------------------------- sessions
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: coordinator shutting down
+            self._start_session(conn)
+
+    def _start_session(self, conn: socket.socket) -> None:
+        with self._cond:
+            self._session_seq += 1
+            sid = self._session_seq
+            thread = threading.Thread(
+                target=self._serve, args=(conn, sid),
+                name=f"dist-session-{sid}", daemon=True,
+            )
+            self._sessions.append(thread)
+        thread.start()
+
+    def _serve(self, conn: socket.socket, sid: int) -> None:
+        """One worker connection: poll frames, dispatch, reply."""
+        wid = f"sid{sid}"
+        try:
+            while True:
+                with self._cond:
+                    closed = self._closed
+                if closed:
+                    try:
+                        send_frame(conn, "shutdown")
+                    except OSError:
+                        pass
+                    return
+                try:
+                    frame = recv_frame_poll(
+                        conn, self.policy.poll_s, self.policy.io_timeout_s
+                    )
+                except (FrameError, OSError):
+                    # Corruption, truncation, death, mid-frame stall: the
+                    # connection is unusable; leased units requeue below.
+                    return
+                if frame is None:
+                    continue
+                if frame.kind == "hello":
+                    wid = str(frame.meta.get("wid", wid))
+                with self._cond:
+                    reply = self._handle(frame, wid, sid)
+                if reply is None:
+                    continue  # heartbeats are one-way
+                kind, meta, payload = reply
+                try:
+                    send_frame(
+                        conn, kind, meta={**meta, "re": frame.seq}, payload=payload
+                    )
+                except OSError:
+                    return
+        finally:
+            with self._cond:
+                self._requeue_session(sid)
+            conn.close()
+
+    # ------------------------------------------------------------- protocol
+    def _handle(
+        self, frame: Frame, wid: str, sid: int
+    ) -> Optional[Tuple[str, Dict[str, Any], bytes]]:
+        """Dispatch one frame (lock held); returns the reply or None."""
+        batch = self._batch
+        if frame.kind == "hello":
+            self.stats.count("dist.workers_seen")
+            meta = {
+                "heartbeat_s": self.policy.heartbeat_s,
+                "lease_timeout_s": self.policy.lease_timeout_s,
+                "ack_timeout_s": self.policy.ack_timeout_s,
+            }
+            payload = (
+                pickle.dumps(self.chaos, protocol=pickle.HIGHEST_PROTOCOL)
+                if self.chaos is not None
+                else b""
+            )
+            return ("welcome", meta, payload)
+
+        if frame.kind == "design":
+            token = str(frame.meta.get("token", ""))
+            payload = self._designs.get(token)
+            return ("design", {"ok": payload is not None}, payload or b"")
+
+        if frame.kind == "lease":
+            if batch is None or batch.failure is not None or batch.partitioned:
+                return ("idle", {}, b"")
+            pending = [i for i, s in enumerate(batch.state) if s == "pending"]
+            if not pending:
+                return ("idle", {}, b"")
+            resident = set(frame.meta.get("resident") or ())
+            warm = [
+                i for i in pending
+                if getattr(batch.units[i], "ref", None) is not None
+                and batch.units[i].ref.key in resident
+            ]
+            idx = warm[0] if warm else pending[0]
+            if warm:
+                self.stats.count("dist.warm_grants")
+            attempt = batch.attempts[idx]
+            lease_id = f"{batch.rhash}-u{idx}-a{attempt}"
+            batch.state[idx] = "leased"
+            batch.leases[idx] = (
+                sid, lease_id,
+                time.monotonic() + self.policy.lease_timeout_s, attempt,
+            )
+            batch.last_progress = time.monotonic()
+            if self.store is not None:
+                self.store.write_lease(
+                    lease_id,
+                    {"wid": wid, "unit": idx, "run": batch.rhash,
+                     "attempt": attempt},
+                )
+            self.stats.count("dist.grants")
+            return (
+                "grant",
+                {"unit": idx, "attempt": attempt, "batch": batch.seq,
+                 "label": batch.label},
+                pickle.dumps(batch.units[idx], protocol=pickle.HIGHEST_PROTOCOL),
+            )
+
+        if frame.kind == "beat":
+            if batch is not None and int(frame.meta.get("batch", -1)) == batch.seq:
+                idx = int(frame.meta.get("unit", -1))
+                lease = batch.leases.get(idx)
+                if lease is not None and lease[0] == sid:
+                    batch.leases[idx] = (
+                        lease[0], lease[1],
+                        time.monotonic() + self.policy.lease_timeout_s, lease[3],
+                    )
+                    batch.last_progress = time.monotonic()
+            return None
+
+        if frame.kind == "result":
+            idx = int(frame.meta.get("unit", -1))
+            if (
+                batch is None
+                or int(frame.meta.get("batch", -1)) != batch.seq
+                or not 0 <= idx < len(batch.units)
+            ):
+                # A previous batch's late result (reaped lease, resent
+                # frame after the batch finished): idempotently ignorable.
+                self.stats.count("dist.stale_results")
+                return ("ack", {"unit": idx, "accepted": False}, b"")
+            if batch.state[idx] == "done":
+                # Duplicated frame, or a reassigned unit finishing twice.
+                # Content-addressed identity guarantees identical bytes,
+                # so acknowledging without storing is safe.
+                self.stats.count("dist.duplicate_results")
+                return ("ack", {"unit": idx, "accepted": True}, b"")
+            try:
+                descriptor = pickle.loads(frame.payload)
+            except (pickle.UnpicklingError, ValueError, EOFError,
+                    AttributeError, ImportError):
+                self.stats.count("dist.bad_results")
+                return ("ack", {"unit": idx, "accepted": False}, b"")
+            self._complete(batch, idx, descriptor, remote=True)
+            return ("ack", {"unit": idx, "accepted": True}, b"")
+
+        if frame.kind == "fail":
+            idx = int(frame.meta.get("unit", -1))
+            if (
+                batch is None
+                or int(frame.meta.get("batch", -1)) != batch.seq
+                or not 0 <= idx < len(batch.units)
+                or batch.state[idx] == "done"
+            ):
+                return ("ack", {"unit": idx, "accepted": False}, b"")
+            self._release_lease(batch, idx)
+            self.stats.count("dist.unit_errors")
+            batch.attempts[idx] += 1
+            if batch.attempts[idx] > self.retry.max_retries:
+                batch.failure = UnitFailedError(
+                    batch.label, batch.units[idx], batch.attempts[idx],
+                    RuntimeError(str(frame.meta.get("error", "remote failure"))),
+                )
+            elif batch.state[idx] == "leased":
+                batch.state[idx] = "pending"
+            self._cond.notify_all()
+            return ("ack", {"unit": idx, "accepted": True}, b"")
+
+        return ("error", {"unknown": frame.kind}, b"")
+
+    # ----------------------------------------------------- state transitions
+    def _release_lease(self, batch: _Batch, idx: int) -> None:
+        lease = batch.leases.pop(idx, None)
+        if lease is not None and self.store is not None:
+            self.store.drop_lease(lease[1])
+
+    def _complete(self, batch: _Batch, idx: int, descriptor: Any,
+                  remote: bool) -> None:
+        self._release_lease(batch, idx)
+        batch.results[idx] = descriptor
+        batch.state[idx] = "done"
+        batch.last_progress = time.monotonic()
+        if self.store is not None:
+            self.store.put_result(
+                batch.rhash, idx, batch.identities[idx], descriptor
+            )
+        self.stats.count("dist.results_remote" if remote else "dist.fallback_units")
+        self._cond.notify_all()
+
+    def _requeue_session(self, sid: int) -> None:
+        """A session died: its leased units go back in the queue (lock held)."""
+        batch = self._batch
+        if batch is None:
+            return
+        for idx, lease in list(batch.leases.items()):
+            if lease[0] != sid or batch.state[idx] != "leased":
+                continue
+            self._release_lease(batch, idx)
+            self.stats.count("dist.disconnect_requeues")
+            batch.attempts[idx] += 1
+            if batch.attempts[idx] > self.retry.max_retries:
+                batch.failure = UnitFailedError(
+                    batch.label, batch.units[idx], batch.attempts[idx], None
+                )
+            else:
+                batch.state[idx] = "pending"
+        self._cond.notify_all()
+
+    def _reap_leases(self, batch: _Batch, now: float) -> None:
+        """Requeue every expired lease (lock held)."""
+        for idx, lease in list(batch.leases.items()):
+            if now <= lease[2]:
+                continue
+            self._release_lease(batch, idx)
+            if batch.state[idx] != "leased":
+                continue
+            self.stats.count("dist.lease_expired")
+            batch.attempts[idx] += 1
+            if batch.attempts[idx] > self.retry.max_retries:
+                batch.failure = UnitFailedError(
+                    batch.label, batch.units[idx], batch.attempts[idx], None
+                )
+            else:
+                batch.state[idx] = "pending"
+
+    # ------------------------------------------------------------ execution
+    def run_units(
+        self,
+        units: Sequence[Any],
+        fn: Callable[[Tuple[Any, int]], Any],
+        label: str = "unit",
+    ) -> List[Any]:
+        """Distribute ``units`` across connected workers; results in order.
+
+        The distributed analogue of :func:`repro.runtime.faulttol.run_units`
+        — same purity contract, same ``UnitFailedError`` on budget
+        exhaustion, same input-order results.  ``fn`` is only executed
+        locally (in the fallback rung); workers map the unit *type* to
+        their own copy of the worker function.
+
+        Raises:
+            UnitFailedError: A unit exhausted the shared retry budget
+                across leases, disconnects, and remote errors.
+        """
+        if not units:
+            return []
+        identities = [unit_identity(u) for u in units]
+        rhash = run_hash(label, identities)
+        with self._cond:
+            if self._batch is not None:
+                raise RuntimeError("coordinator already has an active batch")
+            self._batch_seq += 1
+            batch = _Batch(label, list(units), identities, rhash, self._batch_seq)
+            if self.chaos is not None and self.chaos.partition_fires(
+                (label, batch.seq)
+            ):
+                batch.partitioned = True
+                self.stats.count("dist.partitioned_batches")
+                self.stats.emit(
+                    f"[dist] {label}: batch {batch.seq} partitioned by chaos; "
+                    f"building locally"
+                )
+            if self.store is not None:
+                for idx, desc in self.store.load_results(rhash, identities).items():
+                    batch.results[idx] = desc
+                    batch.state[idx] = "done"
+                    self.stats.count("dist.resumed_units")
+                self.store.write_marker(
+                    rhash, {"label": label, "units": len(units)}
+                )
+            self._batch = batch
+            self._cond.notify_all()
+        try:
+            self._drive(batch, fn)
+        except BaseException:
+            with self._cond:
+                open_units = sum(1 for s in batch.state if s != "done")
+                if open_units:
+                    self.stats.count("dist.aborted_units", open_units)
+            raise
+        finally:
+            with self._cond:
+                for idx in list(batch.leases):
+                    self._release_lease(batch, idx)
+                self._batch = None
+                self._cond.notify_all()
+        if self.store is not None:
+            self.store.finish_run(rhash)
+        return list(batch.results)
+
+    def _drive(self, batch: _Batch, fn: Callable[[Tuple[Any, int]], Any]) -> None:
+        """Wait for remote completion; reap leases; degrade locally on stall."""
+        while True:
+            fallback: List[int] = []
+            with self._cond:
+                while True:
+                    if batch.failure is not None:
+                        raise batch.failure
+                    if all(s == "done" for s in batch.state):
+                        return
+                    now = time.monotonic()
+                    self._reap_leases(batch, now)
+                    if batch.failure is not None:
+                        raise batch.failure
+                    waiting = [
+                        i for i, s in enumerate(batch.state)
+                        if s in ("pending", "leased")
+                    ]
+                    stalled = (
+                        now - batch.last_progress > self.policy.fallback_after_s
+                    )
+                    if waiting and (batch.partitioned or stalled):
+                        # Next rung of the ladder: pull everything not done
+                        # back in-process.  Heartbeating workers keep
+                        # last_progress fresh, so live remote work is never
+                        # stolen — only silence (or a partition) gets here.
+                        for i in waiting:
+                            if batch.state[i] == "leased":
+                                self._release_lease(batch, i)
+                            batch.state[i] = "local"
+                        fallback = waiting
+                        break
+                    self._cond.wait(self.policy.poll_s)
+            if not fallback:
+                continue
+            self.stats.count("dist.fallback_runs")
+            if not batch.partitioned:
+                self.stats.emit(
+                    f"[dist] {batch.label}: no remote progress for "
+                    f"{self.policy.fallback_after_s:.0f}s; running "
+                    f"{len(fallback)} unit(s) locally"
+                )
+            outcomes = _run_units_local(
+                [batch.units[i] for i in fallback],
+                fn,
+                workers=self.workers,
+                policy=self.retry,
+                stats=self.stats,
+                label=batch.label,
+                tracer=self.tracer,
+            )
+            with self._cond:
+                for i, descriptor in zip(fallback, outcomes):
+                    # A late remote result may have raced in; both are
+                    # byte-identical, first writer wins.
+                    if batch.state[i] != "done":
+                        self._complete(batch, i, descriptor, remote=False)

@@ -1,0 +1,243 @@
+"""Coordinator-side result store, lease files, and the dist-tier audit.
+
+The coordinator persists three kinds of small files under its store root
+(``<cache_dir>/dist`` by default) so that interrupted distributed builds
+are resumable and auditable:
+
+* ``runs/<run_hash>.json`` — a marker written when a unit batch is
+  installed, recording the coordinator pid and batch shape; removed
+  (together with the batch's results) when the batch completes.
+* ``results/<run_hash>/u<idx>.pkl`` — one pickled ``(identity, result
+  descriptor)`` pair per completed unit, written as results arrive.  A
+  coordinator that died mid-batch leaves marker + results behind; the next
+  run with the same batch identity preloads them (checkpoint-manifest
+  resume for distributed builds).
+* ``leases/<lease_id>.json`` — one file per outstanding lease, recording
+  the coordinator pid, worker id, and unit index; removed on completion or
+  requeue.  A crashed coordinator strands its lease files.
+
+``repro doctor`` audits this tier via :func:`audit_dist_store`: **stale
+leases** (owning pid dead), **orphaned result-store entries** (a results
+directory with no run marker — the marker deletion committed but the
+results sweep did not), and **stale run markers** (dead pid and no results
+to resume from).  ``--fix`` reaps all three.  Marker + results pairs from
+a dead coordinator are deliberately *not* flagged: they are the resume
+state the next run consumes.
+
+Everything is content-addressed: the run hash digests the batch's unit
+identities (:func:`unit_identity`), which exclude execution-only fields
+(``result_base``, ``chaos``) — so a clean rerun, a chaotic rerun, and a
+resumed run all map to the same store entries, and duplicated results are
+idempotent overwrites of identical bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+from pathlib import Path
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+from ..cache import _atomic_write_bytes
+
+__all__ = ["DistHealth", "DistStore", "audit_dist_store", "unit_identity"]
+
+
+def unit_identity(unit: Any) -> str:
+    """A deterministic identity string for one work unit.
+
+    Excludes execution-only fields (``result_base``, ``chaos``) so the same
+    scientific unit hashes identically across serial, pooled, chaotic, and
+    distributed runs — the property duplicate-result idempotency and store
+    resume both rely on.
+    """
+    if hasattr(unit, "_asdict"):  # NamedTuple work units
+        fields = unit._asdict()
+        fields.pop("result_base", None)
+        fields.pop("chaos", None)
+        return repr(tuple((k, repr(v)) for k, v in sorted(fields.items())))
+    return repr(unit)
+
+
+def run_hash(label: str, identities: Sequence[str]) -> str:
+    """Content hash identifying one unit batch (the store's run key)."""
+    h = hashlib.sha256()
+    h.update(label.encode("utf-8"))
+    for ident in identities:
+        h.update(b"\x1f")
+        h.update(ident.encode("utf-8"))
+    return h.hexdigest()[:16]
+
+
+class DistStore:
+    """Filesystem layout + atomic writes for one coordinator store root."""
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = Path(root)
+        self.leases = self.root / "leases"
+        self.runs = self.root / "runs"
+        self.results = self.root / "results"
+
+    # ------------------------------------------------------------- markers
+    def write_marker(self, rhash: str, doc: Dict[str, Any]) -> None:
+        self.runs.mkdir(parents=True, exist_ok=True)
+        _atomic_write_bytes(
+            self.runs / f"{rhash}.json",
+            (json.dumps({"pid": os.getpid(), **doc}, sort_keys=True) + "\n").encode(),
+        )
+
+    def drop_marker(self, rhash: str) -> None:
+        (self.runs / f"{rhash}.json").unlink(missing_ok=True)
+
+    # -------------------------------------------------------------- leases
+    def write_lease(self, lease_id: str, doc: Dict[str, Any]) -> None:
+        self.leases.mkdir(parents=True, exist_ok=True)
+        _atomic_write_bytes(
+            self.leases / f"{lease_id}.json",
+            (json.dumps({"pid": os.getpid(), **doc}, sort_keys=True) + "\n").encode(),
+        )
+
+    def drop_lease(self, lease_id: str) -> None:
+        (self.leases / f"{lease_id}.json").unlink(missing_ok=True)
+
+    # ------------------------------------------------------------- results
+    def put_result(self, rhash: str, idx: int, identity: str, descriptor: Any) -> None:
+        """Persist one completed unit (idempotent: identical bytes rewrite)."""
+        rdir = self.results / rhash
+        rdir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_bytes(
+            rdir / f"u{idx}.pkl",
+            pickle.dumps((identity, descriptor), protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def load_results(self, rhash: str, identities: Sequence[str]) -> Dict[int, Any]:
+        """Completed-unit descriptors left by an interrupted run of this batch.
+
+        Entries whose recorded identity does not match the current batch
+        (or that fail to unpickle) are ignored — resume must never smuggle
+        bytes from a different configuration into a build.
+        """
+        out: Dict[int, Any] = {}
+        rdir = self.results / rhash
+        if not rdir.is_dir():
+            return out
+        for idx in range(len(identities)):
+            path = rdir / f"u{idx}.pkl"
+            if not path.is_file():
+                continue
+            try:
+                identity, descriptor = pickle.loads(path.read_bytes())
+            except (OSError, pickle.UnpicklingError, ValueError, EOFError,
+                    AttributeError, ImportError):
+                continue  # torn/stale entry: the unit just re-runs
+            if identity == identities[idx]:
+                out[idx] = descriptor
+        return out
+
+    def finish_run(self, rhash: str) -> None:
+        """Success cleanup: results first, marker last.
+
+        The inverted order would commit "no marker" while results linger —
+        exactly the orphaned-entry state the doctor audit flags.
+        """
+        shutil.rmtree(self.results / rhash, ignore_errors=True)
+        self.drop_marker(rhash)
+
+
+# ------------------------------------------------------------------- audit
+class DistHealth(NamedTuple):
+    """One dist-tier audit result (``repro doctor``)."""
+
+    stale_leases: Tuple[str, ...]
+    orphaned_results: Tuple[str, ...]
+    stale_markers: Tuple[str, ...]
+
+    @property
+    def problems(self) -> int:
+        return (len(self.stale_leases) + len(self.orphaned_results)
+                + len(self.stale_markers))
+
+    def report(self) -> str:
+        lines = [
+            f"  stale lease files (dead coordinator): {len(self.stale_leases)}",
+            f"  orphaned result-store entries: {len(self.orphaned_results)}",
+            f"  stale run markers: {len(self.stale_markers)}",
+        ]
+        for name in (*self.stale_leases, *self.orphaned_results,
+                     *self.stale_markers):
+            lines.append(f"    {name}")
+        return "\n".join(lines)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - alive, different user
+        return True
+    return True
+
+
+def _doc_pid(path: Path) -> Optional[int]:
+    """The recorded owner pid, or None for unreadable/unparseable docs."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        return int(doc["pid"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def audit_dist_store(root: Union[str, os.PathLike],
+                     fix: bool = False) -> DistHealth:
+    """Audit (and with ``fix``, reap) one coordinator store root.
+
+    A missing root is healthy — no distributed build ever ran there.
+    Marker + results pairs from a dead coordinator are resume state, not
+    problems; only leases of dead pids, results directories with no
+    marker, and markers with neither a live pid nor results are flagged.
+    """
+    store = DistStore(root)
+    stale_leases: List[str] = []
+    orphaned_results: List[str] = []
+    stale_markers: List[str] = []
+
+    if store.leases.is_dir():
+        for path in sorted(store.leases.glob("*.json")):
+            pid = _doc_pid(path)
+            if pid is not None and _pid_alive(pid):
+                continue
+            stale_leases.append(f"leases/{path.name}")
+            if fix:
+                path.unlink(missing_ok=True)
+
+    markers = {
+        p.stem: p for p in (
+            sorted(store.runs.glob("*.json")) if store.runs.is_dir() else []
+        )
+    }
+    if store.results.is_dir():
+        for rdir in sorted(p for p in store.results.iterdir() if p.is_dir()):
+            if rdir.name in markers:
+                continue
+            orphaned_results.append(f"results/{rdir.name}/")
+            if fix:
+                shutil.rmtree(rdir, ignore_errors=True)
+    for rhash, path in sorted(markers.items()):
+        pid = _doc_pid(path)
+        if pid is not None and _pid_alive(pid):
+            continue
+        if (store.results / rhash).is_dir():
+            continue  # dead coordinator, but resumable results exist
+        stale_markers.append(f"runs/{path.name}")
+        if fix:
+            path.unlink(missing_ok=True)
+
+    return DistHealth(
+        stale_leases=tuple(stale_leases),
+        orphaned_results=tuple(orphaned_results),
+        stale_markers=tuple(stale_markers),
+    )

@@ -1,0 +1,201 @@
+"""Length-prefixed, digest-framed wire protocol for the distributed runtime.
+
+One frame on the wire is::
+
+    MAGIC(4) | header_len(4, BE) | header JSON | payload_len(8, BE) | payload
+    | sha256(header + payload)(32)
+
+The header is a small JSON document ``{"kind": ..., "seq": ..., "meta":
+{...}}``; the payload is opaque bytes (pickled work units / results — the
+protocol is for *trusted* hosts of one build cluster, exactly like the
+multiprocessing pipes it extends).  Every frame is integrity-checked: a
+short read raises :class:`ConnectionError` (peer died mid-frame), a magic
+or digest mismatch raises :class:`FrameError` (stream corruption — the
+receiver must drop the connection, resynchronizing mid-stream is not
+attempted).
+
+Chaos injection lives in :func:`send_frame`: when a :class:`ChaosPlan`
+with network fault rates is passed alongside a unit token, the frame may
+be deterministically dropped (never sent), duplicated (sent twice), or
+truncated (half the bytes written, then the connection cut).  Faults fire
+on a frame's first send only, so ack-driven resends always go out clean.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import struct
+from typing import Any, Dict, NamedTuple, Optional, Tuple
+
+from ..chaos import ChaosPlan
+
+__all__ = ["Frame", "FrameError", "recv_frame", "recv_frame_poll", "send_frame"]
+
+#: Frame magic: "RePro Dist, protocol 1".
+MAGIC = b"RPD1"
+
+#: Hard cap on header/payload sizes — a corrupted length prefix must fail
+#: fast, not allocate gigabytes.
+_MAX_HEADER = 1 << 20
+_MAX_PAYLOAD = 1 << 31
+
+
+class FrameError(RuntimeError):
+    """The byte stream is not a valid frame (corruption or desync)."""
+
+
+class Frame(NamedTuple):
+    """One decoded frame."""
+
+    kind: str
+    seq: int
+    meta: Dict[str, Any]
+    payload: bytes
+
+
+def _encode(kind: str, seq: int, meta: Optional[Dict[str, Any]],
+            payload: bytes) -> bytes:
+    header = json.dumps(
+        {"kind": kind, "seq": seq, "meta": meta or {}}, sort_keys=True
+    ).encode("utf-8")
+    digest = hashlib.sha256(header + payload).digest()
+    return b"".join((
+        MAGIC,
+        struct.pack(">I", len(header)),
+        header,
+        struct.pack(">Q", len(payload)),
+        payload,
+        digest,
+    ))
+
+
+def send_frame(
+    sock: socket.socket,
+    kind: str,
+    seq: int = 0,
+    meta: Optional[Dict[str, Any]] = None,
+    payload: bytes = b"",
+    chaos: Optional[ChaosPlan] = None,
+    token: Tuple[object, ...] = (),
+    send_attempt: int = 0,
+) -> None:
+    """Send one frame, with optional deterministic fault injection.
+
+    Args:
+        sock: Connected stream socket.
+        kind: Frame kind (protocol message name).
+        seq: Sender-side sequence number; replies echo it as ``meta["re"]``
+            so a receiver can discard stale duplicates.
+        meta: Small JSON-serializable header fields.
+        payload: Opaque bytes (may be empty).
+        chaos / token / send_attempt: When a chaos plan and a non-empty
+            unit token are given, :meth:`ChaosPlan.frame_fault` decides a
+            fault for this (token, send_attempt) pair: ``drop`` returns
+            without sending, ``dup`` sends the frame twice, ``trunc``
+            writes half the bytes and cuts the connection (raising
+            :class:`ConnectionError` so the caller reconnects and resends).
+    """
+    data = _encode(kind, seq, meta, payload)
+    fault = (
+        chaos.frame_fault(token, send_attempt)
+        if chaos is not None and token
+        else None
+    )
+    if fault == "drop":
+        return  # the peer sees nothing; the sender's ack timeout recovers
+    if fault == "trunc":
+        try:
+            sock.sendall(data[: max(1, len(data) // 2)])
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # the cut is the point; a dead socket is already cut
+        raise ConnectionError(f"chaos: truncated frame {kind!r} {token!r}")
+    sock.sendall(data)
+    if fault == "dup":
+        sock.sendall(data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(65536, n - got))
+        if not chunk:
+            raise ConnectionError(
+                f"connection closed mid-frame ({got}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Frame:
+    """Receive and verify one frame.
+
+    Raises:
+        ConnectionError: Peer closed the stream (cleanly between frames is
+            still an error here — callers track shutdown explicitly) or
+            died mid-frame; also socket timeouts propagate as
+            ``TimeoutError`` (an ``OSError``) for the caller's poll loops.
+        FrameError: Magic or digest mismatch — corrupted/desynced stream;
+            the connection must be dropped.
+    """
+    magic = _recv_exact(sock, 4)
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r}")
+    return _recv_body(sock)
+
+
+def recv_frame_poll(
+    sock: socket.socket, idle_timeout: float, frame_timeout: float = 30.0
+) -> Optional[Frame]:
+    """Poll for one frame; ``None`` when no byte arrives within the idle window.
+
+    The idle timeout applies only to the *first* byte — once a frame has
+    started, the receiver switches to ``frame_timeout`` and reads it to the
+    end, so a poll can never desynchronize the stream mid-frame.  A peer
+    that starts a frame and then stalls past ``frame_timeout`` surfaces as
+    ``TimeoutError`` (an ``OSError``), which callers treat as connection
+    death.
+    """
+    sock.settimeout(idle_timeout)
+    try:
+        first = sock.recv(1)
+    except socket.timeout:
+        return None
+    if not first:
+        raise ConnectionError("connection closed while idle")
+    sock.settimeout(frame_timeout)
+    rest = _recv_exact(sock, 3)
+    if first + rest != MAGIC:
+        raise FrameError(f"bad frame magic {(first + rest)!r}")
+    return _recv_body(sock)
+
+
+def _recv_body(sock: socket.socket) -> Frame:
+    """Receive and verify everything after the (already consumed) magic."""
+    (header_len,) = struct.unpack(">I", _recv_exact(sock, 4))
+    if header_len > _MAX_HEADER:
+        raise FrameError(f"implausible header length {header_len}")
+    header_bytes = _recv_exact(sock, header_len)
+    (payload_len,) = struct.unpack(">Q", _recv_exact(sock, 8))
+    if payload_len > _MAX_PAYLOAD:
+        raise FrameError(f"implausible payload length {payload_len}")
+    payload = _recv_exact(sock, payload_len)
+    digest = _recv_exact(sock, 32)
+    if hashlib.sha256(header_bytes + payload).digest() != digest:
+        raise FrameError("frame digest mismatch (corrupted stream)")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except ValueError as exc:
+        raise FrameError(f"unparseable frame header: {exc}") from exc
+    if not isinstance(header, dict) or "kind" not in header:
+        raise FrameError("frame header missing 'kind'")
+    return Frame(
+        kind=str(header["kind"]),
+        seq=int(header.get("seq", 0)),
+        meta=dict(header.get("meta") or {}),
+        payload=payload,
+    )

@@ -1,0 +1,356 @@
+"""Pull-based worker loop for the distributed work-unit runtime.
+
+:func:`run_worker` connects to a coordinator, leases units, executes them
+with the same module-level worker functions the in-process pool uses
+(``_run_chunk`` / ``_prepare_point``), and pushes results back over the
+digest-framed wire protocol.  Robustness mechanisms, worker side:
+
+* **reconnect with seeded backoff** — connection loss (including
+  chaos-truncated frames) triggers :meth:`RetryPolicy.backoff_delay`
+  waits between reconnect attempts: exponential, capped, deterministic
+  jitter, bounded by ``max_reconnects``;
+* **acked result delivery** — a ``result`` frame is resent until the
+  coordinator acknowledges it (across reconnects if needed); resends go
+  out with ``send_attempt > 0`` so chaos frame faults never repeat, and
+  the coordinator's idempotent accept makes duplicates harmless;
+* **design cache tier** — a granted unit's design resolves against the
+  in-process resident registry first, then a local disk cache
+  (``<cache_dir>/dist-designs``), and only then a ``design`` fetch from
+  the coordinator; fetched designs are pinned and advertised in later
+  ``lease`` requests so the coordinator can route warm units here;
+* **heartbeats** — a daemon thread beats for the leased unit every
+  ``heartbeat_s`` (as told by the ``welcome`` frame), keeping the lease
+  alive through long simulations; a chaos-stalled unit skips heartbeats
+  so the coordinator reaps and reassigns it.
+
+Exit codes: ``0`` — coordinator sent ``shutdown``; ``3`` — reconnect
+budget exhausted (coordinator gone).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Optional, Tuple, Union
+
+from ..cache import _atomic_write_bytes
+from ..chaos import ChaosPlan, mark_worker
+from ..faulttol import RetryPolicy
+from ..pool import register_resident, resident_token, resolve_resident
+from .wire import Frame, FrameError, recv_frame, send_frame
+
+__all__ = ["run_worker"]
+
+_PICKLE_ERRORS = (OSError, pickle.UnpicklingError, ValueError, EOFError,
+                  AttributeError, ImportError)
+
+
+def _unit_runner(unit: Any) -> Callable[[Tuple[Any, int]], Any]:
+    """The worker function for one unit type.
+
+    Imported lazily: the runtime module imports nothing from ``dist``, but
+    resolving it at call time keeps this module importable from any
+    package-initialization order.
+    """
+    from ..runtime import _prepare_point, _run_chunk
+
+    runners = {"ChunkUnit": _run_chunk, "PrepareUnit": _prepare_point}
+    try:
+        return runners[type(unit).__name__]
+    except KeyError:
+        raise RuntimeError(f"unknown unit type {type(unit).__name__!r}") from None
+
+
+class _Worker:
+    def __init__(
+        self,
+        addr: Tuple[str, int],
+        cache_dir: Optional[Union[str, os.PathLike]],
+        policy: RetryPolicy,
+        wid: str,
+        max_reconnects: int,
+    ) -> None:
+        self.addr = addr
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.policy = policy
+        self.wid = wid
+        self.max_reconnects = max_reconnects
+        self.send_lock = threading.Lock()
+        self.seq = 0
+        self.resident: set = set()
+        #: An executed-but-unacknowledged result: (meta, payload, chaos
+        #: token).  Survives reconnects — delivery is at-least-once, the
+        #: coordinator's idempotent accept makes it effectively-once.
+        self.pending: Optional[Tuple[dict, bytes, Tuple[object, ...]]] = None
+        self.chaos: Optional[ChaosPlan] = None
+        self.heartbeat_s = 2.0
+        self.ack_timeout_s = 5.0
+        self._welcomed = False
+
+    # ------------------------------------------------------------ main loop
+    def run(self) -> int:
+        reconnects = 0
+        while True:
+            outcome = self._connect_once()
+            if outcome == "shutdown":
+                return 0
+            if self._welcomed:
+                reconnects = 0  # a served connection resets the budget
+            reconnects += 1
+            if reconnects > self.max_reconnects:
+                return 3
+            time.sleep(
+                max(0.05, self.policy.backoff_delay(
+                    min(reconnects, 6), ("connect", self.wid)
+                ))
+            )
+
+    def _connect_once(self) -> str:
+        """One dial + serve cycle; the socket closes on every path out."""
+        self._welcomed = False
+        try:
+            sock = socket.create_connection(self.addr, timeout=10.0)
+        except OSError:
+            return "refused"
+        try:
+            return self._serve(sock)
+        except (FrameError, OSError):
+            return "lost"
+        finally:
+            sock.close()
+
+    def _serve(self, sock: socket.socket) -> str:
+        """One connection's lifetime; returns ``"shutdown"`` or ``"lost"``."""
+        welcome = self._request(sock, "hello", {"wid": self.wid}, timeout=10.0)
+        if welcome.kind == "shutdown":
+            return "shutdown"
+        if welcome.kind != "welcome":
+            return "lost"
+        self.heartbeat_s = float(welcome.meta.get("heartbeat_s", 2.0))
+        self.ack_timeout_s = float(welcome.meta.get("ack_timeout_s", 5.0))
+        self.chaos = pickle.loads(welcome.payload) if welcome.payload else None
+        self._welcomed = True
+        if self.pending is not None:
+            # Result executed before the previous connection died: deliver
+            # it first.  send_attempt starts past 0, so the resend is clean.
+            if self._ship(sock, start_attempt=1) == "shutdown":
+                return "shutdown"
+        while True:
+            reply = self._request(
+                sock, "lease", {"resident": sorted(self.resident)}, timeout=10.0
+            )
+            if reply.kind == "shutdown":
+                return "shutdown"
+            if reply.kind == "idle":
+                time.sleep(min(0.1, max(0.02, self.heartbeat_s / 4)))
+                continue
+            if reply.kind != "grant":
+                return "lost"
+            if self._execute(sock, reply) == "shutdown":
+                return "shutdown"
+
+    # ------------------------------------------------------------- requests
+    def _request(
+        self,
+        sock: socket.socket,
+        kind: str,
+        meta: dict,
+        payload: bytes = b"",
+        timeout: float = 10.0,
+        chaos_token: Tuple[object, ...] = (),
+        send_attempt: int = 0,
+    ) -> Frame:
+        """Send one frame and wait for its reply (matched on ``meta["re"]``).
+
+        Stale frames (duplicate acks from an earlier chaos-duplicated send)
+        are discarded; an unsolicited ``shutdown`` is returned from
+        anywhere in the stream.  Socket timeouts propagate for the caller's
+        resend logic.
+        """
+        self.seq += 1
+        seq = self.seq
+        with self.send_lock:
+            send_frame(
+                sock, kind, seq=seq, meta=meta, payload=payload,
+                chaos=self.chaos, token=chaos_token, send_attempt=send_attempt,
+            )
+        sock.settimeout(timeout)
+        while True:
+            frame = recv_frame(sock)
+            if frame.kind == "shutdown":
+                return frame
+            if int(frame.meta.get("re", -1)) == seq:
+                return frame
+
+    def _ship(self, sock: socket.socket, start_attempt: int = 0) -> str:
+        """Deliver :attr:`pending` until acknowledged; resends are clean."""
+        assert self.pending is not None
+        meta, payload, token = self.pending
+        for send_attempt in range(start_attempt, start_attempt + 4):
+            try:
+                reply = self._request(
+                    sock, "result", meta, payload,
+                    timeout=self.ack_timeout_s,
+                    chaos_token=token, send_attempt=send_attempt,
+                )
+            except socket.timeout:
+                continue  # dropped frame or lost ack: resend
+            self.pending = None
+            return "shutdown" if reply.kind == "shutdown" else "ok"
+        raise ConnectionError("result unacknowledged after resends")
+
+    # ------------------------------------------------------------ execution
+    def _execute(self, sock: socket.socket, grant: Frame) -> str:
+        unit = pickle.loads(grant.payload)
+        idx = int(grant.meta["unit"])
+        attempt = int(grant.meta["attempt"])
+        batch = int(grant.meta["batch"])
+        label = str(grant.meta.get("label", "unit"))
+        token = (label, "unit", idx)
+        if self.chaos is not None:
+            # Mid-unit death: the lease is already ours, the coordinator
+            # sees only silence and a dropped connection.
+            self.chaos.maybe_kill_net_worker(token, attempt)
+        stalled = self.chaos is not None and self.chaos.stall_fires(token, attempt)
+        if stalled:
+            # Heartbeat stall: sleep past the lease timeout with no beats,
+            # then execute anyway — the late result exercises the
+            # duplicate/requeued-result idempotency path.
+            time.sleep(self.chaos.hang_seconds)
+        self._ensure_design(sock, unit)
+        stop = threading.Event()
+        beat_thread: Optional[threading.Thread] = None
+        if not stalled:
+            beat_thread = threading.Thread(
+                target=self._heartbeat, args=(sock, idx, batch, stop), daemon=True
+            )
+            beat_thread.start()
+        try:
+            try:
+                descriptor = _unit_runner(unit)((unit, attempt))
+            except Exception as exc:
+                self._report_failure(sock, idx, attempt, batch, exc)
+                return "ok"
+        finally:
+            stop.set()
+            if beat_thread is not None:
+                beat_thread.join(timeout=2.0)
+        self.pending = (
+            {"unit": idx, "attempt": attempt, "batch": batch},
+            pickle.dumps(descriptor, protocol=pickle.HIGHEST_PROTOCOL),
+            ("frame", label, idx, attempt),
+        )
+        return self._ship(sock)
+
+    def _report_failure(self, sock: socket.socket, idx: int, attempt: int,
+                        batch: int, exc: Exception) -> None:
+        meta = {"unit": idx, "attempt": attempt, "batch": batch,
+                "error": f"{type(exc).__name__}: {exc}"}
+        try:
+            self._request(sock, "fail", meta, timeout=self.ack_timeout_s)
+        except socket.timeout:
+            # The lease will expire and requeue the unit regardless; the
+            # report is an optimization, not a correctness requirement.
+            return
+
+    def _heartbeat(self, sock: socket.socket, idx: int, batch: int,
+                   stop: threading.Event) -> None:
+        while not stop.wait(self.heartbeat_s):
+            try:
+                with self.send_lock:
+                    send_frame(sock, "beat", meta={"unit": idx, "batch": batch})
+            except OSError:
+                return  # connection died; the main loop will notice
+
+    # --------------------------------------------------------------- designs
+    def _ensure_design(self, sock: socket.socket, unit: Any) -> None:
+        """Resolve the unit's design: resident → disk cache → coordinator."""
+        ref = getattr(unit, "ref", None)
+        if ref is None:
+            return  # PrepareUnit: self-contained payload
+        try:
+            resolve_resident(ref)
+            self.resident.add(ref.key)
+            return
+        except RuntimeError:
+            pass  # not resident here (dist refs never carry spill segments)
+        design = self._design_from_disk(ref.key)
+        if design is None:
+            reply = self._request(
+                sock, "design", {"token": ref.key}, timeout=30.0
+            )
+            if reply.kind != "design" or not reply.meta.get("ok"):
+                raise RuntimeError(
+                    f"coordinator cannot supply design {ref.key!r}"
+                )
+            design = pickle.loads(reply.payload)
+            if resident_token(design) != ref.key:
+                raise RuntimeError(
+                    f"design fetched for {ref.key!r} hashes to a different token"
+                )
+            self._design_to_disk(ref.key, reply.payload)
+        register_resident(design)
+        self.resident.add(ref.key)
+
+    def _design_from_disk(self, key: str) -> Optional[Any]:
+        if self.cache_dir is None:
+            return None
+        path = self.cache_dir / "dist-designs" / f"{key}.pkl"
+        if not path.is_file():
+            return None
+        try:
+            design = pickle.loads(path.read_bytes())
+        except _PICKLE_ERRORS:
+            return None
+        # Token verification makes the disk tier content-addressed: a
+        # stale or corrupted file can never impersonate another design.
+        return design if resident_token(design) == key else None
+
+    def _design_to_disk(self, key: str, payload: bytes) -> None:
+        if self.cache_dir is None:
+            return
+        ddir = self.cache_dir / "dist-designs"
+        try:
+            ddir.mkdir(parents=True, exist_ok=True)
+            _atomic_write_bytes(ddir / f"{key}.pkl", payload)
+        except OSError:
+            return  # the disk tier is an optimization; fetch again next time
+
+
+def run_worker(
+    connect: str,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    policy: Optional[RetryPolicy] = None,
+    wid: Optional[str] = None,
+    max_reconnects: int = 30,
+) -> int:
+    """Serve one worker process against ``connect`` (``"host:port"``).
+
+    Args:
+        connect: Coordinator address, ``host:port``.
+        cache_dir: Root for the local design disk cache (the pool cache
+            dir on shared hosts); ``None`` disables the disk tier.
+        policy: Retry policy supplying the reconnect backoff schedule.
+        wid: Worker id advertised to the coordinator (defaults to
+            ``w<pid>``).
+        max_reconnects: Consecutive failed connections tolerated before
+            giving up.
+
+    Returns:
+        Process exit code: 0 after a coordinator-initiated shutdown,
+        3 when the reconnect budget is exhausted.
+    """
+    mark_worker(True)  # chaos kills this process hard, never the build
+    host, _, port = connect.rpartition(":")
+    worker = _Worker(
+        addr=(host or "127.0.0.1", int(port)),
+        cache_dir=cache_dir,
+        policy=policy if policy is not None else RetryPolicy(),
+        wid=wid if wid is not None else f"w{os.getpid()}",
+        max_reconnects=max_reconnects,
+    )
+    return worker.run()

@@ -10,6 +10,7 @@ silent partial dataset.
 
 from __future__ import annotations
 
+import multiprocessing as mp
 import os
 import subprocess
 import sys
@@ -20,12 +21,15 @@ import pytest
 from repro.runtime import (
     ChaosError,
     ChaosPlan,
+    Coordinator,
     DatasetRuntime,
+    DistPolicy,
     RetryPolicy,
     RuntimeStats,
     UnitFailedError,
     chaos_from_env,
     reset_runtime,
+    run_worker,
     sample_set_fingerprint,
 )
 from repro.runtime.faulttol import run_units
@@ -268,6 +272,113 @@ def test_serial_chaos_crash_raises_instead_of_exiting():
     with pytest.raises(ChaosError, match="injected crash"):
         plan.maybe_fail_unit(("chunk", 0, 0), attempt=0)
     plan.maybe_fail_unit(("chunk", 0, 0), attempt=1)  # retries run clean
+
+
+# ------------------------------------- distributed network-chaos sweep
+#: Deterministic chaos seed for the distributed sweep — every fault fires
+#: at rate 1.0, so each run exercises its recovery path on every unit.
+DIST_CHAOS_SEED = 5
+
+_DIST_POLICY_KW = dict(heartbeat_s=0.2, lease_timeout_s=1.0, poll_s=0.05,
+                       fallback_after_s=1.5, ack_timeout_s=0.5)
+
+
+def _dist_worker_entry(port):
+    sys.exit(run_worker(f"127.0.0.1:{port}", max_reconnects=5))
+
+
+def _distributed_build(prepared, n_workers, chaos):
+    """One coordinator + ``n_workers`` worker processes; returns (fp, stats)."""
+    ctx = mp.get_context("fork")
+    stats = RuntimeStats()
+    coord = Coordinator(
+        workers=2, policy=DistPolicy(**_DIST_POLICY_KW),
+        retry=RetryPolicy(backoff_base=0.02, backoff_cap=0.2),
+        stats=stats, chaos=chaos,
+    )
+    procs = [ctx.Process(target=_dist_worker_entry, args=(coord.address[1],))
+             for _ in range(n_workers)]
+    for p in procs:
+        p.start()
+    try:
+        rt = DatasetRuntime(workers=2, dist=coord, stats=stats, chaos=chaos)
+        built = rt.build_dataset(prepared, "bypass", N_SAMPLES, SEED)
+        return sample_set_fingerprint(built), stats
+    finally:
+        coord.close()
+        for p in procs:
+            p.join(timeout=15)
+            if p.is_alive():  # pragma: no cover - hung worker
+                p.terminate()
+
+
+@pytest.fixture(scope="module")
+def dist_serial_fp(prepared):
+    clean = DatasetRuntime(workers=1).build_dataset(prepared, "bypass",
+                                                    N_SAMPLES, SEED)
+    return sample_set_fingerprint(clean)
+
+
+@pytest.mark.parametrize("n_workers", [1, 2, 4])
+@pytest.mark.parametrize("fault", ["clean", "net_kill", "net_drop",
+                                   "net_dup", "net_stall"])
+def test_distributed_chaos_build_matches_clean_serial(
+    prepared, dist_serial_fp, fault, n_workers
+):
+    """Every network fault kind × worker count reproduces the serial bytes.
+
+    Each fault fires at rate 1.0, so its recovery path (disconnect requeue,
+    ack-timeout resend, duplicate-result dedup, lease expiry + fallback)
+    carries real load — and the stats assertions below pin that the chaos
+    actually engaged rather than silently rounding to a clean run.
+    """
+    chaos = (
+        None if fault == "clean"
+        else ChaosPlan(**{fault: 1.0}, seed=DIST_CHAOS_SEED, hang_seconds=2.0)
+    )
+    fp, stats = _distributed_build(prepared, n_workers, chaos)
+    assert fp == dist_serial_fp
+    c = stats.counters
+    assert c.get("dist.workers_seen", 0) >= 1
+    if fault == "clean":
+        assert c.get("dist.results_remote", 0) == 3  # all units went remote
+    elif fault == "net_kill":
+        # Each worker dies executing its first unit; the coordinator
+        # requeues the lease and the survivors (or the fallback) finish.
+        assert c.get("dist.disconnect_requeues", 0) >= 1
+    elif fault == "net_drop":
+        # Dropped result frames resend after the ack timeout; every unit
+        # still lands remotely.
+        assert c.get("dist.results_remote", 0) >= 1
+    elif fault == "net_dup":
+        # Duplicated frames are acknowledged but never double-stored.
+        assert (c.get("dist.duplicate_results", 0)
+                + c.get("dist.stale_results", 0)) >= 1
+    elif fault == "net_stall":
+        # Stalled workers skip heartbeats; their leases expire and requeue.
+        assert c.get("dist.lease_expired", 0) >= 1
+
+
+def test_distributed_truncation_reconnects_to_identical_bytes(
+    prepared, dist_serial_fp
+):
+    """Mid-frame truncation kills connections; resends stay byte-identical."""
+    chaos = ChaosPlan(net_trunc=1.0, seed=DIST_CHAOS_SEED)
+    fp, stats = _distributed_build(prepared, 2, chaos)
+    assert fp == dist_serial_fp
+    assert stats.counters.get("dist.disconnect_requeues", 0) >= 1
+    # Reconnections register as fresh sessions beyond the two workers.
+    assert stats.counters.get("dist.workers_seen", 0) >= 3
+
+
+def test_partitioned_batch_degrades_to_local_ladder(prepared, dist_serial_fp):
+    """A partitioned cluster builds everything through the local rungs."""
+    chaos = ChaosPlan(partition=1.0, seed=DIST_CHAOS_SEED)
+    fp, stats = _distributed_build(prepared, 0, chaos)
+    assert fp == dist_serial_fp
+    assert stats.counters.get("dist.partitioned_batches", 0) >= 1
+    assert stats.counters.get("dist.fallback_units", 0) == 3
+    assert stats.counters.get("dist.results_remote", 0) == 0
 
 
 # ------------------------------------------------------- signal teardown

@@ -1,0 +1,381 @@
+"""Distributed-runtime suite: wire protocol, store, audits, coordinator.
+
+Covers the layers of :mod:`repro.runtime.dist` individually — framing
+integrity, seeded backoff, content-addressed unit identity, the
+checkpoint/lease store and its doctor audits — plus an end-to-end
+two-worker build proving the distributed path reproduces the serial
+fingerprint byte-for-byte.  The chaos-side proofs (every network fault
+kind, every worker count) live in ``test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import socket
+import sys
+from typing import NamedTuple, Optional
+
+import pytest
+
+from repro.cli import build_parser
+from repro.runtime import (
+    ChaosPlan,
+    Coordinator,
+    DatasetRuntime,
+    DistPolicy,
+    ProgressManifest,
+    RetryPolicy,
+    RuntimeStats,
+    audit_dist_store,
+    audit_manifests,
+    manifest_path,
+    run_worker,
+    sample_set_fingerprint,
+)
+from repro.runtime.dist import (
+    DistStore,
+    FrameError,
+    recv_frame,
+    recv_frame_poll,
+    send_frame,
+    unit_identity,
+)
+from repro.runtime.dist.store import run_hash
+
+SEED = 4242
+
+
+# ------------------------------------------------------------------- wire
+def _pair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+def test_frame_roundtrip_preserves_kind_seq_meta_payload():
+    a, b = _pair()
+    try:
+        send_frame(a, "result", seq=7, meta={"unit": 3}, payload=b"\x00bytes\xff")
+        frame = recv_frame(b)
+        assert frame.kind == "result"
+        assert frame.seq == 7
+        assert frame.meta == {"unit": 3}
+        assert frame.payload == b"\x00bytes\xff"
+    finally:
+        a.close()
+        b.close()
+
+
+def test_corrupted_payload_fails_the_digest():
+    a, b = _pair()
+    relay_a, relay_b = _pair()
+    try:
+        send_frame(a, "result", payload=b"x" * 64)
+        raw = bytearray(b.recv(65536))
+        raw[-40] ^= 0xFF  # flip a payload byte; the trailing 32 are the digest
+        relay_a.sendall(bytes(raw))
+        with pytest.raises(FrameError, match="digest"):
+            recv_frame(relay_b)
+    finally:
+        for s in (a, b, relay_a, relay_b):
+            s.close()
+
+
+def test_truncated_frame_surfaces_as_connection_error():
+    a, b = _pair()
+    relay_a, relay_b = _pair()
+    try:
+        send_frame(a, "result", payload=b"y" * 64)
+        raw = b.recv(65536)
+        relay_a.sendall(raw[: len(raw) // 2])
+        relay_a.close()
+        with pytest.raises(ConnectionError, match="mid-frame"):
+            recv_frame(relay_b)
+    finally:
+        for s in (a, b, relay_b):
+            s.close()
+
+
+def test_recv_frame_poll_idles_without_desync():
+    a, b = _pair()
+    try:
+        assert recv_frame_poll(b, idle_timeout=0.05) is None
+        send_frame(a, "beat", meta={"unit": 1})
+        frame = recv_frame_poll(b, idle_timeout=0.5)
+        assert frame is not None and frame.kind == "beat"
+        assert recv_frame_poll(b, idle_timeout=0.05) is None  # stream intact
+    finally:
+        a.close()
+        b.close()
+
+
+def test_chaos_frame_faults_drop_dup_and_trunc():
+    token = ("chunk", "unit", 0)
+    # drop: first attempt sends nothing; the retry goes through clean.
+    a, b = _pair()
+    plan = ChaosPlan(net_drop=1.0, seed=5)
+    send_frame(a, "result", chaos=plan, token=token, send_attempt=0)
+    assert recv_frame_poll(b, idle_timeout=0.05) is None
+    send_frame(a, "result", chaos=plan, token=token, send_attempt=1)
+    assert recv_frame(b).kind == "result"
+    a.close()
+    b.close()
+
+    # dup: the frame arrives twice; both verify.
+    a, b = _pair()
+    plan = ChaosPlan(net_dup=1.0, seed=5)
+    send_frame(a, "result", seq=9, chaos=plan, token=token, send_attempt=0)
+    assert recv_frame(b).seq == 9
+    assert recv_frame(b).seq == 9
+    a.close()
+    b.close()
+
+    # trunc: the sender's connection dies loudly; the receiver sees a cut.
+    a, b = _pair()
+    plan = ChaosPlan(net_trunc=1.0, seed=5)
+    with pytest.raises(ConnectionError, match="chaos"):
+        send_frame(a, "result", payload=b"z" * 64, chaos=plan,
+                   token=token, send_attempt=0)
+    with pytest.raises((ConnectionError, FrameError)):
+        recv_frame(b)
+    a.close()
+    b.close()
+
+
+# ---------------------------------------------------------------- backoff
+def test_backoff_is_seeded_deterministic_and_capped():
+    policy = RetryPolicy(backoff_base=0.1, backoff_cap=1.0)
+    token = ("connect", "w1")
+    delays = [policy.backoff_delay(attempt, token) for attempt in (1, 2, 3, 10)]
+    assert delays == [policy.backoff_delay(a, token) for a in (1, 2, 3, 10)]
+    assert all(d <= 1.0 for d in delays)
+    assert all(d >= 0.0 for d in delays)
+    # Jitter is token-dependent: a different worker desynchronizes.
+    assert policy.backoff_delay(3, token) != policy.backoff_delay(3, ("connect", "w2"))
+
+
+# --------------------------------------------------------------- identity
+class FakeUnit(NamedTuple):
+    idx: int
+    seed: int
+    result_base: Optional[str] = None
+    chaos: Optional[ChaosPlan] = None
+
+
+def test_unit_identity_excludes_execution_only_fields():
+    base = FakeUnit(0, 7)
+    assert unit_identity(base) == unit_identity(FakeUnit(0, 7, result_base="/tmp/x"))
+    assert unit_identity(base) == unit_identity(
+        FakeUnit(0, 7, chaos=ChaosPlan(crash=1.0))
+    )
+    assert unit_identity(base) != unit_identity(FakeUnit(0, 8))
+    ids = [unit_identity(u) for u in (FakeUnit(0, 7), FakeUnit(1, 7))]
+    assert run_hash("chunk", ids) == run_hash("chunk", ids)
+    assert run_hash("chunk", ids) != run_hash("prepare", ids)
+
+
+# ------------------------------------------------------------------ store
+def test_store_resume_ignores_identity_mismatches(tmp_path):
+    store = DistStore(tmp_path)
+    units = [FakeUnit(i, 7) for i in range(3)]
+    ids = [unit_identity(u) for u in units]
+    rhash = run_hash("fake", ids)
+    store.put_result(rhash, 0, ids[0], "keep")
+    store.put_result(rhash, 1, "some-other-identity", "smuggled")
+    (store.results / rhash / "u2.pkl").write_bytes(b"torn garbage")
+    assert store.load_results(rhash, ids) == {0: "keep"}
+
+
+def test_dist_store_audit_flags_and_fixes(tmp_path):
+    store = DistStore(tmp_path)
+    dead_pid = 2**22 + 12345  # beyond default pid_max: never alive
+
+    # Stale lease: recorded owner is dead.
+    store.write_lease("r-u0-a0", {"wid": "w1", "unit": 0, "run": "r"})
+    lease = store.leases / "r-u0-a0.json"
+    doc = json.loads(lease.read_text())
+    doc["pid"] = dead_pid
+    lease.write_text(json.dumps(doc))
+
+    # Orphaned results: a results dir whose marker is gone.
+    store.put_result("orphan", 0, "id", "desc")
+
+    # Stale marker: dead pid, nothing to resume.
+    store.write_marker("stale", {"label": "fake", "units": 1})
+    marker = store.runs / "stale.json"
+    doc = json.loads(marker.read_text())
+    doc["pid"] = dead_pid
+    marker.write_text(json.dumps(doc))
+
+    # Resume state: dead pid but results present — NOT a problem.
+    store.write_marker("resume", {"label": "fake", "units": 1})
+    rdoc = json.loads((store.runs / "resume.json").read_text())
+    rdoc["pid"] = dead_pid
+    (store.runs / "resume.json").write_text(json.dumps(rdoc))
+    store.put_result("resume", 0, "id", "desc")
+
+    health = audit_dist_store(tmp_path)
+    assert health.stale_leases == ("leases/r-u0-a0.json",)
+    assert health.orphaned_results == ("results/orphan/",)
+    assert health.stale_markers == ("runs/stale.json",)
+    assert health.problems == 3
+
+    fixed = audit_dist_store(tmp_path, fix=True)
+    assert fixed.problems == 3  # reports what it reaped
+    clean = audit_dist_store(tmp_path)
+    assert clean.problems == 0
+    # The resume pair survived the reap.
+    assert (store.runs / "resume.json").is_file()
+    assert (store.results / "resume" / "u0.pkl").is_file()
+
+
+def test_live_coordinator_store_state_is_healthy(tmp_path):
+    store = DistStore(tmp_path)
+    store.write_lease("r-u0-a0", {"wid": "w1", "unit": 0, "run": "r"})
+    store.write_marker("r", {"label": "fake", "units": 1})
+    store.put_result("r", 0, "id", "desc")
+    assert audit_dist_store(tmp_path).problems == 0  # our own pid is alive
+
+
+# ------------------------------------------------------- manifest audit
+def test_audit_manifests_flags_only_unmatchable_files(tmp_path):
+    run_key = {"scale": "tiny", "samples": 4}
+    manifest = ProgressManifest(
+        manifest_path(tmp_path, "tables", run_key), run_key, name="tables"
+    )
+    manifest.mark_done("table3")
+    assert audit_manifests(tmp_path) == []
+
+    mdir = tmp_path / "manifests"
+    good = manifest_path(tmp_path, "tables", run_key)
+    # Renamed file: its recorded run key no longer derives its filename.
+    renamed = mdir / "tables-0000000000000000.json"
+    renamed.write_text(good.read_text())
+    # Legacy format-1 manifest: nothing can verify it.
+    (mdir / "tables-1111111111111111.json").write_text(
+        json.dumps({"format": 1, "run_key_hash": "x", "stages": {}})
+    )
+    # Torn file.
+    (mdir / "tables-2222222222222222.json").write_text("{not json")
+
+    problems = dict(audit_manifests(tmp_path))
+    assert good.name not in problems
+    assert "filename" in problems["tables-0000000000000000.json"]
+    assert "legacy" in problems["tables-1111111111111111.json"]
+    assert "unreadable" in problems["tables-2222222222222222.json"]
+
+    audit_manifests(tmp_path, fix=True)
+    assert audit_manifests(tmp_path) == []
+    assert good.is_file()  # the verifying manifest is never touched
+
+
+# ------------------------------------------------- coordinator (no workers)
+_FAST = DistPolicy(heartbeat_s=0.2, lease_timeout_s=1.0, poll_s=0.05,
+                   fallback_after_s=0.3, ack_timeout_s=0.5)
+
+
+def _fake_fn(task):
+    unit, _attempt = task
+    return ("obj", unit.idx * unit.idx)
+
+
+def test_coordinator_falls_back_locally_and_cleans_its_store(tmp_path):
+    stats = RuntimeStats()
+    units = [FakeUnit(i, 7) for i in range(3)]
+    with Coordinator(workers=1, policy=_FAST, retry=RetryPolicy(),
+                     stats=stats, store_dir=tmp_path) as coord:
+        out = coord.run_units(units, _fake_fn, label="fake")
+    assert out == [("obj", 0), ("obj", 1), ("obj", 4)]
+    assert stats.counters.get("dist.fallback_units", 0) == 3
+    # Success cleanup: no markers, results, or leases left behind.
+    assert audit_dist_store(tmp_path).problems == 0
+    store = DistStore(tmp_path)
+    assert not list(store.runs.glob("*.json"))
+    assert not (store.results / run_hash(
+        "fake", [unit_identity(u) for u in units]
+    )).exists()
+
+
+def test_coordinator_preloads_interrupted_results_from_store(tmp_path):
+    units = [FakeUnit(i, 7) for i in range(3)]
+    ids = [unit_identity(u) for u in units]
+    rhash = run_hash("fake", ids)
+    # Simulate a coordinator that died after completing unit 1.
+    store = DistStore(tmp_path)
+    store.write_marker(rhash, {"label": "fake", "units": 3})
+    store.put_result(rhash, 1, ids[1], ("obj", "resumed"))
+
+    stats = RuntimeStats()
+    with Coordinator(workers=1, policy=_FAST, retry=RetryPolicy(),
+                     stats=stats, store_dir=tmp_path) as coord:
+        out = coord.run_units(units, _fake_fn, label="fake")
+    # The preloaded descriptor is used verbatim; the rest ran locally.
+    assert out == [("obj", 0), ("obj", "resumed"), ("obj", 4)]
+    assert stats.counters.get("dist.resumed_units", 0) == 1
+    assert stats.counters.get("dist.fallback_units", 0) == 2
+
+
+def test_coordinator_rejects_overlapping_batches():
+    with Coordinator(workers=1, policy=_FAST, retry=RetryPolicy()) as coord:
+        with coord._cond:
+            coord._batch_seq += 1
+            from repro.runtime.dist.coordinator import _Batch
+
+            coord._batch = _Batch("fake", [FakeUnit(0, 7)], ["id"], "r", 1)
+        with pytest.raises(RuntimeError, match="active batch"):
+            coord.run_units([FakeUnit(1, 7)], _fake_fn, label="fake")
+        with coord._cond:
+            coord._batch = None
+
+
+# --------------------------------------------------------- end to end
+def _worker_entry(port):
+    sys.exit(run_worker(f"127.0.0.1:{port}", max_reconnects=5))
+
+
+def test_two_worker_build_is_byte_identical_to_serial(prepared):
+    serial = DatasetRuntime(workers=1).build_dataset(prepared, "bypass", 48, SEED)
+    fp_serial = sample_set_fingerprint(serial)
+
+    ctx = mp.get_context("fork")
+    stats = RuntimeStats()
+    coord = Coordinator(workers=2, policy=_FAST, retry=RetryPolicy(), stats=stats)
+    procs = [ctx.Process(target=_worker_entry, args=(coord.address[1],))
+             for _ in range(2)]
+    for p in procs:
+        p.start()
+    try:
+        rt = DatasetRuntime(workers=2, dist=coord, stats=stats)
+        built = rt.build_dataset(prepared, "bypass", 48, SEED)
+        assert sample_set_fingerprint(built) == fp_serial
+    finally:
+        coord.close()
+        for p in procs:
+            p.join(timeout=15)
+            if p.is_alive():  # pragma: no cover - hung worker
+                p.terminate()
+    assert stats.counters.get("dist.results_remote", 0) >= 1
+    assert stats.counters.get("dist.workers_seen", 0) == 2
+    # Coordinator shutdown is a clean exit for workers, not an error.
+    assert [p.exitcode for p in procs] == [0, 0]
+
+
+# -------------------------------------------------------------------- CLI
+def test_cli_parses_coordinator_and_worker_commands():
+    args = build_parser().parse_args(
+        ["coordinator", "--scale", "tiny", "--samples", "4", "--port", "9100",
+         "--lease-timeout", "5", "--fallback-after", "2"]
+    )
+    assert args.command == "coordinator"
+    assert args.port == 9100 and args.lease_timeout == 5.0
+
+    args = build_parser().parse_args(
+        ["worker", "--connect", "127.0.0.1:9100", "--max-reconnects", "3"]
+    )
+    assert args.command == "worker"
+    assert args.connect == "127.0.0.1:9100" and args.max_reconnects == 3
+
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["worker"])  # --connect is required

@@ -205,6 +205,58 @@ def lock_created_after_pool_acquire():
     return bad, good
 
 
+@mutation("RCL005")
+def connection_leaks_when_handshake_raises():
+    # send_frame/recv_frame are lifecycle calls: using the socket through
+    # them must NOT count as an ownership transfer, so the bad twin still
+    # holds the close obligation on the exception path out of the handshake.
+    bad = _src("""
+        import socket
+
+        def dial(addr):
+            sock = socket.create_connection(addr, timeout=10.0)
+            send_frame(sock, "hello")
+            reply = recv_frame(sock)
+            sock.close()
+            return reply
+    """)
+    good = _src("""
+        import socket
+
+        def dial(addr):
+            sock = socket.create_connection(addr, timeout=10.0)
+            try:
+                send_frame(sock, "hello")
+                return recv_frame(sock)
+            finally:
+                sock.close()
+    """)
+    return bad, good
+
+
+@mutation("RCL005")
+def accepted_connection_dropped_on_early_return():
+    bad = _src("""
+        def accept_one(listener, sessions):
+            conn, addr = listener.accept()
+            if not sessions.allow(addr):
+                return None
+            sessions.adopt(conn)
+            return addr
+    """)
+    # The disciplined twin hands the connection to an owner *before*
+    # anything else can raise — the coordinator's accept-loop protocol.
+    good = _src("""
+        def accept_one(listener, sessions):
+            conn, addr = listener.accept()
+            sessions.adopt(conn)
+            if not sessions.allow(addr):
+                return None
+            return addr
+    """)
+    return bad, good
+
+
 # ------------------------------------------------------------------ tests
 @pytest.mark.parametrize("rule,mutator", MUTATIONS)
 def test_bad_fires_and_good_stays_clean(rule, mutator):
