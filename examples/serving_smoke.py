@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Serving smoke: a live ``repro serve`` must match offline diagnosis bytes.
+
+The end-to-end contract check CI runs on every push:
+
+1. build a design and train a framework offline, save it to ``.npz``;
+2. spawn ``repro serve --http`` as a subprocess warm-loading that same
+   checkpoint, and wait for its ready line;
+3. fire concurrent datalog submissions at it (some with precomputed ATPG
+   reports, some forcing server-side effect-cause diagnosis);
+4. diff every response against an offline ``pipeline.diagnose`` rerun of the
+   same logs — after stripping volatile provenance (timings, batch size) the
+   serialized documents must be byte-identical;
+5. write the latency/throughput stats as a JSON artifact.
+
+Exit status is non-zero on any mismatch or failed request.
+
+Run:  PYTHONPATH=src python examples/serving_smoke.py [artifact.json]
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import (
+    DesignConfig,
+    EffectCauseDiagnoser,
+    GeneratorSpec,
+    build_dataset,
+    prepare_design,
+)
+from repro.core import M3DDiagnosisFramework
+from repro.core.io import save_framework
+from repro.serve import (
+    ModelRegistry,
+    ServeClient,
+    candidate_to_json,
+    canonical_response,
+    dumps_response,
+    fire_concurrent,
+    result_response,
+)
+from repro.tester.datalog import dumps_datalog
+
+GATES = 300
+SEED = 7
+CONFIG = "Syn-1"
+MODE = "bypass"
+TRAIN_SAMPLES = 80
+EPOCHS = 8
+N_CHIPS = 24
+CONCURRENCY = 16
+
+
+def main() -> int:
+    artifact = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("serving_smoke.json")
+
+    # 1. The same design ``repro serve --gates 300 --seed 7`` builds.
+    spec = GeneratorSpec(
+        f"serve-{CONFIG.lower()}", "aes_like", GATES, max(16, GATES // 8),
+        16, 16, seed=SEED,
+    )
+    design = prepare_design(
+        spec, DesignConfig.standard(CONFIG), n_chains=4, chains_per_channel=2,
+        max_patterns=128,
+    )
+    train = build_dataset(design, MODE, TRAIN_SAMPLES, seed=0)
+    fw = M3DDiagnosisFramework(epochs=EPOCHS, seed=0)
+    fw.fit([train])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        fw_path = str(Path(tmp) / "smoke-model.npz")
+        save_framework(fw, fw_path)
+
+        # 2. Live server warm-loading the identical checkpoint.
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--http", "127.0.0.1:0",
+                "--gates", str(GATES), "--seed", str(SEED),
+                "--configs", CONFIG, "--mode", MODE,
+                "--framework", fw_path,
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+        )
+        try:
+            assert proc.stdout is not None
+            # Skip the runtime's [stage] progress lines until the ready line.
+            while True:
+                ready = proc.stdout.readline().strip()
+                if ready.startswith("listening on http://"):
+                    break
+                if not ready and proc.poll() is not None:
+                    print("server exited before ready line", file=sys.stderr)
+                    return 1
+            base_url = ready.split("listening on ", 1)[1]
+            print(ready)
+
+            # 3. Concurrent submissions; odd ones carry precomputed reports.
+            chips = build_dataset(design, MODE, N_CHIPS, seed=99).items
+            diagnoser = EffectCauseDiagnoser(
+                design.nl, design.obsmap(MODE), design.patterns,
+                mivs=design.mivs, sim=design.sim,
+            )
+            reports = [diagnoser.diagnose(c.sample.log) for c in chips]
+            submissions = []
+            for i, (chip, report) in enumerate(zip(chips, reports)):
+                sub = {
+                    "id": f"smoke{i}",
+                    "datalog": dumps_datalog(
+                        chip.sample.log, f"chip{i}", design.obsmap(MODE)
+                    ),
+                }
+                if i % 2 == 1:
+                    sub["report"] = [
+                        candidate_to_json(c) for c in report.candidates
+                    ]
+                submissions.append(sub)
+
+            client = ServeClient(base_url, timeout_s=60.0)
+            fired = fire_concurrent(client, submissions, concurrency=CONCURRENCY)
+            responses = fired.pop("responses")
+            print(
+                f"{fired['n_ok']}/{fired['n_requests']} ok, "
+                f"p50 {fired['latency_p50_s'] * 1e3:.1f}ms "
+                f"p99 {fired['latency_p99_s'] * 1e3:.1f}ms, "
+                f"{fired['throughput_rps']} req/s"
+            )
+        finally:
+            proc.terminate()
+            proc.wait(timeout=30)
+
+    # 4. Offline rerun: same weights, same logs, one code path.
+    registry = ModelRegistry()
+    record = registry.register(CONFIG, "v1", fw)
+    provenance = {
+        "design": CONFIG,
+        "config": CONFIG,
+        "mode": MODE,
+        "model_version": record.version,
+        "nn_backend": record.backend,
+    }
+    mismatches = 0
+    for i, (chip, report, server_doc) in enumerate(
+        zip(chips, reports, responses)
+    ):
+        result = record.framework.diagnose(design, MODE, chip.sample.log, report)
+        offline_doc = result_response(result, f"smoke{i}", f"chip{i}", provenance)
+        offline = dumps_response(canonical_response(offline_doc))
+        served = dumps_response(canonical_response(server_doc))
+        if offline != served:
+            mismatches += 1
+            print(f"MISMATCH smoke{i}:\n  offline {offline}\n  served  {served}")
+
+    # 5. The artifact CI uploads.
+    fired["concurrency"] = CONCURRENCY
+    fired["mismatches"] = mismatches
+    artifact.write_text(json.dumps(fired, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {artifact}")
+
+    if mismatches or fired["n_errors"]:
+        print(
+            f"FAIL: {mismatches} mismatch(es), {fired['n_errors']} error(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"all {len(responses)} responses byte-identical to offline diagnose")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

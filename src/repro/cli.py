@@ -9,6 +9,7 @@ Installed as the ``repro`` console script::
     repro cache --cache-dir DIR     # inspect / clear the artifact cache
     repro doctor --cache-dir DIR    # audit / repair artifact-cache health
     repro stats out.json            # render a --stats-out metrics snapshot
+    repro serve --http :8341        # diagnosis-as-a-service (batched GNN)
     repro check --self              # repro-lint the package sources
     repro check a.py d.bench p.pkl  # lint sources / DRC netlists & designs
     repro lint ...                  # alias for check
@@ -170,6 +171,52 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--top", type=int, default=10, metavar="N",
                        help="stages to list in the wall-clock ranking "
                             "(default: 10)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="diagnosis-as-a-service: batched GNN inference over HTTP/stdin",
+        description="Run a long-lived diagnosis server.  Failure-log "
+        "submissions (JSON with a tester datalog, optionally a precomputed "
+        "ATPG candidate list) arrive over HTTP (POST /diagnose, single "
+        "object or JSONL) or stdin JSONL; concurrent requests are packed "
+        "into block-diagonal GCN forwards by a bounded-queue batcher "
+        "(full queue => HTTP 429, explicit backpressure).  Models are "
+        "warm-loaded per design config into a versioned registry and can "
+        "be swapped atomically via POST /models/activate.  GET /healthz, "
+        "/metrics (Prometheus), /models for introspection.",
+    )
+    serve.add_argument("--http", default=None, metavar="HOST:PORT",
+                       help="HTTP listen address (port 0 picks a free port, "
+                            "printed at startup)")
+    serve.add_argument("--stdin", dest="stdin_mode", action="store_true",
+                       help="serve JSONL submissions from stdin, responses "
+                            "to stdout (combinable with --http)")
+    serve.add_argument("--gates", type=int, default=300, help="design size")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--configs", default="Syn-1", metavar="LIST",
+                       help="comma-separated design configs to serve "
+                            "(Syn-1, TPI, Syn-2, Par; default: Syn-1)")
+    serve.add_argument("--mode", choices=("bypass", "compacted"),
+                       default="bypass", help="default observation mode")
+    serve.add_argument("--framework", default=None, metavar="FILE.npz",
+                       help="warm-load versioned framework weights instead "
+                            "of training at startup")
+    serve.add_argument("--model-version", default="v1", metavar="TAG",
+                       help="version tag for the startup model (default: v1)")
+    serve.add_argument("--train-samples", type=int, default=120, metavar="N",
+                       help="training chips per config when no --framework "
+                            "is given (default: 120)")
+    serve.add_argument("--epochs", type=int, default=20)
+    serve.add_argument("--max-batch", type=int, default=64, metavar="N",
+                       help="most requests packed into one forward pass")
+    serve.add_argument("--max-queue", type=int, default=256, metavar="N",
+                       help="bounded request-queue capacity (full => 429)")
+    serve.add_argument("--flush-interval", type=float, default=0.02,
+                       metavar="S", help="batch-thread poll interval")
+    serve.add_argument("--nn-backend", default=None, metavar="SPEC",
+                       help="tensor backend for the GNN models (numpy, "
+                            "torch, torch-cpu, torch-cuda, auto)")
+    add_runtime_args(serve)
 
     doctor = sub.add_parser(
         "doctor",
@@ -574,6 +621,100 @@ def _doctor_dist(cache_dir: str, fix: bool) -> int:
     return dist_health.problems + len(manifest_problems)
 
 
+def _cmd_serve(http: Optional[str], stdin_mode: bool, gates: int, seed: int,
+               configs: str, mode: str, framework_path: Optional[str],
+               model_version: str, train_samples: int, epochs: int,
+               max_batch: int, max_queue: int, flush_interval: float,
+               nn_backend: Optional[str], workers: Optional[int],
+               cache_dir: Optional[str], stats_out: Optional[str]) -> int:
+    import threading
+
+    from repro import DesignConfig, GeneratorSpec, M3DDiagnosisFramework
+    from repro.runtime import handle_termination
+    from repro.serve import (
+        DesignContext,
+        DiagnosisService,
+        ModelRegistry,
+        RequestBatcher,
+        serve_http,
+        serve_stdin,
+    )
+
+    if not http and not stdin_mode:
+        print("serve: need --http HOST:PORT and/or --stdin", file=sys.stderr)
+        return 2
+    config_names = [c.strip() for c in configs.split(",") if c.strip()]
+    if not config_names:
+        print("serve: --configs must name at least one design config",
+              file=sys.stderr)
+        return 2
+
+    rt = _configure_runtime(workers, cache_dir)
+    registry = ModelRegistry()
+    designs = {}
+    httpd = None
+    batcher = None
+    try:
+        with handle_termination(), rt.tracer.span("serve"):
+            for name in config_names:
+                t0 = time.perf_counter()
+                spec = GeneratorSpec(f"serve-{name.lower()}", "aes_like", gates,
+                                     max(16, gates // 8), 16, 16, seed=seed)
+                design = rt.prepare(spec, DesignConfig.standard(name),
+                                    n_chains=4, chains_per_channel=2,
+                                    max_patterns=128)
+                designs[name] = DesignContext(
+                    name=name, design=design, default_mode=mode
+                )
+                if framework_path is not None:
+                    record = registry.load(name, model_version, framework_path,
+                                           backend=nn_backend)
+                else:
+                    train = rt.build_dataset(design, mode, train_samples, seed=0)
+                    fw = M3DDiagnosisFramework(epochs=epochs, seed=0,
+                                               nn_backend=nn_backend)
+                    fw.fit([train], stats_sink=rt.stats, tracer=rt.tracer)
+                    record = registry.register(name, model_version, fw,
+                                               source="<trained at startup>")
+                print(f"serving {name}: {design.nl} [model {record.version}, "
+                      f"backend {record.backend}] "
+                      f"({time.perf_counter() - t0:.1f}s)", file=sys.stderr)
+            print(f"warmed up {registry.warmup()} model record(s)",
+                  file=sys.stderr)
+
+            service = DiagnosisService(registry, designs, stats=rt.stats,
+                                       tracer=rt.tracer)
+            batcher = RequestBatcher(service.process_batch,
+                                     max_batch=max_batch, max_queue=max_queue,
+                                     flush_interval_s=flush_interval,
+                                     stats=rt.stats).start()
+            if http:
+                host, _, port_s = http.partition(":")
+                httpd = serve_http(service, batcher, host or "127.0.0.1",
+                                   int(port_s or 0))
+                bound = httpd.server_address
+                # The ready line smoke clients wait for — stdout, flushed.
+                print(f"listening on http://{bound[0]}:{bound[1]}", flush=True)
+            if stdin_mode:
+                if httpd is not None:
+                    threading.Thread(target=httpd.serve_forever,
+                                     name="repro-serve-http",
+                                     daemon=True).start()
+                n = serve_stdin(batcher, sys.stdin, sys.stdout)
+                print(f"served {n} stdin submission(s)", file=sys.stderr)
+            elif httpd is not None:
+                httpd.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+    finally:
+        if httpd is not None:
+            httpd.server_close()
+        if batcher is not None:
+            batcher.close(drain=False)
+    _write_stats_out(rt, stats_out)
+    return 0
+
+
 def _cmd_doctor(cache_dir: Optional[str], deep: bool, fix: bool) -> int:
     import os
 
@@ -835,6 +976,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cache(args.cache_dir, args.clear)
     if args.command == "stats":
         return _cmd_stats(args.metrics, args.top)
+    if args.command == "serve":
+        return _cmd_serve(args.http, args.stdin_mode, args.gates, args.seed,
+                          args.configs, args.mode, args.framework,
+                          args.model_version, args.train_samples, args.epochs,
+                          args.max_batch, args.max_queue, args.flush_interval,
+                          args.nn_backend, args.workers, args.cache_dir,
+                          args.stats_out)
     if args.command == "doctor":
         return _cmd_doctor(args.cache_dir, args.deep, args.fix)
     if args.command in ("check", "lint"):

@@ -128,6 +128,12 @@ class PruneReorderClassifier:
         batch = build_batch(self.scaler.transform(list(graphs)))
         return self.model.predict_proba(batch)[:, PRUNE]
 
+    def should_prune_batch(
+        self, graphs: Sequence[GraphData], threshold: float = 0.5
+    ) -> List[bool]:
+        """Prune-vs-reorder decisions for many samples from one forward."""
+        return [bool(p > threshold) for p in self.prune_probability(list(graphs))]
+
     def should_prune(self, graph: GraphData, threshold: float = 0.5) -> bool:
         """The policy's prune-vs-reorder decision for one sample."""
-        return bool(self.prune_probability([graph])[0] > threshold)
+        return self.should_prune_batch([graph], threshold)[0]

@@ -169,16 +169,21 @@ class StandardScaler:
             raise RuntimeError("scaler is not fitted")
         out = []
         for g in graphs:
-            out.append(
-                GraphData(
-                    x=(g.x - self.mean_) / self.std_,
-                    edges=g.edges,
-                    y=g.y,
-                    node_y=g.node_y,
-                    node_mask=g.node_mask,
-                    meta=g.meta,
-                )
+            scaled = GraphData(
+                x=(g.x - self.mean_) / self.std_,
+                edges=g.edges,
+                y=g.y,
+                node_y=g.node_y,
+                node_mask=g.node_mask,
+                meta=g.meta,
             )
+            # Feature scaling leaves the topology untouched, so the copy can
+            # share the source graph's normalized adjacency.  Materializing it
+            # on the source means every model transforming the same sub-graph
+            # (tier, MIV, classifier) reuses one matrix instead of paying the
+            # sparse construction three times per request.
+            scaled._a_hat = g.a_hat()
+            out.append(scaled)
         return out
 
     def fit_transform(self, graphs) -> list:

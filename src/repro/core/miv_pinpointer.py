@@ -12,7 +12,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..nn.data import GraphData, build_batch
+from ..nn.data import GraphData, build_batch, split_node_values
 from ..nn.model import NodeClassifier
 from .features import N_FEATURES, StandardScaler
 from .training import train_node_classifier
@@ -99,20 +99,47 @@ class MivPinpointer:
         if healthy:
             self.threshold = float(max(0.5, np.quantile(np.asarray(healthy), 0.99)))
 
-    def predict_node_proba(self, graph: GraphData) -> np.ndarray:
-        """Defect probability per sub-graph node (meaningful on MIV nodes)."""
+    def predict_node_proba_batch(
+        self, graphs: Sequence[GraphData]
+    ) -> List[np.ndarray]:
+        """Per-node defect probabilities for many sub-graphs at once.
+
+        All sub-graphs share one block-diagonal forward pass; the flat
+        per-node output is split back into one array per input graph.  The
+        single-graph :meth:`predict_node_proba` is this with a batch of one,
+        so batched (serving) and per-graph (offline) inference are the same
+        code path.
+        """
         if not self._fitted:
             raise RuntimeError("MivPinpointer is not fitted")
-        batch = build_batch(self.scaler.transform([graph]))
-        return self.model.predict_proba(batch)
+        if not graphs:
+            return []
+        batch = build_batch(self.scaler.transform(list(graphs)))
+        return split_node_values(batch, self.model.predict_proba(batch))
 
-    def predict_faulty_mivs(self, graph: GraphData) -> List[int]:
-        """HetGraph node ids of MIVs predicted faulty in this sub-graph."""
-        probs = self.predict_node_proba(graph)
+    def predict_node_proba(self, graph: GraphData) -> np.ndarray:
+        """Defect probability per sub-graph node (meaningful on MIV nodes)."""
+        return self.predict_node_proba_batch([graph])[0]
+
+    def _pick_faulty(self, graph: GraphData, probs: np.ndarray) -> List[int]:
+        """HetGraph node ids whose defect probability clears the threshold."""
         nodes = graph.meta["nodes"] if graph.meta else np.arange(graph.n_nodes)
         mask = graph.node_mask if graph.node_mask is not None else np.zeros(graph.n_nodes, bool)
         picks = np.nonzero(mask & (probs > self.threshold))[0]
         return [int(nodes[i]) for i in picks]
+
+    def predict_faulty_mivs_batch(
+        self, graphs: Sequence[GraphData]
+    ) -> List[List[int]]:
+        """Faulty-MIV node ids per sub-graph, from one batched forward."""
+        return [
+            self._pick_faulty(g, probs)
+            for g, probs in zip(graphs, self.predict_node_proba_batch(graphs))
+        ]
+
+    def predict_faulty_mivs(self, graph: GraphData) -> List[int]:
+        """HetGraph node ids of MIVs predicted faulty in this sub-graph."""
+        return self.predict_faulty_mivs_batch([graph])[0]
 
     def sample_accuracy(self, graphs: Sequence[GraphData]) -> float:
         """Localization accuracy over samples that contain an MIV fault.

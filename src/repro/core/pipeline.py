@@ -110,6 +110,12 @@ class M3DDiagnosisFramework:
         self.classifier: Optional[PruneReorderClassifier] = None
         self.tp_threshold: float = 1.0
         self._fitted = False
+        # Bound-policy cache: ``policy_for`` is on the serving hot path
+        # (every diagnose call), so the policy object is built once per
+        # (design identity, use_tier) and reused until the models change.
+        self._policy_cache: Dict[
+            Tuple[int, bool], Tuple[PreparedDesign, PruneReorderPolicy]
+        ] = {}
 
     # ------------------------------------------------------------------ fit
     def _checkpoint_key(self, training_sets: Sequence[SampleSet]) -> Dict[str, object]:
@@ -170,6 +176,8 @@ class M3DDiagnosisFramework:
         """
         timer = stats_sink if stats_sink is not None else RuntimeStats()
         tr = tracer if tracer is not None else SpanTracer()
+        # Refitting replaces the models: every cached bound policy is stale.
+        self._policy_cache.clear()
         with tr.span("fit"):
             return self._fit_impl(training_sets, timer, tr, checkpoint)
 
@@ -277,10 +285,22 @@ class M3DDiagnosisFramework:
 
     # ------------------------------------------------------------ deployment
     def policy_for(self, design: PreparedDesign, use_tier: bool = True) -> PruneReorderPolicy:
-        """Bind the trained models to a (possibly different) target design."""
+        """Bind the trained models to a (possibly different) target design.
+
+        The bound policy is cached per (design, use_tier): repeated
+        ``diagnose`` calls against the same design — the serving hot path —
+        reuse one policy object instead of rebuilding it per request.  The
+        cache is invalidated by :meth:`fit` (the models it binds change) and
+        keyed by object identity, so a re-prepared design gets a fresh
+        binding.
+        """
         if not self._fitted:
             raise RuntimeError("framework is not fitted")
-        return PruneReorderPolicy(
+        key = (id(design), use_tier)
+        hit = self._policy_cache.get(key)
+        if hit is not None and hit[0] is design:
+            return hit[1]
+        policy = PruneReorderPolicy(
             tier_predictor=self.tier_predictor,
             miv_pinpointer=self.miv_pinpointer,
             classifier=self.classifier,
@@ -288,6 +308,8 @@ class M3DDiagnosisFramework:
             tp_threshold=self.tp_threshold,
             use_tier=use_tier,
         )
+        self._policy_cache[key] = (design, policy)
+        return policy
 
     def subgraph_for_log(
         self, design: PreparedDesign, mode: str, log: FailureLog
@@ -317,6 +339,79 @@ class M3DDiagnosisFramework:
             mivs = [int(design.het.miv_id[v]) for v in nodes]
         return tier, float(proba[tier]), mivs
 
+    def diagnose_batch(
+        self,
+        design: PreparedDesign,
+        mode: str,
+        logs: Sequence[FailureLog],
+        atpg_reports: Sequence[DiagnosisReport],
+        backup: Optional[BackupDictionary] = None,
+        chip_ids: Optional[Sequence[object]] = None,
+        graphs: Optional[Sequence[Optional[GraphData]]] = None,
+        stats: Optional[RuntimeStats] = None,
+    ) -> List[PolicyResult]:
+        """Post-process many ATPG reports with batched GNN predictions.
+
+        The serving entry point: every request's back-traced sub-graph is
+        packed into one block-diagonal batch per model, so a full request
+        batch costs three GNN forwards instead of three per request.
+        :meth:`diagnose` is this with a batch of one — offline and serving
+        numerics are one code path by construction.
+
+        Args:
+            design: Target design bundle (shared by the whole batch).
+            mode: Observation mode of the logs.
+            logs: One failure log per request.
+            atpg_reports: One ATPG report per request.
+            backup: Optional backup dictionary for pruned candidates.
+            chip_ids: Backup-dictionary keys, one per request (None entries
+                allowed); defaults to None keys when a backup is given.
+            graphs: Pre-computed sub-graphs, one per request (None entries
+                back-trace on demand).
+            stats: Optional counter sink.  Empty back-traces — silent
+                ``passthrough`` results the policy never sees — are recorded
+                as ``diagnose.empty_backtrace`` so serving dashboards can
+                alert on degenerate submissions.
+        """
+        n = len(logs)
+        if len(atpg_reports) != n:
+            raise ValueError(f"{n} log(s) but {len(atpg_reports)} report(s)")
+        if graphs is not None and len(graphs) != n:
+            raise ValueError(f"{n} log(s) but {len(graphs)} graph(s)")
+        if chip_ids is not None and len(chip_ids) != n:
+            raise ValueError(f"{n} log(s) but {len(chip_ids)} chip id(s)")
+
+        resolved: List[Optional[GraphData]] = [
+            (graphs[i] if graphs is not None and graphs[i] is not None
+             else self.subgraph_for_log(design, mode, logs[i]))
+            for i in range(n)
+        ]
+        results: List[Optional[PolicyResult]] = [None] * n
+        for i, g in enumerate(resolved):
+            if g is None:
+                if stats is not None:
+                    stats.count("diagnose.empty_backtrace")
+                results[i] = PolicyResult(
+                    report=atpg_reports[i],
+                    action="passthrough",
+                    pruned=[],
+                    predicted_tier=-1,
+                    confidence=0.0,
+                )
+        live = [i for i, g in enumerate(resolved) if g is not None]
+        if live:
+            outs = self.policy_for(design).apply_batch(
+                [atpg_reports[i] for i in live], [resolved[i] for i in live]
+            )
+            for i, out in zip(live, outs):
+                results[i] = out
+        final = [r for r in results if r is not None]
+        if backup is not None:
+            keys: Sequence[object] = chip_ids if chip_ids is not None else [None] * n
+            for key, out in zip(keys, final):
+                backup.record(key, out.pruned)
+        return final
+
     def diagnose(
         self,
         design: PreparedDesign,
@@ -326,6 +421,7 @@ class M3DDiagnosisFramework:
         backup: Optional[BackupDictionary] = None,
         chip_id: object = None,
         graph: Optional[GraphData] = None,
+        stats: Optional[RuntimeStats] = None,
     ) -> PolicyResult:
         """Post-process one ATPG report with the GNN predictions.
 
@@ -337,18 +433,11 @@ class M3DDiagnosisFramework:
             backup: Optional backup dictionary to record pruned candidates.
             chip_id: Key for the backup dictionary.
             graph: Pre-computed sub-graph (skips re-running back-trace).
+            stats: Optional counter sink (``diagnose.empty_backtrace``).
         """
-        if graph is None:
-            graph = self.subgraph_for_log(design, mode, log)
-        if graph is None:
-            return PolicyResult(
-                report=atpg_report,
-                action="passthrough",
-                pruned=[],
-                predicted_tier=-1,
-                confidence=0.0,
-            )
-        result = self.policy_for(design).apply(atpg_report, graph)
-        if backup is not None:
-            backup.record(chip_id, result.pruned)
-        return result
+        return self.diagnose_batch(
+            design, mode, [log], [atpg_report],
+            backup=backup, chip_ids=[chip_id],
+            graphs=[graph] if graph is not None else None,
+            stats=stats,
+        )[0]

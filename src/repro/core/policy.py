@@ -107,9 +107,20 @@ class PruneReorderPolicy:
         return cand.site.net in flagged_nets
 
     # --------------------------------------------------------------- policy
-    def apply(self, report: DiagnosisReport, graph: GraphData) -> PolicyResult:
-        """Prune/reorder one ATPG report using the GNN predictions."""
-        miv_ids = self._predicted_faulty_mivs(graph)
+    def _assemble(
+        self,
+        report: DiagnosisReport,
+        miv_ids: List[int],
+        tier: int,
+        p: float,
+        clf_prune: Optional[bool],
+    ) -> PolicyResult:
+        """Turn one report's predictions into the final candidate ordering.
+
+        Pure post-processing — every GNN forward has already happened (in a
+        batch shared with the other reports), so this stays identical
+        whether the report arrived alone or packed with a thousand others.
+        """
         protected = [c for c in report.candidates if self._equivalent_to_mivs(c, miv_ids)]
         rest = [c for c in report.candidates if not self._equivalent_to_mivs(c, miv_ids)]
 
@@ -123,15 +134,11 @@ class PruneReorderPolicy:
                 faulty_mivs=miv_ids,
             )
 
-        proba = self.tier_predictor.predict_proba([graph])[0]
-        tier = int(np.argmax(proba))
-        p = float(proba[tier])
-
         prune = False
         if p > self.tp_threshold:
             action = "prune"
             if self.classifier is not None:
-                prune = self.classifier.should_prune(graph)
+                prune = bool(clf_prune)
                 action = "prune" if prune else "reorder"
             else:
                 prune = True
@@ -156,3 +163,64 @@ class PruneReorderPolicy:
             confidence=p,
             faulty_mivs=miv_ids,
         )
+
+    def apply_batch(
+        self, reports: Sequence[DiagnosisReport], graphs: Sequence[GraphData]
+    ) -> List[PolicyResult]:
+        """Prune/reorder many ATPG reports with batched GNN forwards.
+
+        All sub-graphs are packed into one block-diagonal batch per model:
+        one MIV-pinpointer forward, one Tier-predictor forward, and one
+        Classifier forward over just the confident sub-set — three forwards
+        total for the whole request batch instead of three per report.
+        :meth:`apply` is this with a batch of one, so serving (batched) and
+        offline (per-report) diagnosis share this single code path.
+        """
+        if len(reports) != len(graphs):
+            raise ValueError(
+                f"{len(reports)} report(s) but {len(graphs)} graph(s)"
+            )
+        if not graphs:
+            return []
+        graphs = list(graphs)
+
+        if self.miv_pinpointer is not None:
+            flagged = self.miv_pinpointer.predict_faulty_mivs_batch(graphs)
+            miv_ids_per = [
+                [int(self.het.miv_id[v]) for v in nodes] for nodes in flagged
+            ]
+        else:
+            miv_ids_per = [[] for _ in graphs]
+
+        if not self.use_tier:
+            return [
+                self._assemble(report, miv_ids, -1, 0.0, None)
+                for report, miv_ids in zip(reports, miv_ids_per)
+            ]
+
+        proba = self.tier_predictor.predict_proba(graphs)
+        tiers = np.argmax(proba, axis=1)
+        confs = proba[np.arange(len(graphs)), tiers]
+
+        # The Classifier only sees the confident ("Predicted Positive")
+        # sub-set, again as one batch.
+        prune_flags: dict = {}
+        if self.classifier is not None:
+            confident = [i for i in range(len(graphs)) if confs[i] > self.tp_threshold]
+            if confident:
+                decisions = self.classifier.should_prune_batch(
+                    [graphs[i] for i in confident]
+                )
+                prune_flags = dict(zip(confident, decisions))
+
+        return [
+            self._assemble(
+                report, miv_ids_per[i], int(tiers[i]), float(confs[i]),
+                prune_flags.get(i),
+            )
+            for i, report in enumerate(reports)
+        ]
+
+    def apply(self, report: DiagnosisReport, graph: GraphData) -> PolicyResult:
+        """Prune/reorder one ATPG report using the GNN predictions."""
+        return self.apply_batch([report], [graph])[0]

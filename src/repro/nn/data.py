@@ -8,7 +8,13 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-__all__ = ["GraphData", "GraphBatch", "build_batch", "normalized_adjacency"]
+__all__ = [
+    "GraphData",
+    "GraphBatch",
+    "build_batch",
+    "normalized_adjacency",
+    "split_node_values",
+]
 
 
 @dataclass
@@ -30,10 +36,26 @@ class GraphData:
     node_y: Optional[np.ndarray] = None
     node_mask: Optional[np.ndarray] = None
     meta: object = None
+    _a_hat: Optional[sp.csr_matrix] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def n_nodes(self) -> int:
         return self.x.shape[0]
+
+    def a_hat(self) -> sp.csr_matrix:
+        """The graph's normalized adjacency, computed once and memoized.
+
+        Every model forward over this graph needs the same matrix; in the
+        serving path three models (tier, MIV, classifier) batch the same
+        request sub-graphs, so recomputing per forward tripled the dominant
+        per-request cost.  Graphs are construct-once containers everywhere
+        in this codebase — ``edges`` must not be mutated after first use.
+        """
+        if self._a_hat is None:
+            self._a_hat = normalized_adjacency(self.n_nodes, self.edges)
+        return self._a_hat
 
 
 def normalized_adjacency(
@@ -128,6 +150,24 @@ class GraphBatch:
         return dpool[self.graph_ids] / counts[self.graph_ids][:, None]
 
 
+def split_node_values(batch: GraphBatch, values: np.ndarray) -> List[np.ndarray]:
+    """Split a per-node array back into per-graph arrays (unpack a batch).
+
+    The inverse of the node-dimension concatenation :func:`build_batch`
+    performs: ``values`` holds one entry per batch node (e.g. the node
+    classifier's per-node probabilities over the whole block-diagonal
+    batch) and the result is one array per member graph, in batch order.
+    """
+    values = np.asarray(values)
+    if values.shape[0] != batch.n_nodes:
+        raise ValueError(
+            f"per-node values have {values.shape[0]} entries, "
+            f"batch has {batch.n_nodes} nodes"
+        )
+    counts = np.bincount(batch.graph_ids, minlength=batch.n_graphs)
+    return np.split(values, np.cumsum(counts)[:-1])
+
+
 def build_batch(graphs: Sequence[GraphData]) -> GraphBatch:
     """Pack graphs into one block-diagonal batch."""
     if not graphs:
@@ -140,7 +180,7 @@ def build_batch(graphs: Sequence[GraphData]) -> GraphBatch:
     node_masks: List[np.ndarray] = []
     for i, g in enumerate(graphs):
         xs.append(np.asarray(g.x, dtype=np.float64))
-        blocks.append(normalized_adjacency(g.n_nodes, g.edges))
+        blocks.append(g.a_hat())
         gids.append(np.full(g.n_nodes, i, dtype=np.int64))
         ys.append(g.y)
         node_ys.append(

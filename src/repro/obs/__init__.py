@@ -24,6 +24,7 @@ from .metrics import (
     load_metrics,
     metrics_document,
     render_metrics,
+    render_prometheus,
     write_metrics,
     write_prometheus,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "profile_mode",
     "profiled",
     "render_metrics",
+    "render_prometheus",
     "render_span_tree",
     "reset_tracer",
     "set_tracer",

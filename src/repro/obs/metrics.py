@@ -33,6 +33,7 @@ __all__ = [
     "load_metrics",
     "metrics_document",
     "render_metrics",
+    "render_prometheus",
     "write_metrics",
     "write_prometheus",
 ]
@@ -110,6 +111,35 @@ def _dist_view(counters: Dict[str, int]) -> Dict[str, Any]:
     }
 
 
+def _serving_view(counters: Dict[str, int]) -> Dict[str, Any]:
+    """Serving-path health: admission, batching, and diagnosis anomalies.
+
+    ``accepted``/``rejected`` tally queue admission decisions (the rejected
+    map breaks them down by cause: queue_full backpressure, malformed
+    requests, missing models).  ``mean_batch_size`` is the realized
+    block-diagonal packing — 1.0 means the batcher never coalesced anything.
+    ``empty_backtrace`` counts diagnoses that short-circuited because the
+    failure log back-traced to nothing.
+    """
+    rejected = {
+        k.split(".", 2)[2]: v
+        for k, v in counters.items()
+        if k.startswith("serve.rejected.")
+    }
+    batches = counters.get("serve.batches", 0)
+    batched = counters.get("serve.batched", 0)
+    return {
+        "accepted": counters.get("serve.accepted", 0),
+        "rejected": {k: rejected[k] for k in sorted(rejected)},
+        "responses": counters.get("serve.responses", 0),
+        "batches": batches,
+        "batched_requests": batched,
+        "batch_errors": counters.get("serve.batch_errors", 0),
+        "mean_batch_size": (batched / batches) if batches else None,
+        "empty_backtrace": counters.get("diagnose.empty_backtrace", 0),
+    }
+
+
 def metrics_document(stats: StatsLike, tracer: Optional[SpanTracer] = None,
                      spans: Optional[SpanExport] = None) -> Dict[str, Any]:
     """The stable-schema metrics document for one run.
@@ -135,6 +165,7 @@ def metrics_document(stats: StatsLike, tracer: Optional[SpanTracer] = None,
         "cache": _cache_view(stats.counters),
         "faulttol": _faulttol_view(stats.counters),
         "dist": _dist_view(stats.counters),
+        "serving": _serving_view(stats.counters),
     }
 
 
@@ -171,11 +202,16 @@ def _prom_lines(doc: Dict[str, Any]) -> Iterable[str]:
             yield f'{metric}{{{label}="{_prom_escape(key)}"}} {formatted}'
 
 
+def render_prometheus(doc: Dict[str, Any]) -> str:
+    """Render ``doc`` in Prometheus exposition format (``GET /metrics``)."""
+    return "\n".join(_prom_lines(doc)) + "\n"
+
+
 def write_prometheus(path: Union[str, os.PathLike], doc: Dict[str, Any]) -> Path:
     """Write ``doc`` in Prometheus textfile-collector format."""
     out = Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text("\n".join(_prom_lines(doc)) + "\n", encoding="utf-8")
+    out.write_text(render_prometheus(doc), encoding="utf-8")
     return out
 
 
@@ -272,4 +308,25 @@ def render_metrics(doc: Dict[str, Any], top: int = 10) -> str:
         share = dist.get("remote_share")
         if share is not None:
             lines.append(f"  remote share: {share * 100:.1f}% of completed units")
+
+    serving = doc.get("serving", {})
+    if serving.get("accepted") or serving.get("rejected") or serving.get("responses"):
+        lines.append("\nserving:")
+        lines.append(
+            f"  accepted: {serving.get('accepted', 0)}  "
+            f"responses: {serving.get('responses', 0)}  "
+            f"batch errors: {serving.get('batch_errors', 0)}"
+        )
+        mean = serving.get("mean_batch_size")
+        if mean is not None:
+            lines.append(
+                f"  batches: {serving.get('batches', 0)} "
+                f"(mean size {mean:.1f} request(s))"
+            )
+        rejected = serving.get("rejected", {})
+        for cause in sorted(rejected):
+            lines.append(f"  rejected.{cause}: {rejected[cause]}")
+        empty = serving.get("empty_backtrace", 0)
+        if empty:
+            lines.append(f"  empty back-traces: {empty}")
     return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Diagnosis-as-a-service: ``repro serve``.
+
+A long-lived server around the fitted :class:`~repro.core.M3DDiagnosisFramework`:
+failure-log submissions arrive over HTTP or stdin-JSONL, ride a bounded
+queue into a single batch thread, and come back as ranked candidate lists
+with per-request provenance.  The batcher packs concurrent requests into
+block-diagonal :class:`~repro.nn.data.GraphBatch` forwards — one SpMM pass
+answers the whole slice — and a versioned model registry warm-loads
+framework weights per design config and swaps them atomically.
+
+Layout:
+
+* :mod:`~repro.serve.protocol` — wire format (submissions, responses,
+  canonical floats, structured errors);
+* :mod:`~repro.serve.batcher` — bounded-queue batching executor with
+  explicit backpressure (:class:`QueueFullError` → HTTP 429);
+* :mod:`~repro.serve.registry` — versioned (config, version) → framework
+  store with atomic activation and warmup forwards;
+* :mod:`~repro.serve.service` — datalog → back-trace → batched GNN →
+  response, grouped per (design, mode);
+* :mod:`~repro.serve.server` — HTTP (ThreadingHTTPServer) and stdin-JSONL
+  front-ends;
+* :mod:`~repro.serve.client` — stdlib concurrent client with 429 retry,
+  used by the bench and the CI smoke job.
+"""
+
+from .batcher import BatchItem, QueueFullError, RequestBatcher
+from .client import FiredRequest, ServeClient, fire_concurrent, percentile
+from .protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Submission,
+    candidate_from_json,
+    candidate_to_json,
+    canonical_float,
+    canonical_response,
+    dumps_response,
+    error_response,
+    parse_submission,
+    result_response,
+)
+from .registry import ModelRecord, ModelRegistry, UnknownModelError
+from .server import DiagnosisHTTPServer, serve_http, serve_stdin
+from .service import DesignContext, DiagnosisService
+
+__all__ = [
+    "BatchItem",
+    "DesignContext",
+    "DiagnosisHTTPServer",
+    "DiagnosisService",
+    "FiredRequest",
+    "MAX_LINE_BYTES",
+    "ModelRecord",
+    "ModelRegistry",
+    "ProtocolError",
+    "QueueFullError",
+    "RequestBatcher",
+    "ServeClient",
+    "Submission",
+    "UnknownModelError",
+    "candidate_from_json",
+    "candidate_to_json",
+    "canonical_float",
+    "canonical_response",
+    "dumps_response",
+    "error_response",
+    "fire_concurrent",
+    "parse_submission",
+    "percentile",
+    "result_response",
+    "serve_http",
+    "serve_stdin",
+]

@@ -1,0 +1,176 @@
+"""Bounded-queue request batcher feeding block-diagonal GCN forwards.
+
+Concurrent submissions land in one bounded queue; a single batch thread
+drains up to ``max_batch`` of them at a time and hands the slice to the
+processing callback (the diagnosis service), which packs every request's
+sub-graph into one :class:`repro.nn.data.GraphBatch` forward pass.  Under
+load the queue naturally accumulates while a forward is in flight, so batch
+size tracks concurrency without any tuning.
+
+Backpressure is explicit and total: the queue is bounded, a full queue
+rejects the submission *immediately* (:class:`QueueFullError` → HTTP 429),
+and nothing in the pipeline buffers unboundedly.  The batch loop survives
+anything the callback raises — the failure lands on that batch's futures,
+the loop keeps serving.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..runtime.instrument import RuntimeStats
+
+__all__ = ["BatchItem", "QueueFullError", "RequestBatcher"]
+
+
+class QueueFullError(RuntimeError):
+    """The bounded request queue is at capacity (reject with 429)."""
+
+
+@dataclass
+class BatchItem:
+    """One queued submission: the payload, its future, and queue timing."""
+
+    payload: Any
+    future: "Future[Any]"
+    enqueued_at: float
+
+
+class RequestBatcher:
+    """Single-consumer batching executor with a bounded submission queue.
+
+    Args:
+        process: Callback receiving a non-empty list of :class:`BatchItem`;
+            must return one result per item (in order).  Per-item failures
+            should be encoded in the results (structured error responses);
+            an exception fails the whole batch's futures but never the loop.
+        max_batch: Most items handed to one ``process`` call.
+        max_queue: Queue capacity; submissions beyond it raise
+            :class:`QueueFullError` instead of growing memory.
+        flush_interval_s: Longest the batch thread idles between queue
+            polls; bounds shutdown latency, not request latency (a waiting
+            request is picked up as soon as the thread is free).
+        stats: Optional counter sink (``serve.batches``, ``serve.batched``,
+            ``serve.rejected.queue_full``, batch-size histogram buckets).
+    """
+
+    def __init__(
+        self,
+        process: Callable[[List[BatchItem]], Sequence[Any]],
+        max_batch: int = 64,
+        max_queue: int = 256,
+        flush_interval_s: float = 0.05,
+        stats: Optional[RuntimeStats] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self._process = process
+        self.max_batch = max_batch
+        self.max_queue = max_queue
+        self.flush_interval_s = flush_interval_s
+        self.stats = stats if stats is not None else RuntimeStats()
+        self._queue: "queue.Queue[BatchItem]" = queue.Queue(maxsize=max_queue)
+        self._closing = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True
+        )
+        self._started = False
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "RequestBatcher":
+        if not self._started:
+            self._started = True
+            self._thread.start()
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the batch thread; with ``drain`` finish queued work first."""
+        if not self._started:
+            return
+        self._closing.set()
+        self._thread.join()
+        # Whatever is still queued after the thread exits (drain=False, or
+        # racing submitters) must not strand its waiters.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if drain:
+                self._run_batch([item])
+            else:
+                item.future.set_exception(RuntimeError("server shutting down"))
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------ submission
+    def submit(self, payload: Any, block: bool = False) -> "Future[Any]":
+        """Enqueue one request; returns its future or raises when full.
+
+        With ``block=True`` a full queue waits for a slot instead of
+        raising — the stdin front-end's backpressure, where not reading the
+        pipe is the rejection signal.  HTTP submissions keep the default
+        fail-fast behaviour (429).
+        """
+        future: "Future[Any]" = Future()
+        item = BatchItem(payload=payload, future=future, enqueued_at=time.perf_counter())
+        try:
+            self._queue.put(item, block=block)
+        except queue.Full:
+            self.stats.count("serve.rejected.queue_full")
+            raise QueueFullError(
+                f"request queue full ({self.max_queue} pending)"
+            ) from None
+        self.stats.count("serve.accepted")
+        return future
+
+    # ------------------------------------------------------------ batch loop
+    def _drain(self) -> List[BatchItem]:
+        """Block for the first item (bounded), then take whatever is ready."""
+        try:
+            first = self._queue.get(timeout=self.flush_interval_s)
+        except queue.Empty:
+            return []
+        batch = [first]
+        while len(batch) < self.max_batch:
+            try:
+                batch.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        return batch
+
+    def _run_batch(self, batch: List[BatchItem]) -> None:
+        self.stats.count("serve.batches")
+        self.stats.count("serve.batched", len(batch))
+        try:
+            results = self._process(batch)
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"batch processor returned {len(results)} result(s) "
+                    f"for {len(batch)} item(s)"
+                )
+        except Exception as exc:
+            # A processing bug fails this batch's futures, never the loop:
+            # the server must keep answering subsequent requests.
+            self.stats.count("serve.batch_errors")
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            return
+        for item, result in zip(batch, results):
+            item.future.set_result(result)
+
+    def _run(self) -> None:
+        while not self._closing.is_set() or not self._queue.empty():
+            batch = self._drain()
+            if batch:
+                self._run_batch(batch)

@@ -1,0 +1,166 @@
+"""Concurrent serving client: urllib in threads, retry-on-429, latency stats.
+
+:class:`ServeClient` is a thin stdlib HTTP client for one ``repro serve``
+endpoint.  :func:`fire_concurrent` drives it the way a tester floor would —
+many datalogs in flight at once — recording per-request wall-clock so the
+bench and the CI smoke job can report p50/p99 and throughput.
+
+Backpressure-aware by design: a 429 (queue full) is retried with bounded
+linear backoff, and the retry count is part of the returned stats — a run
+that spent its life being told to slow down should say so.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Sequence
+
+__all__ = ["FiredRequest", "ServeClient", "fire_concurrent", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty sequence."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    ranked = sorted(values)
+    rank = min(len(ranked) - 1, max(0, round(q / 100.0 * (len(ranked) - 1))))
+    return ranked[rank]
+
+
+@dataclass
+class FiredRequest:
+    """Outcome of one submission: the response document plus timing."""
+
+    response: Dict[str, Any]
+    latency_s: float
+    retries: int = 0
+
+
+@dataclass
+class ServeClient:
+    """Blocking client for one serving endpoint.
+
+    Args:
+        base_url: ``http://host:port`` of a running ``repro serve``.
+        timeout_s: Per-HTTP-call timeout.
+        max_retries: How many 429s to absorb before giving up.
+        backoff_s: Sleep after the k-th 429 is ``backoff_s * (k + 1)``.
+    """
+
+    base_url: str
+    timeout_s: float = 60.0
+    max_retries: int = 20
+    backoff_s: float = 0.05
+
+    def _post(self, path: str, body: bytes, content_type: str) -> Any:
+        request = urllib.request.Request(
+            self.base_url.rstrip("/") + path,
+            data=body,
+            headers={"Content-Type": content_type},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    def _get(self, path: str) -> Any:
+        with urllib.request.urlopen(
+            self.base_url.rstrip("/") + path, timeout=self.timeout_s
+        ) as resp:
+            return resp.read().decode("utf-8")
+
+    # -------------------------------------------------------------- endpoints
+    def healthz(self) -> Dict[str, Any]:
+        return json.loads(self._get("/healthz"))
+
+    def metrics(self) -> str:
+        return self._get("/metrics")
+
+    def models(self) -> Dict[str, Any]:
+        return json.loads(self._get("/models"))
+
+    def activate(self, config: str, version: str) -> Dict[str, Any]:
+        body = json.dumps({"config": config, "version": version}).encode("utf-8")
+        return self._post("/models/activate", body, "application/json")
+
+    def diagnose(self, submission: Dict[str, Any]) -> FiredRequest:
+        """Submit one datalog; absorbs 429 backpressure with bounded retry."""
+        body = json.dumps(submission).encode("utf-8")
+        t0 = time.perf_counter()
+        retries = 0
+        while True:
+            try:
+                doc = self._post("/diagnose", body, "application/json")
+                return FiredRequest(
+                    response=doc,
+                    latency_s=time.perf_counter() - t0,
+                    retries=retries,
+                )
+            except urllib.error.HTTPError as exc:
+                payload = exc.read().decode("utf-8", errors="replace")
+                if exc.code == 429 and retries < self.max_retries:
+                    retries += 1
+                    time.sleep(self.backoff_s * retries)
+                    continue
+                try:
+                    doc = json.loads(payload)
+                except json.JSONDecodeError:
+                    doc = {
+                        "ok": False,
+                        "error": {"type": f"http_{exc.code}", "message": payload},
+                    }
+                return FiredRequest(
+                    response=doc,
+                    latency_s=time.perf_counter() - t0,
+                    retries=retries,
+                )
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+                # Transient transport failure (reset under load, refused
+                # during startup) — retry on the same budget as 429s.
+                if retries < self.max_retries:
+                    retries += 1
+                    time.sleep(self.backoff_s * retries)
+                    continue
+                return FiredRequest(
+                    response={
+                        "ok": False,
+                        "error": {"type": "transport", "message": str(exc)},
+                    },
+                    latency_s=time.perf_counter() - t0,
+                    retries=retries,
+                )
+
+
+def fire_concurrent(
+    client: ServeClient,
+    submissions: Sequence[Dict[str, Any]],
+    concurrency: int = 32,
+) -> Dict[str, Any]:
+    """Fire submissions with ``concurrency`` in flight; return latency stats.
+
+    The returned document carries every response (input order) plus p50/p99
+    latency, throughput, and total 429 retries — the shape both
+    ``benchmarks/bench_serving.py`` and the CI smoke client consume.
+    """
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=max(1, concurrency)) as pool:
+        fired = list(pool.map(client.diagnose, submissions))
+    wall_s = time.perf_counter() - t0
+    latencies = [f.latency_s for f in fired]
+    ok = sum(1 for f in fired if f.response.get("ok"))
+    return {
+        "n_requests": len(fired),
+        "n_ok": ok,
+        "n_errors": len(fired) - ok,
+        "retries_429": sum(f.retries for f in fired),
+        "wall_s": round(wall_s, 6),
+        "throughput_rps": round(len(fired) / wall_s, 3) if wall_s > 0 else None,
+        "latency_p50_s": round(percentile(latencies, 50), 6) if latencies else None,
+        "latency_p99_s": round(percentile(latencies, 99), 6) if latencies else None,
+        "latency_max_s": round(max(latencies), 6) if latencies else None,
+        "responses": [f.response for f in fired],
+    }

@@ -1,0 +1,233 @@
+"""Serving wire protocol: submissions, responses, canonical JSON.
+
+One *submission* is a JSON object carrying a tester datalog (and optionally
+a precomputed ATPG candidate list) for one failing chip::
+
+    {"id": "lot7_wafer3_die42",      # optional client request id
+     "design": "demo",               # optional when the server holds one design
+     "mode": "bypass",               # optional, defaults to the design's mode
+     "datalog": "# repro failure datalog v1\\nCHIP ...\\nFAIL ...",
+     "report": [{...candidate...}]}  # optional; omitted -> server-side ATPG
+
+The *response* mirrors :class:`repro.core.PolicyResult` plus per-request
+provenance (model version, design config, tensor backend, span timings)::
+
+    {"id": ..., "chip": ..., "ok": true, "action": "prune",
+     "predicted_tier": 0, "confidence": 0.97, "faulty_mivs": [3],
+     "candidates": [...], "pruned": [...],
+     "provenance": {"design": ..., "config": ..., "model_version": ...,
+                    "nn_backend": ..., "batch_size": ..., "timings": {...}}}
+
+Failures are structured, never exceptions on the wire::
+
+    {"id": ..., "ok": false, "error": {"type": "bad_request", "message": ...}}
+
+Float fields that cross the wire are canonicalized to 12 significant digits
+(:func:`canonical_float`).  Block-diagonal batching is bitwise through the
+sparse ops and pooling but carries a documented BLAS-ulp caveat on dense
+logits (see DESIGN 5.5), so canonicalization is what makes a batched
+serving response *byte-identical* to the offline ``pipeline.diagnose``
+serialization of the same log.  :func:`canonical_response` additionally
+strips the volatile provenance (timings, batch size) for such diffs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..atpg.faults import FaultSite, Polarity
+from ..core.policy import PolicyResult
+from ..diagnosis.report import Candidate, DiagnosisReport
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "Submission",
+    "candidate_from_json",
+    "candidate_to_json",
+    "canonical_float",
+    "canonical_response",
+    "dumps_response",
+    "error_response",
+    "parse_submission",
+    "result_response",
+]
+
+#: Hard cap on one JSONL submission line; over-long lines are rejected with
+#: a structured error instead of being buffered (backpressure applies to
+#: memory, not just queue slots).
+MAX_LINE_BYTES = 1_000_000
+
+
+class ProtocolError(ValueError):
+    """A malformed submission, carrying a machine-readable error type."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+def canonical_float(x: float) -> float:
+    """Round to 12 significant digits — the wire precision of scores.
+
+    The serving batch packs a request with arbitrary neighbours, and dense
+    GEMMs may differ from the offline batch-of-one by a few ulp (the PR 7
+    caveat).  12 significant digits is far above the 1e-12 documented bound
+    and far below any decision threshold, so canonicalized responses are
+    byte-stable across batch compositions.
+    """
+    return float(f"{float(x):.12g}")
+
+
+# ----------------------------------------------------------- candidates
+def candidate_to_json(cand: Candidate) -> Dict[str, Any]:
+    """One report candidate as a JSON-ready dict."""
+    return {
+        "kind": cand.site.kind,
+        "net": int(cand.site.net),
+        "sinks": [[int(g), int(p)] for g, p in cand.site.sinks],
+        "observed_faulty": bool(cand.site.observed_faulty),
+        "miv_id": int(cand.site.miv_id),
+        "label": cand.site.label,
+        "polarity": cand.polarity.value,
+        "score": canonical_float(cand.score),
+        "tier": None if cand.tier is None else int(cand.tier),
+        "tfsf": int(cand.tfsf),
+        "tfsp": int(cand.tfsp),
+        "tpsf": int(cand.tpsf),
+    }
+
+
+def candidate_from_json(doc: Dict[str, Any]) -> Candidate:
+    """Parse one candidate dict (raises :class:`ProtocolError`)."""
+    try:
+        site = FaultSite(
+            kind=doc["kind"],
+            net=int(doc["net"]),
+            sinks=tuple((int(g), int(p)) for g, p in doc.get("sinks", ())),
+            observed_faulty=bool(doc.get("observed_faulty", False)),
+            miv_id=int(doc.get("miv_id", -1)),
+            label=str(doc.get("label", "")),
+        )
+        tier = doc.get("tier")
+        return Candidate(
+            site=site,
+            polarity=Polarity(doc.get("polarity", "STR")),
+            score=float(doc.get("score", 0.0)),
+            tier=None if tier is None else int(tier),
+            tfsf=int(doc.get("tfsf", 0)),
+            tfsp=int(doc.get("tfsp", 0)),
+            tpsf=int(doc.get("tpsf", 0)),
+        )
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError("bad_candidate", f"malformed candidate: {exc}") from exc
+
+
+# ----------------------------------------------------------- submissions
+@dataclass
+class Submission:
+    """One validated diagnosis request (pre-datalog-parse).
+
+    Attributes:
+        request_id: Client-chosen id echoed back; None falls back to the
+            datalog's CHIP id.
+        design: Served design name (None = the server's only design).
+        mode: Observation mode override (None = the design's default).
+        datalog: The raw datalog text.
+        report: Precomputed ATPG report, or None for server-side diagnosis.
+    """
+
+    request_id: Optional[str]
+    design: Optional[str]
+    mode: Optional[str]
+    datalog: str
+    report: Optional[DiagnosisReport]
+
+
+def parse_submission(doc: Any) -> Submission:
+    """Validate one submission object (raises :class:`ProtocolError`)."""
+    if not isinstance(doc, dict):
+        raise ProtocolError(
+            "bad_request", f"submission must be a JSON object, got {type(doc).__name__}"
+        )
+    datalog = doc.get("datalog")
+    if not isinstance(datalog, str) or not datalog.strip():
+        raise ProtocolError("bad_request", "missing or empty 'datalog' field")
+    request_id = doc.get("id")
+    if request_id is not None and not isinstance(request_id, (str, int)):
+        raise ProtocolError("bad_request", "'id' must be a string or integer")
+    for key in ("design", "mode"):
+        if doc.get(key) is not None and not isinstance(doc[key], str):
+            raise ProtocolError("bad_request", f"'{key}' must be a string")
+    report: Optional[DiagnosisReport] = None
+    raw_report = doc.get("report")
+    if raw_report is not None:
+        if not isinstance(raw_report, list):
+            raise ProtocolError("bad_request", "'report' must be a candidate list")
+        report = DiagnosisReport(
+            candidates=[candidate_from_json(c) for c in raw_report]
+        )
+    return Submission(
+        request_id=None if request_id is None else str(request_id),
+        design=doc.get("design"),
+        mode=doc.get("mode"),
+        datalog=datalog,
+        report=report,
+    )
+
+
+# ------------------------------------------------------------- responses
+def result_response(
+    result: PolicyResult,
+    request_id: Optional[str],
+    chip_id: str,
+    provenance: Dict[str, Any],
+) -> Dict[str, Any]:
+    """A success response document for one diagnosed submission."""
+    return {
+        "id": request_id if request_id is not None else chip_id,
+        "chip": chip_id,
+        "ok": True,
+        "action": result.action,
+        "predicted_tier": int(result.predicted_tier),
+        "confidence": canonical_float(result.confidence),
+        "faulty_mivs": [int(m) for m in result.faulty_mivs],
+        "candidates": [candidate_to_json(c) for c in result.report.candidates],
+        "pruned": [candidate_to_json(c) for c in result.pruned],
+        "provenance": provenance,
+    }
+
+
+def error_response(
+    kind: str, message: str, request_id: Optional[str] = None
+) -> Dict[str, Any]:
+    """A structured failure response (per line / per request, never fatal)."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": kind, "message": message},
+    }
+
+
+def dumps_response(doc: Dict[str, Any]) -> str:
+    """One response as a single compact JSON line (no trailing newline)."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_response(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """A response stripped of volatile provenance, for byte-for-byte diffs.
+
+    Serving responses carry per-request timings and the observed batch size;
+    those legitimately differ between a live server and an offline rerun of
+    the same logs.  Everything else — the science — must not.
+    """
+    out = dict(doc)
+    prov = dict(out.get("provenance") or {})
+    prov.pop("timings", None)
+    prov.pop("batch_size", None)
+    out["provenance"] = prov
+    return out

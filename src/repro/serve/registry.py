@@ -1,0 +1,188 @@
+"""Versioned model registry with atomic activation.
+
+The registry holds every framework the server may answer with, keyed by
+design-configuration name (Syn-1 / TPI / Syn-2 / Par / ...) and version
+string.  Exactly one version per config is *active* at a time; activation is
+an atomic pointer swap under a lock, so in-flight request batches keep the
+record they resolved and later batches see the new one — never a half-
+swapped mix.
+
+Weights are *warm-loaded*: :meth:`ModelRegistry.load` deserializes the
+``.npz`` checkpoint (``repro.core.io.load_framework``) at registration time,
+and :meth:`warmup` runs one throwaway forward per model so the first real
+request never pays lazy-initialization cost.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from ..core.io import load_framework
+from ..core.pipeline import M3DDiagnosisFramework
+from ..nn.backends import get_backend
+from ..nn.data import GraphData
+
+__all__ = ["ModelRecord", "ModelRegistry", "UnknownModelError"]
+
+
+class UnknownModelError(KeyError):
+    """No such config, or no such version for the config."""
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """One immutable registry entry: a loaded framework plus identity."""
+
+    config: str
+    version: str
+    framework: M3DDiagnosisFramework
+    source: str
+
+    @property
+    def backend(self) -> str:
+        """Resolved tensor-backend spec the framework runs on."""
+        return get_backend(self.framework.nn_backend).spec
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready summary (the ``GET /models`` row)."""
+        fw = self.framework
+        return {
+            "config": self.config,
+            "version": self.version,
+            "source": self.source,
+            "backend": self.backend,
+            "tp_threshold": float(fw.tp_threshold),
+            "n_tiers": fw.n_tiers,
+            "has_miv_pinpointer": fw.miv_pinpointer is not None,
+            "has_classifier": fw.classifier is not None,
+        }
+
+
+class ModelRegistry:
+    """Thread-safe (config, version) → framework store with active pointers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._versions: Dict[str, Dict[str, ModelRecord]] = {}
+        self._active: Dict[str, ModelRecord] = {}
+
+    # ------------------------------------------------------------ mutation
+    def register(
+        self,
+        config: str,
+        version: str,
+        framework: M3DDiagnosisFramework,
+        source: str = "<memory>",
+        activate: bool = True,
+    ) -> ModelRecord:
+        """Add an already-loaded framework; optionally make it active."""
+        if not framework._fitted:
+            raise ValueError(
+                f"refusing to register unfitted framework {config}:{version}"
+            )
+        record = ModelRecord(
+            config=config, version=version, framework=framework, source=source
+        )
+        with self._lock:
+            self._versions.setdefault(config, {})[version] = record
+            if activate or config not in self._active:
+                self._active[config] = record
+        return record
+
+    def load(
+        self,
+        config: str,
+        version: str,
+        path: Union[str, Path],
+        backend: Optional[str] = None,
+        activate: bool = True,
+    ) -> ModelRecord:
+        """Warm-load versioned weights from an ``.npz`` checkpoint."""
+        framework = load_framework(path, backend=backend)
+        return self.register(
+            config, version, framework, source=str(path), activate=activate
+        )
+
+    def activate(self, config: str, version: str) -> ModelRecord:
+        """Atomically swap the active version for one config."""
+        with self._lock:
+            versions = self._versions.get(config)
+            if versions is None:
+                raise UnknownModelError(f"unknown design config {config!r}")
+            record = versions.get(version)
+            if record is None:
+                raise UnknownModelError(
+                    f"unknown version {version!r} for config {config!r} "
+                    f"(have: {', '.join(sorted(versions))})"
+                )
+            self._active[config] = record
+        return record
+
+    # -------------------------------------------------------------- lookup
+    def active(self, config: str) -> ModelRecord:
+        """The record requests against ``config`` are served with."""
+        with self._lock:
+            record = self._active.get(config)
+        if record is None:
+            raise UnknownModelError(f"no active model for design config {config!r}")
+        return record
+
+    def configs(self) -> List[str]:
+        with self._lock:
+            return sorted(self._versions)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready registry listing (the ``GET /models`` document)."""
+        with self._lock:
+            versions = {
+                config: sorted(records)
+                for config, records in self._versions.items()
+            }
+            active = {
+                config: record.describe() for config, record in self._active.items()
+            }
+        return {
+            "configs": {
+                config: {
+                    "versions": versions[config],
+                    "active": active.get(config, {}).get("version"),
+                }
+                for config in sorted(versions)
+            },
+            "active": {k: active[k] for k in sorted(active)},
+        }
+
+    # -------------------------------------------------------------- warmup
+    def warmup(self) -> int:
+        """Run one throwaway forward per registered model; returns the count.
+
+        The dummy sub-graph is two connected nodes with the standard feature
+        width — enough to touch every layer (tier, MIV, classifier) so lazy
+        allocations and code paths are resident before traffic arrives.
+        """
+        from ..core.features import N_FEATURES
+
+        graph = GraphData(
+            x=np.zeros((2, N_FEATURES)),
+            edges=(np.asarray([0]), np.asarray([1])),
+            node_mask=np.asarray([True, False]),
+        )
+        with self._lock:
+            records = [
+                record
+                for versions in self._versions.values()
+                for record in versions.values()
+            ]
+        for record in records:
+            fw = record.framework
+            fw.tier_predictor.predict_proba([graph])
+            if fw.miv_pinpointer is not None:
+                fw.miv_pinpointer.predict_node_proba_batch([graph])
+            if fw.classifier is not None:
+                fw.classifier.prune_probability([graph])
+        return len(records)

@@ -90,3 +90,49 @@ def test_tables_single_table(capsys):
                  "--only", "table3"]) == 0
     out = capsys.readouterr().out
     assert "Table III" in out
+
+
+# ------------------------------------------------------------------- serve
+def test_serve_requires_a_frontend(capsys):
+    assert main(["serve"]) == 2
+    assert "--http" in capsys.readouterr().err
+
+
+def test_serve_rejects_empty_config_list(capsys):
+    assert main(["serve", "--stdin", "--configs", " , "]) == 2
+    assert "at least one" in capsys.readouterr().err
+
+
+def test_serve_stdin_end_to_end(monkeypatch, capsys):
+    """`repro serve --stdin` answers a real datalog and a garbage line."""
+    import io
+    import json
+
+    from repro import DesignConfig, GeneratorSpec, build_dataset, prepare_design
+    from repro.tester.datalog import dumps_datalog
+
+    # The same design the serve command builds for these flags.
+    spec = GeneratorSpec("serve-syn-1", "aes_like", 120, 16, 16, 16, seed=7)
+    design = prepare_design(
+        spec, DesignConfig.standard("Syn-1"), n_chains=4, chains_per_channel=2,
+        max_patterns=128,
+    )
+    chip = build_dataset(design, "bypass", 1, seed=5).items[0]
+    submission = {
+        "id": "cli0",
+        "datalog": dumps_datalog(chip.sample.log, "chip0", design.obsmap("bypass")),
+    }
+    lines = json.dumps(submission) + "\nnot json at all\n"
+    monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+
+    assert main(["serve", "--stdin", "--gates", "120", "--train-samples", "12",
+                 "--epochs", "2", "--max-batch", "4"]) == 0
+    captured = capsys.readouterr()
+    # Response lines only — the runtime's [stage] progress also hits stdout.
+    docs = [json.loads(ln) for ln in captured.out.splitlines()
+            if ln.startswith("{")]
+    assert len(docs) == 2
+    assert docs[0]["ok"] and docs[0]["id"] == "cli0" and docs[0]["chip"] == "chip0"
+    assert docs[0]["provenance"]["model_version"] == "v1"
+    assert not docs[1]["ok"] and docs[1]["error"]["type"] == "bad_json"
+    assert "served 2 stdin submission(s)" in captured.err

@@ -110,6 +110,92 @@ class TestDiagnose:
         assert out.report is rep
 
 
+class TestPolicyCache:
+    def test_repeated_diagnose_reuses_one_policy(self, trained, prepared, test_env,
+                                                 monkeypatch):
+        """Regression: diagnose used to rebuild a PruneReorderPolicy per call."""
+        import repro.core.pipeline as pipeline_mod
+
+        fw, _ = trained
+        fw._policy_cache.clear()
+        built = []
+        real = pipeline_mod.PruneReorderPolicy
+
+        class Counting(real):
+            def __init__(self, *args, **kwargs):
+                built.append(1)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(pipeline_mod, "PruneReorderPolicy", Counting)
+        test, reports = test_env
+        for item, rep in zip(test.items[:3], reports[:3]):
+            fw.diagnose(prepared, "bypass", item.sample.log, rep, graph=item.graph)
+        assert len(built) == 1
+        assert fw.policy_for(prepared) is fw.policy_for(prepared)
+
+    def test_cache_keys_on_design_and_use_tier(self, trained, prepared, prepared_par):
+        fw, _ = trained
+        base = fw.policy_for(prepared)
+        assert fw.policy_for(prepared, use_tier=False) is not base
+        assert fw.policy_for(prepared_par) is not base
+        assert fw.policy_for(prepared) is base
+
+    def test_refit_invalidates_cache(self, prepared):
+        from repro.data import build_dataset
+
+        train = build_dataset(prepared, "bypass", 30, seed=55)
+        fw = M3DDiagnosisFramework(epochs=2, seed=0)
+        fw.fit([train])
+        stale = fw.policy_for(prepared)
+        fw.fit([train])
+        assert fw.policy_for(prepared) is not stale
+
+
+class TestBatchedDiagnosis:
+    def test_batched_matches_sequential_on_the_wire(self, trained, prepared,
+                                                    test_env):
+        """Serving and offline are one code path: identical canonical bytes."""
+        from repro.serve import dumps_response, result_response
+
+        fw, _ = trained
+        test, reports = test_env
+        items, reps = test.items[:8], reports[:8]
+        logs = [i.sample.log for i in items]
+        graphs = [i.graph for i in items]
+        seq = [
+            fw.diagnose(prepared, "bypass", log, rep, graph=g)
+            for log, rep, g in zip(logs, reps, graphs)
+        ]
+        bat = fw.diagnose_batch(prepared, "bypass", logs, reps, graphs=graphs)
+        assert len(bat) == len(seq)
+        for a, b in zip(seq, bat):
+            assert a.action == b.action
+            assert a.predicted_tier == b.predicted_tier
+            assert a.faulty_mivs == b.faulty_mivs
+            wire_a = dumps_response(result_response(a, "x", "x", {}))
+            wire_b = dumps_response(result_response(b, "x", "x", {}))
+            assert wire_a == wire_b
+
+    def test_empty_backtrace_counter(self, trained, prepared):
+        from repro.diagnosis import DiagnosisReport
+        from repro.runtime.instrument import RuntimeStats
+        from repro.tester import FailureLog
+
+        fw, _ = trained
+        stats = RuntimeStats()
+        out = fw.diagnose(prepared, "bypass", FailureLog(entries=[]),
+                          DiagnosisReport(candidates=[]), stats=stats)
+        assert out.action == "passthrough"
+        assert stats.counters["diagnose.empty_backtrace"] == 1
+
+    def test_batch_length_mismatch_rejected(self, trained, prepared, test_env):
+        fw, _ = trained
+        test, reports = test_env
+        with pytest.raises(ValueError):
+            fw.diagnose_batch(prepared, "bypass",
+                              [test.items[0].sample.log], reports[:2])
+
+
 class TestTransferAcrossConfigs:
     def test_policy_binds_to_other_design(self, trained, prepared_par):
         """Models trained on Syn-1 apply to the Par partitioning unchanged."""

@@ -28,6 +28,9 @@ class StubMiv:
     def predict_faulty_mivs(self, graph):
         return self.nodes
 
+    def predict_faulty_mivs_batch(self, graphs):
+        return [self.nodes for _ in graphs]
+
 
 class StubClassifier:
     def __init__(self, prune):
@@ -35,6 +38,9 @@ class StubClassifier:
 
     def should_prune(self, graph, threshold=0.5):
         return self.prune
+
+    def should_prune_batch(self, graphs, threshold=0.5):
+        return [self.prune for _ in graphs]
 
 
 @pytest.fixture
